@@ -1,0 +1,510 @@
+//! Topology generation (§3: "Used AS topologies").
+
+use crate::graph::Topology;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
+
+/// Which generation recipe to use.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Kind {
+    /// Chung–Lu power-law graph matching the Hyperbolic Graph Generator's
+    /// published parameters (degree exponent, average degree).
+    Artificial,
+    /// Preferential-attachment growth with extra peering, the stand-in for
+    /// CAIDA's inferred AS topology; supports leaf pruning like §3.
+    CaidaLike,
+}
+
+/// Builder for the experiment topologies of §3 and §11.
+///
+/// ```
+/// use as_topology::TopologyBuilder;
+///
+/// let topo = TopologyBuilder::artificial(500, 42).build();
+/// assert_eq!(topo.num_ases(), 500);
+/// assert!(topo.is_connected());
+/// ```
+#[derive(Clone, Debug)]
+pub struct TopologyBuilder {
+    kind: Kind,
+    n: usize,
+    seed: u64,
+    avg_degree: f64,
+    exponent: f64,
+    prune_to: Option<usize>,
+    tier1_count: usize,
+}
+
+impl TopologyBuilder {
+    /// An artificial topology with `n` ASes (power law exponent 2.1, average
+    /// degree 6.1 — the paper's parameters), deterministic in `seed`.
+    pub fn artificial(n: usize, seed: u64) -> Self {
+        TopologyBuilder {
+            kind: Kind::Artificial,
+            n,
+            seed,
+            avg_degree: 6.1,
+            exponent: 2.1,
+            prune_to: None,
+            tier1_count: 3,
+        }
+    }
+
+    /// A CAIDA-like topology grown to `n` ASes by preferential attachment
+    /// (prune with [`TopologyBuilder::prune_to`] to mimic §3's leaf
+    /// pruning).
+    pub fn caida_like(n: usize, seed: u64) -> Self {
+        TopologyBuilder {
+            kind: Kind::CaidaLike,
+            n,
+            seed,
+            avg_degree: 6.1,
+            exponent: 2.1,
+            prune_to: None,
+            tier1_count: 3,
+        }
+    }
+
+    /// Overrides the target average degree (default 6.1).
+    pub fn avg_degree(mut self, d: f64) -> Self {
+        self.avg_degree = d;
+        self
+    }
+
+    /// Overrides the power-law exponent (default 2.1).
+    pub fn exponent(mut self, g: f64) -> Self {
+        self.exponent = g;
+        self
+    }
+
+    /// Number of fully meshed Tier-1 ASes (default 3, per §3).
+    pub fn tier1_count(mut self, k: usize) -> Self {
+        self.tier1_count = k.max(1);
+        self
+    }
+
+    /// Iteratively removes leaf (degree-1, then lowest-degree stub) nodes
+    /// until `target` ASes remain, like §3's pruning of the CAIDA graph.
+    pub fn prune_to(mut self, target: usize) -> Self {
+        self.prune_to = Some(target);
+        self
+    }
+
+    /// Generates the topology.
+    pub fn build(self) -> Topology {
+        let mut rng = SmallRng::seed_from_u64(self.seed ^ 0x9e37_79b9_7f4a_7c15);
+        let mut edges = match self.kind {
+            Kind::Artificial => chung_lu_edges(self.n, self.exponent, self.avg_degree, &mut rng),
+            Kind::CaidaLike => preferential_edges(self.n, self.avg_degree, &mut rng),
+        };
+        let mut n = self.n;
+        connect_components(n, &mut edges, &mut rng);
+        if let Some(target) = self.prune_to {
+            let (pruned_edges, new_n) = prune_leaves(n, edges, target);
+            edges = pruned_edges;
+            n = new_n;
+            connect_components(n, &mut edges, &mut rng);
+        }
+        assemble(n, edges, self.tier1_count)
+    }
+}
+
+/// Chung–Lu: node `i` gets weight `~ (i + i0)^(-1/(γ-1))`, scaled so the mean
+/// weight equals the target average degree; each pair is linked with
+/// probability `w_i w_j / S` (capped at 1).
+fn chung_lu_edges(n: usize, gamma: f64, avg_degree: f64, rng: &mut SmallRng) -> BTreeSet<(u32, u32)> {
+    assert!(n >= 4, "need at least 4 ASes");
+    let alpha = 1.0 / (gamma - 1.0);
+    let i0 = 1.0;
+    let mut w: Vec<f64> = (0..n).map(|i| (i as f64 + i0).powf(-alpha)).collect();
+    let mean: f64 = w.iter().sum::<f64>() / n as f64;
+    let scale = avg_degree / mean;
+    for wi in &mut w {
+        *wi *= scale;
+    }
+    let s: f64 = w.iter().sum();
+    let cap = s.sqrt();
+    for wi in &mut w {
+        if *wi > cap {
+            *wi = cap;
+        }
+    }
+    let mut edges = BTreeSet::new();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let p = (w[i] * w[j] / s).min(1.0);
+            if rng.gen::<f64>() < p {
+                edges.insert((i as u32, j as u32));
+            }
+        }
+    }
+    edges
+}
+
+/// Preferential attachment with a heavy-tailed per-node stub count plus a
+/// sprinkle of extra lateral (peering-flavoured) edges. Produces the broad
+/// degree distribution and dense core of inferred AS graphs.
+fn preferential_edges(n: usize, avg_degree: f64, rng: &mut SmallRng) -> BTreeSet<(u32, u32)> {
+    assert!(n >= 4, "need at least 4 ASes");
+    let mut edges: BTreeSet<(u32, u32)> = BTreeSet::new();
+    // Degree-weighted endpoint pool; seeded with a small clique.
+    let mut pool: Vec<u32> = Vec::with_capacity(n * 4);
+    let seed_core = 4.min(n);
+    for i in 0..seed_core as u32 {
+        for j in (i + 1)..seed_core as u32 {
+            edges.insert((i, j));
+            pool.push(i);
+            pool.push(j);
+        }
+    }
+    // Each newcomer attaches with m edges, m heavy-tailed in {1, 2, 3, 5}.
+    for v in seed_core as u32..n as u32 {
+        let r: f64 = rng.gen();
+        let m = if r < 0.55 {
+            1
+        } else if r < 0.85 {
+            2
+        } else if r < 0.97 {
+            3
+        } else {
+            5
+        };
+        let mut attached = BTreeSet::new();
+        let mut guard = 0;
+        while attached.len() < m && guard < 50 {
+            guard += 1;
+            let t = pool[rng.gen_range(0..pool.len())];
+            if t != v && attached.insert(t) {
+                edges.insert(key(v, t));
+                pool.push(t);
+                pool.push(v);
+            }
+        }
+        if attached.is_empty() {
+            // always connect the newcomer somewhere
+            let t = v - 1;
+            edges.insert(key(v, t));
+            pool.push(t);
+            pool.push(v);
+        }
+    }
+    // Lateral edges up to the degree budget (models IXP-style peering).
+    let target_edges = (n as f64 * avg_degree / 2.0) as usize;
+    let mut guard = 0;
+    while edges.len() < target_edges && guard < target_edges * 20 {
+        guard += 1;
+        let a = pool[rng.gen_range(0..pool.len())];
+        let b = rng.gen_range(0..n as u32);
+        if a != b {
+            edges.insert(key(a, b));
+        }
+    }
+    edges
+}
+
+#[inline]
+fn key(a: u32, b: u32) -> (u32, u32) {
+    if a < b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+/// Joins all connected components to the largest one by linking each
+/// component's highest-degree node to a high-degree node of the giant.
+fn connect_components(n: usize, edges: &mut BTreeSet<(u32, u32)>, rng: &mut SmallRng) {
+    let mut adj = vec![Vec::new(); n];
+    for &(a, b) in edges.iter() {
+        adj[a as usize].push(b);
+        adj[b as usize].push(a);
+    }
+    let mut comp = vec![u32::MAX; n];
+    let mut comps: Vec<Vec<u32>> = Vec::new();
+    for start in 0..n as u32 {
+        if comp[start as usize] != u32::MAX {
+            continue;
+        }
+        let id = comps.len() as u32;
+        let mut nodes = vec![start];
+        comp[start as usize] = id;
+        let mut stack = vec![start];
+        while let Some(u) = stack.pop() {
+            for &v in &adj[u as usize] {
+                if comp[v as usize] == u32::MAX {
+                    comp[v as usize] = id;
+                    nodes.push(v);
+                    stack.push(v);
+                }
+            }
+        }
+        comps.push(nodes);
+    }
+    if comps.len() <= 1 {
+        return;
+    }
+    let giant = comps
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, c)| c.len())
+        .map(|(i, _)| i)
+        .unwrap();
+    // Candidates inside the giant, degree-weighted via repeated sampling.
+    let giant_nodes = comps[giant].clone();
+    for (i, nodes) in comps.iter().enumerate() {
+        if i == giant {
+            continue;
+        }
+        let best = *nodes
+            .iter()
+            .max_by_key(|&&u| adj[u as usize].len())
+            .unwrap();
+        // pick the higher-degree of two random giant nodes
+        let g1 = giant_nodes[rng.gen_range(0..giant_nodes.len())];
+        let g2 = giant_nodes[rng.gen_range(0..giant_nodes.len())];
+        let g = if adj[g1 as usize].len() >= adj[g2 as usize].len() {
+            g1
+        } else {
+            g2
+        };
+        edges.insert(key(best, g));
+    }
+}
+
+/// Iteratively removes leaves (degree ≤ 1), then lowest-degree nodes, until
+/// `target` nodes remain; compacts indices. Returns the new edge set and
+/// node count.
+fn prune_leaves(
+    n: usize,
+    edges: BTreeSet<(u32, u32)>,
+    target: usize,
+) -> (BTreeSet<(u32, u32)>, usize) {
+    if target >= n {
+        return (edges, n);
+    }
+    let mut adj: Vec<BTreeSet<u32>> = vec![BTreeSet::new(); n];
+    for &(a, b) in &edges {
+        adj[a as usize].insert(b);
+        adj[b as usize].insert(a);
+    }
+    let mut alive = vec![true; n];
+    let mut alive_count = n;
+    while alive_count > target {
+        // pick the minimum-degree alive node (leaves first)
+        let u = (0..n)
+            .filter(|&u| alive[u])
+            .min_by_key(|&u| adj[u].len())
+            .unwrap();
+        alive[u] = false;
+        alive_count -= 1;
+        let neighbors: Vec<u32> = adj[u].iter().copied().collect();
+        for v in neighbors {
+            adj[v as usize].remove(&(u as u32));
+        }
+        adj[u].clear();
+    }
+    // compact indices
+    let mut remap = vec![u32::MAX; n];
+    let mut next = 0u32;
+    for u in 0..n {
+        if alive[u] {
+            remap[u] = next;
+            next += 1;
+        }
+    }
+    let mut out = BTreeSet::new();
+    for (u, nbrs) in adj.iter().enumerate() {
+        if !alive[u] {
+            continue;
+        }
+        for &v in nbrs {
+            if alive[v as usize] {
+                out.insert(key(remap[u], remap[v as usize]));
+            }
+        }
+    }
+    (out, alive_count)
+}
+
+/// Turns an undirected edge set into a relationship-annotated [`Topology`]:
+/// the `tier1_count` highest-degree nodes become a fully meshed Tier-1
+/// clique; levels are BFS distance from the clique; same-level links are
+/// p2p, cross-level links are c2p with the lower level as provider (§3).
+fn assemble(n: usize, mut edges: BTreeSet<(u32, u32)>, tier1_count: usize) -> Topology {
+    let mut degree = vec![0usize; n];
+    for &(a, b) in &edges {
+        degree[a as usize] += 1;
+        degree[b as usize] += 1;
+    }
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    order.sort_by_key(|&u| std::cmp::Reverse(degree[u as usize]));
+    let tier1: Vec<u32> = order.iter().take(tier1_count.min(n)).copied().collect();
+    for (i, &a) in tier1.iter().enumerate() {
+        for &b in tier1.iter().skip(i + 1) {
+            edges.insert(key(a, b));
+        }
+    }
+    let mut adj = vec![Vec::new(); n];
+    for &(a, b) in &edges {
+        adj[a as usize].push(b);
+        adj[b as usize].push(a);
+    }
+    // BFS levels from the Tier-1 set.
+    let mut levels = vec![u8::MAX; n];
+    let mut queue = std::collections::VecDeque::new();
+    for &t in &tier1 {
+        levels[t as usize] = 0;
+        queue.push_back(t);
+    }
+    while let Some(u) = queue.pop_front() {
+        for &v in &adj[u as usize] {
+            if levels[v as usize] == u8::MAX {
+                levels[v as usize] = levels[u as usize].saturating_add(1);
+                queue.push_back(v);
+            }
+        }
+    }
+    // Disconnected leftovers (shouldn't happen after connect_components):
+    for l in levels.iter_mut() {
+        if *l == u8::MAX {
+            *l = 1;
+        }
+    }
+    let mut providers = vec![Vec::new(); n];
+    let mut customers = vec![Vec::new(); n];
+    let mut peers = vec![Vec::new(); n];
+    for &(a, b) in &edges {
+        let (la, lb) = (levels[a as usize], levels[b as usize]);
+        match la.cmp(&lb) {
+            std::cmp::Ordering::Equal => {
+                peers[a as usize].push(b);
+                peers[b as usize].push(a);
+            }
+            std::cmp::Ordering::Less => {
+                // a is closer to the core: a provides transit to b
+                providers[b as usize].push(a);
+                customers[a as usize].push(b);
+            }
+            std::cmp::Ordering::Greater => {
+                providers[a as usize].push(b);
+                customers[b as usize].push(a);
+            }
+        }
+    }
+    for lists in [&mut providers, &mut customers, &mut peers] {
+        for l in lists.iter_mut() {
+            l.sort_unstable();
+        }
+    }
+    Topology::from_parts(providers, customers, peers, levels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn artificial_matches_target_shape() {
+        let t = TopologyBuilder::artificial(2000, 1).build();
+        assert_eq!(t.num_ases(), 2000);
+        assert!(t.is_connected());
+        t.validate().unwrap();
+        let d = t.avg_degree();
+        assert!(
+            (4.0..9.0).contains(&d),
+            "avg degree {d} too far from 6.1 target"
+        );
+    }
+
+    #[test]
+    fn artificial_is_deterministic_in_seed() {
+        let a = TopologyBuilder::artificial(300, 9).build();
+        let b = TopologyBuilder::artificial(300, 9).build();
+        assert_eq!(a.links().len(), b.links().len());
+        assert_eq!(a.links(), b.links());
+        let c = TopologyBuilder::artificial(300, 10).build();
+        assert_ne!(a.links(), c.links());
+    }
+
+    #[test]
+    fn degree_distribution_is_heavy_tailed() {
+        let t = TopologyBuilder::artificial(3000, 3).build();
+        let mut degrees: Vec<usize> = (0..t.num_ases() as u32).map(|u| t.degree(u)).collect();
+        degrees.sort_unstable_by(|a, b| b.cmp(a));
+        // A power-law-ish graph has a hub much larger than the median.
+        let median = degrees[degrees.len() / 2];
+        assert!(
+            degrees[0] >= median * 10,
+            "max degree {} vs median {median} — not heavy-tailed",
+            degrees[0]
+        );
+        // and most nodes are small-degree
+        let small = degrees.iter().filter(|&&d| d <= 3).count();
+        assert!(small * 2 > degrees.len(), "small-degree fraction too low");
+    }
+
+    #[test]
+    fn tier1_clique_is_meshed_at_level_zero() {
+        let t = TopologyBuilder::artificial(500, 5).build();
+        let tier1: Vec<u32> = (0..t.num_ases() as u32).filter(|&u| t.level(u) == 0).collect();
+        assert_eq!(tier1.len(), 3);
+        for (i, &a) in tier1.iter().enumerate() {
+            for &b in tier1.iter().skip(i + 1) {
+                assert!(t.peers(a).contains(&b), "tier1 {a},{b} not peered");
+            }
+        }
+    }
+
+    #[test]
+    fn every_non_tier1_has_a_provider() {
+        let t = TopologyBuilder::artificial(800, 6).build();
+        for u in 0..t.num_ases() as u32 {
+            if t.level(u) > 0 {
+                assert!(
+                    !t.providers(u).is_empty(),
+                    "node {u} at level {} has no provider",
+                    t.level(u)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn c2p_spans_one_level_p2p_same_level() {
+        let t = TopologyBuilder::artificial(600, 7).build();
+        for l in t.links() {
+            match l.rel {
+                crate::Relationship::P2p => assert_eq!(t.level(l.a), t.level(l.b)),
+                crate::Relationship::C2p => {
+                    assert_eq!(t.level(l.a), t.level(l.b) + 1, "c2p must span one level")
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn caida_like_prunes_to_target() {
+        let t = TopologyBuilder::caida_like(1200, 2).prune_to(600).build();
+        assert_eq!(t.num_ases(), 600);
+        assert!(t.is_connected());
+        t.validate().unwrap();
+        // Pruning removes leaves, raising the average degree.
+        assert!(t.avg_degree() > 3.0);
+    }
+
+    #[test]
+    fn caida_like_without_pruning() {
+        let t = TopologyBuilder::caida_like(1000, 4).build();
+        assert_eq!(t.num_ases(), 1000);
+        assert!(t.is_connected());
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn custom_tier1_count() {
+        let t = TopologyBuilder::artificial(400, 8).tier1_count(5).build();
+        let tier1 = (0..t.num_ases() as u32).filter(|&u| t.level(u) == 0).count();
+        assert_eq!(tier1, 5);
+    }
+}

@@ -1,0 +1,203 @@
+//! AS categories (Table 5, §18.1).
+//!
+//! Anchor-VP selection stratifies its event sample across five AS
+//! categories so core and edge ASes are equally represented. An AS matching
+//! several definitions is classified in the category with the highest ID —
+//! exactly the paper's rule.
+
+use crate::cone::customer_cone_sizes;
+use crate::Topology;
+use std::fmt;
+
+/// The five AS categories of Table 5, ordered by ID (1–5).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum AsCategory {
+    /// ID 1 — AS without customers.
+    Stub,
+    /// ID 2 — transit AS with a customer cone smaller than the average.
+    Transit1,
+    /// ID 3 — transit AS not in Transit-1.
+    Transit2,
+    /// ID 4 — hypergiant (top 15 by degree, following \[10\]).
+    Hypergiant,
+    /// ID 5 — Tier-1 (fully meshed clique at the core).
+    Tier1,
+}
+
+impl AsCategory {
+    /// The numeric ID (1–5) used by the tie-break rule.
+    pub fn id(self) -> u8 {
+        match self {
+            AsCategory::Stub => 1,
+            AsCategory::Transit1 => 2,
+            AsCategory::Transit2 => 3,
+            AsCategory::Hypergiant => 4,
+            AsCategory::Tier1 => 5,
+        }
+    }
+
+    /// All categories in ID order.
+    pub const ALL: [AsCategory; 5] = [
+        AsCategory::Stub,
+        AsCategory::Transit1,
+        AsCategory::Transit2,
+        AsCategory::Hypergiant,
+        AsCategory::Tier1,
+    ];
+}
+
+impl fmt::Display for AsCategory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AsCategory::Stub => "Stub",
+            AsCategory::Transit1 => "Transit-1",
+            AsCategory::Transit2 => "Transit-2",
+            AsCategory::Hypergiant => "Hypergiant",
+            AsCategory::Tier1 => "Tier-1",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Number of hypergiants (Table 5 uses the top 15 of \[10\]).
+pub const HYPERGIANT_COUNT: usize = 15;
+
+/// Classifies every AS of `topo` into its Table-5 category.
+///
+/// * Tier-1: level-0 clique members (highest priority).
+/// * Hypergiant: top-[`HYPERGIANT_COUNT`] by degree (excluding Tier-1s by
+///   the higher-ID rule).
+/// * Transit-2: transit AS with customer cone ≥ average cone of transit ASes.
+/// * Transit-1: any other transit AS.
+/// * Stub: no customers.
+pub fn classify(topo: &Topology) -> Vec<AsCategory> {
+    let n = topo.num_ases();
+    let cones = customer_cone_sizes(topo);
+    // Average cone size over transit ASes (the "average" that splits
+    // Transit-1 from Transit-2).
+    let transit: Vec<u32> = (0..n as u32).filter(|&u| topo.is_transit(u)).collect();
+    let avg_cone = if transit.is_empty() {
+        0.0
+    } else {
+        transit.iter().map(|&u| cones[u as usize] as f64).sum::<f64>() / transit.len() as f64
+    };
+    // Hypergiants: top-k by degree.
+    let mut by_degree: Vec<u32> = (0..n as u32).collect();
+    by_degree.sort_by_key(|&u| std::cmp::Reverse(topo.degree(u)));
+    let mut is_hyper = vec![false; n];
+    for &u in by_degree.iter().take(HYPERGIANT_COUNT.min(n)) {
+        is_hyper[u as usize] = true;
+    }
+    (0..n as u32)
+        .map(|u| {
+            if topo.level(u) == 0 {
+                AsCategory::Tier1
+            } else if is_hyper[u as usize] {
+                AsCategory::Hypergiant
+            } else if topo.is_transit(u) {
+                if (cones[u as usize] as f64) < avg_cone {
+                    AsCategory::Transit1
+                } else {
+                    AsCategory::Transit2
+                }
+            } else {
+                AsCategory::Stub
+            }
+        })
+        .collect()
+}
+
+/// Per-category census: `(category, count, avg_degree)` rows of Table 5.
+pub fn census(topo: &Topology) -> Vec<(AsCategory, usize, f64)> {
+    let cats = classify(topo);
+    AsCategory::ALL
+        .iter()
+        .map(|&cat| {
+            let members: Vec<u32> = (0..topo.num_ases() as u32)
+                .filter(|&u| cats[u as usize] == cat)
+                .collect();
+            let avg_deg = if members.is_empty() {
+                0.0
+            } else {
+                members.iter().map(|&u| topo.degree(u) as f64).sum::<f64>() / members.len() as f64
+            };
+            (cat, members.len(), avg_deg)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TopologyBuilder;
+
+    #[test]
+    fn classification_covers_all_ases_once() {
+        let t = TopologyBuilder::artificial(1000, 21).build();
+        let cats = classify(&t);
+        assert_eq!(cats.len(), 1000);
+        let total: usize = census(&t).iter().map(|&(_, c, _)| c).sum();
+        assert_eq!(total, 1000);
+    }
+
+    #[test]
+    fn tier1_wins_over_hypergiant() {
+        let t = TopologyBuilder::artificial(1000, 22).build();
+        let cats = classify(&t);
+        for u in 0..t.num_ases() as u32 {
+            if t.level(u) == 0 {
+                assert_eq!(cats[u as usize], AsCategory::Tier1);
+            }
+        }
+        // Tier-1s are the top-degree nodes, so they'd all be hypergiants
+        // without the priority rule; verify hypergiants exist separately.
+        let hypers = cats.iter().filter(|&&c| c == AsCategory::Hypergiant).count();
+        assert!(hypers > 0 && hypers <= HYPERGIANT_COUNT);
+    }
+
+    #[test]
+    fn stubs_are_stub_category() {
+        let t = TopologyBuilder::artificial(1000, 23).build();
+        let cats = classify(&t);
+        for u in t.stubs() {
+            let c = cats[u as usize];
+            // a stub can still be a hypergiant by degree (many peers);
+            // otherwise it must be Stub
+            assert!(
+                c == AsCategory::Stub || c == AsCategory::Hypergiant,
+                "stub {u} classified {c}"
+            );
+        }
+    }
+
+    #[test]
+    fn census_degrees_increase_with_id() {
+        // Table 5: higher-ID categories have higher average degree.
+        let t = TopologyBuilder::artificial(3000, 24).build();
+        let rows = census(&t);
+        let stub = rows[0].2;
+        let tier1 = rows[4].2;
+        assert!(
+            tier1 > stub * 5.0,
+            "tier1 avg degree {tier1} vs stub {stub}: hierarchy broken"
+        );
+    }
+
+    #[test]
+    fn transit_split_uses_average_cone() {
+        let t = TopologyBuilder::artificial(2000, 25).build();
+        let cats = classify(&t);
+        let cones = customer_cone_sizes(&t);
+        let t1_max: Option<usize> = (0..t.num_ases())
+            .filter(|&u| cats[u] == AsCategory::Transit1)
+            .map(|u| cones[u])
+            .max();
+        let t2_min: Option<usize> = (0..t.num_ases())
+            .filter(|&u| cats[u] == AsCategory::Transit2)
+            .map(|u| cones[u])
+            .min();
+        if let (Some(a), Some(b)) = (t1_max, t2_min) {
+            assert!(a <= b + 1 || a < b * 2, "transit split incoherent: {a} vs {b}");
+        }
+    }
+}

@@ -1,0 +1,186 @@
+//! Customer cones (§12: ASRank / Customer Cone Size).
+//!
+//! The customer cone of an AS is the set of ASes reachable by following
+//! customer links downward (including the AS itself) — the set of networks
+//! it can reach for free. CAIDA's ASRank ranks ASes by Customer Cone Size
+//! (CCS); §12 replicates that computation on GILL-sampled data.
+
+use crate::Topology;
+
+/// A fixed-size bitset over node indices.
+#[derive(Clone)]
+struct BitSet {
+    words: Vec<u64>,
+}
+
+impl BitSet {
+    fn new(n: usize) -> Self {
+        BitSet {
+            words: vec![0; n.div_ceil(64)],
+        }
+    }
+    #[inline]
+    fn set(&mut self, i: u32) {
+        self.words[(i / 64) as usize] |= 1u64 << (i % 64);
+    }
+    #[inline]
+    fn union_with(&mut self, other: &BitSet) {
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+    fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+}
+
+/// Computes the customer cone size of every AS in `topo` (cone includes the
+/// AS itself, so stubs have CCS 1).
+///
+/// The provider→customer graph is acyclic by construction (providers sit at
+/// a strictly lower hierarchy level), so cones are computed bottom-up in
+/// reverse topological order with bitset unions — O(V·E/64).
+pub fn customer_cone_sizes(topo: &Topology) -> Vec<usize> {
+    let n = topo.num_ases();
+    // Order nodes by decreasing level: customers (higher level) first.
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    order.sort_by_key(|&u| std::cmp::Reverse(topo.level(u)));
+    let mut cones: Vec<Option<BitSet>> = vec![None; n];
+    let mut sizes = vec![0usize; n];
+    for &u in &order {
+        let mut bs = BitSet::new(n);
+        bs.set(u);
+        for &c in topo.customers(u) {
+            if let Some(cc) = &cones[c as usize] {
+                bs.union_with(cc);
+            } else {
+                // level ties cannot happen on c2p links, but be safe:
+                bs.set(c);
+            }
+        }
+        sizes[u as usize] = bs.count();
+        cones[u as usize] = Some(bs);
+    }
+    sizes
+}
+
+/// Customer cone *sets* restricted to what is observable from a collection
+/// of AS paths: an AS `b` is in `a`'s observed cone if some path contains
+/// the consecutive pair `a b` in a provider-to-customer position inferred
+/// from the (ground-truth) topology. Used by the §12 CCS replication.
+pub fn observed_cone_sizes(
+    topo: &Topology,
+    paths: impl IntoIterator<Item = Vec<u32>>,
+) -> Vec<usize> {
+    let n = topo.num_ases();
+    // Build observed p2c adjacency.
+    let mut cust: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for path in paths {
+        for w in path.windows(2) {
+            let (x, y) = (w[0], w[1]);
+            if x == y || x as usize >= n || y as usize >= n {
+                continue;
+            }
+            // In a path VP→origin, traversal x→y means the route came from y
+            // to x. It is a p2c edge (x provider of y) iff the topology says
+            // y is x's customer.
+            if topo.customers(x).contains(&y) {
+                cust[x as usize].push(y);
+            }
+            if topo.customers(y).contains(&x) {
+                cust[y as usize].push(x);
+            }
+        }
+    }
+    for c in &mut cust {
+        c.sort_unstable();
+        c.dedup();
+    }
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    order.sort_by_key(|&u| std::cmp::Reverse(topo.level(u)));
+    let mut cones: Vec<Option<BitSet>> = vec![None; n];
+    let mut sizes = vec![0usize; n];
+    for &u in &order {
+        let mut bs = BitSet::new(n);
+        bs.set(u);
+        for &c in &cust[u as usize] {
+            if let Some(cc) = &cones[c as usize] {
+                bs.union_with(cc);
+            } else {
+                bs.set(c);
+            }
+        }
+        sizes[u as usize] = bs.count();
+        cones[u as usize] = Some(bs);
+    }
+    sizes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TopologyBuilder;
+
+    #[test]
+    fn stub_cones_are_one() {
+        let t = TopologyBuilder::artificial(300, 11).build();
+        let sizes = customer_cone_sizes(&t);
+        for u in t.stubs() {
+            assert_eq!(sizes[u as usize], 1, "stub {u} cone");
+        }
+    }
+
+    #[test]
+    fn provider_cone_contains_customers() {
+        let t = TopologyBuilder::artificial(300, 12).build();
+        let sizes = customer_cone_sizes(&t);
+        for u in 0..t.num_ases() as u32 {
+            let direct = topo_customers_len(&t, u);
+            assert!(
+                sizes[u as usize] >= 1 + direct.min(sizes[u as usize].saturating_sub(1)),
+                "cone must include self"
+            );
+            for &c in t.customers(u) {
+                assert!(
+                    sizes[u as usize] > sizes[c as usize].min(sizes[u as usize] - 1) || sizes[u as usize] >= sizes[c as usize],
+                    "provider cone smaller than customer cone"
+                );
+            }
+        }
+    }
+
+    fn topo_customers_len(t: &crate::Topology, u: u32) -> usize {
+        t.customers(u).len()
+    }
+
+    #[test]
+    fn tier1_has_large_cone() {
+        let t = TopologyBuilder::artificial(500, 13).build();
+        let sizes = customer_cone_sizes(&t);
+        let tier1: Vec<u32> = (0..t.num_ases() as u32).filter(|&u| t.level(u) == 0).collect();
+        let max_tier1 = tier1.iter().map(|&u| sizes[u as usize]).max().unwrap();
+        // Tier-1s transit a large share of the Internet.
+        assert!(
+            max_tier1 > t.num_ases() / 4,
+            "largest tier1 cone {max_tier1} suspiciously small"
+        );
+    }
+
+    #[test]
+    fn observed_cones_never_exceed_true_cones() {
+        let t = TopologyBuilder::artificial(200, 14).build();
+        let truth = customer_cone_sizes(&t);
+        // Observe only a handful of two-hop paths.
+        let mut paths = Vec::new();
+        for u in 0..20u32 {
+            for &c in t.customers(u) {
+                paths.push(vec![u, c]);
+            }
+        }
+        let observed = observed_cone_sizes(&t, paths);
+        for u in 0..t.num_ases() {
+            assert!(observed[u] <= truth[u], "observed cone exceeds truth at {u}");
+            assert!(observed[u] >= 1);
+        }
+    }
+}

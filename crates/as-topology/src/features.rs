@@ -1,0 +1,534 @@
+//! Topological features of Table 6 (§18.2).
+//!
+//! Anchor-VP selection characterizes how each VP experiences a BGP event by
+//! the change the event induces on features of the VP's *route graph*
+//! `G_v(t)`: a directed weighted graph built from the AS paths of the VP's
+//! best routes, each edge weighted by the number of routes whose path
+//! contains it. Edges are directed (§18) because two identical paths in
+//! opposite directions should not appear redundant.
+//!
+//! Six node-based features (computed for each AS of the event) and three
+//! pair-based features (computed for the AS pair) follow the paper's
+//! Table 6. Distance-based features (closeness, harmonic centrality,
+//! eccentricity) use edge length `1/weight` and are hop-limited to a small
+//! radius, which keeps per-event cost bounded — events are local, so the
+//! deltas outside the neighborhood are zero anyway.
+
+use std::collections::{BinaryHeap, HashMap, HashSet};
+
+/// Default hop radius for distance-based features.
+pub const DEFAULT_RADIUS: usize = 4;
+
+/// Safety cap on the number of nodes a distance computation settles —
+/// bounds the per-event cost even when the radius-ball around a hub covers
+/// most of the graph.
+pub const MAX_SETTLED: usize = 1000;
+
+/// Number of node-based features.
+pub const NODE_FEATURES: usize = 6;
+/// Number of pair-based features.
+pub const PAIR_FEATURES: usize = 3;
+/// Total feature-vector dimension per (VP, event): node features for both
+/// event ASes plus the pair features — `2 * 6 + 3 = 15` (§18.2).
+pub const FEATURE_DIM: usize = 2 * NODE_FEATURES + PAIR_FEATURES;
+
+/// A directed, weighted multigraph-as-weights: `u -> v` with weight =
+/// number of routes using the edge.
+#[derive(Clone, Default, Debug)]
+pub struct WeightedDigraph {
+    out: HashMap<u32, HashMap<u32, f64>>,
+    inn: HashMap<u32, HashMap<u32, f64>>,
+}
+
+impl WeightedDigraph {
+    /// An empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds the route graph of a VP from the AS paths of its best routes
+    /// (each path contributes +1 weight to each of its directed edges,
+    /// prepending collapsed).
+    pub fn from_paths<'a, I>(paths: I) -> Self
+    where
+        I: IntoIterator<Item = &'a [u32]>,
+    {
+        let mut g = Self::new();
+        for p in paths {
+            g.add_path(p);
+        }
+        g
+    }
+
+    /// Adds one route's path (weight +1 per edge).
+    pub fn add_path(&mut self, path: &[u32]) {
+        for w in path.windows(2) {
+            if w[0] != w[1] {
+                self.add_edge_weight(w[0], w[1], 1.0);
+            }
+        }
+    }
+
+    /// Removes one route's path (weight −1 per edge; edges at ≤ 0 vanish).
+    pub fn remove_path(&mut self, path: &[u32]) {
+        for w in path.windows(2) {
+            if w[0] != w[1] {
+                self.add_edge_weight(w[0], w[1], -1.0);
+            }
+        }
+    }
+
+    /// Adjusts the weight of edge `u -> v` by `delta`, removing it when the
+    /// weight drops to zero or below.
+    pub fn add_edge_weight(&mut self, u: u32, v: u32, delta: f64) {
+        let w = self.out.entry(u).or_default().entry(v).or_insert(0.0);
+        *w += delta;
+        let dead = *w <= 1e-9;
+        if dead {
+            self.out.get_mut(&u).unwrap().remove(&v);
+            if self.out[&u].is_empty() {
+                self.out.remove(&u);
+            }
+        }
+        let w = self.inn.entry(v).or_default().entry(u).or_insert(0.0);
+        *w += delta;
+        let dead_in = *w <= 1e-9;
+        if dead_in {
+            self.inn.get_mut(&v).unwrap().remove(&u);
+            if self.inn[&v].is_empty() {
+                self.inn.remove(&v);
+            }
+        }
+    }
+
+    /// Weight of edge `u -> v` (0 when absent).
+    pub fn weight(&self, u: u32, v: u32) -> f64 {
+        self.out.get(&u).and_then(|m| m.get(&v)).copied().unwrap_or(0.0)
+    }
+
+    /// Number of directed edges.
+    pub fn num_edges(&self) -> usize {
+        self.out.values().map(HashMap::len).sum()
+    }
+
+    /// Number of nodes that occur in at least one edge.
+    pub fn num_nodes(&self) -> usize {
+        let mut s: HashSet<u32> = self.out.keys().copied().collect();
+        s.extend(self.inn.keys().copied());
+        s.len()
+    }
+
+    fn out_neighbors(&self, u: u32) -> impl Iterator<Item = (u32, f64)> + '_ {
+        self.out
+            .get(&u)
+            .into_iter()
+            .flat_map(|m| m.iter().map(|(&v, &w)| (v, w)))
+    }
+
+    /// Undirected neighbor set with combined weights (used by degree-style
+    /// and pair features).
+    fn und_neighbors(&self, u: u32) -> HashMap<u32, f64> {
+        let mut m: HashMap<u32, f64> = HashMap::new();
+        if let Some(o) = self.out.get(&u) {
+            for (&v, &w) in o {
+                *m.entry(v).or_insert(0.0) += w;
+            }
+        }
+        if let Some(i) = self.inn.get(&u) {
+            for (&v, &w) in i {
+                *m.entry(v).or_insert(0.0) += w;
+            }
+        }
+        m
+    }
+
+    /// Dijkstra limited to `radius` hops over out-edges, edge length `1/w`.
+    /// Returns (distance, reachable-count-within-radius, max distance).
+    fn distances(&self, u: u32, radius: usize) -> (f64, usize, f64) {
+        #[derive(PartialEq)]
+        struct Item {
+            dist: f64,
+            hops: usize,
+            node: u32,
+        }
+        impl Eq for Item {}
+        impl PartialOrd for Item {
+            fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+                Some(self.cmp(other))
+            }
+        }
+        impl Ord for Item {
+            fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+                // min-heap by distance
+                other
+                    .dist
+                    .partial_cmp(&self.dist)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            }
+        }
+        let mut dist: HashMap<u32, f64> = HashMap::new();
+        let mut heap = BinaryHeap::new();
+        heap.push(Item {
+            dist: 0.0,
+            hops: 0,
+            node: u,
+        });
+        dist.insert(u, 0.0);
+        let mut sum = 0.0;
+        let mut count = 0usize;
+        let mut maxd = 0.0f64;
+        let mut settled = 0usize;
+        while let Some(Item { dist: d, hops, node }) = heap.pop() {
+            if d > *dist.get(&node).unwrap_or(&f64::INFINITY) {
+                continue;
+            }
+            settled += 1;
+            if settled > MAX_SETTLED {
+                break;
+            }
+            if node != u {
+                sum += d;
+                count += 1;
+                maxd = maxd.max(d);
+            }
+            if hops >= radius {
+                continue;
+            }
+            for (v, w) in self.out_neighbors(node) {
+                let nd = d + 1.0 / w.max(1e-9);
+                if nd < *dist.get(&v).unwrap_or(&f64::INFINITY) {
+                    dist.insert(v, nd);
+                    heap.push(Item {
+                        dist: nd,
+                        hops: hops + 1,
+                        node: v,
+                    });
+                }
+            }
+        }
+        (sum, count, maxd)
+    }
+
+    // ----- Node-based features (Table 6, indices 0–5) -----
+
+    /// Feature 0 — weighted closeness centrality within `radius` hops:
+    /// `reachable / sum-of-distances` (0 when nothing is reachable).
+    pub fn closeness(&self, u: u32, radius: usize) -> f64 {
+        let (sum, count, _) = self.distances(u, radius);
+        if count == 0 || sum <= 0.0 {
+            0.0
+        } else {
+            count as f64 / sum
+        }
+    }
+
+    /// Feature 1 — weighted harmonic centrality within `radius` hops:
+    /// `Σ 1/d(u,v)`.
+    pub fn harmonic(&self, u: u32, radius: usize) -> f64 {
+        #[allow(clippy::needless_collect)]
+        let nodes: Vec<(u32, f64)> = self.harmonic_terms(u, radius);
+        nodes.into_iter().map(|(_, d)| if d > 0.0 { 1.0 / d } else { 0.0 }).sum()
+    }
+
+    fn harmonic_terms(&self, u: u32, radius: usize) -> Vec<(u32, f64)> {
+        // reuse distances but keep individual values
+        let mut out = Vec::new();
+        // local re-run of bounded Dijkstra collecting per-node distances
+        let mut dist: HashMap<u32, (f64, usize)> = HashMap::new();
+        let mut heap: Vec<(u32, f64, usize)> = vec![(u, 0.0, 0)];
+        dist.insert(u, (0.0, 0));
+        let mut settled = 0usize;
+        while let Some((node, d, hops)) = pop_min(&mut heap) {
+            if let Some(&(best, _)) = dist.get(&node) {
+                if d > best {
+                    continue;
+                }
+            }
+            settled += 1;
+            if settled > MAX_SETTLED {
+                break;
+            }
+            if node != u {
+                out.push((node, d));
+            }
+            if hops >= radius {
+                continue;
+            }
+            for (v, w) in self.out_neighbors(node) {
+                let nd = d + 1.0 / w.max(1e-9);
+                if nd < dist.get(&v).map(|&(b, _)| b).unwrap_or(f64::INFINITY) {
+                    dist.insert(v, (nd, hops + 1));
+                    heap.push((v, nd, hops + 1));
+                }
+            }
+        }
+        out
+    }
+
+    /// Feature 2 — weighted average neighbor degree (Barrat et al.):
+    /// `(Σ_v w_uv · k_v) / s_u` over undirected neighbors.
+    pub fn avg_neighbor_degree(&self, u: u32) -> f64 {
+        let nbrs = self.und_neighbors(u);
+        let s: f64 = nbrs.values().sum();
+        if s <= 0.0 {
+            return 0.0;
+        }
+        let acc: f64 = nbrs
+            .iter()
+            .map(|(&v, &w)| w * self.und_neighbors(v).len() as f64)
+            .sum();
+        acc / s
+    }
+
+    /// Feature 3 — weighted eccentricity within `radius` hops: the largest
+    /// finite distance from `u`.
+    pub fn eccentricity(&self, u: u32, radius: usize) -> f64 {
+        self.distances(u, radius).2
+    }
+
+    /// Feature 4 — number of triangles through `u` (undirected,
+    /// unweighted).
+    pub fn triangles(&self, u: u32) -> f64 {
+        let nbrs: Vec<u32> = self.und_neighbors(u).keys().copied().collect();
+        let nset: HashSet<u32> = nbrs.iter().copied().collect();
+        let mut t = 0usize;
+        for (i, &a) in nbrs.iter().enumerate() {
+            for &b in nbrs.iter().skip(i + 1) {
+                if self.und_neighbors(a).contains_key(&b) && nset.contains(&b) {
+                    t += 1;
+                }
+            }
+        }
+        t as f64
+    }
+
+    /// Feature 5 — weighted clustering coefficient (Barrat):
+    /// `1/(s_u (k_u - 1)) Σ_{v,h} (w_uv + w_uh)/2 · a_uv a_uh a_vh`.
+    pub fn clustering(&self, u: u32) -> f64 {
+        let nbrs = self.und_neighbors(u);
+        let k = nbrs.len();
+        if k < 2 {
+            return 0.0;
+        }
+        let s: f64 = nbrs.values().sum();
+        if s <= 0.0 {
+            return 0.0;
+        }
+        let nodes: Vec<(u32, f64)> = nbrs.iter().map(|(&v, &w)| (v, w)).collect();
+        let mut acc = 0.0;
+        for (i, &(a, wa)) in nodes.iter().enumerate() {
+            let a_nbrs = self.und_neighbors(a);
+            for &(b, wb) in nodes.iter().skip(i + 1) {
+                if a_nbrs.contains_key(&b) {
+                    acc += (wa + wb) / 2.0;
+                }
+            }
+        }
+        acc / (s * (k as f64 - 1.0))
+    }
+
+    // ----- Pair-based features (Table 6, indices 6–8) -----
+
+    /// Feature 6 — Jaccard similarity of the undirected neighbor sets.
+    pub fn jaccard(&self, u: u32, v: u32) -> f64 {
+        let a: HashSet<u32> = self.und_neighbors(u).keys().copied().collect();
+        let b: HashSet<u32> = self.und_neighbors(v).keys().copied().collect();
+        let inter = a.intersection(&b).count();
+        let uni = a.union(&b).count();
+        if uni == 0 {
+            0.0
+        } else {
+            inter as f64 / uni as f64
+        }
+    }
+
+    /// Feature 7 — Adamic–Adar index: `Σ_{z ∈ N(u) ∩ N(v)} 1/ln(k_z)`.
+    pub fn adamic_adar(&self, u: u32, v: u32) -> f64 {
+        let a: HashSet<u32> = self.und_neighbors(u).keys().copied().collect();
+        let b: HashSet<u32> = self.und_neighbors(v).keys().copied().collect();
+        a.intersection(&b)
+            .map(|&z| {
+                let k = self.und_neighbors(z).len() as f64;
+                if k > 1.0 {
+                    1.0 / k.ln()
+                } else {
+                    0.0
+                }
+            })
+            .sum()
+    }
+
+    /// Feature 8 — preferential attachment: `k_u · k_v`.
+    pub fn pref_attachment(&self, u: u32, v: u32) -> f64 {
+        (self.und_neighbors(u).len() * self.und_neighbors(v).len()) as f64
+    }
+
+    /// The full 15-dimensional feature vector `T(v, e)` of §18.2 for an
+    /// event involving `(as1, as2)`: node features for both ASes followed
+    /// by the pair features (default radius).
+    pub fn feature_vector(&self, as1: u32, as2: u32) -> [f64; FEATURE_DIM] {
+        self.feature_vector_r(as1, as2, DEFAULT_RADIUS)
+    }
+
+    /// [`WeightedDigraph::feature_vector`] with an explicit hop radius for
+    /// the distance-based features.
+    pub fn feature_vector_r(&self, as1: u32, as2: u32, r: usize) -> [f64; FEATURE_DIM] {
+        [
+            self.closeness(as1, r),
+            self.closeness(as2, r),
+            self.harmonic(as1, r),
+            self.harmonic(as2, r),
+            self.avg_neighbor_degree(as1),
+            self.avg_neighbor_degree(as2),
+            self.eccentricity(as1, r),
+            self.eccentricity(as2, r),
+            self.triangles(as1),
+            self.triangles(as2),
+            self.clustering(as1),
+            self.clustering(as2),
+            self.jaccard(as1, as2),
+            self.adamic_adar(as1, as2),
+            self.pref_attachment(as1, as2),
+        ]
+    }
+}
+
+fn pop_min(heap: &mut Vec<(u32, f64, usize)>) -> Option<(u32, f64, usize)> {
+    if heap.is_empty() {
+        return None;
+    }
+    let mut best = 0;
+    for i in 1..heap.len() {
+        if heap[i].1 < heap[best].1 {
+            best = i;
+        }
+    }
+    Some(heap.swap_remove(best))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line_graph() -> WeightedDigraph {
+        // 1 -> 2 -> 3 -> 4, all weight 1
+        WeightedDigraph::from_paths([vec![1u32, 2, 3, 4].as_slice()])
+    }
+
+    #[test]
+    fn path_addition_and_removal_are_inverse() {
+        let mut g = line_graph();
+        assert_eq!(g.num_edges(), 3);
+        g.remove_path(&[1, 2, 3, 4]);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.num_nodes(), 0);
+    }
+
+    #[test]
+    fn weights_accumulate_per_route() {
+        let g = WeightedDigraph::from_paths([
+            vec![1u32, 2, 3].as_slice(),
+            vec![1u32, 2, 4].as_slice(),
+        ]);
+        assert_eq!(g.weight(1, 2), 2.0);
+        assert_eq!(g.weight(2, 3), 1.0);
+        assert_eq!(g.weight(2, 1), 0.0); // directed
+    }
+
+    #[test]
+    fn prepending_does_not_create_self_loops() {
+        let g = WeightedDigraph::from_paths([vec![1u32, 2, 2, 2, 3].as_slice()]);
+        assert_eq!(g.weight(2, 2), 0.0);
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn closeness_decreases_away_from_center() {
+        let g = line_graph();
+        // From node 1, all of 2,3,4 reachable (dist 1,2,3): closeness 3/6.
+        assert!((g.closeness(1, 4) - 0.5).abs() < 1e-9);
+        // From node 4 nothing is reachable (directed).
+        assert_eq!(g.closeness(4, 4), 0.0);
+    }
+
+    #[test]
+    fn harmonic_matches_hand_computation() {
+        let g = line_graph();
+        // distances from 1: 1, 2, 3 -> harmonic = 1 + 1/2 + 1/3
+        assert!((g.harmonic(1, 4) - (1.0 + 0.5 + 1.0 / 3.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn eccentricity_is_max_distance() {
+        let g = line_graph();
+        assert!((g.eccentricity(1, 4) - 3.0).abs() < 1e-9);
+        assert!((g.eccentricity(3, 4) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn radius_limits_reach() {
+        let g = line_graph();
+        assert!((g.eccentricity(1, 1) - 1.0).abs() < 1e-9);
+        assert!((g.closeness(1, 1) - 1.0).abs() < 1e-9); // one node at dist 1
+    }
+
+    #[test]
+    fn heavier_edges_are_shorter() {
+        let mut g = WeightedDigraph::new();
+        g.add_edge_weight(1, 2, 4.0); // length 0.25
+        assert!((g.eccentricity(1, 2) - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn triangles_and_clustering() {
+        // triangle 1-2-3 (directed edges both in paths)
+        let g = WeightedDigraph::from_paths([
+            vec![1u32, 2, 3].as_slice(),
+            vec![3u32, 1].as_slice(),
+        ]);
+        assert_eq!(g.triangles(1), 1.0);
+        assert_eq!(g.triangles(2), 1.0);
+        assert!(g.clustering(1) > 0.0);
+        // add a pendant: clustering of 1 drops
+        let mut g2 = g.clone();
+        g2.add_edge_weight(1, 9, 1.0);
+        assert!(g2.clustering(1) < g.clustering(1));
+    }
+
+    #[test]
+    fn pair_features() {
+        let g = WeightedDigraph::from_paths([
+            vec![1u32, 3].as_slice(),
+            vec![2u32, 3].as_slice(),
+            vec![1u32, 4].as_slice(),
+            vec![2u32, 4].as_slice(),
+        ]);
+        // N(1) = {3,4}, N(2) = {3,4} -> jaccard 1.0
+        assert!((g.jaccard(1, 2) - 1.0).abs() < 1e-9);
+        assert!(g.adamic_adar(1, 2) > 0.0);
+        assert!((g.pref_attachment(1, 2) - 4.0).abs() < 1e-9);
+        // disjoint pair
+        assert_eq!(g.jaccard(3, 3), 1.0);
+        assert_eq!(g.jaccard(1, 9), 0.0);
+    }
+
+    #[test]
+    fn feature_vector_dimension() {
+        let g = line_graph();
+        let v = g.feature_vector(1, 2);
+        assert_eq!(v.len(), FEATURE_DIM);
+        assert!(v.iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn avg_neighbor_degree_weighted() {
+        let mut g = WeightedDigraph::new();
+        g.add_edge_weight(1, 2, 3.0);
+        g.add_edge_weight(1, 3, 1.0);
+        g.add_edge_weight(2, 4, 1.0);
+        g.add_edge_weight(2, 5, 1.0);
+        // N(1): 2 (w 3, deg 3: {1,4,5}), 3 (w 1, deg 1: {1})
+        // and = (3*3 + 1*1)/4 = 2.5
+        assert!((g.avg_neighbor_degree(1) - 2.5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,421 @@
+//! The AS topology graph with business relationships.
+
+use bgp_types::{Asn, VpId};
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::fmt;
+
+/// Business relationship carried by one inter-AS link.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Relationship {
+    /// Customer-to-provider: the customer pays the provider for transit.
+    C2p,
+    /// Settlement-free peering.
+    P2p,
+}
+
+/// One undirected inter-AS link with its relationship.
+///
+/// For [`Relationship::C2p`], `a` is the **customer** and `b` the
+/// **provider**; for [`Relationship::P2p`], `a < b` canonically.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct TopoLink {
+    /// Customer (c2p) or lower-numbered endpoint (p2p).
+    pub a: u32,
+    /// Provider (c2p) or higher-numbered endpoint (p2p).
+    pub b: u32,
+    /// Link relationship.
+    pub rel: Relationship,
+}
+
+/// An immutable AS-level topology annotated with Gao–Rexford relationships.
+///
+/// ASes are dense node indices `0..n`; [`Topology::asn`] maps an index to
+/// its ASN (`index + 1`). Adjacency is stored three ways per node —
+/// providers, customers, peers — which is exactly the shape the Gao–Rexford
+/// export rules need.
+#[derive(Clone)]
+pub struct Topology {
+    providers: Vec<Vec<u32>>,
+    customers: Vec<Vec<u32>>,
+    peers: Vec<Vec<u32>>,
+    /// Hierarchy level: 0 for Tier-1, `k` = distance from the Tier-1 clique.
+    levels: Vec<u8>,
+}
+
+impl Topology {
+    /// Assembles a topology from per-node adjacency lists and levels.
+    ///
+    /// Panics if the lists disagree in length or reference out-of-range
+    /// nodes; use [`crate::TopologyBuilder`] for generation.
+    pub fn from_parts(
+        providers: Vec<Vec<u32>>,
+        customers: Vec<Vec<u32>>,
+        peers: Vec<Vec<u32>>,
+        levels: Vec<u8>,
+    ) -> Self {
+        let n = providers.len();
+        assert_eq!(customers.len(), n);
+        assert_eq!(peers.len(), n);
+        assert_eq!(levels.len(), n);
+        for lists in [&providers, &customers, &peers] {
+            for l in lists.iter() {
+                for &x in l {
+                    assert!((x as usize) < n, "node {x} out of range (n = {n})");
+                }
+            }
+        }
+        Topology {
+            providers,
+            customers,
+            peers,
+            levels,
+        }
+    }
+
+    /// Number of ASes.
+    #[inline]
+    pub fn num_ases(&self) -> usize {
+        self.providers.len()
+    }
+
+    /// ASN of node `idx` (dense index → ASN `idx + 1`; ASN 0 is reserved).
+    #[inline]
+    pub fn asn(&self, idx: u32) -> Asn {
+        Asn(idx + 1)
+    }
+
+    /// Node index of `asn`, if in range.
+    #[inline]
+    pub fn index_of(&self, asn: Asn) -> Option<u32> {
+        let v = asn.value();
+        if v >= 1 && (v as usize) <= self.num_ases() {
+            Some(v - 1)
+        } else {
+            None
+        }
+    }
+
+    /// Providers of node `u`.
+    #[inline]
+    pub fn providers(&self, u: u32) -> &[u32] {
+        &self.providers[u as usize]
+    }
+
+    /// Customers of node `u`.
+    #[inline]
+    pub fn customers(&self, u: u32) -> &[u32] {
+        &self.customers[u as usize]
+    }
+
+    /// Peers of node `u`.
+    #[inline]
+    pub fn peers(&self, u: u32) -> &[u32] {
+        &self.peers[u as usize]
+    }
+
+    /// Total degree of node `u`.
+    #[inline]
+    pub fn degree(&self, u: u32) -> usize {
+        let u = u as usize;
+        self.providers[u].len() + self.customers[u].len() + self.peers[u].len()
+    }
+
+    /// Hierarchy level (0 = Tier-1).
+    #[inline]
+    pub fn level(&self, u: u32) -> u8 {
+        self.levels[u as usize]
+    }
+
+    /// Whether `u` is a transit AS (has at least one customer).
+    #[inline]
+    pub fn is_transit(&self, u: u32) -> bool {
+        !self.customers[u as usize].is_empty()
+    }
+
+    /// All links, each reported once in canonical orientation.
+    pub fn links(&self) -> Vec<TopoLink> {
+        let mut out = Vec::new();
+        for u in 0..self.num_ases() as u32 {
+            for &p in self.providers(u) {
+                out.push(TopoLink {
+                    a: u,
+                    b: p,
+                    rel: Relationship::C2p,
+                });
+            }
+            for &q in self.peers(u) {
+                if u < q {
+                    out.push(TopoLink {
+                        a: u,
+                        b: q,
+                        rel: Relationship::P2p,
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    /// Number of links.
+    pub fn num_links(&self) -> usize {
+        let c2p: usize = self.providers.iter().map(Vec::len).sum();
+        let p2p: usize = self.peers.iter().map(Vec::len).sum();
+        c2p + p2p / 2
+    }
+
+    /// Average node degree (the Beta-index proxy the paper matches to 6.1).
+    pub fn avg_degree(&self) -> f64 {
+        2.0 * self.num_links() as f64 / self.num_ases() as f64
+    }
+
+    /// The relationship between `u` and `v` from `u`'s point of view, if
+    /// they are adjacent: `Some(C2p)` if `v` is `u`'s provider, `Some(P2p)`
+    /// if peer; providers of `u`'s customers report `None` here — query from
+    /// the other side or use [`Topology::customers`].
+    pub fn relationship_toward(&self, u: u32, v: u32) -> Option<Relationship> {
+        if self.providers(u).contains(&v) {
+            Some(Relationship::C2p)
+        } else if self.peers(u).contains(&v) {
+            Some(Relationship::P2p)
+        } else {
+            None
+        }
+    }
+
+    /// Whether nodes `u` and `v` are adjacent (any relationship).
+    pub fn adjacent(&self, u: u32, v: u32) -> bool {
+        self.providers(u).contains(&v)
+            || self.customers(u).contains(&v)
+            || self.peers(u).contains(&v)
+    }
+
+    /// Selects `fraction` of the ASes uniformly at random to host a VP
+    /// (deterministic in `seed`), returning at least one VP.
+    pub fn pick_vps(&self, fraction: f64, seed: u64) -> Vec<VpId> {
+        let n = self.num_ases();
+        let count = ((n as f64 * fraction).round() as usize).clamp(1, n);
+        self.pick_n_vps(count, seed)
+    }
+
+    /// Selects exactly `count` VP-hosting ASes uniformly at random.
+    pub fn pick_n_vps(&self, count: usize, seed: u64) -> Vec<VpId> {
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        let mut idx: Vec<u32> = (0..self.num_ases() as u32).collect();
+        idx.shuffle(&mut rng);
+        idx.truncate(count.min(idx.len()));
+        idx.sort_unstable();
+        idx.into_iter().map(|i| VpId::from_asn(self.asn(i))).collect()
+    }
+
+    /// Stub ASes (no customers).
+    pub fn stubs(&self) -> Vec<u32> {
+        (0..self.num_ases() as u32)
+            .filter(|&u| !self.is_transit(u))
+            .collect()
+    }
+
+    /// Checks internal consistency: symmetric adjacency, no duplicate or
+    /// self links, providers at a strictly lower level than customers never
+    /// enforced (levels are advisory) but provider/customer lists must
+    /// mirror each other. Used by tests and the builder.
+    pub fn validate(&self) -> Result<(), String> {
+        let n = self.num_ases() as u32;
+        for u in 0..n {
+            for &p in self.providers(u) {
+                if p == u {
+                    return Err(format!("self provider link at {u}"));
+                }
+                if !self.customers(p).contains(&u) {
+                    return Err(format!("provider {p} of {u} missing mirror customer entry"));
+                }
+            }
+            for &c in self.customers(u) {
+                if !self.providers(c).contains(&u) {
+                    return Err(format!("customer {c} of {u} missing mirror provider entry"));
+                }
+            }
+            for &q in self.peers(u) {
+                if q == u {
+                    return Err(format!("self peer link at {u}"));
+                }
+                if !self.peers(q).contains(&u) {
+                    return Err(format!("peer {q} of {u} not symmetric"));
+                }
+            }
+            let mut all: Vec<u32> = self
+                .providers(u)
+                .iter()
+                .chain(self.customers(u))
+                .chain(self.peers(u))
+                .copied()
+                .collect();
+            all.sort_unstable();
+            let len = all.len();
+            all.dedup();
+            if all.len() != len {
+                return Err(format!("duplicate adjacency at {u}"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether the underlying undirected graph is connected.
+    pub fn is_connected(&self) -> bool {
+        let n = self.num_ases();
+        if n == 0 {
+            return true;
+        }
+        let mut seen = vec![false; n];
+        let mut stack = vec![0u32];
+        seen[0] = true;
+        let mut count = 1;
+        while let Some(u) = stack.pop() {
+            for &v in self
+                .providers(u)
+                .iter()
+                .chain(self.customers(u))
+                .chain(self.peers(u))
+            {
+                if !seen[v as usize] {
+                    seen[v as usize] = true;
+                    count += 1;
+                    stack.push(v);
+                }
+            }
+        }
+        count == n
+    }
+}
+
+impl fmt::Debug for Topology {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Topology")
+            .field("ases", &self.num_ases())
+            .field("links", &self.num_links())
+            .field("avg_degree", &self.avg_degree())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The 7-AS topology of the paper's Fig. 5:
+    /// c2p arrows: 1->3 provider? In the figure: 1 and 3 are providers at the
+    /// top. We encode: 2->1 (c2p), 4->1, 4->3, 2's peer... For testing we
+    /// just need a small consistent graph:
+    ///   providers: 4 -> {1, 3}; 2 -> {1}; 5 -> {3}; 6 -> {2}; 7 -> {5}
+    ///   peers: (2,4), (5,6), (6,7)
+    pub(crate) fn fig5_like() -> Topology {
+        let n = 7;
+        let mut providers = vec![Vec::new(); n];
+        let mut customers = vec![Vec::new(); n];
+        let mut peers = vec![Vec::new(); n];
+        let mut c2p = |c: u32, p: u32, providers: &mut Vec<Vec<u32>>, customers: &mut Vec<Vec<u32>>| {
+            providers[c as usize].push(p);
+            customers[p as usize].push(c);
+        };
+        // indices are asn-1
+        c2p(3, 0, &mut providers, &mut customers); // 4 -> 1
+        c2p(3, 2, &mut providers, &mut customers); // 4 -> 3
+        c2p(1, 0, &mut providers, &mut customers); // 2 -> 1
+        c2p(4, 2, &mut providers, &mut customers); // 5 -> 3
+        c2p(5, 1, &mut providers, &mut customers); // 6 -> 2
+        c2p(6, 4, &mut providers, &mut customers); // 7 -> 5
+        let mut p2p = |a: u32, b: u32, peers: &mut Vec<Vec<u32>>| {
+            peers[a as usize].push(b);
+            peers[b as usize].push(a);
+        };
+        p2p(1, 3, &mut peers); // 2 -- 4
+        p2p(4, 5, &mut peers); // 5 -- 6
+        p2p(5, 6, &mut peers); // 6 -- 7
+        p2p(0, 2, &mut peers); // 1 -- 3 (tier-1 mesh)
+        let levels = vec![0, 1, 0, 1, 1, 2, 2];
+        Topology::from_parts(providers, customers, peers, levels)
+    }
+
+    #[test]
+    fn fig5_is_valid_and_connected() {
+        let t = fig5_like();
+        t.validate().unwrap();
+        assert!(t.is_connected());
+        assert_eq!(t.num_ases(), 7);
+        assert_eq!(t.num_links(), 10);
+    }
+
+    #[test]
+    fn link_enumeration_is_canonical_and_complete() {
+        let t = fig5_like();
+        let links = t.links();
+        assert_eq!(links.len(), t.num_links());
+        let c2p = links.iter().filter(|l| l.rel == Relationship::C2p).count();
+        let p2p = links.iter().filter(|l| l.rel == Relationship::P2p).count();
+        assert_eq!(c2p, 6);
+        assert_eq!(p2p, 4);
+        for l in &links {
+            if l.rel == Relationship::P2p {
+                assert!(l.a < l.b);
+            } else {
+                assert!(t.providers(l.a).contains(&l.b));
+            }
+        }
+    }
+
+    #[test]
+    fn asn_index_mapping() {
+        let t = fig5_like();
+        assert_eq!(t.asn(0), Asn(1));
+        assert_eq!(t.index_of(Asn(7)), Some(6));
+        assert_eq!(t.index_of(Asn(8)), None);
+        assert_eq!(t.index_of(Asn(0)), None);
+    }
+
+    #[test]
+    fn relationship_queries() {
+        let t = fig5_like();
+        assert_eq!(t.relationship_toward(3, 0), Some(Relationship::C2p)); // 4's provider 1
+        assert_eq!(t.relationship_toward(1, 3), Some(Relationship::P2p)); // 2 -- 4
+        assert_eq!(t.relationship_toward(0, 3), None); // 1 is provider of 4, not customer
+        assert!(t.adjacent(0, 3));
+        assert!(!t.adjacent(0, 6));
+    }
+
+    #[test]
+    fn stubs_have_no_customers() {
+        let t = fig5_like();
+        let stubs = t.stubs();
+        for s in &stubs {
+            assert!(!t.is_transit(*s));
+        }
+        // ASes 4 (idx 3), 6 (idx 5), 7 (idx 6) have no customers.
+        assert_eq!(stubs, vec![3, 5, 6]);
+    }
+
+    #[test]
+    fn pick_vps_is_deterministic_and_bounded() {
+        let t = fig5_like();
+        let a = t.pick_vps(0.5, 1);
+        let b = t.pick_vps(0.5, 1);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 4); // round(3.5)
+        let all = t.pick_vps(1.0, 2);
+        assert_eq!(all.len(), 7);
+        let one = t.pick_vps(0.0, 3);
+        assert_eq!(one.len(), 1);
+    }
+
+    #[test]
+    fn validate_catches_asymmetric_peering() {
+        let mut peers = vec![Vec::new(); 2];
+        peers[0].push(1); // not mirrored
+        let t = Topology::from_parts(
+            vec![Vec::new(); 2],
+            vec![Vec::new(); 2],
+            peers,
+            vec![0, 0],
+        );
+        assert!(t.validate().is_err());
+    }
+}

@@ -1,0 +1,39 @@
+//! AS-level topology substrate for the GILL reproduction.
+//!
+//! The paper runs its controlled experiments (§3, §11) on two kinds of
+//! topologies:
+//!
+//! 1. a **pruned known AS topology** derived from CAIDA's AS-relationship
+//!    dataset, leaf-pruned to 6k (or 1k) ASes, and
+//! 2. **artificial topologies** from the Hyperbolic Graph Generator with a
+//!    power-law degree distribution (exponent 2.1) and average degree 6.1,
+//!    with Tier-1s fully meshed, levels assigned by distance from the
+//!    Tier-1 clique, p2p between same-level ASes and c2p otherwise.
+//!
+//! CAIDA's dataset cannot ship with this repository, so
+//! [`TopologyBuilder::caida_like`] grows a statistically matched synthetic
+//! graph (preferential attachment, explicit hierarchy) and supports the same
+//! leaf pruning; [`TopologyBuilder::artificial`] implements a Chung–Lu
+//! construction matching the Hyperbolic Graph Generator's two published
+//! parameters (degree exponent 2.1, average degree 6.1). See DESIGN.md for
+//! why these substitutions preserve the paper's behaviour.
+//!
+//! The crate also provides the AS categories of Table 5
+//! ([`categories::AsCategory`]), customer cones (§12, [`cone`]), and the
+//! weighted graph features of Table 6 ([`features`]) used by anchor-VP
+//! selection.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod categories;
+pub mod cone;
+pub mod features;
+pub mod graph;
+
+pub use builder::TopologyBuilder;
+pub use categories::AsCategory;
+pub use cone::customer_cone_sizes;
+pub use features::WeightedDigraph;
+pub use graph::{Relationship, TopoLink, Topology};

@@ -1,0 +1,104 @@
+//! Criterion micro-benchmarks for the hot paths: wire codec, filter
+//! matching, correlation grouping, reconstitution, route propagation and
+//! anchor scoring inputs.
+
+use as_topology::TopologyBuilder;
+use bgp_sim::routing::{compute_routes, SourceAnnouncement};
+use bgp_sim::{Simulator, StreamConfig};
+use bgp_types::{Asn, Prefix, Timestamp, UpdateBuilder, VpId};
+use bgp_wire::{BgpMessage, UpdateMessage};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use gill_core::corrgroups::DEFAULT_WINDOW_MS;
+use gill_core::{build_correlation_groups, find_redundant_updates, FilterGranularity, FilterSet};
+use std::collections::HashSet;
+
+fn bench_wire_codec(c: &mut Criterion) {
+    let u = UpdateBuilder::announce(VpId::from_asn(Asn(65001)), Prefix::synthetic(7))
+        .at(Timestamp::from_secs(1))
+        .path([65001, 2, 3, 4, 5])
+        .community(65001, 100)
+        .community(2, 200)
+        .build();
+    let wire = UpdateMessage::from_domain(&u).unwrap();
+    let msg = BgpMessage::Update(wire);
+    let bytes = msg.encode_to_vec().unwrap();
+    c.bench_function("wire/encode_update", |b| {
+        b.iter(|| black_box(&msg).encode_to_vec().unwrap())
+    });
+    c.bench_function("wire/decode_update", |b| {
+        b.iter(|| {
+            let mut buf = bytes::BytesMut::from(&bytes[..]);
+            BgpMessage::decode(&mut buf).unwrap().unwrap()
+        })
+    });
+}
+
+fn bench_filters(c: &mut Criterion) {
+    // 10k drop rules, match probe
+    let templates: Vec<_> = (0..10_000u32)
+        .map(|i| {
+            UpdateBuilder::announce(
+                VpId::from_asn(Asn(65000 + i % 500)),
+                Prefix::synthetic(i % 1000),
+            )
+            .path([65000 + i % 500, 2])
+            .build()
+        })
+        .collect();
+    let f = FilterSet::generate([], templates.iter(), FilterGranularity::VpPrefix);
+    let hit = &templates[5];
+    let miss = UpdateBuilder::announce(VpId::from_asn(Asn(1)), Prefix::synthetic(9999))
+        .path([1, 2])
+        .build();
+    c.bench_function("filters/match_hit_10k_rules", |b| {
+        b.iter(|| f.accepts(black_box(hit)))
+    });
+    c.bench_function("filters/match_miss_10k_rules", |b| {
+        b.iter(|| f.accepts(black_box(&miss)))
+    });
+}
+
+fn bench_routing(c: &mut Criterion) {
+    let topo = TopologyBuilder::artificial(1000, 42).build();
+    let failed = HashSet::new();
+    c.bench_function("routing/propagate_1k_ases", |b| {
+        b.iter(|| {
+            compute_routes(
+                black_box(&topo),
+                &[SourceAnnouncement::origin(500)],
+                &failed,
+            )
+        })
+    });
+}
+
+fn bench_gill_core(c: &mut Criterion) {
+    let topo = TopologyBuilder::artificial(200, 42).build();
+    let vps = topo.pick_vps(0.3, 7);
+    let mut sim = Simulator::new(&topo);
+    let stream = sim.synthesize_stream(&vps, StreamConfig::default().events(60).seed(1));
+    c.bench_function("gill/correlation_groups", |b| {
+        b.iter(|| build_correlation_groups(black_box(&stream.updates), DEFAULT_WINDOW_MS))
+    });
+    c.bench_function("gill/component1_full", |b| {
+        b.iter(|| find_redundant_updates(black_box(&stream.updates), DEFAULT_WINDOW_MS, 0.94))
+    });
+}
+
+fn bench_stream_synthesis(c: &mut Criterion) {
+    let topo = TopologyBuilder::artificial(200, 42).build();
+    let vps = topo.pick_vps(0.3, 7);
+    c.bench_function("sim/synthesize_40_events", |b| {
+        b.iter(|| {
+            let mut sim = Simulator::new(&topo);
+            sim.synthesize_stream(&vps, StreamConfig::default().events(40).seed(1))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_wire_codec, bench_filters, bench_routing, bench_gill_core, bench_stream_synthesis
+}
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! §7 filter-granularity ablation: coarse `(VP, prefix)` filters vs
+//! GILL-asp (adds the AS path) vs GILL-asp-comm (adds communities).
+//!
+//! Protocol follows §7: the redundant updates `R` inferred by GILL are
+//! split into two time-consecutive halves `R1`, `R2`; filters generated
+//! from `R1` are measured on how much of `R2` they match. The paper finds
+//! 87 % / 43 % / 0 %.
+
+use as_topology::TopologyBuilder;
+use bench::{categories_map, pct, print_table, write_csv};
+use bgp_sim::{Simulator, StreamConfig};
+use bgp_types::BgpUpdate;
+use gill_core::{AnchorConfig, FilterGranularity, FilterSet, GillAnalysis, GillConfig};
+
+fn main() {
+    let topo = TopologyBuilder::artificial(600, 42).build();
+    let cats = categories_map(&topo);
+    let vps = topo.pick_vps(0.3, 7);
+    let mut sim = Simulator::new(&topo);
+    let stream = sim.synthesize_stream(&vps, StreamConfig::default().events(250).seed(0));
+    let cfg = GillConfig {
+        anchor: AnchorConfig {
+            events_per_cell: 4,
+            ..AnchorConfig::default()
+        },
+        ..GillConfig::default()
+    };
+    let analysis = GillAnalysis::run_with_categories(&stream, &cats, &cfg);
+
+    // R = redundant updates, split in time
+    let redundant: Vec<&BgpUpdate> = stream
+        .updates
+        .iter()
+        .zip(&analysis.component1.redundant)
+        .filter_map(|(u, &r)| r.then_some(u))
+        .collect();
+    let mid = redundant.len() / 2;
+    let (r1, r2) = redundant.split_at(mid);
+    println!("|R| = {} → |R1| = {}, |R2| = {}", redundant.len(), r1.len(), r2.len());
+
+    let mut rows = Vec::new();
+    let mut rates = Vec::new();
+    for (name, g) in [
+        ("GILL (vp, prefix)", FilterGranularity::VpPrefix),
+        ("GILL-asp (+ AS path)", FilterGranularity::VpPrefixPath),
+        ("GILL-asp-comm (+ communities)", FilterGranularity::VpPrefixPathComms),
+    ] {
+        let f = FilterSet::generate([], r1.iter().copied(), g);
+        let matched = r2.iter().filter(|u| !f.accepts(u)).count();
+        let rate = matched as f64 / r2.len().max(1) as f64;
+        rates.push(rate);
+        rows.push(vec![name.to_string(), f.num_rules().to_string(), pct(rate)]);
+    }
+    print_table(
+        "§7 ablation — share of future redundant updates matched (paper: 87% / 43% / 0%)",
+        &["filter granularity", "rules", "R2 matched"],
+        &rows,
+    );
+    write_csv("ablation_filters", &["granularity", "rules", "matched"], &rows);
+
+    assert!(
+        rates[0] > rates[1] && rates[1] >= rates[2],
+        "coarser filters must generalize better: {rates:?}"
+    );
+    assert!(rates[0] > 0.5, "coarse filters should match most of R2: {}", rates[0]);
+    println!("\nShape check passed: coarse > asp > asp-comm, as in the paper.");
+}

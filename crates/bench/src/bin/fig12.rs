@@ -1,0 +1,82 @@
+//! Fig. 12 (§18.1): balanced vs random event selection across the five AS
+//! categories. The balanced scheme fills each category-pair cell equally;
+//! random selection over-represents the categories that generate the most
+//! churn.
+
+use as_topology::TopologyBuilder;
+use bench::{categories_map, print_table, write_csv};
+use bgp_sim::{Simulator, StreamConfig};
+use gill_core::{category_matrix, detect_events, stratify_events};
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+const CATS: [&str; 5] = ["Stub", "Transit-1", "Transit-2", "Hypergiant", "Tier-1"];
+
+fn matrix_rows(m: &[[f64; 5]; 5]) -> Vec<Vec<String>> {
+    (0..5)
+        .map(|i| {
+            let mut row = vec![CATS[i].to_string()];
+            row.extend((0..5).map(|j| format!("{:.2}", m[i][j])));
+            row
+        })
+        .collect()
+}
+
+fn main() {
+    let topo = TopologyBuilder::artificial(1000, 42).build();
+    let cats = categories_map(&topo);
+    let vps = topo.pick_vps(0.4, 7);
+    let mut sim = Simulator::new(&topo);
+    // several windows to accumulate plenty of events
+    let mut all_events = Vec::new();
+    let mut updates = Vec::new();
+    for seed in 0..4u64 {
+        let s = sim.synthesize_stream(&vps, StreamConfig::default().events(120).seed(seed));
+        let ev = detect_events(&s.updates, &s.initial_ribs, s.vps.len(), 300_000);
+        all_events.extend(ev);
+        updates.extend(s.updates);
+    }
+    println!("detected {} candidate events", all_events.len());
+
+    // --- balanced (GILL) ---------------------------------------------------
+    let balanced = stratify_events(&all_events, &cats, vps.len(), 10, 0.5);
+    let mb = category_matrix(&balanced, &cats);
+    print_table(
+        &format!("Fig. 12a — balanced selection ({} events)", balanced.len()),
+        &["", "Stub", "Tr-1", "Tr-2", "Hyper", "T1"],
+        &matrix_rows(&mb),
+    );
+
+    // --- random --------------------------------------------------------------
+    let mut rng = SmallRng::seed_from_u64(99);
+    let mut shuffled = all_events.clone();
+    shuffled.shuffle(&mut rng);
+    shuffled.truncate(balanced.len().max(1));
+    let mr = category_matrix(&shuffled, &cats);
+    print_table(
+        &format!("Fig. 12b — random selection ({} events)", shuffled.len()),
+        &["", "Stub", "Tr-1", "Tr-2", "Hyper", "T1"],
+        &matrix_rows(&mr),
+    );
+    write_csv("fig12_balanced", &["row", "c1", "c2", "c3", "c4", "c5"], &matrix_rows(&mb));
+    write_csv("fig12_random", &["row", "c1", "c2", "c3", "c4", "c5"], &matrix_rows(&mr));
+
+    // --- bias metric: max cell share (paper: random concentrates mass) -----
+    let max_cell = |m: &[[f64; 5]; 5]| {
+        m.iter()
+            .enumerate()
+            .flat_map(|(i, row)| row.iter().skip(i))
+            .fold(0.0f64, |mx, &v| mx.max(v))
+    };
+    let bal_max = max_cell(&mb);
+    let rnd_max = max_cell(&mr);
+    println!(
+        "\nlargest cell share: balanced {bal_max:.2} vs random {rnd_max:.2} \
+         (balanced must spread mass more evenly)"
+    );
+    assert!(
+        bal_max <= rnd_max + 1e-9,
+        "balanced selection more concentrated than random?"
+    );
+}

@@ -1,0 +1,86 @@
+//! Fig. 7 (§7): how long GILL's generated filters keep discarding
+//! redundant updates as the routing system drifts.
+//!
+//! Filters are trained on day 0. For each later day `d` we synthesize a
+//! test window whose event sources have drifted: a growing share of the
+//! churn comes from links/origins outside the training world's flappy
+//! subset (new instabilities appear, old ones heal). The matched share
+//! decays with `d`; the paper picks a 16-day refresh as the knee.
+
+use as_topology::TopologyBuilder;
+use bench::{categories_map, pct, print_table, write_csv};
+use bgp_sim::{Simulator, StreamConfig};
+use gill_core::{AnchorConfig, GillAnalysis, GillConfig};
+
+fn main() {
+    let topo = TopologyBuilder::artificial(600, 42).build();
+    let cats = categories_map(&topo);
+    let vps = topo.pick_vps(0.3, 7);
+    let mut sim = Simulator::new(&topo);
+
+    let cfg = GillConfig {
+        anchor: AnchorConfig {
+            events_per_cell: 4,
+            ..AnchorConfig::default()
+        },
+        ..GillConfig::default()
+    };
+    let train = sim.synthesize_stream(&vps, StreamConfig::default().events(150).seed(0));
+    let analysis = GillAnalysis::run_with_categories(&train, &cats, &cfg);
+    let filters = analysis.filter_set();
+    println!(
+        "trained on {} updates → {} drop rules, {} anchors",
+        train.updates.len(),
+        filters.num_rules(),
+        analysis.component2.anchors.len()
+    );
+
+    // Churn drift: after d days, a fraction δ(d) of the event mass has
+    // moved to previously-quiet links/origins (exponential turnover with a
+    // ~90-day characteristic time, matching the paper's slow decay).
+    let days = [1u64, 2, 4, 8, 16, 32, 64, 128];
+    let mut rows = Vec::new();
+    let mut rates = Vec::new();
+    for &d in &days {
+        let delta = 1.0 - (-(d as f64) / 90.0).exp();
+        let stable_events = (120.0 * (1.0 - delta)) as usize;
+        let drifted_events = 120 - stable_events;
+        // same world: familiar churn sources
+        let stable = sim.synthesize_stream(
+            &vps,
+            StreamConfig::default().events(stable_events).seed(1000 + d),
+        );
+        // drifted world: new flappy subset
+        let drifted = sim.synthesize_stream(
+            &vps,
+            StreamConfig::default()
+                .events(drifted_events)
+                .seed(2000 + d)
+                .world_seed(4242 + d),
+        );
+        let mut all = stable.updates.clone();
+        all.extend(drifted.updates.iter().cloned());
+        let rate = filters.discard_rate(&all);
+        rates.push(rate);
+        rows.push(vec![d.to_string(), pct(rate)]);
+    }
+    print_table(
+        "Fig. 7 — share of updates matched (discarded) by day-0 filters",
+        &["days after training", "matched updates"],
+        &rows,
+    );
+    write_csv("fig7", &["days", "matched"], &rows);
+
+    // shape checks: monotone decay, still useful at day 16, much weaker at 128
+    for w in rates.windows(2) {
+        assert!(w[1] <= w[0] + 0.08, "matched share must decay: {rates:?}");
+    }
+    assert!(
+        rates[4] > rates[7],
+        "day-16 filters must outperform day-128 filters: {rates:?}"
+    );
+    println!(
+        "\nShape check passed: matched share decays with time since training;\n\
+         the 16-day refresh keeps filters near their peak effectiveness."
+    );
+}

@@ -1,0 +1,63 @@
+//! §3.1 "confirmation with real (but private) data": the paper compared
+//! RIS+RV against bgp.tools' private feeds and found each side saw
+//! hundreds of thousands of links the other missed. We reproduce the
+//! *structure* of that comparison: two disjoint VP deployments on the same
+//! Internet each observe a large set of links the other cannot see.
+
+use as_topology::TopologyBuilder;
+use bench::{print_table, write_csv};
+use bgp_sim::routing::{compute_routes, SourceAnnouncement};
+use std::collections::HashSet;
+
+fn links_seen(topo: &as_topology::Topology, vp_nodes: &[u32]) -> HashSet<(u32, u32)> {
+    let mut seen = HashSet::new();
+    let no_fail = HashSet::new();
+    for origin in 0..topo.num_ases() as u32 {
+        let t = compute_routes(topo, &[SourceAnnouncement::origin(origin)], &no_fail);
+        for &v in vp_nodes {
+            if let Some(p) = t.path(v) {
+                for w in p.windows(2) {
+                    seen.insert((w[0].min(w[1]), w[0].max(w[1])));
+                }
+            }
+        }
+    }
+    seen
+}
+
+fn main() {
+    let topo = TopologyBuilder::artificial(1200, 42).build();
+    // two disjoint deployments of equal size (~1.5% coverage each)
+    let all = topo.pick_vps(0.03, 9);
+    let mid = all.len() / 2;
+    let public: Vec<u32> = all[..mid].iter().filter_map(|v| topo.index_of(v.asn)).collect();
+    let private: Vec<u32> = all[mid..].iter().filter_map(|v| topo.index_of(v.asn)).collect();
+
+    let pub_links = links_seen(&topo, &public);
+    let priv_links = links_seen(&topo, &private);
+    let only_public = pub_links.difference(&priv_links).count();
+    let only_private = priv_links.difference(&pub_links).count();
+    let both = pub_links.intersection(&priv_links).count();
+
+    let rows = vec![
+        vec!["seen by both".into(), both.to_string()],
+        vec!["only public platform".into(), only_public.to_string()],
+        vec!["only private platform".into(), only_private.to_string()],
+        vec![
+            "total links in topology".into(),
+            topo.num_links().to_string(),
+        ],
+    ];
+    print_table(
+        "§3.1 — link visibility of two disjoint VP deployments (bgp.tools comparison)",
+        &["link set", "count"],
+        &rows,
+    );
+    write_csv("private_overlap", &["set", "count"], &rows);
+
+    assert!(only_public > 0 && only_private > 0, "each side must see unique links");
+    println!(
+        "\nEach deployment sees links the other misses ({only_public} vs {only_private}) —\n\
+         the §3.1 argument that more (and more diverse) VPs buy real visibility."
+    );
+}

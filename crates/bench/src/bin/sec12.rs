@@ -1,0 +1,182 @@
+//! §12 — immediate benefits: running GILL's sampling on existing feeds
+//! improves three replicated studies at equal data volume.
+//!
+//! 1. **AS-relationship inference** (CAIDA dataset replication): GILL's
+//!    sample infers more relationships than a fixed VP subset of the same
+//!    volume, at comparable validation accuracy.
+//! 2. **Customer cone sizes** (ASRank): GILL's more diverse paths reduce
+//!    CCS errors.
+//! 3. **DFOH** (forged-origin hijack inference): DFOH over GILL's sample
+//!    vs over a random sample vs over all data (the ground-truth proxy).
+
+use as_topology::TopologyBuilder;
+use bench::{categories_map, print_table, vp_nodes, write_csv};
+use bgp_sim::{Simulator, StreamConfig, UpdateStream};
+use gill_core::{AnchorConfig, GillAnalysis, GillConfig};
+use sampling::{GillSampler, GillVariant, RandomVps, Sampler};
+use use_cases::asrel::{ccs_accuracy, infer_relationships, validate};
+use use_cases::dfoh;
+
+/// Paths (node indices) observable from a sample: sampled updates plus the
+/// initial RIBs the scheme actually stores (anchors for GILL, the selected
+/// VPs for whole-VP baselines).
+fn paths_of_sample(
+    topo: &as_topology::Topology,
+    s: &UpdateStream,
+    idx: &[usize],
+    rib_vps: &std::collections::HashSet<bgp_types::VpId>,
+) -> Vec<Vec<u32>> {
+    let mut out = Vec::new();
+    let mut push_path = |p: &bgp_types::AsPath| {
+        let nodes: Option<Vec<u32>> = p.hops().iter().map(|a| topo.index_of(*a)).collect();
+        if let Some(n) = nodes {
+            if n.len() >= 2 {
+                out.push(n);
+            }
+        }
+    };
+    for &i in idx {
+        push_path(&s.updates[i].path);
+    }
+    for vp in rib_vps {
+        if let Some(rib) = s.initial_ribs.get(vp) {
+            for (_, e) in rib.iter() {
+                push_path(&e.path);
+            }
+        }
+    }
+    out
+}
+
+fn main() {
+    let topo = TopologyBuilder::artificial(600, 42).build();
+    let cats = categories_map(&topo);
+    let vps = topo.pick_vps(0.35, 7);
+    let _ = vp_nodes(&topo, &vps);
+    let mut sim = Simulator::new(&topo);
+    // realistic churn mix: heavy repetitive noise, rare interesting events
+    let churny = |events: usize, duration: u64| {
+        let mut c = StreamConfig::default().events(events).duration_secs(duration);
+        c.weights = [0.55, 0.04, 0.05, 0.36];
+        c.flappy_fraction = 0.04;
+        c.flappy_weight = 0.93;
+        c
+    };
+    let train = sim.synthesize_stream(&vps, churny(500, 18_000).seed(0));
+    let cfg = GillConfig {
+        anchor: AnchorConfig {
+            events_per_cell: 4,
+            ..AnchorConfig::default()
+        },
+        ..GillConfig::default()
+    };
+    let analysis = GillAnalysis::run_with_categories(&train, &cats, &cfg);
+    let gill = GillSampler::from_analysis(&analysis, &train, GillVariant::Full);
+
+    let eval = sim.synthesize_stream(&vps, churny(400, 14_400).seed(5));
+    let all: Vec<usize> = (0..eval.updates.len()).collect();
+    let gill_idx = gill.sample(&eval, usize::MAX, 1);
+    let budget = gill_idx.len();
+    // the "648 fixed VPs" stand-in: a fixed random VP subset at equal volume
+    let fixed_idx = RandomVps.sample(&eval, budget, 99);
+    println!(
+        "budget: {budget} of {} updates ({:.0}%)",
+        all.len(),
+        budget as f64 / all.len() as f64 * 100.0
+    );
+
+    // --- 1. AS relationships -------------------------------------------------
+    // updates-only corpora for both arms: the paper equalizes the number of
+    // *updates* processed, and RIB availability would otherwise confound
+    // the comparison in either direction
+    let no_ribs = std::collections::HashSet::new();
+    let anchor_ribs: std::collections::HashSet<bgp_types::VpId> =
+        gill.anchors().iter().copied().collect();
+    let fixed_ribs: std::collections::HashSet<bgp_types::VpId> =
+        fixed_idx.iter().map(|&i| eval.updates[i].vp).collect();
+    let g_paths = paths_of_sample(&topo, &eval, &gill_idx, &no_ribs);
+    let f_paths = paths_of_sample(&topo, &eval, &fixed_idx, &no_ribs);
+    let (gn, gc) = validate(&topo, &infer_relationships(&g_paths));
+    let (fn_, fc) = validate(&topo, &infer_relationships(&f_paths));
+    let rows = vec![
+        vec![
+            "fixed VP subset".into(),
+            fn_.to_string(),
+            format!("{:.1}%", fc as f64 / fn_.max(1) as f64 * 100.0),
+        ],
+        vec![
+            "GILL sample".into(),
+            gn.to_string(),
+            format!("{:.1}%", gc as f64 / gn.max(1) as f64 * 100.0),
+        ],
+    ];
+    print_table(
+        "§12.1 — AS relationships inferred at equal volume (paper: +16% with equal accuracy)",
+        &["input", "relationships inferred", "validation accuracy"],
+        &rows,
+    );
+    write_csv("sec12_asrel", &["input", "inferred", "accuracy"], &rows);
+    let gain = gn as f64 / fn_.max(1) as f64 - 1.0;
+    println!("GILL infers {:+.0}% relationships vs the fixed subset", gain * 100.0);
+    assert!(gn >= fn_, "GILL must infer at least as many relationships");
+
+    // --- 2. customer cones ----------------------------------------------------
+    let (g_exact, g_err) = ccs_accuracy(&topo, g_paths);
+    let (f_exact, f_err) = ccs_accuracy(&topo, f_paths);
+    let rows = vec![
+        vec!["fixed VP subset".into(), format!("{:.1}%", f_exact * 100.0), format!("{f_err:.1}")],
+        vec!["GILL sample".into(), format!("{:.1}%", g_exact * 100.0), format!("{g_err:.1}")],
+    ];
+    print_table(
+        "§12.2 — ASRank customer-cone replication (exactly correct CCS / mean abs error)",
+        &["input", "CCS exactly correct", "mean |error|"],
+        &rows,
+    );
+    write_csv("sec12_ccs", &["input", "exact", "mae"], &rows);
+    assert!(
+        g_exact >= f_exact - 0.02,
+        "GILL CCS exactness {g_exact} must not trail fixed {f_exact}"
+    );
+
+    // --- 3. DFOH ---------------------------------------------------------------
+    // each scheme's knowledge base includes the history it retained from
+    // the training window (DFOH consults the platform's archive)
+    let all_ribs: std::collections::HashSet<bgp_types::VpId> =
+        eval.vps.iter().copied().collect();
+    let history = |idx: &[usize]| -> Vec<bgp_types::AsPath> {
+        idx.iter().map(|&i| train.updates[i].path.clone()).collect()
+    };
+    let gill_hist = history(&gill.sample(&train, usize::MAX, 7));
+    let rnd_hist = history(&RandomVps.sample(&train, gill_hist.len(), 99));
+    let all_hist = history(&(0..train.updates.len()).collect::<Vec<_>>());
+    let d_all = dfoh::evaluate_with_kb(&eval, &all, &all_ribs, &all_hist);
+    let d_gill = dfoh::evaluate_with_kb(&eval, &gill_idx, &anchor_ribs, &gill_hist);
+    let d_rnd = dfoh::evaluate_with_kb(&eval, &fixed_idx, &fixed_ribs, &rnd_hist);
+    let rows = vec![
+        vec!["DFOH-ALL (truth proxy)".into(), d_all.cases.to_string(), format!("{:.1}%", d_all.tpr() * 100.0), format!("{:.1}%", d_all.fpr() * 100.0)],
+        vec!["DFOH-GILL".into(), d_gill.cases.to_string(), format!("{:.1}%", d_gill.tpr() * 100.0), format!("{:.1}%", d_gill.fpr() * 100.0)],
+        vec!["DFOH-R (random)".into(), d_rnd.cases.to_string(), format!("{:.1}%", d_rnd.tpr() * 100.0), format!("{:.1}%", d_rnd.fpr() * 100.0)],
+    ];
+    print_table(
+        "§12.3 — DFOH replication (paper: TPR 94% vs 71.5%, FPR 14.4% vs 60.1%)",
+        &["version", "suspicious cases", "TPR", "FPR"],
+        &rows,
+    );
+    write_csv("sec12_dfoh", &["version", "cases", "tpr", "fpr"], &rows);
+    println!(
+        "\nDFOH-GILL surfaces {} suspicious cases vs {} for DFOH-R (paper: 1708 vs 1300) —\n\
+         the broader VP diversity of GILL's sample uncovers more cases to vet.\n\
+         NOTE: our plausibility feature is a bare 2-hop common-neighbor test, far\n\
+         weaker than DFOH's trained feature set, so the FPR side of the paper's\n\
+         result does not transfer at this scale (see EXPERIMENTS.md).",
+        d_gill.cases, d_rnd.cases
+    );
+    assert!(
+        d_gill.tpr() >= d_rnd.tpr() - 0.05,
+        "DFOH over GILL data must not trail the random sample in TPR"
+    );
+    assert!(
+        d_gill.cases >= d_rnd.cases,
+        "GILL's diverse sample must surface at least as many suspicious cases"
+    );
+}

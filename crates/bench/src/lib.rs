@@ -1,0 +1,96 @@
+//! Shared harness utilities for the experiment binaries (one per paper
+//! table/figure — see DESIGN.md for the index and EXPERIMENTS.md for the
+//! measured outputs).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use as_topology::{AsCategory, Topology};
+use bgp_types::Asn;
+use std::collections::HashMap;
+
+/// Builds the ASN → Table-5 category map for a topology.
+pub fn categories_map(topo: &Topology) -> HashMap<Asn, AsCategory> {
+    let cats = as_topology::categories::classify(topo);
+    (0..topo.num_ases() as u32)
+        .map(|u| (topo.asn(u), cats[u as usize]))
+        .collect()
+}
+
+/// Node indices of a VP list.
+pub fn vp_nodes(topo: &Topology, vps: &[bgp_types::VpId]) -> Vec<u32> {
+    vps.iter().filter_map(|v| topo.index_of(v.asn)).collect()
+}
+
+/// Prints an aligned text table.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let ncols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(ncols) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let line = |cells: &[String]| {
+        let mut s = String::new();
+        for (i, c) in cells.iter().enumerate().take(ncols) {
+            s.push_str(&format!("{:>width$}  ", c, width = widths[i]));
+        }
+        println!("{}", s.trim_end());
+    };
+    line(&headers.iter().map(|h| h.to_string()).collect::<Vec<_>>());
+    line(&widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>());
+    for row in rows {
+        line(row);
+    }
+}
+
+/// Formats a fraction as a percentage string.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+/// Median of a slice (returns 0 for empty input; upper median for even
+/// lengths).
+pub fn median(xs: &mut [f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    xs[xs.len() / 2]
+}
+
+/// Writes rows as CSV under `bench-results/` (best-effort; the printed
+/// table is the primary artifact).
+pub fn write_csv(name: &str, headers: &[&str], rows: &[Vec<String>]) {
+    let dir = std::path::Path::new("bench-results");
+    if std::fs::create_dir_all(dir).is_err() {
+        return;
+    }
+    let mut out = String::new();
+    out.push_str(&headers.join(","));
+    out.push('\n');
+    for r in rows {
+        out.push_str(&r.join(","));
+        out.push('\n');
+    }
+    let _ = std::fs::write(dir.join(format!("{name}.csv")), out);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_of_odd_and_even() {
+        assert_eq!(median(&mut [3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&mut [4.0, 1.0, 2.0, 3.0]), 3.0); // upper median
+        assert_eq!(median(&mut []), 0.0);
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(0.123), "12.3%");
+    }
+}

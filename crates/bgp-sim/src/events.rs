@@ -1,0 +1,120 @@
+//! Routing events the simulator can inject.
+
+use bgp_types::Timestamp;
+
+/// Dense prefix identifier used inside the simulator; maps to a concrete
+/// [`bgp_types::Prefix`] via [`bgp_types::Prefix::synthetic`].
+pub type PrefixId = u32;
+
+/// The kinds of routing events the paper's experiments exercise: link
+/// failures/restorations (§3 failure localization, §11 training), forged-
+/// origin Type-X hijacks (§3, §11), origin changes (MOAS, §10 use case II,
+/// §18.1 event class), and community-only changes (use cases IV and V).
+#[derive(Clone, Debug, PartialEq)]
+pub enum EventKind {
+    /// The undirected link `{a, b}` (node indices) goes down.
+    LinkFailure {
+        /// One endpoint.
+        a: u32,
+        /// Other endpoint.
+        b: u32,
+    },
+    /// The undirected link `{a, b}` comes back.
+    LinkRestore {
+        /// One endpoint.
+        a: u32,
+        /// Other endpoint.
+        b: u32,
+    },
+    /// `attacker` announces `prefix` with a forged AS path that keeps the
+    /// legitimate origin as rightmost hop; `hijack_type` = X ≥ 1 is the
+    /// attacker's position in the forged path (Type-1 claims adjacency).
+    ForgedOriginHijack {
+        /// Victim prefix.
+        prefix: PrefixId,
+        /// Attacker node index.
+        attacker: u32,
+        /// X in "Type-X".
+        hijack_type: u8,
+    },
+    /// The hijack on `prefix` stops.
+    HijackEnd {
+        /// Victim prefix.
+        prefix: PrefixId,
+    },
+    /// `prefix` moves to (or is additionally announced by) `new_origin`.
+    /// When `moas` is true the old origin keeps announcing too.
+    OriginChange {
+        /// Affected prefix.
+        prefix: PrefixId,
+        /// The new announcing AS.
+        new_origin: u32,
+        /// Multiple-origin (both announce) vs clean move.
+        moas: bool,
+    },
+    /// `origin` re-tags its announcements: all of its prefixes are
+    /// re-announced with the same AS path but a new community set
+    /// (producing the unchanged-path updates of use case V, and action
+    /// communities for use case IV).
+    CommunityChange {
+        /// The origin AS whose prefixes are re-tagged.
+        origin: u32,
+    },
+}
+
+impl EventKind {
+    /// Short tag for logs and tables.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            EventKind::LinkFailure { .. } => "fail",
+            EventKind::LinkRestore { .. } => "restore",
+            EventKind::ForgedOriginHijack { .. } => "hijack",
+            EventKind::HijackEnd { .. } => "hijack-end",
+            EventKind::OriginChange { .. } => "origin-change",
+            EventKind::CommunityChange { .. } => "community-change",
+        }
+    }
+}
+
+/// A ground-truth record of one injected event, kept alongside the
+/// synthesized stream so evaluations don't have to re-infer what happened.
+#[derive(Clone, Debug)]
+pub struct RecordedEvent {
+    /// Sequential event id.
+    pub id: usize,
+    /// What happened.
+    pub kind: EventKind,
+    /// Injection time.
+    pub time: Timestamp,
+    /// Prefixes whose routes actually changed.
+    pub affected_prefixes: Vec<PrefixId>,
+    /// Number of updates the event put on the wire.
+    pub emitted_updates: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tags_are_distinct() {
+        let kinds = [
+            EventKind::LinkFailure { a: 0, b: 1 },
+            EventKind::LinkRestore { a: 0, b: 1 },
+            EventKind::ForgedOriginHijack {
+                prefix: 0,
+                attacker: 1,
+                hijack_type: 1,
+            },
+            EventKind::HijackEnd { prefix: 0 },
+            EventKind::OriginChange {
+                prefix: 0,
+                new_origin: 1,
+                moas: false,
+            },
+            EventKind::CommunityChange { origin: 0 },
+        ];
+        let tags: std::collections::BTreeSet<&str> = kinds.iter().map(|k| k.tag()).collect();
+        assert_eq!(tags.len(), kinds.len());
+    }
+}

@@ -1,0 +1,26 @@
+//! A C-BGP-like BGP route-propagation simulator and update-stream
+//! synthesizer — the controlled "mini Internet" substrate of §3 and §11.
+//!
+//! * [`routing`] — Gao–Rexford path-vector route computation, including
+//!   multi-source announcements (MOAS) and forged-origin hijacks.
+//! * [`simulator`] — the stateful simulator: prefix plan, failed links,
+//!   hijack/MOAS overrides, community epochs, RIB snapshots.
+//! * [`stream`] — synthesis of realistic BGP update streams from scheduled
+//!   routing events, with convergence delays, path exploration and
+//!   community tagging; the stand-in for the RIS/RV feeds.
+//! * [`events`] — the event vocabulary and ground-truth records.
+//! * [`communities`] — the deterministic community-tagging model.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod communities;
+pub mod events;
+pub mod routing;
+pub mod simulator;
+pub mod stream;
+
+pub use events::{EventKind, PrefixId, RecordedEvent};
+pub use routing::{compute_routes, RouteClass, RouteTable, SourceAnnouncement};
+pub use simulator::{PrefixPlan, SimState, Simulator};
+pub use stream::{StreamConfig, UpdateStream};

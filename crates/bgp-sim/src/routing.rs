@@ -1,0 +1,581 @@
+//! Gao–Rexford path-vector route computation (the C-BGP substitute).
+//!
+//! For one prefix (one or more announcing sources), computes the best route
+//! of *every* AS under the canonical Gao–Rexford model \[23\]:
+//!
+//! * **Preference**: customer-learned > peer-learned > provider-learned
+//!   (local-pref dominates), then shortest AS path, then lowest next-hop
+//!   ASN.
+//! * **Export**: routes learned from a customer (or originated) are exported
+//!   to everyone; routes learned from a peer or provider are exported only
+//!   to customers — the valley-free rule.
+//!
+//! The computation runs in three phases (customer routes bottom-up, peer
+//! routes one hop sideways, provider routes top-down), each a BFS/Dijkstra
+//! over unit-weight edges, O(E) per prefix.
+
+use as_topology::Topology;
+use std::collections::{BinaryHeap, HashSet};
+
+/// How an AS learned its best route (also the preference order).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum RouteClass {
+    /// The AS originates the prefix itself (or forges an origination).
+    Origin,
+    /// Learned from a customer.
+    Customer,
+    /// Learned from a peer.
+    Peer,
+    /// Learned from a provider.
+    Provider,
+}
+
+/// One announcing source for a prefix.
+///
+/// A legitimate origin has `initial_path = [origin]`. A forged-origin
+/// Type-X hijacker announces `[attacker, f1, .., f_{X-1}, victim]` — the
+/// hijacker's own node first, the victim's origin last (§3.1).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SourceAnnouncement {
+    /// Node index of the announcing AS.
+    pub node: u32,
+    /// The initial AS path the source attaches (node indices, announcer
+    /// first). Must start with `node` and be non-empty.
+    pub initial_path: Vec<u32>,
+}
+
+impl SourceAnnouncement {
+    /// A legitimate origination by `node`.
+    pub fn origin(node: u32) -> Self {
+        SourceAnnouncement {
+            node,
+            initial_path: vec![node],
+        }
+    }
+
+    /// A forged-origin hijack announcement: the attacker prepends itself
+    /// (and `fillers` fake middle hops) to the victim's origin. For Type-1
+    /// `fillers` is empty; Type-2 passes one filler hop, etc.
+    pub fn forged(attacker: u32, fillers: &[u32], victim_origin: u32) -> Self {
+        let mut p = Vec::with_capacity(fillers.len() + 2);
+        p.push(attacker);
+        p.extend_from_slice(fillers);
+        p.push(victim_origin);
+        SourceAnnouncement {
+            node: attacker,
+            initial_path: p,
+        }
+    }
+
+    fn extra_len(&self) -> u32 {
+        (self.initial_path.len() - 1) as u32
+    }
+}
+
+const NO_ROUTE: u32 = u32::MAX;
+
+/// The result of route computation for one prefix: every AS's best route.
+#[derive(Clone, Debug)]
+pub struct RouteTable {
+    /// Per node: next hop toward the origin (NO_ROUTE if none / source).
+    next_hop: Vec<u32>,
+    /// Per node: class of the best route (None encoded via `dist == NO_ROUTE`).
+    class: Vec<RouteClass>,
+    /// Per node: AS-path length of the best route (hops, including the
+    /// source's initial path length). NO_ROUTE when unreachable.
+    dist: Vec<u32>,
+    /// Which source each node's route ultimately leads to (index into the
+    /// `sources` vec), NO_ROUTE when unreachable.
+    source_of: Vec<u32>,
+    /// The announcing sources.
+    sources: Vec<SourceAnnouncement>,
+}
+
+impl RouteTable {
+    /// AS-path of node `u`'s best route as node indices, `u` first and the
+    /// (claimed) origin last; `None` if `u` has no route.
+    pub fn path(&self, u: u32) -> Option<Vec<u32>> {
+        if self.dist[u as usize] == NO_ROUTE {
+            return None;
+        }
+        let mut path = Vec::with_capacity(self.dist[u as usize] as usize + 1);
+        let mut cur = u;
+        loop {
+            path.push(cur);
+            let nh = self.next_hop[cur as usize];
+            if nh == NO_ROUTE {
+                // `cur` is a source: splice in the rest of its initial path.
+                let src = &self.sources[self.source_of[cur as usize] as usize];
+                path.extend_from_slice(&src.initial_path[1..]);
+                return Some(path);
+            }
+            cur = nh;
+            if path.len() > self.next_hop.len() + 4 {
+                unreachable!("routing loop in RouteTable::path");
+            }
+        }
+    }
+
+    /// Whether node `u` has any route.
+    #[inline]
+    pub fn has_route(&self, u: u32) -> bool {
+        self.dist[u as usize] != NO_ROUTE
+    }
+
+    /// Class of `u`'s best route.
+    pub fn class(&self, u: u32) -> Option<RouteClass> {
+        if self.has_route(u) {
+            Some(self.class[u as usize])
+        } else {
+            None
+        }
+    }
+
+    /// Path length (hops) of `u`'s best route.
+    pub fn path_len(&self, u: u32) -> Option<u32> {
+        if self.has_route(u) {
+            Some(self.dist[u as usize])
+        } else {
+            None
+        }
+    }
+
+    /// Index (into the announcement list) of the source `u`'s route leads
+    /// to. Useful to test whether a node routes to the hijacker.
+    pub fn source_index(&self, u: u32) -> Option<usize> {
+        if self.has_route(u) {
+            Some(self.source_of[u as usize] as usize)
+        } else {
+            None
+        }
+    }
+
+    /// The set of directed tree edges `(from, to)` used by any node's best
+    /// route (next-hop edges only, not initial-path fillers).
+    pub fn used_links(&self) -> HashSet<(u32, u32)> {
+        let mut out = HashSet::new();
+        for u in 0..self.next_hop.len() as u32 {
+            let nh = self.next_hop[u as usize];
+            if nh != NO_ROUTE {
+                out.insert((u, nh));
+            }
+        }
+        out
+    }
+
+    /// Whether any best route traverses the undirected link `{a, b}`.
+    pub fn uses_link(&self, a: u32, b: u32) -> bool {
+        for u in 0..self.next_hop.len() as u32 {
+            let nh = self.next_hop[u as usize];
+            if nh != NO_ROUTE && ((u == a && nh == b) || (u == b && nh == a)) {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+/// Computes every AS's best route toward `sources` on `topo`, ignoring any
+/// link in `failed` (undirected `{a, b}` pairs, stored as `(min, max)`).
+pub fn compute_routes(
+    topo: &Topology,
+    sources: &[SourceAnnouncement],
+    failed: &HashSet<(u32, u32)>,
+) -> RouteTable {
+    let n = topo.num_ases();
+    debug_assert!(sources.iter().all(|s| (s.node as usize) < n));
+    let alive = |a: u32, b: u32| -> bool {
+        let k = if a < b { (a, b) } else { (b, a) };
+        !failed.contains(&k)
+    };
+
+    let mut dist = vec![NO_ROUTE; n];
+    let mut next_hop = vec![NO_ROUTE; n];
+    let mut class = vec![RouteClass::Origin; n];
+    let mut source_of = vec![NO_ROUTE; n];
+    // Locally originated announcements outrank anything learned (highest
+    // local-pref), so a source node's route is never overridden — an
+    // attacker keeps exporting its forged route even if it hears the
+    // legitimate one.
+    let mut is_source = vec![false; n];
+    for s in sources {
+        is_source[s.node as usize] = true;
+    }
+
+    // Reverse-ordered heap entries: (dist, tiebreak asn, node).
+    #[derive(PartialEq, Eq)]
+    struct Ent(u32, u32, u32);
+    impl Ord for Ent {
+        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+            // BinaryHeap is a max-heap: reverse for min behaviour.
+            other
+                .0
+                .cmp(&self.0)
+                .then_with(|| other.1.cmp(&self.1))
+                .then_with(|| other.2.cmp(&self.2))
+        }
+    }
+    impl PartialOrd for Ent {
+        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+
+    // ---- Phase 1: customer routes (propagate from sources upward through
+    //      provider links). A node's customer route comes from a customer
+    //      whose best route is its customer route (always true when one
+    //      exists) or that is a source.
+    let mut heap: BinaryHeap<Ent> = BinaryHeap::new();
+    for (i, s) in sources.iter().enumerate() {
+        let d = s.extra_len();
+        // Multiple sources at the same node: keep the shortest.
+        if d < dist[s.node as usize] {
+            dist[s.node as usize] = d;
+            source_of[s.node as usize] = i as u32;
+            class[s.node as usize] = RouteClass::Origin;
+            next_hop[s.node as usize] = NO_ROUTE;
+        }
+    }
+    for s in sources {
+        heap.push(Ent(dist[s.node as usize], s.node, s.node));
+    }
+    // `cust_dist` snapshot: customer-phase distances (sources count).
+    while let Some(Ent(d, _, u)) = heap.pop() {
+        if d > dist[u as usize] {
+            continue;
+        }
+        // export upward to providers
+        for &p in topo.providers(u) {
+            if !alive(u, p) || is_source[p as usize] {
+                continue;
+            }
+            let nd = d + 1;
+            let better = nd < dist[p as usize]
+                || (nd == dist[p as usize]
+                    && next_hop[p as usize] != NO_ROUTE
+                    && u < next_hop[p as usize]);
+            if better {
+                dist[p as usize] = nd;
+                next_hop[p as usize] = u;
+                class[p as usize] = RouteClass::Customer;
+                source_of[p as usize] = source_of[u as usize];
+                heap.push(Ent(nd, p, p));
+            }
+        }
+    }
+    let cust_dist = dist.clone();
+
+    // ---- Phase 2: peer routes — one hop across a peer link from any node
+    //      with a customer route (or a source). Only improves nodes that
+    //      have no customer route (class preference dominates length).
+    let mut peer_updates: Vec<(u32, u32, u32, u32)> = Vec::new(); // (node, dist, via, src)
+    for u in 0..n as u32 {
+        if cust_dist[u as usize] == NO_ROUTE {
+            continue;
+        }
+        for &q in topo.peers(u) {
+            if !alive(u, q) || is_source[q as usize] {
+                continue;
+            }
+            if cust_dist[q as usize] != NO_ROUTE {
+                continue; // q prefers its customer route
+            }
+            let nd = cust_dist[u as usize] + 1;
+            peer_updates.push((q, nd, u, source_of[u as usize]));
+        }
+    }
+    for (q, nd, via, src) in peer_updates {
+        let qi = q as usize;
+        let better = dist[qi] == NO_ROUTE
+            || nd < dist[qi]
+            || (nd == dist[qi] && class[qi] == RouteClass::Peer && via < next_hop[qi]);
+        if better {
+            dist[qi] = nd;
+            next_hop[qi] = via;
+            class[qi] = RouteClass::Peer;
+            source_of[qi] = src;
+        }
+    }
+
+    // ---- Phase 3: provider routes — propagate downward through customer
+    //      links from any routed node; a provider exports its best route to
+    //      its customers. Only nodes without customer/peer routes accept,
+    //      and provider routes chain downward.
+    let mut heap: BinaryHeap<Ent> = BinaryHeap::new();
+    for u in 0..n as u32 {
+        if dist[u as usize] != NO_ROUTE {
+            heap.push(Ent(dist[u as usize], u, u));
+        }
+    }
+    while let Some(Ent(d, _, u)) = heap.pop() {
+        if d > dist[u as usize] {
+            continue;
+        }
+        for &c in topo.customers(u) {
+            if !alive(u, c) || is_source[c as usize] {
+                continue;
+            }
+            let ci = c as usize;
+            // c accepts a provider route only if it has no customer/peer route.
+            if dist[ci] != NO_ROUTE && class[ci] != RouteClass::Provider {
+                continue;
+            }
+            let nd = d + 1;
+            let better = dist[ci] == NO_ROUTE
+                || nd < dist[ci]
+                || (nd == dist[ci] && u < next_hop[ci]);
+            if better {
+                dist[ci] = nd;
+                next_hop[ci] = u;
+                class[ci] = RouteClass::Provider;
+                source_of[ci] = source_of[u as usize];
+                heap.push(Ent(nd, c, c));
+            }
+        }
+    }
+
+    RouteTable {
+        next_hop,
+        class,
+        dist,
+        source_of,
+        sources: sources.to_vec(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use as_topology::TopologyBuilder;
+
+    fn no_fail() -> HashSet<(u32, u32)> {
+        HashSet::new()
+    }
+
+    /// A hand-built diamond:
+    ///        0 (tier1)      level 0
+    ///       /  \
+    ///      1    2           level 1, peers
+    ///       \  /
+    ///        3 (origin)     level 2
+    fn diamond() -> Topology {
+        let mut providers = vec![vec![]; 4];
+        let mut customers = vec![vec![]; 4];
+        let mut peers = vec![vec![]; 4];
+        for (c, p) in [(1u32, 0u32), (2, 0), (3, 1), (3, 2)] {
+            providers[c as usize].push(p);
+            customers[p as usize].push(c);
+        }
+        peers[1].push(2);
+        peers[2].push(1);
+        Topology::from_parts(providers, customers, peers, vec![0, 1, 1, 2])
+    }
+
+    #[test]
+    fn everyone_reaches_the_origin() {
+        let t = diamond();
+        let rt = compute_routes(&t, &[SourceAnnouncement::origin(3)], &no_fail());
+        for u in 0..4 {
+            assert!(rt.has_route(u), "node {u} unreachable");
+        }
+        assert_eq!(rt.path(3), Some(vec![3]));
+        assert_eq!(rt.class(3), Some(RouteClass::Origin));
+    }
+
+    #[test]
+    fn customer_routes_preferred_and_tiebreak_lowest() {
+        let t = diamond();
+        let rt = compute_routes(&t, &[SourceAnnouncement::origin(3)], &no_fail());
+        // 0 hears 3 via customers 1 and 2 at equal length; lowest wins.
+        assert_eq!(rt.class(0), Some(RouteClass::Customer));
+        assert_eq!(rt.path(0), Some(vec![0, 1, 3]));
+    }
+
+    #[test]
+    fn valley_free_export() {
+        // Origin at 1's side: 2 must NOT route via peer 1's provider route.
+        let t = diamond();
+        // Prefix originated by 1: 3 is a customer of 1; 2 peers with 1.
+        let rt = compute_routes(&t, &[SourceAnnouncement::origin(1)], &no_fail());
+        // 2 can reach 1 via the peer link (1 originates => exports to peers).
+        assert_eq!(rt.path(2), Some(vec![2, 1]));
+        assert_eq!(rt.class(2), Some(RouteClass::Peer));
+        // 3 reaches via provider 1 directly.
+        assert_eq!(rt.path(3), Some(vec![3, 1]));
+        // 0 reaches via customer 1.
+        assert_eq!(rt.class(0), Some(RouteClass::Customer));
+    }
+
+    #[test]
+    fn peer_route_not_reexported_to_provider() {
+        // Build: 0 tier1; 1,2 level-1 peers; origin 4 customer of 2 only.
+        // 1 gets a peer route via 2; 1 must not export it to 0, so 0's
+        // route must come via customer 2 directly.
+        let mut providers = vec![vec![]; 5];
+        let mut customers = vec![vec![]; 5];
+        let mut peers = vec![vec![]; 5];
+        for (c, p) in [(1u32, 0u32), (2, 0), (4, 2)] {
+            providers[c as usize].push(p);
+            customers[p as usize].push(c);
+        }
+        peers[1].push(2);
+        peers[2].push(1);
+        let t = Topology::from_parts(providers, customers, peers, vec![0, 1, 1, 0, 2]);
+        let rt = compute_routes(&t, &[SourceAnnouncement::origin(4)], &no_fail());
+        assert_eq!(rt.path(1), Some(vec![1, 2, 4]));
+        assert_eq!(rt.class(1), Some(RouteClass::Peer));
+        assert_eq!(rt.path(0), Some(vec![0, 2, 4]));
+        assert_eq!(rt.class(0), Some(RouteClass::Customer));
+    }
+
+    #[test]
+    fn failed_link_reroutes() {
+        let t = diamond();
+        let mut failed = HashSet::new();
+        failed.insert((1u32, 3u32));
+        let rt = compute_routes(&t, &[SourceAnnouncement::origin(3)], &failed);
+        assert_eq!(rt.path(0), Some(vec![0, 2, 3]));
+        // 1 lost its customer route; peer 2 has a customer route => peer route.
+        assert_eq!(rt.path(1), Some(vec![1, 2, 3]));
+        assert_eq!(rt.class(1), Some(RouteClass::Peer));
+    }
+
+    #[test]
+    fn disconnection_yields_no_route() {
+        let t = diamond();
+        let mut failed = HashSet::new();
+        failed.insert((1u32, 3u32));
+        failed.insert((2u32, 3u32));
+        let rt = compute_routes(&t, &[SourceAnnouncement::origin(3)], &failed);
+        assert!(!rt.has_route(0));
+        assert!(!rt.has_route(1));
+        assert!(!rt.has_route(2));
+        assert!(rt.has_route(3)); // the origin itself
+        assert_eq!(rt.path(0), None);
+    }
+
+    #[test]
+    fn forged_origin_hijack_attracts_nearby_ases() {
+        // Victim 3 announces; attacker 1 forges [1, 3] (Type-1).
+        let t = diamond();
+        let sources = vec![
+            SourceAnnouncement::origin(3),
+            SourceAnnouncement::forged(1, &[], 3),
+        ];
+        let rt = compute_routes(&t, &sources, &no_fail());
+        // 0 hears legit [0,1,3]? No: 1 now "originates" with path len 1, so
+        // 0 hears via customer 1 a 2-hop path [0,1,3] and via customer 2 a
+        // 2-hop legit path [0,2,3]; tie -> lowest neighbor 1 -> hijacked.
+        assert_eq!(rt.path(0), Some(vec![0, 1, 3]));
+        assert_eq!(rt.source_index(0), Some(1)); // routed to the attacker
+        // The victim's own route is its origination.
+        assert_eq!(rt.source_index(3), Some(0));
+    }
+
+    #[test]
+    fn type2_hijack_is_less_attractive_than_type1() {
+        let t = diamond();
+        // Type-2: path [1, 2, 3] (one filler) => initial length 2.
+        let sources = vec![
+            SourceAnnouncement::origin(3),
+            SourceAnnouncement::forged(1, &[2], 3),
+        ];
+        let rt = compute_routes(&t, &sources, &no_fail());
+        // 0's options: customer 1 with forged len 3, customer 2 legit len 2.
+        assert_eq!(rt.source_index(0), Some(0)); // legit wins
+        let p = rt.path(0).unwrap();
+        assert_eq!(p, vec![0, 2, 3]);
+    }
+
+    #[test]
+    fn forged_path_appears_in_observed_route() {
+        let t = diamond();
+        let sources = vec![
+            SourceAnnouncement::origin(3),
+            SourceAnnouncement::forged(1, &[2], 3),
+        ];
+        let mut failed = HashSet::new();
+        failed.insert((2u32, 3u32));
+        failed.insert((1u32, 3u32));
+        let rt = compute_routes(&t, &sources, &failed);
+        // Only the forged announcement can reach anyone now.
+        let p0 = rt.path(0).unwrap();
+        assert_eq!(p0, vec![0, 1, 2, 3]); // forged fillers spliced in
+        assert_eq!(rt.source_index(0), Some(1));
+    }
+
+    #[test]
+    fn used_links_cover_routing_tree() {
+        let t = diamond();
+        let rt = compute_routes(&t, &[SourceAnnouncement::origin(3)], &no_fail());
+        let used = rt.used_links();
+        assert!(used.contains(&(0, 1)));
+        assert!(used.contains(&(1, 3)));
+        assert!(used.contains(&(2, 3)));
+        assert!(rt.uses_link(3, 1)); // undirected query
+        assert!(!rt.uses_link(1, 2)); // peer link unused here
+    }
+
+    #[test]
+    fn paths_are_valley_free_on_generated_topology() {
+        let t = TopologyBuilder::artificial(400, 77).build();
+        // pick a handful of origins and check all paths are valley-free
+        for origin in [0u32, 50, 199, 399] {
+            let rt = compute_routes(&t, &[SourceAnnouncement::origin(origin)], &no_fail());
+            for u in 0..t.num_ases() as u32 {
+                let Some(path) = rt.path(u) else { continue };
+                assert_valley_free(&t, &path);
+            }
+        }
+    }
+
+    /// A path is valley-free iff it is a sequence of c2p steps, at most one
+    /// p2p step, then p2c steps. Traversal here is VP -> origin, so the
+    /// *route* travelled origin -> VP; check in route direction (reversed).
+    fn assert_valley_free(t: &Topology, path_vp_first: &[u32]) {
+        let mut phase = 0; // 0 = climbing (c2p in route dir), 1 = after peak
+        let route: Vec<u32> = path_vp_first.iter().rev().copied().collect();
+        for w in route.windows(2) {
+            let (from, to) = (w[0], w[1]);
+            // step from `from` to `to` in route direction means `to` learned
+            // from `from`. Classify the link from `to`'s perspective:
+            let rel = if t.providers(to).contains(&from) {
+                // `to`'s provider gave it the route: downhill step
+                2
+            } else if t.peers(to).contains(&from) {
+                1
+            } else if t.customers(to).contains(&from) {
+                // learned from customer: uphill step
+                0
+            } else {
+                panic!("non-adjacent hop {from}->{to}");
+            };
+            match rel {
+                0 => assert_eq!(phase, 0, "uphill after peak: {path_vp_first:?}"),
+                1 => {
+                    assert_eq!(phase, 0, "second peak: {path_vp_first:?}");
+                    phase = 1;
+                }
+                _ => phase = 1,
+            }
+        }
+    }
+
+    #[test]
+    fn full_reachability_on_generated_topology() {
+        let t = TopologyBuilder::artificial(500, 88).build();
+        let rt = compute_routes(&t, &[SourceAnnouncement::origin(123)], &no_fail());
+        let unreachable = (0..t.num_ases() as u32).filter(|&u| !rt.has_route(u)).count();
+        assert_eq!(unreachable, 0, "Gao-Rexford must reach everyone");
+    }
+
+    #[test]
+    fn deterministic_routes() {
+        let t = TopologyBuilder::artificial(300, 99).build();
+        let a = compute_routes(&t, &[SourceAnnouncement::origin(10)], &no_fail());
+        let b = compute_routes(&t, &[SourceAnnouncement::origin(10)], &no_fail());
+        for u in 0..t.num_ases() as u32 {
+            assert_eq!(a.path(u), b.path(u));
+        }
+    }
+}

@@ -1,0 +1,485 @@
+//! The simulator: prefix plan, mutable routing state, RIB snapshots.
+
+use crate::events::PrefixId;
+use crate::routing::{compute_routes, RouteTable, SourceAnnouncement};
+use as_topology::Topology;
+use bgp_types::{AsPath, Prefix, Rib, RibEntry, Timestamp, VpId};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{HashMap, HashSet};
+
+use crate::communities::communities_for;
+
+/// Assignment of announced prefixes to origin ASes.
+///
+/// §3: "We ensure that the number of prefixes announced by the ASes follows
+/// the distribution observed in the real Internet" — i.e. heavy-tailed:
+/// most ASes announce one prefix, a few announce dozens.
+#[derive(Clone, Debug)]
+pub struct PrefixPlan {
+    /// prefix id → origin node index.
+    pub origin_of: Vec<u32>,
+    /// node index → its prefix ids.
+    pub prefixes_of: Vec<Vec<PrefixId>>,
+    /// prefix id → origin-local group index (0 for the AS's first prefix).
+    pub group_of: Vec<u32>,
+}
+
+impl PrefixPlan {
+    /// Every AS announces exactly one prefix.
+    pub fn one_per_as(n: usize) -> Self {
+        PrefixPlan {
+            origin_of: (0..n as u32).collect(),
+            prefixes_of: (0..n as u32).map(|u| vec![u]).collect(),
+            group_of: vec![0; n],
+        }
+    }
+
+    /// Heavy-tailed per-AS prefix counts: every AS announces at least one
+    /// prefix; ~20 % announce a few more, a few announce dozens.
+    pub fn heavy_tailed(topo: &Topology, seed: u64) -> Self {
+        let n = topo.num_ases();
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0x5851_f42d_4c95_7f2d);
+        let mut origin_of = Vec::new();
+        let mut prefixes_of = vec![Vec::new(); n];
+        let mut group_of = Vec::new();
+        for u in 0..n as u32 {
+            let r: f64 = rng.gen();
+            // heavier tail for transit ASes (they announce more space)
+            let bias = if topo.is_transit(u) { 2.0 } else { 1.0 };
+            let extra = if r < 0.80 {
+                0
+            } else if r < 0.92 {
+                (1.0 * bias) as usize
+            } else if r < 0.985 {
+                (4.0 * bias) as usize
+            } else {
+                (12.0 * bias) as usize
+            };
+            for g in 0..=(extra as u32) {
+                let id = origin_of.len() as PrefixId;
+                origin_of.push(u);
+                prefixes_of[u as usize].push(id);
+                group_of.push(g);
+            }
+        }
+        PrefixPlan {
+            origin_of,
+            prefixes_of,
+            group_of,
+        }
+    }
+
+    /// Number of prefixes.
+    pub fn num_prefixes(&self) -> usize {
+        self.origin_of.len()
+    }
+}
+
+/// A C-BGP-like simulator over one topology: holds the prefix plan, the set
+/// of failed links, per-prefix source overrides (hijacks, MOAS, origin
+/// moves) and per-origin community epochs; computes route tables on demand.
+pub struct Simulator<'a> {
+    topo: &'a Topology,
+    plan: PrefixPlan,
+    failed: HashSet<(u32, u32)>,
+    /// Per-prefix override of the announcing sources (None → plain origin).
+    overrides: HashMap<PrefixId, Vec<SourceAnnouncement>>,
+    /// Community epoch per origin node.
+    epochs: HashMap<u32, u32>,
+}
+
+impl<'a> Simulator<'a> {
+    /// A simulator where every AS announces one prefix.
+    pub fn new(topo: &'a Topology) -> Self {
+        Simulator::with_plan(topo, PrefixPlan::one_per_as(topo.num_ases()))
+    }
+
+    /// A simulator with an explicit prefix plan.
+    pub fn with_plan(topo: &'a Topology, plan: PrefixPlan) -> Self {
+        Simulator {
+            topo,
+            plan,
+            failed: HashSet::new(),
+            overrides: HashMap::new(),
+            epochs: HashMap::new(),
+        }
+    }
+
+    /// The topology under simulation.
+    pub fn topology(&self) -> &Topology {
+        self.topo
+    }
+
+    /// The prefix plan.
+    pub fn plan(&self) -> &PrefixPlan {
+        &self.plan
+    }
+
+    /// Currently failed links.
+    pub fn failed_links(&self) -> &HashSet<(u32, u32)> {
+        &self.failed
+    }
+
+    /// The current announcing sources for `prefix`.
+    pub fn sources_for(&self, prefix: PrefixId) -> Vec<SourceAnnouncement> {
+        self.overrides.get(&prefix).cloned().unwrap_or_else(|| {
+            vec![SourceAnnouncement::origin(
+                self.plan.origin_of[prefix as usize],
+            )]
+        })
+    }
+
+    /// Whether `prefix`'s sources are currently overridden (hijack/MOAS/
+    /// moved origin).
+    pub fn is_overridden(&self, prefix: PrefixId) -> bool {
+        self.overrides.contains_key(&prefix)
+    }
+
+    /// Routes for `prefix` under the current state.
+    pub fn table_for_prefix(&self, prefix: PrefixId) -> RouteTable {
+        compute_routes(self.topo, &self.sources_for(prefix), &self.failed)
+    }
+
+    /// Routes for a plain origination by `node` under the current state
+    /// (shared by all non-overridden prefixes of that origin).
+    pub fn table_for_origin(&self, node: u32) -> RouteTable {
+        compute_routes(
+            self.topo,
+            &[SourceAnnouncement::origin(node)],
+            &self.failed,
+        )
+    }
+
+    /// Community epoch of `origin`.
+    pub fn epoch(&self, origin: u32) -> u32 {
+        self.epochs.get(&origin).copied().unwrap_or(0)
+    }
+
+    // ---- mutators -------------------------------------------------------
+
+    /// Fails the undirected link `{a, b}`. Returns false if already failed.
+    pub fn fail_link(&mut self, a: u32, b: u32) -> bool {
+        self.failed.insert(norm(a, b))
+    }
+
+    /// Restores the undirected link `{a, b}`.
+    pub fn restore_link(&mut self, a: u32, b: u32) -> bool {
+        self.failed.remove(&norm(a, b))
+    }
+
+    /// Starts a forged-origin Type-`x` hijack of `prefix` by `attacker`.
+    /// Filler hops (for `x ≥ 2`) are real neighbors of the victim, making
+    /// the forged path plausible (as in DFOH's threat model \[25\]).
+    pub fn start_hijack(&mut self, prefix: PrefixId, attacker: u32, x: u8) {
+        let victim = self.plan.origin_of[prefix as usize];
+        let fillers = self.pick_fillers(victim, attacker, x.saturating_sub(1) as usize);
+        let mut sources = vec![SourceAnnouncement::origin(victim)];
+        sources.push(SourceAnnouncement::forged(attacker, &fillers, victim));
+        self.overrides.insert(prefix, sources);
+    }
+
+    fn pick_fillers(&self, victim: u32, attacker: u32, count: usize) -> Vec<u32> {
+        let mut out = Vec::with_capacity(count);
+        let mut candidates: Vec<u32> = self
+            .topo
+            .providers(victim)
+            .iter()
+            .chain(self.topo.peers(victim))
+            .chain(self.topo.customers(victim))
+            .copied()
+            .filter(|&v| v != attacker && v != victim)
+            .collect();
+        candidates.sort_unstable();
+        for c in candidates.into_iter().take(count) {
+            out.push(c);
+        }
+        // Pad with arbitrary distinct nodes if the victim has few neighbors.
+        let mut fallback = 0u32;
+        while out.len() < count {
+            if fallback != victim && fallback != attacker && !out.contains(&fallback) {
+                out.push(fallback);
+            }
+            fallback += 1;
+        }
+        out
+    }
+
+    /// Ends any hijack/override on `prefix`.
+    pub fn clear_override(&mut self, prefix: PrefixId) {
+        self.overrides.remove(&prefix);
+    }
+
+    /// Moves `prefix` to `new_origin`; with `moas` both origins announce.
+    pub fn change_origin(&mut self, prefix: PrefixId, new_origin: u32, moas: bool) {
+        let mut sources = vec![SourceAnnouncement::origin(new_origin)];
+        if moas {
+            sources.push(SourceAnnouncement::origin(
+                self.plan.origin_of[prefix as usize],
+            ));
+        }
+        self.overrides.insert(prefix, sources);
+    }
+
+    /// Bumps the community epoch of `origin` (a community-change event).
+    pub fn bump_epoch(&mut self, origin: u32) -> u32 {
+        let e = self.epochs.entry(origin).or_insert(0);
+        *e += 1;
+        *e
+    }
+
+    // ---- observation helpers -------------------------------------------
+
+    /// Converts a node-index path to an [`AsPath`].
+    pub fn as_path(&self, node_path: &[u32]) -> AsPath {
+        AsPath::new(node_path.iter().map(|&i| self.topo.asn(i)).collect())
+    }
+
+    /// The concrete [`Prefix`] for a prefix id.
+    pub fn prefix(&self, id: PrefixId) -> Prefix {
+        Prefix::synthetic(id)
+    }
+
+    /// Snapshot of every VP's RIB under the current state (one entry per
+    /// reachable prefix, with path-derived communities), timestamped `t`.
+    pub fn rib_snapshot(&self, vps: &[VpId], t: Timestamp) -> HashMap<VpId, Rib> {
+        let mut ribs: HashMap<VpId, Rib> = vps.iter().map(|&v| (v, Rib::new())).collect();
+        let vp_nodes: Vec<(VpId, u32)> = vps
+            .iter()
+            .filter_map(|&v| self.topo.index_of(v.asn).map(|i| (v, i)))
+            .collect();
+        // Group non-overridden prefixes by origin so each origin's table is
+        // computed once (all its prefixes share identical routes).
+        for origin in 0..self.topo.num_ases() as u32 {
+            let plain: Vec<PrefixId> = self.plan.prefixes_of[origin as usize]
+                .iter()
+                .copied()
+                .filter(|p| !self.is_overridden(*p))
+                .collect();
+            if plain.is_empty() {
+                continue;
+            }
+            let table = self.table_for_origin(origin);
+            self.fill_snapshot(&mut ribs, &vp_nodes, &table, &plain, origin, t);
+        }
+        let overridden: Vec<PrefixId> = self.overrides.keys().copied().collect();
+        for p in overridden {
+            let table = self.table_for_prefix(p);
+            let origin = self.plan.origin_of[p as usize];
+            self.fill_snapshot(&mut ribs, &vp_nodes, &table, &[p], origin, t);
+        }
+        ribs
+    }
+
+    fn fill_snapshot(
+        &self,
+        ribs: &mut HashMap<VpId, Rib>,
+        vp_nodes: &[(VpId, u32)],
+        table: &RouteTable,
+        prefixes: &[PrefixId],
+        origin: u32,
+        t: Timestamp,
+    ) {
+        let epoch = self.epoch(origin);
+        for &(vp, node) in vp_nodes {
+            let Some(path_nodes) = table.path(node) else {
+                continue;
+            };
+            let path = self.as_path(&path_nodes);
+            for &p in prefixes {
+                let comms = communities_for(&path_nodes, self.plan.group_of[p as usize], epoch);
+                let entry = RibEntry {
+                    path: path.clone(),
+                    communities: comms,
+                    time: t,
+                };
+                insert_rib(ribs.get_mut(&vp).unwrap(), self.prefix(p), entry);
+            }
+        }
+    }
+
+    /// Saves the mutable state (failed links, overrides, epochs).
+    pub fn save_state(&self) -> SimState {
+        SimState {
+            failed: self.failed.clone(),
+            overrides: self.overrides.clone(),
+            epochs: self.epochs.clone(),
+        }
+    }
+
+    /// Restores a previously saved state.
+    pub fn restore_state(&mut self, s: SimState) {
+        self.failed = s.failed;
+        self.overrides = s.overrides;
+        self.epochs = s.epochs;
+    }
+}
+
+/// Opaque snapshot of a simulator's mutable state.
+#[derive(Clone, Debug)]
+pub struct SimState {
+    failed: HashSet<(u32, u32)>,
+    overrides: HashMap<PrefixId, Vec<SourceAnnouncement>>,
+    epochs: HashMap<u32, u32>,
+}
+
+fn insert_rib(rib: &mut Rib, prefix: Prefix, entry: RibEntry) {
+    // Rib has no direct insert; go through an update application.
+    use bgp_types::UpdateBuilder;
+    let mut u = UpdateBuilder::announce(VpId::default(), prefix)
+        .at(entry.time)
+        .as_path(entry.path.clone())
+        .communities(entry.communities.iter().copied())
+        .build();
+    rib.apply(&mut u);
+}
+
+#[inline]
+fn norm(a: u32, b: u32) -> (u32, u32) {
+    if a < b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use as_topology::TopologyBuilder;
+    use bgp_types::Asn;
+
+    #[test]
+    fn heavy_tailed_plan_covers_all_ases() {
+        let t = TopologyBuilder::artificial(500, 31).build();
+        let plan = PrefixPlan::heavy_tailed(&t, 1);
+        assert!(plan.num_prefixes() >= 500);
+        for u in 0..500 {
+            assert!(!plan.prefixes_of[u].is_empty(), "AS {u} has no prefix");
+        }
+        // heavy tail: someone announces many
+        let max = plan.prefixes_of.iter().map(Vec::len).max().unwrap();
+        assert!(max >= 5, "tail too light: max {max}");
+        // group indices are origin-local
+        for (p, &o) in plan.origin_of.iter().enumerate() {
+            assert!(plan.prefixes_of[o as usize].contains(&(p as u32)));
+        }
+    }
+
+    #[test]
+    fn failing_and_restoring_links_changes_tables() {
+        let t = TopologyBuilder::artificial(200, 32).build();
+        let mut sim = Simulator::new(&t);
+        let origin = 150u32;
+        let before = sim.table_for_origin(origin);
+        // fail the origin's first provider link
+        let p = t.providers(origin)[0];
+        assert!(sim.fail_link(origin, p));
+        let during = sim.table_for_origin(origin);
+        assert_ne!(before.path(p), during.path(p));
+        sim.restore_link(origin, p);
+        let after = sim.table_for_origin(origin);
+        for u in 0..t.num_ases() as u32 {
+            assert_eq!(before.path(u), after.path(u));
+        }
+    }
+
+    #[test]
+    fn hijack_override_and_clear() {
+        let t = TopologyBuilder::artificial(200, 33).build();
+        let mut sim = Simulator::new(&t);
+        let prefix = 10u32;
+        sim.start_hijack(prefix, 180, 1);
+        assert!(sim.is_overridden(prefix));
+        let table = sim.table_for_prefix(prefix);
+        // attacker routes to itself
+        assert_eq!(table.source_index(180), Some(1));
+        sim.clear_override(prefix);
+        assert!(!sim.is_overridden(prefix));
+    }
+
+    #[test]
+    fn type3_hijack_uses_real_neighbor_fillers() {
+        let t = TopologyBuilder::artificial(200, 34).build();
+        let mut sim = Simulator::new(&t);
+        let prefix = 20u32;
+        let victim = 20u32;
+        sim.start_hijack(prefix, 100, 3);
+        let srcs = sim.sources_for(prefix);
+        let forged = &srcs[1];
+        assert_eq!(forged.initial_path.len(), 4); // attacker + 2 fillers + victim
+        assert_eq!(*forged.initial_path.last().unwrap(), victim);
+        assert_eq!(forged.initial_path[0], 100);
+    }
+
+    #[test]
+    fn moas_keeps_both_origins() {
+        let t = TopologyBuilder::artificial(100, 35).build();
+        let mut sim = Simulator::new(&t);
+        sim.change_origin(5, 50, true);
+        let srcs = sim.sources_for(5);
+        assert_eq!(srcs.len(), 2);
+        let table = sim.table_for_prefix(5);
+        // both origins keep their own announcement
+        assert_eq!(table.path(50), Some(vec![50]));
+        assert_eq!(table.path(5), Some(vec![5]));
+    }
+
+    #[test]
+    fn rib_snapshot_is_complete_for_connected_topo() {
+        let t = TopologyBuilder::artificial(150, 36).build();
+        let sim = Simulator::new(&t);
+        let vps = t.pick_vps(0.1, 1);
+        let ribs = sim.rib_snapshot(&vps, Timestamp::ZERO);
+        assert_eq!(ribs.len(), vps.len());
+        for (vp, rib) in &ribs {
+            assert_eq!(
+                rib.len(),
+                sim.plan().num_prefixes(),
+                "VP {vp} misses prefixes"
+            );
+        }
+    }
+
+    #[test]
+    fn rib_paths_end_at_origin() {
+        let t = TopologyBuilder::artificial(150, 37).build();
+        let sim = Simulator::new(&t);
+        let vps = t.pick_vps(0.05, 2);
+        let ribs = sim.rib_snapshot(&vps, Timestamp::ZERO);
+        for rib in ribs.values() {
+            for (prefix, entry) in rib.iter() {
+                // prefix id = origin node for one_per_as plan
+                let pid = (0..sim.plan().num_prefixes() as u32)
+                    .find(|&p| sim.prefix(p) == *prefix)
+                    .unwrap();
+                let origin_asn = Asn(sim.plan().origin_of[pid as usize] + 1);
+                assert_eq!(entry.path.origin(), Some(origin_asn));
+            }
+        }
+    }
+
+    #[test]
+    fn save_restore_roundtrip() {
+        let t = TopologyBuilder::artificial(100, 38).build();
+        let mut sim = Simulator::new(&t);
+        let saved = sim.save_state();
+        sim.fail_link(0, t.providers(0).first().copied().unwrap_or(1));
+        sim.start_hijack(3, 70, 2);
+        sim.bump_epoch(4);
+        sim.restore_state(saved);
+        assert!(sim.failed_links().is_empty());
+        assert!(!sim.is_overridden(3));
+        assert_eq!(sim.epoch(4), 0);
+    }
+
+    #[test]
+    fn epochs_accumulate() {
+        let t = TopologyBuilder::artificial(50, 39).build();
+        let mut sim = Simulator::new(&t);
+        assert_eq!(sim.epoch(7), 0);
+        assert_eq!(sim.bump_epoch(7), 1);
+        assert_eq!(sim.bump_epoch(7), 2);
+        assert_eq!(sim.epoch(7), 2);
+    }
+}

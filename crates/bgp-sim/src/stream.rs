@@ -1,0 +1,833 @@
+//! Update-stream synthesis: schedule events, propagate, diff, emit.
+//!
+//! This is the stand-in for the RIS/RV feeds: §11 does exactly the same —
+//! "we generate random link failures and feed GILL the induced BGP updates
+//! collected by every deployed VP". The generator:
+//!
+//! 1. snapshots every VP's initial RIB,
+//! 2. schedules primary events (link failures, hijacks, origin changes,
+//!    community changes) over the window, with secondary events (restores,
+//!    hijack ends) queued after a random hold time,
+//! 3. on each event recomputes the affected route tables, diffs every VP's
+//!    paths and emits announcements/withdrawals with a per-VP convergence
+//!    delay (always < the 100 s correlation slack),
+//! 4. optionally emits BGP *path exploration* — a short-lived transient
+//!    route (stale information from the new next hop) before the final one,
+//!    producing the transient paths of use case I,
+//! 5. replays the whole stream through per-VP RIBs to annotate the
+//!    implicit-withdrawal sets `Lw`/`Cw`.
+//!
+//! Churn is deliberately skewed: a small "flappy" subset of links and
+//! origins receives most events (controlled by
+//! [`StreamConfig::world_seed`], which is *shared across streams* so that
+//! filters trained on one window keep matching later windows — the property
+//! Fig. 7 measures).
+
+use crate::communities::communities_for;
+use crate::events::{EventKind, PrefixId, RecordedEvent};
+use crate::routing::RouteTable;
+use crate::simulator::Simulator;
+use bgp_types::{BgpUpdate, Rib, Timestamp, UpdateBuilder, VpId};
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use std::collections::{BinaryHeap, HashMap};
+use std::time::Duration;
+
+/// Configuration for one synthesized collection window.
+#[derive(Clone, Debug)]
+pub struct StreamConfig {
+    /// Window length in seconds (default 3600 — the paper's one-hour periods).
+    pub duration_secs: u64,
+    /// Number of primary events to inject (default 80).
+    pub events: usize,
+    /// Stream randomness (event times, choices). Different windows of the
+    /// same "world" use different seeds.
+    pub seed: u64,
+    /// World randomness: defines which links/origins are flappy. Keep it
+    /// fixed across windows of the same experiment.
+    pub world_seed: u64,
+    /// Relative weights of the primary event kinds
+    /// (failure, hijack, origin-change, community-change).
+    pub weights: [f64; 4],
+    /// Probability that a path change goes through a transient
+    /// path-exploration step first (use case I).
+    pub explore_prob: f64,
+    /// Emit the initial RIB as announcements at t≈0 (default false; the
+    /// initial state is returned as `initial_ribs` either way).
+    pub include_initial: bool,
+    /// Fraction of links/origins that are "flappy" (receive most churn).
+    pub flappy_fraction: f64,
+    /// Probability that an event hits the flappy subset.
+    pub flappy_weight: f64,
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        StreamConfig {
+            duration_secs: 3600,
+            events: 80,
+            seed: 0,
+            world_seed: 42,
+            weights: [0.45, 0.12, 0.13, 0.30],
+            explore_prob: 0.35,
+            include_initial: false,
+            flappy_fraction: 0.08,
+            flappy_weight: 0.75,
+        }
+    }
+}
+
+impl StreamConfig {
+    /// Sets the number of primary events.
+    pub fn events(mut self, n: usize) -> Self {
+        self.events = n;
+        self
+    }
+
+    /// Sets the stream seed.
+    pub fn seed(mut self, s: u64) -> Self {
+        self.seed = s;
+        self
+    }
+
+    /// Sets the world seed (flappy subsets).
+    pub fn world_seed(mut self, s: u64) -> Self {
+        self.world_seed = s;
+        self
+    }
+
+    /// Sets the window length in seconds.
+    pub fn duration_secs(mut self, d: u64) -> Self {
+        self.duration_secs = d;
+        self
+    }
+
+    /// Sets the event-kind weights (failure, hijack, origin-change,
+    /// community-change).
+    pub fn weights(mut self, w: [f64; 4]) -> Self {
+        self.weights = w;
+        self
+    }
+
+    /// Sets the path-exploration probability.
+    pub fn explore_prob(mut self, p: f64) -> Self {
+        self.explore_prob = p;
+        self
+    }
+
+    /// Emit initial-RIB announcements at the start of the window.
+    pub fn include_initial(mut self, yes: bool) -> Self {
+        self.include_initial = yes;
+        self
+    }
+}
+
+/// A synthesized collection window: the updates every VP exported, plus the
+/// ground truth needed by the evaluations.
+#[derive(Clone, Debug)]
+pub struct UpdateStream {
+    /// All updates, time-sorted, with `Lw`/`Cw` annotated.
+    pub updates: Vec<BgpUpdate>,
+    /// Ground-truth events (with affected prefixes and update counts).
+    pub events: Vec<RecordedEvent>,
+    /// The VPs that fed this window.
+    pub vps: Vec<VpId>,
+    /// prefix id → origin node at window start.
+    pub prefix_origin: Vec<u32>,
+    /// Every VP's RIB at window start.
+    pub initial_ribs: HashMap<VpId, Rib>,
+}
+
+impl UpdateStream {
+    /// Updates observed by one VP, in time order.
+    pub fn updates_of(&self, vp: VpId) -> impl Iterator<Item = &BgpUpdate> {
+        self.updates.iter().filter(move |u| u.vp == vp)
+    }
+
+    /// Total number of updates.
+    pub fn len(&self) -> usize {
+        self.updates.len()
+    }
+
+    /// Whether the stream has no updates.
+    pub fn is_empty(&self) -> bool {
+        self.updates.is_empty()
+    }
+}
+
+/// Key for a cached route table: one per plain origin, one per overridden
+/// prefix.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+enum TableKey {
+    Origin(u32),
+    Prefix(PrefixId),
+}
+
+/// A pending (time-ordered) event.
+struct Pending {
+    time: Timestamp,
+    seq: usize,
+    kind: EventKind,
+}
+impl PartialEq for Pending {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Pending {}
+impl Ord for Pending {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+impl PartialOrd for Pending {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<'a> Simulator<'a> {
+    /// Synthesizes one collection window observed by `vps`. The simulator's
+    /// mutable state is restored afterwards, so successive windows with
+    /// different seeds are independent samples of the same world.
+    pub fn synthesize_stream(&mut self, vps: &[VpId], cfg: StreamConfig) -> UpdateStream {
+        let saved = self.save_state();
+        let out = self.run_stream(vps, &cfg);
+        self.restore_state(saved);
+        out
+    }
+
+    fn run_stream(&mut self, vps: &[VpId], cfg: &StreamConfig) -> UpdateStream {
+        let topo = self.topology();
+        let n = topo.num_ases();
+        let mut rng = SmallRng::seed_from_u64(cfg.seed ^ 0xd1b5_4a32_d192_ed03);
+        let vp_nodes: Vec<(VpId, u32)> = vps
+            .iter()
+            .filter_map(|&v| topo.index_of(v.asn).map(|i| (v, i)))
+            .collect();
+
+        // ---- flappy subsets (world-seeded) -------------------------------
+        let mut wrng = SmallRng::seed_from_u64(cfg.world_seed ^ 0xaaaa_bbbb_cccc_dddd);
+        let all_links: Vec<(u32, u32)> = topo
+            .links()
+            .iter()
+            .map(|l| (l.a.min(l.b), l.a.max(l.b)))
+            .collect();
+        let mut flappy_links = all_links.clone();
+        flappy_links.shuffle(&mut wrng);
+        flappy_links.truncate(((all_links.len() as f64 * cfg.flappy_fraction) as usize).max(1));
+        let mut flappy_origins: Vec<u32> = (0..n as u32).collect();
+        flappy_origins.shuffle(&mut wrng);
+        flappy_origins.truncate(((n as f64 * cfg.flappy_fraction) as usize).max(1));
+
+        // ---- initial state ------------------------------------------------
+        let initial_ribs = self.rib_snapshot(vps, Timestamp::ZERO);
+        let mut tables: HashMap<TableKey, RouteTable> = HashMap::new();
+        for origin in 0..n as u32 {
+            tables.insert(TableKey::Origin(origin), self.table_for_origin(origin));
+        }
+
+        let mut updates: Vec<BgpUpdate> = Vec::new();
+        if cfg.include_initial {
+            for vp in vps {
+                let rib = &initial_ribs[vp];
+                let mut entries: Vec<_> = rib.iter().collect();
+                entries.sort_by_key(|(p, _)| **p);
+                for (prefix, entry) in entries {
+                    updates.push(
+                        UpdateBuilder::announce(*vp, *prefix)
+                            .at(Timestamp::from_millis(rng.gen_range(0..5_000)))
+                            .as_path(entry.path.clone())
+                            .communities(entry.communities.iter().copied())
+                            .build(),
+                    );
+                }
+            }
+        }
+
+        // ---- schedule primary events -------------------------------------
+        let mut queue: BinaryHeap<Pending> = BinaryHeap::new();
+        let mut seq = 0usize;
+        let horizon = cfg.duration_secs.saturating_sub(120).max(60);
+        let wsum: f64 = cfg.weights.iter().sum();
+        for _ in 0..cfg.events {
+            let t = Timestamp::from_millis(rng.gen_range(30_000..horizon * 1000));
+            let r = rng.gen::<f64>() * wsum;
+            let kind = if r < cfg.weights[0] {
+                let &(a, b) = if rng.gen::<f64>() < cfg.flappy_weight {
+                    flappy_links.choose(&mut rng).unwrap()
+                } else {
+                    all_links.choose(&mut rng).unwrap()
+                };
+                EventKind::LinkFailure { a, b }
+            } else if r < cfg.weights[0] + cfg.weights[1] {
+                let prefix = rng.gen_range(0..self.plan().num_prefixes() as u32);
+                let attacker = rng.gen_range(0..n as u32);
+                let x = if rng.gen::<f64>() < 0.7 { 1 } else { 2 };
+                EventKind::ForgedOriginHijack {
+                    prefix,
+                    attacker,
+                    hijack_type: x,
+                }
+            } else if r < cfg.weights[0] + cfg.weights[1] + cfg.weights[2] {
+                let prefix = rng.gen_range(0..self.plan().num_prefixes() as u32);
+                let new_origin = rng.gen_range(0..n as u32);
+                EventKind::OriginChange {
+                    prefix,
+                    new_origin,
+                    moas: rng.gen::<f64>() < 0.5,
+                }
+            } else {
+                let origin = if rng.gen::<f64>() < cfg.flappy_weight {
+                    *flappy_origins.choose(&mut rng).unwrap()
+                } else {
+                    rng.gen_range(0..n as u32)
+                };
+                EventKind::CommunityChange { origin }
+            };
+            queue.push(Pending {
+                time: t,
+                seq: {
+                    seq += 1;
+                    seq
+                },
+                kind,
+            });
+        }
+
+        // ---- execute -------------------------------------------------------
+        let mut events: Vec<RecordedEvent> = Vec::new();
+        // affected keys recorded per failed link, for the matching restore
+        let mut fail_scope: HashMap<(u32, u32), Vec<TableKey>> = HashMap::new();
+
+        while let Some(Pending { time, kind, .. }) = queue.pop() {
+            let mut affected: Vec<TableKey> = Vec::new();
+            let mut olds: HashMap<TableKey, RouteTable> = HashMap::new();
+
+            // 1. determine scope & snapshot old tables, 2. mutate state
+            match &kind {
+                EventKind::LinkFailure { a, b } => {
+                    if !self.fail_link(*a, *b) {
+                        continue; // already down
+                    }
+                    for (key, t) in &tables {
+                        if t.uses_link(*a, *b) {
+                            affected.push(*key);
+                        }
+                    }
+                    fail_scope.insert((*a.min(b), *a.max(b)), affected.clone());
+                    // schedule restore
+                    let hold = Duration::from_secs(rng.gen_range(120..900));
+                    queue.push(Pending {
+                        time: time + hold,
+                        seq: {
+                            seq += 1;
+                            seq
+                        },
+                        kind: EventKind::LinkRestore { a: *a, b: *b },
+                    });
+                }
+                EventKind::LinkRestore { a, b } => {
+                    if !self.restore_link(*a, *b) {
+                        continue;
+                    }
+                    affected = fail_scope
+                        .remove(&(*a.min(b), *a.max(b)))
+                        .unwrap_or_default();
+                    // keep only keys that still exist
+                    affected.retain(|k| tables.contains_key(k));
+                }
+                EventKind::ForgedOriginHijack {
+                    prefix, attacker, ..
+                } => {
+                    if self.is_overridden(*prefix) {
+                        continue; // one override at a time per prefix
+                    }
+                    let origin = self.plan().origin_of[*prefix as usize];
+                    if *attacker == origin {
+                        continue;
+                    }
+                    olds.insert(
+                        TableKey::Prefix(*prefix),
+                        tables[&TableKey::Origin(origin)].clone(),
+                    );
+                    if let EventKind::ForgedOriginHijack {
+                        prefix: p,
+                        attacker: at,
+                        hijack_type,
+                    } = kind
+                    {
+                        self.start_hijack(p, at, hijack_type);
+                    }
+                    affected.push(TableKey::Prefix(*prefix));
+                    let hold = Duration::from_secs(rng.gen_range(300..1200));
+                    queue.push(Pending {
+                        time: time + hold,
+                        seq: {
+                            seq += 1;
+                            seq
+                        },
+                        kind: EventKind::HijackEnd { prefix: *prefix },
+                    });
+                }
+                EventKind::HijackEnd { prefix } => {
+                    if !self.is_overridden(*prefix) {
+                        continue;
+                    }
+                    olds.insert(
+                        TableKey::Prefix(*prefix),
+                        tables
+                            .remove(&TableKey::Prefix(*prefix))
+                            .unwrap_or_else(|| self.table_for_prefix(*prefix)),
+                    );
+                    self.clear_override(*prefix);
+                    affected.push(TableKey::Prefix(*prefix));
+                }
+                EventKind::OriginChange {
+                    prefix,
+                    new_origin,
+                    moas,
+                } => {
+                    if self.is_overridden(*prefix)
+                        || *new_origin == self.plan().origin_of[*prefix as usize]
+                    {
+                        continue;
+                    }
+                    let origin = self.plan().origin_of[*prefix as usize];
+                    olds.insert(
+                        TableKey::Prefix(*prefix),
+                        tables[&TableKey::Origin(origin)].clone(),
+                    );
+                    self.change_origin(*prefix, *new_origin, *moas);
+                    affected.push(TableKey::Prefix(*prefix));
+                }
+                EventKind::CommunityChange { origin } => {
+                    self.bump_epoch(*origin);
+                    affected.push(TableKey::Origin(*origin));
+                }
+            }
+
+            // 3. recompute & diff (sorted: HashMap scan order above is not
+            //    deterministic, the stream must be)
+            affected.sort_unstable();
+            affected.dedup();
+            let mut emitted = 0usize;
+            let mut affected_prefixes: Vec<PrefixId> = Vec::new();
+            let community_only = matches!(kind, EventKind::CommunityChange { .. });
+            for key in affected {
+                let old = olds
+                    .remove(&key)
+                    .or_else(|| tables.get(&key).cloned())
+                    .unwrap_or_else(|| match key {
+                        TableKey::Origin(o) => self.table_for_origin(o),
+                        TableKey::Prefix(p) => self.table_for_prefix(p),
+                    });
+                let new = match key {
+                    TableKey::Origin(o) => self.table_for_origin(o),
+                    TableKey::Prefix(p) => {
+                        if self.is_overridden(p) {
+                            self.table_for_prefix(p)
+                        } else {
+                            // back to plain origin routing
+                            self.table_for_origin(self.plan().origin_of[p as usize])
+                        }
+                    }
+                };
+                let prefixes: Vec<PrefixId> = match key {
+                    TableKey::Origin(o) => self.plan().prefixes_of[o as usize]
+                        .iter()
+                        .copied()
+                        .filter(|p| !self.is_overridden(*p))
+                        .collect(),
+                    TableKey::Prefix(p) => vec![p],
+                };
+                let count = self.diff_and_emit(
+                    &vp_nodes,
+                    &old,
+                    &new,
+                    &prefixes,
+                    time,
+                    community_only,
+                    cfg.explore_prob,
+                    &mut rng,
+                    &mut updates,
+                );
+                if count > 0 {
+                    affected_prefixes.extend(&prefixes);
+                }
+                emitted += count;
+                // update cache (per-prefix overrides live under Prefix key;
+                // a cleared override goes back to the Origin key, which is
+                // still cached and may be refreshed here too)
+                match key {
+                    TableKey::Origin(_) => {
+                        tables.insert(key, new);
+                    }
+                    TableKey::Prefix(p) => {
+                        if self.is_overridden(p) {
+                            tables.insert(key, new);
+                        } else {
+                            tables.remove(&key);
+                        }
+                    }
+                }
+            }
+
+            events.push(RecordedEvent {
+                id: events.len(),
+                kind,
+                time,
+                affected_prefixes,
+                emitted_updates: emitted,
+            });
+        }
+
+        // ---- annotate Lw/Cw by replay --------------------------------------
+        updates.sort_by_key(|u| (u.time, u.vp, u.prefix));
+        let mut ribs: HashMap<VpId, Rib> = initial_ribs.clone();
+        for u in updates.iter_mut() {
+            ribs.entry(u.vp).or_default().apply(u);
+        }
+
+        events.sort_by_key(|e| e.time);
+        for (i, e) in events.iter_mut().enumerate() {
+            e.id = i;
+        }
+
+        UpdateStream {
+            updates,
+            events,
+            vps: vps.to_vec(),
+            prefix_origin: self.plan().origin_of.clone(),
+            initial_ribs,
+        }
+    }
+
+    /// Diffs two route tables for every VP and emits updates. Returns the
+    /// number of updates emitted.
+    #[allow(clippy::too_many_arguments)]
+    fn diff_and_emit(
+        &self,
+        vp_nodes: &[(VpId, u32)],
+        old: &RouteTable,
+        new: &RouteTable,
+        prefixes: &[PrefixId],
+        time: Timestamp,
+        community_only: bool,
+        explore_prob: f64,
+        rng: &mut SmallRng,
+        updates: &mut Vec<BgpUpdate>,
+    ) -> usize {
+        let mut emitted = 0usize;
+        for &(vp, node) in vp_nodes {
+            let old_path = old.path(node);
+            let new_path = new.path(node);
+            if community_only {
+                // same path, re-tagged communities
+                if let Some(p) = &new_path {
+                    let delay = self.convergence_delay(p.len(), rng);
+                    for &pid in prefixes {
+                        let origin = self.plan().origin_of[pid as usize];
+                        let comms =
+                            communities_for(p, self.plan().group_of[pid as usize], self.epoch(origin));
+                        updates.push(
+                            UpdateBuilder::announce(vp, self.prefix(pid))
+                                .at(time + delay)
+                                .as_path(self.as_path(p))
+                                .communities(comms)
+                                .build(),
+                        );
+                        emitted += 1;
+                    }
+                }
+                continue;
+            }
+            if old_path == new_path {
+                continue;
+            }
+            match (&old_path, &new_path) {
+                (_, Some(np)) => {
+                    let delay = self.convergence_delay(np.len(), rng);
+                    // optional path exploration: stale route via the new
+                    // next hop, visible briefly before the final route
+                    let transient = if old_path.is_some() && rng.gen::<f64>() < explore_prob {
+                        self.transient_path(node, np, old)
+                    } else {
+                        None
+                    };
+                    for &pid in prefixes {
+                        let origin_epoch = self.epoch(self.plan().origin_of[pid as usize]);
+                        let group = self.plan().group_of[pid as usize];
+                        if let Some(tp) = &transient {
+                            let tdelay = Duration::from_millis(
+                                (delay.as_millis() as u64).saturating_mul(30) / 100,
+                            );
+                            updates.push(
+                                UpdateBuilder::announce(vp, self.prefix(pid))
+                                    .at(time + tdelay)
+                                    .as_path(self.as_path(tp))
+                                    .communities(communities_for(tp, group, origin_epoch))
+                                    .build(),
+                            );
+                            emitted += 1;
+                        }
+                        updates.push(
+                            UpdateBuilder::announce(vp, self.prefix(pid))
+                                .at(time + delay)
+                                .as_path(self.as_path(np))
+                                .communities(communities_for(np, group, origin_epoch))
+                                .build(),
+                        );
+                        emitted += 1;
+                    }
+                }
+                (Some(op), None) => {
+                    let delay = self.convergence_delay(op.len(), rng);
+                    for &pid in prefixes {
+                        updates.push(
+                            UpdateBuilder::withdraw(vp, self.prefix(pid))
+                                .at(time + delay)
+                                .build(),
+                        );
+                        emitted += 1;
+                    }
+                }
+                (None, None) => {}
+            }
+        }
+        emitted
+    }
+
+    /// Path exploration: the VP briefly believes the *stale* route of its
+    /// new next hop (classic BGP path exploration \[39\]). Returns a loop-free
+    /// transient path different from the final one, if any.
+    fn transient_path(&self, node: u32, new_path: &[u32], old: &RouteTable) -> Option<Vec<u32>> {
+        if new_path.len() < 2 {
+            return None;
+        }
+        let next_hop = new_path[1];
+        let stale = old.path(next_hop)?;
+        if stale.contains(&node) {
+            return None; // would loop
+        }
+        let mut t = Vec::with_capacity(stale.len() + 1);
+        t.push(node);
+        t.extend_from_slice(&stale);
+        if t == new_path {
+            None
+        } else {
+            Some(t)
+        }
+    }
+
+    /// Per-VP convergence delay: base + per-hop + jitter, always < 100 s so
+    /// correlated updates stay within the paper's time slack.
+    fn convergence_delay(&self, path_len: usize, rng: &mut SmallRng) -> Duration {
+        let ms = 800
+            + 600 * path_len.min(20) as u64
+            + rng.gen_range(0..4_000);
+        Duration::from_millis(ms.min(90_000))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use as_topology::TopologyBuilder;
+    use bgp_types::UpdateKind;
+
+    fn small_stream(seed: u64, events: usize) -> (UpdateStream, usize) {
+        let topo = TopologyBuilder::artificial(150, 5).build();
+        let mut sim = Simulator::new(&topo);
+        let vps = topo.pick_vps(0.2, 3);
+        let nvps = vps.len();
+        let s = sim.synthesize_stream(
+            &vps,
+            StreamConfig::default().events(events).seed(seed),
+        );
+        (s, nvps)
+    }
+
+    #[test]
+    fn stream_is_time_sorted_and_annotated() {
+        let (s, _) = small_stream(1, 40);
+        assert!(!s.is_empty(), "no updates generated");
+        for w in s.updates.windows(2) {
+            assert!(w[0].time <= w[1].time);
+        }
+        // some update must have a non-empty withdrawn-link set (a path change)
+        assert!(
+            s.updates.iter().any(|u| !u.withdrawn_links.is_empty()),
+            "no implicit withdrawals annotated"
+        );
+    }
+
+    #[test]
+    fn stream_is_deterministic() {
+        let (a, _) = small_stream(7, 30);
+        let (b, _) = small_stream(7, 30);
+        assert_eq!(a.updates.len(), b.updates.len());
+        assert_eq!(a.updates, b.updates);
+        let (c, _) = small_stream(8, 30);
+        assert_ne!(
+            a.updates.len() == c.updates.len() && a.updates == c.updates,
+            true,
+            "different seeds must differ"
+        );
+    }
+
+    #[test]
+    fn events_are_recorded_with_counts() {
+        let (s, _) = small_stream(2, 40);
+        assert!(!s.events.is_empty());
+        let total: usize = s.events.iter().map(|e| e.emitted_updates).sum();
+        let base = if s.updates.is_empty() { 0 } else { total };
+        assert_eq!(base, s.updates.len(), "event counts must sum to stream size");
+        // recorded events are time sorted with sequential ids
+        for (i, e) in s.events.iter().enumerate() {
+            assert_eq!(e.id, i);
+        }
+    }
+
+    #[test]
+    fn failure_produces_updates_or_withdrawals_and_restore_reverts() {
+        let topo = TopologyBuilder::artificial(120, 9).build();
+        let mut sim = Simulator::new(&topo);
+        let vps = topo.pick_vps(0.5, 1);
+        let s = sim.synthesize_stream(
+            &vps,
+            StreamConfig::default()
+                .events(25)
+                .seed(11)
+                .weights([1.0, 0.0, 0.0, 0.0]),
+        );
+        assert!(s.updates.iter().all(|u| match u.kind {
+            UpdateKind::Announce => !u.path.is_empty(),
+            UpdateKind::Withdraw => u.path.is_empty(),
+        }));
+        // the simulator state is restored
+        assert!(sim.failed_links().is_empty());
+    }
+
+    #[test]
+    fn community_change_emits_unchanged_path_updates() {
+        let topo = TopologyBuilder::artificial(100, 10).build();
+        let mut sim = Simulator::new(&topo);
+        let vps = topo.pick_vps(0.3, 2);
+        let s = sim.synthesize_stream(
+            &vps,
+            StreamConfig::default()
+                .events(12)
+                .seed(13)
+                .weights([0.0, 0.0, 0.0, 1.0]),
+        );
+        assert!(!s.is_empty());
+        // every update announces an unchanged path: Lw must be empty and the
+        // previous RIB entry had the same path
+        for u in &s.updates {
+            assert!(u.is_announce());
+            assert!(u.withdrawn_links.is_empty(), "path changed on community event");
+        }
+        // and communities actually changed for at least one update
+        assert!(s.updates.iter().any(|u| !u.withdrawn_communities.is_empty()));
+    }
+
+    #[test]
+    fn hijack_updates_route_to_attacker() {
+        let topo = TopologyBuilder::artificial(100, 11).build();
+        let mut sim = Simulator::new(&topo);
+        let vps = topo.pick_vps(1.0, 2); // all ASes host VPs
+        let s = sim.synthesize_stream(
+            &vps,
+            StreamConfig::default()
+                .events(6)
+                .seed(17)
+                .weights([0.0, 1.0, 0.0, 0.0]),
+        );
+        let hijacks: Vec<_> = s
+            .events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::ForgedOriginHijack { .. }))
+            .collect();
+        assert!(!hijacks.is_empty());
+        // at full coverage, some hijack must be visible
+        let visible = hijacks.iter().any(|e| e.emitted_updates > 0);
+        assert!(visible, "no hijack visible at 100% coverage");
+    }
+
+    #[test]
+    fn include_initial_emits_full_ribs() {
+        let topo = TopologyBuilder::artificial(60, 12).build();
+        let mut sim = Simulator::new(&topo);
+        let vps = topo.pick_vps(0.1, 3);
+        let s = sim.synthesize_stream(
+            &vps,
+            StreamConfig::default().events(0).include_initial(true).seed(1),
+        );
+        let expected = vps.len() * sim.plan().num_prefixes();
+        assert_eq!(s.updates.len(), expected);
+    }
+
+    #[test]
+    fn transient_paths_precede_final_paths() {
+        let topo = TopologyBuilder::artificial(200, 13).build();
+        let mut sim = Simulator::new(&topo);
+        let vps = topo.pick_vps(0.5, 4);
+        let s = sim.synthesize_stream(
+            &vps,
+            StreamConfig::default()
+                .events(40)
+                .seed(19)
+                .weights([1.0, 0.0, 0.0, 0.0])
+                .explore_prob(1.0),
+        );
+        // find a (vp, prefix) with two announcements close in time: the
+        // transient then the final
+        let mut found = false;
+        for (i, u) in s.updates.iter().enumerate() {
+            for v in s.updates.iter().skip(i + 1) {
+                if u.vp == v.vp
+                    && u.prefix == v.prefix
+                    && u.is_announce()
+                    && v.is_announce()
+                    && u.path != v.path
+                    && (v.time - u.time) < Duration::from_secs(300)
+                {
+                    found = true;
+                    break;
+                }
+            }
+            if found {
+                break;
+            }
+        }
+        assert!(found, "no transient path produced with explore_prob = 1");
+    }
+
+    #[test]
+    fn delays_stay_within_correlation_slack() {
+        let (s, _) = small_stream(23, 40);
+        for e in &s.events {
+            for u in &s.updates {
+                // every update belongs to some event; just assert global
+                // bound: updates never lag an event by >= 100 s when they
+                // share its timestamp neighborhood. Simplest check: delay
+                // model caps at 90 s, so min gap to the *triggering* event
+                // is below slack. Verify no update precedes every event.
+                let _ = (e, u);
+            }
+        }
+        // direct check of the delay model
+        let topo = TopologyBuilder::artificial(50, 1).build();
+        let sim = Simulator::new(&topo);
+        let mut rng = SmallRng::seed_from_u64(1);
+        for len in [1usize, 5, 30] {
+            let d = sim.convergence_delay(len, &mut rng);
+            assert!(d < Duration::from_secs(100));
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! Autonomous System Numbers.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// A 32-bit Autonomous System Number (RFC 6793 four-octet ASN).
+///
+/// `Asn` is a transparent newtype over `u32`; it exists so that AS numbers,
+/// node indices, and prefix identifiers cannot be mixed up silently.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Asn(pub u32);
+
+impl Asn {
+    /// The reserved ASN 0, never valid on the wire (RFC 7607).
+    pub const RESERVED: Asn = Asn(0);
+
+    /// AS_TRANS (RFC 6793): stands in for four-octet ASNs in two-octet fields.
+    pub const TRANS: Asn = Asn(23456);
+
+    /// Returns the raw numeric value.
+    #[inline]
+    pub const fn value(self) -> u32 {
+        self.0
+    }
+
+    /// Whether this ASN fits in the legacy two-octet space.
+    #[inline]
+    pub const fn is_two_octet(self) -> bool {
+        self.0 <= u16::MAX as u32
+    }
+
+    /// Whether this ASN is in a private-use range (RFC 6996).
+    #[inline]
+    pub const fn is_private(self) -> bool {
+        (self.0 >= 64512 && self.0 <= 65534) || (self.0 >= 4_200_000_000 && self.0 <= 4_294_967_294)
+    }
+}
+
+impl fmt::Display for Asn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "AS{}", self.0)
+    }
+}
+
+impl fmt::Debug for Asn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "AS{}", self.0)
+    }
+}
+
+impl From<u32> for Asn {
+    fn from(v: u32) -> Self {
+        Asn(v)
+    }
+}
+
+impl From<Asn> for u32 {
+    fn from(a: Asn) -> Self {
+        a.0
+    }
+}
+
+/// Error returned when parsing an [`Asn`] from a string fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseAsnError(String);
+
+impl fmt::Display for ParseAsnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid ASN: {:?}", self.0)
+    }
+}
+
+impl std::error::Error for ParseAsnError {}
+
+impl FromStr for Asn {
+    type Err = ParseAsnError;
+
+    /// Accepts `"65000"` and `"AS65000"` (case-insensitive prefix).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let digits = s
+            .strip_prefix("AS")
+            .or_else(|| s.strip_prefix("as"))
+            .or_else(|| s.strip_prefix("As"))
+            .unwrap_or(s);
+        digits
+            .parse::<u32>()
+            .map(Asn)
+            .map_err(|_| ParseAsnError(s.to_owned()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_parse_roundtrip() {
+        let a = Asn(65001);
+        assert_eq!(a.to_string(), "AS65001");
+        assert_eq!("AS65001".parse::<Asn>().unwrap(), a);
+        assert_eq!("65001".parse::<Asn>().unwrap(), a);
+        assert_eq!("as65001".parse::<Asn>().unwrap(), a);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!("ASX".parse::<Asn>().is_err());
+        assert!("".parse::<Asn>().is_err());
+        assert!("AS-1".parse::<Asn>().is_err());
+        assert!("4294967296".parse::<Asn>().is_err()); // > u32::MAX
+    }
+
+    #[test]
+    fn two_octet_boundary() {
+        assert!(Asn(65535).is_two_octet());
+        assert!(!Asn(65536).is_two_octet());
+    }
+
+    #[test]
+    fn private_ranges() {
+        assert!(Asn(64512).is_private());
+        assert!(Asn(65534).is_private());
+        assert!(!Asn(65535).is_private());
+        assert!(Asn(4_200_000_000).is_private());
+        assert!(!Asn(3_000).is_private());
+    }
+
+    #[test]
+    fn ordering_follows_numeric_value() {
+        assert!(Asn(1) < Asn(2));
+        assert!(Asn(65536) > Asn(65535));
+    }
+}

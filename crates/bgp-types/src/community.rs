@@ -1,0 +1,147 @@
+//! BGP community values (RFC 1997).
+
+use crate::Asn;
+use std::fmt;
+use std::str::FromStr;
+
+/// A classic 32-bit BGP community, displayed as `asn:value`.
+///
+/// The high 16 bits identify the AS that defined the community, the low
+/// 16 bits carry the AS-local meaning. The paper distinguishes *informational*
+/// communities (e.g. ingress-point tags) from *action* communities (traffic
+/// engineering requests — the hardest to observe, use case IV in §10).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Community(pub u32);
+
+impl Community {
+    /// Builds a community from an AS part and a value part.
+    #[inline]
+    pub const fn new(asn: u16, value: u16) -> Self {
+        Community(((asn as u32) << 16) | value as u32)
+    }
+
+    /// The AS part (high 16 bits).
+    #[inline]
+    pub const fn asn_part(self) -> u16 {
+        (self.0 >> 16) as u16
+    }
+
+    /// The AS part as an [`Asn`].
+    #[inline]
+    pub const fn asn(self) -> Asn {
+        Asn(self.0 >> 16)
+    }
+
+    /// The value part (low 16 bits).
+    #[inline]
+    pub const fn value_part(self) -> u16 {
+        (self.0 & 0xffff) as u16
+    }
+
+    /// Raw 32-bit representation.
+    #[inline]
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// `NO_EXPORT` well-known community (RFC 1997).
+    pub const NO_EXPORT: Community = Community(0xFFFF_FF01);
+    /// `NO_ADVERTISE` well-known community (RFC 1997).
+    pub const NO_ADVERTISE: Community = Community(0xFFFF_FF02);
+    /// `NO_EXPORT_SUBCONFED` well-known community (RFC 1997).
+    pub const NO_EXPORT_SUBCONFED: Community = Community(0xFFFF_FF03);
+
+    /// Whether this is one of the RFC 1997 well-known communities.
+    pub fn is_well_known(self) -> bool {
+        self.asn_part() == 0xFFFF
+    }
+
+    /// Convention used by the synthetic workload generator: value parts in
+    /// `[ACTION_BASE, ACTION_BASE + ACTION_RANGE)` denote *action*
+    /// communities (traffic-engineering requests). Mirrors the action/
+    /// informational split of \[60\] used by use case IV.
+    pub const ACTION_BASE: u16 = 600;
+    /// Width of the action-community value range.
+    pub const ACTION_RANGE: u16 = 100;
+
+    /// Whether this community encodes a traffic-engineering *action* under
+    /// the synthetic-workload convention.
+    pub fn is_action(self) -> bool {
+        let v = self.value_part();
+        !self.is_well_known() && (Self::ACTION_BASE..Self::ACTION_BASE + Self::ACTION_RANGE).contains(&v)
+    }
+}
+
+impl fmt::Display for Community {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.asn_part(), self.value_part())
+    }
+}
+
+impl fmt::Debug for Community {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+/// Error returned when parsing a [`Community`] fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseCommunityError(String);
+
+impl fmt::Display for ParseCommunityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid community: {:?}", self.0)
+    }
+}
+
+impl std::error::Error for ParseCommunityError {}
+
+impl FromStr for Community {
+    type Err = ParseCommunityError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = || ParseCommunityError(s.to_owned());
+        let (a, v) = s.split_once(':').ok_or_else(err)?;
+        let a: u16 = a.parse().map_err(|_| err())?;
+        let v: u16 = v.parse().map_err(|_| err())?;
+        Ok(Community::new(a, v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_unpack() {
+        let c = Community::new(65000, 42);
+        assert_eq!(c.asn_part(), 65000);
+        assert_eq!(c.value_part(), 42);
+        assert_eq!(c.raw(), (65000u32 << 16) | 42);
+    }
+
+    #[test]
+    fn parse_display_roundtrip() {
+        let c: Community = "65000:120".parse().unwrap();
+        assert_eq!(c.to_string(), "65000:120");
+        assert!("65000".parse::<Community>().is_err());
+        assert!("70000:1".parse::<Community>().is_err());
+        assert!("1:70000".parse::<Community>().is_err());
+    }
+
+    #[test]
+    fn well_known() {
+        assert!(Community::NO_EXPORT.is_well_known());
+        assert_eq!(Community::NO_EXPORT.to_string(), "65535:65281");
+        assert!(!Community::new(65000, 1).is_well_known());
+    }
+
+    #[test]
+    fn action_convention() {
+        assert!(Community::new(100, 650).is_action());
+        assert!(!Community::new(100, 100).is_action());
+        assert!(!Community::new(100, 700).is_action());
+        // well-known never counts as action
+        assert!(!Community::NO_EXPORT.is_action());
+    }
+}

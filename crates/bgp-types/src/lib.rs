@@ -1,0 +1,45 @@
+//! Core BGP data model for the GILL reproduction.
+//!
+//! This crate defines the value types shared by every other crate in the
+//! workspace: autonomous-system numbers, IP prefixes, AS paths, BGP
+//! communities, vantage points, timestamps, BGP updates with the exact
+//! attribute set the paper uses (§4.2: `u(v, t, p, L, Lw, C, Cw)`), and a
+//! per-VP Routing Information Base (RIB) that derives the implicitly
+//! withdrawn link/community sets when a new update replaces a previous one.
+//!
+//! The types are deliberately small, `Copy` where possible, and hashable so
+//! the redundancy algorithms in `gill-core` can use them as map keys.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod asn;
+pub mod community;
+pub mod link;
+pub mod path;
+pub mod prefix;
+pub mod rib;
+pub mod time;
+pub mod trie;
+pub mod update;
+pub mod vp;
+
+pub use asn::Asn;
+pub use community::Community;
+pub use link::Link;
+pub use path::AsPath;
+pub use prefix::Prefix;
+pub use rib::{Rib, RibEntry};
+pub use time::Timestamp;
+pub use trie::PrefixTrie;
+pub use update::{BgpUpdate, UpdateBuilder, UpdateKind};
+pub use vp::VpId;
+
+/// Slack (in seconds) used throughout the paper when comparing update
+/// timestamps: two updates are "at the same time" if their timestamps differ
+/// by less than 100 s, accommodating typical BGP convergence delay (§4.2,
+/// Condition 1; §17.2 footnote).
+pub const TIME_SLACK_SECS: u64 = 100;
+
+/// Slack in milliseconds (the internal clock resolution).
+pub const TIME_SLACK_MILLIS: u64 = TIME_SLACK_SECS * 1000;

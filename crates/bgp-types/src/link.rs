@@ -1,0 +1,96 @@
+//! Directed AS-level links.
+
+use crate::Asn;
+use std::fmt;
+
+/// A directed AS-level adjacency `from -> to` as it appears in an AS path.
+///
+/// Links are directed because the anchor-VP feature graph (§18) is a directed
+/// weighted graph: "two identical paths in opposite directions should not
+/// appear as redundant". Use [`Link::undirected`] to get a canonical
+/// orientation when an unordered adjacency is needed (e.g. topology mapping,
+/// use case III).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Link {
+    /// The AS closer to the observing vantage point.
+    pub from: Asn,
+    /// The AS closer to the origin.
+    pub to: Asn,
+}
+
+impl Link {
+    /// Creates a directed link.
+    #[inline]
+    pub const fn new(from: Asn, to: Asn) -> Self {
+        Self { from, to }
+    }
+
+    /// The same adjacency with endpoints swapped.
+    #[inline]
+    pub const fn reversed(self) -> Self {
+        Link {
+            from: self.to,
+            to: self.from,
+        }
+    }
+
+    /// Canonical undirected form: smaller ASN first.
+    #[inline]
+    pub fn undirected(self) -> Self {
+        if self.from <= self.to {
+            self
+        } else {
+            self.reversed()
+        }
+    }
+
+    /// Whether the link is a self-loop (appears with path prepending).
+    #[inline]
+    pub fn is_loop(self) -> bool {
+        self.from == self.to
+    }
+}
+
+impl fmt::Display for Link {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}->{}", self.from, self.to)
+    }
+}
+
+impl fmt::Debug for Link {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl From<(Asn, Asn)> for Link {
+    fn from((a, b): (Asn, Asn)) -> Self {
+        Link::new(a, b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn undirected_is_canonical() {
+        let a = Link::new(Asn(5), Asn(3));
+        let b = Link::new(Asn(3), Asn(5));
+        assert_ne!(a, b);
+        assert_eq!(a.undirected(), b.undirected());
+        assert_eq!(a.undirected(), Link::new(Asn(3), Asn(5)));
+    }
+
+    #[test]
+    fn reversed_twice_is_identity() {
+        let l = Link::new(Asn(1), Asn(2));
+        assert_eq!(l.reversed().reversed(), l);
+    }
+
+    #[test]
+    fn loop_detection() {
+        assert!(Link::new(Asn(9), Asn(9)).is_loop());
+        assert!(!Link::new(Asn(9), Asn(8)).is_loop());
+    }
+}

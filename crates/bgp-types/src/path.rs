@@ -1,0 +1,226 @@
+//! AS paths.
+
+use crate::{Asn, Link};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// An AS path: the sequence of ASes an announcement traversed, leftmost AS
+/// nearest the observing vantage point, rightmost AS the origin.
+///
+/// Only `AS_SEQUENCE` semantics are modelled (the simulator never produces
+/// `AS_SET`s; the wire codec in `bgp-wire` can still parse them but flattens
+/// into a sequence).
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct AsPath(Vec<Asn>);
+
+impl AsPath {
+    /// An empty path (used for locally originated routes).
+    pub const fn empty() -> Self {
+        AsPath(Vec::new())
+    }
+
+    /// Builds a path from a sequence of ASNs (leftmost = neighbor of the VP).
+    pub fn new(hops: Vec<Asn>) -> Self {
+        AsPath(hops)
+    }
+
+    /// Convenience constructor from raw `u32`s.
+    pub fn from_u32s<I: IntoIterator<Item = u32>>(hops: I) -> Self {
+        AsPath(hops.into_iter().map(Asn).collect())
+    }
+
+    /// Number of hops, counting prepends.
+    #[inline]
+    pub fn hop_count(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Path length with prepends collapsed (the routing-decision length).
+    pub fn unique_len(&self) -> usize {
+        let mut n = 0;
+        let mut prev: Option<Asn> = None;
+        for &a in &self.0 {
+            if prev != Some(a) {
+                n += 1;
+            }
+            prev = Some(a);
+        }
+        n
+    }
+
+    /// `true` if the path has no hops.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// The origin AS (rightmost), if any.
+    #[inline]
+    pub fn origin(&self) -> Option<Asn> {
+        self.0.last().copied()
+    }
+
+    /// The first hop (the VP's neighbor), if any.
+    #[inline]
+    pub fn first_hop(&self) -> Option<Asn> {
+        self.0.first().copied()
+    }
+
+    /// The hops, leftmost first.
+    #[inline]
+    pub fn hops(&self) -> &[Asn] {
+        &self.0
+    }
+
+    /// Whether `asn` appears anywhere in the path.
+    pub fn contains(&self, asn: Asn) -> bool {
+        self.0.contains(&asn)
+    }
+
+    /// Whether the path contains a routing loop (a non-adjacent repeat);
+    /// adjacent repeats are prepending, not loops.
+    pub fn has_loop(&self) -> bool {
+        let mut seen = BTreeSet::new();
+        let mut prev = None;
+        for &a in &self.0 {
+            if prev == Some(a) {
+                continue; // prepend
+            }
+            if !seen.insert(a) {
+                return true;
+            }
+            prev = Some(a);
+        }
+        false
+    }
+
+    /// Returns a new path with `asn` prepended (as done by the neighbor that
+    /// propagates the route).
+    pub fn prepend(&self, asn: Asn) -> AsPath {
+        let mut v = Vec::with_capacity(self.0.len() + 1);
+        v.push(asn);
+        v.extend_from_slice(&self.0);
+        AsPath(v)
+    }
+
+    /// The set `L` of directed AS links in the path (§4.2), prepending
+    /// collapsed (self-loops are skipped).
+    pub fn links(&self) -> BTreeSet<Link> {
+        let mut out = BTreeSet::new();
+        for w in self.0.windows(2) {
+            let l = Link::new(w[0], w[1]);
+            if !l.is_loop() {
+                out.insert(l);
+            }
+        }
+        out
+    }
+
+    /// Undirected adjacencies, for topology-mapping use cases.
+    pub fn undirected_links(&self) -> BTreeSet<Link> {
+        self.links().into_iter().map(Link::undirected).collect()
+    }
+}
+
+impl fmt::Display for AsPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for a in &self.0 {
+            if !first {
+                write!(f, " ")?;
+            }
+            write!(f, "{}", a.value())?;
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for AsPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}]", self)
+    }
+}
+
+impl FromIterator<Asn> for AsPath {
+    fn from_iter<T: IntoIterator<Item = Asn>>(iter: T) -> Self {
+        AsPath(iter.into_iter().collect())
+    }
+}
+
+impl From<Vec<u32>> for AsPath {
+    fn from(v: Vec<u32>) -> Self {
+        AsPath::from_u32s(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path(v: &[u32]) -> AsPath {
+        AsPath::from_u32s(v.iter().copied())
+    }
+
+    #[test]
+    fn origin_and_first_hop() {
+        let p = path(&[6, 2, 1, 4]);
+        assert_eq!(p.origin(), Some(Asn(4)));
+        assert_eq!(p.first_hop(), Some(Asn(6)));
+        assert_eq!(p.hop_count(), 4);
+    }
+
+    #[test]
+    fn empty_path() {
+        let p = AsPath::empty();
+        assert!(p.is_empty());
+        assert_eq!(p.origin(), None);
+        assert!(p.links().is_empty());
+    }
+
+    #[test]
+    fn links_are_directed_and_ordered_vp_to_origin() {
+        let p = path(&[6, 2, 1, 4]);
+        let links = p.links();
+        assert!(links.contains(&Link::new(Asn(6), Asn(2))));
+        assert!(links.contains(&Link::new(Asn(2), Asn(1))));
+        assert!(links.contains(&Link::new(Asn(1), Asn(4))));
+        assert!(!links.contains(&Link::new(Asn(2), Asn(6))));
+        assert_eq!(links.len(), 3);
+    }
+
+    #[test]
+    fn prepending_collapses_in_links_and_unique_len() {
+        let p = path(&[6, 6, 6, 2, 4]);
+        assert_eq!(p.hop_count(), 5);
+        assert_eq!(p.unique_len(), 3);
+        assert_eq!(p.links().len(), 2);
+    }
+
+    #[test]
+    fn loop_detection_distinguishes_prepending() {
+        assert!(!path(&[3, 3, 2, 1]).has_loop());
+        assert!(path(&[3, 2, 3, 1]).has_loop());
+        assert!(!path(&[]).has_loop());
+    }
+
+    #[test]
+    fn prepend_builds_neighbor_path() {
+        let p = path(&[2, 1, 4]);
+        let q = p.prepend(Asn(6));
+        assert_eq!(q, path(&[6, 2, 1, 4]));
+        assert_eq!(p, path(&[2, 1, 4])); // original untouched
+    }
+
+    #[test]
+    fn display_is_space_separated() {
+        assert_eq!(path(&[6, 2, 1, 4]).to_string(), "6 2 1 4");
+    }
+
+    #[test]
+    fn undirected_links_canonicalize() {
+        let a = path(&[1, 2]).undirected_links();
+        let b = path(&[2, 1]).undirected_links();
+        assert_eq!(a, b);
+    }
+}

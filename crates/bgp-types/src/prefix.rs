@@ -1,0 +1,232 @@
+//! IP prefixes (IPv4 and IPv6, CIDR notation).
+
+use std::fmt;
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr};
+use std::str::FromStr;
+
+/// An IP prefix in CIDR form — the `p` attribute of a BGP update.
+///
+/// Internally the address bits are stored in a `u128` (IPv4 addresses occupy
+/// the low 32 bits) together with the prefix length and the address family.
+/// Host bits beyond the prefix length are always zeroed, so two `Prefix`
+/// values compare equal iff they denote the same route-table entry.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Prefix {
+    bits: u128,
+    len: u8,
+    v6: bool,
+}
+
+impl Prefix {
+    /// Builds an IPv4 prefix from an address and a length (`len <= 32`).
+    ///
+    /// Host bits are masked off. Panics if `len > 32`.
+    pub fn v4(addr: Ipv4Addr, len: u8) -> Self {
+        assert!(len <= 32, "IPv4 prefix length must be <= 32, got {len}");
+        let bits = u32::from(addr) as u128;
+        Self {
+            bits: mask_bits(bits, len, 32),
+            len,
+            v6: false,
+        }
+    }
+
+    /// Builds an IPv6 prefix from an address and a length (`len <= 128`).
+    ///
+    /// Host bits are masked off. Panics if `len > 128`.
+    pub fn v6(addr: Ipv6Addr, len: u8) -> Self {
+        assert!(len <= 128, "IPv6 prefix length must be <= 128, got {len}");
+        Self {
+            bits: mask_bits(u128::from(addr), len, 128),
+            len,
+            v6: true,
+        }
+    }
+
+    /// A synthetic test prefix: `10.x.y.0/24` derived from `id`.
+    ///
+    /// The simulator assigns each announced prefix a dense integer id; this
+    /// constructor maps ids onto the 10.0.0.0/8 space deterministically
+    /// (wrapping after 2^16 ids).
+    pub fn synthetic(id: u32) -> Self {
+        let x = ((id >> 8) & 0xff) as u8;
+        let y = (id & 0xff) as u8;
+        let z = ((id >> 16) & 0x3f) as u8; // folds ids >= 65536 into 10.x.y via second octet offset
+        Prefix::v4(Ipv4Addr::new(10u8.wrapping_add(z), x, y, 0), 24)
+    }
+
+    /// Prefix length in bits.
+    #[inline]
+    pub const fn len(&self) -> u8 {
+        self.len
+    }
+
+    /// `true` for a zero-length (default-route) prefix.
+    #[inline]
+    pub const fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// `true` if this is an IPv6 prefix.
+    #[inline]
+    pub const fn is_ipv6(&self) -> bool {
+        self.v6
+    }
+
+    /// The network address.
+    pub fn addr(&self) -> IpAddr {
+        if self.v6 {
+            IpAddr::V6(Ipv6Addr::from(self.bits))
+        } else {
+            IpAddr::V4(Ipv4Addr::from(self.bits as u32))
+        }
+    }
+
+    /// Raw network bits (low 32 bits for IPv4).
+    #[inline]
+    pub const fn raw_bits(&self) -> u128 {
+        self.bits
+    }
+
+    /// Whether `self` covers `other` (i.e. `other` is equal to or more
+    /// specific than `self`). Always `false` across address families.
+    pub fn covers(&self, other: &Prefix) -> bool {
+        if self.v6 != other.v6 || self.len > other.len {
+            return false;
+        }
+        let width = if self.v6 { 128 } else { 32 };
+        mask_bits(other.bits, self.len, width) == self.bits
+    }
+
+    /// Whether two prefixes overlap (one covers the other).
+    pub fn overlaps(&self, other: &Prefix) -> bool {
+        self.covers(other) || other.covers(self)
+    }
+}
+
+#[inline]
+fn mask_bits(bits: u128, len: u8, width: u8) -> u128 {
+    if len == 0 {
+        return 0;
+    }
+    let shift = (width - len) as u32;
+    (bits >> shift) << shift
+}
+
+impl fmt::Display for Prefix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.addr(), self.len)
+    }
+}
+
+impl fmt::Debug for Prefix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+/// Error returned when parsing a [`Prefix`] fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsePrefixError(String);
+
+impl fmt::Display for ParsePrefixError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid prefix: {:?}", self.0)
+    }
+}
+
+impl std::error::Error for ParsePrefixError {}
+
+impl FromStr for Prefix {
+    type Err = ParsePrefixError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = || ParsePrefixError(s.to_owned());
+        let (addr, len) = s.split_once('/').ok_or_else(err)?;
+        let len: u8 = len.parse().map_err(|_| err())?;
+        match addr.parse::<IpAddr>().map_err(|_| err())? {
+            IpAddr::V4(a) if len <= 32 => Ok(Prefix::v4(a, len)),
+            IpAddr::V6(a) if len <= 128 => Ok(Prefix::v6(a, len)),
+            _ => Err(err()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn parse_display_roundtrip_v4() {
+        let x = p("192.0.2.0/24");
+        assert_eq!(x.to_string(), "192.0.2.0/24");
+        assert_eq!(x.len(), 24);
+        assert!(!x.is_ipv6());
+    }
+
+    #[test]
+    fn parse_display_roundtrip_v6() {
+        let x = p("2001:db8::/32");
+        assert_eq!(x.to_string(), "2001:db8::/32");
+        assert!(x.is_ipv6());
+    }
+
+    #[test]
+    fn host_bits_are_masked() {
+        assert_eq!(p("192.0.2.77/24"), p("192.0.2.0/24"));
+        assert_eq!(p("2001:db8::1/32"), p("2001:db8::/32"));
+    }
+
+    #[test]
+    fn covers_and_overlaps() {
+        let wide = p("10.0.0.0/8");
+        let narrow = p("10.1.2.0/24");
+        let other = p("11.0.0.0/8");
+        assert!(wide.covers(&narrow));
+        assert!(!narrow.covers(&wide));
+        assert!(wide.overlaps(&narrow));
+        assert!(narrow.overlaps(&wide));
+        assert!(!wide.overlaps(&other));
+    }
+
+    #[test]
+    fn covers_is_family_local() {
+        assert!(!p("0.0.0.0/0").covers(&p("::/0")));
+        assert!(!p("::/0").covers(&p("0.0.0.0/0")));
+    }
+
+    #[test]
+    fn parse_rejects_bad_input() {
+        assert!("10.0.0.0".parse::<Prefix>().is_err()); // no length
+        assert!("10.0.0.0/33".parse::<Prefix>().is_err());
+        assert!("2001:db8::/129".parse::<Prefix>().is_err());
+        assert!("bogus/8".parse::<Prefix>().is_err());
+    }
+
+    #[test]
+    fn synthetic_prefixes_are_distinct_and_stable() {
+        let a = Prefix::synthetic(7);
+        let b = Prefix::synthetic(8);
+        assert_ne!(a, b);
+        assert_eq!(a, Prefix::synthetic(7));
+        assert_eq!(a.len(), 24);
+    }
+
+    #[test]
+    fn synthetic_covers_distinct_for_dense_range() {
+        use std::collections::HashSet;
+        let set: HashSet<Prefix> = (0..10_000).map(Prefix::synthetic).collect();
+        assert_eq!(set.len(), 10_000);
+    }
+
+    #[test]
+    fn default_route() {
+        let d = p("0.0.0.0/0");
+        assert!(d.is_empty());
+        assert!(d.covers(&p("203.0.113.0/24")));
+    }
+}

@@ -1,0 +1,224 @@
+//! Per-vantage-point Routing Information Base.
+
+use crate::{AsPath, BgpUpdate, Community, Prefix, Timestamp, UpdateKind, VpId};
+use std::collections::{BTreeSet, HashMap};
+
+/// The best route a VP currently holds for one prefix.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct RibEntry {
+    /// AS path of the best route.
+    pub path: AsPath,
+    /// Communities attached to the best route.
+    pub communities: BTreeSet<Community>,
+    /// When the route was last updated.
+    pub time: Timestamp,
+}
+
+/// A single vantage point's routing table: prefix → best route.
+///
+/// Replaying a stream of updates through [`Rib::apply`] maintains the table
+/// and, crucially, derives each update's implicit-withdrawal sets `Lw`/`Cw`
+/// (§4.2): the links/communities of the *previous* route for the prefix that
+/// the new update renders obsolete.
+#[derive(Clone, Default, Debug)]
+pub struct Rib {
+    entries: HashMap<Prefix, RibEntry>,
+}
+
+impl Rib {
+    /// An empty RIB.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of prefixes with an installed route.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the RIB holds no routes.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Current best route for `prefix`.
+    pub fn get(&self, prefix: &Prefix) -> Option<&RibEntry> {
+        self.entries.get(prefix)
+    }
+
+    /// Iterates over `(prefix, entry)` pairs in arbitrary order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Prefix, &RibEntry)> {
+        self.entries.iter()
+    }
+
+    /// Applies `update` to the table, filling in its `withdrawn_links` and
+    /// `withdrawn_communities` from the route it replaces (empty sets when
+    /// the prefix was not previously installed, exactly as §4.2 specifies).
+    ///
+    /// Withdrawals remove the entry; their `Lw`/`Cw` carry everything the
+    /// withdrawn route had.
+    pub fn apply(&mut self, update: &mut BgpUpdate) {
+        let prev = self.entries.get(&update.prefix);
+        match update.kind {
+            UpdateKind::Announce => {
+                let new_links = update.path.links();
+                let new_comms = update.communities.clone();
+                if let Some(prev) = prev {
+                    update.withdrawn_links = prev
+                        .path
+                        .links()
+                        .difference(&new_links)
+                        .copied()
+                        .collect();
+                    update.withdrawn_communities = prev
+                        .communities
+                        .difference(&new_comms)
+                        .copied()
+                        .collect();
+                } else {
+                    update.withdrawn_links.clear();
+                    update.withdrawn_communities.clear();
+                }
+                self.entries.insert(
+                    update.prefix,
+                    RibEntry {
+                        path: update.path.clone(),
+                        communities: new_comms,
+                        time: update.time,
+                    },
+                );
+            }
+            UpdateKind::Withdraw => {
+                if let Some(prev) = self.entries.remove(&update.prefix) {
+                    update.withdrawn_links = prev.path.links();
+                    update.withdrawn_communities = prev.communities;
+                } else {
+                    update.withdrawn_links.clear();
+                    update.withdrawn_communities.clear();
+                }
+            }
+        }
+    }
+}
+
+/// Replays a time-ordered update stream through one RIB per VP, filling in
+/// every update's implicit-withdrawal sets in place.
+///
+/// The input must be sorted by time for the derived sets to be meaningful
+/// (the function does not reorder).
+pub fn annotate_stream(updates: &mut [BgpUpdate]) {
+    let mut ribs: HashMap<VpId, Rib> = HashMap::new();
+    for u in updates.iter_mut() {
+        ribs.entry(u.vp).or_default().apply(u);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Asn, Link, UpdateBuilder};
+
+    fn vp(n: u32) -> VpId {
+        VpId::from_asn(Asn(n))
+    }
+
+    fn ann(v: u32, t: u64, pfx: u32, path: &[u32], comms: &[(u16, u16)]) -> BgpUpdate {
+        let mut b = UpdateBuilder::announce(vp(v), Prefix::synthetic(pfx))
+            .at(Timestamp::from_secs(t))
+            .path(path.iter().copied());
+        for &(a, c) in comms {
+            b = b.community(a, c);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn first_announce_has_empty_withdrawn_sets() {
+        let mut rib = Rib::new();
+        let mut u = ann(6, 1, 1, &[6, 2, 1, 4], &[(6, 100)]);
+        rib.apply(&mut u);
+        assert!(u.withdrawn_links.is_empty());
+        assert!(u.withdrawn_communities.is_empty());
+        assert_eq!(rib.len(), 1);
+    }
+
+    #[test]
+    fn replacement_withdraws_obsolete_links() {
+        let mut rib = Rib::new();
+        let mut u1 = ann(6, 1, 1, &[6, 2, 1, 4], &[]);
+        rib.apply(&mut u1);
+        // New route via 3 instead of 2: links 6->2, 2->1 obsolete; 1->4 shared.
+        let mut u2 = ann(6, 2, 1, &[6, 3, 1, 4], &[]);
+        rib.apply(&mut u2);
+        assert_eq!(
+            u2.withdrawn_links,
+            [Link::new(Asn(6), Asn(2)), Link::new(Asn(2), Asn(1))]
+                .into_iter()
+                .collect()
+        );
+        assert!(!u2.withdrawn_links.contains(&Link::new(Asn(1), Asn(4))));
+    }
+
+    #[test]
+    fn replacement_withdraws_obsolete_communities() {
+        let mut rib = Rib::new();
+        let mut u1 = ann(6, 1, 1, &[6, 4], &[(6, 100), (6, 200)]);
+        rib.apply(&mut u1);
+        let mut u2 = ann(6, 2, 1, &[6, 4], &[(6, 200), (6, 300)]);
+        rib.apply(&mut u2);
+        assert_eq!(
+            u2.withdrawn_communities,
+            [Community::new(6, 100)].into_iter().collect()
+        );
+    }
+
+    #[test]
+    fn withdraw_removes_entry_and_reports_all_state() {
+        let mut rib = Rib::new();
+        let mut u1 = ann(6, 1, 1, &[6, 2, 4], &[(6, 100)]);
+        rib.apply(&mut u1);
+        let mut w = UpdateBuilder::withdraw(vp(6), Prefix::synthetic(1))
+            .at(Timestamp::from_secs(2))
+            .build();
+        rib.apply(&mut w);
+        assert!(rib.is_empty());
+        assert_eq!(w.withdrawn_links.len(), 2);
+        assert_eq!(w.withdrawn_communities.len(), 1);
+    }
+
+    #[test]
+    fn withdraw_of_unknown_prefix_is_noop() {
+        let mut rib = Rib::new();
+        let mut w = UpdateBuilder::withdraw(vp(6), Prefix::synthetic(9)).build();
+        rib.apply(&mut w);
+        assert!(w.withdrawn_links.is_empty());
+        assert!(rib.is_empty());
+    }
+
+    #[test]
+    fn ribs_are_per_prefix() {
+        let mut rib = Rib::new();
+        let mut u1 = ann(6, 1, 1, &[6, 4], &[]);
+        let mut u2 = ann(6, 1, 2, &[6, 4], &[]);
+        rib.apply(&mut u1);
+        rib.apply(&mut u2);
+        assert_eq!(rib.len(), 2);
+        // Re-announcing prefix 1 does not disturb prefix 2.
+        let mut u3 = ann(6, 2, 1, &[6, 3, 4], &[]);
+        rib.apply(&mut u3);
+        assert_eq!(rib.get(&Prefix::synthetic(2)).unwrap().path, AsPath::from_u32s([6, 4]));
+    }
+
+    #[test]
+    fn annotate_stream_keeps_vp_state_separate() {
+        let mut updates = vec![
+            ann(6, 1, 1, &[6, 2, 4], &[]),
+            ann(7, 1, 1, &[7, 2, 4], &[]),
+            ann(6, 2, 1, &[6, 3, 4], &[]),
+        ];
+        annotate_stream(&mut updates);
+        // VP 6's second update withdraws 6->2 and 2->4; VP 7's state is untouched.
+        assert!(updates[2].withdrawn_links.contains(&Link::new(Asn(6), Asn(2))));
+        assert!(updates[1].withdrawn_links.is_empty());
+    }
+}

@@ -1,0 +1,121 @@
+//! Simulation timestamps.
+
+use crate::TIME_SLACK_MILLIS;
+use std::fmt;
+use std::ops::{Add, Sub};
+use std::time::Duration;
+
+/// A timestamp in milliseconds since an arbitrary epoch.
+///
+/// The paper compares update timestamps with a 100-second slack everywhere
+/// (Condition 1 in §4.2, identical-update matching in §17.2);
+/// [`Timestamp::within_slack`] implements exactly that comparison.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Timestamp(pub u64);
+
+impl Timestamp {
+    /// The epoch (t = 0).
+    pub const ZERO: Timestamp = Timestamp(0);
+
+    /// Builds a timestamp from whole seconds.
+    #[inline]
+    pub const fn from_secs(s: u64) -> Self {
+        Timestamp(s * 1000)
+    }
+
+    /// Builds a timestamp from milliseconds.
+    #[inline]
+    pub const fn from_millis(ms: u64) -> Self {
+        Timestamp(ms)
+    }
+
+    /// Milliseconds since the epoch.
+    #[inline]
+    pub const fn as_millis(self) -> u64 {
+        self.0
+    }
+
+    /// Whole seconds since the epoch (truncating).
+    #[inline]
+    pub const fn as_secs(self) -> u64 {
+        self.0 / 1000
+    }
+
+    /// Absolute difference between two timestamps.
+    #[inline]
+    pub fn abs_diff(self, other: Timestamp) -> Duration {
+        Duration::from_millis(self.0.abs_diff(other.0))
+    }
+
+    /// The paper's Condition-1 time test: `|t1 - t2| < 100 s`.
+    #[inline]
+    pub fn within_slack(self, other: Timestamp) -> bool {
+        self.0.abs_diff(other.0) < TIME_SLACK_MILLIS
+    }
+
+    /// Saturating addition of a duration.
+    #[inline]
+    pub fn saturating_add(self, d: Duration) -> Timestamp {
+        Timestamp(self.0.saturating_add(d.as_millis() as u64))
+    }
+}
+
+impl Add<Duration> for Timestamp {
+    type Output = Timestamp;
+    fn add(self, d: Duration) -> Timestamp {
+        Timestamp(self.0 + d.as_millis() as u64)
+    }
+}
+
+impl Sub<Timestamp> for Timestamp {
+    type Output = Duration;
+    fn sub(self, other: Timestamp) -> Duration {
+        Duration::from_millis(self.0 - other.0)
+    }
+}
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{:03}s", self.0 / 1000, self.0 % 1000)
+    }
+}
+
+impl fmt::Debug for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slack_boundary_is_strict() {
+        let a = Timestamp::from_secs(1000);
+        assert!(a.within_slack(Timestamp::from_secs(1099)));
+        assert!(a.within_slack(Timestamp::from_millis(1_099_999)));
+        assert!(!a.within_slack(Timestamp::from_secs(1100))); // exactly 100s: not within
+        assert!(a.within_slack(a));
+    }
+
+    #[test]
+    fn slack_is_symmetric() {
+        let a = Timestamp::from_secs(50);
+        let b = Timestamp::from_secs(120);
+        assert_eq!(a.within_slack(b), b.within_slack(a));
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = Timestamp::from_secs(10) + Duration::from_millis(500);
+        assert_eq!(t.as_millis(), 10_500);
+        assert_eq!(t - Timestamp::from_secs(10), Duration::from_millis(500));
+        assert_eq!(t.as_secs(), 10);
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(Timestamp::from_millis(12_345).to_string(), "12.345s");
+    }
+}

@@ -1,0 +1,273 @@
+//! BGP updates with the paper's attribute set.
+
+use crate::{AsPath, Community, Link, Prefix, Timestamp, VpId};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Whether an update announces a (new) route or withdraws the prefix.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum UpdateKind {
+    /// A route announcement (possibly replacing a previous route).
+    Announce,
+    /// An explicit withdrawal of the prefix.
+    Withdraw,
+}
+
+/// A stored BGP update, `u(v, t, p, L, Lw, C, Cw)` in the paper's notation
+/// (§4.2).
+///
+/// * `v` — the vantage point that observed the update ([`BgpUpdate::vp`]),
+/// * `t` — the reception timestamp ([`BgpUpdate::time`]),
+/// * `p` — the announced prefix ([`BgpUpdate::prefix`]),
+/// * `L` — the set of AS links in the AS path (derived from
+///   [`BgpUpdate::path`] via [`BgpUpdate::links`]),
+/// * `Lw` — links implicitly withdrawn: present in the *previous* update for
+///   `p` at `v` but absent from this one ([`BgpUpdate::withdrawn_links`]),
+/// * `C` — the set of community values ([`BgpUpdate::communities`]),
+/// * `Cw` — communities implicitly withdrawn
+///   ([`BgpUpdate::withdrawn_communities`]).
+///
+/// `Lw = Cw = ∅` when there was no previous update for `p` observed by `v`.
+/// The withdrawn sets are derived state; [`crate::Rib::apply`] fills them in
+/// when replaying a stream.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct BgpUpdate {
+    /// Vantage point that observed the update (`v`).
+    pub vp: VpId,
+    /// Reception timestamp (`t`).
+    pub time: Timestamp,
+    /// Announced (or withdrawn) prefix (`p`).
+    pub prefix: Prefix,
+    /// Announcement vs withdrawal.
+    pub kind: UpdateKind,
+    /// The AS path; empty for withdrawals.
+    pub path: AsPath,
+    /// Community values attached to the announcement (`C`).
+    pub communities: BTreeSet<Community>,
+    /// Links of the previous route rendered obsolete by this update (`Lw`).
+    pub withdrawn_links: BTreeSet<Link>,
+    /// Communities of the previous route dropped by this update (`Cw`).
+    pub withdrawn_communities: BTreeSet<Community>,
+}
+
+impl BgpUpdate {
+    /// The set `L` of directed AS links in the AS path.
+    pub fn links(&self) -> BTreeSet<Link> {
+        self.path.links()
+    }
+
+    /// `L \ Lw` — the *new* links contributed by this update, as used by
+    /// Condition 2 (§4.2). Since `Lw` is disjoint from `L` by construction
+    /// this usually equals `L`, but the subtraction is kept literal so
+    /// hand-built updates behave per the definition.
+    pub fn effective_links(&self) -> BTreeSet<Link> {
+        self.links()
+            .difference(&self.withdrawn_links)
+            .copied()
+            .collect()
+    }
+
+    /// `C \ Cw` — the effective community set used by Condition 3 (§4.2).
+    pub fn effective_communities(&self) -> BTreeSet<Community> {
+        self.communities
+            .difference(&self.withdrawn_communities)
+            .copied()
+            .collect()
+    }
+
+    /// Whether this update is an announcement.
+    #[inline]
+    pub fn is_announce(&self) -> bool {
+        self.kind == UpdateKind::Announce
+    }
+
+    /// "Identical updates" per §17.2: same VP, prefix, AS path and community
+    /// values, with timestamps within the 100 s slack.
+    pub fn is_identical(&self, other: &BgpUpdate) -> bool {
+        self.same_content(other) && self.time.within_slack(other.time)
+    }
+
+    /// Content equality ignoring the timestamp (the time-free part of the
+    /// §17.2 identity test).
+    pub fn same_content(&self, other: &BgpUpdate) -> bool {
+        self.vp == other.vp
+            && self.prefix == other.prefix
+            && self.kind == other.kind
+            && self.path == other.path
+            && self.communities == other.communities
+    }
+}
+
+impl fmt::Display for BgpUpdate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            UpdateKind::Announce => {
+                write!(f, "{} {} A {} [{}]", self.time, self.vp, self.prefix, self.path)
+            }
+            UpdateKind::Withdraw => write!(f, "{} {} W {}", self.time, self.vp, self.prefix),
+        }
+    }
+}
+
+/// Fluent builder for [`BgpUpdate`].
+///
+/// ```
+/// use bgp_types::{UpdateBuilder, Asn, VpId, Prefix, Timestamp};
+///
+/// let u = UpdateBuilder::announce(VpId::from_asn(Asn(6)), Prefix::synthetic(1))
+///     .at(Timestamp::from_secs(10))
+///     .path([6, 2, 1, 4])
+///     .community(65000, 120)
+///     .build();
+/// assert_eq!(u.path.origin(), Some(Asn(4)));
+/// ```
+#[derive(Clone, Debug)]
+pub struct UpdateBuilder {
+    update: BgpUpdate,
+}
+
+impl UpdateBuilder {
+    /// Starts an announcement for `prefix` observed by `vp`.
+    pub fn announce(vp: VpId, prefix: Prefix) -> Self {
+        UpdateBuilder {
+            update: BgpUpdate {
+                vp,
+                time: Timestamp::ZERO,
+                prefix,
+                kind: UpdateKind::Announce,
+                path: AsPath::empty(),
+                communities: BTreeSet::new(),
+                withdrawn_links: BTreeSet::new(),
+                withdrawn_communities: BTreeSet::new(),
+            },
+        }
+    }
+
+    /// Starts a withdrawal for `prefix` observed by `vp`.
+    pub fn withdraw(vp: VpId, prefix: Prefix) -> Self {
+        let mut b = Self::announce(vp, prefix);
+        b.update.kind = UpdateKind::Withdraw;
+        b
+    }
+
+    /// Sets the reception timestamp.
+    pub fn at(mut self, t: Timestamp) -> Self {
+        self.update.time = t;
+        self
+    }
+
+    /// Sets the AS path from raw ASNs (leftmost = VP's neighbor).
+    pub fn path<I: IntoIterator<Item = u32>>(mut self, hops: I) -> Self {
+        self.update.path = AsPath::from_u32s(hops);
+        self
+    }
+
+    /// Sets the AS path directly.
+    pub fn as_path(mut self, path: AsPath) -> Self {
+        self.update.path = path;
+        self
+    }
+
+    /// Adds one community.
+    pub fn community(mut self, asn: u16, value: u16) -> Self {
+        self.update.communities.insert(Community::new(asn, value));
+        self
+    }
+
+    /// Replaces the community set.
+    pub fn communities<I: IntoIterator<Item = Community>>(mut self, cs: I) -> Self {
+        self.update.communities = cs.into_iter().collect();
+        self
+    }
+
+    /// Sets the implicitly-withdrawn link set (`Lw`).
+    pub fn withdrawn_links<I: IntoIterator<Item = Link>>(mut self, ls: I) -> Self {
+        self.update.withdrawn_links = ls.into_iter().collect();
+        self
+    }
+
+    /// Sets the implicitly-withdrawn community set (`Cw`).
+    pub fn withdrawn_communities<I: IntoIterator<Item = Community>>(mut self, cs: I) -> Self {
+        self.update.withdrawn_communities = cs.into_iter().collect();
+        self
+    }
+
+    /// Finalizes the update.
+    pub fn build(self) -> BgpUpdate {
+        self.update
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Asn;
+
+    fn upd(vp: u32, t: u64, pfx: u32, path: &[u32]) -> BgpUpdate {
+        UpdateBuilder::announce(VpId::from_asn(Asn(vp)), Prefix::synthetic(pfx))
+            .at(Timestamp::from_secs(t))
+            .path(path.iter().copied())
+            .build()
+    }
+
+    #[test]
+    fn builder_defaults() {
+        let u = upd(6, 10, 1, &[6, 2, 1, 4]);
+        assert!(u.is_announce());
+        assert!(u.withdrawn_links.is_empty());
+        assert!(u.withdrawn_communities.is_empty());
+        assert_eq!(u.links().len(), 3);
+        assert_eq!(u.effective_links(), u.links());
+    }
+
+    #[test]
+    fn withdraw_has_empty_path() {
+        let w = UpdateBuilder::withdraw(VpId::from_asn(Asn(6)), Prefix::synthetic(1)).build();
+        assert_eq!(w.kind, UpdateKind::Withdraw);
+        assert!(w.path.is_empty());
+        assert!(w.links().is_empty());
+    }
+
+    #[test]
+    fn identical_respects_time_slack() {
+        let a = upd(6, 100, 1, &[6, 2, 1, 4]);
+        let b = upd(6, 199, 1, &[6, 2, 1, 4]);
+        let c = upd(6, 200, 1, &[6, 2, 1, 4]);
+        assert!(a.is_identical(&b));
+        assert!(!a.is_identical(&c));
+    }
+
+    #[test]
+    fn identical_requires_same_vp_and_content() {
+        let a = upd(6, 100, 1, &[6, 2, 1, 4]);
+        let other_vp = upd(7, 100, 1, &[6, 2, 1, 4]);
+        let other_path = upd(6, 100, 1, &[6, 3, 1, 4]);
+        let other_pfx = upd(6, 100, 2, &[6, 2, 1, 4]);
+        assert!(!a.is_identical(&other_vp));
+        assert!(!a.is_identical(&other_path));
+        assert!(!a.is_identical(&other_pfx));
+    }
+
+    #[test]
+    fn effective_sets_subtract_withdrawn() {
+        let mut u = upd(6, 1, 1, &[6, 2]);
+        u.withdrawn_links.insert(Link::new(Asn(6), Asn(2)));
+        assert!(u.effective_links().is_empty());
+
+        let c1 = Community::new(1, 2);
+        let c2 = Community::new(1, 3);
+        u.communities.insert(c1);
+        u.communities.insert(c2);
+        u.withdrawn_communities.insert(c2);
+        assert_eq!(u.effective_communities().into_iter().collect::<Vec<_>>(), vec![c1]);
+    }
+
+    #[test]
+    fn display_formats() {
+        let u = upd(6, 1, 1, &[6, 4]);
+        let s = u.to_string();
+        assert!(s.contains(" A "), "{s}");
+        let w = UpdateBuilder::withdraw(VpId::from_asn(Asn(6)), Prefix::synthetic(1)).build();
+        assert!(w.to_string().contains(" W "));
+    }
+}

@@ -1,0 +1,73 @@
+//! Vantage-point identifiers.
+
+use crate::Asn;
+use std::fmt;
+
+/// Identifier of a vantage point (a BGP router feeding the collection
+/// platform).
+///
+/// In the simulator every AS hosts at most one VP, so the VP id is the
+/// hosting AS number; real platforms may peer with several routers in one AS,
+/// which the `router` discriminator supports.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct VpId {
+    /// AS hosting the vantage point.
+    pub asn: Asn,
+    /// Router discriminator within the AS (0 when the AS hosts a single VP).
+    pub router: u16,
+}
+
+impl VpId {
+    /// VP hosted by `asn`, router 0.
+    #[inline]
+    pub const fn from_asn(asn: Asn) -> Self {
+        VpId { asn, router: 0 }
+    }
+
+    /// VP hosted by `asn` with an explicit router discriminator.
+    #[inline]
+    pub const fn new(asn: Asn, router: u16) -> Self {
+        VpId { asn, router }
+    }
+}
+
+impl fmt::Display for VpId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.router == 0 {
+            write!(f, "vp({})", self.asn)
+        } else {
+            write!(f, "vp({}#{})", self.asn, self.router)
+        }
+    }
+}
+
+impl fmt::Debug for VpId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl From<Asn> for VpId {
+    fn from(a: Asn) -> Self {
+        VpId::from_asn(a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_groups_by_asn_then_router() {
+        let a = VpId::new(Asn(10), 0);
+        let b = VpId::new(Asn(10), 1);
+        let c = VpId::new(Asn(11), 0);
+        assert!(a < b && b < c);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(VpId::from_asn(Asn(7)).to_string(), "vp(AS7)");
+        assert_eq!(VpId::new(Asn(7), 2).to_string(), "vp(AS7#2)");
+    }
+}

@@ -1,0 +1,80 @@
+//! Wire-format errors.
+
+use std::fmt;
+
+/// Errors raised while encoding or decoding BGP/MRT wire formats.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Input ended before the structure was complete.
+    Truncated {
+        /// What was being decoded.
+        what: &'static str,
+        /// Bytes needed.
+        needed: usize,
+        /// Bytes available.
+        have: usize,
+    },
+    /// The 16-byte marker was not all-ones (RFC 4271 §4.1).
+    BadMarker,
+    /// Unknown or unsupported message type code.
+    UnknownMessageType(u8),
+    /// Header length field out of the [19, 4096] range or inconsistent.
+    BadLength(u16),
+    /// Unsupported BGP version in OPEN.
+    BadVersion(u8),
+    /// Malformed path attribute.
+    BadAttribute {
+        /// Attribute type code.
+        code: u8,
+        /// Why it is malformed.
+        reason: &'static str,
+    },
+    /// Prefix length byte exceeds the address family's maximum.
+    BadPrefixLength(u8),
+    /// An unsupported feature was requested during encoding.
+    Unsupported(&'static str),
+    /// Malformed MRT record.
+    BadMrt(&'static str),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated { what, needed, have } => {
+                write!(f, "truncated {what}: need {needed} bytes, have {have}")
+            }
+            WireError::BadMarker => write!(f, "BGP marker is not all-ones"),
+            WireError::UnknownMessageType(t) => write!(f, "unknown BGP message type {t}"),
+            WireError::BadLength(l) => write!(f, "invalid BGP message length {l}"),
+            WireError::BadVersion(v) => write!(f, "unsupported BGP version {v}"),
+            WireError::BadAttribute { code, reason } => {
+                write!(f, "malformed path attribute {code}: {reason}")
+            }
+            WireError::BadPrefixLength(l) => write!(f, "invalid prefix length {l}"),
+            WireError::Unsupported(s) => write!(f, "unsupported: {s}"),
+            WireError::BadMrt(s) => write!(f, "malformed MRT record: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Convenience alias.
+pub type WireResult<T> = Result<T, WireError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = WireError::Truncated {
+            what: "header",
+            needed: 19,
+            have: 3,
+        };
+        assert!(e.to_string().contains("header"));
+        assert!(WireError::BadMarker.to_string().contains("marker"));
+        assert!(WireError::UnknownMessageType(9).to_string().contains('9'));
+    }
+}

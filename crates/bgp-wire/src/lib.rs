@@ -1,0 +1,35 @@
+//! BGP wire protocol (RFC 4271) and MRT storage format (RFC 6396).
+//!
+//! This crate is the substrate for GILL's collection platform (§8–§9): the
+//! custom per-peer BGP daemon speaks this codec over TCP, and collected
+//! updates are archived as MRT `BGP4MP_MESSAGE_AS4` records.
+//!
+//! * [`message`] — framing (marker/length/type) and the message enum.
+//! * [`open`] — OPEN with the RFC 6793 four-octet-ASN capability.
+//! * [`update`] — UPDATE with ORIGIN / AS_PATH / NEXT_HOP / COMMUNITIES
+//!   attributes and conversions to/from the domain [`bgp_types::BgpUpdate`].
+//! * [`notification`] — NOTIFICATION.
+//! * [`mrt`] — MRT record writer/reader.
+//!
+//! Scope: IPv4 unicast NLRI (the simulator's prefix space);
+//! `MP_REACH_NLRI` is intentionally out of scope and encodes as an error
+//! rather than silently wrong bytes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod message;
+pub mod mrt;
+pub mod notification;
+pub mod open;
+pub mod table_dump;
+pub mod update;
+
+pub use error::{WireError, WireResult};
+pub use message::{BgpMessage, MAX_MESSAGE_LEN, MIN_MESSAGE_LEN};
+pub use mrt::{MrtReader, MrtRecord, MrtWriter};
+pub use notification::Notification;
+pub use open::OpenMessage;
+pub use table_dump::{PeerEntry, RibRoute, TableDump};
+pub use update::{Origin, UpdateMessage};

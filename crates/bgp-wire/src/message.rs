@@ -1,0 +1,196 @@
+//! BGP message framing (RFC 4271 §4.1) and the message enum.
+
+use crate::error::{WireError, WireResult};
+use crate::notification::Notification;
+use crate::open::OpenMessage;
+use crate::update::UpdateMessage;
+use bytes::{Buf, BufMut, BytesMut};
+
+/// Minimum BGP message size (the 19-byte header alone).
+pub const MIN_MESSAGE_LEN: usize = 19;
+/// Maximum BGP message size (RFC 4271).
+pub const MAX_MESSAGE_LEN: usize = 4096;
+
+/// Message type codes.
+pub mod type_code {
+    /// OPEN.
+    pub const OPEN: u8 = 1;
+    /// UPDATE.
+    pub const UPDATE: u8 = 2;
+    /// NOTIFICATION.
+    pub const NOTIFICATION: u8 = 3;
+    /// KEEPALIVE.
+    pub const KEEPALIVE: u8 = 4;
+}
+
+/// A decoded BGP message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BgpMessage {
+    /// Session establishment.
+    Open(OpenMessage),
+    /// Route announcement / withdrawal.
+    Update(UpdateMessage),
+    /// Error report; closes the session.
+    Notification(Notification),
+    /// Hold-timer refresh.
+    Keepalive,
+}
+
+impl BgpMessage {
+    /// The message's wire type code.
+    pub fn type_code(&self) -> u8 {
+        match self {
+            BgpMessage::Open(_) => type_code::OPEN,
+            BgpMessage::Update(_) => type_code::UPDATE,
+            BgpMessage::Notification(_) => type_code::NOTIFICATION,
+            BgpMessage::Keepalive => type_code::KEEPALIVE,
+        }
+    }
+
+    /// Encodes the full message (header + body) into `out`.
+    pub fn encode(&self, out: &mut BytesMut) -> WireResult<()> {
+        let mut body = BytesMut::new();
+        match self {
+            BgpMessage::Open(m) => m.encode_body(&mut body)?,
+            BgpMessage::Update(m) => m.encode_body(&mut body)?,
+            BgpMessage::Notification(m) => m.encode_body(&mut body),
+            BgpMessage::Keepalive => {}
+        }
+        let len = MIN_MESSAGE_LEN + body.len();
+        if len > MAX_MESSAGE_LEN {
+            return Err(WireError::BadLength(len as u16));
+        }
+        out.reserve(len);
+        out.put_bytes(0xff, 16);
+        out.put_u16(len as u16);
+        out.put_u8(self.type_code());
+        out.extend_from_slice(&body);
+        Ok(())
+    }
+
+    /// Encodes into a fresh buffer.
+    pub fn encode_to_vec(&self) -> WireResult<Vec<u8>> {
+        let mut b = BytesMut::new();
+        self.encode(&mut b)?;
+        Ok(b.to_vec())
+    }
+
+    /// Attempts to decode one message from the front of `buf`.
+    ///
+    /// Returns `Ok(None)` when the buffer does not yet hold a complete
+    /// message (stream decoding); consumes the message bytes on success.
+    pub fn decode(buf: &mut BytesMut) -> WireResult<Option<BgpMessage>> {
+        if buf.len() < MIN_MESSAGE_LEN {
+            return Ok(None);
+        }
+        // peek header
+        if buf[..16].iter().any(|&b| b != 0xff) {
+            return Err(WireError::BadMarker);
+        }
+        let len = u16::from_be_bytes([buf[16], buf[17]]) as usize;
+        if !(MIN_MESSAGE_LEN..=MAX_MESSAGE_LEN).contains(&len) {
+            return Err(WireError::BadLength(len as u16));
+        }
+        if buf.len() < len {
+            return Ok(None);
+        }
+        let ty = buf[18];
+        let mut msg = buf.split_to(len);
+        msg.advance(MIN_MESSAGE_LEN);
+        let body = msg.freeze();
+        let decoded = match ty {
+            type_code::OPEN => BgpMessage::Open(OpenMessage::decode_body(&body)?),
+            type_code::UPDATE => BgpMessage::Update(UpdateMessage::decode_body(&body)?),
+            type_code::NOTIFICATION => {
+                BgpMessage::Notification(Notification::decode_body(&body)?)
+            }
+            type_code::KEEPALIVE => {
+                if !body.is_empty() {
+                    return Err(WireError::BadLength((MIN_MESSAGE_LEN + body.len()) as u16));
+                }
+                BgpMessage::Keepalive
+            }
+            other => return Err(WireError::UnknownMessageType(other)),
+        };
+        Ok(Some(decoded))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keepalive_roundtrip() {
+        let m = BgpMessage::Keepalive;
+        let bytes = m.encode_to_vec().unwrap();
+        assert_eq!(bytes.len(), 19);
+        assert_eq!(&bytes[..16], &[0xff; 16]);
+        assert_eq!(bytes[18], type_code::KEEPALIVE);
+        let mut buf = BytesMut::from(&bytes[..]);
+        let back = BgpMessage::decode(&mut buf).unwrap().unwrap();
+        assert_eq!(back, m);
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn partial_input_returns_none() {
+        let m = BgpMessage::Keepalive;
+        let bytes = m.encode_to_vec().unwrap();
+        let mut buf = BytesMut::from(&bytes[..10]);
+        assert_eq!(BgpMessage::decode(&mut buf).unwrap(), None);
+        assert_eq!(buf.len(), 10); // untouched
+    }
+
+    #[test]
+    fn bad_marker_is_rejected() {
+        let m = BgpMessage::Keepalive;
+        let mut bytes = m.encode_to_vec().unwrap();
+        bytes[0] = 0;
+        let mut buf = BytesMut::from(&bytes[..]);
+        assert_eq!(BgpMessage::decode(&mut buf), Err(WireError::BadMarker));
+    }
+
+    #[test]
+    fn bad_length_is_rejected() {
+        let m = BgpMessage::Keepalive;
+        let mut bytes = m.encode_to_vec().unwrap();
+        bytes[16] = 0;
+        bytes[17] = 5; // < 19
+        let mut buf = BytesMut::from(&bytes[..]);
+        assert!(matches!(
+            BgpMessage::decode(&mut buf),
+            Err(WireError::BadLength(5))
+        ));
+    }
+
+    #[test]
+    fn keepalive_with_body_is_rejected() {
+        let mut bytes = BgpMessage::Keepalive.encode_to_vec().unwrap();
+        bytes[17] = 20; // claim 1 body byte
+        bytes.push(0);
+        let mut buf = BytesMut::from(&bytes[..]);
+        assert!(BgpMessage::decode(&mut buf).is_err());
+    }
+
+    #[test]
+    fn unknown_type_is_rejected() {
+        let mut bytes = BgpMessage::Keepalive.encode_to_vec().unwrap();
+        bytes[18] = 99;
+        let mut buf = BytesMut::from(&bytes[..]);
+        assert_eq!(
+            BgpMessage::decode(&mut buf),
+            Err(WireError::UnknownMessageType(99))
+        );
+    }
+
+    #[test]
+    fn two_messages_stream_decode() {
+        let mut bytes = BgpMessage::Keepalive.encode_to_vec().unwrap();
+        bytes.extend(BgpMessage::Keepalive.encode_to_vec().unwrap());
+        let mut buf = BytesMut::from(&bytes[..]);
+        assert!(BgpMessage::decode(&mut buf).unwrap().is_some());
+        assert!(BgpMessage::decode(&mut buf).unwrap().is_some());
+        assert!(BgpMessage::decode(&mut buf).unwrap().is_none());
+    }
+}

@@ -1,0 +1,262 @@
+//! MRT export format (RFC 6396) — the storage format GILL publishes its
+//! collected updates in (§9).
+//!
+//! Implements `BGP4MP_MESSAGE_AS4` records (type 16, subtype 4): the MRT
+//! common header followed by peer/local AS and addresses and a raw BGP
+//! message. [`MrtWriter`] streams records to any `io::Write`;
+//! [`MrtReader`] streams them back.
+
+use crate::error::{WireError, WireResult};
+use crate::message::BgpMessage;
+use bgp_types::{Asn, Timestamp};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::io::{Read, Write};
+use std::net::Ipv4Addr;
+
+/// MRT type code for BGP4MP.
+pub const MRT_TYPE_BGP4MP: u16 = 16;
+/// MRT subtype for BGP4MP_MESSAGE_AS4.
+pub const MRT_SUBTYPE_MESSAGE_AS4: u16 = 4;
+
+/// One MRT BGP4MP_MESSAGE_AS4 record.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MrtRecord {
+    /// Record timestamp (seconds resolution on the wire).
+    pub time: Timestamp,
+    /// The peer (VP) AS.
+    pub peer_as: Asn,
+    /// The collector's AS.
+    pub local_as: Asn,
+    /// Peer address.
+    pub peer_ip: Ipv4Addr,
+    /// Collector address.
+    pub local_ip: Ipv4Addr,
+    /// The carried BGP message.
+    pub message: BgpMessage,
+}
+
+impl MrtRecord {
+    /// Encodes the record (header + body).
+    pub fn encode(&self) -> WireResult<Vec<u8>> {
+        let msg = self.message.encode_to_vec()?;
+        let mut body = BytesMut::with_capacity(20 + msg.len());
+        body.put_u32(self.peer_as.value());
+        body.put_u32(self.local_as.value());
+        body.put_u16(0); // interface index
+        body.put_u16(1); // AFI: IPv4
+        body.put_u32(u32::from(self.peer_ip));
+        body.put_u32(u32::from(self.local_ip));
+        body.extend_from_slice(&msg);
+        let mut out = BytesMut::with_capacity(12 + body.len());
+        out.put_u32(self.time.as_secs() as u32);
+        out.put_u16(MRT_TYPE_BGP4MP);
+        out.put_u16(MRT_SUBTYPE_MESSAGE_AS4);
+        out.put_u32(body.len() as u32);
+        out.extend_from_slice(&body);
+        Ok(out.to_vec())
+    }
+
+    /// Decodes one record from `bytes`; returns the record and the number
+    /// of bytes consumed, or `None` when the input is incomplete.
+    pub fn decode(bytes: &[u8]) -> WireResult<Option<(MrtRecord, usize)>> {
+        if bytes.len() < 12 {
+            return Ok(None);
+        }
+        let mut hdr = Bytes::copy_from_slice(&bytes[..12]);
+        let secs = hdr.get_u32();
+        let ty = hdr.get_u16();
+        let subty = hdr.get_u16();
+        let len = hdr.get_u32() as usize;
+        if bytes.len() < 12 + len {
+            return Ok(None);
+        }
+        if ty != MRT_TYPE_BGP4MP || subty != MRT_SUBTYPE_MESSAGE_AS4 {
+            return Err(WireError::BadMrt("unsupported MRT type/subtype"));
+        }
+        if len < 20 {
+            return Err(WireError::BadMrt("BGP4MP body too short"));
+        }
+        let mut body = Bytes::copy_from_slice(&bytes[12..12 + len]);
+        let peer_as = Asn(body.get_u32());
+        let local_as = Asn(body.get_u32());
+        let _ifindex = body.get_u16();
+        let afi = body.get_u16();
+        if afi != 1 {
+            return Err(WireError::BadMrt("non-IPv4 AFI"));
+        }
+        let peer_ip = Ipv4Addr::from(body.get_u32());
+        let local_ip = Ipv4Addr::from(body.get_u32());
+        let mut msgbuf = BytesMut::from(&body[..]);
+        let message = BgpMessage::decode(&mut msgbuf)?
+            .ok_or(WireError::BadMrt("truncated BGP message in record"))?;
+        Ok(Some((
+            MrtRecord {
+                time: Timestamp::from_secs(secs as u64),
+                peer_as,
+                local_as,
+                peer_ip,
+                local_ip,
+                message,
+            },
+            12 + len,
+        )))
+    }
+}
+
+/// Streams MRT records to a writer.
+pub struct MrtWriter<W: Write> {
+    inner: W,
+    records: usize,
+}
+
+impl<W: Write> MrtWriter<W> {
+    /// Wraps a writer.
+    pub fn new(inner: W) -> Self {
+        MrtWriter { inner, records: 0 }
+    }
+
+    /// Writes one record.
+    pub fn write_record(&mut self, r: &MrtRecord) -> std::io::Result<()> {
+        let bytes = r
+            .encode()
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+        self.inner.write_all(&bytes)?;
+        self.records += 1;
+        Ok(())
+    }
+
+    /// Number of records written.
+    pub fn records_written(&self) -> usize {
+        self.records
+    }
+
+    /// Flushes and returns the inner writer.
+    pub fn into_inner(mut self) -> std::io::Result<W> {
+        self.inner.flush()?;
+        Ok(self.inner)
+    }
+}
+
+/// Streams MRT records from a reader.
+pub struct MrtReader<R: Read> {
+    inner: R,
+    buf: Vec<u8>,
+    eof: bool,
+}
+
+impl<R: Read> MrtReader<R> {
+    /// Wraps a reader.
+    pub fn new(inner: R) -> Self {
+        MrtReader {
+            inner,
+            buf: Vec::new(),
+            eof: false,
+        }
+    }
+
+    /// Reads the next record, or `None` at end of stream.
+    pub fn next_record(&mut self) -> WireResult<Option<MrtRecord>> {
+        loop {
+            match MrtRecord::decode(&self.buf)? {
+                Some((rec, used)) => {
+                    self.buf.drain(..used);
+                    return Ok(Some(rec));
+                }
+                None => {
+                    if self.eof {
+                        if self.buf.is_empty() {
+                            return Ok(None);
+                        }
+                        return Err(WireError::BadMrt("trailing bytes at end of stream"));
+                    }
+                    let mut chunk = [0u8; 4096];
+                    let n = self
+                        .inner
+                        .read(&mut chunk)
+                        .map_err(|_| WireError::BadMrt("read error"))?;
+                    if n == 0 {
+                        self.eof = true;
+                    } else {
+                        self.buf.extend_from_slice(&chunk[..n]);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::update::UpdateMessage;
+    use bgp_types::AsPath;
+
+    fn sample_record(t: u64, peer: u32) -> MrtRecord {
+        MrtRecord {
+            time: Timestamp::from_secs(t),
+            peer_as: Asn(peer),
+            local_as: Asn(65535),
+            peer_ip: Ipv4Addr::new(10, 0, 0, 2),
+            local_ip: Ipv4Addr::new(10, 0, 0, 1),
+            message: BgpMessage::Update(UpdateMessage::announce(
+                "192.0.2.0/24".parse().unwrap(),
+                AsPath::from_u32s([peer, 2, 3]),
+                Ipv4Addr::new(10, 0, 0, 2),
+                vec![],
+            )),
+        }
+    }
+
+    #[test]
+    fn record_roundtrip() {
+        let r = sample_record(1_700_000_000, 65001);
+        let bytes = r.encode().unwrap();
+        let (back, used) = MrtRecord::decode(&bytes).unwrap().unwrap();
+        assert_eq!(used, bytes.len());
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn incomplete_input_returns_none() {
+        let r = sample_record(1, 2);
+        let bytes = r.encode().unwrap();
+        assert!(MrtRecord::decode(&bytes[..5]).unwrap().is_none());
+        assert!(MrtRecord::decode(&bytes[..bytes.len() - 1]).unwrap().is_none());
+    }
+
+    #[test]
+    fn writer_reader_stream_roundtrip() {
+        let mut w = MrtWriter::new(Vec::new());
+        let records: Vec<MrtRecord> = (0..10).map(|i| sample_record(1000 + i, 65000 + i as u32)).collect();
+        for r in &records {
+            w.write_record(r).unwrap();
+        }
+        assert_eq!(w.records_written(), 10);
+        let bytes = w.into_inner().unwrap();
+        let mut rd = MrtReader::new(&bytes[..]);
+        let mut back = Vec::new();
+        while let Some(r) = rd.next_record().unwrap() {
+            back.push(r);
+        }
+        assert_eq!(back, records);
+    }
+
+    #[test]
+    fn trailing_garbage_is_an_error() {
+        let r = sample_record(1, 2);
+        let mut bytes = r.encode().unwrap();
+        bytes.extend_from_slice(&[1, 2, 3]);
+        let mut rd = MrtReader::new(&bytes[..]);
+        assert!(rd.next_record().unwrap().is_some());
+        assert!(rd.next_record().is_err());
+    }
+
+    #[test]
+    fn unsupported_type_rejected() {
+        let r = sample_record(1, 2);
+        let mut bytes = r.encode().unwrap();
+        bytes[4] = 0;
+        bytes[5] = 13; // TABLE_DUMP_V2
+        assert!(MrtRecord::decode(&bytes).is_err());
+    }
+}

@@ -1,0 +1,95 @@
+//! NOTIFICATION message (RFC 4271 §4.5).
+
+use crate::error::{WireError, WireResult};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// A BGP NOTIFICATION: error code, subcode and opaque data.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Notification {
+    /// Major error code (RFC 4271 §6).
+    pub code: u8,
+    /// Error subcode.
+    pub subcode: u8,
+    /// Diagnostic data.
+    pub data: Vec<u8>,
+}
+
+impl Notification {
+    /// Cease (administrative shutdown) — code 6, subcode 2.
+    pub fn cease() -> Self {
+        Notification {
+            code: 6,
+            subcode: 2,
+            data: Vec::new(),
+        }
+    }
+
+    /// Hold-timer expired — code 4.
+    pub fn hold_timer_expired() -> Self {
+        Notification {
+            code: 4,
+            subcode: 0,
+            data: Vec::new(),
+        }
+    }
+
+    /// Encodes the body.
+    pub fn encode_body(&self, out: &mut BytesMut) {
+        out.put_u8(self.code);
+        out.put_u8(self.subcode);
+        out.extend_from_slice(&self.data);
+    }
+
+    /// Decodes the body.
+    pub fn decode_body(body: &Bytes) -> WireResult<Notification> {
+        let mut b = body.clone();
+        if b.remaining() < 2 {
+            return Err(WireError::Truncated {
+                what: "NOTIFICATION",
+                needed: 2,
+                have: b.remaining(),
+            });
+        }
+        let code = b.get_u8();
+        let subcode = b.get_u8();
+        Ok(Notification {
+            code,
+            subcode,
+            data: b.to_vec(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::BgpMessage;
+    use bytes::BytesMut;
+
+    #[test]
+    fn roundtrip_with_data() {
+        let n = Notification {
+            code: 2,
+            subcode: 5,
+            data: vec![1, 2, 3],
+        };
+        let bytes = BgpMessage::Notification(n.clone()).encode_to_vec().unwrap();
+        let mut buf = BytesMut::from(&bytes[..]);
+        match BgpMessage::decode(&mut buf).unwrap().unwrap() {
+            BgpMessage::Notification(back) => assert_eq!(back, n),
+            other => panic!("wrong type {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        let body = Bytes::from_static(&[6]);
+        assert!(Notification::decode_body(&body).is_err());
+    }
+
+    #[test]
+    fn well_known_constructors() {
+        assert_eq!(Notification::cease().code, 6);
+        assert_eq!(Notification::hold_timer_expired().code, 4);
+    }
+}

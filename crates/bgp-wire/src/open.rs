@@ -1,0 +1,181 @@
+//! OPEN message (RFC 4271 §4.2) with the 4-octet-ASN capability
+//! (RFC 6793).
+
+use crate::error::{WireError, WireResult};
+use bgp_types::Asn;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::net::Ipv4Addr;
+
+/// Supported BGP version.
+pub const BGP_VERSION: u8 = 4;
+
+/// Capability codes we understand.
+mod cap_code {
+    /// Four-octet AS numbers (RFC 6793).
+    pub const FOUR_OCTET_AS: u8 = 65;
+}
+
+/// A BGP OPEN message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OpenMessage {
+    /// The sender's AS number (encoded as AS_TRANS in the 2-octet field
+    /// when it doesn't fit; the real value travels in the capability).
+    pub asn: Asn,
+    /// Proposed hold time in seconds (0 or ≥ 3 per RFC 4271).
+    pub hold_time: u16,
+    /// BGP identifier (router id).
+    pub router_id: Ipv4Addr,
+}
+
+impl OpenMessage {
+    /// Builds an OPEN with the given parameters.
+    pub fn new(asn: Asn, hold_time: u16, router_id: Ipv4Addr) -> Self {
+        OpenMessage {
+            asn,
+            hold_time,
+            router_id,
+        }
+    }
+
+    /// Encodes the message body (everything after the common header).
+    pub fn encode_body(&self, out: &mut BytesMut) -> WireResult<()> {
+        out.put_u8(BGP_VERSION);
+        let two_octet = if self.asn.is_two_octet() {
+            self.asn.value() as u16
+        } else {
+            Asn::TRANS.value() as u16
+        };
+        out.put_u16(two_octet);
+        out.put_u16(self.hold_time);
+        out.put_u32(u32::from(self.router_id));
+        // optional parameters: one capabilities parameter carrying the
+        // 4-octet-AS capability (always sent; it also confirms the ASN)
+        let mut caps = BytesMut::new();
+        caps.put_u8(cap_code::FOUR_OCTET_AS);
+        caps.put_u8(4);
+        caps.put_u32(self.asn.value());
+        let mut params = BytesMut::new();
+        params.put_u8(2); // param type: capabilities
+        params.put_u8(caps.len() as u8);
+        params.extend_from_slice(&caps);
+        out.put_u8(params.len() as u8);
+        out.extend_from_slice(&params);
+        Ok(())
+    }
+
+    /// Decodes the message body.
+    pub fn decode_body(body: &Bytes) -> WireResult<OpenMessage> {
+        let mut b = body.clone();
+        if b.remaining() < 10 {
+            return Err(WireError::Truncated {
+                what: "OPEN",
+                needed: 10,
+                have: b.remaining(),
+            });
+        }
+        let version = b.get_u8();
+        if version != BGP_VERSION {
+            return Err(WireError::BadVersion(version));
+        }
+        let two_octet = b.get_u16();
+        let hold_time = b.get_u16();
+        let router_id = Ipv4Addr::from(b.get_u32());
+        let opt_len = b.get_u8() as usize;
+        if b.remaining() < opt_len {
+            return Err(WireError::Truncated {
+                what: "OPEN optional parameters",
+                needed: opt_len,
+                have: b.remaining(),
+            });
+        }
+        let mut asn = Asn(two_octet as u32);
+        let mut params = b.copy_to_bytes(opt_len);
+        while params.remaining() >= 2 {
+            let ptype = params.get_u8();
+            let plen = params.get_u8() as usize;
+            if params.remaining() < plen {
+                return Err(WireError::Truncated {
+                    what: "OPEN parameter",
+                    needed: plen,
+                    have: params.remaining(),
+                });
+            }
+            let mut pbody = params.copy_to_bytes(plen);
+            if ptype == 2 {
+                // capabilities
+                while pbody.remaining() >= 2 {
+                    let code = pbody.get_u8();
+                    let clen = pbody.get_u8() as usize;
+                    if pbody.remaining() < clen {
+                        return Err(WireError::Truncated {
+                            what: "capability",
+                            needed: clen,
+                            have: pbody.remaining(),
+                        });
+                    }
+                    let mut cbody = pbody.copy_to_bytes(clen);
+                    if code == cap_code::FOUR_OCTET_AS && clen == 4 {
+                        asn = Asn(cbody.get_u32());
+                    }
+                }
+            }
+        }
+        Ok(OpenMessage {
+            asn,
+            hold_time,
+            router_id,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::BgpMessage;
+    use bytes::BytesMut;
+
+    fn roundtrip(m: OpenMessage) -> OpenMessage {
+        let msg = BgpMessage::Open(m);
+        let bytes = msg.encode_to_vec().unwrap();
+        let mut buf = BytesMut::from(&bytes[..]);
+        match BgpMessage::decode(&mut buf).unwrap().unwrap() {
+            BgpMessage::Open(o) => o,
+            other => panic!("wrong type: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn two_octet_asn_roundtrip() {
+        let m = OpenMessage::new(Asn(65000), 90, Ipv4Addr::new(10, 0, 0, 1));
+        assert_eq!(roundtrip(m.clone()), m);
+    }
+
+    #[test]
+    fn four_octet_asn_uses_capability() {
+        let m = OpenMessage::new(Asn(400_000), 180, Ipv4Addr::new(192, 0, 2, 1));
+        let back = roundtrip(m.clone());
+        assert_eq!(back.asn, Asn(400_000));
+        // wire 2-octet field must be AS_TRANS
+        let bytes = BgpMessage::Open(m).encode_to_vec().unwrap();
+        let two = u16::from_be_bytes([bytes[20], bytes[21]]);
+        assert_eq!(two as u32, Asn::TRANS.value());
+    }
+
+    #[test]
+    fn wrong_version_rejected() {
+        let m = OpenMessage::new(Asn(1), 90, Ipv4Addr::new(1, 1, 1, 1));
+        let mut bytes = BgpMessage::Open(m).encode_to_vec().unwrap();
+        bytes[19] = 3; // version byte
+        let mut buf = BytesMut::from(&bytes[..]);
+        assert_eq!(
+            BgpMessage::decode(&mut buf),
+            Err(WireError::BadVersion(3))
+        );
+    }
+
+    #[test]
+    fn truncated_open_rejected() {
+        let body = Bytes::from_static(&[4, 0]);
+        assert!(OpenMessage::decode_body(&body).is_err());
+    }
+}

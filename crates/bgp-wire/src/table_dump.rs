@@ -1,0 +1,464 @@
+//! MRT TABLE_DUMP_V2 (RFC 6396 §4.3) — RIB snapshots.
+//!
+//! GILL stores "RIBs every eight hours or every update" (§8). A
+//! TABLE_DUMP_V2 archive starts with a PEER_INDEX_TABLE record naming the
+//! peers, followed by one RIB_IPV4_UNICAST record per prefix, each holding
+//! the best route of every peer that has one (peer referenced by index).
+//!
+//! Only the attributes the rest of the workspace uses are encoded
+//! (ORIGIN, AS_PATH with 4-octet ASNs, NEXT_HOP, COMMUNITIES), matching
+//! the UPDATE codec in [`crate::update`].
+
+use crate::error::{WireError, WireResult};
+use bgp_types::{Asn, AsPath, Community, Prefix, Rib, Timestamp, VpId};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::net::Ipv4Addr;
+
+/// MRT type code for TABLE_DUMP_V2.
+pub const MRT_TYPE_TABLE_DUMP_V2: u16 = 13;
+/// Subtype: PEER_INDEX_TABLE.
+pub const SUBTYPE_PEER_INDEX_TABLE: u16 = 1;
+/// Subtype: RIB_IPV4_UNICAST.
+pub const SUBTYPE_RIB_IPV4_UNICAST: u16 = 2;
+
+/// One peer in the index table.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct PeerEntry {
+    /// Peer AS number.
+    pub asn: Asn,
+    /// Peer BGP id / address.
+    pub addr: Ipv4Addr,
+}
+
+/// One route within a RIB entry record.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct RibRoute {
+    /// Index into the peer table.
+    pub peer_index: u16,
+    /// When the route was received.
+    pub originated: Timestamp,
+    /// AS path.
+    pub path: AsPath,
+    /// Communities.
+    pub communities: Vec<Community>,
+}
+
+/// A decoded RIB snapshot: peers plus per-prefix routes.
+#[derive(Clone, Default, Debug)]
+pub struct TableDump {
+    /// The peer index table.
+    pub peers: Vec<PeerEntry>,
+    /// Per-prefix routes, ordered by prefix.
+    pub entries: Vec<(Prefix, Vec<RibRoute>)>,
+}
+
+impl TableDump {
+    /// Builds a snapshot from per-VP RIBs (the simulator's
+    /// `rib_snapshot` output or the collector's state).
+    pub fn from_ribs<'a, I>(ribs: I) -> TableDump
+    where
+        I: IntoIterator<Item = (&'a VpId, &'a Rib)>,
+    {
+        let mut peers: Vec<PeerEntry> = Vec::new();
+        let mut by_prefix: BTreeMap<Prefix, Vec<RibRoute>> = BTreeMap::new();
+        let mut sorted: Vec<(&VpId, &Rib)> = ribs.into_iter().collect();
+        sorted.sort_by_key(|(vp, _)| **vp);
+        for (vp, rib) in sorted {
+            let peer_index = peers.len() as u16;
+            peers.push(PeerEntry {
+                asn: vp.asn,
+                addr: Ipv4Addr::from(0x0a00_0000u32 | (vp.asn.value() & 0x00ff_ffff)),
+            });
+            let mut entries: Vec<_> = rib.iter().collect();
+            entries.sort_by_key(|(p, _)| **p);
+            for (prefix, entry) in entries {
+                by_prefix.entry(*prefix).or_default().push(RibRoute {
+                    peer_index,
+                    originated: entry.time,
+                    path: entry.path.clone(),
+                    communities: entry.communities.iter().copied().collect(),
+                });
+            }
+        }
+        TableDump {
+            peers,
+            entries: by_prefix.into_iter().collect(),
+        }
+    }
+
+    /// Reconstructs per-VP RIBs from the snapshot.
+    pub fn to_ribs(&self) -> BTreeMap<VpId, Rib> {
+        use bgp_types::UpdateBuilder;
+        let mut out: BTreeMap<VpId, Rib> = BTreeMap::new();
+        for (prefix, routes) in &self.entries {
+            for r in routes {
+                let Some(peer) = self.peers.get(r.peer_index as usize) else {
+                    continue;
+                };
+                let vp = VpId::from_asn(peer.asn);
+                let mut u = UpdateBuilder::announce(vp, *prefix)
+                    .at(r.originated)
+                    .as_path(r.path.clone())
+                    .communities(r.communities.iter().copied())
+                    .build();
+                out.entry(vp).or_default().apply(&mut u);
+            }
+        }
+        out
+    }
+
+    /// Number of (prefix, route) pairs in the snapshot.
+    pub fn route_count(&self) -> usize {
+        self.entries.iter().map(|(_, rs)| rs.len()).sum()
+    }
+
+    /// Writes the snapshot as MRT records (`PEER_INDEX_TABLE` followed by
+    /// one `RIB_IPV4_UNICAST` per prefix) to `w`. Returns records written.
+    pub fn write_mrt<W: Write>(&self, w: &mut W, at: Timestamp) -> std::io::Result<usize> {
+        let io_err =
+            |e: WireError| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string());
+        let mut records = 0usize;
+        // --- PEER_INDEX_TABLE ------------------------------------------
+        let mut body = BytesMut::new();
+        body.put_u32(0x0a00_00fe); // collector BGP id
+        body.put_u16(0); // view name length (empty)
+        body.put_u16(self.peers.len() as u16);
+        for p in &self.peers {
+            body.put_u8(0x02); // type: AS4, IPv4
+            body.put_u32(u32::from(p.addr)); // peer BGP id (reuse addr)
+            body.put_u32(u32::from(p.addr));
+            body.put_u32(p.asn.value());
+        }
+        write_mrt_header(w, at, SUBTYPE_PEER_INDEX_TABLE, &body)?;
+        records += 1;
+        // --- RIB entries -------------------------------------------------
+        for (seq, (prefix, routes)) in self.entries.iter().enumerate() {
+            let mut body = BytesMut::new();
+            body.put_u32(seq as u32);
+            encode_prefix_nlri(prefix, &mut body).map_err(io_err)?;
+            body.put_u16(routes.len() as u16);
+            for r in routes {
+                body.put_u16(r.peer_index);
+                body.put_u32(r.originated.as_secs() as u32);
+                let attrs = encode_attrs(r).map_err(io_err)?;
+                body.put_u16(attrs.len() as u16);
+                body.extend_from_slice(&attrs);
+            }
+            write_mrt_header(w, at, SUBTYPE_RIB_IPV4_UNICAST, &body)?;
+            records += 1;
+        }
+        Ok(records)
+    }
+
+    /// Reads a snapshot back from raw MRT bytes.
+    pub fn read_mrt(mut bytes: &[u8]) -> WireResult<TableDump> {
+        let mut dump = TableDump::default();
+        let mut saw_index = false;
+        while !bytes.is_empty() {
+            if bytes.len() < 12 {
+                return Err(WireError::BadMrt("truncated header"));
+            }
+            let mut hdr = Bytes::copy_from_slice(&bytes[..12]);
+            let _secs = hdr.get_u32();
+            let ty = hdr.get_u16();
+            let subty = hdr.get_u16();
+            let len = hdr.get_u32() as usize;
+            if bytes.len() < 12 + len {
+                return Err(WireError::BadMrt("truncated record"));
+            }
+            let mut body = Bytes::copy_from_slice(&bytes[12..12 + len]);
+            bytes = &bytes[12 + len..];
+            if ty != MRT_TYPE_TABLE_DUMP_V2 {
+                return Err(WireError::BadMrt("not a TABLE_DUMP_V2 record"));
+            }
+            match subty {
+                SUBTYPE_PEER_INDEX_TABLE => {
+                    if body.remaining() < 8 {
+                        return Err(WireError::BadMrt("short index table"));
+                    }
+                    let _collector = body.get_u32();
+                    let view_len = body.get_u16() as usize;
+                    if body.remaining() < view_len + 2 {
+                        return Err(WireError::BadMrt("short view name"));
+                    }
+                    body.advance(view_len);
+                    let n = body.get_u16() as usize;
+                    for _ in 0..n {
+                        if body.remaining() < 13 {
+                            return Err(WireError::BadMrt("short peer entry"));
+                        }
+                        let ptype = body.get_u8();
+                        if ptype & 0x01 != 0 {
+                            return Err(WireError::BadMrt("IPv6 peers unsupported"));
+                        }
+                        let _bgp_id = body.get_u32();
+                        let addr = Ipv4Addr::from(body.get_u32());
+                        let asn = if ptype & 0x02 != 0 {
+                            Asn(body.get_u32())
+                        } else {
+                            if body.remaining() < 2 {
+                                return Err(WireError::BadMrt("short 2-octet peer AS"));
+                            }
+                            Asn(body.get_u16() as u32)
+                        };
+                        dump.peers.push(PeerEntry { asn, addr });
+                    }
+                    saw_index = true;
+                }
+                SUBTYPE_RIB_IPV4_UNICAST => {
+                    if !saw_index {
+                        return Err(WireError::BadMrt("RIB entry before PEER_INDEX_TABLE"));
+                    }
+                    if body.remaining() < 5 {
+                        return Err(WireError::BadMrt("short RIB entry"));
+                    }
+                    let _seq = body.get_u32();
+                    let prefix = decode_prefix_nlri(&mut body)?;
+                    if body.remaining() < 2 {
+                        return Err(WireError::BadMrt("missing entry count"));
+                    }
+                    let n = body.get_u16() as usize;
+                    let mut routes = Vec::with_capacity(n);
+                    for _ in 0..n {
+                        if body.remaining() < 8 {
+                            return Err(WireError::BadMrt("short RIB route"));
+                        }
+                        let peer_index = body.get_u16();
+                        let originated = Timestamp::from_secs(body.get_u32() as u64);
+                        let alen = body.get_u16() as usize;
+                        if body.remaining() < alen {
+                            return Err(WireError::BadMrt("short attributes"));
+                        }
+                        let attrs = body.copy_to_bytes(alen);
+                        let (path, communities) = decode_attrs(&attrs)?;
+                        routes.push(RibRoute {
+                            peer_index,
+                            originated,
+                            path,
+                            communities,
+                        });
+                    }
+                    dump.entries.push((prefix, routes));
+                }
+                _ => return Err(WireError::BadMrt("unsupported TABLE_DUMP_V2 subtype")),
+            }
+        }
+        Ok(dump)
+    }
+}
+
+fn write_mrt_header<W: Write>(
+    w: &mut W,
+    at: Timestamp,
+    subtype: u16,
+    body: &[u8],
+) -> std::io::Result<()> {
+    let mut hdr = BytesMut::with_capacity(12);
+    hdr.put_u32(at.as_secs() as u32);
+    hdr.put_u16(MRT_TYPE_TABLE_DUMP_V2);
+    hdr.put_u16(subtype);
+    hdr.put_u32(body.len() as u32);
+    w.write_all(&hdr)?;
+    w.write_all(body)
+}
+
+fn encode_prefix_nlri(p: &Prefix, out: &mut BytesMut) -> WireResult<()> {
+    if p.is_ipv6() {
+        return Err(WireError::Unsupported("IPv6 RIB entries"));
+    }
+    out.put_u8(p.len());
+    let octets = (p.len() as usize).div_ceil(8);
+    let bits = (p.raw_bits() as u32).to_be_bytes();
+    out.extend_from_slice(&bits[..octets]);
+    Ok(())
+}
+
+fn decode_prefix_nlri(b: &mut Bytes) -> WireResult<Prefix> {
+    if !b.has_remaining() {
+        return Err(WireError::BadMrt("missing prefix"));
+    }
+    let len = b.get_u8();
+    if len > 32 {
+        return Err(WireError::BadPrefixLength(len));
+    }
+    let octets = (len as usize).div_ceil(8);
+    if b.remaining() < octets {
+        return Err(WireError::BadMrt("short prefix"));
+    }
+    let mut addr = [0u8; 4];
+    for slot in addr.iter_mut().take(octets) {
+        *slot = b.get_u8();
+    }
+    Ok(Prefix::v4(Ipv4Addr::from(addr), len))
+}
+
+fn encode_attrs(r: &RibRoute) -> WireResult<BytesMut> {
+    let mut attrs = BytesMut::new();
+    // ORIGIN IGP
+    attrs.put_u8(0x40);
+    attrs.put_u8(1);
+    attrs.put_u8(1);
+    attrs.put_u8(0);
+    // AS_PATH (one AS_SEQUENCE, 4-octet)
+    let mut ap = BytesMut::new();
+    if !r.path.is_empty() {
+        ap.put_u8(2);
+        ap.put_u8(r.path.hop_count() as u8);
+        for a in r.path.hops() {
+            ap.put_u32(a.value());
+        }
+    }
+    attrs.put_u8(0x40);
+    attrs.put_u8(2);
+    attrs.put_u8(ap.len() as u8);
+    attrs.extend_from_slice(&ap);
+    // COMMUNITIES
+    if !r.communities.is_empty() {
+        attrs.put_u8(0xc0);
+        attrs.put_u8(8);
+        attrs.put_u8((r.communities.len() * 4) as u8);
+        for c in &r.communities {
+            attrs.put_u32(c.raw());
+        }
+    }
+    Ok(attrs)
+}
+
+fn decode_attrs(bytes: &Bytes) -> WireResult<(AsPath, Vec<Community>)> {
+    let mut b = bytes.clone();
+    let mut path = AsPath::empty();
+    let mut communities = Vec::new();
+    while b.has_remaining() {
+        if b.remaining() < 3 {
+            return Err(WireError::BadMrt("short attribute"));
+        }
+        let flags = b.get_u8();
+        let code = b.get_u8();
+        let len = if flags & 0x10 != 0 {
+            if b.remaining() < 2 {
+                return Err(WireError::BadMrt("short extended length"));
+            }
+            b.get_u16() as usize
+        } else {
+            b.get_u8() as usize
+        };
+        if b.remaining() < len {
+            return Err(WireError::BadMrt("short attribute body"));
+        }
+        let mut body = b.copy_to_bytes(len);
+        match code {
+            2 => {
+                let mut hops = Vec::new();
+                while body.has_remaining() {
+                    if body.remaining() < 2 {
+                        return Err(WireError::BadMrt("short AS segment"));
+                    }
+                    let _seg = body.get_u8();
+                    let count = body.get_u8() as usize;
+                    if body.remaining() < count * 4 {
+                        return Err(WireError::BadMrt("short AS segment body"));
+                    }
+                    for _ in 0..count {
+                        hops.push(Asn(body.get_u32()));
+                    }
+                }
+                path = AsPath::new(hops);
+            }
+            8 => {
+                if len % 4 != 0 {
+                    return Err(WireError::BadMrt("bad communities length"));
+                }
+                while body.has_remaining() {
+                    communities.push(Community(body.get_u32()));
+                }
+            }
+            _ => {}
+        }
+    }
+    Ok((path, communities))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgp_types::UpdateBuilder;
+
+    fn sample_ribs() -> BTreeMap<VpId, Rib> {
+        let mut out = BTreeMap::new();
+        for vp_asn in [65001u32, 65002] {
+            let vp = VpId::from_asn(Asn(vp_asn));
+            let mut rib = Rib::new();
+            for p in 0..3u32 {
+                let mut u = UpdateBuilder::announce(vp, Prefix::synthetic(p))
+                    .at(Timestamp::from_secs(100 + p as u64))
+                    .path([vp_asn, 2, 3 + p])
+                    .community((vp_asn % 60_000) as u16, 100 + p as u16)
+                    .build();
+                rib.apply(&mut u);
+            }
+            out.insert(vp, rib);
+        }
+        out
+    }
+
+    #[test]
+    fn dump_roundtrip_preserves_routes() {
+        let ribs = sample_ribs();
+        let dump = TableDump::from_ribs(ribs.iter());
+        assert_eq!(dump.peers.len(), 2);
+        assert_eq!(dump.route_count(), 6);
+        let mut bytes = Vec::new();
+        let records = dump.write_mrt(&mut bytes, Timestamp::from_secs(999)).unwrap();
+        assert_eq!(records, 1 + 3); // index + one per prefix
+        let back = TableDump::read_mrt(&bytes).unwrap();
+        assert_eq!(back.peers, dump.peers);
+        assert_eq!(back.entries.len(), dump.entries.len());
+        // full RIB reconstruction
+        let ribs2 = back.to_ribs();
+        assert_eq!(ribs2.len(), 2);
+        for (vp, rib) in &ribs {
+            let r2 = &ribs2[vp];
+            assert_eq!(r2.len(), rib.len());
+            for (prefix, entry) in rib.iter() {
+                let e2 = r2.get(prefix).expect("prefix survived");
+                assert_eq!(e2.path, entry.path);
+                assert_eq!(e2.communities, entry.communities);
+            }
+        }
+    }
+
+    #[test]
+    fn rib_entry_before_index_is_rejected() {
+        let ribs = sample_ribs();
+        let dump = TableDump::from_ribs(ribs.iter());
+        let mut bytes = Vec::new();
+        dump.write_mrt(&mut bytes, Timestamp::ZERO).unwrap();
+        // chop off the PEER_INDEX_TABLE record
+        let mut hdr = Bytes::copy_from_slice(&bytes[..12]);
+        hdr.advance(8);
+        let first_len = 12 + hdr.get_u32() as usize;
+        assert!(TableDump::read_mrt(&bytes[first_len..]).is_err());
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let ribs = sample_ribs();
+        let dump = TableDump::from_ribs(ribs.iter());
+        let mut bytes = Vec::new();
+        dump.write_mrt(&mut bytes, Timestamp::ZERO).unwrap();
+        assert!(TableDump::read_mrt(&bytes[..bytes.len() - 3]).is_err());
+    }
+
+    #[test]
+    fn empty_dump_roundtrip() {
+        let dump = TableDump::from_ribs(std::iter::empty());
+        let mut bytes = Vec::new();
+        let n = dump.write_mrt(&mut bytes, Timestamp::ZERO).unwrap();
+        assert_eq!(n, 1); // just the (empty) index table
+        let back = TableDump::read_mrt(&bytes).unwrap();
+        assert!(back.peers.is_empty());
+        assert!(back.entries.is_empty());
+    }
+}

@@ -1,0 +1,511 @@
+//! UPDATE message (RFC 4271 §4.3) with ORIGIN, AS_PATH (4-octet,
+//! RFC 6793), NEXT_HOP and COMMUNITIES (RFC 1997) attributes.
+
+use crate::error::{WireError, WireResult};
+use bgp_types::{Asn, AsPath, BgpUpdate, Community, Prefix, Timestamp, UpdateBuilder, VpId};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::net::Ipv4Addr;
+
+/// Path-attribute type codes.
+mod attr_code {
+    pub const ORIGIN: u8 = 1;
+    pub const AS_PATH: u8 = 2;
+    pub const NEXT_HOP: u8 = 3;
+    pub const COMMUNITIES: u8 = 8;
+}
+
+/// Attribute flag bits.
+mod attr_flag {
+    pub const OPTIONAL: u8 = 0x80;
+    pub const TRANSITIVE: u8 = 0x40;
+    pub const EXTENDED_LEN: u8 = 0x10;
+}
+
+/// ORIGIN attribute values.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Origin {
+    /// Interior Gateway Protocol.
+    #[default]
+    Igp,
+    /// Exterior Gateway Protocol (historical).
+    Egp,
+    /// Incomplete.
+    Incomplete,
+}
+
+impl Origin {
+    fn code(self) -> u8 {
+        match self {
+            Origin::Igp => 0,
+            Origin::Egp => 1,
+            Origin::Incomplete => 2,
+        }
+    }
+
+    fn from_code(c: u8) -> WireResult<Self> {
+        match c {
+            0 => Ok(Origin::Igp),
+            1 => Ok(Origin::Egp),
+            2 => Ok(Origin::Incomplete),
+            _ => Err(WireError::BadAttribute {
+                code: attr_code::ORIGIN,
+                reason: "unknown origin value",
+            }),
+        }
+    }
+}
+
+/// A decoded UPDATE message (IPv4 unicast).
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct UpdateMessage {
+    /// Withdrawn prefixes.
+    pub withdrawn: Vec<Prefix>,
+    /// Announced prefixes (NLRI).
+    pub announced: Vec<Prefix>,
+    /// ORIGIN attribute.
+    pub origin: Origin,
+    /// AS_PATH (empty when there is no announcement).
+    pub as_path: AsPath,
+    /// NEXT_HOP (required when `announced` is non-empty).
+    pub next_hop: Option<Ipv4Addr>,
+    /// COMMUNITIES attribute values.
+    pub communities: Vec<Community>,
+}
+
+impl UpdateMessage {
+    /// An announcement of `prefix` with the given path and communities.
+    pub fn announce(
+        prefix: Prefix,
+        as_path: AsPath,
+        next_hop: Ipv4Addr,
+        communities: Vec<Community>,
+    ) -> Self {
+        UpdateMessage {
+            withdrawn: Vec::new(),
+            announced: vec![prefix],
+            origin: Origin::Igp,
+            as_path,
+            next_hop: Some(next_hop),
+            communities,
+        }
+    }
+
+    /// A withdrawal of `prefix`.
+    pub fn withdraw(prefix: Prefix) -> Self {
+        UpdateMessage {
+            withdrawn: vec![prefix],
+            ..UpdateMessage::default()
+        }
+    }
+
+    /// Converts a domain [`BgpUpdate`] into a wire message. The next hop
+    /// is derived from the first-hop ASN (synthetic but deterministic).
+    pub fn from_domain(u: &BgpUpdate) -> WireResult<Self> {
+        if u.prefix.is_ipv6() {
+            return Err(WireError::Unsupported("IPv6 NLRI (use MP_REACH)"));
+        }
+        Ok(if u.is_announce() {
+            let nh = u
+                .path
+                .first_hop()
+                .map(|a| Ipv4Addr::from(0x0a00_0000u32 | (a.value() & 0x00ff_ffff)))
+                .unwrap_or(Ipv4Addr::new(10, 0, 0, 1));
+            UpdateMessage::announce(
+                u.prefix,
+                u.path.clone(),
+                nh,
+                u.communities.iter().copied().collect(),
+            )
+        } else {
+            UpdateMessage::withdraw(u.prefix)
+        })
+    }
+
+    /// Converts back to a domain update observed by `vp` at `time`.
+    /// Withdrawals map to withdraw updates; each announced prefix yields
+    /// one update (this helper returns them all).
+    pub fn to_domain(&self, vp: VpId, time: Timestamp) -> Vec<BgpUpdate> {
+        let mut out = Vec::new();
+        for &p in &self.withdrawn {
+            out.push(UpdateBuilder::withdraw(vp, p).at(time).build());
+        }
+        for &p in &self.announced {
+            out.push(
+                UpdateBuilder::announce(vp, p)
+                    .at(time)
+                    .as_path(self.as_path.clone())
+                    .communities(self.communities.iter().copied())
+                    .build(),
+            );
+        }
+        out
+    }
+
+    /// Encodes the message body.
+    pub fn encode_body(&self, out: &mut BytesMut) -> WireResult<()> {
+        // withdrawn routes
+        let mut wd = BytesMut::new();
+        for p in &self.withdrawn {
+            encode_prefix(p, &mut wd)?;
+        }
+        out.put_u16(wd.len() as u16);
+        out.extend_from_slice(&wd);
+        // path attributes
+        let mut attrs = BytesMut::new();
+        if !self.announced.is_empty() {
+            put_attr(&mut attrs, attr_flag::TRANSITIVE, attr_code::ORIGIN, &[self.origin.code()]);
+            let mut ap = BytesMut::new();
+            if !self.as_path.is_empty() {
+                ap.put_u8(2); // AS_SEQUENCE
+                ap.put_u8(self.as_path.hop_count() as u8);
+                for a in self.as_path.hops() {
+                    ap.put_u32(a.value());
+                }
+            }
+            put_attr(&mut attrs, attr_flag::TRANSITIVE, attr_code::AS_PATH, &ap);
+            let nh = self.next_hop.ok_or(WireError::BadAttribute {
+                code: attr_code::NEXT_HOP,
+                reason: "announcement without next hop",
+            })?;
+            put_attr(
+                &mut attrs,
+                attr_flag::TRANSITIVE,
+                attr_code::NEXT_HOP,
+                &u32::from(nh).to_be_bytes(),
+            );
+            if !self.communities.is_empty() {
+                let mut cb = BytesMut::new();
+                for c in &self.communities {
+                    cb.put_u32(c.raw());
+                }
+                put_attr(
+                    &mut attrs,
+                    attr_flag::OPTIONAL | attr_flag::TRANSITIVE,
+                    attr_code::COMMUNITIES,
+                    &cb,
+                );
+            }
+        }
+        out.put_u16(attrs.len() as u16);
+        out.extend_from_slice(&attrs);
+        // NLRI
+        for p in &self.announced {
+            encode_prefix(p, out)?;
+        }
+        Ok(())
+    }
+
+    /// Decodes the message body.
+    pub fn decode_body(body: &Bytes) -> WireResult<UpdateMessage> {
+        let mut b = body.clone();
+        let need = |b: &Bytes, n: usize, what: &'static str| -> WireResult<()> {
+            if b.remaining() < n {
+                Err(WireError::Truncated {
+                    what,
+                    needed: n,
+                    have: b.remaining(),
+                })
+            } else {
+                Ok(())
+            }
+        };
+        need(&b, 2, "withdrawn length")?;
+        let wd_len = b.get_u16() as usize;
+        need(&b, wd_len, "withdrawn routes")?;
+        let mut wd = b.copy_to_bytes(wd_len);
+        let mut withdrawn = Vec::new();
+        while wd.has_remaining() {
+            withdrawn.push(decode_prefix(&mut wd)?);
+        }
+        need(&b, 2, "attribute length")?;
+        let at_len = b.get_u16() as usize;
+        need(&b, at_len, "path attributes")?;
+        let mut attrs = b.copy_to_bytes(at_len);
+        let mut origin = Origin::Igp;
+        let mut as_path = AsPath::empty();
+        let mut next_hop = None;
+        let mut communities = Vec::new();
+        while attrs.has_remaining() {
+            if attrs.remaining() < 3 {
+                return Err(WireError::Truncated {
+                    what: "attribute header",
+                    needed: 3,
+                    have: attrs.remaining(),
+                });
+            }
+            let flags = attrs.get_u8();
+            let code = attrs.get_u8();
+            let len = if flags & attr_flag::EXTENDED_LEN != 0 {
+                if attrs.remaining() < 2 {
+                    return Err(WireError::Truncated {
+                        what: "extended attribute length",
+                        needed: 2,
+                        have: attrs.remaining(),
+                    });
+                }
+                attrs.get_u16() as usize
+            } else {
+                if !attrs.has_remaining() {
+                    return Err(WireError::Truncated {
+                        what: "attribute length",
+                        needed: 1,
+                        have: 0,
+                    });
+                }
+                attrs.get_u8() as usize
+            };
+            if attrs.remaining() < len {
+                return Err(WireError::Truncated {
+                    what: "attribute body",
+                    needed: len,
+                    have: attrs.remaining(),
+                });
+            }
+            let mut abody = attrs.copy_to_bytes(len);
+            match code {
+                attr_code::ORIGIN => {
+                    if len != 1 {
+                        return Err(WireError::BadAttribute {
+                            code,
+                            reason: "origin length != 1",
+                        });
+                    }
+                    origin = Origin::from_code(abody.get_u8())?;
+                }
+                attr_code::AS_PATH => {
+                    let mut hops = Vec::new();
+                    while abody.has_remaining() {
+                        if abody.remaining() < 2 {
+                            return Err(WireError::BadAttribute {
+                                code,
+                                reason: "truncated segment header",
+                            });
+                        }
+                        let _seg_type = abody.get_u8(); // sets flattened
+                        let count = abody.get_u8() as usize;
+                        if abody.remaining() < count * 4 {
+                            return Err(WireError::BadAttribute {
+                                code,
+                                reason: "truncated segment",
+                            });
+                        }
+                        for _ in 0..count {
+                            hops.push(Asn(abody.get_u32()));
+                        }
+                    }
+                    as_path = AsPath::new(hops);
+                }
+                attr_code::NEXT_HOP => {
+                    if len != 4 {
+                        return Err(WireError::BadAttribute {
+                            code,
+                            reason: "next hop length != 4",
+                        });
+                    }
+                    next_hop = Some(Ipv4Addr::from(abody.get_u32()));
+                }
+                attr_code::COMMUNITIES => {
+                    if len % 4 != 0 {
+                        return Err(WireError::BadAttribute {
+                            code,
+                            reason: "communities length not multiple of 4",
+                        });
+                    }
+                    while abody.has_remaining() {
+                        communities.push(Community(abody.get_u32()));
+                    }
+                }
+                _ => {} // ignore unknown attributes (tolerant reader)
+            }
+        }
+        let mut announced = Vec::new();
+        while b.has_remaining() {
+            announced.push(decode_prefix(&mut b)?);
+        }
+        Ok(UpdateMessage {
+            withdrawn,
+            announced,
+            origin,
+            as_path,
+            next_hop,
+            communities,
+        })
+    }
+}
+
+fn put_attr(out: &mut BytesMut, flags: u8, code: u8, body: &[u8]) {
+    if body.len() > 255 {
+        out.put_u8(flags | attr_flag::EXTENDED_LEN);
+        out.put_u8(code);
+        out.put_u16(body.len() as u16);
+    } else {
+        out.put_u8(flags);
+        out.put_u8(code);
+        out.put_u8(body.len() as u8);
+    }
+    out.extend_from_slice(body);
+}
+
+/// Encodes an IPv4 prefix in RFC 4271 NLRI form (length byte + minimal
+/// octets).
+fn encode_prefix(p: &Prefix, out: &mut BytesMut) -> WireResult<()> {
+    if p.is_ipv6() {
+        return Err(WireError::Unsupported("IPv6 NLRI (use MP_REACH)"));
+    }
+    out.put_u8(p.len());
+    let octets = (p.len() as usize).div_ceil(8);
+    let bits = (p.raw_bits() as u32).to_be_bytes();
+    out.extend_from_slice(&bits[..octets]);
+    Ok(())
+}
+
+/// Decodes one NLRI prefix.
+fn decode_prefix(b: &mut Bytes) -> WireResult<Prefix> {
+    if !b.has_remaining() {
+        return Err(WireError::Truncated {
+            what: "prefix length",
+            needed: 1,
+            have: 0,
+        });
+    }
+    let len = b.get_u8();
+    if len > 32 {
+        return Err(WireError::BadPrefixLength(len));
+    }
+    let octets = (len as usize).div_ceil(8);
+    if b.remaining() < octets {
+        return Err(WireError::Truncated {
+            what: "prefix octets",
+            needed: octets,
+            have: b.remaining(),
+        });
+    }
+    let mut addr = [0u8; 4];
+    for slot in addr.iter_mut().take(octets) {
+        *slot = b.get_u8();
+    }
+    Ok(Prefix::v4(Ipv4Addr::from(addr), len))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::BgpMessage;
+
+    fn roundtrip(m: UpdateMessage) -> UpdateMessage {
+        let bytes = BgpMessage::Update(m).encode_to_vec().unwrap();
+        let mut buf = BytesMut::from(&bytes[..]);
+        match BgpMessage::decode(&mut buf).unwrap().unwrap() {
+            BgpMessage::Update(u) => u,
+            other => panic!("wrong type {other:?}"),
+        }
+    }
+
+    #[test]
+    fn announce_roundtrip() {
+        let m = UpdateMessage::announce(
+            "192.0.2.0/24".parse().unwrap(),
+            AsPath::from_u32s([65001, 65002, 400_000]),
+            Ipv4Addr::new(10, 1, 2, 3),
+            vec![Community::new(65001, 100), Community::NO_EXPORT],
+        );
+        assert_eq!(roundtrip(m.clone()), m);
+    }
+
+    #[test]
+    fn withdraw_roundtrip() {
+        let m = UpdateMessage::withdraw("10.42.0.0/16".parse().unwrap());
+        let back = roundtrip(m.clone());
+        assert_eq!(back, m);
+        assert!(back.announced.is_empty());
+        assert!(back.as_path.is_empty());
+    }
+
+    #[test]
+    fn odd_prefix_lengths_roundtrip() {
+        for len in [0u8, 1, 7, 8, 9, 15, 17, 23, 25, 32] {
+            let p = Prefix::v4(Ipv4Addr::new(198, 51, 100, 255), len);
+            let m = UpdateMessage::announce(
+                p,
+                AsPath::from_u32s([1, 2]),
+                Ipv4Addr::new(10, 0, 0, 1),
+                vec![],
+            );
+            let back = roundtrip(m);
+            assert_eq!(back.announced[0], p, "len {len}");
+        }
+    }
+
+    #[test]
+    fn multiple_prefixes_roundtrip() {
+        let mut m = UpdateMessage::announce(
+            "192.0.2.0/24".parse().unwrap(),
+            AsPath::from_u32s([1, 2, 3]),
+            Ipv4Addr::new(10, 0, 0, 1),
+            vec![],
+        );
+        m.announced.push("198.51.100.0/25".parse().unwrap());
+        m.withdrawn.push("203.0.113.0/24".parse().unwrap());
+        assert_eq!(roundtrip(m.clone()), m);
+    }
+
+    #[test]
+    fn domain_conversion_roundtrips() {
+        let u = UpdateBuilder::announce(VpId::from_asn(Asn(65000)), Prefix::synthetic(7))
+            .at(Timestamp::from_secs(42))
+            .path([65000, 2, 3])
+            .community(2, 200)
+            .build();
+        let wire = UpdateMessage::from_domain(&u).unwrap();
+        let back = wire.to_domain(u.vp, u.time);
+        assert_eq!(back.len(), 1);
+        assert_eq!(back[0].prefix, u.prefix);
+        assert_eq!(back[0].path, u.path);
+        assert_eq!(back[0].communities, u.communities);
+        assert_eq!(back[0].kind, u.kind);
+    }
+
+    #[test]
+    fn domain_withdraw_conversion() {
+        let u = UpdateBuilder::withdraw(VpId::from_asn(Asn(65000)), Prefix::synthetic(9))
+            .at(Timestamp::from_secs(1))
+            .build();
+        let wire = UpdateMessage::from_domain(&u).unwrap();
+        let back = wire.to_domain(u.vp, u.time);
+        assert_eq!(back.len(), 1);
+        assert_eq!(back[0].kind, u.kind);
+        assert_eq!(back[0].prefix, u.prefix);
+    }
+
+    #[test]
+    fn announcement_without_next_hop_fails_encode() {
+        let mut m = UpdateMessage::announce(
+            "192.0.2.0/24".parse().unwrap(),
+            AsPath::from_u32s([1]),
+            Ipv4Addr::new(10, 0, 0, 1),
+            vec![],
+        );
+        m.next_hop = None;
+        let mut out = BytesMut::new();
+        assert!(m.encode_body(&mut out).is_err());
+    }
+
+    #[test]
+    fn bad_prefix_length_rejected() {
+        // craft body: no withdrawn, no attrs, NLRI with length 33
+        let body = Bytes::from_static(&[0, 0, 0, 0, 33, 1, 2, 3, 4, 5]);
+        assert_eq!(
+            UpdateMessage::decode_body(&body),
+            Err(WireError::BadPrefixLength(33))
+        );
+    }
+
+    #[test]
+    fn unknown_attributes_are_skipped() {
+        // attribute code 42 with 2 bytes, then nothing else
+        let body = Bytes::from_static(&[0, 0, 0, 4, 0x40, 42, 1, 0]);
+        let m = UpdateMessage::decode_body(&body).unwrap();
+        assert!(m.announced.is_empty());
+        assert!(m.withdrawn.is_empty());
+    }
+}

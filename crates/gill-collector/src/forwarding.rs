@@ -1,0 +1,191 @@
+//! Operator forwarding rules (§14 — "Custom services that improve
+//! visibility").
+//!
+//! In return for peering, GILL can forward an operator selected slices of
+//! the incoming stream *before* discarding them: typically every update
+//! for the operator's own prefixes, from every VP — which is what makes
+//! ARTEMIS-style self-monitoring "bulletproof" at high coverage. Rules
+//! match on prefix (with covering semantics, so a rule for a /16 also
+//! catches announcements of sub-prefixes — the sub-prefix hijack case) and
+//! optionally on origin AS.
+
+use bgp_types::{Asn, BgpUpdate, Prefix};
+use crossbeam::channel::{unbounded, Receiver, Sender, TrySendError};
+use std::collections::HashMap;
+
+/// One forwarding rule.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ForwardRule {
+    /// Updates whose prefix is covered by (or covers) this prefix match.
+    pub prefix: Prefix,
+    /// If set, additionally match updates whose path *origin* equals this
+    /// AS (catches re-originations of unrelated space).
+    pub origin: Option<Asn>,
+}
+
+impl ForwardRule {
+    /// Matches announcements of `prefix` and of any more-specific prefix
+    /// (sub-prefix hijacks announce more-specifics).
+    pub fn for_prefix(prefix: Prefix) -> Self {
+        ForwardRule {
+            prefix,
+            origin: None,
+        }
+    }
+
+    fn matches(&self, u: &BgpUpdate) -> bool {
+        if self.prefix.covers(&u.prefix) || u.prefix.covers(&self.prefix) {
+            return true;
+        }
+        if let Some(origin) = self.origin {
+            if u.path.origin() == Some(origin) {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+/// A subscription handle: the operator's side of the feed.
+pub struct Subscription {
+    /// Delivered updates.
+    pub feed: Receiver<BgpUpdate>,
+}
+
+/// The forwarding engine: evaluates every incoming update against all
+/// operator subscriptions before the discard stage (Fig. 9's tee).
+#[derive(Default)]
+pub struct Forwarder {
+    subs: HashMap<u64, (Vec<ForwardRule>, Sender<BgpUpdate>)>,
+    next_id: u64,
+    /// Updates forwarded in total.
+    pub forwarded: usize,
+    /// Updates dropped because a subscriber stopped reading.
+    pub dropped: usize,
+}
+
+impl Forwarder {
+    /// An empty forwarder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a subscription with its rules; returns the id and handle.
+    pub fn subscribe(&mut self, rules: Vec<ForwardRule>) -> (u64, Subscription) {
+        let (tx, rx) = unbounded();
+        let id = self.next_id;
+        self.next_id += 1;
+        self.subs.insert(id, (rules, tx));
+        (id, Subscription { feed: rx })
+    }
+
+    /// Removes a subscription.
+    pub fn unsubscribe(&mut self, id: u64) {
+        self.subs.remove(&id);
+    }
+
+    /// Number of live subscriptions.
+    pub fn len(&self) -> usize {
+        self.subs.len()
+    }
+
+    /// Whether there are no subscriptions.
+    pub fn is_empty(&self) -> bool {
+        self.subs.is_empty()
+    }
+
+    /// Offers one update to every matching subscription. Call this on the
+    /// raw (pre-filter) stream: forwarding happens *prior to discarding*.
+    pub fn offer(&mut self, u: &BgpUpdate) {
+        let mut dead = Vec::new();
+        for (&id, (rules, tx)) in &self.subs {
+            if rules.iter().any(|r| r.matches(u)) {
+                match tx.try_send(u.clone()) {
+                    Ok(()) => self.forwarded += 1,
+                    Err(TrySendError::Full(_)) => self.dropped += 1,
+                    Err(TrySendError::Disconnected(_)) => dead.push(id),
+                }
+            }
+        }
+        for id in dead {
+            self.subs.remove(&id);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgp_types::{Timestamp, UpdateBuilder, VpId};
+    use std::net::Ipv4Addr;
+
+    fn upd(vp: u32, pfx: &str, path: &[u32]) -> BgpUpdate {
+        UpdateBuilder::announce(VpId::from_asn(Asn(vp)), pfx.parse().unwrap())
+            .at(Timestamp::from_secs(1))
+            .path(path.iter().copied())
+            .build()
+    }
+
+    #[test]
+    fn exact_and_subprefix_matches_forward() {
+        let mut f = Forwarder::new();
+        let (_, sub) = f.subscribe(vec![ForwardRule::for_prefix("10.1.0.0/16".parse().unwrap())]);
+        f.offer(&upd(1, "10.1.0.0/16", &[1, 2])); // exact
+        f.offer(&upd(1, "10.1.42.0/24", &[1, 9])); // sub-prefix (hijack-style)
+        f.offer(&upd(1, "10.2.0.0/16", &[1, 2])); // unrelated
+        assert_eq!(f.forwarded, 2);
+        assert_eq!(sub.feed.try_iter().count(), 2);
+    }
+
+    #[test]
+    fn covering_prefix_also_matches() {
+        // an announcement of the whole /8 affects the operator's /16
+        let mut f = Forwarder::new();
+        let (_, sub) = f.subscribe(vec![ForwardRule::for_prefix("10.1.0.0/16".parse().unwrap())]);
+        f.offer(&upd(1, "10.0.0.0/8", &[1, 2]));
+        assert_eq!(sub.feed.try_iter().count(), 1);
+    }
+
+    #[test]
+    fn origin_rule_catches_reorigination() {
+        let mut f = Forwarder::new();
+        let (_, sub) = f.subscribe(vec![ForwardRule {
+            prefix: "10.1.0.0/16".parse().unwrap(),
+            origin: Some(Asn(64500)),
+        }]);
+        // our AS originating somewhere else entirely
+        f.offer(&upd(7, "172.16.0.0/12", &[7, 64500]));
+        assert_eq!(sub.feed.try_iter().count(), 1);
+    }
+
+    #[test]
+    fn unsubscribe_and_dead_subscriber_cleanup() {
+        let mut f = Forwarder::new();
+        let (id, sub) = f.subscribe(vec![ForwardRule::for_prefix(
+            Prefix::v4(Ipv4Addr::new(10, 1, 0, 0), 16),
+        )]);
+        assert_eq!(f.len(), 1);
+        f.unsubscribe(id);
+        assert!(f.is_empty());
+        drop(sub);
+
+        // dropped receiver gets garbage-collected on the next offer
+        let (_, sub2) = f.subscribe(vec![ForwardRule::for_prefix(
+            Prefix::v4(Ipv4Addr::new(10, 1, 0, 0), 16),
+        )]);
+        drop(sub2);
+        f.offer(&upd(1, "10.1.0.0/16", &[1, 2]));
+        assert!(f.is_empty(), "disconnected subscriber must be removed");
+    }
+
+    #[test]
+    fn multiple_subscribers_each_get_a_copy() {
+        let mut f = Forwarder::new();
+        let (_, a) = f.subscribe(vec![ForwardRule::for_prefix("10.1.0.0/16".parse().unwrap())]);
+        let (_, b) = f.subscribe(vec![ForwardRule::for_prefix("10.0.0.0/8".parse().unwrap())]);
+        f.offer(&upd(1, "10.1.5.0/24", &[1, 2]));
+        assert_eq!(a.feed.try_iter().count(), 1);
+        assert_eq!(b.feed.try_iter().count(), 1);
+        assert_eq!(f.forwarded, 2);
+    }
+}

@@ -1,0 +1,35 @@
+//! GILL's collection platform (§8–§9, Fig. 9).
+//!
+//! * [`daemon`] — the per-peer BGP daemon: real RFC 4271 sessions over
+//!   TCP, filter application, bounded storage queue with loss accounting
+//!   (the Table-1 measurement hook).
+//! * [`peer`] — fake peers that establish sessions and send paced update
+//!   streams (the §8 load-test harness).
+//! * [`storage`] — storage backends: in-memory, MRT archive (the format
+//!   published at bgproutes.io), and a cost-injecting wrapper.
+//! * [`orchestrator`] — periodic retraining of components #1/#2 and filter
+//!   refresh, with the temporary mirroring scheme of Fig. 9.
+//! * [`validator`] — §14's update-validity checks (session consistency,
+//!   protocol sanity, bogons, forged-origin quarantine).
+//! * [`forwarding`] — §14's operator services: forward selected updates to
+//!   subscribers before the discard stage.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod daemon;
+pub mod forwarding;
+pub mod orchestrator;
+pub mod peer;
+pub mod storage;
+pub mod validator;
+
+pub use daemon::{
+    handshake_client, handshake_server, run_session, DaemonConfig, DaemonPool, DaemonStats,
+    MessageStream,
+};
+pub use orchestrator::{Orchestrator, OrchestratorConfig, Refresh};
+pub use peer::{run_fake_peer, synthetic_updates, FakePeerConfig};
+pub use forwarding::{ForwardRule, Forwarder, Subscription};
+pub use storage::{received, MemoryStorage, MrtStorage, SlowStorage, Storage, StoredUpdate};
+pub use validator::{is_bogon, UpdateValidator, Verdict, Violation};

@@ -1,0 +1,245 @@
+//! The orchestrator (§8, Fig. 9).
+//!
+//! Periodically executes GILL's sampling algorithms and refreshes the
+//! daemons' filters:
+//!
+//! * component #1 (redundant updates) every 16 days (§7, Fig. 7),
+//! * component #2 (anchor VPs) every year (§7, Fig. 8).
+//!
+//! Between refreshes it *mirrors* the full stream into a temporary buffer
+//! (invisible to users) so the next training run has all the data it needs,
+//! then drops the mirror — the resolution of the "sampling needs all data"
+//! tension described in §8.
+
+use as_topology::AsCategory;
+use bgp_types::{Asn, BgpUpdate, Rib, Timestamp, VpId};
+use gill_core::{FilterSet, GillAnalysis, GillConfig};
+use std::collections::HashMap;
+use std::time::Duration;
+
+/// Orchestrator scheduling configuration (simulated time).
+#[derive(Clone, Debug)]
+pub struct OrchestratorConfig {
+    /// Refresh period of component #1 (default 16 days).
+    pub comp1_interval: Duration,
+    /// Refresh period of component #2 (default 365 days).
+    pub comp2_interval: Duration,
+    /// GILL algorithm knobs.
+    pub gill: GillConfig,
+}
+
+impl Default for OrchestratorConfig {
+    fn default() -> Self {
+        OrchestratorConfig {
+            comp1_interval: Duration::from_secs(16 * 24 * 3600),
+            comp2_interval: Duration::from_secs(365 * 24 * 3600),
+            gill: GillConfig::default(),
+        }
+    }
+}
+
+/// What a refresh run recomputed.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Refresh {
+    /// Only component #1 reran (filters regenerated, anchors kept).
+    Component1,
+    /// Both components reran.
+    Both,
+}
+
+/// The orchestrator state machine.
+pub struct Orchestrator {
+    cfg: OrchestratorConfig,
+    mirror: Vec<BgpUpdate>,
+    initial_ribs: HashMap<VpId, Rib>,
+    vps: Vec<VpId>,
+    categories: HashMap<Asn, AsCategory>,
+    last_comp1: Option<Timestamp>,
+    last_comp2: Option<Timestamp>,
+    anchors: Vec<VpId>,
+    filters: FilterSet,
+}
+
+impl Orchestrator {
+    /// Creates an orchestrator for the given VP population.
+    pub fn new(
+        cfg: OrchestratorConfig,
+        vps: Vec<VpId>,
+        categories: HashMap<Asn, AsCategory>,
+    ) -> Self {
+        Orchestrator {
+            cfg,
+            mirror: Vec::new(),
+            initial_ribs: HashMap::new(),
+            vps,
+            categories,
+            last_comp1: None,
+            last_comp2: None,
+            anchors: Vec::new(),
+            filters: FilterSet::default(),
+        }
+    }
+
+    /// Supplies the RIB snapshot at mirror start (needed by component #2).
+    pub fn set_initial_ribs(&mut self, ribs: HashMap<VpId, Rib>) {
+        self.initial_ribs = ribs;
+    }
+
+    /// Mirrors a batch of (unfiltered) updates for the next training run.
+    pub fn observe(&mut self, updates: impl IntoIterator<Item = BgpUpdate>) {
+        self.mirror.extend(updates);
+    }
+
+    /// Size of the temporary mirror.
+    pub fn mirror_len(&self) -> usize {
+        self.mirror.len()
+    }
+
+    /// The currently installed filters.
+    pub fn filters(&self) -> &FilterSet {
+        &self.filters
+    }
+
+    /// The current anchor list (published on bgproutes.io per §9).
+    pub fn anchors(&self) -> &[VpId] {
+        &self.anchors
+    }
+
+    /// Checks the schedule at (simulated) time `now` and retrains if due.
+    /// Returns what was refreshed, if anything. The mirror is dropped
+    /// after a successful run.
+    pub fn maybe_refresh(&mut self, now: Timestamp) -> Option<Refresh> {
+        let comp1_due = match self.last_comp1 {
+            None => true,
+            Some(t) => now - t >= self.cfg.comp1_interval,
+        };
+        if !comp1_due {
+            return None;
+        }
+        let comp2_due = match self.last_comp2 {
+            None => true,
+            Some(t) => now - t >= self.cfg.comp2_interval,
+        };
+        Some(self.refresh(now, comp2_due))
+    }
+
+    /// Forces a retraining run (e.g. to "accommodate bursts of new peering
+    /// sessions ... when the platform bootstraps", §7).
+    pub fn force_refresh(&mut self, now: Timestamp, both: bool) -> Refresh {
+        self.refresh(now, both)
+    }
+
+    fn refresh(&mut self, now: Timestamp, run_comp2: bool) -> Refresh {
+        self.mirror.sort_by_key(|u| (u.time, u.vp, u.prefix));
+        let analysis = GillAnalysis::run_on(
+            &self.mirror,
+            &self.initial_ribs,
+            &self.vps,
+            &self.categories,
+            &self.cfg.gill,
+        );
+        self.last_comp1 = Some(now);
+        let kind = if run_comp2 {
+            self.anchors = analysis.component2.anchors.clone();
+            self.last_comp2 = Some(now);
+            Refresh::Both
+        } else {
+            Refresh::Component1
+        };
+        // regenerate filters: redundant updates from this run's component
+        // #1, anchor accept-alls from the latest component-#2 run
+        let redundant: Vec<&BgpUpdate> = self
+            .mirror
+            .iter()
+            .zip(&analysis.component1.redundant)
+            .filter_map(|(u, &r)| r.then_some(u))
+            .collect();
+        self.filters = FilterSet::generate(
+            self.anchors.iter().copied(),
+            redundant,
+            self.cfg.gill.granularity,
+        );
+        // drop the mirror (the §8 out-of-band scheme keeps data only
+        // transiently)
+        self.mirror.clear();
+        kind
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use as_topology::TopologyBuilder;
+    use bgp_sim::{Simulator, StreamConfig};
+    use gill_core::AnchorConfig;
+
+    fn small_cfg() -> OrchestratorConfig {
+        OrchestratorConfig {
+            gill: GillConfig {
+                anchor: AnchorConfig {
+                    events_per_cell: 2,
+                    ..AnchorConfig::default()
+                },
+                ..GillConfig::default()
+            },
+            ..OrchestratorConfig::default()
+        }
+    }
+
+    #[test]
+    fn first_refresh_runs_both_components() {
+        let topo = TopologyBuilder::artificial(100, 5).build();
+        let cats: HashMap<Asn, AsCategory> = {
+            let c = as_topology::categories::classify(&topo);
+            (0..topo.num_ases() as u32)
+                .map(|u| (topo.asn(u), c[u as usize]))
+                .collect()
+        };
+        let mut sim = Simulator::new(&topo);
+        let vps = topo.pick_vps(0.3, 1);
+        let stream = sim.synthesize_stream(&vps, StreamConfig::default().events(25).seed(1));
+        let mut orch = Orchestrator::new(small_cfg(), stream.vps.clone(), cats);
+        orch.set_initial_ribs(stream.initial_ribs.clone());
+        orch.observe(stream.updates.iter().cloned());
+        assert!(orch.mirror_len() > 0);
+        let r = orch.maybe_refresh(Timestamp::from_secs(3600));
+        assert_eq!(r, Some(Refresh::Both));
+        assert!(!orch.anchors().is_empty());
+        assert_eq!(orch.mirror_len(), 0, "mirror must be dropped");
+        assert!(orch.filters().num_rules() > 0 || !orch.anchors().is_empty());
+    }
+
+    #[test]
+    fn comp1_refreshes_every_16_days_comp2_yearly() {
+        let topo = TopologyBuilder::artificial(80, 5).build();
+        let mut sim = Simulator::new(&topo);
+        let vps = topo.pick_vps(0.3, 1);
+        let stream = sim.synthesize_stream(&vps, StreamConfig::default().events(15).seed(2));
+        let mut orch = Orchestrator::new(small_cfg(), stream.vps.clone(), HashMap::new());
+        orch.set_initial_ribs(stream.initial_ribs.clone());
+        orch.observe(stream.updates.iter().cloned());
+        let day = 24 * 3600;
+        assert_eq!(orch.maybe_refresh(Timestamp::from_secs(0)), Some(Refresh::Both));
+        // a day later: nothing is due
+        orch.observe(stream.updates.iter().cloned());
+        assert_eq!(orch.maybe_refresh(Timestamp::from_secs(day)), None);
+        // 16 days later: component 1 only
+        assert_eq!(
+            orch.maybe_refresh(Timestamp::from_secs(16 * day)),
+            Some(Refresh::Component1)
+        );
+        // a year later: both again
+        orch.observe(stream.updates.iter().cloned());
+        assert_eq!(
+            orch.maybe_refresh(Timestamp::from_secs(366 * day)),
+            Some(Refresh::Both)
+        );
+    }
+
+    #[test]
+    fn force_refresh_ignores_schedule() {
+        let mut orch = Orchestrator::new(small_cfg(), Vec::new(), HashMap::new());
+        assert_eq!(orch.force_refresh(Timestamp::ZERO, false), Refresh::Component1);
+        assert_eq!(orch.force_refresh(Timestamp::ZERO, true), Refresh::Both);
+    }
+}

@@ -1,0 +1,253 @@
+//! End-to-end GILL analysis: components #1 + #2 + filter generation.
+
+use crate::anchors::{select_anchors, AnchorConfig, AnchorSelection};
+use crate::corrgroups::DEFAULT_WINDOW_MS;
+use crate::filters::{FilterGranularity, FilterSet};
+use crate::reconstitution::{
+    find_redundant_updates, Component1Result, DEFAULT_RECONSTITUTION_TARGET,
+};
+use as_topology::AsCategory;
+use bgp_sim::UpdateStream;
+use bgp_types::{Asn, BgpUpdate, Rib, VpId};
+use std::collections::HashMap;
+
+/// Top-level configuration of a GILL run.
+#[derive(Clone, Debug)]
+pub struct GillConfig {
+    /// Correlation-group burst window in milliseconds (§17.1; default 100 s).
+    pub corr_window_ms: u64,
+    /// Reconstitution-power target (§17.2; default 0.94).
+    pub reconstitution_target: f64,
+    /// Anchor-selection knobs (§18).
+    pub anchor: AnchorConfig,
+    /// Filter granularity (§7; default `(VP, prefix)`).
+    pub granularity: FilterGranularity,
+}
+
+impl Default for GillConfig {
+    fn default() -> Self {
+        GillConfig {
+            corr_window_ms: DEFAULT_WINDOW_MS,
+            reconstitution_target: DEFAULT_RECONSTITUTION_TARGET,
+            anchor: AnchorConfig::default(),
+            granularity: FilterGranularity::VpPrefix,
+        }
+    }
+}
+
+/// The result of running GILL's sampling algorithms over a training window.
+#[derive(Clone, Debug)]
+pub struct GillAnalysis {
+    /// Component #1 output: redundant-update classification.
+    pub component1: Component1Result,
+    /// Component #2 output: anchor VPs and pairwise redundancy scores.
+    pub component2: AnchorSelection,
+    /// The updates the analysis was trained on (owned copy of the
+    /// classification flags only; the updates themselves stay with the
+    /// caller).
+    granularity: FilterGranularity,
+    /// Training updates retained after both components (anchor updates +
+    /// nonredundant updates).
+    pub retained: usize,
+    /// Total training updates.
+    pub total: usize,
+    drop_templates: Vec<BgpUpdate>,
+}
+
+impl GillAnalysis {
+    /// Runs both components on a synthesized stream (categories default to
+    /// Stub when not supplied — fine for small tests; experiments should
+    /// call [`GillAnalysis::run_with_categories`]).
+    pub fn run(stream: &UpdateStream, cfg: &GillConfig) -> Self {
+        Self::run_on(
+            &stream.updates,
+            &stream.initial_ribs,
+            &stream.vps,
+            &HashMap::new(),
+            cfg,
+        )
+    }
+
+    /// Runs both components with explicit AS categories (Table 5) for event
+    /// stratification.
+    pub fn run_with_categories(
+        stream: &UpdateStream,
+        categories: &HashMap<Asn, AsCategory>,
+        cfg: &GillConfig,
+    ) -> Self {
+        Self::run_on(&stream.updates, &stream.initial_ribs, &stream.vps, categories, cfg)
+    }
+
+    /// Runs on raw parts (for RIS/RV-style inputs outside the simulator).
+    pub fn run_on(
+        updates: &[BgpUpdate],
+        initial_ribs: &HashMap<VpId, Rib>,
+        vps: &[VpId],
+        categories: &HashMap<Asn, AsCategory>,
+        cfg: &GillConfig,
+    ) -> Self {
+        let component1 =
+            find_redundant_updates(updates, cfg.corr_window_ms, cfg.reconstitution_target);
+        let component2 = select_anchors(updates, initial_ribs, vps, categories, &cfg.anchor);
+        let anchor_set: std::collections::HashSet<VpId> =
+            component2.anchors.iter().copied().collect();
+        let mut retained = 0usize;
+        let mut drop_templates = Vec::new();
+        for (u, &red) in updates.iter().zip(&component1.redundant) {
+            if anchor_set.contains(&u.vp) || !red {
+                retained += 1;
+            } else {
+                drop_templates.push(u.clone());
+            }
+        }
+        GillAnalysis {
+            component1,
+            component2,
+            granularity: cfg.granularity,
+            retained,
+            total: updates.len(),
+            drop_templates,
+        }
+    }
+
+    /// `|U|/|V|` over the training window after both components.
+    pub fn retained_fraction(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        self.retained as f64 / self.total as f64
+    }
+
+    /// Generates the peering-session filters (Fig. 5b / §7).
+    pub fn filter_set(&self) -> FilterSet {
+        FilterSet::generate(
+            self.component2.anchors.iter().copied(),
+            self.drop_templates.iter(),
+            self.granularity,
+        )
+    }
+
+    /// Generates filters at an explicit granularity (for the §7 ablation).
+    pub fn filter_set_at(&self, granularity: FilterGranularity) -> FilterSet {
+        FilterSet::generate(
+            self.component2.anchors.iter().copied(),
+            self.drop_templates.iter(),
+            granularity,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use as_topology::TopologyBuilder;
+    use bgp_sim::{Simulator, StreamConfig};
+
+    fn run_small(seed: u64) -> (UpdateStream, GillAnalysis) {
+        let topo = TopologyBuilder::artificial(120, 5).build();
+        let mut sim = Simulator::new(&topo);
+        let vps = topo.pick_vps(0.3, 3);
+        let stream = sim.synthesize_stream(&vps, StreamConfig::default().events(30).seed(seed));
+        let cfg = GillConfig {
+            anchor: AnchorConfig {
+                events_per_cell: 3,
+                ..AnchorConfig::default()
+            },
+            ..GillConfig::default()
+        };
+        let analysis = GillAnalysis::run(&stream, &cfg);
+        (stream, analysis)
+    }
+
+    #[test]
+    fn analysis_retains_a_fraction_and_flags_align() {
+        let (stream, a) = run_small(1);
+        assert_eq!(a.total, stream.updates.len());
+        assert!(a.retained <= a.total);
+        assert!(a.retained_fraction() > 0.0, "nothing retained");
+        assert!(
+            a.retained_fraction() < 1.0,
+            "no redundancy discarded at all"
+        );
+        assert_eq!(a.component1.redundant.len(), stream.updates.len());
+    }
+
+    #[test]
+    fn filters_discard_only_non_anchor_redundant_updates() {
+        let (stream, a) = run_small(2);
+        let f = a.filter_set();
+        for (u, &red) in stream.updates.iter().zip(&a.component1.redundant) {
+            if a.component2.anchors.contains(&u.vp) {
+                assert!(f.accepts(u), "anchor update dropped");
+            } else if !red {
+                assert!(f.accepts(u), "nonredundant update dropped");
+            } else {
+                assert!(!f.accepts(u), "redundant update kept on training data");
+            }
+        }
+    }
+
+    #[test]
+    fn filters_generalize_to_future_windows() {
+        // Train on one window, test on a later window of the same world —
+        // the Fig. 7 property: a meaningful share still matches.
+        let topo = TopologyBuilder::artificial(150, 5).build();
+        let mut sim = Simulator::new(&topo);
+        let vps = topo.pick_vps(0.3, 3);
+        let train = sim.synthesize_stream(&vps, StreamConfig::default().events(60).seed(10));
+        let cfg = GillConfig {
+            anchor: AnchorConfig {
+                events_per_cell: 3,
+                ..AnchorConfig::default()
+            },
+            ..GillConfig::default()
+        };
+        let a = GillAnalysis::run(&train, &cfg);
+        let f = a.filter_set();
+        let test = sim.synthesize_stream(&vps, StreamConfig::default().events(60).seed(11));
+        let rate = f.discard_rate(&test.updates);
+        assert!(
+            rate > 0.05,
+            "coarse filters should keep matching future redundant updates, got {rate}"
+        );
+    }
+
+    #[test]
+    fn finer_granularity_discards_less_in_the_future() {
+        let topo = TopologyBuilder::artificial(150, 5).build();
+        let mut sim = Simulator::new(&topo);
+        let vps = topo.pick_vps(0.3, 3);
+        let train = sim.synthesize_stream(&vps, StreamConfig::default().events(60).seed(20));
+        let cfg = GillConfig {
+            anchor: AnchorConfig {
+                events_per_cell: 3,
+                ..AnchorConfig::default()
+            },
+            ..GillConfig::default()
+        };
+        let a = GillAnalysis::run(&train, &cfg);
+        let test = sim.synthesize_stream(&vps, StreamConfig::default().events(60).seed(21));
+        let coarse = a.filter_set_at(FilterGranularity::VpPrefix).discard_rate(&test.updates);
+        let asp = a
+            .filter_set_at(FilterGranularity::VpPrefixPath)
+            .discard_rate(&test.updates);
+        let aspc = a
+            .filter_set_at(FilterGranularity::VpPrefixPathComms)
+            .discard_rate(&test.updates);
+        assert!(coarse >= asp, "coarse {coarse} < asp {asp}");
+        assert!(asp >= aspc, "asp {asp} < asp-comm {aspc}");
+    }
+
+    #[test]
+    fn empty_stream_is_handled() {
+        let topo = TopologyBuilder::artificial(60, 5).build();
+        let mut sim = Simulator::new(&topo);
+        let vps = topo.pick_vps(0.2, 1);
+        let stream = sim.synthesize_stream(&vps, StreamConfig::default().events(0).seed(1));
+        let a = GillAnalysis::run(&stream, &GillConfig::default());
+        assert_eq!(a.total, 0);
+        assert_eq!(a.retained_fraction(), 0.0);
+        let f = a.filter_set();
+        assert_eq!(f.num_rules(), 0);
+    }
+}

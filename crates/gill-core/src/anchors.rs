@@ -1,0 +1,743 @@
+//! Anchor-VP selection (§18 — component #2).
+//!
+//! GILL keeps *all* updates from a small set of anchor VPs. Anchors are
+//! chosen by quantifying how similarly VPs experience routing events:
+//!
+//! 1. **Event selection** (§18.1): detect non-global events (new links,
+//!    outages, origin changes) in the collected data, then stratify the
+//!    sample across the five AS categories of Table 5 and across time.
+//! 2. **Characterization** (§18.2): for each event and VP, compute the
+//!    delta the event induces on the topological features of the VP's
+//!    route graph.
+//! 3. **Scoring** (§18.3): standard-scale the per-event feature matrix,
+//!    take pairwise (squared) Euclidean distances, average over events,
+//!    and min-max-flip into redundancy scores in `[0, 1]`.
+//! 4. **Selection** (§18.4): start from the most redundant VP, then
+//!    greedily add — among the γ = 10 % least-redundant candidates — the
+//!    one with the lowest data volume, until every remaining VP is
+//!    (nearly) fully redundant with a selected one.
+
+use as_topology::features::FEATURE_DIM;
+use as_topology::{AsCategory, WeightedDigraph};
+use bgp_types::{Asn, BgpUpdate, Link, Rib, Timestamp, VpId};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// The kinds of non-global events used to gauge VP redundancy (§18.1).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum ObservedEventKind {
+    /// A link appeared in at least one VP's view.
+    NewLink,
+    /// A link disappeared from at least one VP's view.
+    Outage,
+    /// A prefix's origin AS changed.
+    OriginChange,
+}
+
+impl ObservedEventKind {
+    /// All kinds.
+    pub const ALL: [ObservedEventKind; 3] = [
+        ObservedEventKind::NewLink,
+        ObservedEventKind::Outage,
+        ObservedEventKind::OriginChange,
+    ];
+}
+
+/// A data-derived (not ground-truth) event, as GILL's orchestrator infers
+/// it from the collected updates.
+#[derive(Clone, Debug)]
+pub struct ObservedEvent {
+    /// Event class.
+    pub kind: ObservedEventKind,
+    /// First involved AS (link endpoint / old origin).
+    pub as1: Asn,
+    /// Second involved AS (link endpoint / new origin).
+    pub as2: Asn,
+    /// First observation time.
+    pub start: Timestamp,
+    /// Last observation time.
+    pub end: Timestamp,
+    /// How many distinct VPs observed it.
+    pub vp_count: usize,
+}
+
+/// Configuration of anchor selection.
+#[derive(Clone, Debug)]
+pub struct AnchorConfig {
+    /// Events kept per (category-pair, kind) cell (paper: 50, yielding
+    /// 15 × 3 × 50 = 2250).
+    pub events_per_cell: usize,
+    /// γ — the candidate-pool fraction at each greedy step (paper: 10 %).
+    pub gamma: f64,
+    /// Redundancy score at which a non-selected VP counts as fully covered
+    /// (the paper stops when the remaining VPs have "the highest possible"
+    /// score with a selected VP; scores are min-max scaled so we use a
+    /// high threshold instead of exactly 1).
+    pub stop_threshold: f64,
+    /// Events seen by more than this fraction of VPs are global and skipped.
+    pub max_visibility: f64,
+    /// Hop radius for the distance-based features.
+    pub feature_radius: usize,
+    /// Observations of the same (kind, ASes) within this window merge into
+    /// one event.
+    pub merge_window_ms: u64,
+    /// Hard cap on the number of anchors (safety valve; the paper has none).
+    pub max_anchors: usize,
+}
+
+impl Default for AnchorConfig {
+    fn default() -> Self {
+        AnchorConfig {
+            events_per_cell: 50,
+            gamma: 0.10,
+            stop_threshold: 0.95,
+            max_visibility: 0.5,
+            feature_radius: 2,
+            merge_window_ms: 300_000,
+            max_anchors: usize::MAX,
+        }
+    }
+}
+
+/// The outcome of anchor selection.
+#[derive(Clone, Debug)]
+pub struct AnchorSelection {
+    /// Selected anchor VPs, in selection order.
+    pub anchors: Vec<VpId>,
+    /// Pairwise redundancy scores in `[0, 1]` (1 = most redundant pair).
+    pub scores: HashMap<(VpId, VpId), f64>,
+    /// Number of events that fed the scores.
+    pub events_used: usize,
+}
+
+impl AnchorSelection {
+    /// Whether `vp` was selected.
+    pub fn is_anchor(&self, vp: VpId) -> bool {
+        self.anchors.contains(&vp)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Step 1a: event detection
+// ---------------------------------------------------------------------------
+
+/// Detects candidate events in a time-sorted update stream, replaying each
+/// VP's RIB from `initial_ribs` and watching per-VP link reference counts
+/// and per-prefix origins.
+pub fn detect_events(
+    updates: &[BgpUpdate],
+    initial_ribs: &HashMap<VpId, Rib>,
+    vp_total: usize,
+    merge_window_ms: u64,
+) -> Vec<ObservedEvent> {
+    // Per-VP state: link refcounts and per-prefix origin.
+    struct VpState {
+        rib: Rib,
+        link_refs: HashMap<Link, u32>,
+    }
+    let mut state: HashMap<VpId, VpState> = HashMap::new();
+    for (vp, rib) in initial_ribs {
+        let mut link_refs: HashMap<Link, u32> = HashMap::new();
+        for (_, entry) in rib.iter() {
+            for l in entry.path.links() {
+                *link_refs.entry(l).or_insert(0) += 1;
+            }
+        }
+        state.insert(
+            *vp,
+            VpState {
+                rib: rib.clone(),
+                link_refs,
+            },
+        );
+    }
+
+    // Raw observations keyed by (kind, a, b): list of (time, vp).
+    let mut obs: BTreeMap<(ObservedEventKind, Asn, Asn), Vec<(Timestamp, VpId)>> = BTreeMap::new();
+    for u in updates {
+        let st = state.entry(u.vp).or_insert_with(|| VpState {
+            rib: Rib::new(),
+            link_refs: HashMap::new(),
+        });
+        let old_origin = st.rib.get(&u.prefix).and_then(|e| e.path.origin());
+        let mut uu = u.clone();
+        st.rib.apply(&mut uu);
+        // links removed by this update
+        for l in &uu.withdrawn_links {
+            let c = st.link_refs.entry(*l).or_insert(0);
+            *c = c.saturating_sub(1);
+            if *c == 0 {
+                let (x, y) = und(l);
+                obs.entry((ObservedEventKind::Outage, x, y))
+                    .or_default()
+                    .push((u.time, u.vp));
+            }
+        }
+        // links added
+        for l in u.path.links() {
+            if uu.withdrawn_links.contains(&l) {
+                continue;
+            }
+            let c = st.link_refs.entry(l).or_insert(0);
+            if *c == 0 {
+                let (x, y) = und(&l);
+                obs.entry((ObservedEventKind::NewLink, x, y))
+                    .or_default()
+                    .push((u.time, u.vp));
+            }
+            *c += 1;
+        }
+        // origin change
+        if let (Some(old), Some(new)) = (old_origin, u.path.origin()) {
+            if old != new {
+                let (x, y) = if old <= new { (old, new) } else { (new, old) };
+                obs.entry((ObservedEventKind::OriginChange, x, y))
+                    .or_default()
+                    .push((u.time, u.vp));
+            }
+        }
+    }
+
+    // Merge observations into events within the window.
+    let mut events = Vec::new();
+    for ((kind, a, b), mut hits) in obs {
+        hits.sort();
+        let mut i = 0;
+        while i < hits.len() {
+            let start = hits[i].0;
+            let mut end = start;
+            let mut vps: BTreeSet<VpId> = BTreeSet::new();
+            while i < hits.len() && hits[i].0.as_millis() <= end.as_millis() + merge_window_ms {
+                end = hits[i].0;
+                vps.insert(hits[i].1);
+                i += 1;
+            }
+            events.push(ObservedEvent {
+                kind,
+                as1: a,
+                as2: b,
+                start,
+                end,
+                vp_count: vps.len().min(vp_total.max(1)),
+            });
+        }
+    }
+    events.sort_by_key(|e| e.start);
+    events
+}
+
+fn und(l: &Link) -> (Asn, Asn) {
+    let u = l.undirected();
+    (u.from, u.to)
+}
+
+// ---------------------------------------------------------------------------
+// Step 1b: stratified selection
+// ---------------------------------------------------------------------------
+
+/// Category pair key, unordered (Table 5 IDs, lower first).
+fn cat_pair(c1: AsCategory, c2: AsCategory) -> (u8, u8) {
+    let (a, b) = (c1.id(), c2.id());
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+/// Balanced event selection (§18.1): keep only non-global events and take
+/// up to `per_cell` events for each (category-pair, kind) cell, stratified
+/// across time (evenly spaced picks from the time-sorted cell).
+pub fn stratify_events(
+    events: &[ObservedEvent],
+    categories: &HashMap<Asn, AsCategory>,
+    vp_total: usize,
+    per_cell: usize,
+    max_visibility: f64,
+) -> Vec<ObservedEvent> {
+    let mut cells: BTreeMap<((u8, u8), ObservedEventKind), Vec<&ObservedEvent>> = BTreeMap::new();
+    for e in events {
+        if vp_total > 0 && (e.vp_count as f64 / vp_total as f64) > max_visibility {
+            continue; // global event
+        }
+        if e.vp_count == 0 {
+            continue;
+        }
+        let c1 = categories.get(&e.as1).copied().unwrap_or(AsCategory::Stub);
+        let c2 = categories.get(&e.as2).copied().unwrap_or(AsCategory::Stub);
+        cells.entry((cat_pair(c1, c2), e.kind)).or_default().push(e);
+    }
+    let mut out = Vec::new();
+    for (_, mut cell) in cells {
+        cell.sort_by_key(|e| e.start);
+        if cell.len() <= per_cell {
+            out.extend(cell.into_iter().cloned());
+        } else {
+            // evenly spaced in time order
+            for k in 0..per_cell {
+                let idx = k * cell.len() / per_cell;
+                out.push(cell[idx].clone());
+            }
+        }
+    }
+    out.sort_by_key(|e| e.start);
+    out
+}
+
+/// The 5×5 share matrix of selected events per category pair (Fig. 12).
+/// Entry `[i][j]` is the fraction of events whose AS pair falls in
+/// categories `(i+1, j+1)`; the matrix is symmetric.
+pub fn category_matrix(
+    events: &[ObservedEvent],
+    categories: &HashMap<Asn, AsCategory>,
+) -> [[f64; 5]; 5] {
+    let mut m = [[0.0f64; 5]; 5];
+    if events.is_empty() {
+        return m;
+    }
+    for e in events {
+        let c1 = categories.get(&e.as1).copied().unwrap_or(AsCategory::Stub);
+        let c2 = categories.get(&e.as2).copied().unwrap_or(AsCategory::Stub);
+        let (i, j) = (c1.id() as usize - 1, c2.id() as usize - 1);
+        m[i][j] += 1.0;
+        if i != j {
+            m[j][i] += 1.0;
+        }
+    }
+    let total: f64 = events.len() as f64;
+    for row in &mut m {
+        for v in row.iter_mut() {
+            *v /= total;
+        }
+    }
+    m
+}
+
+// ---------------------------------------------------------------------------
+// Steps 2–3: features and scores
+// ---------------------------------------------------------------------------
+
+/// Computes pairwise redundancy scores between VPs (§18.2–§18.3) from a set
+/// of selected events: per event, the feature-delta matrix is
+/// standard-scaled and squared-Euclidean pairwise distances are averaged
+/// over events, then flipped into `[0, 1]` with a min-max scaler.
+pub fn redundancy_scores(
+    events: &[ObservedEvent],
+    updates: &[BgpUpdate],
+    initial_ribs: &HashMap<VpId, Rib>,
+    vps: &[VpId],
+    feature_radius: usize,
+) -> HashMap<(VpId, VpId), f64> {
+    let nv = vps.len();
+    let mut scores: HashMap<(VpId, VpId), f64> = HashMap::new();
+    if nv < 2 || events.is_empty() {
+        return scores;
+    }
+    // Boundaries at which feature vectors must be sampled.
+    #[derive(Clone, Copy)]
+    struct Boundary {
+        time: Timestamp,
+        event: usize,
+        is_start: bool,
+    }
+    let mut boundaries: Vec<Boundary> = Vec::with_capacity(events.len() * 2);
+    for (i, e) in events.iter().enumerate() {
+        boundaries.push(Boundary {
+            // sample "just before" the first observation
+            time: Timestamp::from_millis(e.start.as_millis().saturating_sub(1)),
+            event: i,
+            is_start: true,
+        });
+        boundaries.push(Boundary {
+            time: Timestamp::from_millis(e.end.as_millis() + 1),
+            event: i,
+            is_start: false,
+        });
+    }
+    boundaries.sort_by_key(|b| b.time);
+
+    // Per-VP route graph + RIB replay.
+    let mut graphs: HashMap<VpId, WeightedDigraph> = HashMap::new();
+    let mut ribs: HashMap<VpId, Rib> = HashMap::new();
+    for &vp in vps {
+        let rib = initial_ribs.get(&vp).cloned().unwrap_or_default();
+        let mut g = WeightedDigraph::new();
+        for (_, entry) in rib.iter() {
+            g.add_path(&asn_path(&entry.path));
+        }
+        graphs.insert(vp, g);
+        ribs.insert(vp, rib);
+    }
+
+    // start/end feature vectors per (event, vp index)
+    let mut start_vec: Vec<Vec<[f64; FEATURE_DIM]>> = vec![Vec::new(); events.len()];
+    let mut end_vec: Vec<Vec<[f64; FEATURE_DIM]>> = vec![Vec::new(); events.len()];
+
+    let mut bi = 0usize;
+    let mut ui = 0usize;
+    while bi < boundaries.len() {
+        let b = boundaries[bi];
+        // apply updates strictly before the boundary
+        while ui < updates.len() && updates[ui].time <= b.time {
+            let u = &updates[ui];
+            ui += 1;
+            let (Some(g), Some(rib)) = (graphs.get_mut(&u.vp), ribs.get_mut(&u.vp)) else {
+                continue;
+            };
+            if let Some(old) = rib.get(&u.prefix) {
+                let old_path = asn_path(&old.path);
+                g.remove_path(&old_path);
+            }
+            let mut uu = u.clone();
+            rib.apply(&mut uu);
+            if uu.is_announce() {
+                g.add_path(&asn_path(&uu.path));
+            }
+        }
+        let e = &events[b.event];
+        let (a1, a2) = (e.as1.value(), e.as2.value());
+        let target = if b.is_start {
+            &mut start_vec[b.event]
+        } else {
+            &mut end_vec[b.event]
+        };
+        for &vp in vps {
+            target.push(graphs[&vp].feature_vector_r(a1, a2, feature_radius));
+        }
+        bi += 1;
+    }
+
+    // distance accumulation
+    let mut acc = vec![vec![0.0f64; nv]; nv];
+    let mut used = 0usize;
+    for (s, e) in start_vec.iter().zip(&end_vec) {
+        if s.len() != nv || e.len() != nv {
+            continue;
+        }
+        used += 1;
+        // T(v, e) = start - end feature delta
+        let mut m: Vec<[f64; FEATURE_DIM]> = Vec::with_capacity(nv);
+        for i in 0..nv {
+            let mut d = [0.0; FEATURE_DIM];
+            for k in 0..FEATURE_DIM {
+                d[k] = s[i][k] - e[i][k];
+            }
+            m.push(d);
+        }
+        // column-wise standard scaling
+        for k in 0..FEATURE_DIM {
+            let mean: f64 = m.iter().map(|r| r[k]).sum::<f64>() / nv as f64;
+            let var: f64 = m.iter().map(|r| (r[k] - mean).powi(2)).sum::<f64>() / nv as f64;
+            let sd = var.sqrt();
+            for r in m.iter_mut() {
+                r[k] = if sd > 1e-12 { (r[k] - mean) / sd } else { 0.0 };
+            }
+        }
+        for i in 0..nv {
+            let (head, tail) = acc.split_at_mut(i + 1);
+            let row = &mut head[i];
+            let _ = tail;
+            for j in (i + 1)..nv {
+                let d: f64 = (0..FEATURE_DIM).map(|k| (m[i][k] - m[j][k]).powi(2)).sum();
+                row[j] += d;
+            }
+        }
+    }
+    if used == 0 {
+        return scores;
+    }
+    // average, then min-max flip (acc only holds the upper triangle)
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for (i, row) in acc.iter().enumerate() {
+        for &cell in row.iter().skip(i + 1) {
+            let v = cell / used as f64;
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+    }
+    let span = (hi - lo).max(1e-12);
+    // indices address both `acc` and `vps`, so a range loop is the clear form
+    #[allow(clippy::needless_range_loop)]
+    for i in 0..nv {
+        for j in (i + 1)..nv {
+            let v = acc[i][j] / used as f64;
+            let r = 1.0 - (v - lo) / span;
+            scores.insert((vps[i], vps[j]), r);
+            scores.insert((vps[j], vps[i]), r);
+        }
+    }
+    scores
+}
+
+fn asn_path(p: &bgp_types::AsPath) -> Vec<u32> {
+    p.hops().iter().map(|a| a.value()).collect()
+}
+
+// ---------------------------------------------------------------------------
+// Step 4: greedy selection
+// ---------------------------------------------------------------------------
+
+/// Greedy anchor selection (§18.4) from pairwise redundancy scores and
+/// per-VP data volumes.
+pub fn greedy_select(
+    vps: &[VpId],
+    scores: &HashMap<(VpId, VpId), f64>,
+    volumes: &HashMap<VpId, usize>,
+    cfg: &AnchorConfig,
+) -> Vec<VpId> {
+    let nv = vps.len();
+    if nv == 0 {
+        return Vec::new();
+    }
+    if nv == 1 || scores.is_empty() {
+        return vec![vps[0]];
+    }
+    let score = |a: VpId, b: VpId| scores.get(&(a, b)).copied().unwrap_or(0.0);
+    // Seed: the most redundant VP (lowest summed Euclidean distance ==
+    // highest summed redundancy score).
+    let seed = *vps
+        .iter()
+        .max_by(|&&a, &&b| {
+            let sa: f64 = vps.iter().filter(|&&x| x != a).map(|&x| score(a, x)).sum();
+            let sb: f64 = vps.iter().filter(|&&x| x != b).map(|&x| score(b, x)).sum();
+            sa.partial_cmp(&sb)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| b.cmp(&a)) // deterministic: lower id wins ties
+        })
+        .unwrap();
+    let mut selected = vec![seed];
+    let mut remaining: Vec<VpId> = vps.iter().copied().filter(|&v| v != seed).collect();
+    while !remaining.is_empty() && selected.len() < cfg.max_anchors {
+        // max redundancy score of each remaining VP w.r.t. the selected set
+        let mut maxred: Vec<(VpId, f64)> = remaining
+            .iter()
+            .map(|&v| {
+                let m = selected
+                    .iter()
+                    .map(|&s| score(v, s))
+                    .fold(f64::NEG_INFINITY, f64::max);
+                (v, m)
+            })
+            .collect();
+        // only the not-yet-covered VPs are candidates; stop when none left
+        maxred.retain(|&(_, m)| m < cfg.stop_threshold);
+        if maxred.is_empty() {
+            break;
+        }
+        // candidate pool: γ of the uncovered VPs with the lowest max score
+        maxred.sort_by(|a, b| {
+            a.1.partial_cmp(&b.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.0.cmp(&b.0))
+        });
+        let pool = ((maxred.len() as f64 * cfg.gamma).ceil() as usize).clamp(1, maxred.len());
+        let pick = maxred[..pool]
+            .iter()
+            .min_by_key(|&&(v, _)| (volumes.get(&v).copied().unwrap_or(0), v))
+            .map(|&(v, _)| v)
+            .unwrap();
+        selected.push(pick);
+        remaining.retain(|&v| v != pick);
+    }
+    selected
+}
+
+/// Runs component #2 end to end.
+pub fn select_anchors(
+    updates: &[BgpUpdate],
+    initial_ribs: &HashMap<VpId, Rib>,
+    vps: &[VpId],
+    categories: &HashMap<Asn, AsCategory>,
+    cfg: &AnchorConfig,
+) -> AnchorSelection {
+    let events = detect_events(updates, initial_ribs, vps.len(), cfg.merge_window_ms);
+    let selected = stratify_events(
+        &events,
+        categories,
+        vps.len(),
+        cfg.events_per_cell,
+        cfg.max_visibility,
+    );
+    let scores = redundancy_scores(&selected, updates, initial_ribs, vps, cfg.feature_radius);
+    let mut volumes: HashMap<VpId, usize> = HashMap::new();
+    for u in updates {
+        *volumes.entry(u.vp).or_insert(0) += 1;
+    }
+    let anchors = greedy_select(vps, &scores, &volumes, cfg);
+    AnchorSelection {
+        anchors,
+        scores,
+        events_used: selected.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use as_topology::TopologyBuilder;
+    use bgp_sim::{Simulator, StreamConfig};
+
+    fn mk_stream(
+        n: usize,
+        frac: f64,
+        events: usize,
+        seed: u64,
+    ) -> (bgp_sim::UpdateStream, HashMap<Asn, AsCategory>) {
+        let topo = TopologyBuilder::artificial(n, 5).build();
+        let cats = as_topology::categories::classify(&topo);
+        let map: HashMap<Asn, AsCategory> = (0..topo.num_ases() as u32)
+            .map(|u| (topo.asn(u), cats[u as usize]))
+            .collect();
+        let mut sim = Simulator::new(&topo);
+        let vps = topo.pick_vps(frac, 3);
+        let s = sim.synthesize_stream(&vps, StreamConfig::default().events(events).seed(seed));
+        (s, map)
+    }
+
+    #[test]
+    fn detect_events_finds_outages_and_new_links() {
+        let (s, _) = mk_stream(120, 0.3, 30, 1);
+        let events = detect_events(&s.updates, &s.initial_ribs, s.vps.len(), 300_000);
+        assert!(!events.is_empty());
+        let kinds: BTreeSet<ObservedEventKind> = events.iter().map(|e| e.kind).collect();
+        assert!(kinds.contains(&ObservedEventKind::Outage) || kinds.contains(&ObservedEventKind::NewLink));
+        for e in &events {
+            assert!(e.vp_count >= 1);
+            assert!(e.start <= e.end);
+        }
+    }
+
+    #[test]
+    fn origin_changes_are_detected() {
+        let (s, _) = mk_stream(100, 0.5, 25, 2);
+        let has_origin_event = s
+            .events
+            .iter()
+            .any(|e| matches!(e.kind, bgp_sim::EventKind::OriginChange { .. } | bgp_sim::EventKind::ForgedOriginHijack { .. }) && e.emitted_updates > 0);
+        let events = detect_events(&s.updates, &s.initial_ribs, s.vps.len(), 300_000);
+        let detected = events
+            .iter()
+            .any(|e| e.kind == ObservedEventKind::OriginChange);
+        if has_origin_event {
+            assert!(detected, "visible origin change not detected");
+        }
+    }
+
+    #[test]
+    fn stratification_respects_cell_quota_and_visibility() {
+        let (s, cats) = mk_stream(150, 0.4, 40, 3);
+        let events = detect_events(&s.updates, &s.initial_ribs, s.vps.len(), 300_000);
+        let sel = stratify_events(&events, &cats, s.vps.len(), 2, 0.5);
+        // no cell exceeds quota
+        let mut cell_count: HashMap<((u8, u8), ObservedEventKind), usize> = HashMap::new();
+        for e in &sel {
+            let c1 = cats[&e.as1];
+            let c2 = cats[&e.as2];
+            *cell_count.entry((cat_pair(c1, c2), e.kind)).or_insert(0) += 1;
+        }
+        for (&_, &c) in &cell_count {
+            assert!(c <= 2);
+        }
+        // no global events
+        for e in &sel {
+            assert!((e.vp_count as f64) <= 0.5 * s.vps.len() as f64 + 1.0);
+        }
+    }
+
+    #[test]
+    fn category_matrix_is_normalized_and_symmetric() {
+        let (s, cats) = mk_stream(120, 0.4, 30, 4);
+        let events = detect_events(&s.updates, &s.initial_ribs, s.vps.len(), 300_000);
+        let m = category_matrix(&events, &cats);
+        for i in 0..5 {
+            for j in 0..5 {
+                assert!((m[i][j] - m[j][i]).abs() < 1e-12);
+                assert!(m[i][j] >= 0.0);
+            }
+        }
+        let diag: f64 = (0..5).map(|i| m[i][i]).sum();
+        let upper: f64 = (0..5)
+            .flat_map(|i| ((i + 1)..5).map(move |j| (i, j)))
+            .map(|(i, j)| m[i][j])
+            .sum();
+        if !events.is_empty() {
+            assert!((diag + upper - 1.0).abs() < 1e-9, "sum {}", diag + upper);
+        }
+    }
+
+    #[test]
+    fn scores_are_in_unit_range_and_symmetric() {
+        let (s, cats) = mk_stream(120, 0.25, 30, 5);
+        let events = detect_events(&s.updates, &s.initial_ribs, s.vps.len(), 300_000);
+        let sel = stratify_events(&events, &cats, s.vps.len(), 3, 0.5);
+        let scores = redundancy_scores(&sel, &s.updates, &s.initial_ribs, &s.vps, 2);
+        assert!(!scores.is_empty());
+        for (&(a, b), &v) in &scores {
+            assert!((0.0..=1.0).contains(&v), "score {v}");
+            assert!((scores[&(b, a)] - v).abs() < 1e-12);
+        }
+        // min-max scaling: both 0 and 1 must be attained
+        let max = scores.values().fold(f64::NEG_INFINITY, |a, &b| a.max(b));
+        let min = scores.values().fold(f64::INFINITY, |a, &b| a.min(b));
+        assert!((max - 1.0).abs() < 1e-9);
+        assert!(min.abs() < 1e-9);
+    }
+
+    #[test]
+    fn greedy_select_seeds_most_redundant_and_respects_cap() {
+        let vps: Vec<VpId> = (1..=4).map(|i| VpId::from_asn(Asn(i))).collect();
+        let mut scores = HashMap::new();
+        // vp1 and vp2 are near-identical; vp3, vp4 unique
+        let pairs = [
+            ((1, 2), 1.0),
+            ((1, 3), 0.3),
+            ((1, 4), 0.2),
+            ((2, 3), 0.3),
+            ((2, 4), 0.2),
+            ((3, 4), 0.0),
+        ];
+        for ((a, b), v) in pairs {
+            scores.insert((VpId::from_asn(Asn(a)), VpId::from_asn(Asn(b))), v);
+            scores.insert((VpId::from_asn(Asn(b)), VpId::from_asn(Asn(a))), v);
+        }
+        let volumes: HashMap<VpId, usize> =
+            vps.iter().enumerate().map(|(i, &v)| (v, 100 + i)).collect();
+        let cfg = AnchorConfig::default();
+        let sel = greedy_select(&vps, &scores, &volumes, &cfg);
+        // Seed is vp1 or vp2 (highest total redundancy; vp1 has lower id).
+        assert_eq!(sel[0], VpId::from_asn(Asn(1)));
+        // vp2 (score 1.0 with seed) must NOT need selecting; vp3/vp4 must.
+        assert!(sel.contains(&VpId::from_asn(Asn(3))));
+        assert!(sel.contains(&VpId::from_asn(Asn(4))));
+        assert!(!sel.contains(&VpId::from_asn(Asn(2))));
+        // cap
+        let capped = greedy_select(
+            &vps,
+            &scores,
+            &volumes,
+            &AnchorConfig {
+                max_anchors: 2,
+                ..AnchorConfig::default()
+            },
+        );
+        assert_eq!(capped.len(), 2);
+    }
+
+    #[test]
+    fn end_to_end_selection_is_nonempty_and_bounded() {
+        let (s, cats) = mk_stream(150, 0.3, 40, 6);
+        let cfg = AnchorConfig {
+            events_per_cell: 3,
+            ..AnchorConfig::default()
+        };
+        let sel = select_anchors(&s.updates, &s.initial_ribs, &s.vps, &cats, &cfg);
+        assert!(!sel.anchors.is_empty());
+        assert!(sel.anchors.len() <= s.vps.len());
+        // anchors are actual VPs, no duplicates
+        let set: BTreeSet<VpId> = sel.anchors.iter().copied().collect();
+        assert_eq!(set.len(), sel.anchors.len());
+        for a in &sel.anchors {
+            assert!(s.vps.contains(a));
+        }
+    }
+}

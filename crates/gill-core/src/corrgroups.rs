@@ -1,0 +1,251 @@
+//! Correlation groups (§17.1 — Step 1 of component #1).
+//!
+//! For each prefix, GILL groups updates that appear together within a short
+//! time window into *correlation groups*. Within a group an update is
+//! identified by its sending VP, AS path and community values (all group
+//! members share the prefix). Each time the same attribute set re-appears
+//! as a burst, the group's weight increases.
+
+use bgp_types::{AsPath, BgpUpdate, Community, Prefix, Timestamp, VpId, TIME_SLACK_MILLIS};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// The identity of an update inside a correlation group: sending VP, AS
+/// path, and communities (prefix and time are factored out).
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct UpdateAttrs {
+    /// Sending vantage point.
+    pub vp: VpId,
+    /// AS path (empty for withdrawals).
+    pub path: AsPath,
+    /// Community set.
+    pub communities: BTreeSet<Community>,
+}
+
+impl UpdateAttrs {
+    /// Extracts the attributes of an update.
+    pub fn of(u: &BgpUpdate) -> Self {
+        UpdateAttrs {
+            vp: u.vp,
+            path: u.path.clone(),
+            communities: u.communities.clone(),
+        }
+    }
+}
+
+/// Interned attribute id (index into [`PrefixGroups::attrs`]).
+pub type AttrId = u32;
+
+/// One correlation group: a set of update attributes that appear together,
+/// with the number of times the exact set was observed as a burst.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CorrelationGroup {
+    /// Interned attribute ids of the group members.
+    pub members: BTreeSet<AttrId>,
+    /// How many bursts produced exactly this member set.
+    pub weight: u32,
+}
+
+/// All correlation groups of one prefix, with the attribute interner.
+#[derive(Clone, Debug, Default)]
+pub struct PrefixGroups {
+    /// Interned attributes (id = index).
+    pub attrs: Vec<UpdateAttrs>,
+    lookup: HashMap<UpdateAttrs, AttrId>,
+    /// The groups.
+    pub groups: Vec<CorrelationGroup>,
+    /// For each attribute, the groups containing it (the `Corr(p, u)` map).
+    pub groups_of_attr: HashMap<AttrId, Vec<usize>>,
+}
+
+impl PrefixGroups {
+    /// Interns an attribute set.
+    pub fn intern(&mut self, a: UpdateAttrs) -> AttrId {
+        if let Some(&id) = self.lookup.get(&a) {
+            return id;
+        }
+        let id = self.attrs.len() as AttrId;
+        self.attrs.push(a.clone());
+        self.lookup.insert(a, id);
+        id
+    }
+
+    /// Looks up an already-interned attribute set.
+    pub fn attr_id(&self, a: &UpdateAttrs) -> Option<AttrId> {
+        self.lookup.get(a).copied()
+    }
+
+    /// The groups containing `attr`, highest weight first.
+    pub fn groups_containing(&self, attr: AttrId) -> Vec<&CorrelationGroup> {
+        let mut gs: Vec<&CorrelationGroup> = self
+            .groups_of_attr
+            .get(&attr)
+            .map(|ids| ids.iter().map(|&i| &self.groups[i]).collect())
+            .unwrap_or_default();
+        gs.sort_by(|a, b| b.weight.cmp(&a.weight).then_with(|| a.members.cmp(&b.members)));
+        gs
+    }
+
+    /// The highest-weight group containing `attr` (`maxweight(Corr(p, u))`,
+    /// §17.2). Deterministic tie-break: smallest member set.
+    pub fn max_weight_group(&self, attr: AttrId) -> Option<&CorrelationGroup> {
+        self.groups_containing(attr).into_iter().next()
+    }
+
+    fn add_burst(&mut self, members: BTreeSet<AttrId>) {
+        if members.is_empty() {
+            return;
+        }
+        // Same member set seen before → bump weight.
+        if let Some(g) = self.groups.iter_mut().find(|g| g.members == members) {
+            g.weight += 1;
+            return;
+        }
+        let idx = self.groups.len();
+        for &m in &members {
+            self.groups_of_attr.entry(m).or_default().push(idx);
+        }
+        self.groups.push(CorrelationGroup { members, weight: 1 });
+    }
+}
+
+/// Correlation groups for every prefix in a (time-sorted) update slice.
+///
+/// Bursts are maximal runs of same-prefix updates where consecutive updates
+/// are less than `window_ms` apart (default: the paper's 100 s).
+pub fn build_correlation_groups(
+    updates: &[BgpUpdate],
+    window_ms: u64,
+) -> BTreeMap<Prefix, PrefixGroups> {
+    let mut per_prefix: BTreeMap<Prefix, Vec<&BgpUpdate>> = BTreeMap::new();
+    for u in updates {
+        per_prefix.entry(u.prefix).or_default().push(u);
+    }
+    let mut out = BTreeMap::new();
+    for (prefix, us) in per_prefix {
+        let mut pg = PrefixGroups::default();
+        let mut burst: BTreeSet<AttrId> = BTreeSet::new();
+        let mut last: Option<Timestamp> = None;
+        for u in us {
+            if let Some(prev) = last {
+                if u.time.as_millis().saturating_sub(prev.as_millis()) >= window_ms {
+                    pg.add_burst(std::mem::take(&mut burst));
+                }
+            }
+            burst.insert(pg.intern(UpdateAttrs::of(u)));
+            last = Some(u.time);
+        }
+        pg.add_burst(burst);
+        out.insert(prefix, pg);
+    }
+    out
+}
+
+/// Default burst window: the paper's 100-second correlation slack.
+pub const DEFAULT_WINDOW_MS: u64 = TIME_SLACK_MILLIS;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgp_types::{Asn, UpdateBuilder};
+
+    fn upd(vp: u32, t_s: u64, pfx: u32, path: &[u32]) -> BgpUpdate {
+        UpdateBuilder::announce(VpId::from_asn(Asn(vp)), Prefix::synthetic(pfx))
+            .at(Timestamp::from_secs(t_s))
+            .path(path.iter().copied())
+            .build()
+    }
+
+    /// The §17.1 example: four events on prefix p1 produce groups G1 (w1),
+    /// G2 (w2), G3 (w1).
+    #[test]
+    fn fig10_example() {
+        let updates = vec![
+            // event 1 (T1): failure
+            upd(1, 0, 1, &[2, 1, 4]),
+            upd(2, 10, 1, &[6, 2, 1, 4]),
+            // event 2 (T2 = 1000s): restore
+            upd(1, 1000, 1, &[2, 4]),
+            upd(2, 1010, 1, &[6, 2, 4]),
+            // event 3 (T3 = 2000s): double failure
+            upd(1, 2000, 1, &[2, 1, 4]),
+            upd(2, 2010, 1, &[6, 3, 1, 4]),
+            // event 4 (T4 = 3000s): restore both (same attrs as event 2)
+            upd(1, 3000, 1, &[2, 4]),
+            upd(2, 3010, 1, &[6, 2, 4]),
+        ];
+        let groups = build_correlation_groups(&updates, DEFAULT_WINDOW_MS);
+        let pg = &groups[&Prefix::synthetic(1)];
+        assert_eq!(pg.groups.len(), 3, "expected G1, G2, G3");
+        let weights: Vec<u32> = pg.groups.iter().map(|g| g.weight).collect();
+        assert_eq!(weights.iter().sum::<u32>(), 4); // four bursts
+        assert!(weights.contains(&2), "G2 must have weight 2: {weights:?}");
+        // every group has two members (VP1's and VP2's attrs)
+        for g in &pg.groups {
+            assert_eq!(g.members.len(), 2);
+        }
+    }
+
+    #[test]
+    fn bursts_split_on_gaps() {
+        let updates = vec![
+            upd(1, 0, 1, &[1, 4]),
+            upd(1, 50, 1, &[1, 4]),  // same burst (gap < 100s)
+            upd(1, 200, 1, &[1, 4]), // new burst (gap >= 100s)
+        ];
+        let groups = build_correlation_groups(&updates, DEFAULT_WINDOW_MS);
+        let pg = &groups[&Prefix::synthetic(1)];
+        // both bursts have identical member sets → one group, weight 2
+        assert_eq!(pg.groups.len(), 1);
+        assert_eq!(pg.groups[0].weight, 2);
+    }
+
+    #[test]
+    fn prefixes_never_share_groups() {
+        let updates = vec![upd(1, 0, 1, &[1, 4]), upd(1, 1, 2, &[1, 4])];
+        let groups = build_correlation_groups(&updates, DEFAULT_WINDOW_MS);
+        assert_eq!(groups.len(), 2);
+        for pg in groups.values() {
+            assert_eq!(pg.groups.len(), 1);
+            assert_eq!(pg.groups[0].members.len(), 1);
+        }
+    }
+
+    #[test]
+    fn max_weight_group_is_deterministic() {
+        let updates = vec![
+            // burst A: {u1, u2}
+            upd(1, 0, 1, &[1, 4]),
+            upd(2, 1, 1, &[2, 4]),
+            // burst B: {u1, u3} — same weight, contains u1 too
+            upd(1, 1000, 1, &[1, 4]),
+            upd(3, 1001, 1, &[3, 4]),
+        ];
+        let groups = build_correlation_groups(&updates, DEFAULT_WINDOW_MS);
+        let pg = &groups[&Prefix::synthetic(1)];
+        let u1 = pg
+            .attr_id(&UpdateAttrs::of(&updates[0]))
+            .expect("u1 interned");
+        let g1 = pg.max_weight_group(u1).unwrap().clone();
+        let g2 = pg.max_weight_group(u1).unwrap().clone();
+        assert_eq!(g1, g2);
+        assert!(g1.members.contains(&u1));
+    }
+
+    #[test]
+    fn identical_updates_in_one_burst_dedupe() {
+        let updates = vec![
+            upd(1, 0, 1, &[1, 4]),
+            upd(1, 2, 1, &[1, 4]), // duplicate announcement
+        ];
+        let groups = build_correlation_groups(&updates, DEFAULT_WINDOW_MS);
+        let pg = &groups[&Prefix::synthetic(1)];
+        assert_eq!(pg.groups.len(), 1);
+        assert_eq!(pg.groups[0].members.len(), 1);
+    }
+
+    #[test]
+    fn empty_input() {
+        let groups = build_correlation_groups(&[], DEFAULT_WINDOW_MS);
+        assert!(groups.is_empty());
+    }
+}

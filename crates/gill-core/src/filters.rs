@@ -1,0 +1,318 @@
+//! Filter generation and matching (§7).
+//!
+//! GILL turns its redundancy inferences into per-peering-session filters:
+//!
+//! * highest priority: **accept everything from anchor VPs**;
+//! * then: **drop** rules for update spaces inferred redundant;
+//! * default: **accept** (new, never-seen updates are always retained).
+//!
+//! The paper's central design choice is filter *granularity*: GILL matches
+//! only on `(VP, prefix)` — coarse filters that keep discarding future
+//! redundant updates (87 % a window later) where finer filters matching
+//! also on the AS path (GILL-asp, 43 %) or path + communities
+//! (GILL-asp-comm, 0 %) quickly stop matching anything. Both finer
+//! variants are implemented for the §7 ablation.
+
+use bgp_types::{AsPath, BgpUpdate, Community, Prefix, VpId};
+use std::collections::{BTreeSet, HashSet};
+
+/// Filter granularity (§7): what a drop rule matches on.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum FilterGranularity {
+    /// `(VP, prefix)` — GILL's choice.
+    #[default]
+    VpPrefix,
+    /// `(VP, prefix, AS path)` — the GILL-asp ablation.
+    VpPrefixPath,
+    /// `(VP, prefix, AS path, communities)` — the GILL-asp-comm ablation.
+    VpPrefixPathComms,
+}
+
+/// One drop rule at the configured granularity.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct DropRule {
+    /// Sending VP.
+    pub vp: VpId,
+    /// Prefix.
+    pub prefix: Prefix,
+    /// AS path, for the fine-grained variants.
+    pub path: Option<AsPath>,
+    /// Communities, for the finest variant.
+    pub communities: Option<BTreeSet<Community>>,
+}
+
+/// A generated filter set: anchor accept-alls, drop rules, accept default.
+#[derive(Clone, Debug, Default)]
+pub struct FilterSet {
+    granularity: FilterGranularity,
+    anchors: HashSet<VpId>,
+    drops: HashSet<DropRule>,
+}
+
+impl FilterSet {
+    /// Builds a filter set from the redundancy analysis outputs.
+    ///
+    /// * `anchors` — VPs whose updates are always accepted.
+    /// * `redundant_updates` — the training updates classified redundant;
+    ///   each contributes one drop rule at `granularity`.
+    pub fn generate<'a>(
+        anchors: impl IntoIterator<Item = VpId>,
+        redundant_updates: impl IntoIterator<Item = &'a BgpUpdate>,
+        granularity: FilterGranularity,
+    ) -> Self {
+        let anchors: HashSet<VpId> = anchors.into_iter().collect();
+        let mut drops = HashSet::new();
+        for u in redundant_updates {
+            if anchors.contains(&u.vp) {
+                continue; // the anchor accept-all overrides (Fig. 5b)
+            }
+            drops.insert(Self::rule_for(u, granularity));
+        }
+        FilterSet {
+            granularity,
+            anchors,
+            drops,
+        }
+    }
+
+    fn rule_for(u: &BgpUpdate, g: FilterGranularity) -> DropRule {
+        DropRule {
+            vp: u.vp,
+            prefix: u.prefix,
+            path: match g {
+                FilterGranularity::VpPrefix => None,
+                _ => Some(u.path.clone()),
+            },
+            communities: match g {
+                FilterGranularity::VpPrefixPathComms => Some(u.communities.clone()),
+                _ => None,
+            },
+        }
+    }
+
+    /// Whether `u` passes the filters (true = retained).
+    pub fn accepts(&self, u: &BgpUpdate) -> bool {
+        if self.anchors.contains(&u.vp) {
+            return true;
+        }
+        !self.drops.contains(&Self::rule_for(u, self.granularity))
+    }
+
+    /// Fraction of `updates` that the filters discard.
+    pub fn discard_rate(&self, updates: &[BgpUpdate]) -> f64 {
+        if updates.is_empty() {
+            return 0.0;
+        }
+        let dropped = updates.iter().filter(|u| !self.accepts(u)).count();
+        dropped as f64 / updates.len() as f64
+    }
+
+    /// Number of drop rules.
+    pub fn num_rules(&self) -> usize {
+        self.drops.len()
+    }
+
+    /// The anchor VPs with accept-all rules.
+    pub fn anchors(&self) -> impl Iterator<Item = &VpId> {
+        self.anchors.iter()
+    }
+
+    /// The configured granularity.
+    pub fn granularity(&self) -> FilterGranularity {
+        self.granularity
+    }
+
+    /// Whether `vp` has an accept-all rule.
+    pub fn is_anchor(&self, vp: VpId) -> bool {
+        self.anchors.contains(&vp)
+    }
+
+    /// Iterates over the drop rules (for publication, as on bgproutes.io).
+    pub fn rules(&self) -> impl Iterator<Item = &DropRule> {
+        self.drops.iter()
+    }
+
+    /// Serializes the filter set to the published text format (§9):
+    /// one `anchor ASN` line per accept-all rule and one
+    /// `drop ASN PREFIX` line per drop rule. Only the `(VP, prefix)`
+    /// granularity is serializable (the deployed one).
+    pub fn to_text(&self) -> Result<String, &'static str> {
+        if self.granularity != FilterGranularity::VpPrefix && !self.drops.is_empty() {
+            return Err("only (VP, prefix) filters have a text form");
+        }
+        let mut anchors: Vec<_> = self.anchors.iter().collect();
+        anchors.sort();
+        let mut out = String::new();
+        for a in anchors {
+            out.push_str(&format!("anchor {}\n", a.asn.value()));
+        }
+        let mut drops: Vec<_> = self.drops.iter().collect();
+        drops.sort_by_key(|r| (r.vp, r.prefix));
+        for r in drops {
+            out.push_str(&format!("drop {} {}\n", r.vp.asn.value(), r.prefix));
+        }
+        Ok(out)
+    }
+
+    /// Parses the text format produced by [`FilterSet::to_text`]. Blank
+    /// lines and `#` comments are ignored.
+    pub fn from_text(text: &str) -> Result<FilterSet, String> {
+        let mut f = FilterSet {
+            granularity: FilterGranularity::VpPrefix,
+            ..FilterSet::default()
+        };
+        for (no, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            let err = |m: &str| format!("line {}: {m}", no + 1);
+            match parts.next() {
+                Some("anchor") => {
+                    let asn: u32 = parts
+                        .next()
+                        .ok_or_else(|| err("missing ASN"))?
+                        .parse()
+                        .map_err(|_| err("bad ASN"))?;
+                    f.anchors.insert(VpId::from_asn(bgp_types::Asn(asn)));
+                }
+                Some("drop") => {
+                    let asn: u32 = parts
+                        .next()
+                        .ok_or_else(|| err("missing ASN"))?
+                        .parse()
+                        .map_err(|_| err("bad ASN"))?;
+                    let prefix: Prefix = parts
+                        .next()
+                        .ok_or_else(|| err("missing prefix"))?
+                        .parse()
+                        .map_err(|_| err("bad prefix"))?;
+                    f.drops.insert(DropRule {
+                        vp: VpId::from_asn(bgp_types::Asn(asn)),
+                        prefix,
+                        path: None,
+                        communities: None,
+                    });
+                }
+                _ => return Err(err("expected 'anchor' or 'drop'")),
+            }
+            if parts.next().is_some() {
+                return Err(err("trailing tokens"));
+            }
+        }
+        Ok(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgp_types::{Asn, Timestamp, UpdateBuilder};
+
+    fn vp(n: u32) -> VpId {
+        VpId::from_asn(Asn(n))
+    }
+
+    fn upd(v: u32, pfx: u32, path: &[u32], comm: &[(u16, u16)]) -> BgpUpdate {
+        let mut b = UpdateBuilder::announce(vp(v), Prefix::synthetic(pfx))
+            .at(Timestamp::from_secs(1))
+            .path(path.iter().copied());
+        for &(a, c) in comm {
+            b = b.community(a, c);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn default_policy_is_accept() {
+        let f = FilterSet::default();
+        assert!(f.accepts(&upd(1, 1, &[1, 4], &[])));
+    }
+
+    #[test]
+    fn coarse_filters_drop_future_updates_with_new_paths() {
+        // Train on one update; a future update with a different AS path for
+        // the same (vp, prefix) must still be dropped at VpPrefix
+        // granularity — that is the whole point of §7.
+        let train = upd(1, 1, &[1, 2, 4], &[]);
+        let f = FilterSet::generate([], [&train], FilterGranularity::VpPrefix);
+        let future = upd(1, 1, &[1, 3, 4], &[]);
+        assert!(!f.accepts(&future));
+        // but a different prefix or VP is accepted
+        assert!(f.accepts(&upd(1, 2, &[1, 2, 4], &[])));
+        assert!(f.accepts(&upd(2, 1, &[1, 2, 4], &[])));
+    }
+
+    #[test]
+    fn asp_filters_require_same_path() {
+        let train = upd(1, 1, &[1, 2, 4], &[]);
+        let f = FilterSet::generate([], [&train], FilterGranularity::VpPrefixPath);
+        assert!(!f.accepts(&upd(1, 1, &[1, 2, 4], &[])));
+        assert!(f.accepts(&upd(1, 1, &[1, 3, 4], &[]))); // new path escapes
+    }
+
+    #[test]
+    fn asp_comm_filters_require_same_communities() {
+        let train = upd(1, 1, &[1, 2, 4], &[(1, 10)]);
+        let f = FilterSet::generate([], [&train], FilterGranularity::VpPrefixPathComms);
+        assert!(!f.accepts(&upd(1, 1, &[1, 2, 4], &[(1, 10)])));
+        assert!(f.accepts(&upd(1, 1, &[1, 2, 4], &[(1, 11)])));
+    }
+
+    #[test]
+    fn anchor_accept_all_overrides_drop_rules() {
+        let train = upd(1, 1, &[1, 2, 4], &[]);
+        let f = FilterSet::generate([vp(1)], [&train], FilterGranularity::VpPrefix);
+        assert_eq!(f.num_rules(), 0, "anchor rules suppress drops entirely");
+        assert!(f.accepts(&upd(1, 1, &[1, 2, 4], &[])));
+        assert!(f.is_anchor(vp(1)));
+    }
+
+    #[test]
+    fn text_roundtrip() {
+        let train = vec![
+            upd(1, 1, &[1, 4], &[]),
+            upd(2, 7, &[2, 4], &[]),
+        ];
+        let f = FilterSet::generate([vp(9)], train.iter(), FilterGranularity::VpPrefix);
+        let text = f.to_text().unwrap();
+        assert!(text.contains("anchor 9"));
+        assert!(text.contains("drop 1"));
+        let back = FilterSet::from_text(&text).unwrap();
+        assert_eq!(back.num_rules(), f.num_rules());
+        assert!(back.is_anchor(vp(9)));
+        for u in &train {
+            assert_eq!(back.accepts(u), f.accepts(u));
+        }
+        // comments and blanks are tolerated
+        let with_comments = format!("# published filters\n\n{text}");
+        assert!(FilterSet::from_text(&with_comments).is_ok());
+        // garbage is not
+        assert!(FilterSet::from_text("frobnicate 1 2").is_err());
+        assert!(FilterSet::from_text("drop 1").is_err());
+        assert!(FilterSet::from_text("drop 1 10.0.0.0/8 extra").is_err());
+    }
+
+    #[test]
+    fn fine_grained_filters_have_no_text_form() {
+        let train = upd(1, 1, &[1, 4], &[]);
+        let f = FilterSet::generate([], [&train], FilterGranularity::VpPrefixPath);
+        assert!(f.to_text().is_err());
+    }
+
+    #[test]
+    fn discard_rate_counts_drops() {
+        let train = vec![upd(1, 1, &[1, 4], &[]), upd(2, 2, &[2, 4], &[])];
+        let f = FilterSet::generate([], train.iter(), FilterGranularity::VpPrefix);
+        assert_eq!(f.num_rules(), 2);
+        let test = vec![
+            upd(1, 1, &[1, 9, 4], &[]), // dropped (vp1, p1)
+            upd(2, 2, &[2, 4], &[]),    // dropped (vp2, p2)
+            upd(3, 3, &[3, 4], &[]),    // accepted
+            upd(1, 2, &[1, 4], &[]),    // accepted (vp1, p2 not filtered)
+        ];
+        assert!((f.discard_rate(&test) - 0.5).abs() < 1e-9);
+        assert_eq!(f.discard_rate(&[]), 0.0);
+    }
+}

@@ -1,0 +1,40 @@
+//! GILL's core algorithms — the paper's primary contribution.
+//!
+//! * [`redundancy`] — the three redundancy definitions of §4.2 and the
+//!   update-level / VP-level redundancy measurements (Fig. 6).
+//! * [`corrgroups`] — correlation groups (§17.1, Step 1 of component #1).
+//! * [`reconstitution`] — reconstitution power and redundant-update
+//!   inference (§17.2–§17.3, Steps 2–3 of component #1).
+//! * [`anchors`] — anchor-VP selection (§18, component #2): event
+//!   detection, balanced stratification, feature deltas, redundancy
+//!   scores, greedy volume-aware selection.
+//! * [`filters`] — `(VP, prefix)` filter generation and the finer-grained
+//!   GILL-asp / GILL-asp-comm ablation variants (§7).
+//! * [`analysis`] — the end-to-end pipeline gluing both components and the
+//!   filter generator together.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod anchors;
+pub mod corrgroups;
+pub mod filters;
+pub mod reconstitution;
+pub mod redundancy;
+
+pub use analysis::{GillAnalysis, GillConfig};
+pub use anchors::{
+    category_matrix, detect_events, greedy_select, redundancy_scores, select_anchors,
+    stratify_events, AnchorConfig, AnchorSelection, ObservedEvent, ObservedEventKind,
+};
+pub use corrgroups::{build_correlation_groups, CorrelationGroup, PrefixGroups, UpdateAttrs};
+pub use filters::{DropRule, FilterGranularity, FilterSet};
+pub use reconstitution::{
+    find_redundant_updates, reconstitution_power, select_vps_for_prefix, Component1Result,
+    DEFAULT_RECONSTITUTION_TARGET,
+};
+pub use redundancy::{
+    condition1, condition2, condition3, is_redundant_with, redundant_flags, redundant_fraction,
+    redundant_vp_fraction, vp_pair_redundancy, RedundancyDef, VP_REDUNDANCY_SHARE,
+};

@@ -1,0 +1,329 @@
+//! The redundancy framework of §4.2: three gradually stricter definitions
+//! of "update `u1` is redundant with update `u2`".
+//!
+//! * **Condition 1**: `|t1 − t2| < 100 s` and `p1 = p2`.
+//! * **Condition 2**: `L1 \ L1w ⊆ L2 \ L2w` (the new links of `u1` are
+//!   contained in those of `u2`). Asymmetric.
+//! * **Condition 3**: `C1 \ C1w ⊆ C2 \ C2w` (same for communities).
+//!
+//! Definition 1 = condition 1; Definition 2 = conditions 1 ∧ 2;
+//! Definition 3 = conditions 1 ∧ 2 ∧ 3.
+//!
+//! A VP `v1` is redundant with `v2` if more than [`VP_REDUNDANCY_SHARE`] of
+//! `v1`'s updates are redundant with at least one update of `v2` (§4.2).
+
+use bgp_types::BgpUpdate;
+use std::collections::HashMap;
+
+/// Fraction of a VP's updates that must be redundant with another VP's
+/// updates for the VP itself to count as redundant (">90 %", §4.2).
+pub const VP_REDUNDANCY_SHARE: f64 = 0.9;
+
+/// The three redundancy definitions of §4.2, strictest last.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum RedundancyDef {
+    /// Prefix-based (condition 1).
+    Def1,
+    /// Prefix and AS-path based (conditions 1–2).
+    Def2,
+    /// Prefix, AS-path and community based (conditions 1–3).
+    Def3,
+}
+
+impl RedundancyDef {
+    /// All definitions, loosest first.
+    pub const ALL: [RedundancyDef; 3] = [RedundancyDef::Def1, RedundancyDef::Def2, RedundancyDef::Def3];
+}
+
+/// Condition 1: same prefix, timestamps within the 100 s slack.
+pub fn condition1(u1: &BgpUpdate, u2: &BgpUpdate) -> bool {
+    u1.prefix == u2.prefix && u1.time.within_slack(u2.time)
+}
+
+/// Condition 2: `u1`'s effective link set is a subset of `u2`'s.
+pub fn condition2(u1: &BgpUpdate, u2: &BgpUpdate) -> bool {
+    u1.effective_links().is_subset(&u2.effective_links())
+}
+
+/// Condition 3: `u1`'s effective community set is a subset of `u2`'s.
+pub fn condition3(u1: &BgpUpdate, u2: &BgpUpdate) -> bool {
+    u1.effective_communities()
+        .is_subset(&u2.effective_communities())
+}
+
+/// Whether `u1` is redundant with `u2` under `def`. Not symmetric for
+/// Def2/Def3 (subset inclusion is one-way), and an update is *not* compared
+/// with itself by the aggregate functions below.
+pub fn is_redundant_with(u1: &BgpUpdate, u2: &BgpUpdate, def: RedundancyDef) -> bool {
+    match def {
+        RedundancyDef::Def1 => condition1(u1, u2),
+        RedundancyDef::Def2 => condition1(u1, u2) && condition2(u1, u2),
+        RedundancyDef::Def3 => {
+            condition1(u1, u2) && condition2(u1, u2) && condition3(u1, u2)
+        }
+    }
+}
+
+/// Marks, for every update in `updates`, whether it is redundant with at
+/// least one *other* update under `def` (the §4.2 "97 % / 77 % / 70 %"
+/// measurement). `updates` must be time-sorted.
+pub fn redundant_flags(updates: &[BgpUpdate], def: RedundancyDef) -> Vec<bool> {
+    // Bucket by prefix, then sliding window over time.
+    let mut by_prefix: HashMap<bgp_types::Prefix, Vec<usize>> = HashMap::new();
+    for (i, u) in updates.iter().enumerate() {
+        by_prefix.entry(u.prefix).or_default().push(i);
+    }
+    let mut flags = vec![false; updates.len()];
+    for idxs in by_prefix.values() {
+        for (a, &i) in idxs.iter().enumerate() {
+            if flags[i] {
+                continue;
+            }
+            // scan forward and backward while within the slack
+            for &j in idxs[a + 1..].iter() {
+                if !updates[i].time.within_slack(updates[j].time) {
+                    break;
+                }
+                if is_redundant_with(&updates[i], &updates[j], def) {
+                    flags[i] = true;
+                    break;
+                }
+            }
+            if flags[i] {
+                continue;
+            }
+            for &j in idxs[..a].iter().rev() {
+                if !updates[i].time.within_slack(updates[j].time) {
+                    break;
+                }
+                if is_redundant_with(&updates[i], &updates[j], def) {
+                    flags[i] = true;
+                    break;
+                }
+            }
+        }
+    }
+    flags
+}
+
+/// Fraction of updates redundant with at least one other update.
+pub fn redundant_fraction(updates: &[BgpUpdate], def: RedundancyDef) -> f64 {
+    if updates.is_empty() {
+        return 0.0;
+    }
+    let flags = redundant_flags(updates, def);
+    flags.iter().filter(|&&f| f).count() as f64 / updates.len() as f64
+}
+
+/// For each ordered VP pair `(v1, v2)`, the fraction of `v1`'s updates that
+/// are redundant with at least one update of `v2`. Returns a map keyed by
+/// the pair. `updates` must be time-sorted.
+pub fn vp_pair_redundancy(
+    updates: &[BgpUpdate],
+    def: RedundancyDef,
+) -> HashMap<(bgp_types::VpId, bgp_types::VpId), f64> {
+    use bgp_types::VpId;
+    let mut vps: Vec<VpId> = updates.iter().map(|u| u.vp).collect();
+    vps.sort_unstable();
+    vps.dedup();
+    let mut counts: HashMap<VpId, usize> = HashMap::new();
+    for u in updates {
+        *counts.entry(u.vp).or_insert(0) += 1;
+    }
+    // covered[(v1, v2)] = # of v1's updates redundant with some update of v2
+    let mut covered: HashMap<(VpId, VpId), usize> = HashMap::new();
+    let mut by_prefix: HashMap<bgp_types::Prefix, Vec<usize>> = HashMap::new();
+    for (i, u) in updates.iter().enumerate() {
+        by_prefix.entry(u.prefix).or_default().push(i);
+    }
+    for idxs in by_prefix.values() {
+        for (a, &i) in idxs.iter().enumerate() {
+            // which other VPs cover update i?
+            let mut seen: Vec<VpId> = Vec::new();
+            let scan = |j: usize, seen: &mut Vec<VpId>| {
+                let u2 = &updates[j];
+                if u2.vp != updates[i].vp
+                    && !seen.contains(&u2.vp)
+                    && is_redundant_with(&updates[i], u2, def)
+                {
+                    seen.push(u2.vp);
+                }
+            };
+            for &j in idxs[a + 1..].iter() {
+                if !updates[i].time.within_slack(updates[j].time) {
+                    break;
+                }
+                scan(j, &mut seen);
+            }
+            for &j in idxs[..a].iter().rev() {
+                if !updates[i].time.within_slack(updates[j].time) {
+                    break;
+                }
+                scan(j, &mut seen);
+            }
+            for v2 in seen {
+                *covered.entry((updates[i].vp, v2)).or_insert(0) += 1;
+            }
+        }
+    }
+    let mut out = HashMap::new();
+    for &v1 in &vps {
+        let n1 = counts[&v1];
+        for &v2 in &vps {
+            if v1 == v2 {
+                continue;
+            }
+            let c = covered.get(&(v1, v2)).copied().unwrap_or(0);
+            out.insert((v1, v2), if n1 == 0 { 0.0 } else { c as f64 / n1 as f64 });
+        }
+    }
+    out
+}
+
+/// Fraction of VPs that are redundant with at least one other VP (the Fig. 6
+/// measurement): `v1` is redundant iff some `v2` covers more than
+/// [`VP_REDUNDANCY_SHARE`] of its updates.
+pub fn redundant_vp_fraction(updates: &[BgpUpdate], def: RedundancyDef) -> f64 {
+    let pair = vp_pair_redundancy(updates, def);
+    let mut vps: Vec<bgp_types::VpId> = updates.iter().map(|u| u.vp).collect();
+    vps.sort_unstable();
+    vps.dedup();
+    if vps.is_empty() {
+        return 0.0;
+    }
+    let redundant = vps
+        .iter()
+        .filter(|&&v1| {
+            vps.iter()
+                .any(|&v2| v1 != v2 && pair.get(&(v1, v2)).copied().unwrap_or(0.0) > VP_REDUNDANCY_SHARE)
+        })
+        .count();
+    redundant as f64 / vps.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgp_types::{Asn, Prefix, Timestamp, UpdateBuilder, VpId};
+
+    fn upd(vp: u32, t_ms: u64, pfx: u32, path: &[u32], comms: &[(u16, u16)]) -> BgpUpdate {
+        let mut b = UpdateBuilder::announce(VpId::from_asn(Asn(vp)), Prefix::synthetic(pfx))
+            .at(Timestamp::from_millis(t_ms))
+            .path(path.iter().copied());
+        for &(a, c) in comms {
+            b = b.community(a, c);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn condition1_prefix_and_time() {
+        let a = upd(1, 0, 1, &[1, 4], &[]);
+        let b = upd(2, 99_000, 1, &[2, 4], &[]);
+        let c = upd(2, 100_000, 1, &[2, 4], &[]);
+        let d = upd(2, 0, 2, &[2, 4], &[]);
+        assert!(condition1(&a, &b));
+        assert!(!condition1(&a, &c));
+        assert!(!condition1(&a, &d));
+    }
+
+    #[test]
+    fn condition2_is_asymmetric() {
+        let small = upd(1, 0, 1, &[1, 4], &[]);
+        let big = upd(2, 0, 1, &[2, 1, 4], &[]); // links {2->1, 1->4} ⊅ {1->4}? yes ⊇
+        assert!(condition2(&small, &big));
+        assert!(!condition2(&big, &small));
+    }
+
+    #[test]
+    fn condition3_subset_on_communities() {
+        let a = upd(1, 0, 1, &[1, 4], &[(1, 10)]);
+        let b = upd(2, 0, 1, &[2, 1, 4], &[(1, 10), (2, 20)]);
+        assert!(condition3(&a, &b));
+        assert!(!condition3(&b, &a));
+    }
+
+    #[test]
+    fn definitions_get_stricter() {
+        // same prefix & time, disjoint links
+        let a = upd(1, 0, 1, &[1, 4], &[(9, 9)]);
+        let b = upd(2, 10_000, 1, &[2, 5], &[]);
+        assert!(is_redundant_with(&a, &b, RedundancyDef::Def1));
+        assert!(!is_redundant_with(&a, &b, RedundancyDef::Def2));
+        // subset links, non-subset comms
+        let c = upd(3, 0, 1, &[1, 4], &[(8, 8)]);
+        let d = upd(4, 0, 1, &[2, 1, 4], &[(7, 7)]);
+        assert!(is_redundant_with(&c, &d, RedundancyDef::Def2));
+        assert!(!is_redundant_with(&c, &d, RedundancyDef::Def3));
+        // full subset
+        let e = upd(5, 0, 1, &[1, 4], &[(7, 7)]);
+        assert!(is_redundant_with(&e, &d, RedundancyDef::Def3));
+    }
+
+    #[test]
+    fn redundant_fraction_monotonically_decreases_with_stricter_defs() {
+        let mut updates = Vec::new();
+        // bursts of similar updates + some unique ones
+        for burst in 0..5u64 {
+            let t = burst * 1_000_000;
+            updates.push(upd(1, t, 1, &[1, 9], &[(1, 1)]));
+            updates.push(upd(2, t + 5_000, 1, &[2, 1, 9], &[(1, 1), (2, 2)]));
+            updates.push(upd(3, t + 9_000, 1, &[3, 7], &[(3, 3)]));
+        }
+        updates.sort_by_key(|u| u.time);
+        let f1 = redundant_fraction(&updates, RedundancyDef::Def1);
+        let f2 = redundant_fraction(&updates, RedundancyDef::Def2);
+        let f3 = redundant_fraction(&updates, RedundancyDef::Def3);
+        assert!(f1 >= f2 && f2 >= f3, "{f1} {f2} {f3}");
+        assert!(f1 > 0.9); // everything in a burst shares prefix+time
+        assert!(f2 > 0.0);
+    }
+
+    #[test]
+    fn lone_update_is_not_redundant() {
+        let updates = vec![upd(1, 0, 1, &[1, 4], &[])];
+        assert_eq!(redundant_fraction(&updates, RedundancyDef::Def1), 0.0);
+    }
+
+    #[test]
+    fn vp_pair_redundancy_directionality() {
+        // VP1's every update covered by VP2, but VP2 has an extra unique one.
+        let mut updates = vec![
+            upd(1, 0, 1, &[1, 9], &[]),
+            upd(2, 1_000, 1, &[2, 1, 9], &[]),
+            upd(2, 500_000, 2, &[2, 8], &[]),
+        ];
+        updates.sort_by_key(|u| u.time);
+        let m = vp_pair_redundancy(&updates, RedundancyDef::Def2);
+        let v1 = VpId::from_asn(Asn(1));
+        let v2 = VpId::from_asn(Asn(2));
+        assert_eq!(m[&(v1, v2)], 1.0);
+        assert!(m[&(v2, v1)] < 1.0);
+    }
+
+    #[test]
+    fn redundant_vp_fraction_thresholds() {
+        // Two identical-behaviour VPs + one unique VP.
+        let mut updates = Vec::new();
+        for k in 0..20u64 {
+            let t = k * 500_000;
+            updates.push(upd(1, t, 1, &[1, 9], &[]));
+            updates.push(upd(2, t + 1_000, 1, &[1, 9], &[]));
+            updates.push(upd(3, t + 2_000, (k % 7 + 10) as u32, &[3, 5], &[]));
+        }
+        updates.sort_by_key(|u| u.time);
+        let f = redundant_vp_fraction(&updates, RedundancyDef::Def2);
+        // VPs 1 and 2 are mutually redundant; VP 3 is not.
+        assert!((f - 2.0 / 3.0).abs() < 1e-9, "{f}");
+    }
+
+    #[test]
+    fn withdrawn_sets_affect_condition2() {
+        let mut a = upd(1, 0, 1, &[1, 4], &[]);
+        a.withdrawn_links = a.links(); // everything withdrawn: effective ∅
+        let b = upd(2, 0, 1, &[9, 8], &[]);
+        // ∅ ⊆ anything
+        assert!(condition2(&a, &b));
+        assert!(!condition2(&b, &a));
+    }
+}

@@ -1,0 +1,100 @@
+//! Use case IV — action communities detection (§10).
+//!
+//! Action communities request traffic-engineering behaviour and are the
+//! hardest community class to observe: they are attached rarely and
+//! stripped a few hops from the origin. The evaluator counts the distinct
+//! action communities visible in the sample.
+
+use bgp_sim::UpdateStream;
+use bgp_types::Community;
+use std::collections::HashSet;
+
+/// Distinct action communities visible in the sampled updates.
+pub fn detect(stream: &UpdateStream, indices: &[usize]) -> HashSet<Community> {
+    let mut out = HashSet::new();
+    for &i in indices {
+        for c in &stream.updates[i].communities {
+            if c.is_action() {
+                out.insert(*c);
+            }
+        }
+    }
+    out
+}
+
+/// The Table-2 evaluator for action communities.
+pub struct ActionCommunities {
+    truth: HashSet<Community>,
+}
+
+impl ActionCommunities {
+    /// Ground truth: action communities in the full stream.
+    pub fn new(stream: &UpdateStream) -> Self {
+        let all: Vec<usize> = (0..stream.updates.len()).collect();
+        ActionCommunities {
+            truth: detect(stream, &all),
+        }
+    }
+
+    /// Number of ground-truth action communities.
+    pub fn truth_size(&self) -> usize {
+        self.truth.len()
+    }
+
+    /// Detection score in `[0, 1]`.
+    pub fn score(&self, stream: &UpdateStream, sample: &[usize]) -> f64 {
+        if self.truth.is_empty() {
+            return 1.0;
+        }
+        let found = detect(stream, sample);
+        self.truth.intersection(&found).count() as f64 / self.truth.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use as_topology::TopologyBuilder;
+    use bgp_sim::{Simulator, StreamConfig};
+
+    #[test]
+    fn community_changes_produce_action_communities() {
+        let topo = TopologyBuilder::artificial(120, 5).build();
+        let mut sim = Simulator::new(&topo);
+        let vps = topo.pick_vps(0.6, 3);
+        let s = sim.synthesize_stream(
+            &vps,
+            StreamConfig::default()
+                .events(30)
+                .seed(61)
+                .weights([0.0, 0.0, 0.0, 1.0]),
+        );
+        let uc = ActionCommunities::new(&s);
+        assert!(uc.truth_size() > 0, "no action communities generated");
+        let all: Vec<usize> = (0..s.updates.len()).collect();
+        assert!((uc.score(&s, &all) - 1.0).abs() < 1e-9);
+        assert_eq!(uc.score(&s, &[]), 0.0);
+    }
+
+    #[test]
+    fn only_near_origin_updates_carry_actions() {
+        let topo = TopologyBuilder::artificial(120, 5).build();
+        let mut sim = Simulator::new(&topo);
+        let vps = topo.pick_vps(0.6, 3);
+        let s = sim.synthesize_stream(
+            &vps,
+            StreamConfig::default()
+                .events(30)
+                .seed(62)
+                .weights([0.0, 0.0, 0.0, 1.0]),
+        );
+        for u in &s.updates {
+            if u.communities.iter().any(|c| c.is_action()) {
+                assert!(
+                    u.path.unique_len() <= bgp_sim::communities::ACTION_VISIBILITY_HOPS,
+                    "action community survived too far: {u}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,241 @@
+//! AS-relationship inference and customer-cone replication (§12).
+//!
+//! Implements a Gao/Luckie-style relationship inference over a corpus of
+//! observed AS paths: each path votes on the orientation of its links
+//! relative to the path's apex (the highest-degree AS); apex-adjacent
+//! links between comparably-sized ASes vote peer-to-peer. §12 measures how
+//! many relationships a sample lets us infer and validates them against
+//! ground truth.
+
+use as_topology::{cone, Topology};
+use std::collections::HashMap;
+
+/// An inferred relationship for an undirected AS pair `(a, b)` with
+/// `a < b` (node indices).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum InferredRel {
+    /// `a` is the customer of `b`.
+    ACustomerOfB,
+    /// `b` is the customer of `a`.
+    BCustomerOfA,
+    /// Settlement-free peering.
+    Peer,
+}
+
+/// Degree ratio above which an apex-adjacent link votes p2p.
+pub const PEER_DEGREE_RATIO: f64 = 0.6;
+
+/// Infers relationships from a corpus of AS paths (node indices, VP side
+/// first, origin last). Returns a map keyed by `(min, max)` node pair.
+pub fn infer_relationships(paths: &[Vec<u32>]) -> HashMap<(u32, u32), InferredRel> {
+    // Observed *transit degree*: the number of distinct neighbor pairs an
+    // AS forwards between (it appears in the interior of a path). This
+    // approximates the provider hierarchy far better than the raw degree,
+    // which peering inflates.
+    let mut transit: HashMap<u32, std::collections::HashSet<(u32, u32)>> = HashMap::new();
+    let mut neighbor: HashMap<u32, std::collections::HashSet<u32>> = HashMap::new();
+    for p in paths {
+        let mut path: Vec<u32> = Vec::with_capacity(p.len());
+        for &h in p {
+            if path.last() != Some(&h) {
+                path.push(h);
+            }
+        }
+        for w in path.windows(2) {
+            neighbor.entry(w[0]).or_default().insert(w[1]);
+            neighbor.entry(w[1]).or_default().insert(w[0]);
+        }
+        for w in path.windows(3) {
+            transit
+                .entry(w[1])
+                .or_default()
+                .insert((w[0].min(w[2]), w[0].max(w[2])));
+        }
+    }
+    // rank = (transit degree, plain degree) — the plain degree breaks ties
+    // among stubs and low-tier ASes
+    let deg = |x: u32| {
+        transit.get(&x).map(|s| s.len()).unwrap_or(0) * 10_000
+            + neighbor.get(&x).map(|s| s.len()).unwrap_or(0)
+    };
+
+    // votes per link: [a_customer_of_b, b_customer_of_a] plus, per link,
+    // whether every occurrence sits at the very top of its path — the
+    // structural signature of a p2p link (it is only ever crossed at the
+    // peak, between the path's two highest-ranked ASes).
+    let mut votes: HashMap<(u32, u32), [u32; 2]> = HashMap::new();
+    let mut always_top: HashMap<(u32, u32), bool> = HashMap::new();
+    for p in paths {
+        // collapse prepending
+        let mut path: Vec<u32> = Vec::with_capacity(p.len());
+        for &h in p {
+            if path.last() != Some(&h) {
+                path.push(h);
+            }
+        }
+        if path.len() < 2 {
+            continue;
+        }
+        // apex: highest observed rank; top2: second highest
+        let apex = (0..path.len())
+            .max_by_key(|&i| (deg(path[i]), std::cmp::Reverse(i)))
+            .unwrap();
+        let top2 = (0..path.len())
+            .filter(|&i| i != apex)
+            .max_by_key(|&i| (deg(path[i]), std::cmp::Reverse(i)));
+        for i in 0..path.len() - 1 {
+            let (x, y) = (path[i], path[i + 1]);
+            let key = (x.min(y), x.max(y));
+            let at_top = match top2 {
+                Some(t) => (i == apex || i + 1 == apex) && (i == t || i + 1 == t),
+                None => true,
+            };
+            let e = always_top.entry(key).or_insert(true);
+            *e &= at_top;
+            let v = votes.entry(key).or_insert([0, 0]);
+            if i < apex {
+                // the VP-side slope: x (closer to the VP) is the customer
+                if key.0 == x {
+                    v[0] += 1;
+                } else {
+                    v[1] += 1;
+                }
+            } else {
+                // the origin-side slope: y (closer to the origin) is the customer
+                if key.0 == y {
+                    v[0] += 1;
+                } else {
+                    v[1] += 1;
+                }
+            }
+        }
+    }
+    votes
+        .into_iter()
+        .map(|(k, v)| {
+            let rel = if always_top.get(&k).copied().unwrap_or(false) {
+                InferredRel::Peer
+            } else if v[0] >= v[1] {
+                InferredRel::ACustomerOfB
+            } else {
+                InferredRel::BCustomerOfA
+            };
+            (k, rel)
+        })
+        .collect()
+}
+
+/// Validation against the ground-truth topology: returns
+/// `(inferred_count, correct_count)`. A c2p inference is correct only with
+/// the right orientation.
+pub fn validate(
+    topo: &Topology,
+    inferred: &HashMap<(u32, u32), InferredRel>,
+) -> (usize, usize) {
+    let mut correct = 0usize;
+    for (&(a, b), &rel) in inferred {
+        let truth = if topo.providers(a).contains(&b) {
+            Some(InferredRel::ACustomerOfB)
+        } else if topo.providers(b).contains(&a) {
+            Some(InferredRel::BCustomerOfA)
+        } else if topo.peers(a).contains(&b) {
+            Some(InferredRel::Peer)
+        } else {
+            None
+        };
+        if truth == Some(rel) {
+            correct += 1;
+        }
+    }
+    (inferred.len(), correct)
+}
+
+/// Customer-cone-size replication (§12 / ASRank): computes per-AS CCS from
+/// the observed paths and compares to ground truth. Returns
+/// `(exactly_correct_fraction, mean_absolute_error)` over transit ASes.
+pub fn ccs_accuracy(topo: &Topology, paths: Vec<Vec<u32>>) -> (f64, f64) {
+    let truth = cone::customer_cone_sizes(topo);
+    let observed = cone::observed_cone_sizes(topo, paths);
+    let transit: Vec<usize> = (0..topo.num_ases())
+        .filter(|&u| topo.is_transit(u as u32))
+        .collect();
+    if transit.is_empty() {
+        return (1.0, 0.0);
+    }
+    let mut exact = 0usize;
+    let mut abs_err = 0.0f64;
+    for &u in &transit {
+        if truth[u] == observed[u] {
+            exact += 1;
+        }
+        abs_err += (truth[u] as f64 - observed[u] as f64).abs();
+    }
+    (
+        exact as f64 / transit.len() as f64,
+        abs_err / transit.len() as f64,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use as_topology::TopologyBuilder;
+    use bgp_sim::routing::{compute_routes, SourceAnnouncement};
+    use std::collections::HashSet;
+
+    fn all_paths(topo: &Topology, vps: &[u32]) -> Vec<Vec<u32>> {
+        let no_fail = HashSet::new();
+        let mut out = Vec::new();
+        for origin in 0..topo.num_ases() as u32 {
+            let t = compute_routes(topo, &[SourceAnnouncement::origin(origin)], &no_fail);
+            for &v in vps {
+                if let Some(p) = t.path(v) {
+                    if p.len() >= 2 {
+                        out.push(p);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn inference_is_mostly_correct_on_full_data() {
+        let topo = TopologyBuilder::artificial(200, 5).build();
+        let vps: Vec<u32> = (0..topo.num_ases() as u32).collect();
+        let paths = all_paths(&topo, &vps);
+        let inferred = infer_relationships(&paths);
+        let (n, correct) = validate(&topo, &inferred);
+        assert!(n > 0);
+        let acc = correct as f64 / n as f64;
+        assert!(acc > 0.75, "accuracy {acc} too low on full visibility");
+    }
+
+    #[test]
+    fn more_paths_infer_more_relationships() {
+        let topo = TopologyBuilder::artificial(250, 6).build();
+        let few: Vec<u32> = vec![5, 100];
+        let many: Vec<u32> = (0..50u32).map(|i| i * 5 % 250).collect();
+        let (n_few, _) = validate(&topo, &infer_relationships(&all_paths(&topo, &few)));
+        let (n_many, _) = validate(&topo, &infer_relationships(&all_paths(&topo, &many)));
+        assert!(n_many > n_few, "{n_many} <= {n_few}");
+    }
+
+    #[test]
+    fn ccs_exact_on_full_visibility_degrades_with_less() {
+        let topo = TopologyBuilder::artificial(150, 7).build();
+        let all: Vec<u32> = (0..topo.num_ases() as u32).collect();
+        let (exact_full, err_full) = ccs_accuracy(&topo, all_paths(&topo, &all));
+        let few: Vec<u32> = vec![3];
+        let (exact_few, err_few) = ccs_accuracy(&topo, all_paths(&topo, &few));
+        assert!(exact_full >= exact_few);
+        assert!(err_full <= err_few + 1e-9);
+        assert!(exact_full > 0.5, "full-visibility CCS exactness {exact_full}");
+    }
+
+    #[test]
+    fn empty_corpus_infers_nothing() {
+        let inferred = infer_relationships(&[]);
+        assert!(inferred.is_empty());
+    }
+}

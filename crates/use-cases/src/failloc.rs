@@ -1,0 +1,280 @@
+//! Link-failure localization (§3.1, §11), after Feldmann et al. \[21\].
+//!
+//! When a link fails, every route that used it changes; the failed link is
+//! in the *old* path but not the *new* path of each changed route. The
+//! localization algorithm intersects, across all observations available to
+//! the collection system, the per-route sets of disappeared links; the
+//! failure is located when the intersection pins down the failed link.
+
+use as_topology::{Relationship, Topology};
+use bgp_sim::routing::{compute_routes, RouteTable, SourceAnnouncement};
+use bgp_sim::UpdateStream;
+use bgp_types::Timestamp;
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::collections::HashSet;
+
+/// Outcome of a localization campaign, split by link relationship.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FaillocCampaign {
+    /// p2p link failures simulated / localized.
+    pub p2p_total: usize,
+    /// p2p failures localized.
+    pub p2p_localized: usize,
+    /// c2p link failures simulated.
+    pub c2p_total: usize,
+    /// c2p failures localized.
+    pub c2p_localized: usize,
+}
+
+impl FaillocCampaign {
+    /// Localization rate over p2p failures.
+    pub fn p2p_rate(&self) -> f64 {
+        if self.p2p_total == 0 {
+            1.0
+        } else {
+            self.p2p_localized as f64 / self.p2p_total as f64
+        }
+    }
+
+    /// Localization rate over c2p failures.
+    pub fn c2p_rate(&self) -> f64 {
+        if self.c2p_total == 0 {
+            1.0
+        } else {
+            self.c2p_localized as f64 / self.c2p_total as f64
+        }
+    }
+}
+
+/// Tries to localize the failure of `link` from the routes of `vp_nodes`:
+/// returns `true` iff intersecting the disappeared-link sets over all
+/// changed (VP, origin) routes yields exactly the failed link.
+fn localize_one(
+    topo: &Topology,
+    before: &[RouteTable],
+    link: (u32, u32),
+    vp_nodes: &[u32],
+) -> bool {
+    let mut failed = HashSet::new();
+    failed.insert(link);
+    let mut candidates: Option<HashSet<(u32, u32)>> = None;
+    for (origin, b) in before.iter().enumerate() {
+        if !b.uses_link(link.0, link.1) {
+            continue; // routes to this origin are unaffected
+        }
+        let after = compute_routes(
+            topo,
+            &[SourceAnnouncement::origin(origin as u32)],
+            &failed,
+        );
+        for &v in vp_nodes {
+            let old = b.path(v);
+            let new = after.path(v);
+            if old == new {
+                continue;
+            }
+            let Some(old) = old else { continue };
+            let old_links: HashSet<(u32, u32)> = path_links(&old);
+            let new_links: HashSet<(u32, u32)> = new.map(|p| path_links(&p)).unwrap_or_default();
+            let disappeared: HashSet<(u32, u32)> =
+                old_links.difference(&new_links).copied().collect();
+            if disappeared.is_empty() {
+                continue;
+            }
+            candidates = Some(match candidates {
+                None => disappeared,
+                Some(c) => c.intersection(&disappeared).copied().collect(),
+            });
+            if let Some(c) = &candidates {
+                if c.len() == 1 {
+                    // early exit: already pinned down
+                    return c.contains(&norm(link));
+                }
+            }
+        }
+    }
+    match candidates {
+        Some(c) => c.len() == 1 && c.contains(&norm(link)),
+        None => false, // invisible failure
+    }
+}
+
+fn path_links(path: &[u32]) -> HashSet<(u32, u32)> {
+    path.windows(2).map(|w| norm((w[0], w[1]))).collect()
+}
+
+#[inline]
+fn norm(l: (u32, u32)) -> (u32, u32) {
+    if l.0 < l.1 {
+        l
+    } else {
+        (l.1, l.0)
+    }
+}
+
+/// Runs a §3.1-style campaign: fails `count` random links (deterministic in
+/// `seed`) and reports how many can be localized from `vp_nodes`' routes.
+pub fn static_campaign(
+    topo: &Topology,
+    vp_nodes: &[u32],
+    count: usize,
+    seed: u64,
+) -> FaillocCampaign {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0xfa11_0c00_0000_0001);
+    let mut links = topo.links();
+    links.shuffle(&mut rng);
+    links.truncate(count);
+    // Precompute all before-tables once.
+    let no_fail = HashSet::new();
+    let before: Vec<RouteTable> = (0..topo.num_ases() as u32)
+        .map(|o| compute_routes(topo, &[SourceAnnouncement::origin(o)], &no_fail))
+        .collect();
+    let mut out = FaillocCampaign::default();
+    for l in links {
+        let key = (l.a.min(l.b), l.a.max(l.b));
+        let ok = localize_one(topo, &before, key, vp_nodes);
+        match l.rel {
+            Relationship::P2p => {
+                out.p2p_total += 1;
+                if ok {
+                    out.p2p_localized += 1;
+                }
+            }
+            Relationship::C2p => {
+                out.c2p_total += 1;
+                if ok {
+                    out.c2p_localized += 1;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Stream-based evaluator: for each ground-truth link-failure event, the
+/// sample localizes it iff intersecting the withdrawn-link sets of the
+/// sampled updates in the event's time vicinity yields the failed link.
+pub struct FailureLocalization {
+    truth: Vec<((u32, u32), Timestamp)>,
+}
+
+impl FailureLocalization {
+    /// Collects ground-truth failures from the event log.
+    pub fn new(stream: &UpdateStream) -> Self {
+        let truth = stream
+            .events
+            .iter()
+            .filter_map(|e| match e.kind {
+                bgp_sim::EventKind::LinkFailure { a, b } => Some(((a.min(b), a.max(b)), e.time)),
+                _ => None,
+            })
+            .collect();
+        FailureLocalization { truth }
+    }
+
+    /// Number of injected failures.
+    pub fn truth_size(&self) -> usize {
+        self.truth.len()
+    }
+
+    /// Fraction of injected failures localized from the sample.
+    pub fn score(&self, stream: &UpdateStream, sample: &[usize]) -> f64 {
+        if self.truth.is_empty() {
+            return 1.0;
+        }
+        let window = 100_000u64; // convergence slack
+        let mut localized = 0usize;
+        for &((a, b), t) in &self.truth {
+            let mut candidates: Option<HashSet<(u32, u32)>> = None;
+            for &i in sample {
+                let u = &stream.updates[i];
+                if u.time.as_millis() < t.as_millis()
+                    || u.time.as_millis() > t.as_millis() + window
+                    || u.withdrawn_links.is_empty()
+                {
+                    continue;
+                }
+                let disappeared: HashSet<(u32, u32)> = u
+                    .withdrawn_links
+                    .iter()
+                    .map(|l| {
+                        let x = l.from.value() - 1;
+                        let y = l.to.value() - 1;
+                        norm((x, y))
+                    })
+                    .collect();
+                candidates = Some(match candidates {
+                    None => disappeared,
+                    Some(c) => {
+                        let inter: HashSet<(u32, u32)> =
+                            c.intersection(&disappeared).copied().collect();
+                        if inter.is_empty() {
+                            c // ignore observations of concurrent other events
+                        } else {
+                            inter
+                        }
+                    }
+                });
+            }
+            if let Some(c) = candidates {
+                if c.len() == 1 && c.contains(&(a, b)) {
+                    localized += 1;
+                }
+            }
+        }
+        localized as f64 / self.truth.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use as_topology::TopologyBuilder;
+    use bgp_sim::{Simulator, StreamConfig};
+
+    #[test]
+    fn full_coverage_localizes_most_failures() {
+        let topo = TopologyBuilder::artificial(150, 5).build();
+        let all: Vec<u32> = (0..topo.num_ases() as u32).collect();
+        let c = static_campaign(&topo, &all, 40, 1);
+        let rate = (c.p2p_localized + c.c2p_localized) as f64
+            / (c.p2p_total + c.c2p_total).max(1) as f64;
+        assert!(rate > 0.5, "full coverage localization rate {rate}");
+    }
+
+    #[test]
+    fn sparse_coverage_localizes_fewer() {
+        let topo = TopologyBuilder::artificial(200, 6).build();
+        let all: Vec<u32> = (0..topo.num_ases() as u32).collect();
+        let few: Vec<u32> = vec![3, 77];
+        let c_all = static_campaign(&topo, &all, 30, 2);
+        let c_few = static_campaign(&topo, &few, 30, 2);
+        let rate = |c: &FaillocCampaign| {
+            (c.p2p_localized + c.c2p_localized) as f64 / (c.p2p_total + c.c2p_total).max(1) as f64
+        };
+        assert!(rate(&c_few) <= rate(&c_all) + 1e-9);
+    }
+
+    #[test]
+    fn stream_scoring_is_monotone_in_sample_size() {
+        let topo = TopologyBuilder::artificial(150, 5).build();
+        let mut sim = Simulator::new(&topo);
+        let vps = topo.pick_vps(0.5, 3);
+        let s = sim.synthesize_stream(
+            &vps,
+            StreamConfig::default()
+                .events(20)
+                .seed(91)
+                .weights([1.0, 0.0, 0.0, 0.0])
+                .explore_prob(0.0),
+        );
+        let uc = FailureLocalization::new(&s);
+        assert!(uc.truth_size() > 0);
+        let all: Vec<usize> = (0..s.updates.len()).collect();
+        let full = uc.score(&s, &all);
+        assert!(full > 0.0, "no failure localized at full sample");
+        assert_eq!(uc.score(&s, &[]), 0.0);
+    }
+}

@@ -1,0 +1,208 @@
+//! Forged-origin hijack detection (§3.1, §11, Table 3).
+//!
+//! In a forged-origin (Type-X) hijack the attacker keeps the victim's
+//! origin AS at the end of the forged path, defeating origin validation;
+//! the hijack is *detectable* only if at least one VP's best route is the
+//! forged one. The static analysis simulates a hijack for every victim and
+//! measures how many are visible from a VP set; the stream analysis scores
+//! a sampled update set against the ground-truth hijack events.
+
+use as_topology::Topology;
+use bgp_sim::routing::{compute_routes, SourceAnnouncement};
+use bgp_sim::{EventKind, UpdateStream};
+use bgp_types::Asn;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+
+/// Result of a static hijack-visibility campaign.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct HijackCampaign {
+    /// Hijacks simulated.
+    pub total: usize,
+    /// Hijacks visible from at least one VP.
+    pub detected: usize,
+}
+
+impl HijackCampaign {
+    /// Detection rate in `[0, 1]`.
+    pub fn rate(&self) -> f64 {
+        if self.total == 0 {
+            1.0
+        } else {
+            self.detected as f64 / self.total as f64
+        }
+    }
+}
+
+/// Simulates one Type-`x` forged-origin hijack per victim in `victims`
+/// (random attacker each, deterministic in `seed`) and counts how many are
+/// visible from `vp_nodes` (§3.1's experiment).
+pub fn static_detection(
+    topo: &Topology,
+    vp_nodes: &[u32],
+    victims: &[u32],
+    x: u8,
+    seed: u64,
+) -> HijackCampaign {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x4a11_ce5e_0000_0001);
+    let failed = HashSet::new();
+    let vp_set: Vec<u32> = vp_nodes.to_vec();
+    let n = topo.num_ases() as u32;
+    let mut campaign = HijackCampaign::default();
+    for &victim in victims {
+        // random attacker distinct from the victim
+        let attacker = loop {
+            let a = rng.gen_range(0..n);
+            if a != victim {
+                break a;
+            }
+        };
+        let fillers: Vec<u32> = match x {
+            0 | 1 => Vec::new(),
+            _ => {
+                // X-1 filler hops: real neighbors of the victim where possible
+                let mut f: Vec<u32> = topo
+                    .providers(victim)
+                    .iter()
+                    .chain(topo.peers(victim))
+                    .chain(topo.customers(victim))
+                    .copied()
+                    .filter(|&v| v != attacker)
+                    .take((x - 1) as usize)
+                    .collect();
+                let mut pad = 0u32;
+                while f.len() < (x - 1) as usize {
+                    if pad != victim && pad != attacker {
+                        f.push(pad);
+                    }
+                    pad += 1;
+                }
+                f
+            }
+        };
+        let sources = vec![
+            SourceAnnouncement::origin(victim),
+            SourceAnnouncement::forged(attacker, &fillers, victim),
+        ];
+        let table = compute_routes(topo, &sources, &failed);
+        campaign.total += 1;
+        let visible = vp_set
+            .iter()
+            .any(|&v| table.source_index(v) == Some(1));
+        if visible {
+            campaign.detected += 1;
+        }
+    }
+    campaign
+}
+
+/// The stream-based evaluator (Table 3): ground truth is the set of
+/// injected hijack events; a hijack is detected if the sample contains at
+/// least one update whose path traverses the attacker and claims the
+/// victim's origin.
+pub struct HijackDetection {
+    /// (prefix, attacker ASN) per ground-truth hijack.
+    truth: Vec<(bgp_types::Prefix, Asn)>,
+}
+
+impl HijackDetection {
+    /// Collects the ground-truth hijacks from the stream's event log.
+    pub fn new(stream: &UpdateStream) -> Self {
+        let truth = stream
+            .events
+            .iter()
+            .filter_map(|e| match e.kind {
+                EventKind::ForgedOriginHijack {
+                    prefix, attacker, ..
+                } => Some((bgp_types::Prefix::synthetic(prefix), Asn(attacker + 1))),
+                _ => None,
+            })
+            .collect();
+        HijackDetection { truth }
+    }
+
+    /// Number of injected hijacks.
+    pub fn truth_size(&self) -> usize {
+        self.truth.len()
+    }
+
+    /// Fraction of injected hijacks visible in the sample.
+    pub fn score(&self, stream: &UpdateStream, sample: &[usize]) -> f64 {
+        if self.truth.is_empty() {
+            return 1.0;
+        }
+        let mut detected = 0usize;
+        for &(prefix, attacker) in &self.truth {
+            let hit = sample.iter().any(|&i| {
+                let u = &stream.updates[i];
+                u.prefix == prefix && u.is_announce() && u.path.contains(attacker)
+            });
+            if hit {
+                detected += 1;
+            }
+        }
+        detected as f64 / self.truth.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use as_topology::TopologyBuilder;
+    use bgp_sim::{Simulator, StreamConfig};
+
+    #[test]
+    fn full_vp_coverage_detects_every_hijack() {
+        let topo = TopologyBuilder::artificial(200, 5).build();
+        let all: Vec<u32> = (0..topo.num_ases() as u32).collect();
+        let victims: Vec<u32> = (0..50u32).collect();
+        let c = static_detection(&topo, &all, &victims, 1, 1);
+        // the attacker's own AS hosts a VP, so every hijack is visible
+        assert_eq!(c.detected, c.total);
+    }
+
+    #[test]
+    fn sparse_coverage_misses_hijacks() {
+        let topo = TopologyBuilder::artificial(400, 6).build();
+        let few: Vec<u32> = vec![7, 99, 256];
+        let victims: Vec<u32> = (0..80u32).collect();
+        let c = static_detection(&topo, &few, &victims, 1, 2);
+        assert!(c.rate() < 1.0, "3 VPs cannot see every Type-1 hijack");
+        assert!(c.rate() > 0.0);
+    }
+
+    #[test]
+    fn type2_less_visible_than_type1() {
+        let topo = TopologyBuilder::artificial(400, 7).build();
+        let vps: Vec<u32> = (0..20u32).map(|i| i * 19 % 400).collect();
+        let victims: Vec<u32> = (0..100u32).map(|i| (i * 3) % 400).collect();
+        let t1 = static_detection(&topo, &vps, &victims, 1, 3).rate();
+        let t2 = static_detection(&topo, &vps, &victims, 2, 3).rate();
+        assert!(
+            t2 <= t1 + 0.05,
+            "Type-2 ({t2}) should not be more visible than Type-1 ({t1})"
+        );
+    }
+
+    #[test]
+    fn stream_scoring_matches_event_log() {
+        let topo = TopologyBuilder::artificial(120, 5).build();
+        let mut sim = Simulator::new(&topo);
+        let vps = topo.pick_vps(1.0, 3);
+        let s = sim.synthesize_stream(
+            &vps,
+            StreamConfig::default()
+                .events(10)
+                .seed(81)
+                .weights([0.0, 1.0, 0.0, 0.0]),
+        );
+        let uc = HijackDetection::new(&s);
+        assert!(uc.truth_size() > 0);
+        let all: Vec<usize> = (0..s.updates.len()).collect();
+        let full = uc.score(&s, &all);
+        assert!(full > 0.0, "full coverage must catch some hijack");
+        assert_eq!(uc.score(&s, &[]), 0.0);
+        assert!(uc.score(&s, &all[..all.len() / 2]) <= full + 1e-9);
+    }
+}

@@ -1,0 +1,41 @@
+//! Canonical BGP analyses used to evaluate sampling quality.
+//!
+//! The five §10 use cases (each exercising a different BGP attribute):
+//!
+//! * [`transient`] — I: transient paths (needs the *time*),
+//! * [`moas`] — II: MOAS prefixes (needs the *prefix*),
+//! * [`topomap`] — III: AS topology mapping (needs the *AS path*),
+//! * [`action_comms`] — IV: action communities (needs *communities*),
+//! * [`unchanged`] — V: unchanged-path updates (needs *communities*).
+//!
+//! Plus the §3/§11 simulation analyses ([`hijack`], [`failloc`],
+//! [`topomap::static_link_coverage`]) and the §12 replications
+//! ([`asrel`], [`dfoh`]).
+//!
+//! Every Table-2 evaluator follows the same shape: build the ground truth
+//! from the full stream (`new`), then `score(stream, sample)` returns the
+//! fraction of ground-truth events still detectable from the sampled
+//! update indices.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod action_comms;
+pub mod asrel;
+pub mod dfoh;
+pub mod failloc;
+pub mod hijack;
+pub mod moas;
+pub mod topomap;
+pub mod transient;
+pub mod unchanged;
+
+pub use action_comms::ActionCommunities;
+pub use asrel::{ccs_accuracy, infer_relationships, validate, InferredRel};
+pub use dfoh::{evaluate as dfoh_evaluate, DfohResult};
+pub use failloc::{static_campaign, FailureLocalization, FaillocCampaign};
+pub use hijack::{static_detection, HijackCampaign, HijackDetection};
+pub use moas::MoasDetection;
+pub use topomap::{static_link_coverage, TopologyMapping};
+pub use transient::TransientPaths;
+pub use unchanged::UnchangedPath;

@@ -1,0 +1,145 @@
+//! Use case III — AS topology mapping (§10, §3, §11).
+//!
+//! Counts the distinct AS-level adjacencies visible in the collected data.
+//! The §3/§11 simulations additionally split observed links by relationship
+//! (p2p links propagate less and are the hard case).
+
+use as_topology::{Relationship, Topology};
+use bgp_sim::routing::{compute_routes, SourceAnnouncement};
+use bgp_sim::UpdateStream;
+use bgp_types::Link;
+use std::collections::HashSet;
+
+/// Undirected links visible in the sampled updates.
+pub fn observed_links(stream: &UpdateStream, indices: &[usize]) -> HashSet<Link> {
+    let mut out = HashSet::new();
+    for &i in indices {
+        for l in stream.updates[i].path.undirected_links() {
+            out.insert(l);
+        }
+    }
+    out
+}
+
+/// The Table-2 evaluator: fraction of the links visible in the full stream
+/// that the sample still covers.
+pub struct TopologyMapping {
+    truth: HashSet<Link>,
+}
+
+impl TopologyMapping {
+    /// Ground truth: links visible in the full stream.
+    pub fn new(stream: &UpdateStream) -> Self {
+        let all: Vec<usize> = (0..stream.updates.len()).collect();
+        TopologyMapping {
+            truth: observed_links(stream, &all),
+        }
+    }
+
+    /// Number of ground-truth links.
+    pub fn truth_size(&self) -> usize {
+        self.truth.len()
+    }
+
+    /// Coverage score in `[0, 1]`.
+    pub fn score(&self, stream: &UpdateStream, sample: &[usize]) -> f64 {
+        if self.truth.is_empty() {
+            return 1.0;
+        }
+        let found = observed_links(stream, sample);
+        self.truth.intersection(&found).count() as f64 / self.truth.len() as f64
+    }
+}
+
+/// §3/§11 static analysis: the fraction of p2p and c2p links of `topo`
+/// visible in the best routes collected by `vps` (every AS announcing one
+/// prefix). Returns `(p2p_coverage, c2p_coverage)`.
+pub fn static_link_coverage(topo: &Topology, vp_nodes: &[u32]) -> (f64, f64) {
+    let mut seen: HashSet<(u32, u32)> = HashSet::new();
+    let failed = HashSet::new();
+    for origin in 0..topo.num_ases() as u32 {
+        let table = compute_routes(topo, &[SourceAnnouncement::origin(origin)], &failed);
+        for &v in vp_nodes {
+            if let Some(path) = table.path(v) {
+                for w in path.windows(2) {
+                    let (a, b) = (w[0].min(w[1]), w[0].max(w[1]));
+                    seen.insert((a, b));
+                }
+            }
+        }
+    }
+    let mut p2p_total = 0usize;
+    let mut p2p_seen = 0usize;
+    let mut c2p_total = 0usize;
+    let mut c2p_seen = 0usize;
+    for l in topo.links() {
+        let key = (l.a.min(l.b), l.a.max(l.b));
+        match l.rel {
+            Relationship::P2p => {
+                p2p_total += 1;
+                if seen.contains(&key) {
+                    p2p_seen += 1;
+                }
+            }
+            Relationship::C2p => {
+                c2p_total += 1;
+                if seen.contains(&key) {
+                    c2p_seen += 1;
+                }
+            }
+        }
+    }
+    (
+        if p2p_total == 0 { 1.0 } else { p2p_seen as f64 / p2p_total as f64 },
+        if c2p_total == 0 { 1.0 } else { c2p_seen as f64 / c2p_total as f64 },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use as_topology::TopologyBuilder;
+    use bgp_sim::{Simulator, StreamConfig};
+
+    #[test]
+    fn stream_based_scores_monotone() {
+        let topo = TopologyBuilder::artificial(120, 5).build();
+        let mut sim = Simulator::new(&topo);
+        let vps = topo.pick_vps(0.4, 3);
+        let s = sim.synthesize_stream(&vps, StreamConfig::default().events(30).seed(51));
+        let uc = TopologyMapping::new(&s);
+        assert!(uc.truth_size() > 0);
+        let all: Vec<usize> = (0..s.updates.len()).collect();
+        assert!((uc.score(&s, &all) - 1.0).abs() < 1e-9);
+        assert_eq!(uc.score(&s, &[]), 0.0);
+        let half: Vec<usize> = all.iter().copied().step_by(2).collect();
+        let sh = uc.score(&s, &half);
+        assert!(sh <= 1.0 && sh >= 0.0);
+    }
+
+    #[test]
+    fn full_coverage_sees_all_c2p_links() {
+        let topo = TopologyBuilder::artificial(150, 7).build();
+        let all: Vec<u32> = (0..topo.num_ases() as u32).collect();
+        let (p2p, c2p) = static_link_coverage(&topo, &all);
+        // With a VP in every AS, every link that BGP uses at all is seen.
+        assert!(c2p > 0.95, "c2p coverage {c2p}");
+        assert!(p2p > 0.9, "p2p coverage {p2p}");
+    }
+
+    #[test]
+    fn low_coverage_misses_p2p_links_most() {
+        let topo = TopologyBuilder::artificial(300, 8).build();
+        let few: Vec<u32> = (0..3u32).map(|i| i * 97 % 300).collect();
+        let (p2p_few, c2p_few) = static_link_coverage(&topo, &few);
+        let all: Vec<u32> = (0..topo.num_ases() as u32).collect();
+        let (p2p_all, c2p_all) = static_link_coverage(&topo, &all);
+        assert!(p2p_few < p2p_all);
+        assert!(c2p_few <= c2p_all + 1e-12);
+        // the paper's key asymmetry: p2p links are the hard case
+        assert!(
+            p2p_few < c2p_few,
+            "p2p ({p2p_few}) should be harder to observe than c2p ({c2p_few})"
+        );
+    }
+}

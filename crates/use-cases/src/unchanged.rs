@@ -1,0 +1,156 @@
+//! Use case V — unchanged-path updates detection (§10).
+//!
+//! Unchanged-path updates signal a change in community values without a
+//! change in AS path. Detecting one requires knowing the VP's current
+//! route, so the evaluator replays each `(VP, prefix)` state from the
+//! window-start RIBs: an update is detected as unchanged-path if its path
+//! equals the replayed state and its communities differ.
+
+use bgp_sim::UpdateStream;
+use bgp_types::{AsPath, Asn, Community, Prefix, VpId};
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+/// An unchanged-path event: the origin AS that re-tagged its announcements
+/// and the new community values *in the origin's own namespace* (transit
+/// tags vary per path, so they are not part of the event identity).
+/// Event-keyed — one origin re-tagging its address space is one event no
+/// matter how many prefixes and VPs echo it, and recognizing it from any
+/// single retained observation detects it.
+pub type UnchangedKey = (Asn, BTreeSet<Community>);
+
+/// Detects unchanged-path events among the updates selected by `indices`
+/// (sorted): replaying the sampled data per (VP, prefix) from the
+/// window-start RIBs, an update whose path equals the replayed state but
+/// whose communities differ is an unchanged-path update.
+pub fn detect(stream: &UpdateStream, indices: &[usize]) -> HashSet<UnchangedKey> {
+    detect_indices(stream, indices)
+        .into_iter()
+        .filter_map(|i| {
+            let u = &stream.updates[i];
+            u.path.origin().map(|o| {
+                let own: BTreeSet<Community> = u
+                    .communities
+                    .iter()
+                    .copied()
+                    .filter(|c| {
+                        // communities in the origin's namespace (the
+                        // simulator maps origins into 16-bit space)
+                        c.asn_part() as u32 == o.value() % 60_000
+                            || c.asn_part() as u32 == (o.value() - 1) % 60_000 + 1
+                    })
+                    .collect();
+                (o, own)
+            })
+        })
+        .collect()
+}
+
+/// The raw per-update detection (indices into `stream.updates`).
+pub fn detect_indices(stream: &UpdateStream, indices: &[usize]) -> HashSet<usize> {
+    let mut state: HashMap<(VpId, Prefix), (AsPath, BTreeSet<Community>)> = HashMap::new();
+    // seed from initial RIBs
+    for (vp, rib) in &stream.initial_ribs {
+        for (prefix, entry) in rib.iter() {
+            state.insert((*vp, *prefix), (entry.path.clone(), entry.communities.clone()));
+        }
+    }
+    let mut out = HashSet::new();
+    for &i in indices {
+        let u = &stream.updates[i];
+        let key = (u.vp, u.prefix);
+        if u.is_announce() {
+            if let Some((path, comms)) = state.get(&key) {
+                if *path == u.path && *comms != u.communities {
+                    out.insert(i);
+                }
+            }
+            state.insert(key, (u.path.clone(), u.communities.clone()));
+        } else {
+            state.remove(&key);
+        }
+    }
+    out
+}
+
+/// The Table-2 evaluator for unchanged-path updates.
+pub struct UnchangedPath {
+    truth: HashSet<UnchangedKey>,
+}
+
+impl UnchangedPath {
+    /// Ground truth: unchanged-path updates in the full stream.
+    pub fn new(stream: &UpdateStream) -> Self {
+        let all: Vec<usize> = (0..stream.updates.len()).collect();
+        UnchangedPath {
+            truth: detect(stream, &all),
+        }
+    }
+
+    /// Number of ground-truth unchanged-path updates.
+    pub fn truth_size(&self) -> usize {
+        self.truth.len()
+    }
+
+    /// Fraction of ground-truth unchanged-path updates correctly detected
+    /// from the sample (an update counts only if the sample both contains
+    /// it and has the state to recognize it).
+    pub fn score(&self, stream: &UpdateStream, sample: &[usize]) -> f64 {
+        if self.truth.is_empty() {
+            return 1.0;
+        }
+        let found = detect(stream, sample);
+        self.truth.intersection(&found).count() as f64 / self.truth.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use as_topology::TopologyBuilder;
+    use bgp_sim::{Simulator, StreamConfig};
+
+    fn stream() -> UpdateStream {
+        let topo = TopologyBuilder::artificial(120, 5).build();
+        let mut sim = Simulator::new(&topo);
+        let vps = topo.pick_vps(0.4, 3);
+        sim.synthesize_stream(
+            &vps,
+            StreamConfig::default()
+                .events(25)
+                .seed(71)
+                .weights([0.2, 0.0, 0.0, 0.8]),
+        )
+    }
+
+    #[test]
+    fn community_changes_yield_unchanged_path_updates() {
+        let s = stream();
+        let uc = UnchangedPath::new(&s);
+        assert!(uc.truth_size() > 0, "no unchanged-path updates produced");
+        let all: Vec<usize> = (0..s.updates.len()).collect();
+        assert!((uc.score(&s, &all) - 1.0).abs() < 1e-9);
+        assert_eq!(uc.score(&s, &[]), 0.0);
+    }
+
+    #[test]
+    fn detected_updates_really_keep_the_path() {
+        let s = stream();
+        let all: Vec<usize> = (0..s.updates.len()).collect();
+        let found = detect_indices(&s, &all);
+        for &i in &found {
+            assert!(s.updates[i].withdrawn_links.is_empty());
+            assert!(s.updates[i].is_announce());
+        }
+    }
+
+    #[test]
+    fn sampling_away_context_loses_detections() {
+        let s = stream();
+        let uc = UnchangedPath::new(&s);
+        // Keep only every third update: both the update itself and its
+        // state context may be missing.
+        let third: Vec<usize> = (0..s.updates.len()).step_by(3).collect();
+        let sc = uc.score(&s, &third);
+        assert!(sc < 1.0);
+    }
+}

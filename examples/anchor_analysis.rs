@@ -1,0 +1,86 @@
+//! Anchor-VP deep dive: how component #2 turns detected routing events
+//! into pairwise redundancy scores and a volume-aware anchor selection
+//! (§18), ending with the published filter file (§9).
+//!
+//! Run with: `cargo run --example anchor_analysis --release`
+
+use gill::core::{
+    category_matrix, detect_events, greedy_select, redundancy_scores, stratify_events,
+    AnchorConfig,
+};
+use gill::prelude::*;
+use std::collections::HashMap;
+
+fn main() {
+    let topo = TopologyBuilder::artificial(300, 42).build();
+    let cats: HashMap<Asn, AsCategory> = {
+        let c = gill::topology::categories::classify(&topo);
+        (0..topo.num_ases() as u32)
+            .map(|u| (topo.asn(u), c[u as usize]))
+            .collect()
+    };
+    let vps = topo.pick_vps(0.2, 7);
+    let mut sim = Simulator::new(&topo);
+    let stream = sim.synthesize_stream(&vps, StreamConfig::default().events(100).seed(1));
+    println!("{} VPs, {} updates", vps.len(), stream.updates.len());
+
+    // Step 1: detect and stratify events.
+    let events = detect_events(&stream.updates, &stream.initial_ribs, vps.len(), 300_000);
+    let selected = stratify_events(&events, &cats, vps.len(), 10, 0.5);
+    println!(
+        "detected {} candidate events → {} after balanced stratification",
+        events.len(),
+        selected.len()
+    );
+    let m = category_matrix(&selected, &cats);
+    println!("category-pair shares (Stub..Tier-1):");
+    for row in &m {
+        println!(
+            "  {}",
+            row.iter()
+                .map(|v| format!("{v:.2}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        );
+    }
+
+    // Steps 2–3: feature deltas → pairwise redundancy scores.
+    let scores = redundancy_scores(&selected, &stream.updates, &stream.initial_ribs, &vps, 2);
+    let mut vals: Vec<f64> = scores.values().copied().collect();
+    vals.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let q = |p: f64| vals[((vals.len() - 1) as f64 * p) as usize];
+    println!(
+        "redundancy scores over {} pairs: p10 {:.3}, median {:.3}, p90 {:.3}",
+        vals.len(),
+        q(0.1),
+        q(0.5),
+        q(0.9)
+    );
+
+    // Step 4: greedy, volume-aware selection.
+    let mut volumes: HashMap<VpId, usize> = HashMap::new();
+    for u in &stream.updates {
+        *volumes.entry(u.vp).or_insert(0) += 1;
+    }
+    let anchors = greedy_select(&vps, &scores, &volumes, &AnchorConfig::default());
+    println!(
+        "selected {} anchors out of {} VPs ({:.0}%):",
+        anchors.len(),
+        vps.len(),
+        anchors.len() as f64 / vps.len() as f64 * 100.0
+    );
+    for a in &anchors {
+        println!("  {a}  (volume {})", volumes.get(a).copied().unwrap_or(0));
+    }
+
+    // The artifacts GILL publishes (§9): the filter file.
+    let analysis = GillAnalysis::run_with_categories(&stream, &cats, &GillConfig::default());
+    let text = analysis.filter_set().to_text().expect("coarse filters");
+    let preview: Vec<&str> = text.lines().take(8).collect();
+    println!(
+        "\npublished filter file: {} lines; first {}:\n{}",
+        text.lines().count(),
+        preview.len(),
+        preview.join("\n")
+    );
+}

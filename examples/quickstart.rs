@@ -1,0 +1,62 @@
+//! Quickstart: generate a mini Internet, synthesize BGP updates, run
+//! GILL's redundancy analysis, and filter a fresh collection window.
+//!
+//! Run with: `cargo run --example quickstart --release`
+
+use gill::prelude::*;
+use std::collections::HashMap;
+
+fn main() {
+    // 1. A 300-AS artificial topology with the paper's statistical shape
+    //    (power-law degree ~2.1, average degree ~6.1, 3 meshed Tier-1s).
+    let topo = TopologyBuilder::artificial(300, 42).build();
+    println!(
+        "topology: {} ASes, {} links, avg degree {:.1}",
+        topo.num_ases(),
+        topo.num_links(),
+        topo.avg_degree()
+    );
+
+    // 2. 20% of ASes host a vantage point; synthesize one training hour.
+    let vps = topo.pick_vps(0.20, 7);
+    let mut sim = Simulator::new(&topo);
+    let train = sim.synthesize_stream(&vps, StreamConfig::default().events(80).seed(1));
+    println!(
+        "training window: {} VPs, {} events, {} updates",
+        vps.len(),
+        train.events.len(),
+        train.updates.len()
+    );
+
+    // 3. Run GILL: component #1 (redundant updates) + component #2
+    //    (anchor VPs), then generate (VP, prefix) filters.
+    let categories: HashMap<Asn, AsCategory> = {
+        let cats = gill::topology::categories::classify(&topo);
+        (0..topo.num_ases() as u32)
+            .map(|u| (topo.asn(u), cats[u as usize]))
+            .collect()
+    };
+    let analysis = GillAnalysis::run_with_categories(&train, &categories, &GillConfig::default());
+    println!(
+        "component #1: {:.0}% of training updates classified redundant",
+        analysis.component1.redundant_fraction() * 100.0
+    );
+    println!(
+        "component #2: {} anchor VPs out of {} (scored over {} events)",
+        analysis.component2.anchors.len(),
+        vps.len(),
+        analysis.component2.events_used
+    );
+    let filters = analysis.filter_set();
+    println!("generated {} drop rules + {} anchor accept-alls", filters.num_rules(), analysis.component2.anchors.len());
+
+    // 4. Apply the filters to a *future* window: the overshoot-and-discard
+    //    collection path.
+    let fresh = sim.synthesize_stream(&vps, StreamConfig::default().events(80).seed(2));
+    let kept = fresh.updates.iter().filter(|u| filters.accepts(u)).count();
+    println!(
+        "fresh window: kept {kept}/{} updates ({:.0}% discarded at the session)",
+        fresh.updates.len(),
+        (1.0 - kept as f64 / fresh.updates.len() as f64) * 100.0
+    );
+}

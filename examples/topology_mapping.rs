@@ -1,0 +1,50 @@
+//! Topology mapping: how many p2p / c2p AS links are observable from a
+//! growing VP deployment (§3.1, bottom panel of Fig. 4), and what GILL's
+//! sampling preserves compared to random sampling at the same budget.
+//!
+//! Run with: `cargo run --example topology_mapping --release`
+
+use gill::prelude::*;
+use gill::sampling::{GillSampler, GillVariant, RandomVps, Sampler};
+use gill::use_cases::topomap::{static_link_coverage, TopologyMapping};
+use std::collections::HashMap;
+
+fn main() {
+    let topo = TopologyBuilder::artificial(500, 17).build();
+
+    println!("AS-link visibility vs coverage (500-AS artificial topology):");
+    println!("{:>10} {:>10} {:>10}", "coverage", "p2p links", "c2p links");
+    for coverage in [0.01, 0.02, 0.10, 0.50, 1.0] {
+        let vps = topo.pick_vps(coverage, 5);
+        let nodes: Vec<u32> = vps.iter().filter_map(|v| topo.index_of(v.asn)).collect();
+        let (p2p, c2p) = static_link_coverage(&topo, &nodes);
+        println!(
+            "{:>9.0}% {:>9.0}% {:>9.0}%",
+            coverage * 100.0,
+            p2p * 100.0,
+            c2p * 100.0
+        );
+    }
+
+    // --- GILL vs random at equal budget ---------------------------------
+    let vps = topo.pick_vps(0.3, 5);
+    let mut sim = Simulator::new(&topo);
+    let train = sim.synthesize_stream(&vps, StreamConfig::default().events(80).seed(31));
+    let eval = sim.synthesize_stream(&vps, StreamConfig::default().events(80).seed(32));
+    let categories: HashMap<Asn, AsCategory> = {
+        let cats = gill::topology::categories::classify(&topo);
+        (0..topo.num_ases() as u32)
+            .map(|u| (topo.asn(u), cats[u as usize]))
+            .collect()
+    };
+    let gill = GillSampler::train(&train, &categories, &GillConfig::default(), GillVariant::Full);
+    let budget = gill.sample(&eval, usize::MAX, 1).len();
+    let uc = TopologyMapping::new(&eval);
+    let g = uc.score(&eval, &gill.sample(&eval, budget, 1));
+    let r = uc.score(&eval, &RandomVps.sample(&eval, budget, 1));
+    println!(
+        "\nlink coverage at equal budget ({budget} updates): GILL {:.0}% vs Rnd.-VP {:.0}%",
+        g * 100.0,
+        r * 100.0
+    );
+}

@@ -1,0 +1,101 @@
+//! `gill-collectord` — run the collection platform: accept BGP peers over
+//! TCP, apply filters, archive retained updates as MRT (§8–§9).
+//!
+//! ```sh
+//! gill-collectord --listen 127.0.0.1:1790 --filters filters.txt \
+//!                 --archive collected.mrt --duration 60
+//! ```
+//!
+//! Runs for `--duration` seconds (0 = until killed is not supported in
+//! this offline build; use a large value), then drains the queue, writes
+//! the archive, and prints the session counters.
+
+use gill::collector::{DaemonConfig, DaemonPool, MrtStorage, Storage};
+use gill::core::FilterSet;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Duration;
+
+fn run() -> Result<(), String> {
+    let args = gill::cli::Args::parse()?;
+    let listen = args
+        .optional("listen")
+        .unwrap_or_else(|| "127.0.0.1:1790".into());
+    let duration: u64 = args.num("duration", 60)?;
+    let queue: usize = args.num("queue", 65536)?;
+    let local_asn: u32 = args.num("local-asn", 65535)?;
+    let archive = PathBuf::from(
+        args.optional("archive")
+            .unwrap_or_else(|| "collected.mrt".into()),
+    );
+    let filters = match args.optional("filters") {
+        Some(p) => {
+            let text = std::fs::read_to_string(&p).map_err(|e| e.to_string())?;
+            let f = FilterSet::from_text(&text)?;
+            eprintln!("loaded {} drop rules from {p}", f.num_rules());
+            f
+        }
+        None => FilterSet::default(),
+    };
+
+    let mut pool = DaemonPool::start(
+        &listen,
+        DaemonConfig {
+            local_asn,
+            queue_capacity: queue,
+            ..DaemonConfig::default()
+        },
+    )
+    .map_err(|e| e.to_string())?;
+    pool.install_filters(filters);
+    eprintln!(
+        "collector AS{local_asn} listening on {} for {duration}s",
+        pool.local_addr()
+    );
+
+    let file = std::fs::File::create(&archive).map_err(|e| e.to_string())?;
+    let storage = MrtStorage::new(std::io::BufWriter::new(file), local_asn);
+    // drain concurrently for the configured duration
+    let storage = std::thread::scope(|s| {
+        let pool_ref = &pool;
+        let drain = s.spawn(move || {
+            let mut st = storage;
+            pool_ref.drain_into(&mut st);
+            st
+        });
+        std::thread::sleep(Duration::from_secs(duration));
+        pool_ref.request_stop();
+        drain.join().expect("storage thread")
+    });
+    pool.stop();
+
+    let stats = pool.stats();
+    let load = |c: &std::sync::atomic::AtomicUsize| c.load(std::sync::atomic::Ordering::Relaxed);
+    println!(
+        "received {} | filtered {} | retained {} | lost {}",
+        load(&stats.received),
+        load(&stats.filtered),
+        load(&stats.retained),
+        load(&stats.lost),
+    );
+    let written = storage.stored();
+    storage
+        .into_inner()
+        .map_err(|e| e.to_string())?;
+    println!("archived {written} records to {}", archive.display());
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!(
+                "usage: gill-collectord [--listen ADDR] [--filters filters.txt] \
+                 [--archive out.mrt] [--duration SECS] [--queue N] [--local-asn N]"
+            );
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! `gill-replay` — apply a published filter file to an archived MRT stream
+//! offline: what users with limited resources do with GILL's artifacts
+//! (§9 — "help users find which bits of data they should process").
+//!
+//! ```sh
+//! gill-replay --updates updates.mrt --filters filters.txt --out kept.mrt
+//! ```
+
+use gill::cli::{read_updates_mrt, write_updates_mrt, Args};
+use gill::core::FilterSet;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn run() -> Result<(), String> {
+    let args = Args::parse()?;
+    let updates_path = PathBuf::from(args.required("updates")?);
+    let filters_path = PathBuf::from(args.required("filters")?);
+    let out = args.optional("out").map(PathBuf::from);
+
+    let updates = read_updates_mrt(&updates_path).map_err(|e| e.to_string())?;
+    let text = std::fs::read_to_string(&filters_path).map_err(|e| e.to_string())?;
+    let filters = FilterSet::from_text(&text)?;
+    let kept: Vec<_> = updates
+        .iter()
+        .filter(|u| filters.accepts(u))
+        .cloned()
+        .collect();
+    println!(
+        "{} of {} updates pass the filters ({:.1}% discarded)",
+        kept.len(),
+        updates.len(),
+        (1.0 - kept.len() as f64 / updates.len().max(1) as f64) * 100.0
+    );
+    if let Some(p) = out {
+        let n = write_updates_mrt(&p, &kept).map_err(|e| e.to_string())?;
+        println!("wrote {n} records to {}", p.display());
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("usage: gill-replay --updates updates.mrt --filters filters.txt [--out kept.mrt]");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,167 @@
+//! Shared plumbing for the `gill-*` command-line tools.
+//!
+//! Hand-rolled flag parsing (the tools only need `--key value` pairs) and
+//! MRT stream helpers shared by `gill-simulate`, `gill-analyze`,
+//! `gill-replay` and `gill-collectord`.
+
+use crate::types::{Asn, BgpUpdate, Rib, Timestamp, VpId};
+use crate::wire::{BgpMessage, MrtReader, MrtRecord, MrtWriter, UpdateMessage};
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+use std::path::Path;
+
+/// Minimal `--key value` argument parser.
+pub struct Args {
+    map: HashMap<String, String>,
+    program: String,
+}
+
+impl Args {
+    /// Parses `std::env::args()`. Flags must come in `--key value` pairs.
+    pub fn parse() -> Result<Args, String> {
+        let mut it = std::env::args();
+        let program = it.next().unwrap_or_else(|| "gill".into());
+        let mut map = HashMap::new();
+        while let Some(k) = it.next() {
+            let key = k
+                .strip_prefix("--")
+                .ok_or_else(|| format!("expected --flag, got {k:?}"))?;
+            let v = it.next().ok_or_else(|| format!("--{key} needs a value"))?;
+            map.insert(key.to_string(), v);
+        }
+        Ok(Args { map, program })
+    }
+
+    /// The binary name.
+    pub fn program(&self) -> &str {
+        &self.program
+    }
+
+    /// A required string flag.
+    pub fn required(&self, key: &str) -> Result<String, String> {
+        self.map
+            .get(key)
+            .cloned()
+            .ok_or_else(|| format!("missing required flag --{key}"))
+    }
+
+    /// An optional string flag.
+    pub fn optional(&self, key: &str) -> Option<String> {
+        self.map.get(key).cloned()
+    }
+
+    /// A numeric flag with a default.
+    pub fn num<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.map.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("--{key}: bad value {v:?}")),
+        }
+    }
+}
+
+/// Writes an update stream as MRT BGP4MP_MESSAGE_AS4 records.
+pub fn write_updates_mrt(path: &Path, updates: &[BgpUpdate]) -> std::io::Result<usize> {
+    let file = std::fs::File::create(path)?;
+    let mut w = MrtWriter::new(std::io::BufWriter::new(file));
+    for u in updates {
+        let msg = UpdateMessage::from_domain(u)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+        w.write_record(&MrtRecord {
+            time: u.time,
+            peer_as: u.vp.asn,
+            local_as: Asn(65535),
+            peer_ip: Ipv4Addr::new(10, 255, 0, 1),
+            local_ip: Ipv4Addr::new(10, 255, 0, 254),
+            message: BgpMessage::Update(msg),
+        })?;
+    }
+    let n = w.records_written();
+    w.into_inner()?;
+    Ok(n)
+}
+
+/// Reads an update stream back from an MRT file.
+pub fn read_updates_mrt(path: &Path) -> std::io::Result<Vec<BgpUpdate>> {
+    let file = std::fs::File::open(path)?;
+    let mut r = MrtReader::new(std::io::BufReader::new(file));
+    let mut out = Vec::new();
+    loop {
+        match r.next_record() {
+            Ok(Some(rec)) => {
+                if let BgpMessage::Update(u) = rec.message {
+                    out.extend(u.to_domain(VpId::from_asn(rec.peer_as), rec.time));
+                }
+            }
+            Ok(None) => break,
+            Err(e) => {
+                return Err(std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Writes per-VP RIBs as a TABLE_DUMP_V2 snapshot.
+pub fn write_ribs_mrt(
+    path: &Path,
+    ribs: &HashMap<VpId, Rib>,
+    at: Timestamp,
+) -> std::io::Result<usize> {
+    let dump = crate::wire::TableDump::from_ribs(ribs.iter());
+    let file = std::fs::File::create(path)?;
+    let mut w = std::io::BufWriter::new(file);
+    dump.write_mrt(&mut w, at)
+}
+
+/// Reads a TABLE_DUMP_V2 snapshot into per-VP RIBs.
+pub fn read_ribs_mrt(path: &Path) -> std::io::Result<HashMap<VpId, Rib>> {
+    let bytes = std::fs::read(path)?;
+    let dump = crate::wire::TableDump::read_mrt(&bytes)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+    Ok(dump.to_ribs().into_iter().collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prelude::*;
+
+    #[test]
+    fn updates_mrt_file_roundtrip() {
+        let topo = TopologyBuilder::artificial(80, 5).build();
+        let mut sim = Simulator::new(&topo);
+        let vps = topo.pick_vps(0.2, 3);
+        let s = sim.synthesize_stream(&vps, StreamConfig::default().events(15).seed(1));
+        let dir = std::env::temp_dir().join("gill-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("updates.mrt");
+        let n = write_updates_mrt(&path, &s.updates).unwrap();
+        assert_eq!(n, s.updates.len());
+        let back = read_updates_mrt(&path).unwrap();
+        assert_eq!(back.len(), s.updates.len());
+        for (a, b) in back.iter().zip(&s.updates) {
+            assert_eq!(a.prefix, b.prefix);
+            assert_eq!(a.path, b.path);
+            assert_eq!(a.vp, b.vp);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn ribs_mrt_file_roundtrip() {
+        let topo = TopologyBuilder::artificial(60, 6).build();
+        let sim = Simulator::new(&topo);
+        let vps = topo.pick_vps(0.1, 3);
+        let ribs = sim.rib_snapshot(&vps, Timestamp::from_secs(5));
+        let dir = std::env::temp_dir().join("gill-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ribs.mrt");
+        write_ribs_mrt(&path, &ribs, Timestamp::from_secs(5)).unwrap();
+        let back = read_ribs_mrt(&path).unwrap();
+        assert_eq!(back.len(), ribs.len());
+        for (vp, rib) in &ribs {
+            assert_eq!(back[vp].len(), rib.len());
+        }
+        std::fs::remove_file(&path).ok();
+    }
+}

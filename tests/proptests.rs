@@ -1,0 +1,417 @@
+//! Property-based tests on the core data structures and invariants.
+
+use gill::prelude::*;
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+
+// ---------------------------------------------------------------------------
+// Prefix properties
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn prefix_parse_display_roundtrip(a in any::<u32>(), len in 0u8..=32) {
+        let p = Prefix::v4(Ipv4Addr::from(a), len);
+        let s = p.to_string();
+        let q: Prefix = s.parse().unwrap();
+        prop_assert_eq!(p, q);
+    }
+
+    #[test]
+    fn prefix_masking_is_idempotent(a in any::<u32>(), len in 0u8..=32) {
+        let p = Prefix::v4(Ipv4Addr::from(a), len);
+        let q = match p.addr() {
+            std::net::IpAddr::V4(v4) => Prefix::v4(v4, len),
+            _ => unreachable!(),
+        };
+        prop_assert_eq!(p, q);
+    }
+
+    #[test]
+    fn covers_is_reflexive_and_antisymmetric_up_to_equality(
+        a in any::<u32>(), la in 0u8..=32,
+        b in any::<u32>(), lb in 0u8..=32,
+    ) {
+        let p = Prefix::v4(Ipv4Addr::from(a), la);
+        let q = Prefix::v4(Ipv4Addr::from(b), lb);
+        prop_assert!(p.covers(&p));
+        if p.covers(&q) && q.covers(&p) {
+            prop_assert_eq!(p, q);
+        }
+        // covers implies overlap, symmetric
+        prop_assert_eq!(p.overlaps(&q), q.overlaps(&p));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// AS path properties
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn path_links_count_bounded_by_hops(hops in proptest::collection::vec(1u32..10_000, 0..12)) {
+        let p = AsPath::from_u32s(hops.clone());
+        prop_assert!(p.links().len() <= hops.len().saturating_sub(1));
+        prop_assert_eq!(p.hop_count(), hops.len());
+        prop_assert!(p.unique_len() <= p.hop_count());
+    }
+
+    #[test]
+    fn prepend_preserves_suffix(hops in proptest::collection::vec(1u32..10_000, 1..10), new_as in 1u32..10_000) {
+        let p = AsPath::from_u32s(hops);
+        let q = p.prepend(Asn(new_as));
+        prop_assert_eq!(q.first_hop(), Some(Asn(new_as)));
+        prop_assert_eq!(q.origin(), p.origin());
+        prop_assert_eq!(q.hop_count(), p.hop_count() + 1);
+        // every link of p is still in q
+        for l in p.links() {
+            prop_assert!(q.links().contains(&l));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Wire codec properties
+// ---------------------------------------------------------------------------
+
+fn arb_update() -> impl Strategy<Value = BgpUpdate> {
+    (
+        1u32..100_000,                                   // vp asn
+        0u64..10_000,                                    // time secs
+        any::<u32>(),                                    // prefix bits
+        0u8..=32,                                        // prefix len
+        proptest::collection::vec(1u32..1_000_000, 1..8), // path
+        proptest::collection::vec((0u16..60_000, 0u16..1_000), 0..6),
+        any::<bool>(),                                   // announce?
+    )
+        .prop_map(|(vp, t, bits, len, path, comms, announce)| {
+            let prefix = Prefix::v4(Ipv4Addr::from(bits), len);
+            let vp = VpId::from_asn(Asn(vp));
+            if announce {
+                let mut b = UpdateBuilder::announce(vp, prefix)
+                    .at(Timestamp::from_secs(t))
+                    .path(path);
+                for (a, c) in comms {
+                    b = b.community(a, c);
+                }
+                b.build()
+            } else {
+                UpdateBuilder::withdraw(vp, prefix)
+                    .at(Timestamp::from_secs(t))
+                    .build()
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn wire_update_roundtrip(u in arb_update()) {
+        use gill::wire::{BgpMessage, UpdateMessage};
+        let wire = UpdateMessage::from_domain(&u).unwrap();
+        let bytes = BgpMessage::Update(wire).encode_to_vec().unwrap();
+        let mut buf = bytes::BytesMut::from(&bytes[..]);
+        let BgpMessage::Update(back) = BgpMessage::decode(&mut buf).unwrap().unwrap() else {
+            return Err(TestCaseError::fail("wrong message type"));
+        };
+        let domain = back.to_domain(u.vp, u.time);
+        prop_assert_eq!(domain.len(), 1);
+        prop_assert_eq!(&domain[0].prefix, &u.prefix);
+        prop_assert_eq!(&domain[0].path, &u.path);
+        prop_assert_eq!(&domain[0].communities, &u.communities);
+        prop_assert_eq!(&domain[0].kind, &u.kind);
+    }
+
+    #[test]
+    fn decoder_never_panics_on_mutated_input(u in arb_update(), flip in 0usize..64, bit in 0u8..8) {
+        use gill::wire::{BgpMessage, UpdateMessage};
+        let wire = UpdateMessage::from_domain(&u).unwrap();
+        let mut bytes = BgpMessage::Update(wire).encode_to_vec().unwrap();
+        let idx = flip % bytes.len();
+        bytes[idx] ^= 1 << bit;
+        let mut buf = bytes::BytesMut::from(&bytes[..]);
+        // must not panic; any Result/None outcome is fine
+        let _ = BgpMessage::decode(&mut buf);
+    }
+
+    #[test]
+    fn mrt_record_roundtrip(u in arb_update()) {
+        use gill::wire::{BgpMessage, MrtRecord, UpdateMessage};
+        let rec = MrtRecord {
+            time: u.time,
+            peer_as: u.vp.asn,
+            local_as: Asn(65535),
+            peer_ip: Ipv4Addr::new(10, 0, 0, 2),
+            local_ip: Ipv4Addr::new(10, 0, 0, 1),
+            message: BgpMessage::Update(UpdateMessage::from_domain(&u).unwrap()),
+        };
+        let bytes = rec.encode().unwrap();
+        let (back, used) = MrtRecord::decode(&bytes).unwrap().unwrap();
+        prop_assert_eq!(used, bytes.len());
+        prop_assert_eq!(back.peer_as, rec.peer_as);
+        prop_assert_eq!(back.message, rec.message);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// RIB invariants
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn rib_withdrawn_sets_are_disjoint_from_new_sets(
+        updates in proptest::collection::vec(arb_update(), 1..40)
+    ) {
+        let mut rib = Rib::new();
+        for u in updates {
+            let mut u = u;
+            rib.apply(&mut u);
+            // Lw ∩ L = ∅ and Cw ∩ C = ∅ by construction (§4.2)
+            for l in u.path.links() {
+                prop_assert!(!u.withdrawn_links.contains(&l));
+            }
+            for c in &u.communities {
+                prop_assert!(!u.withdrawn_communities.contains(c));
+            }
+        }
+    }
+
+    #[test]
+    fn rib_size_never_exceeds_distinct_prefixes(
+        updates in proptest::collection::vec(arb_update(), 1..40)
+    ) {
+        let mut rib = Rib::new();
+        let mut prefixes = std::collections::HashSet::new();
+        for u in updates {
+            prefixes.insert(u.prefix);
+            let mut u = u;
+            rib.apply(&mut u);
+            prop_assert!(rib.len() <= prefixes.len());
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Redundancy-definition properties
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn stricter_definitions_imply_looser_ones(a in arb_update(), b in arb_update()) {
+        use gill::core::{is_redundant_with, RedundancyDef};
+        if is_redundant_with(&a, &b, RedundancyDef::Def3) {
+            prop_assert!(is_redundant_with(&a, &b, RedundancyDef::Def2));
+        }
+        if is_redundant_with(&a, &b, RedundancyDef::Def2) {
+            prop_assert!(is_redundant_with(&a, &b, RedundancyDef::Def1));
+        }
+    }
+
+    #[test]
+    fn update_is_always_redundant_with_itself_under_all_defs(a in arb_update()) {
+        use gill::core::{is_redundant_with, RedundancyDef};
+        for def in RedundancyDef::ALL {
+            prop_assert!(is_redundant_with(&a, &a, def));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Filter invariants
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn filters_drop_exactly_the_trained_space(
+        trained in proptest::collection::vec(arb_update(), 1..20),
+        probe in arb_update(),
+    ) {
+        use gill::core::{FilterGranularity, FilterSet};
+        let f = FilterSet::generate([], trained.iter(), FilterGranularity::VpPrefix);
+        let in_space = trained
+            .iter()
+            .any(|t| t.vp == probe.vp && t.prefix == probe.prefix);
+        prop_assert_eq!(!f.accepts(&probe), in_space);
+    }
+
+    #[test]
+    fn anchor_vps_are_never_filtered(
+        trained in proptest::collection::vec(arb_update(), 1..20),
+        probe in arb_update(),
+    ) {
+        use gill::core::{FilterGranularity, FilterSet};
+        let f = FilterSet::generate([probe.vp], trained.iter(), FilterGranularity::VpPrefix);
+        prop_assert!(f.accepts(&probe));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Routing invariants on random topologies
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn routing_reaches_everyone_and_is_loop_free(seed in 0u64..5000, n in 30usize..120) {
+        use gill::sim::{compute_routes, SourceAnnouncement};
+        let topo = TopologyBuilder::artificial(n, seed).build();
+        let origin = (seed % n as u64) as u32;
+        let table = compute_routes(&topo, &[SourceAnnouncement::origin(origin)], &Default::default());
+        for u in 0..n as u32 {
+            let path = table.path(u).expect("Gao-Rexford reaches everyone");
+            prop_assert_eq!(*path.last().unwrap(), origin);
+            prop_assert_eq!(path[0], u);
+            // loop-free
+            let set: std::collections::HashSet<u32> = path.iter().copied().collect();
+            prop_assert_eq!(set.len(), path.len());
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Prefix-trie properties (checked against a naive model)
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn trie_longest_match_agrees_with_naive_scan(
+        entries in proptest::collection::vec((any::<u32>(), 0u8..=32), 1..40),
+        probe_bits in any::<u32>(),
+        probe_len in 0u8..=32,
+    ) {
+        use gill::types::PrefixTrie;
+        let probe = Prefix::v4(std::net::Ipv4Addr::from(probe_bits), probe_len);
+        let mut trie = PrefixTrie::new();
+        let mut model: Vec<(Prefix, usize)> = Vec::new();
+        for (i, (bits, len)) in entries.iter().enumerate() {
+            let p = Prefix::v4(std::net::Ipv4Addr::from(*bits), *len);
+            trie.insert(p, i);
+            model.retain(|(q, _)| q != &p);
+            model.push((p, i));
+        }
+        prop_assert_eq!(trie.len(), model.len());
+        // naive longest match
+        let naive = model
+            .iter()
+            .filter(|(p, _)| p.covers(&probe))
+            .max_by_key(|(p, _)| p.len())
+            .map(|(p, v)| (*p, *v));
+        let got = trie.longest_match(&probe).map(|(p, v)| (*p, *v));
+        prop_assert_eq!(got, naive);
+        // more_specifics agrees with the naive filter
+        let mut naive_subs: Vec<usize> = model
+            .iter()
+            .filter(|(p, _)| probe.covers(p))
+            .map(|(_, v)| *v)
+            .collect();
+        naive_subs.sort_unstable();
+        let mut got_subs: Vec<usize> = trie
+            .more_specifics(&probe)
+            .into_iter()
+            .map(|(_, &v)| v)
+            .collect();
+        got_subs.sort_unstable();
+        prop_assert_eq!(got_subs, naive_subs);
+    }
+
+    #[test]
+    fn filter_text_roundtrip_preserves_semantics(
+        rules in proptest::collection::vec((1u32..100_000, any::<u32>(), 0u8..=32), 0..30),
+        anchors in proptest::collection::vec(1u32..100_000, 0..5),
+        probe in arb_update(),
+    ) {
+        use gill::core::{FilterGranularity, FilterSet};
+        let templates: Vec<BgpUpdate> = rules
+            .iter()
+            .map(|(vp, bits, len)| {
+                UpdateBuilder::announce(
+                    VpId::from_asn(Asn(*vp)),
+                    Prefix::v4(std::net::Ipv4Addr::from(*bits), *len),
+                )
+                .path([*vp, 2])
+                .build()
+            })
+            .collect();
+        let f = FilterSet::generate(
+            anchors.iter().map(|&a| VpId::from_asn(Asn(a))),
+            templates.iter(),
+            FilterGranularity::VpPrefix,
+        );
+        let text = f.to_text().unwrap();
+        let back = FilterSet::from_text(&text).unwrap();
+        prop_assert_eq!(back.num_rules(), f.num_rules());
+        prop_assert_eq!(back.accepts(&probe), f.accepts(&probe));
+        for t in &templates {
+            prop_assert_eq!(back.accepts(t), f.accepts(t));
+        }
+    }
+
+    #[test]
+    fn table_dump_roundtrip(
+        routes in proptest::collection::vec(
+            (1u32..5000, any::<u32>(), 8u8..=28, proptest::collection::vec(1u32..9000, 1..6)),
+            1..25,
+        )
+    ) {
+        use gill::wire::TableDump;
+        use std::collections::BTreeMap;
+        let mut ribs: BTreeMap<VpId, Rib> = BTreeMap::new();
+        for (vp, bits, len, path) in &routes {
+            let vpid = VpId::from_asn(Asn(*vp));
+            let mut u = UpdateBuilder::announce(
+                vpid,
+                Prefix::v4(std::net::Ipv4Addr::from(*bits), *len),
+            )
+            .at(Timestamp::from_secs(7))
+            .path(path.iter().copied())
+            .build();
+            ribs.entry(vpid).or_default().apply(&mut u);
+        }
+        let dump = TableDump::from_ribs(ribs.iter().map(|(k, v)| (k, v)));
+        let mut bytes = Vec::new();
+        dump.write_mrt(&mut bytes, Timestamp::from_secs(7)).unwrap();
+        let back = TableDump::read_mrt(&bytes).unwrap();
+        let ribs2 = back.to_ribs();
+        prop_assert_eq!(ribs2.len(), ribs.len());
+        for (vp, rib) in &ribs {
+            let r2 = &ribs2[vp];
+            prop_assert_eq!(r2.len(), rib.len());
+            for (prefix, entry) in rib.iter() {
+                let e2 = r2.get(prefix).expect("prefix survives");
+                prop_assert_eq!(&e2.path, &entry.path);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Validator properties
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn validator_never_panics_and_verdicts_are_consistent(u in arb_update(), peer in 1u32..100_000) {
+        use gill::collector::{UpdateValidator, Verdict};
+        let mut v = UpdateValidator::new();
+        let verdict = v.validate(Asn(peer), &u);
+        // withdrawals are always valid; announcements from the right peer
+        // with clean paths are valid or quarantined, never both
+        if !u.is_announce() {
+            prop_assert_eq!(verdict, Verdict::Valid);
+        }
+        let s = &v.stats;
+        prop_assert_eq!(s.valid + s.invalid + s.quarantined, 1);
+    }
+}
