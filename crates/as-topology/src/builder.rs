@@ -113,7 +113,12 @@ impl TopologyBuilder {
 /// Chung–Lu: node `i` gets weight `~ (i + i0)^(-1/(γ-1))`, scaled so the mean
 /// weight equals the target average degree; each pair is linked with
 /// probability `w_i w_j / S` (capped at 1).
-fn chung_lu_edges(n: usize, gamma: f64, avg_degree: f64, rng: &mut SmallRng) -> BTreeSet<(u32, u32)> {
+fn chung_lu_edges(
+    n: usize,
+    gamma: f64,
+    avg_degree: f64,
+    rng: &mut SmallRng,
+) -> BTreeSet<(u32, u32)> {
     assert!(n >= 4, "need at least 4 ASes");
     let alpha = 1.0 / (gamma - 1.0);
     let i0 = 1.0;
@@ -447,7 +452,9 @@ mod tests {
     #[test]
     fn tier1_clique_is_meshed_at_level_zero() {
         let t = TopologyBuilder::artificial(500, 5).build();
-        let tier1: Vec<u32> = (0..t.num_ases() as u32).filter(|&u| t.level(u) == 0).collect();
+        let tier1: Vec<u32> = (0..t.num_ases() as u32)
+            .filter(|&u| t.level(u) == 0)
+            .collect();
         assert_eq!(tier1.len(), 3);
         for (i, &a) in tier1.iter().enumerate() {
             for &b in tier1.iter().skip(i + 1) {
@@ -504,7 +511,9 @@ mod tests {
     #[test]
     fn custom_tier1_count() {
         let t = TopologyBuilder::artificial(400, 8).tier1_count(5).build();
-        let tier1 = (0..t.num_ases() as u32).filter(|&u| t.level(u) == 0).count();
+        let tier1 = (0..t.num_ases() as u32)
+            .filter(|&u| t.level(u) == 0)
+            .count();
         assert_eq!(tier1, 5);
     }
 }

@@ -79,7 +79,11 @@ pub fn classify(topo: &Topology) -> Vec<AsCategory> {
     let avg_cone = if transit.is_empty() {
         0.0
     } else {
-        transit.iter().map(|&u| cones[u as usize] as f64).sum::<f64>() / transit.len() as f64
+        transit
+            .iter()
+            .map(|&u| cones[u as usize] as f64)
+            .sum::<f64>()
+            / transit.len() as f64
     };
     // Hypergiants: top-k by degree.
     let mut by_degree: Vec<u32> = (0..n as u32).collect();
@@ -151,7 +155,10 @@ mod tests {
         }
         // Tier-1s are the top-degree nodes, so they'd all be hypergiants
         // without the priority rule; verify hypergiants exist separately.
-        let hypers = cats.iter().filter(|&&c| c == AsCategory::Hypergiant).count();
+        let hypers = cats
+            .iter()
+            .filter(|&&c| c == AsCategory::Hypergiant)
+            .count();
         assert!(hypers > 0 && hypers <= HYPERGIANT_COUNT);
     }
 
@@ -197,7 +204,10 @@ mod tests {
             .map(|u| cones[u])
             .min();
         if let (Some(a), Some(b)) = (t1_max, t2_min) {
-            assert!(a <= b + 1 || a < b * 2, "transit split incoherent: {a} vs {b}");
+            assert!(
+                a <= b + 1 || a < b * 2,
+                "transit split incoherent: {a} vs {b}"
+            );
         }
     }
 }

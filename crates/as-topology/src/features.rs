@@ -103,7 +103,11 @@ impl WeightedDigraph {
 
     /// Weight of edge `u -> v` (0 when absent).
     pub fn weight(&self, u: u32, v: u32) -> f64 {
-        self.out.get(&u).and_then(|m| m.get(&v)).copied().unwrap_or(0.0)
+        self.out
+            .get(&u)
+            .and_then(|m| m.get(&v))
+            .copied()
+            .unwrap_or(0.0)
     }
 
     /// Number of directed edges.
@@ -178,7 +182,12 @@ impl WeightedDigraph {
         let mut count = 0usize;
         let mut maxd = 0.0f64;
         let mut settled = 0usize;
-        while let Some(Item { dist: d, hops, node }) = heap.pop() {
+        while let Some(Item {
+            dist: d,
+            hops,
+            node,
+        }) = heap.pop()
+        {
             if d > *dist.get(&node).unwrap_or(&f64::INFINITY) {
                 continue;
             }
@@ -227,7 +236,10 @@ impl WeightedDigraph {
     pub fn harmonic(&self, u: u32, radius: usize) -> f64 {
         #[allow(clippy::needless_collect)]
         let nodes: Vec<(u32, f64)> = self.harmonic_terms(u, radius);
-        nodes.into_iter().map(|(_, d)| if d > 0.0 { 1.0 / d } else { 0.0 }).sum()
+        nodes
+            .into_iter()
+            .map(|(_, d)| if d > 0.0 { 1.0 / d } else { 0.0 })
+            .sum()
     }
 
     fn harmonic_terms(&self, u: u32, radius: usize) -> Vec<(u32, f64)> {
@@ -393,6 +405,30 @@ impl WeightedDigraph {
     }
 }
 
+/// Computes [`WeightedDigraph::feature_vector_r`] for a batch of route
+/// graphs (one per VP) in parallel, returning the vectors in input order.
+///
+/// Each graph's 15-dimensional vector is independent of the others, so the
+/// map fans out across threads while the order-preserving collect keeps
+/// the result bit-identical to a sequential loop. This is the hot call of
+/// anchor-VP characterization (§18.2): one vector per (VP, event boundary).
+pub fn feature_vectors_par<'a, I>(
+    graphs: I,
+    as1: u32,
+    as2: u32,
+    radius: usize,
+) -> Vec<[f64; FEATURE_DIM]>
+where
+    I: IntoIterator<Item = &'a WeightedDigraph>,
+{
+    use rayon::prelude::*;
+    let graphs: Vec<&WeightedDigraph> = graphs.into_iter().collect();
+    graphs
+        .into_par_iter()
+        .map(|g| g.feature_vector_r(as1, as2, radius))
+        .collect()
+}
+
 fn pop_min(heap: &mut Vec<(u32, f64, usize)>) -> Option<(u32, f64, usize)> {
     if heap.is_empty() {
         return None;
@@ -426,10 +462,8 @@ mod tests {
 
     #[test]
     fn weights_accumulate_per_route() {
-        let g = WeightedDigraph::from_paths([
-            vec![1u32, 2, 3].as_slice(),
-            vec![1u32, 2, 4].as_slice(),
-        ]);
+        let g =
+            WeightedDigraph::from_paths([vec![1u32, 2, 3].as_slice(), vec![1u32, 2, 4].as_slice()]);
         assert_eq!(g.weight(1, 2), 2.0);
         assert_eq!(g.weight(2, 3), 1.0);
         assert_eq!(g.weight(2, 1), 0.0); // directed
@@ -482,10 +516,8 @@ mod tests {
     #[test]
     fn triangles_and_clustering() {
         // triangle 1-2-3 (directed edges both in paths)
-        let g = WeightedDigraph::from_paths([
-            vec![1u32, 2, 3].as_slice(),
-            vec![3u32, 1].as_slice(),
-        ]);
+        let g =
+            WeightedDigraph::from_paths([vec![1u32, 2, 3].as_slice(), vec![3u32, 1].as_slice()]);
         assert_eq!(g.triangles(1), 1.0);
         assert_eq!(g.triangles(2), 1.0);
         assert!(g.clustering(1) > 0.0);

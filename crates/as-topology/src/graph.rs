@@ -205,7 +205,9 @@ impl Topology {
         idx.shuffle(&mut rng);
         idx.truncate(count.min(idx.len()));
         idx.sort_unstable();
-        idx.into_iter().map(|i| VpId::from_asn(self.asn(i))).collect()
+        idx.into_iter()
+            .map(|i| VpId::from_asn(self.asn(i)))
+            .collect()
     }
 
     /// Stub ASes (no customers).
@@ -313,7 +315,7 @@ mod tests {
         let mut providers = vec![Vec::new(); n];
         let mut customers = vec![Vec::new(); n];
         let mut peers = vec![Vec::new(); n];
-        let mut c2p = |c: u32, p: u32, providers: &mut Vec<Vec<u32>>, customers: &mut Vec<Vec<u32>>| {
+        let c2p = |c: u32, p: u32, providers: &mut Vec<Vec<u32>>, customers: &mut Vec<Vec<u32>>| {
             providers[c as usize].push(p);
             customers[p as usize].push(c);
         };
@@ -324,7 +326,7 @@ mod tests {
         c2p(4, 2, &mut providers, &mut customers); // 5 -> 3
         c2p(5, 1, &mut providers, &mut customers); // 6 -> 2
         c2p(6, 4, &mut providers, &mut customers); // 7 -> 5
-        let mut p2p = |a: u32, b: u32, peers: &mut Vec<Vec<u32>>| {
+        let p2p = |a: u32, b: u32, peers: &mut Vec<Vec<u32>>| {
             peers[a as usize].push(b);
             peers[b as usize].push(a);
         };
@@ -410,12 +412,7 @@ mod tests {
     fn validate_catches_asymmetric_peering() {
         let mut peers = vec![Vec::new(); 2];
         peers[0].push(1); // not mirrored
-        let t = Topology::from_parts(
-            vec![Vec::new(); 2],
-            vec![Vec::new(); 2],
-            peers,
-            vec![0, 0],
-        );
+        let t = Topology::from_parts(vec![Vec::new(); 2], vec![Vec::new(); 2], peers, vec![0, 0]);
         assert!(t.validate().is_err());
     }
 }

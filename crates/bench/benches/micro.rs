@@ -85,6 +85,39 @@ fn bench_gill_core(c: &mut Criterion) {
     });
 }
 
+fn bench_redundancy(c: &mut Criterion) {
+    use gill_core::redundancy::{redundant_flags_seq, RedundancyDef};
+    use gill_core::PreparedUpdates;
+    let small = bench::synth_redundancy_stream(1_500, 7);
+    let large = bench::synth_redundancy_stream(12_000, 7);
+    for (tag, updates) in [("small_1k5", &small), ("large_12k", &large)] {
+        // seed-style reference: no interning, per-comparison set builds
+        c.bench_function(&format!("redundancy/flags_seed_seq_{tag}"), |b| {
+            b.iter(|| redundant_flags_seq(black_box(updates), RedundancyDef::Def3))
+        });
+        // interned sequential engine (prepare + query)
+        c.bench_function(&format!("redundancy/flags_prepared_seq_{tag}"), |b| {
+            b.iter(|| {
+                PreparedUpdates::prepare(black_box(updates))
+                    .redundant_flags_seq(RedundancyDef::Def3)
+            })
+        });
+        // interned parallel engine (prepare + rayon fan-out over buckets)
+        c.bench_function(&format!("redundancy/flags_prepared_par_{tag}"), |b| {
+            b.iter(|| gill_core::redundant_flags(black_box(updates), RedundancyDef::Def3))
+        });
+        // VP-pair coverage, parallel engine
+        c.bench_function(&format!("redundancy/vp_pairs_prepared_par_{tag}"), |b| {
+            b.iter(|| gill_core::vp_pair_redundancy(black_box(updates), RedundancyDef::Def3))
+        });
+    }
+    // intern-once amortization: queries on an already-prepared stream
+    let prepared = PreparedUpdates::prepare(&large);
+    c.bench_function("redundancy/flags_query_only_large_12k", |b| {
+        b.iter(|| black_box(&prepared).redundant_flags(RedundancyDef::Def3))
+    });
+}
+
 fn bench_stream_synthesis(c: &mut Criterion) {
     let topo = TopologyBuilder::artificial(200, 42).build();
     let vps = topo.pick_vps(0.3, 7);
@@ -99,6 +132,6 @@ fn bench_stream_synthesis(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_wire_codec, bench_filters, bench_routing, bench_gill_core, bench_stream_synthesis
+    targets = bench_wire_codec, bench_filters, bench_routing, bench_gill_core, bench_redundancy, bench_stream_synthesis
 }
 criterion_main!(benches);

@@ -121,11 +121,19 @@ fn main() {
             concordant as f64 / total as f64
         };
         agreements.push(agreement);
-        rows.push(vec![label.to_string(), prefixes.to_string(), pct(agreement)]);
+        rows.push(vec![
+            label.to_string(),
+            prefixes.to_string(),
+            pct(agreement),
+        ]);
     }
     print_table(
         "§17.1 — weight-ranking concordance between independent windows (paper: 81%→94%→95.8%)",
-        &["construction window", "prefixes compared", "ranking agreement"],
+        &[
+            "construction window",
+            "prefixes compared",
+            "ranking agreement",
+        ],
         &rows,
     );
     write_csv(

@@ -36,14 +36,22 @@ fn main() {
         .collect();
     let mid = redundant.len() / 2;
     let (r1, r2) = redundant.split_at(mid);
-    println!("|R| = {} → |R1| = {}, |R2| = {}", redundant.len(), r1.len(), r2.len());
+    println!(
+        "|R| = {} → |R1| = {}, |R2| = {}",
+        redundant.len(),
+        r1.len(),
+        r2.len()
+    );
 
     let mut rows = Vec::new();
     let mut rates = Vec::new();
     for (name, g) in [
         ("GILL (vp, prefix)", FilterGranularity::VpPrefix),
         ("GILL-asp (+ AS path)", FilterGranularity::VpPrefixPath),
-        ("GILL-asp-comm (+ communities)", FilterGranularity::VpPrefixPathComms),
+        (
+            "GILL-asp-comm (+ communities)",
+            FilterGranularity::VpPrefixPathComms,
+        ),
     ] {
         let f = FilterSet::generate([], r1.iter().copied(), g);
         let matched = r2.iter().filter(|u| !f.accepts(u)).count();
@@ -56,12 +64,20 @@ fn main() {
         &["filter granularity", "rules", "R2 matched"],
         &rows,
     );
-    write_csv("ablation_filters", &["granularity", "rules", "matched"], &rows);
+    write_csv(
+        "ablation_filters",
+        &["granularity", "rules", "matched"],
+        &rows,
+    );
 
     assert!(
         rates[0] > rates[1] && rates[1] >= rates[2],
         "coarser filters must generalize better: {rates:?}"
     );
-    assert!(rates[0] > 0.5, "coarse filters should match most of R2: {}", rates[0]);
+    assert!(
+        rates[0] > 0.5,
+        "coarse filters should match most of R2: {}",
+        rates[0]
+    );
     println!("\nShape check passed: coarse > asp > asp-comm, as in the paper.");
 }

@@ -1,0 +1,99 @@
+//! Redundancy-engine throughput benchmark.
+//!
+//! Times three engines on the same synthetic ≥50 k-update stream and writes
+//! `BENCH_redundancy.json` into the working directory:
+//!
+//! 1. **seed sequential** — the original per-comparison engine
+//!    ([`gill_core::redundant_flags_seq`]): every condition-2/3 check
+//!    materializes fresh `BTreeSet`s for both sides.
+//! 2. **prepared sequential** — intern once ([`PreparedUpdates::prepare`]),
+//!    then the single-threaded bucket scan over sorted slices.
+//! 3. **prepared parallel** — intern once, then the rayon fan-out over
+//!    per-prefix buckets (`RAYON_NUM_THREADS` controls the pool).
+//!
+//! All three must produce byte-identical flag vectors (asserted), and the
+//! VP-pair maps of the sequential reference and the parallel engine must be
+//! equal. Peak RSS is read from `/proc/self/status` (`VmHWM`) on Linux.
+//!
+//! Usage: `bench_redundancy [n_updates] [runs]` (defaults: 50000, 3).
+
+use gill_core::prepared::PreparedUpdates;
+use gill_core::redundancy::{redundant_flags_seq, vp_pair_redundancy_seq, RedundancyDef};
+use std::time::Instant;
+
+fn peak_rss_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    status
+        .lines()
+        .find_map(|line| line.strip_prefix("VmHWM:"))
+        .and_then(|rest| rest.trim().trim_end_matches("kB").trim().parse().ok())
+}
+
+/// Best-of-`runs` wall time of `f`, plus the value of the last run.
+fn best_of<T>(runs: usize, mut f: impl FnMut() -> T) -> (T, f64) {
+    let mut best = f64::INFINITY;
+    let mut value = None;
+    for _ in 0..runs.max(1) {
+        let t0 = Instant::now();
+        let v = f();
+        best = best.min(t0.elapsed().as_secs_f64());
+        value = Some(v);
+    }
+    (value.unwrap(), best)
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let n: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(50_000);
+    let runs: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(3);
+    let def = RedundancyDef::Def3;
+
+    eprintln!("synthesizing {n}-update stream ...");
+    let updates = bench::synth_redundancy_stream(n, 7);
+    let threads = rayon::current_num_threads();
+
+    eprintln!("flags: seed sequential engine ({runs} runs) ...");
+    let (flags_seed, t_seed) = best_of(runs, || redundant_flags_seq(&updates, def));
+    eprintln!("flags: prepared sequential engine ...");
+    let (flags_pseq, t_pseq) = best_of(runs, || {
+        PreparedUpdates::prepare(&updates).redundant_flags_seq(def)
+    });
+    eprintln!("flags: prepared parallel engine ({threads} threads) ...");
+    let (flags_par, t_par) = best_of(runs, || gill_core::redundant_flags(&updates, def));
+
+    assert_eq!(
+        flags_seed, flags_pseq,
+        "prepared-seq flags diverge from seed"
+    );
+    assert_eq!(flags_seed, flags_par, "parallel flags diverge from seed");
+    let redundant = flags_seed.iter().filter(|&&f| f).count();
+
+    eprintln!("vp pairs: seed sequential engine ...");
+    let (pairs_seed, tv_seed) = best_of(runs, || vp_pair_redundancy_seq(&updates, def));
+    eprintln!("vp pairs: prepared parallel engine ...");
+    let (pairs_par, tv_par) = best_of(runs, || gill_core::vp_pair_redundancy(&updates, def));
+    assert_eq!(
+        pairs_seed, pairs_par,
+        "parallel VP-pair map diverges from seed"
+    );
+
+    let ups = |secs: f64| n as f64 / secs;
+    let json = format!(
+        "{{\n  \"n_updates\": {n},\n  \"def\": \"Def3\",\n  \"runs\": {runs},\n  \"threads\": {threads},\n  \"redundant_updates\": {redundant},\n  \"flags\": {{\n    \"seed_sequential\": {{ \"secs\": {t_seed:.6}, \"updates_per_sec\": {:.1} }},\n    \"prepared_sequential\": {{ \"secs\": {t_pseq:.6}, \"updates_per_sec\": {:.1}, \"speedup_vs_seed\": {:.2} }},\n    \"prepared_parallel\": {{ \"secs\": {t_par:.6}, \"updates_per_sec\": {:.1}, \"speedup_vs_seed\": {:.2} }}\n  }},\n  \"vp_pairs\": {{\n    \"nonzero_pairs\": {},\n    \"seed_sequential\": {{ \"secs\": {tv_seed:.6}, \"updates_per_sec\": {:.1} }},\n    \"prepared_parallel\": {{ \"secs\": {tv_par:.6}, \"updates_per_sec\": {:.1}, \"speedup_vs_seed\": {:.2} }}\n  }},\n  \"identical_outputs\": true,\n  \"peak_rss_kb\": {}\n}}\n",
+        ups(t_seed),
+        ups(t_pseq),
+        t_seed / t_pseq,
+        ups(t_par),
+        t_seed / t_par,
+        pairs_par.len(),
+        ups(tv_seed),
+        ups(tv_par),
+        tv_seed / tv_par,
+        peak_rss_kb()
+            .map(|kb| kb.to_string())
+            .unwrap_or_else(|| "null".into()),
+    );
+    std::fs::write("BENCH_redundancy.json", &json).expect("write BENCH_redundancy.json");
+    print!("{json}");
+    eprintln!("wrote BENCH_redundancy.json");
+}

@@ -59,8 +59,16 @@ fn main() {
         &["", "Stub", "Tr-1", "Tr-2", "Hyper", "T1"],
         &matrix_rows(&mr),
     );
-    write_csv("fig12_balanced", &["row", "c1", "c2", "c3", "c4", "c5"], &matrix_rows(&mb));
-    write_csv("fig12_random", &["row", "c1", "c2", "c3", "c4", "c5"], &matrix_rows(&mr));
+    write_csv(
+        "fig12_balanced",
+        &["row", "c1", "c2", "c3", "c4", "c5"],
+        &matrix_rows(&mb),
+    );
+    write_csv(
+        "fig12_random",
+        &["row", "c1", "c2", "c3", "c4", "c5"],
+        &matrix_rows(&mr),
+    );
 
     // --- bias metric: max cell share (paper: random concentrates mass) -----
     let max_cell = |m: &[[f64; 5]; 5]| {

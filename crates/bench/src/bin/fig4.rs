@@ -61,8 +61,7 @@ fn main() {
         let mut h2 = Vec::new();
         for (i, t) in arts.iter().enumerate() {
             let nodes = nodes_at(t, cov, 20 + i as u64);
-            let victims: Vec<u32> =
-                (0..200u32).map(|k| (k * 7) % t.num_ases() as u32).collect();
+            let victims: Vec<u32> = (0..200u32).map(|k| (k * 7) % t.num_ases() as u32).collect();
             h1.push(static_detection(t, &nodes, &victims, 1, 30 + i as u64).rate());
             h2.push(static_detection(t, &nodes, &victims, 2, 30 + i as u64).rate());
         }
@@ -97,16 +96,22 @@ fn main() {
     write_csv(
         "fig4",
         &[
-            "coverage", "p2p_art", "c2p_art", "p2p_pruned", "c2p_pruned", "fail_p2p",
-            "fail_c2p", "hijack_t1", "hijack_t2",
+            "coverage",
+            "p2p_art",
+            "c2p_art",
+            "p2p_pruned",
+            "c2p_pruned",
+            "fail_p2p",
+            "fail_c2p",
+            "hijack_t1",
+            "hijack_t2",
         ],
         &rows,
     );
 
     // --- the paper's two key observations, as assertions -------------------
-    let get = |r: usize, c: usize| -> f64 {
-        rows[r][c].trim_end_matches('%').parse::<f64>().unwrap()
-    };
+    let get =
+        |r: usize, c: usize| -> f64 { rows[r][c].trim_end_matches('%').parse::<f64>().unwrap() };
     let i1 = 1; // ~1% coverage row
     let i50 = 7; // 50% coverage row
     println!("\nKey observation #1 (1% coverage is poor):");
@@ -125,7 +130,10 @@ fn main() {
         get(i50, 5),
         get(i50, 7)
     );
-    assert!(get(i50, 1) > get(i1, 1) * 2.0, "p2p visibility must grow strongly");
+    assert!(
+        get(i50, 1) > get(i1, 1) * 2.0,
+        "p2p visibility must grow strongly"
+    );
     assert!(get(i1, 7) < 100.0, "some hijacks must be invisible at 1%");
     assert!(get(i50, 7) > get(i1, 7), "hijack detection must improve");
 }

@@ -20,7 +20,10 @@ fn scores_for(
 ) -> HashMap<(VpId, VpId), f64> {
     let s = sim.synthesize_stream(
         vps,
-        StreamConfig::default().events(100).seed(seed).world_seed(world),
+        StreamConfig::default()
+            .events(100)
+            .seed(seed)
+            .world_seed(world),
     );
     let events = detect_events(&s.updates, &s.initial_ribs, vps.len(), 300_000);
     let sel = stratify_events(&events, cats, vps.len(), 4, 0.5);

@@ -30,8 +30,14 @@ fn main() {
     // two disjoint deployments of equal size (~1.5% coverage each)
     let all = topo.pick_vps(0.03, 9);
     let mid = all.len() / 2;
-    let public: Vec<u32> = all[..mid].iter().filter_map(|v| topo.index_of(v.asn)).collect();
-    let private: Vec<u32> = all[mid..].iter().filter_map(|v| topo.index_of(v.asn)).collect();
+    let public: Vec<u32> = all[..mid]
+        .iter()
+        .filter_map(|v| topo.index_of(v.asn))
+        .collect();
+    let private: Vec<u32> = all[mid..]
+        .iter()
+        .filter_map(|v| topo.index_of(v.asn))
+        .collect();
 
     let pub_links = links_seen(&topo, &public);
     let priv_links = links_seen(&topo, &private);
@@ -55,7 +61,10 @@ fn main() {
     );
     write_csv("private_overlap", &["set", "count"], &rows);
 
-    assert!(only_public > 0 && only_private > 0, "each side must see unique links");
+    assert!(
+        only_public > 0 && only_private > 0,
+        "each side must see unique links"
+    );
     println!(
         "\nEach deployment sees links the other misses ({only_public} vs {only_private}) —\n\
          the §3.1 argument that more (and more diverse) VPs buy real visibility."

@@ -56,7 +56,9 @@ fn main() {
     let mut sim = Simulator::new(&topo);
     // realistic churn mix: heavy repetitive noise, rare interesting events
     let churny = |events: usize, duration: u64| {
-        let mut c = StreamConfig::default().events(events).duration_secs(duration);
+        let mut c = StreamConfig::default()
+            .events(events)
+            .duration_secs(duration);
         c.weights = [0.55, 0.04, 0.05, 0.36];
         c.flappy_fraction = 0.04;
         c.flappy_weight = 0.93;
@@ -117,15 +119,26 @@ fn main() {
     );
     write_csv("sec12_asrel", &["input", "inferred", "accuracy"], &rows);
     let gain = gn as f64 / fn_.max(1) as f64 - 1.0;
-    println!("GILL infers {:+.0}% relationships vs the fixed subset", gain * 100.0);
+    println!(
+        "GILL infers {:+.0}% relationships vs the fixed subset",
+        gain * 100.0
+    );
     assert!(gn >= fn_, "GILL must infer at least as many relationships");
 
     // --- 2. customer cones ----------------------------------------------------
     let (g_exact, g_err) = ccs_accuracy(&topo, g_paths);
     let (f_exact, f_err) = ccs_accuracy(&topo, f_paths);
     let rows = vec![
-        vec!["fixed VP subset".into(), format!("{:.1}%", f_exact * 100.0), format!("{f_err:.1}")],
-        vec!["GILL sample".into(), format!("{:.1}%", g_exact * 100.0), format!("{g_err:.1}")],
+        vec![
+            "fixed VP subset".into(),
+            format!("{:.1}%", f_exact * 100.0),
+            format!("{f_err:.1}"),
+        ],
+        vec![
+            "GILL sample".into(),
+            format!("{:.1}%", g_exact * 100.0),
+            format!("{g_err:.1}"),
+        ],
     ];
     print_table(
         "§12.2 — ASRank customer-cone replication (exactly correct CCS / mean abs error)",
@@ -141,8 +154,7 @@ fn main() {
     // --- 3. DFOH ---------------------------------------------------------------
     // each scheme's knowledge base includes the history it retained from
     // the training window (DFOH consults the platform's archive)
-    let all_ribs: std::collections::HashSet<bgp_types::VpId> =
-        eval.vps.iter().copied().collect();
+    let all_ribs: std::collections::HashSet<bgp_types::VpId> = eval.vps.iter().copied().collect();
     let history = |idx: &[usize]| -> Vec<bgp_types::AsPath> {
         idx.iter().map(|&i| train.updates[i].path.clone()).collect()
     };
@@ -153,9 +165,24 @@ fn main() {
     let d_gill = dfoh::evaluate_with_kb(&eval, &gill_idx, &anchor_ribs, &gill_hist);
     let d_rnd = dfoh::evaluate_with_kb(&eval, &fixed_idx, &fixed_ribs, &rnd_hist);
     let rows = vec![
-        vec!["DFOH-ALL (truth proxy)".into(), d_all.cases.to_string(), format!("{:.1}%", d_all.tpr() * 100.0), format!("{:.1}%", d_all.fpr() * 100.0)],
-        vec!["DFOH-GILL".into(), d_gill.cases.to_string(), format!("{:.1}%", d_gill.tpr() * 100.0), format!("{:.1}%", d_gill.fpr() * 100.0)],
-        vec!["DFOH-R (random)".into(), d_rnd.cases.to_string(), format!("{:.1}%", d_rnd.tpr() * 100.0), format!("{:.1}%", d_rnd.fpr() * 100.0)],
+        vec![
+            "DFOH-ALL (truth proxy)".into(),
+            d_all.cases.to_string(),
+            format!("{:.1}%", d_all.tpr() * 100.0),
+            format!("{:.1}%", d_all.fpr() * 100.0),
+        ],
+        vec![
+            "DFOH-GILL".into(),
+            d_gill.cases.to_string(),
+            format!("{:.1}%", d_gill.tpr() * 100.0),
+            format!("{:.1}%", d_gill.fpr() * 100.0),
+        ],
+        vec![
+            "DFOH-R (random)".into(),
+            d_rnd.cases.to_string(),
+            format!("{:.1}%", d_rnd.tpr() * 100.0),
+            format!("{:.1}%", d_rnd.fpr() * 100.0),
+        ],
     ];
     print_table(
         "§12.3 — DFOH replication (paper: TPR 94% vs 71.5%, FPR 14.4% vs 60.1%)",

@@ -11,8 +11,7 @@
 use bench::{print_table, write_csv};
 use bgp_types::{Asn, Prefix, UpdateBuilder, VpId};
 use gill_collector::{
-    run_fake_peer, DaemonConfig, DaemonPool, FakePeerConfig, MemoryStorage, SlowStorage,
-    Storage,
+    run_fake_peer, DaemonConfig, DaemonPool, FakePeerConfig, MemoryStorage, SlowStorage, Storage,
 };
 use gill_core::{FilterGranularity, FilterSet};
 use std::time::Duration;
@@ -97,7 +96,12 @@ fn main() {
     for with_filters in [true, false] {
         for &(label, rate) in &rates {
             let mut row = vec![
-                if with_filters { "with filters" } else { "no filters" }.to_string(),
+                if with_filters {
+                    "with filters"
+                } else {
+                    "no filters"
+                }
+                .to_string(),
                 label.to_string(),
             ];
             for &n in &peer_counts {
@@ -121,7 +125,11 @@ fn main() {
 
     // structure check: at the highest load, filters must lose (weakly) less
     let parse_loss = |cell: &str| -> f64 {
-        cell.split('%').next().unwrap().parse::<f64>().unwrap_or(0.0)
+        cell.split('%')
+            .next()
+            .unwrap()
+            .parse::<f64>()
+            .unwrap_or(0.0)
     };
     let filt_worst = parse_loss(&rows[1][4]);
     let raw_worst = parse_loss(&rows[3][4]);

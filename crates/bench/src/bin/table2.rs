@@ -12,12 +12,10 @@ use bench::{categories_map, print_table, write_csv};
 use bgp_sim::{Simulator, StreamConfig, UpdateStream};
 use gill_core::{AnchorConfig, GillAnalysis, GillConfig, RedundancyDef};
 use sampling::{
-    AsDistance, DefSpecific, GillSampler, GillVariant, ObjectiveSpecific, RandomUpdates,
-    RandomVps, Sampler, Unbiased,
+    AsDistance, DefSpecific, GillSampler, GillVariant, ObjectiveSpecific, RandomUpdates, RandomVps,
+    Sampler, Unbiased,
 };
-use use_cases::{
-    ActionCommunities, MoasDetection, TopologyMapping, TransientPaths, UnchangedPath,
-};
+use use_cases::{ActionCommunities, MoasDetection, TopologyMapping, TransientPaths, UnchangedPath};
 
 const WINDOWS: u64 = 6;
 
@@ -25,7 +23,9 @@ const WINDOWS: u64 = 6;
 /// small flappy subset (as in real feeds), with rarer interesting events
 /// (hijacks, origin changes) on top.
 fn churny(events: usize, duration: u64) -> StreamConfig {
-    let mut c = StreamConfig::default().events(events).duration_secs(duration);
+    let mut c = StreamConfig::default()
+        .events(events)
+        .duration_secs(duration);
     // interesting events (hijacks, origin changes) are a small minority of
     // real-world churn; most updates are repetitive failure/restore and
     // community noise from a small flappy subset
@@ -168,11 +168,18 @@ fn main() {
         .zip(&totals)
         .map(|(s, t)| {
             let mut row = vec![s.name()];
-            row.extend(t.iter().map(|v| format!("{:.0}%", v / WINDOWS as f64 * 100.0)));
+            row.extend(
+                t.iter()
+                    .map(|v| format!("{:.0}%", v / WINDOWS as f64 * 100.0)),
+            );
             row
         })
         .collect();
-    print_table("Table 2 — detection scores at equal budget", &headers, &rows);
+    print_table(
+        "Table 2 — detection scores at equal budget",
+        &headers,
+        &rows,
+    );
     write_csv("table2", &headers, &rows);
 
     // --- the paper's takeaways as assertions --------------------------------
@@ -180,14 +187,25 @@ fn main() {
     let gill_avg = avg(0);
     println!("\nTakeaway checks:");
     // #2: GILL beats each naive baseline on average
-    for (i, name) in [(3, "Rnd.-Upd"), (4, "Rnd.-VP"), (5, "AS-Dist."), (6, "Unbiased")] {
+    for (i, name) in [
+        (3, "Rnd.-Upd"),
+        (4, "Rnd.-VP"),
+        (5, "AS-Dist."),
+        (6, "Unbiased"),
+    ] {
         let b = avg(i);
         println!("  GILL {gill_avg:.2} vs {name} {b:.2}");
-        assert!(gill_avg > b - 0.02, "GILL must not lose to {name} on average");
+        assert!(
+            gill_avg > b - 0.02,
+            "GILL must not lose to {name} on average"
+        );
     }
     // #3: definition-based specifics underperform GILL on average
     for i in [7, 8, 9] {
-        assert!(gill_avg > avg(i) - 0.05, "GILL must match/beat Def specifics");
+        assert!(
+            gill_avg > avg(i) - 0.05,
+            "GILL must match/beat Def specifics"
+        );
     }
     // #1: full GILL beats both simplified variants on average
     assert!(gill_avg >= avg(1) - 0.02 && gill_avg >= avg(2) - 0.02);

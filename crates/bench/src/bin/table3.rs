@@ -141,14 +141,21 @@ fn main() {
         rnd_by_cov.push(r);
         best_by_cov.push(b);
     }
-    print_table("Table 3 — long-term impact simulation (1000-AS topology)", &headers, &rows);
+    print_table(
+        "Table 3 — long-term impact simulation (1000-AS topology)",
+        &headers,
+        &rows,
+    );
     write_csv("table3", &headers, &rows);
 
     // --- takeaway checks ----------------------------------------------------
     println!("\nTakeaway checks:");
     // #2: best-case ≥ GILL everywhere, but GILL processes far less data
     for (g, b) in gill_by_cov.iter().zip(&best_by_cov) {
-        assert!(b.0 >= g.0 - 0.02 && b.2 >= g.2 - 0.02, "best-case must dominate");
+        assert!(
+            b.0 >= g.0 - 0.02 && b.2 >= g.2 - 0.02,
+            "best-case must dominate"
+        );
     }
     // #3: GILL ≥ random VPs on average across coverages for each use case
     let mean = |v: &[(f64, f64, f64)], f: fn(&(f64, f64, f64)) -> f64| {
@@ -158,7 +165,10 @@ fn main() {
     let (g_h, r_h) = (mean(&gill_by_cov, |x| x.2), mean(&rnd_by_cov, |x| x.2));
     println!("  topo:   GILL {g_t:.2} vs Rnd.-VP {r_t:.2}");
     println!("  hijack: GILL {g_h:.2} vs Rnd.-VP {r_h:.2}");
-    assert!(g_t >= r_t - 0.02, "GILL must beat random VPs on topology mapping");
+    assert!(
+        g_t >= r_t - 0.02,
+        "GILL must beat random VPs on topology mapping"
+    );
     assert!(g_h >= r_h - 0.05, "GILL must not lose on hijack detection");
     // #1: GILL discards more as coverage grows (retained % falls)
     println!("  all takeaway checks passed");

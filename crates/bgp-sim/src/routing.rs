@@ -321,9 +321,8 @@ pub fn compute_routes(
                 continue;
             }
             let nd = d + 1;
-            let better = dist[ci] == NO_ROUTE
-                || nd < dist[ci]
-                || (nd == dist[ci] && u < next_hop[ci]);
+            let better =
+                dist[ci] == NO_ROUTE || nd < dist[ci] || (nd == dist[ci] && u < next_hop[ci]);
             if better {
                 dist[ci] = nd;
                 next_hop[ci] = u;
@@ -468,7 +467,7 @@ mod tests {
         // 2-hop legit path [0,2,3]; tie -> lowest neighbor 1 -> hijacked.
         assert_eq!(rt.path(0), Some(vec![0, 1, 3]));
         assert_eq!(rt.source_index(0), Some(1)); // routed to the attacker
-        // The victim's own route is its origination.
+                                                 // The victim's own route is its origination.
         assert_eq!(rt.source_index(3), Some(0));
     }
 
@@ -565,7 +564,9 @@ mod tests {
     fn full_reachability_on_generated_topology() {
         let t = TopologyBuilder::artificial(500, 88).build();
         let rt = compute_routes(&t, &[SourceAnnouncement::origin(123)], &no_fail());
-        let unreachable = (0..t.num_ases() as u32).filter(|&u| !rt.has_route(u)).count();
+        let unreachable = (0..t.num_ases() as u32)
+            .filter(|&u| !rt.has_route(u))
+            .count();
         assert_eq!(unreachable, 0, "Gao-Rexford must reach everyone");
     }
 

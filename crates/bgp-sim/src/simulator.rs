@@ -144,11 +144,7 @@ impl<'a> Simulator<'a> {
     /// Routes for a plain origination by `node` under the current state
     /// (shared by all non-overridden prefixes of that origin).
     pub fn table_for_origin(&self, node: u32) -> RouteTable {
-        compute_routes(
-            self.topo,
-            &[SourceAnnouncement::origin(node)],
-            &self.failed,
-        )
+        compute_routes(self.topo, &[SourceAnnouncement::origin(node)], &self.failed)
     }
 
     /// Community epoch of `origin`.
@@ -242,31 +238,50 @@ impl<'a> Simulator<'a> {
 
     /// Snapshot of every VP's RIB under the current state (one entry per
     /// reachable prefix, with path-derived communities), timestamped `t`.
+    ///
+    /// Route-table computation — the expensive part — is fanned out across
+    /// threads per origin batch; the snapshot fill then runs sequentially
+    /// in ascending origin order, so the result is identical to a fully
+    /// sequential pass.
     pub fn rib_snapshot(&self, vps: &[VpId], t: Timestamp) -> HashMap<VpId, Rib> {
+        use rayon::prelude::*;
         let mut ribs: HashMap<VpId, Rib> = vps.iter().map(|&v| (v, Rib::new())).collect();
         let vp_nodes: Vec<(VpId, u32)> = vps
             .iter()
             .filter_map(|&v| self.topo.index_of(v.asn).map(|i| (v, i)))
             .collect();
         // Group non-overridden prefixes by origin so each origin's table is
-        // computed once (all its prefixes share identical routes).
-        for origin in 0..self.topo.num_ases() as u32 {
-            let plain: Vec<PrefixId> = self.plan.prefixes_of[origin as usize]
-                .iter()
-                .copied()
-                .filter(|p| !self.is_overridden(*p))
-                .collect();
-            if plain.is_empty() {
-                continue;
-            }
-            let table = self.table_for_origin(origin);
-            self.fill_snapshot(&mut ribs, &vp_nodes, &table, &plain, origin, t);
+        // computed once (all its prefixes share identical routes); the
+        // per-origin propagations are independent and run in parallel.
+        let plain_batches: Vec<(u32, Vec<PrefixId>)> = (0..self.topo.num_ases() as u32)
+            .filter_map(|origin| {
+                let plain: Vec<PrefixId> = self.plan.prefixes_of[origin as usize]
+                    .iter()
+                    .copied()
+                    .filter(|p| !self.is_overridden(*p))
+                    .collect();
+                (!plain.is_empty()).then_some((origin, plain))
+            })
+            .collect();
+        let plain_tables: Vec<(u32, Vec<PrefixId>, RouteTable)> = plain_batches
+            .into_par_iter()
+            .map(|(origin, plain)| {
+                let table = self.table_for_origin(origin);
+                (origin, plain, table)
+            })
+            .collect();
+        for (origin, plain, table) in &plain_tables {
+            self.fill_snapshot(&mut ribs, &vp_nodes, table, plain, *origin, t);
         }
-        let overridden: Vec<PrefixId> = self.overrides.keys().copied().collect();
-        for p in overridden {
-            let table = self.table_for_prefix(p);
-            let origin = self.plan.origin_of[p as usize];
-            self.fill_snapshot(&mut ribs, &vp_nodes, &table, &[p], origin, t);
+        let mut overridden: Vec<PrefixId> = self.overrides.keys().copied().collect();
+        overridden.sort_unstable();
+        let override_tables: Vec<(PrefixId, RouteTable)> = overridden
+            .into_par_iter()
+            .map(|p| (p, self.table_for_prefix(p)))
+            .collect();
+        for (p, table) in &override_tables {
+            let origin = self.plan.origin_of[*p as usize];
+            self.fill_snapshot(&mut ribs, &vp_nodes, table, &[*p], origin, t);
         }
         ribs
     }

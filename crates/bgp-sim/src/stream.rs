@@ -532,8 +532,11 @@ impl<'a> Simulator<'a> {
                     let delay = self.convergence_delay(p.len(), rng);
                     for &pid in prefixes {
                         let origin = self.plan().origin_of[pid as usize];
-                        let comms =
-                            communities_for(p, self.plan().group_of[pid as usize], self.epoch(origin));
+                        let comms = communities_for(
+                            p,
+                            self.plan().group_of[pid as usize],
+                            self.epoch(origin),
+                        );
                         updates.push(
                             UpdateBuilder::announce(vp, self.prefix(pid))
                                 .at(time + delay)
@@ -627,9 +630,7 @@ impl<'a> Simulator<'a> {
     /// Per-VP convergence delay: base + per-hop + jitter, always < 100 s so
     /// correlated updates stay within the paper's time slack.
     fn convergence_delay(&self, path_len: usize, rng: &mut SmallRng) -> Duration {
-        let ms = 800
-            + 600 * path_len.min(20) as u64
-            + rng.gen_range(0..4_000);
+        let ms = 800 + 600 * path_len.min(20) as u64 + rng.gen_range(0..4_000u64);
         Duration::from_millis(ms.min(90_000))
     }
 }
@@ -645,10 +646,7 @@ mod tests {
         let mut sim = Simulator::new(&topo);
         let vps = topo.pick_vps(0.2, 3);
         let nvps = vps.len();
-        let s = sim.synthesize_stream(
-            &vps,
-            StreamConfig::default().events(events).seed(seed),
-        );
+        let s = sim.synthesize_stream(&vps, StreamConfig::default().events(events).seed(seed));
         (s, nvps)
     }
 
@@ -673,9 +671,8 @@ mod tests {
         assert_eq!(a.updates.len(), b.updates.len());
         assert_eq!(a.updates, b.updates);
         let (c, _) = small_stream(8, 30);
-        assert_ne!(
-            a.updates.len() == c.updates.len() && a.updates == c.updates,
-            true,
+        assert!(
+            !(a.updates.len() == c.updates.len() && a.updates == c.updates),
             "different seeds must differ"
         );
     }
@@ -686,7 +683,11 @@ mod tests {
         assert!(!s.events.is_empty());
         let total: usize = s.events.iter().map(|e| e.emitted_updates).sum();
         let base = if s.updates.is_empty() { 0 } else { total };
-        assert_eq!(base, s.updates.len(), "event counts must sum to stream size");
+        assert_eq!(
+            base,
+            s.updates.len(),
+            "event counts must sum to stream size"
+        );
         // recorded events are time sorted with sequential ids
         for (i, e) in s.events.iter().enumerate() {
             assert_eq!(e.id, i);
@@ -730,10 +731,16 @@ mod tests {
         // previous RIB entry had the same path
         for u in &s.updates {
             assert!(u.is_announce());
-            assert!(u.withdrawn_links.is_empty(), "path changed on community event");
+            assert!(
+                u.withdrawn_links.is_empty(),
+                "path changed on community event"
+            );
         }
         // and communities actually changed for at least one update
-        assert!(s.updates.iter().any(|u| !u.withdrawn_communities.is_empty()));
+        assert!(s
+            .updates
+            .iter()
+            .any(|u| !u.withdrawn_communities.is_empty()));
     }
 
     #[test]
@@ -766,7 +773,10 @@ mod tests {
         let vps = topo.pick_vps(0.1, 3);
         let s = sim.synthesize_stream(
             &vps,
-            StreamConfig::default().events(0).include_initial(true).seed(1),
+            StreamConfig::default()
+                .events(0)
+                .include_initial(true)
+                .seed(1),
         );
         let expected = vps.len() * sim.plan().num_prefixes();
         assert_eq!(s.updates.len(), expected);

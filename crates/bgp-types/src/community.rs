@@ -68,7 +68,8 @@ impl Community {
     /// the synthetic-workload convention.
     pub fn is_action(self) -> bool {
         let v = self.value_part();
-        !self.is_well_known() && (Self::ACTION_BASE..Self::ACTION_BASE + Self::ACTION_RANGE).contains(&v)
+        !self.is_well_known()
+            && (Self::ACTION_BASE..Self::ACTION_BASE + Self::ACTION_RANGE).contains(&v)
     }
 }
 

@@ -64,17 +64,10 @@ impl Rib {
                 let new_links = update.path.links();
                 let new_comms = update.communities.clone();
                 if let Some(prev) = prev {
-                    update.withdrawn_links = prev
-                        .path
-                        .links()
-                        .difference(&new_links)
-                        .copied()
-                        .collect();
-                    update.withdrawn_communities = prev
-                        .communities
-                        .difference(&new_comms)
-                        .copied()
-                        .collect();
+                    update.withdrawn_links =
+                        prev.path.links().difference(&new_links).copied().collect();
+                    update.withdrawn_communities =
+                        prev.communities.difference(&new_comms).copied().collect();
                 } else {
                     update.withdrawn_links.clear();
                     update.withdrawn_communities.clear();
@@ -206,7 +199,10 @@ mod tests {
         // Re-announcing prefix 1 does not disturb prefix 2.
         let mut u3 = ann(6, 2, 1, &[6, 3, 4], &[]);
         rib.apply(&mut u3);
-        assert_eq!(rib.get(&Prefix::synthetic(2)).unwrap().path, AsPath::from_u32s([6, 4]));
+        assert_eq!(
+            rib.get(&Prefix::synthetic(2)).unwrap().path,
+            AsPath::from_u32s([6, 4])
+        );
     }
 
     #[test]
@@ -218,7 +214,9 @@ mod tests {
         ];
         annotate_stream(&mut updates);
         // VP 6's second update withdraws 6->2 and 2->4; VP 7's state is untouched.
-        assert!(updates[2].withdrawn_links.contains(&Link::new(Asn(6), Asn(2))));
+        assert!(updates[2]
+            .withdrawn_links
+            .contains(&Link::new(Asn(6), Asn(2))));
         assert!(updates[1].withdrawn_links.is_empty());
     }
 }

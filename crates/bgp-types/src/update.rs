@@ -102,7 +102,11 @@ impl fmt::Display for BgpUpdate {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self.kind {
             UpdateKind::Announce => {
-                write!(f, "{} {} A {} [{}]", self.time, self.vp, self.prefix, self.path)
+                write!(
+                    f,
+                    "{} {} A {} [{}]",
+                    self.time, self.vp, self.prefix, self.path
+                )
             }
             UpdateKind::Withdraw => write!(f, "{} {} W {}", self.time, self.vp, self.prefix),
         }
@@ -259,7 +263,10 @@ mod tests {
         u.communities.insert(c1);
         u.communities.insert(c2);
         u.withdrawn_communities.insert(c2);
-        assert_eq!(u.effective_communities().into_iter().collect::<Vec<_>>(), vec![c1]);
+        assert_eq!(
+            u.effective_communities().into_iter().collect::<Vec<_>>(),
+            vec![c1]
+        );
     }
 
     #[test]

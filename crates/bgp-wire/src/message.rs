@@ -101,9 +101,7 @@ impl BgpMessage {
         let decoded = match ty {
             type_code::OPEN => BgpMessage::Open(OpenMessage::decode_body(&body)?),
             type_code::UPDATE => BgpMessage::Update(UpdateMessage::decode_body(&body)?),
-            type_code::NOTIFICATION => {
-                BgpMessage::Notification(Notification::decode_body(&body)?)
-            }
+            type_code::NOTIFICATION => BgpMessage::Notification(Notification::decode_body(&body)?),
             type_code::KEEPALIVE => {
                 if !body.is_empty() {
                     return Err(WireError::BadLength((MIN_MESSAGE_LEN + body.len()) as u16));

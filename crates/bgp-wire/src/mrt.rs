@@ -221,13 +221,17 @@ mod tests {
         let r = sample_record(1, 2);
         let bytes = r.encode().unwrap();
         assert!(MrtRecord::decode(&bytes[..5]).unwrap().is_none());
-        assert!(MrtRecord::decode(&bytes[..bytes.len() - 1]).unwrap().is_none());
+        assert!(MrtRecord::decode(&bytes[..bytes.len() - 1])
+            .unwrap()
+            .is_none());
     }
 
     #[test]
     fn writer_reader_stream_roundtrip() {
         let mut w = MrtWriter::new(Vec::new());
-        let records: Vec<MrtRecord> = (0..10).map(|i| sample_record(1000 + i, 65000 + i as u32)).collect();
+        let records: Vec<MrtRecord> = (0..10)
+            .map(|i| sample_record(1000 + i, 65000 + i as u32))
+            .collect();
         for r in &records {
             w.write_record(r).unwrap();
         }

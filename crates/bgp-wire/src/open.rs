@@ -167,10 +167,7 @@ mod tests {
         let mut bytes = BgpMessage::Open(m).encode_to_vec().unwrap();
         bytes[19] = 3; // version byte
         let mut buf = BytesMut::from(&bytes[..]);
-        assert_eq!(
-            BgpMessage::decode(&mut buf),
-            Err(WireError::BadVersion(3))
-        );
+        assert_eq!(BgpMessage::decode(&mut buf), Err(WireError::BadVersion(3)));
     }
 
     #[test]

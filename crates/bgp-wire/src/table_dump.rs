@@ -10,7 +10,7 @@
 //! the UPDATE codec in [`crate::update`].
 
 use crate::error::{WireError, WireResult};
-use bgp_types::{Asn, AsPath, Community, Prefix, Rib, Timestamp, VpId};
+use bgp_types::{AsPath, Asn, Community, Prefix, Rib, Timestamp, VpId};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use std::collections::BTreeMap;
 use std::io::Write;
@@ -410,7 +410,9 @@ mod tests {
         assert_eq!(dump.peers.len(), 2);
         assert_eq!(dump.route_count(), 6);
         let mut bytes = Vec::new();
-        let records = dump.write_mrt(&mut bytes, Timestamp::from_secs(999)).unwrap();
+        let records = dump
+            .write_mrt(&mut bytes, Timestamp::from_secs(999))
+            .unwrap();
         assert_eq!(records, 1 + 3); // index + one per prefix
         let back = TableDump::read_mrt(&bytes).unwrap();
         assert_eq!(back.peers, dump.peers);

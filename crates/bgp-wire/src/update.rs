@@ -2,7 +2,7 @@
 //! RFC 6793), NEXT_HOP and COMMUNITIES (RFC 1997) attributes.
 
 use crate::error::{WireError, WireResult};
-use bgp_types::{Asn, AsPath, BgpUpdate, Community, Prefix, Timestamp, UpdateBuilder, VpId};
+use bgp_types::{AsPath, Asn, BgpUpdate, Community, Prefix, Timestamp, UpdateBuilder, VpId};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use std::net::Ipv4Addr;
 
@@ -153,7 +153,12 @@ impl UpdateMessage {
         // path attributes
         let mut attrs = BytesMut::new();
         if !self.announced.is_empty() {
-            put_attr(&mut attrs, attr_flag::TRANSITIVE, attr_code::ORIGIN, &[self.origin.code()]);
+            put_attr(
+                &mut attrs,
+                attr_flag::TRANSITIVE,
+                attr_code::ORIGIN,
+                &[self.origin.code()],
+            );
             let mut ap = BytesMut::new();
             if !self.as_path.is_empty() {
                 ap.put_u8(2); // AS_SEQUENCE

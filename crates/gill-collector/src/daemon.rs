@@ -193,15 +193,7 @@ pub fn run_session(
     queue: Sender<StoredUpdate>,
     stats: Arc<DaemonStats>,
 ) -> std::io::Result<()> {
-    run_session_with(
-        &mut s,
-        vp,
-        filters,
-        queue,
-        stats,
-        None,
-        None,
-    )
+    run_session_with(&mut s, vp, filters, queue, stats, None, None)
 }
 
 /// [`run_session`] with the optional §14 services: a validator (shared by
@@ -561,8 +553,7 @@ mod tests {
         let mut storage = MemoryStorage::default();
         pool.drain_into(&mut storage);
         assert_eq!(storage.updates.len(), 16);
-        let vps: std::collections::BTreeSet<VpId> =
-            storage.updates.iter().map(|u| u.vp).collect();
+        let vps: std::collections::BTreeSet<VpId> = storage.updates.iter().map(|u| u.vp).collect();
         assert_eq!(vps.len(), 8);
     }
 }

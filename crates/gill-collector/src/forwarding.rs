@@ -129,7 +129,9 @@ mod tests {
     #[test]
     fn exact_and_subprefix_matches_forward() {
         let mut f = Forwarder::new();
-        let (_, sub) = f.subscribe(vec![ForwardRule::for_prefix("10.1.0.0/16".parse().unwrap())]);
+        let (_, sub) = f.subscribe(vec![ForwardRule::for_prefix(
+            "10.1.0.0/16".parse().unwrap(),
+        )]);
         f.offer(&upd(1, "10.1.0.0/16", &[1, 2])); // exact
         f.offer(&upd(1, "10.1.42.0/24", &[1, 9])); // sub-prefix (hijack-style)
         f.offer(&upd(1, "10.2.0.0/16", &[1, 2])); // unrelated
@@ -141,7 +143,9 @@ mod tests {
     fn covering_prefix_also_matches() {
         // an announcement of the whole /8 affects the operator's /16
         let mut f = Forwarder::new();
-        let (_, sub) = f.subscribe(vec![ForwardRule::for_prefix("10.1.0.0/16".parse().unwrap())]);
+        let (_, sub) = f.subscribe(vec![ForwardRule::for_prefix(
+            "10.1.0.0/16".parse().unwrap(),
+        )]);
         f.offer(&upd(1, "10.0.0.0/8", &[1, 2]));
         assert_eq!(sub.feed.try_iter().count(), 1);
     }
@@ -161,18 +165,20 @@ mod tests {
     #[test]
     fn unsubscribe_and_dead_subscriber_cleanup() {
         let mut f = Forwarder::new();
-        let (id, sub) = f.subscribe(vec![ForwardRule::for_prefix(
-            Prefix::v4(Ipv4Addr::new(10, 1, 0, 0), 16),
-        )]);
+        let (id, sub) = f.subscribe(vec![ForwardRule::for_prefix(Prefix::v4(
+            Ipv4Addr::new(10, 1, 0, 0),
+            16,
+        ))]);
         assert_eq!(f.len(), 1);
         f.unsubscribe(id);
         assert!(f.is_empty());
         drop(sub);
 
         // dropped receiver gets garbage-collected on the next offer
-        let (_, sub2) = f.subscribe(vec![ForwardRule::for_prefix(
-            Prefix::v4(Ipv4Addr::new(10, 1, 0, 0), 16),
-        )]);
+        let (_, sub2) = f.subscribe(vec![ForwardRule::for_prefix(Prefix::v4(
+            Ipv4Addr::new(10, 1, 0, 0),
+            16,
+        ))]);
         drop(sub2);
         f.offer(&upd(1, "10.1.0.0/16", &[1, 2]));
         assert!(f.is_empty(), "disconnected subscriber must be removed");
@@ -181,7 +187,9 @@ mod tests {
     #[test]
     fn multiple_subscribers_each_get_a_copy() {
         let mut f = Forwarder::new();
-        let (_, a) = f.subscribe(vec![ForwardRule::for_prefix("10.1.0.0/16".parse().unwrap())]);
+        let (_, a) = f.subscribe(vec![ForwardRule::for_prefix(
+            "10.1.0.0/16".parse().unwrap(),
+        )]);
         let (_, b) = f.subscribe(vec![ForwardRule::for_prefix("10.0.0.0/8".parse().unwrap())]);
         f.offer(&upd(1, "10.1.5.0/24", &[1, 2]));
         assert_eq!(a.feed.try_iter().count(), 1);

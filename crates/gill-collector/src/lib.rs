@@ -28,8 +28,8 @@ pub use daemon::{
     handshake_client, handshake_server, run_session, DaemonConfig, DaemonPool, DaemonStats,
     MessageStream,
 };
+pub use forwarding::{ForwardRule, Forwarder, Subscription};
 pub use orchestrator::{Orchestrator, OrchestratorConfig, Refresh};
 pub use peer::{run_fake_peer, synthetic_updates, FakePeerConfig};
-pub use forwarding::{ForwardRule, Forwarder, Subscription};
 pub use storage::{received, MemoryStorage, MrtStorage, SlowStorage, Storage, StoredUpdate};
 pub use validator::{is_bogon, UpdateValidator, Verdict, Violation};

@@ -219,7 +219,10 @@ mod tests {
         orch.set_initial_ribs(stream.initial_ribs.clone());
         orch.observe(stream.updates.iter().cloned());
         let day = 24 * 3600;
-        assert_eq!(orch.maybe_refresh(Timestamp::from_secs(0)), Some(Refresh::Both));
+        assert_eq!(
+            orch.maybe_refresh(Timestamp::from_secs(0)),
+            Some(Refresh::Both)
+        );
         // a day later: nothing is due
         orch.observe(stream.updates.iter().cloned());
         assert_eq!(orch.maybe_refresh(Timestamp::from_secs(day)), None);
@@ -239,7 +242,10 @@ mod tests {
     #[test]
     fn force_refresh_ignores_schedule() {
         let mut orch = Orchestrator::new(small_cfg(), Vec::new(), HashMap::new());
-        assert_eq!(orch.force_refresh(Timestamp::ZERO, false), Refresh::Component1);
+        assert_eq!(
+            orch.force_refresh(Timestamp::ZERO, false),
+            Refresh::Component1
+        );
         assert_eq!(orch.force_refresh(Timestamp::ZERO, true), Refresh::Both);
     }
 }

@@ -181,11 +181,9 @@ pub fn is_bogon(p: &Prefix) -> bool {
         ("198.51.100.0/24", ()),
         ("203.0.113.0/24", ()),
     ];
-    BOGONS.iter().any(|(cidr, _)| {
-        cidr.parse::<Prefix>()
-            .map(|b| b.covers(p))
-            .unwrap_or(false)
-    })
+    BOGONS
+        .iter()
+        .any(|(cidr, _)| cidr.parse::<Prefix>().map(|b| b.covers(p)).unwrap_or(false))
 }
 
 #[cfg(test)]
@@ -241,7 +239,10 @@ mod tests {
     fn loops_and_monster_paths_rejected() {
         let mut v = UpdateValidator::new();
         let u = announce(1, &[1, 2, 3, 2, 4], "8.8.8.0/24");
-        assert_eq!(v.validate(Asn(1), &u), Verdict::Invalid(Violation::PathLoop));
+        assert_eq!(
+            v.validate(Asn(1), &u),
+            Verdict::Invalid(Violation::PathLoop)
+        );
         let long: Vec<u32> = (1..=70).collect();
         let u = announce(1, &long, "8.8.8.0/24");
         assert_eq!(
@@ -301,8 +302,8 @@ mod tests {
     #[test]
     fn withdrawals_always_pass() {
         let mut v = UpdateValidator::new();
-        let u = UpdateBuilder::withdraw(VpId::from_asn(Asn(1)), "8.8.8.0/24".parse().unwrap())
-            .build();
+        let u =
+            UpdateBuilder::withdraw(VpId::from_asn(Asn(1)), "8.8.8.0/24".parse().unwrap()).build();
         assert_eq!(v.validate(Asn(1), &u), Verdict::Valid);
     }
 }

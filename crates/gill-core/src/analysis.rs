@@ -75,7 +75,13 @@ impl GillAnalysis {
         categories: &HashMap<Asn, AsCategory>,
         cfg: &GillConfig,
     ) -> Self {
-        Self::run_on(&stream.updates, &stream.initial_ribs, &stream.vps, categories, cfg)
+        Self::run_on(
+            &stream.updates,
+            &stream.initial_ribs,
+            &stream.vps,
+            categories,
+            cfg,
+        )
     }
 
     /// Runs on raw parts (for RIS/RV-style inputs outside the simulator).
@@ -86,9 +92,13 @@ impl GillAnalysis {
         categories: &HashMap<Asn, AsCategory>,
         cfg: &GillConfig,
     ) -> Self {
-        let component1 =
-            find_redundant_updates(updates, cfg.corr_window_ms, cfg.reconstitution_target);
-        let component2 = select_anchors(updates, initial_ribs, vps, categories, &cfg.anchor);
+        // Components #1 and #2 read the same inputs but share no state, so
+        // they run concurrently; each is internally deterministic, making
+        // the joined result identical to the sequential order.
+        let (component1, component2) = rayon::join(
+            || find_redundant_updates(updates, cfg.corr_window_ms, cfg.reconstitution_target),
+            || select_anchors(updates, initial_ribs, vps, categories, &cfg.anchor),
+        );
         let anchor_set: std::collections::HashSet<VpId> =
             component2.anchors.iter().copied().collect();
         let mut retained = 0usize;
@@ -227,7 +237,9 @@ mod tests {
         };
         let a = GillAnalysis::run(&train, &cfg);
         let test = sim.synthesize_stream(&vps, StreamConfig::default().events(60).seed(21));
-        let coarse = a.filter_set_at(FilterGranularity::VpPrefix).discard_rate(&test.updates);
+        let coarse = a
+            .filter_set_at(FilterGranularity::VpPrefix)
+            .discard_rate(&test.updates);
         let asp = a
             .filter_set_at(FilterGranularity::VpPrefixPath)
             .discard_rate(&test.updates);

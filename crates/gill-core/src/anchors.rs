@@ -400,9 +400,14 @@ pub fn redundancy_scores(
         } else {
             &mut end_vec[b.event]
         };
-        for &vp in vps {
-            target.push(graphs[&vp].feature_vector_r(a1, a2, feature_radius));
-        }
+        // One 15-dim vector per VP at this boundary; the per-VP graphs are
+        // independent, so the batch fans out across threads (order kept).
+        target.extend(as_topology::features::feature_vectors_par(
+            vps.iter().map(|vp| &graphs[vp]),
+            a1,
+            a2,
+            feature_radius,
+        ));
         bi += 1;
     }
 
@@ -600,7 +605,10 @@ mod tests {
         let events = detect_events(&s.updates, &s.initial_ribs, s.vps.len(), 300_000);
         assert!(!events.is_empty());
         let kinds: BTreeSet<ObservedEventKind> = events.iter().map(|e| e.kind).collect();
-        assert!(kinds.contains(&ObservedEventKind::Outage) || kinds.contains(&ObservedEventKind::NewLink));
+        assert!(
+            kinds.contains(&ObservedEventKind::Outage)
+                || kinds.contains(&ObservedEventKind::NewLink)
+        );
         for e in &events {
             assert!(e.vp_count >= 1);
             assert!(e.start <= e.end);
@@ -610,10 +618,13 @@ mod tests {
     #[test]
     fn origin_changes_are_detected() {
         let (s, _) = mk_stream(100, 0.5, 25, 2);
-        let has_origin_event = s
-            .events
-            .iter()
-            .any(|e| matches!(e.kind, bgp_sim::EventKind::OriginChange { .. } | bgp_sim::EventKind::ForgedOriginHijack { .. }) && e.emitted_updates > 0);
+        let has_origin_event = s.events.iter().any(|e| {
+            matches!(
+                e.kind,
+                bgp_sim::EventKind::OriginChange { .. }
+                    | bgp_sim::EventKind::ForgedOriginHijack { .. }
+            ) && e.emitted_updates > 0
+        });
         let events = detect_events(&s.updates, &s.initial_ribs, s.vps.len(), 300_000);
         let detected = events
             .iter()
@@ -649,10 +660,10 @@ mod tests {
         let (s, cats) = mk_stream(120, 0.4, 30, 4);
         let events = detect_events(&s.updates, &s.initial_ribs, s.vps.len(), 300_000);
         let m = category_matrix(&events, &cats);
-        for i in 0..5 {
-            for j in 0..5 {
-                assert!((m[i][j] - m[j][i]).abs() < 1e-12);
-                assert!(m[i][j] >= 0.0);
+        for (i, row) in m.iter().enumerate() {
+            for (j, &cell) in row.iter().enumerate() {
+                assert!((cell - m[j][i]).abs() < 1e-12);
+                assert!(cell >= 0.0);
             }
         }
         let diag: f64 = (0..5).map(|i| m[i][i]).sum();

@@ -81,7 +81,11 @@ impl PrefixGroups {
             .get(&attr)
             .map(|ids| ids.iter().map(|&i| &self.groups[i]).collect())
             .unwrap_or_default();
-        gs.sort_by(|a, b| b.weight.cmp(&a.weight).then_with(|| a.members.cmp(&b.members)));
+        gs.sort_by(|a, b| {
+            b.weight
+                .cmp(&a.weight)
+                .then_with(|| a.members.cmp(&b.members))
+        });
         gs
     }
 

@@ -271,10 +271,7 @@ mod tests {
 
     #[test]
     fn text_roundtrip() {
-        let train = vec![
-            upd(1, 1, &[1, 4], &[]),
-            upd(2, 7, &[2, 4], &[]),
-        ];
+        let train = vec![upd(1, 1, &[1, 4], &[]), upd(2, 7, &[2, 4], &[])];
         let f = FilterSet::generate([vp(9)], train.iter(), FilterGranularity::VpPrefix);
         let text = f.to_text().unwrap();
         assert!(text.contains("anchor 9"));
@@ -303,7 +300,7 @@ mod tests {
 
     #[test]
     fn discard_rate_counts_drops() {
-        let train = vec![upd(1, 1, &[1, 4], &[]), upd(2, 2, &[2, 4], &[])];
+        let train = [upd(1, 1, &[1, 4], &[]), upd(2, 2, &[2, 4], &[])];
         let f = FilterSet::generate([], train.iter(), FilterGranularity::VpPrefix);
         assert_eq!(f.num_rules(), 2);
         let test = vec![

@@ -2,6 +2,8 @@
 //!
 //! * [`redundancy`] — the three redundancy definitions of §4.2 and the
 //!   update-level / VP-level redundancy measurements (Fig. 6).
+//! * [`prepared`] — interned update feature-sets and the parallel
+//!   redundancy engines the measurements above delegate to.
 //! * [`corrgroups`] — correlation groups (§17.1, Step 1 of component #1).
 //! * [`reconstitution`] — reconstitution power and redundant-update
 //!   inference (§17.2–§17.3, Steps 2–3 of component #1).
@@ -20,6 +22,7 @@ pub mod analysis;
 pub mod anchors;
 pub mod corrgroups;
 pub mod filters;
+pub mod prepared;
 pub mod reconstitution;
 pub mod redundancy;
 
@@ -30,11 +33,13 @@ pub use anchors::{
 };
 pub use corrgroups::{build_correlation_groups, CorrelationGroup, PrefixGroups, UpdateAttrs};
 pub use filters::{DropRule, FilterGranularity, FilterSet};
+pub use prepared::{sorted_subset, PreparedUpdate, PreparedUpdates};
 pub use reconstitution::{
     find_redundant_updates, reconstitution_power, select_vps_for_prefix, Component1Result,
     DEFAULT_RECONSTITUTION_TARGET,
 };
 pub use redundancy::{
-    condition1, condition2, condition3, is_redundant_with, redundant_flags, redundant_fraction,
-    redundant_vp_fraction, vp_pair_redundancy, RedundancyDef, VP_REDUNDANCY_SHARE,
+    condition1, condition2, condition3, is_redundant_with, redundant_flags, redundant_flags_seq,
+    redundant_fraction, redundant_vp_fraction, vp_pair_redundancy, vp_pair_redundancy_seq,
+    RedundancyDef, VP_REDUNDANCY_SHARE,
 };

@@ -1,0 +1,425 @@
+//! Interned update feature-sets: compute once, compare many.
+//!
+//! The redundancy conditions of §4.2 compare *effective* link- and
+//! community-sets between update pairs. The naive formulation
+//! ([`crate::redundancy::condition2`]/[`condition3`]) materializes two
+//! fresh `BTreeSet`s per comparison; inside the sliding-window scans of
+//! [`crate::redundancy::redundant_flags`] that turns an O(window) scan
+//! into an allocation storm — each update's sets are rebuilt once per
+//! *neighbor* instead of once per *update*.
+//!
+//! [`PreparedUpdates`] fixes the asymptotics: one preparation pass interns
+//! every update's effective sets into sorted boxed slices, after which a
+//! subset test is a single allocation-free O(|a| + |b|) merge walk
+//! ([`sorted_subset`]). The per-prefix buckets the window scans operate on
+//! are materialized at the same time, in prefix order, which makes them a
+//! natural fan-out unit for data parallelism: buckets are independent, so
+//! the parallel engines map buckets across threads and stitch results back
+//! in bucket order — bit-identical to the sequential path by construction.
+//!
+//! [`condition3`]: crate::redundancy::condition3
+
+use crate::redundancy::RedundancyDef;
+use bgp_types::{BgpUpdate, Community, Link, Prefix, Timestamp, VpId};
+use rayon::prelude::*;
+use std::collections::HashMap;
+
+/// Merge-walk subset test over two sorted, deduplicated slices:
+/// `a ⊆ b` in O(|a| + |b|) with no allocation.
+pub fn sorted_subset<T: Ord>(a: &[T], b: &[T]) -> bool {
+    if a.len() > b.len() {
+        return false;
+    }
+    let mut j = 0usize;
+    'outer: for x in a {
+        while j < b.len() {
+            match b[j].cmp(x) {
+                std::cmp::Ordering::Less => j += 1,
+                std::cmp::Ordering::Equal => {
+                    j += 1;
+                    continue 'outer;
+                }
+                std::cmp::Ordering::Greater => return false,
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// One update with its effective link- and community-sets interned as
+/// sorted slices (computed exactly once, at preparation time).
+#[derive(Clone, Debug)]
+pub struct PreparedUpdate {
+    /// Announcing vantage point.
+    pub vp: VpId,
+    /// Update timestamp.
+    pub time: Timestamp,
+    /// Announced prefix.
+    pub prefix: Prefix,
+    /// Sorted effective link-set (`links \ withdrawn_links`).
+    links: Box<[Link]>,
+    /// Sorted effective community-set (`communities \ withdrawn_communities`).
+    communities: Box<[Community]>,
+}
+
+impl PreparedUpdate {
+    /// Interns one update's redundancy-relevant attributes.
+    pub fn of(u: &BgpUpdate) -> Self {
+        // BTreeSet iteration is sorted and deduplicated, so collecting
+        // yields exactly the slice shape `sorted_subset` expects.
+        PreparedUpdate {
+            vp: u.vp,
+            time: u.time,
+            prefix: u.prefix,
+            links: u.effective_links().into_iter().collect(),
+            communities: u.effective_communities().into_iter().collect(),
+        }
+    }
+
+    /// The interned effective link-set (sorted).
+    pub fn links(&self) -> &[Link] {
+        &self.links
+    }
+
+    /// The interned effective community-set (sorted).
+    pub fn communities(&self) -> &[Community] {
+        &self.communities
+    }
+
+    /// Condition 1 of §4.2: same prefix, within the 100 s time slack.
+    pub fn condition1(&self, other: &PreparedUpdate) -> bool {
+        self.prefix == other.prefix && self.time.within_slack(other.time)
+    }
+
+    /// Condition 2 of §4.2 on the interned sets: `L1 ⊆ L2`.
+    pub fn condition2(&self, other: &PreparedUpdate) -> bool {
+        sorted_subset(&self.links, &other.links)
+    }
+
+    /// Condition 3 of §4.2 on the interned sets: `C1 ⊆ C2`.
+    pub fn condition3(&self, other: &PreparedUpdate) -> bool {
+        sorted_subset(&self.communities, &other.communities)
+    }
+
+    /// Whether `self` is redundant with `other` under `def` — identical
+    /// semantics to [`crate::redundancy::is_redundant_with`], without the
+    /// per-comparison set materialization.
+    pub fn is_redundant_with(&self, other: &PreparedUpdate, def: RedundancyDef) -> bool {
+        match def {
+            RedundancyDef::Def1 => self.condition1(other),
+            RedundancyDef::Def2 => self.condition1(other) && self.condition2(other),
+            RedundancyDef::Def3 => {
+                self.condition1(other) && self.condition2(other) && self.condition3(other)
+            }
+        }
+    }
+}
+
+/// A whole update stream prepared for repeated redundancy queries:
+/// interned per-update feature-sets plus prefix buckets in deterministic
+/// (prefix-sorted) order.
+///
+/// Construction is O(n log n); afterwards every engine below runs with
+/// zero per-comparison allocation, and the parallel variants fan the
+/// prefix buckets out across threads.
+#[derive(Clone, Debug)]
+pub struct PreparedUpdates {
+    items: Vec<PreparedUpdate>,
+    /// `(prefix, indices into items)`, sorted by prefix; indices keep the
+    /// input (time) order. Buckets partition `0..items.len()`.
+    buckets: Vec<(Prefix, Vec<usize>)>,
+}
+
+impl PreparedUpdates {
+    /// Prepares a time-sorted update stream.
+    pub fn prepare(updates: &[BgpUpdate]) -> Self {
+        let items: Vec<PreparedUpdate> = updates.iter().map(PreparedUpdate::of).collect();
+        let mut by_prefix: HashMap<Prefix, Vec<usize>> = HashMap::new();
+        for (i, u) in items.iter().enumerate() {
+            by_prefix.entry(u.prefix).or_default().push(i);
+        }
+        let mut buckets: Vec<(Prefix, Vec<usize>)> = by_prefix.into_iter().collect();
+        buckets.sort_unstable_by_key(|(p, _)| *p);
+        PreparedUpdates { items, buckets }
+    }
+
+    /// Number of prepared updates.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the stream is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// The prepared updates, in input order.
+    pub fn items(&self) -> &[PreparedUpdate] {
+        &self.items
+    }
+
+    /// Number of distinct prefixes (= parallel fan-out width).
+    pub fn num_buckets(&self) -> usize {
+        self.buckets.len()
+    }
+
+    // -- redundant_flags ---------------------------------------------------
+
+    /// Indices (within `idxs` positions of `items`) flagged redundant, via
+    /// the same forward/backward slack-window scan as the reference
+    /// implementation. `idxs` must be time-ordered, all of one prefix.
+    fn bucket_redundant(&self, idxs: &[usize], def: RedundancyDef) -> Vec<usize> {
+        let mut out = Vec::new();
+        for (a, &i) in idxs.iter().enumerate() {
+            let ui = &self.items[i];
+            let mut red = false;
+            for &j in &idxs[a + 1..] {
+                let uj = &self.items[j];
+                if !ui.time.within_slack(uj.time) {
+                    break;
+                }
+                if ui.is_redundant_with(uj, def) {
+                    red = true;
+                    break;
+                }
+            }
+            if !red {
+                for &j in idxs[..a].iter().rev() {
+                    let uj = &self.items[j];
+                    if !ui.time.within_slack(uj.time) {
+                        break;
+                    }
+                    if ui.is_redundant_with(uj, def) {
+                        red = true;
+                        break;
+                    }
+                }
+            }
+            if red {
+                out.push(i);
+            }
+        }
+        out
+    }
+
+    /// Per-update redundancy flags, sequential engine.
+    pub fn redundant_flags_seq(&self, def: RedundancyDef) -> Vec<bool> {
+        let mut flags = vec![false; self.items.len()];
+        for (_, idxs) in &self.buckets {
+            for i in self.bucket_redundant(idxs, def) {
+                flags[i] = true;
+            }
+        }
+        flags
+    }
+
+    /// Per-update redundancy flags, parallel engine: prefix buckets fan
+    /// out across threads; each bucket owns a disjoint slice of indices,
+    /// so scattering the per-bucket results back is order-independent and
+    /// the output is bit-identical to [`Self::redundant_flags_seq`].
+    pub fn redundant_flags(&self, def: RedundancyDef) -> Vec<bool> {
+        let per_bucket: Vec<Vec<usize>> = self
+            .buckets
+            .par_iter()
+            .map(|(_, idxs)| self.bucket_redundant(idxs, def))
+            .collect();
+        let mut flags = vec![false; self.items.len()];
+        for bucket in per_bucket {
+            for i in bucket {
+                flags[i] = true;
+            }
+        }
+        flags
+    }
+
+    // -- vp_pair_redundancy ------------------------------------------------
+
+    /// Per-bucket coverage counts: for each ordered VP pair `(v1, v2)`,
+    /// how many of `v1`'s updates in this bucket are redundant with at
+    /// least one of `v2`'s. Returned sorted by pair for deterministic
+    /// downstream merging.
+    fn bucket_vp_cover(&self, idxs: &[usize], def: RedundancyDef) -> Vec<((VpId, VpId), usize)> {
+        let mut counts: HashMap<(VpId, VpId), usize> = HashMap::new();
+        let mut seen: Vec<VpId> = Vec::new();
+        for (a, &i) in idxs.iter().enumerate() {
+            let ui = &self.items[i];
+            seen.clear();
+            // Sorted insert keeps the covering-VP membership test at
+            // O(log k) instead of the O(k) linear scan.
+            let scan = |j: usize, seen: &mut Vec<VpId>| {
+                let uj = &self.items[j];
+                if uj.vp != ui.vp {
+                    if let Err(pos) = seen.binary_search(&uj.vp) {
+                        if ui.is_redundant_with(uj, def) {
+                            seen.insert(pos, uj.vp);
+                        }
+                    }
+                }
+            };
+            for &j in &idxs[a + 1..] {
+                if !ui.time.within_slack(self.items[j].time) {
+                    break;
+                }
+                scan(j, &mut seen);
+            }
+            for &j in idxs[..a].iter().rev() {
+                if !ui.time.within_slack(self.items[j].time) {
+                    break;
+                }
+                scan(j, &mut seen);
+            }
+            for &v2 in &seen {
+                *counts.entry((ui.vp, v2)).or_insert(0) += 1;
+            }
+        }
+        let mut out: Vec<((VpId, VpId), usize)> = counts.into_iter().collect();
+        out.sort_unstable_by_key(|&(pair, _)| pair);
+        out
+    }
+
+    fn vp_pair_from_cover(
+        &self,
+        covers: impl IntoIterator<Item = Vec<((VpId, VpId), usize)>>,
+    ) -> HashMap<(VpId, VpId), f64> {
+        let mut totals: HashMap<VpId, usize> = HashMap::new();
+        for u in &self.items {
+            *totals.entry(u.vp).or_insert(0) += 1;
+        }
+        let mut covered: HashMap<(VpId, VpId), usize> = HashMap::new();
+        for bucket in covers {
+            for (pair, c) in bucket {
+                *covered.entry(pair).or_insert(0) += c;
+            }
+        }
+        covered
+            .into_iter()
+            .map(|((v1, v2), c)| ((v1, v2), c as f64 / totals[&v1] as f64))
+            .collect()
+    }
+
+    /// Sparse ordered-VP-pair redundancy fractions, sequential engine:
+    /// only pairs with non-zero coverage appear (missing = 0.0).
+    pub fn vp_pair_redundancy_seq(&self, def: RedundancyDef) -> HashMap<(VpId, VpId), f64> {
+        self.vp_pair_from_cover(
+            self.buckets
+                .iter()
+                .map(|(_, idxs)| self.bucket_vp_cover(idxs, def)),
+        )
+    }
+
+    /// Sparse ordered-VP-pair redundancy fractions, parallel engine.
+    /// Coverage counts are additive across buckets, so the merge is
+    /// order-insensitive; buckets are still reduced in prefix order for
+    /// a deterministic execution trace.
+    pub fn vp_pair_redundancy(&self, def: RedundancyDef) -> HashMap<(VpId, VpId), f64> {
+        let covers: Vec<Vec<((VpId, VpId), usize)>> = self
+            .buckets
+            .par_iter()
+            .map(|(_, idxs)| self.bucket_vp_cover(idxs, def))
+            .collect();
+        self.vp_pair_from_cover(covers)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::redundancy::{self, RedundancyDef};
+    use bgp_types::{Asn, UpdateBuilder};
+
+    fn upd(vp: u32, t_ms: u64, pfx: u32, path: &[u32], comms: &[(u16, u16)]) -> BgpUpdate {
+        let mut b = UpdateBuilder::announce(VpId::from_asn(Asn(vp)), Prefix::synthetic(pfx))
+            .at(Timestamp::from_millis(t_ms))
+            .path(path.iter().copied());
+        for &(a, c) in comms {
+            b = b.community(a, c);
+        }
+        b.build()
+    }
+
+    fn mixed_stream() -> Vec<BgpUpdate> {
+        let mut updates = Vec::new();
+        for burst in 0..6u64 {
+            let t = burst * 700_000;
+            updates.push(upd(1, t, 1, &[1, 9], &[(1, 1)]));
+            updates.push(upd(2, t + 5_000, 1, &[2, 1, 9], &[(1, 1), (2, 2)]));
+            updates.push(upd(
+                3,
+                t + 9_000,
+                (burst % 3) as u32 + 1,
+                &[3, 7],
+                &[(3, 3)],
+            ));
+            updates.push(upd(4, t + 11_000, 2, &[4, 1, 9], &[]));
+        }
+        updates.sort_by_key(|u| u.time);
+        updates
+    }
+
+    #[test]
+    fn sorted_subset_cases() {
+        assert!(sorted_subset::<u32>(&[], &[]));
+        assert!(sorted_subset(&[], &[1, 2]));
+        assert!(sorted_subset(&[2], &[1, 2, 3]));
+        assert!(sorted_subset(&[1, 3], &[1, 2, 3]));
+        assert!(!sorted_subset(&[1, 4], &[1, 2, 3]));
+        assert!(!sorted_subset(&[0], &[1, 2, 3]));
+        assert!(!sorted_subset(&[1, 2, 3], &[1, 2]));
+    }
+
+    #[test]
+    fn prepared_conditions_match_reference() {
+        let us = mixed_stream();
+        let prep = PreparedUpdates::prepare(&us);
+        for (i, u1) in us.iter().enumerate() {
+            for (j, u2) in us.iter().enumerate() {
+                if i == j {
+                    continue;
+                }
+                let (p1, p2) = (&prep.items()[i], &prep.items()[j]);
+                assert_eq!(redundancy::condition1(u1, u2), p1.condition1(p2));
+                assert_eq!(redundancy::condition2(u1, u2), p1.condition2(p2));
+                assert_eq!(redundancy::condition3(u1, u2), p1.condition3(p2));
+                for def in RedundancyDef::ALL {
+                    assert_eq!(
+                        redundancy::is_redundant_with(u1, u2, def),
+                        p1.is_redundant_with(p2, def)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_flags_equal_sequential() {
+        let us = mixed_stream();
+        let prep = PreparedUpdates::prepare(&us);
+        for def in RedundancyDef::ALL {
+            assert_eq!(prep.redundant_flags(def), prep.redundant_flags_seq(def));
+        }
+    }
+
+    #[test]
+    fn parallel_vp_pairs_equal_sequential_and_are_sparse() {
+        let us = mixed_stream();
+        let prep = PreparedUpdates::prepare(&us);
+        for def in RedundancyDef::ALL {
+            let par = prep.vp_pair_redundancy(def);
+            let seq = prep.vp_pair_redundancy_seq(def);
+            assert_eq!(par.len(), seq.len());
+            for (k, v) in &par {
+                assert_eq!(seq[k], *v, "pair {k:?}");
+                assert!(*v > 0.0, "sparse map must not carry zero entries");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_stream() {
+        let prep = PreparedUpdates::prepare(&[]);
+        assert!(prep.is_empty());
+        assert!(prep.redundant_flags(RedundancyDef::Def3).is_empty());
+        assert!(prep.vp_pair_redundancy(RedundancyDef::Def3).is_empty());
+    }
+}

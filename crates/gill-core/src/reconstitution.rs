@@ -92,7 +92,10 @@ pub fn reconstitution_power(
     let (items, by_attr) = index_items(pg, updates);
     let mut covered = vec![false; items.len()];
     for &vp in kept_vps {
-        for (c, cv) in covered.iter_mut().zip(coverage_of_vp(pg, &items, &by_attr, vp)) {
+        for (c, cv) in covered
+            .iter_mut()
+            .zip(coverage_of_vp(pg, &items, &by_attr, vp))
+        {
             *c |= cv;
         }
     }
@@ -110,7 +113,10 @@ fn index_items(pg: &PrefixGroups, updates: &[&BgpUpdate]) -> IndexedItems {
             .attr_id(&UpdateAttrs::of(u))
             .expect("updates must be the ones the groups were built from");
         items.push((u.vp, attr, u.time));
-        by_attr.entry(attr).or_default().push((u.time.as_millis(), idx));
+        by_attr
+            .entry(attr)
+            .or_default()
+            .push((u.time.as_millis(), idx));
     }
     (items, by_attr)
 }
@@ -197,14 +203,26 @@ pub fn find_redundant_updates(
     for u in updates {
         per_prefix.entry(u.prefix).or_default().push(u);
     }
+    // Step 2 is independent per prefix: fan the greedy selections out
+    // across threads, then fold the results back in prefix order (the
+    // BTreeMap iteration order), keeping the output deterministic.
+    use rayon::prelude::*;
+    let prefix_results: Vec<(Prefix, Vec<VpId>, f64)> = per_prefix
+        .iter()
+        .collect::<Vec<_>>()
+        .into_par_iter()
+        .map(|(prefix, us)| {
+            let pg = &groups[prefix];
+            let (vps, rp) = select_vps_for_prefix(pg, us, target);
+            (*prefix, vps, rp)
+        })
+        .collect();
     let mut kept: BTreeSet<(VpId, Prefix)> = BTreeSet::new();
     let mut rp_out = BTreeMap::new();
-    for (prefix, us) in &per_prefix {
-        let pg = &groups[prefix];
-        let (vps, rp) = select_vps_for_prefix(pg, us, target);
-        rp_out.insert(*prefix, rp);
+    for (prefix, vps, rp) in prefix_results {
+        rp_out.insert(prefix, rp);
         for v in vps {
-            kept.insert((v, *prefix));
+            kept.insert((v, prefix));
         }
     }
 
@@ -272,14 +290,14 @@ mod tests {
     /// all eight, but keeping VP1's cannot (U1/U5 are ambiguous).
     fn fig10_updates() -> Vec<BgpUpdate> {
         vec![
-            upd(1, 0, 1, &[2, 1, 4]),    // U1 (G1)
-            upd(2, 10, 1, &[6, 2, 1, 4]), // U2 (G1)
-            upd(1, 1000, 1, &[2, 4]),     // U3 (G2)
-            upd(2, 1010, 1, &[6, 2, 4]),  // U4 (G2)
-            upd(1, 2000, 1, &[2, 1, 4]),  // U5 (G3, same attrs as U1)
+            upd(1, 0, 1, &[2, 1, 4]),       // U1 (G1)
+            upd(2, 10, 1, &[6, 2, 1, 4]),   // U2 (G1)
+            upd(1, 1000, 1, &[2, 4]),       // U3 (G2)
+            upd(2, 1010, 1, &[6, 2, 4]),    // U4 (G2)
+            upd(1, 2000, 1, &[2, 1, 4]),    // U5 (G3, same attrs as U1)
             upd(2, 2010, 1, &[6, 3, 1, 4]), // U6 (G3)
-            upd(1, 3000, 1, &[2, 4]),     // U7 (G2 again)
-            upd(2, 3010, 1, &[6, 2, 4]),  // U8 (G2)
+            upd(1, 3000, 1, &[2, 4]),       // U7 (G2 again)
+            upd(2, 3010, 1, &[6, 2, 4]),    // U8 (G2)
         ]
     }
 
@@ -290,7 +308,10 @@ mod tests {
         let pg = &groups[&Prefix::synthetic(1)];
         let refs: Vec<&BgpUpdate> = updates.iter().collect();
         let rp2 = reconstitution_power(pg, &refs, &[vp(2)].into_iter().collect());
-        assert!((rp2 - 1.0).abs() < 1e-9, "VP2 alone must reach RP 1, got {rp2}");
+        assert!(
+            (rp2 - 1.0).abs() < 1e-9,
+            "VP2 alone must reach RP 1, got {rp2}"
+        );
         let rp1 = reconstitution_power(pg, &refs, &[vp(1)].into_iter().collect());
         assert!(rp1 < 1.0, "VP1 alone must be ambiguous, got {rp1}");
     }
@@ -351,14 +372,18 @@ mod tests {
         let res = find_redundant_updates(&updates, DEFAULT_WINDOW_MS, 0.94);
         let kept_p1 = res.kept.iter().any(|(_, p)| *p == Prefix::synthetic(1));
         let kept_p2 = res.kept.iter().any(|(_, p)| *p == Prefix::synthetic(2));
-        assert!(kept_p1 ^ kept_p2, "exactly one of the twin prefixes survives");
+        assert!(
+            kept_p1 ^ kept_p2,
+            "exactly one of the twin prefixes survives"
+        );
     }
 
     #[test]
     fn distinct_prefix_behaviour_is_not_deduped() {
-        let mut updates = Vec::new();
-        updates.push(upd(1, 0, 1, &[2, 1, 4]));
-        updates.push(upd(1, 0, 2, &[2, 9, 4])); // different path
+        let mut updates = vec![
+            upd(1, 0, 1, &[2, 1, 4]),
+            upd(1, 0, 2, &[2, 9, 4]), // different path
+        ];
         updates.sort_by_key(|u| u.time);
         let res = find_redundant_updates(&updates, DEFAULT_WINDOW_MS, 0.94);
         assert!(res.kept.contains(&(vp(1), Prefix::synthetic(1))));

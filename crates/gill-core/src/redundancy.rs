@@ -32,7 +32,11 @@ pub enum RedundancyDef {
 
 impl RedundancyDef {
     /// All definitions, loosest first.
-    pub const ALL: [RedundancyDef; 3] = [RedundancyDef::Def1, RedundancyDef::Def2, RedundancyDef::Def3];
+    pub const ALL: [RedundancyDef; 3] = [
+        RedundancyDef::Def1,
+        RedundancyDef::Def2,
+        RedundancyDef::Def3,
+    ];
 }
 
 /// Condition 1: same prefix, timestamps within the 100 s slack.
@@ -58,16 +62,30 @@ pub fn is_redundant_with(u1: &BgpUpdate, u2: &BgpUpdate, def: RedundancyDef) -> 
     match def {
         RedundancyDef::Def1 => condition1(u1, u2),
         RedundancyDef::Def2 => condition1(u1, u2) && condition2(u1, u2),
-        RedundancyDef::Def3 => {
-            condition1(u1, u2) && condition2(u1, u2) && condition3(u1, u2)
-        }
+        RedundancyDef::Def3 => condition1(u1, u2) && condition2(u1, u2) && condition3(u1, u2),
     }
 }
 
 /// Marks, for every update in `updates`, whether it is redundant with at
 /// least one *other* update under `def` (the §4.2 "97 % / 77 % / 70 %"
 /// measurement). `updates` must be time-sorted.
+///
+/// This is the fast path: updates are interned once
+/// ([`crate::prepared::PreparedUpdates`]) and the per-prefix buckets fan
+/// out across threads. Output is bit-identical to
+/// [`redundant_flags_seq`]. Callers issuing several queries over the same
+/// stream should prepare once and query the [`PreparedUpdates`] directly.
+///
+/// [`PreparedUpdates`]: crate::prepared::PreparedUpdates
 pub fn redundant_flags(updates: &[BgpUpdate], def: RedundancyDef) -> Vec<bool> {
+    crate::prepared::PreparedUpdates::prepare(updates).redundant_flags(def)
+}
+
+/// Reference implementation of [`redundant_flags`]: single-threaded, no
+/// interning — each comparison materializes the effective sets afresh.
+/// Kept as the ground truth the optimized engines are property-tested and
+/// benchmarked against.
+pub fn redundant_flags_seq(updates: &[BgpUpdate], def: RedundancyDef) -> Vec<bool> {
     // Bucket by prefix, then sliding window over time.
     let mut by_prefix: HashMap<bgp_types::Prefix, Vec<usize>> = HashMap::new();
     for (i, u) in updates.iter().enumerate() {
@@ -116,16 +134,27 @@ pub fn redundant_fraction(updates: &[BgpUpdate], def: RedundancyDef) -> f64 {
 }
 
 /// For each ordered VP pair `(v1, v2)`, the fraction of `v1`'s updates that
-/// are redundant with at least one update of `v2`. Returns a map keyed by
-/// the pair. `updates` must be time-sorted.
+/// are redundant with at least one update of `v2`. `updates` must be
+/// time-sorted.
+///
+/// The returned map is **sparse**: only pairs with non-zero coverage are
+/// present; treat a missing key as 0.0. This is the fast path (interned
+/// sets, parallel prefix buckets); [`vp_pair_redundancy_seq`] is the
+/// reference it is verified against.
 pub fn vp_pair_redundancy(
     updates: &[BgpUpdate],
     def: RedundancyDef,
 ) -> HashMap<(bgp_types::VpId, bgp_types::VpId), f64> {
+    crate::prepared::PreparedUpdates::prepare(updates).vp_pair_redundancy(def)
+}
+
+/// Reference implementation of [`vp_pair_redundancy`]: single-threaded,
+/// no interning. Produces the same sparse map (only non-zero pairs).
+pub fn vp_pair_redundancy_seq(
+    updates: &[BgpUpdate],
+    def: RedundancyDef,
+) -> HashMap<(bgp_types::VpId, bgp_types::VpId), f64> {
     use bgp_types::VpId;
-    let mut vps: Vec<VpId> = updates.iter().map(|u| u.vp).collect();
-    vps.sort_unstable();
-    vps.dedup();
     let mut counts: HashMap<VpId, usize> = HashMap::new();
     for u in updates {
         *counts.entry(u.vp).or_insert(0) += 1;
@@ -138,15 +167,17 @@ pub fn vp_pair_redundancy(
     }
     for idxs in by_prefix.values() {
         for (a, &i) in idxs.iter().enumerate() {
-            // which other VPs cover update i?
+            // which other VPs cover update i? (sorted insert: O(log k)
+            // membership instead of a linear scan)
             let mut seen: Vec<VpId> = Vec::new();
             let scan = |j: usize, seen: &mut Vec<VpId>| {
                 let u2 = &updates[j];
-                if u2.vp != updates[i].vp
-                    && !seen.contains(&u2.vp)
-                    && is_redundant_with(&updates[i], u2, def)
-                {
-                    seen.push(u2.vp);
+                if u2.vp != updates[i].vp {
+                    if let Err(pos) = seen.binary_search(&u2.vp) {
+                        if is_redundant_with(&updates[i], u2, def) {
+                            seen.insert(pos, u2.vp);
+                        }
+                    }
                 }
             };
             for &j in idxs[a + 1..].iter() {
@@ -166,18 +197,10 @@ pub fn vp_pair_redundancy(
             }
         }
     }
-    let mut out = HashMap::new();
-    for &v1 in &vps {
-        let n1 = counts[&v1];
-        for &v2 in &vps {
-            if v1 == v2 {
-                continue;
-            }
-            let c = covered.get(&(v1, v2)).copied().unwrap_or(0);
-            out.insert((v1, v2), if n1 == 0 { 0.0 } else { c as f64 / n1 as f64 });
-        }
-    }
-    out
+    covered
+        .into_iter()
+        .map(|((v1, v2), c)| ((v1, v2), c as f64 / counts[&v1] as f64))
+        .collect()
 }
 
 /// Fraction of VPs that are redundant with at least one other VP (the Fig. 6
@@ -194,8 +217,9 @@ pub fn redundant_vp_fraction(updates: &[BgpUpdate], def: RedundancyDef) -> f64 {
     let redundant = vps
         .iter()
         .filter(|&&v1| {
-            vps.iter()
-                .any(|&v2| v1 != v2 && pair.get(&(v1, v2)).copied().unwrap_or(0.0) > VP_REDUNDANCY_SHARE)
+            vps.iter().any(|&v2| {
+                v1 != v2 && pair.get(&(v1, v2)).copied().unwrap_or(0.0) > VP_REDUNDANCY_SHARE
+            })
         })
         .count();
     redundant as f64 / vps.len() as f64
@@ -297,8 +321,41 @@ mod tests {
         let m = vp_pair_redundancy(&updates, RedundancyDef::Def2);
         let v1 = VpId::from_asn(Asn(1));
         let v2 = VpId::from_asn(Asn(2));
-        assert_eq!(m[&(v1, v2)], 1.0);
-        assert!(m[&(v2, v1)] < 1.0);
+        // the map is sparse: a missing pair means zero coverage
+        let at = |a, b| m.get(&(a, b)).copied().unwrap_or(0.0);
+        assert_eq!(at(v1, v2), 1.0);
+        assert!(at(v2, v1) < 1.0);
+    }
+
+    #[test]
+    fn vp_pair_redundancy_is_sparse() {
+        // Two VPs on disjoint prefixes: no coverage, so no entries at all.
+        let updates = vec![upd(1, 0, 1, &[1, 4], &[]), upd(2, 0, 2, &[2, 4], &[])];
+        let m = vp_pair_redundancy(&updates, RedundancyDef::Def1);
+        assert!(m.is_empty());
+        assert_eq!(redundant_vp_fraction(&updates, RedundancyDef::Def1), 0.0);
+    }
+
+    #[test]
+    fn fast_paths_match_reference_engines() {
+        let mut updates = Vec::new();
+        for burst in 0..6u64 {
+            let t = burst * 400_000;
+            updates.push(upd(1, t, 1, &[1, 9], &[(1, 1)]));
+            updates.push(upd(2, t + 3_000, 1, &[2, 1, 9], &[(1, 1), (2, 2)]));
+            updates.push(upd(3, t + 7_000, (burst % 2) as u32 + 1, &[3, 7], &[]));
+        }
+        updates.sort_by_key(|u| u.time);
+        for def in RedundancyDef::ALL {
+            assert_eq!(
+                redundant_flags(&updates, def),
+                redundant_flags_seq(&updates, def)
+            );
+            assert_eq!(
+                vp_pair_redundancy(&updates, def),
+                vp_pair_redundancy_seq(&updates, def)
+            );
+        }
     }
 
     #[test]

@@ -375,9 +375,8 @@ impl Sampler for Unbiased {
             *r /= total;
         }
         // shrink the VP set until the updates fit the budget
-        let volume = |sel: &[VpId]| -> usize {
-            sel.iter().map(|v| per_vp.get(v).map_or(0, Vec::len)).sum()
-        };
+        let volume =
+            |sel: &[VpId]| -> usize { sel.iter().map(|v| per_vp.get(v).map_or(0, Vec::len)).sum() };
         while selected.len() > 1 && volume(&selected) > budget {
             // remove the VP whose removal yields the lowest bias
             let (best_i, _) = selected

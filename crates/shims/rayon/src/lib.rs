@@ -1,0 +1,246 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! Provides the small data-parallel surface the GILL analysis pipeline
+//! uses — `par_iter()` / `into_par_iter()` on slices, `Vec`s and ranges,
+//! with `map`, `for_each` and order-preserving `collect`, plus
+//! [`join`] — implemented over `std::thread::scope`. Unlike real rayon
+//! there is no work-stealing pool: each parallel call splits its input
+//! into `current_num_threads()` contiguous chunks and spawns one scoped
+//! thread per chunk. Results are concatenated in input order, so every
+//! reduction is **deterministic** and bit-identical to the sequential
+//! path regardless of thread count.
+//!
+//! Thread count comes from `RAYON_NUM_THREADS` (like real rayon) and
+//! falls back to `std::thread::available_parallelism`. With one thread
+//! the input is processed inline with zero spawn overhead.
+
+#![forbid(unsafe_code)]
+
+use std::sync::OnceLock;
+
+/// Number of worker threads parallel calls fan out to.
+///
+/// Honors `RAYON_NUM_THREADS` when set to a positive integer, otherwise
+/// uses the machine's available parallelism.
+pub fn current_num_threads() -> usize {
+    static N: OnceLock<usize> = OnceLock::new();
+    *N.get_or_init(|| {
+        if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                if n > 0 {
+                    return n;
+                }
+            }
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
+/// Runs both closures, potentially in parallel, and returns both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 {
+        return (a(), b());
+    }
+    std::thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        let rb = hb.join().expect("rayon::join worker panicked");
+        (ra, rb)
+    })
+}
+
+/// Splits `items` into per-thread chunks, maps each element with `f` on a
+/// scoped worker thread, and returns results in input order.
+fn execute<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let threads = current_num_threads();
+    if threads <= 1 || items.len() <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk_len = items.len().div_ceil(threads);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+    let mut it = items.into_iter();
+    loop {
+        let c: Vec<T> = it.by_ref().take(chunk_len).collect();
+        if c.is_empty() {
+            break;
+        }
+        chunks.push(c);
+    }
+    let f = &f;
+    std::thread::scope(|s| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|c| s.spawn(move || c.into_iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        let mut out = Vec::new();
+        for h in handles {
+            out.extend(h.join().expect("rayon worker panicked"));
+        }
+        out
+    })
+}
+
+/// Parallel iterator adaptors.
+pub mod iter {
+    use super::execute;
+
+    /// An eager parallel iterator over an owned list of items.
+    ///
+    /// `map` evaluates immediately across worker threads (the mapping
+    /// closure is where the work lives in every call site this workspace
+    /// has); the result preserves input order.
+    pub struct ParIter<T: Send> {
+        items: Vec<T>,
+    }
+
+    impl<T: Send> ParIter<T> {
+        /// Maps every element in parallel, preserving order.
+        pub fn map<R, F>(self, f: F) -> ParIter<R>
+        where
+            R: Send,
+            F: Fn(T) -> R + Sync,
+        {
+            ParIter {
+                items: execute(self.items, f),
+            }
+        }
+
+        /// Runs `f` on every element in parallel.
+        pub fn for_each<F>(self, f: F)
+        where
+            F: Fn(T) + Sync,
+        {
+            let _ = execute(self.items, f);
+        }
+
+        /// Collects the (already order-preserving) results.
+        pub fn collect<C: FromIterator<T>>(self) -> C {
+            self.items.into_iter().collect()
+        }
+
+        /// Compatibility no-op: chunking here is always contiguous.
+        pub fn with_min_len(self, _len: usize) -> Self {
+            self
+        }
+    }
+
+    /// Conversion of owned collections into a parallel iterator.
+    pub trait IntoParallelIterator {
+        /// Element type.
+        type Item: Send;
+
+        /// Converts into a parallel iterator.
+        fn into_par_iter(self) -> ParIter<Self::Item>;
+    }
+
+    impl<T: Send> IntoParallelIterator for Vec<T> {
+        type Item = T;
+        fn into_par_iter(self) -> ParIter<T> {
+            ParIter { items: self }
+        }
+    }
+
+    impl IntoParallelIterator for std::ops::Range<usize> {
+        type Item = usize;
+        fn into_par_iter(self) -> ParIter<usize> {
+            ParIter {
+                items: self.collect(),
+            }
+        }
+    }
+
+    impl IntoParallelIterator for std::ops::Range<u32> {
+        type Item = u32;
+        fn into_par_iter(self) -> ParIter<u32> {
+            ParIter {
+                items: self.collect(),
+            }
+        }
+    }
+
+    /// Borrowing conversion (`par_iter()`) for slice-backed collections.
+    pub trait IntoParallelRefIterator<'a> {
+        /// Borrowed element type.
+        type Item: Send + 'a;
+
+        /// A parallel iterator over references.
+        fn par_iter(&'a self) -> ParIter<Self::Item>;
+    }
+
+    impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+        type Item = &'a T;
+        fn par_iter(&'a self) -> ParIter<&'a T> {
+            ParIter {
+                items: self.iter().collect(),
+            }
+        }
+    }
+
+    impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+        type Item = &'a T;
+        fn par_iter(&'a self) -> ParIter<&'a T> {
+            ParIter {
+                items: self.iter().collect(),
+            }
+        }
+    }
+}
+
+/// The traits a caller needs in scope.
+pub mod prelude {
+    pub use crate::iter::{IntoParallelIterator, IntoParallelRefIterator, ParIter};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let v: Vec<u64> = (0..10_000).collect();
+        let doubled: Vec<u64> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..10_000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn into_par_iter_on_range() {
+        let squares: Vec<usize> = (0..100usize).into_par_iter().map(|x| x * x).collect();
+        assert_eq!(squares[99], 99 * 99);
+        assert_eq!(squares.len(), 100);
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = super::join(|| 1 + 1, || "two");
+        assert_eq!(a, 2);
+        assert_eq!(b, "two");
+    }
+
+    #[test]
+    fn for_each_runs_everything() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let count = AtomicUsize::new(0);
+        (0..1000usize).into_par_iter().for_each(|_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 1000);
+    }
+
+    #[test]
+    fn num_threads_positive() {
+        assert!(super::current_num_threads() >= 1);
+    }
+}

@@ -128,10 +128,7 @@ pub fn infer_relationships(paths: &[Vec<u32>]) -> HashMap<(u32, u32), InferredRe
 /// Validation against the ground-truth topology: returns
 /// `(inferred_count, correct_count)`. A c2p inference is correct only with
 /// the right orientation.
-pub fn validate(
-    topo: &Topology,
-    inferred: &HashMap<(u32, u32), InferredRel>,
-) -> (usize, usize) {
+pub fn validate(topo: &Topology, inferred: &HashMap<(u32, u32), InferredRel>) -> (usize, usize) {
     let mut correct = 0usize;
     for (&(a, b), &rel) in inferred {
         let truth = if topo.providers(a).contains(&b) {
@@ -230,7 +227,10 @@ mod tests {
         let (exact_few, err_few) = ccs_accuracy(&topo, all_paths(&topo, &few));
         assert!(exact_full >= exact_few);
         assert!(err_full <= err_few + 1e-9);
-        assert!(exact_full > 0.5, "full-visibility CCS exactness {exact_full}");
+        assert!(
+            exact_full > 0.5,
+            "full-visibility CCS exactness {exact_full}"
+        );
     }
 
     #[test]

@@ -83,8 +83,7 @@ impl KnowledgeBase {
 /// surfaces new origin-adjacent links, and classifies each as hijack when
 /// the new adjacency is topologically implausible.
 pub fn evaluate(stream: &UpdateStream, sample: &[usize]) -> DfohResult {
-    let rib_vps: HashSet<bgp_types::VpId> =
-        sample.iter().map(|&i| stream.updates[i].vp).collect();
+    let rib_vps: HashSet<bgp_types::VpId> = sample.iter().map(|&i| stream.updates[i].vp).collect();
     evaluate_with_ribs(stream, sample, &rib_vps)
 }
 

@@ -64,11 +64,7 @@ fn localize_one(
         if !b.uses_link(link.0, link.1) {
             continue; // routes to this origin are unaffected
         }
-        let after = compute_routes(
-            topo,
-            &[SourceAnnouncement::origin(origin as u32)],
-            &failed,
-        );
+        let after = compute_routes(topo, &[SourceAnnouncement::origin(origin as u32)], &failed);
         for &v in vp_nodes {
             let old = b.path(v);
             let new = after.path(v);
@@ -239,8 +235,8 @@ mod tests {
         let topo = TopologyBuilder::artificial(150, 5).build();
         let all: Vec<u32> = (0..topo.num_ases() as u32).collect();
         let c = static_campaign(&topo, &all, 40, 1);
-        let rate = (c.p2p_localized + c.c2p_localized) as f64
-            / (c.p2p_total + c.c2p_total).max(1) as f64;
+        let rate =
+            (c.p2p_localized + c.c2p_localized) as f64 / (c.p2p_total + c.c2p_total).max(1) as f64;
         assert!(rate > 0.5, "full coverage localization rate {rate}");
     }
 

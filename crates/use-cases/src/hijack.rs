@@ -87,9 +87,7 @@ pub fn static_detection(
         ];
         let table = compute_routes(topo, &sources, &failed);
         campaign.total += 1;
-        let visible = vp_set
-            .iter()
-            .any(|&v| table.source_index(v) == Some(1));
+        let visible = vp_set.iter().any(|&v| table.source_index(v) == Some(1));
         if visible {
             campaign.detected += 1;
         }

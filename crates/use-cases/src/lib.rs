@@ -33,7 +33,7 @@ pub mod unchanged;
 pub use action_comms::ActionCommunities;
 pub use asrel::{ccs_accuracy, infer_relationships, validate, InferredRel};
 pub use dfoh::{evaluate as dfoh_evaluate, DfohResult};
-pub use failloc::{static_campaign, FailureLocalization, FaillocCampaign};
+pub use failloc::{static_campaign, FaillocCampaign, FailureLocalization};
 pub use hijack::{static_detection, HijackCampaign, HijackDetection};
 pub use moas::MoasDetection;
 pub use topomap::{static_link_coverage, TopologyMapping};

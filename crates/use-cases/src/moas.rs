@@ -124,7 +124,10 @@ mod tests {
         });
         if let Some(i) = idx {
             let score = uc.score(&s, &[i]);
-            assert!(score > 0.0, "one MOAS-revealing update must detect one MOAS");
+            assert!(
+                score > 0.0,
+                "one MOAS-revealing update must detect one MOAS"
+            );
         }
     }
 }

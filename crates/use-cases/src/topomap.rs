@@ -90,8 +90,16 @@ pub fn static_link_coverage(topo: &Topology, vp_nodes: &[u32]) -> (f64, f64) {
         }
     }
     (
-        if p2p_total == 0 { 1.0 } else { p2p_seen as f64 / p2p_total as f64 },
-        if c2p_total == 0 { 1.0 } else { c2p_seen as f64 / c2p_total as f64 },
+        if p2p_total == 0 {
+            1.0
+        } else {
+            p2p_seen as f64 / p2p_total as f64
+        },
+        if c2p_total == 0 {
+            1.0
+        } else {
+            c2p_seen as f64 / c2p_total as f64
+        },
     )
 }
 
@@ -114,7 +122,7 @@ mod tests {
         assert_eq!(uc.score(&s, &[]), 0.0);
         let half: Vec<usize> = all.iter().copied().step_by(2).collect();
         let sh = uc.score(&s, &half);
-        assert!(sh <= 1.0 && sh >= 0.0);
+        assert!((0.0..=1.0).contains(&sh));
     }
 
     #[test]

@@ -51,7 +51,10 @@ pub fn detect_indices(stream: &UpdateStream, indices: &[usize]) -> HashSet<usize
     // seed from initial RIBs
     for (vp, rib) in &stream.initial_ribs {
         for (prefix, entry) in rib.iter() {
-            state.insert((*vp, *prefix), (entry.path.clone(), entry.communities.clone()));
+            state.insert(
+                (*vp, *prefix),
+                (entry.path.clone(), entry.communities.clone()),
+            );
         }
     }
     let mut out = HashSet::new();

@@ -5,8 +5,7 @@
 //! Run with: `cargo run --example anchor_analysis --release`
 
 use gill::core::{
-    category_matrix, detect_events, greedy_select, redundancy_scores, stratify_events,
-    AnchorConfig,
+    category_matrix, detect_events, greedy_select, redundancy_scores, stratify_events, AnchorConfig,
 };
 use gill::prelude::*;
 use std::collections::HashMap;

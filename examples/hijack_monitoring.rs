@@ -16,10 +16,7 @@ fn main() {
     println!("Type-1 forged-origin hijack visibility vs VP coverage:");
     for coverage in [0.01, 0.05, 0.25, 1.0] {
         let vps = topo.pick_vps(coverage, 3);
-        let nodes: Vec<u32> = vps
-            .iter()
-            .filter_map(|v| topo.index_of(v.asn))
-            .collect();
+        let nodes: Vec<u32> = vps.iter().filter_map(|v| topo.index_of(v.asn)).collect();
         let c1 = static_detection(&topo, &nodes, &victims, 1, 9);
         let c2 = static_detection(&topo, &nodes, &victims, 2, 9);
         println!(

@@ -19,12 +19,9 @@ fn main() -> std::io::Result<()> {
 
     // 2. Install filters: drop prefix 0 from AS 65001 (a toy redundancy
     //    inference), accept everything from anchor AS 65002.
-    let template = UpdateBuilder::announce(
-        VpId::from_asn(Asn(65001)),
-        Prefix::synthetic(0),
-    )
-    .path([65001, 2, 3])
-    .build();
+    let template = UpdateBuilder::announce(VpId::from_asn(Asn(65001)), Prefix::synthetic(0))
+        .path([65001, 2, 3])
+        .build();
     let filters = FilterSet::generate(
         [VpId::from_asn(Asn(65002))],
         [&template],

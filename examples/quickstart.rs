@@ -48,7 +48,11 @@ fn main() {
         analysis.component2.events_used
     );
     let filters = analysis.filter_set();
-    println!("generated {} drop rules + {} anchor accept-alls", filters.num_rules(), analysis.component2.anchors.len());
+    println!(
+        "generated {} drop rules + {} anchor accept-alls",
+        filters.num_rules(),
+        analysis.component2.anchors.len()
+    );
 
     // 4. Apply the filters to a *future* window: the overshoot-and-discard
     //    collection path.

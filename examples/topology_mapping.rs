@@ -37,7 +37,12 @@ fn main() {
             .map(|u| (topo.asn(u), cats[u as usize]))
             .collect()
     };
-    let gill = GillSampler::train(&train, &categories, &GillConfig::default(), GillVariant::Full);
+    let gill = GillSampler::train(
+        &train,
+        &categories,
+        &GillConfig::default(),
+        GillVariant::Full,
+    );
     let budget = gill.sample(&eval, usize::MAX, 1).len();
     let uc = TopologyMapping::new(&eval);
     let g = uc.score(&eval, &gill.sample(&eval, budget, 1));

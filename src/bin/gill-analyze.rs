@@ -56,8 +56,11 @@ fn run() -> Result<(), String> {
         analysis.retained_fraction() * 100.0
     );
     let filters = analysis.filter_set();
-    println!("filters: {} drop rules + {} anchors", filters.num_rules(),
-        analysis.component2.anchors.len());
+    println!(
+        "filters: {} drop rules + {} anchors",
+        filters.num_rules(),
+        analysis.component2.anchors.len()
+    );
     if let Some(p) = filters_path {
         let text = filters.to_text().map_err(|e| e.to_string())?;
         std::fs::write(&p, text).map_err(|e| e.to_string())?;

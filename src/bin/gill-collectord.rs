@@ -79,9 +79,7 @@ fn run() -> Result<(), String> {
         load(&stats.lost),
     );
     let written = storage.stored();
-    storage
-        .into_inner()
-        .map_err(|e| e.to_string())?;
+    storage.into_inner().map_err(|e| e.to_string())?;
     println!("archived {written} records to {}", archive.display());
     Ok(())
 }

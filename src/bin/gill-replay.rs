@@ -43,7 +43,9 @@ fn main() -> ExitCode {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");
-            eprintln!("usage: gill-replay --updates updates.mrt --filters filters.txt [--out kept.mrt]");
+            eprintln!(
+                "usage: gill-replay --updates updates.mrt --filters filters.txt [--out kept.mrt]"
+            );
             ExitCode::FAILURE
         }
     }

@@ -46,8 +46,8 @@ fn run() -> Result<(), String> {
     let n = write_updates_mrt(&out, &stream.updates).map_err(|e| e.to_string())?;
     println!("wrote {n} MRT update records to {}", out.display());
     if let Some(p) = ribs_out {
-        let recs = write_ribs_mrt(&p, &stream.initial_ribs, Timestamp::ZERO)
-            .map_err(|e| e.to_string())?;
+        let recs =
+            write_ribs_mrt(&p, &stream.initial_ribs, Timestamp::ZERO).map_err(|e| e.to_string())?;
         println!("wrote {recs} TABLE_DUMP_V2 records to {}", p.display());
     }
     Ok(())

@@ -93,9 +93,7 @@ pub fn read_updates_mrt(path: &Path) -> std::io::Result<Vec<BgpUpdate>> {
                 }
             }
             Ok(None) => break,
-            Err(e) => {
-                return Err(std::io::Error::new(std::io::ErrorKind::InvalidData, e))
-            }
+            Err(e) => return Err(std::io::Error::new(std::io::ErrorKind::InvalidData, e)),
         }
     }
     Ok(out)

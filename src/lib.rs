@@ -59,7 +59,7 @@ pub mod prelude {
     pub use crate::sim::{EventKind, Simulator, StreamConfig, UpdateStream};
     pub use crate::topology::{AsCategory, Relationship, Topology, TopologyBuilder};
     pub use crate::types::{
-        Asn, AsPath, BgpUpdate, Community, Link, Prefix, Rib, Timestamp, UpdateBuilder,
-        UpdateKind, VpId,
+        AsPath, Asn, BgpUpdate, Community, Link, Prefix, Rib, Timestamp, UpdateBuilder, UpdateKind,
+        VpId,
     };
 }

@@ -2,9 +2,7 @@
 //! disconnects, and corrupted archives without crashing or corrupting
 //! state.
 
-use gill::collector::{
-    handshake_client, DaemonConfig, DaemonPool, MemoryStorage, MessageStream,
-};
+use gill::collector::{handshake_client, DaemonConfig, DaemonPool, MemoryStorage, MessageStream};
 use gill::prelude::*;
 use gill::wire::{BgpMessage, MrtReader, MrtRecord, MrtWriter, UpdateMessage};
 use std::io::Write;
@@ -31,7 +29,8 @@ fn garbage_peer_does_not_poison_the_pool() {
     // a peer that sends pure garbage instead of an OPEN
     {
         let mut s = TcpStream::connect(addr).unwrap();
-        s.write_all(b"GET / HTTP/1.1\r\nHost: not-bgp\r\n\r\n").unwrap();
+        s.write_all(b"GET / HTTP/1.1\r\nHost: not-bgp\r\n\r\n")
+            .unwrap();
         // the daemon rejects the handshake; dropping the socket is fine
     }
     // a peer that handshakes, then desynchronizes the stream

@@ -131,8 +131,7 @@ fn wire_roundtrip_of_simulated_stream() {
 #[test]
 fn orchestrator_drives_the_daemon_pool() {
     use gill::collector::{
-        DaemonConfig, DaemonPool, FakePeerConfig, MemoryStorage, Orchestrator,
-        OrchestratorConfig,
+        DaemonConfig, DaemonPool, FakePeerConfig, MemoryStorage, Orchestrator, OrchestratorConfig,
     };
     let topo = TopologyBuilder::artificial(120, 5).build();
     let cats = categories(&topo);
@@ -151,7 +150,8 @@ fn orchestrator_drives_the_daemon_pool() {
     );
     orch.set_initial_ribs(train.initial_ribs.clone());
     orch.observe(train.updates.iter().cloned());
-    orch.maybe_refresh(Timestamp::from_secs(60)).expect("first refresh runs");
+    orch.maybe_refresh(Timestamp::from_secs(60))
+        .expect("first refresh runs");
 
     // install into a live pool and push updates through real TCP
     let mut pool = DaemonPool::start("127.0.0.1:0", DaemonConfig::default()).unwrap();

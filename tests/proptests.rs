@@ -76,13 +76,13 @@ proptest! {
 
 fn arb_update() -> impl Strategy<Value = BgpUpdate> {
     (
-        1u32..100_000,                                   // vp asn
-        0u64..10_000,                                    // time secs
-        any::<u32>(),                                    // prefix bits
-        0u8..=32,                                        // prefix len
+        1u32..100_000,                                    // vp asn
+        0u64..10_000,                                     // time secs
+        any::<u32>(),                                     // prefix bits
+        0u8..=32,                                         // prefix len
         proptest::collection::vec(1u32..1_000_000, 1..8), // path
         proptest::collection::vec((0u16..60_000, 0u16..1_000), 0..6),
-        any::<bool>(),                                   // announce?
+        any::<bool>(), // announce?
     )
         .prop_map(|(vp, t, bits, len, path, comms, announce)| {
             let prefix = Prefix::v4(Ipv4Addr::from(bits), len);
@@ -218,6 +218,130 @@ proptest! {
         for def in RedundancyDef::ALL {
             prop_assert!(is_redundant_with(&a, &a, def));
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parallel redundancy engine ≡ sequential reference
+// ---------------------------------------------------------------------------
+
+/// A dense stream: few prefixes/VPs and tight timestamps so the 100 s slack
+/// windows overlap heavily and all three redundancy conditions fire.
+fn arb_dense_stream() -> impl Strategy<Value = Vec<BgpUpdate>> {
+    proptest::collection::vec(
+        (
+            1u32..6,   // vp asn (small pool → VP pairs exist)
+            0u64..400, // seconds (dense → slack windows overlap)
+            0u32..5,   // prefix pool (small → condition 1 fires)
+            proptest::collection::vec(1u32..50, 1..5),
+            proptest::collection::vec((0u16..20, 0u16..20), 0..4),
+            any::<bool>(), // announce or withdraw
+        ),
+        0..60,
+    )
+    .prop_map(|rows| {
+        let mut updates: Vec<BgpUpdate> = rows
+            .into_iter()
+            .map(|(vp, t, pfx, path, comms, announce)| {
+                let vp = VpId::from_asn(Asn(vp));
+                let prefix = Prefix::synthetic(pfx);
+                if announce {
+                    let mut b = UpdateBuilder::announce(vp, prefix)
+                        .at(Timestamp::from_secs(t))
+                        .path(path);
+                    for (a, c) in comms {
+                        b = b.community(a, c);
+                    }
+                    b.build()
+                } else {
+                    UpdateBuilder::withdraw(vp, prefix)
+                        .at(Timestamp::from_secs(t))
+                        .build()
+                }
+            })
+            .collect();
+        updates.sort_by_key(|u| u.time);
+        updates
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn parallel_flags_match_sequential_reference(updates in arb_dense_stream()) {
+        use gill::core::{redundant_flags, redundant_flags_seq, RedundancyDef};
+        for def in RedundancyDef::ALL {
+            prop_assert_eq!(
+                redundant_flags(&updates, def),
+                redundant_flags_seq(&updates, def)
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_vp_pairs_match_sequential_reference(updates in arb_dense_stream()) {
+        use gill::core::{vp_pair_redundancy, vp_pair_redundancy_seq, RedundancyDef};
+        for def in RedundancyDef::ALL {
+            prop_assert_eq!(
+                vp_pair_redundancy(&updates, def),
+                vp_pair_redundancy_seq(&updates, def)
+            );
+        }
+    }
+
+    #[test]
+    fn prepared_pairwise_checks_match_unprepared(a in arb_update(), b in arb_update()) {
+        use gill::core::{is_redundant_with, PreparedUpdate, RedundancyDef};
+        let pa = PreparedUpdate::of(&a);
+        let pb = PreparedUpdate::of(&b);
+        for def in RedundancyDef::ALL {
+            prop_assert_eq!(
+                pa.is_redundant_with(&pb, def),
+                is_redundant_with(&a, &b, def)
+            );
+        }
+    }
+}
+
+/// Edge cases the property generator may not reliably hit: the empty
+/// stream, a single-VP stream, and an all-same-prefix burst inside one
+/// slack window.
+#[test]
+fn redundancy_engines_agree_on_edge_cases() {
+    use gill::core::{
+        redundant_flags, redundant_flags_seq, vp_pair_redundancy, vp_pair_redundancy_seq,
+        PreparedUpdates, RedundancyDef,
+    };
+    let upd = |vp: u32, t_ms: u64, pfx: u32| {
+        UpdateBuilder::announce(VpId::from_asn(Asn(vp)), Prefix::synthetic(pfx))
+            .at(Timestamp::from_millis(t_ms))
+            .path([vp, 9, 7])
+            .build()
+    };
+    let empty: Vec<BgpUpdate> = Vec::new();
+    let single_vp: Vec<BgpUpdate> = (0..10).map(|k| upd(1, k * 1_000, k as u32 % 2)).collect();
+    let same_prefix_burst: Vec<BgpUpdate> =
+        (0..30).map(|k| upd(k as u32 % 4 + 1, k * 500, 3)).collect();
+    for updates in [&empty, &single_vp, &same_prefix_burst] {
+        for def in RedundancyDef::ALL {
+            assert_eq!(
+                redundant_flags(updates, def),
+                redundant_flags_seq(updates, def)
+            );
+            assert_eq!(
+                vp_pair_redundancy(updates, def),
+                vp_pair_redundancy_seq(updates, def)
+            );
+            // the prepared engine agrees with itself across modes too
+            let p = PreparedUpdates::prepare(updates);
+            assert_eq!(p.redundant_flags(def), p.redundant_flags_seq(def));
+            assert_eq!(p.vp_pair_redundancy(def), p.vp_pair_redundancy_seq(def));
+        }
+    }
+    // a single VP can never be pair-redundant with anyone
+    for def in RedundancyDef::ALL {
+        assert!(vp_pair_redundancy(&single_vp, def).is_empty());
     }
 }
 
@@ -377,7 +501,7 @@ proptest! {
             .build();
             ribs.entry(vpid).or_default().apply(&mut u);
         }
-        let dump = TableDump::from_ribs(ribs.iter().map(|(k, v)| (k, v)));
+        let dump = TableDump::from_ribs(ribs.iter());
         let mut bytes = Vec::new();
         dump.write_mrt(&mut bytes, Timestamp::from_secs(7)).unwrap();
         let back = TableDump::read_mrt(&bytes).unwrap();
