@@ -29,7 +29,7 @@ pub mod update;
 pub use error::{WireError, WireResult};
 pub use message::{BgpMessage, MAX_MESSAGE_LEN, MIN_MESSAGE_LEN};
 pub use mrt::{MrtReader, MrtRecord, MrtWriter};
-pub use notification::Notification;
+pub use notification::{error_code, Notification};
 pub use open::OpenMessage;
 pub use table_dump::{PeerEntry, RibRoute, TableDump};
 pub use update::{Origin, UpdateMessage};

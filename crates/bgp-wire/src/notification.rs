@@ -1,7 +1,57 @@
-//! NOTIFICATION message (RFC 4271 §4.5).
+//! NOTIFICATION message (RFC 4271 §4.5) and the §6 error-code taxonomy
+//! used to classify codec failures before closing a session.
 
 use crate::error::{WireError, WireResult};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// RFC 4271 §6 NOTIFICATION error codes (and the subcodes this crate
+/// emits).
+pub mod error_code {
+    /// Message Header Error.
+    pub const MESSAGE_HEADER: u8 = 1;
+    /// OPEN Message Error.
+    pub const OPEN: u8 = 2;
+    /// UPDATE Message Error.
+    pub const UPDATE: u8 = 3;
+    /// Hold Timer Expired.
+    pub const HOLD_TIMER_EXPIRED: u8 = 4;
+    /// Finite State Machine Error (message in the wrong session state).
+    pub const FSM: u8 = 5;
+    /// Cease.
+    pub const CEASE: u8 = 6;
+
+    /// Message Header Error subcodes (§6.1).
+    pub mod header {
+        /// Connection Not Synchronized (bad marker).
+        pub const NOT_SYNCHRONIZED: u8 = 1;
+        /// Bad Message Length.
+        pub const BAD_LENGTH: u8 = 2;
+        /// Bad Message Type.
+        pub const BAD_TYPE: u8 = 3;
+    }
+
+    /// OPEN Message Error subcodes (§6.2).
+    pub mod open {
+        /// Unsupported Version Number.
+        pub const UNSUPPORTED_VERSION: u8 = 1;
+        /// Unacceptable Hold Time.
+        pub const UNACCEPTABLE_HOLD_TIME: u8 = 6;
+    }
+
+    /// UPDATE Message Error subcodes (§6.3).
+    pub mod update {
+        /// Malformed Attribute List.
+        pub const MALFORMED_ATTRIBUTES: u8 = 1;
+        /// Invalid Network Field.
+        pub const INVALID_NETWORK: u8 = 10;
+    }
+
+    /// Cease subcodes (RFC 4486).
+    pub mod cease {
+        /// Administrative Shutdown.
+        pub const ADMIN_SHUTDOWN: u8 = 2;
+    }
+}
 
 /// A BGP NOTIFICATION: error code, subcode and opaque data.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -15,21 +65,74 @@ pub struct Notification {
 }
 
 impl Notification {
-    /// Cease (administrative shutdown) — code 6, subcode 2.
-    pub fn cease() -> Self {
+    /// A NOTIFICATION with no diagnostic data.
+    pub fn new(code: u8, subcode: u8) -> Self {
         Notification {
-            code: 6,
-            subcode: 2,
+            code,
+            subcode,
             data: Vec::new(),
         }
     }
 
+    /// Cease (administrative shutdown) — code 6, subcode 2.
+    pub fn cease() -> Self {
+        Notification::new(error_code::CEASE, error_code::cease::ADMIN_SHUTDOWN)
+    }
+
     /// Hold-timer expired — code 4.
     pub fn hold_timer_expired() -> Self {
-        Notification {
-            code: 4,
-            subcode: 0,
-            data: Vec::new(),
+        Notification::new(error_code::HOLD_TIMER_EXPIRED, 0)
+    }
+
+    /// Finite-state-machine error (a message arrived in a session state
+    /// that cannot accept it) — code 5.
+    pub fn fsm_error() -> Self {
+        Notification::new(error_code::FSM, 0)
+    }
+
+    /// Classifies a codec failure into the RFC 4271 §6 NOTIFICATION a
+    /// speaker should send before closing the session.
+    ///
+    /// Framing-level failures map to Message Header Error, OPEN body
+    /// failures to OPEN Message Error, attribute/NLRI failures to UPDATE
+    /// Message Error. Errors that cannot occur on the receive path of a
+    /// live session (MRT corruption, unsupported encode requests) fall
+    /// back to Cease.
+    pub fn for_wire_error(e: &WireError) -> Notification {
+        use error_code as ec;
+        match e {
+            WireError::BadMarker => {
+                Notification::new(ec::MESSAGE_HEADER, ec::header::NOT_SYNCHRONIZED)
+            }
+            WireError::BadLength(l) => {
+                let mut n = Notification::new(ec::MESSAGE_HEADER, ec::header::BAD_LENGTH);
+                n.data = l.to_be_bytes().to_vec();
+                n
+            }
+            WireError::UnknownMessageType(t) => {
+                let mut n = Notification::new(ec::MESSAGE_HEADER, ec::header::BAD_TYPE);
+                n.data = vec![*t];
+                n
+            }
+            WireError::BadVersion(_) => Notification::new(ec::OPEN, ec::open::UNSUPPORTED_VERSION),
+            WireError::BadAttribute { .. } => {
+                Notification::new(ec::UPDATE, ec::update::MALFORMED_ATTRIBUTES)
+            }
+            WireError::BadPrefixLength(_) => {
+                Notification::new(ec::UPDATE, ec::update::INVALID_NETWORK)
+            }
+            // A truncated body means the header length field lied about
+            // the content; classify by what was being decoded.
+            WireError::Truncated { what, .. } => {
+                if what.starts_with("OPEN") || *what == "capability" {
+                    Notification::new(ec::OPEN, 0)
+                } else if *what == "NOTIFICATION" {
+                    Notification::new(ec::MESSAGE_HEADER, ec::header::BAD_LENGTH)
+                } else {
+                    Notification::new(ec::UPDATE, ec::update::MALFORMED_ATTRIBUTES)
+                }
+            }
+            WireError::Unsupported(_) | WireError::BadMrt(_) => Notification::cease(),
         }
     }
 
@@ -91,5 +194,53 @@ mod tests {
     fn well_known_constructors() {
         assert_eq!(Notification::cease().code, 6);
         assert_eq!(Notification::hold_timer_expired().code, 4);
+        assert_eq!(Notification::fsm_error().code, 5);
+    }
+
+    #[test]
+    fn wire_errors_classify_to_rfc4271_codes() {
+        let cases = [
+            (WireError::BadMarker, (1, 1)),
+            (WireError::BadLength(9999), (1, 2)),
+            (WireError::UnknownMessageType(77), (1, 3)),
+            (WireError::BadVersion(3), (2, 1)),
+            (
+                WireError::BadAttribute {
+                    code: 2,
+                    reason: "truncated segment",
+                },
+                (3, 1),
+            ),
+            (WireError::BadPrefixLength(40), (3, 10)),
+            (
+                WireError::Truncated {
+                    what: "OPEN",
+                    needed: 10,
+                    have: 2,
+                },
+                (2, 0),
+            ),
+            (
+                WireError::Truncated {
+                    what: "path attributes",
+                    needed: 8,
+                    have: 1,
+                },
+                (3, 1),
+            ),
+            (WireError::BadMrt("x"), (6, 2)),
+        ];
+        for (err, (code, subcode)) in cases {
+            let n = Notification::for_wire_error(&err);
+            assert_eq!((n.code, n.subcode), (code, subcode), "{err:?}");
+        }
+    }
+
+    #[test]
+    fn classification_carries_diagnostic_data() {
+        let n = Notification::for_wire_error(&WireError::BadLength(4097));
+        assert_eq!(n.data, 4097u16.to_be_bytes().to_vec());
+        let n = Notification::for_wire_error(&WireError::UnknownMessageType(9));
+        assert_eq!(n.data, vec![9]);
     }
 }

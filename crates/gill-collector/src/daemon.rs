@@ -1,32 +1,45 @@
 //! The per-peer BGP daemon (§8).
 //!
-//! Each daemon owns exactly one BGP session: it performs the OPEN
-//! handshake, receives UPDATEs, applies GILL's filters, and hands retained
-//! updates to a **bounded** storage queue. When the queue is full the
-//! update is *lost* — the quantity Table 1 measures under load. Filters can
-//! be swapped at runtime by the orchestrator (§7's periodic refresh).
+//! Each daemon owns exactly one BGP session: it runs the RFC 4271 session
+//! FSM ([`crate::fsm::SessionFsm`]) over a pluggable [`Transport`],
+//! receives UPDATEs, applies GILL's filters, and hands retained updates to
+//! a **bounded** storage queue. When the queue is full the update is
+//! *lost* — the quantity Table 1 measures under load. Filters can be
+//! swapped at runtime by the orchestrator (§7's periodic refresh).
+//!
+//! The session layer is split in two:
+//!
+//! * the FSM decides *what* happens (handshake, hold timer, keepalives,
+//!   NOTIFICATION-on-error) and is pure;
+//! * the drive loops here decide *when*, by blocking on the transport with
+//!   timeouts derived from the FSM's next deadline.
+//!
+//! The same FSM also runs under the deterministic [`crate::harness`].
 
 use crate::forwarding::Forwarder;
+use crate::fsm::{CloseReason, SessionEvent, SessionFsm, SessionRole};
 use crate::storage::{Storage, StoredUpdate};
+use crate::transport::{Clock, SystemClock, Transport};
 use crate::validator::{UpdateValidator, Verdict};
 use bgp_types::{Timestamp, VpId};
-use bgp_wire::{BgpMessage, Notification, OpenMessage, WireError};
+use bgp_wire::{BgpMessage, WireError};
 use bytes::BytesMut;
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
 use gill_core::FilterSet;
-use parking_lot::RwLock;
-use std::io::{Read, Write};
+use parking_lot::{Mutex, RwLock};
+use std::io;
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Daemon configuration.
 #[derive(Clone, Debug)]
 pub struct DaemonConfig {
     /// The collector's AS number sent in our OPEN.
     pub local_asn: u32,
-    /// Hold time we propose.
+    /// Hold time we propose (seconds; the negotiated value is the minimum
+    /// of both sides, 0 disables timers).
     pub hold_time: u16,
     /// Capacity of the bounded storage queue (shared by the pool).
     pub queue_capacity: usize,
@@ -43,6 +56,17 @@ impl Default for DaemonConfig {
             hold_time: 240,
             queue_capacity: 1024,
             validate: false,
+        }
+    }
+}
+
+impl DaemonConfig {
+    /// The session-layer view of this configuration.
+    pub fn session_config(&self) -> crate::fsm::SessionConfig {
+        crate::fsm::SessionConfig {
+            local_asn: self.local_asn,
+            hold_time: self.hold_time,
+            ..crate::fsm::SessionConfig::default()
         }
     }
 }
@@ -64,6 +88,22 @@ pub struct DaemonStats {
     pub quarantined: AtomicUsize,
     /// Updates forwarded to operator subscriptions (§14 services).
     pub forwarded: AtomicUsize,
+    /// Sessions that completed the OPEN handshake.
+    pub sessions_opened: AtomicUsize,
+    /// Sessions that ended (for any reason) after establishing.
+    pub sessions_closed: AtomicUsize,
+    /// Connections that failed before establishing.
+    pub handshake_failures: AtomicUsize,
+    /// KEEPALIVEs this side generated.
+    pub keepalives_sent: AtomicUsize,
+    /// KEEPALIVEs received from peers.
+    pub keepalives_received: AtomicUsize,
+    /// NOTIFICATIONs this side sent (errors + graceful cease).
+    pub notifications_sent: AtomicUsize,
+    /// Sessions closed by hold-timer expiry.
+    pub hold_expirations: AtomicUsize,
+    /// Handshakes by a peer identity seen before (session re-established).
+    pub reconnects: AtomicUsize,
 }
 
 impl DaemonStats {
@@ -78,191 +118,343 @@ impl DaemonStats {
     }
 }
 
-/// A framed BGP session over a TCP stream: keeps a persistent receive
-/// buffer so coalesced messages in one TCP segment are never dropped.
-pub struct MessageStream {
-    stream: TcpStream,
+/// A framed BGP session over any [`Transport`]: keeps a persistent receive
+/// buffer so coalesced messages in one segment are never dropped.
+///
+/// Defaults to [`TcpStream`] so existing `MessageStream::new(tcp)` call
+/// sites are unchanged; tests substitute [`crate::transport::SimTransport`].
+pub struct MessageStream<T: Transport = TcpStream> {
+    transport: T,
     buf: BytesMut,
     chunk: Box<[u8; 16 * 1024]>,
 }
 
-impl MessageStream {
-    /// Wraps a connected stream.
-    pub fn new(stream: TcpStream) -> Self {
+impl<T: Transport> MessageStream<T> {
+    /// Wraps a connected transport.
+    pub fn new(transport: T) -> Self {
         MessageStream {
-            stream,
+            transport,
             buf: BytesMut::new(),
             chunk: Box::new([0u8; 16 * 1024]),
         }
     }
 
-    /// Writes one message.
-    pub fn write_message(&mut self, msg: &BgpMessage) -> std::io::Result<()> {
-        let bytes = msg
-            .encode_to_vec()
-            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
-        self.stream.write_all(&bytes)
+    /// The underlying transport.
+    pub fn transport_mut(&mut self) -> &mut T {
+        &mut self.transport
     }
 
-    /// Reads the next message (blocking). `Ok(None)` means the peer closed
-    /// the connection cleanly at a message boundary.
-    pub fn read_message(&mut self) -> std::io::Result<Option<BgpMessage>> {
+    /// Writes one message.
+    pub fn write_message(&mut self, msg: &BgpMessage) -> io::Result<()> {
+        let bytes = msg
+            .encode_to_vec()
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        self.transport.write_all(&bytes)
+    }
+
+    /// Reads the next message (blocking, for blocking transports).
+    /// `Ok(None)` means the peer closed the connection cleanly at a
+    /// message boundary.
+    pub fn read_message(&mut self) -> io::Result<Option<BgpMessage>> {
         loop {
             match BgpMessage::decode(&mut self.buf) {
                 Ok(Some(m)) => return Ok(Some(m)),
                 Ok(None) => {}
                 Err(WireError::BadMarker) => {
-                    return Err(std::io::Error::new(
-                        std::io::ErrorKind::InvalidData,
-                        "desynchronized",
-                    ))
+                    return Err(io::Error::new(io::ErrorKind::InvalidData, "desynchronized"))
                 }
-                Err(e) => return Err(std::io::Error::new(std::io::ErrorKind::InvalidData, e)),
+                Err(e) => return Err(io::Error::new(io::ErrorKind::InvalidData, e)),
             }
-            let n = self.stream.read(&mut self.chunk[..])?;
+            let n = self.transport.read(&mut self.chunk[..])?;
             if n == 0 {
                 if self.buf.is_empty() {
                     return Ok(None);
                 }
-                return Err(std::io::Error::new(
-                    std::io::ErrorKind::UnexpectedEof,
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
                     "peer closed mid-message",
                 ));
             }
             self.buf.extend_from_slice(&self.chunk[..n]);
         }
     }
+}
 
-    fn expect_message(&mut self, what: &str) -> std::io::Result<BgpMessage> {
-        self.read_message()?.ok_or_else(|| {
-            std::io::Error::new(
-                std::io::ErrorKind::UnexpectedEof,
-                format!("peer closed while waiting for {what}"),
-            )
-        })
+/// A session that completed its handshake: carries the FSM (with its
+/// negotiated hold/keepalive timers and any residual decode buffer) into
+/// the established phase.
+pub struct EstablishedSession {
+    /// The peer's identity from its OPEN.
+    pub peer: VpId,
+    fsm: SessionFsm,
+}
+
+impl EstablishedSession {
+    /// Negotiated hold time in milliseconds (0 = timers disabled).
+    pub fn hold_ms(&self) -> u64 {
+        self.fsm.hold_ms()
     }
 }
 
-/// Server side of the OPEN handshake on an accepted connection. Returns
-/// the peer's identity.
-pub fn handshake_server(s: &mut MessageStream, cfg: &DaemonConfig) -> std::io::Result<VpId> {
-    let BgpMessage::Open(open) = s.expect_message("OPEN")? else {
-        return Err(bad_proto("expected OPEN"));
-    };
-    s.write_message(&BgpMessage::Open(OpenMessage::new(
-        bgp_types::Asn(cfg.local_asn),
-        cfg.hold_time,
-        std::net::Ipv4Addr::new(10, 255, 0, 254),
-    )))?;
-    s.write_message(&BgpMessage::Keepalive)?;
-    match s.expect_message("KEEPALIVE")? {
-        BgpMessage::Keepalive => Ok(VpId::from_asn(open.asn)),
-        _ => Err(bad_proto("expected KEEPALIVE")),
+fn close_error(reason: &CloseReason) -> io::Error {
+    match reason {
+        CloseReason::PeerClosed => {
+            io::Error::new(io::ErrorKind::UnexpectedEof, "peer closed during handshake")
+        }
+        CloseReason::PeerClosedMidMessage => {
+            io::Error::new(io::ErrorKind::UnexpectedEof, "peer closed mid-message")
+        }
+        CloseReason::HoldTimerExpired => {
+            io::Error::new(io::ErrorKind::TimedOut, "hold timer expired")
+        }
+        CloseReason::NotificationReceived { code, subcode } => io::Error::new(
+            io::ErrorKind::ConnectionReset,
+            format!("peer sent NOTIFICATION {code}/{subcode}"),
+        ),
+        CloseReason::DecodeError(e) => io::Error::new(io::ErrorKind::InvalidData, e.to_string()),
+        CloseReason::ProtocolError(what) => {
+            io::Error::new(io::ErrorKind::InvalidData, (*what).to_string())
+        }
     }
+}
+
+/// Upper bound on one blocking read so timer ticks stay responsive even
+/// with long hold times.
+const MAX_READ_SLICE_MS: u64 = 500;
+
+/// One blocking step of the FSM drive loop: flush pending output, then
+/// read with a timeout bounded by the FSM's next deadline and feed the
+/// result (bytes, EOF, or a timer tick) back into the FSM.
+fn drive_step<T: Transport>(
+    s: &mut MessageStream<T>,
+    fsm: &mut SessionFsm,
+    clock: &dyn Clock,
+) -> io::Result<()> {
+    while fsm.has_output() {
+        let out = fsm.take_output();
+        if let Err(e) = s.transport.write_all(&out) {
+            // a dead link is a session close, not a caller error
+            fsm.handle_eof(clock.now_ms());
+            return if fsm.is_closed() { Ok(()) } else { Err(e) };
+        }
+    }
+    if fsm.is_closed() {
+        return Ok(());
+    }
+    let now = clock.now_ms();
+    let timeout = fsm
+        .next_deadline_ms()
+        .map(|d| d.saturating_sub(now).clamp(1, MAX_READ_SLICE_MS))
+        .unwrap_or(MAX_READ_SLICE_MS);
+    s.transport
+        .set_read_timeout(Some(Duration::from_millis(timeout)))?;
+    match s.transport.read(&mut s.chunk[..]) {
+        Ok(0) => fsm.handle_eof(clock.now_ms()),
+        Ok(n) => {
+            let data = s.chunk[..n].to_vec();
+            fsm.handle_bytes(&data, clock.now_ms());
+        }
+        Err(e)
+            if matches!(
+                e.kind(),
+                io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+            ) =>
+        {
+            fsm.tick(clock.now_ms());
+        }
+        Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+        Err(e) => return Err(e),
+    }
+    Ok(())
+}
+
+/// Drives `fsm` until it establishes or closes. On close, the reason is
+/// converted into an `io::Error`.
+fn drive_handshake<T: Transport>(
+    s: &mut MessageStream<T>,
+    fsm: &mut SessionFsm,
+    clock: &dyn Clock,
+) -> io::Result<()> {
+    loop {
+        // "reached", not "is": a fast peer can handshake, send UPDATEs
+        // and close inside one read — those events stay queued for the
+        // established phase
+        if fsm.reached_established() {
+            // flush the final handshake message (our confirming KEEPALIVE)
+            while fsm.has_output() {
+                let out = fsm.take_output();
+                if s.transport.write_all(&out).is_err() {
+                    break; // peer already gone; its events still matter
+                }
+            }
+            return Ok(());
+        }
+        if fsm.is_closed() {
+            let reason = std::iter::from_fn(|| fsm.poll_event())
+                .find_map(|e| match e {
+                    SessionEvent::Closed(r) => Some(r),
+                    _ => None,
+                })
+                .unwrap_or(CloseReason::PeerClosed);
+            return Err(close_error(&reason));
+        }
+        drive_step(s, fsm, clock)?;
+    }
+}
+
+/// Server side of the handshake on an accepted connection: runs the
+/// passive FSM until Established and returns the session (peer identity +
+/// negotiated timers).
+pub fn handshake_server<T: Transport>(
+    s: &mut MessageStream<T>,
+    cfg: &DaemonConfig,
+) -> io::Result<EstablishedSession> {
+    let clock = SystemClock::new();
+    let mut fsm = SessionFsm::new(SessionRole::Passive, cfg.session_config());
+    fsm.start(clock.now_ms());
+    drive_handshake(s, &mut fsm, &clock)?;
+    let peer = fsm
+        .peer()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "no peer identity"))?;
+    Ok(EstablishedSession { peer, fsm })
 }
 
 /// Client side of the handshake (used by the fake peers of §8's load test
-/// and by operators' routers in the real deployment).
-pub fn handshake_client(s: &mut MessageStream, asn: u32) -> std::io::Result<()> {
-    s.write_message(&BgpMessage::Open(OpenMessage::new(
-        bgp_types::Asn(asn),
-        240,
-        std::net::Ipv4Addr::new(10, 255, 0, 1),
-    )))?;
-    let BgpMessage::Open(_) = s.expect_message("OPEN")? else {
-        return Err(bad_proto("expected OPEN"));
+/// and by operators' routers in the real deployment). Runs the active FSM
+/// until Established; any bytes the peer sent beyond the handshake are
+/// left in the stream's decode buffer.
+pub fn handshake_client<T: Transport>(s: &mut MessageStream<T>, asn: u32) -> io::Result<()> {
+    let clock = SystemClock::new();
+    let cfg = crate::fsm::SessionConfig {
+        local_asn: asn,
+        hold_time: 240,
+        router_id: std::net::Ipv4Addr::new(10, 255, 0, 1),
     };
-    s.write_message(&BgpMessage::Keepalive)?;
-    match s.expect_message("KEEPALIVE")? {
-        BgpMessage::Keepalive => Ok(()),
-        _ => Err(bad_proto("expected KEEPALIVE")),
+    let mut fsm = SessionFsm::new(SessionRole::Active, cfg);
+    fsm.start(clock.now_ms());
+    drive_handshake(s, &mut fsm, &clock)?;
+    // hand residual bytes (e.g. a coalesced first UPDATE) to manual framing
+    let residual = fsm.take_residual();
+    if !residual.is_empty() {
+        let mut merged = residual;
+        merged.extend_from_slice(&s.buf);
+        s.buf = merged;
+    }
+    Ok(())
+}
+
+/// The shared pipeline a session feeds: filters, the bounded storage
+/// queue, counters, and the optional §14 services (validator and
+/// forwarding tee).
+#[derive(Clone)]
+pub struct SessionCtx {
+    /// Filters applied before storage (orchestrator-refreshed).
+    pub filters: Arc<RwLock<FilterSet>>,
+    /// The bounded storage queue.
+    pub queue: Sender<StoredUpdate>,
+    /// Shared counters.
+    pub stats: Arc<DaemonStats>,
+    /// §14 validity checks (shared so knowledge accumulates).
+    pub validator: Option<Arc<RwLock<UpdateValidator>>>,
+    /// §14 forwarding tee, evaluated before the discard stage.
+    pub forwarder: Option<Arc<RwLock<Forwarder>>>,
+}
+
+impl SessionCtx {
+    /// Runs one received UPDATE through validation, forwarding, filtering
+    /// and the bounded queue. Returns `false` when the queue is gone.
+    fn ingest(&self, vp: VpId, wire: bgp_wire::UpdateMessage, now: Timestamp) -> bool {
+        for mut domain in wire.to_domain(vp, now) {
+            domain.time = now;
+            self.stats.received.fetch_add(1, Ordering::Relaxed);
+            if let Some(v) = &self.validator {
+                match v.write().validate(vp.asn, &domain) {
+                    Verdict::Invalid(_) => {
+                        self.stats.invalid.fetch_add(1, Ordering::Relaxed);
+                        continue;
+                    }
+                    Verdict::Quarantine(_) => {
+                        self.stats.quarantined.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Verdict::Valid => {}
+                }
+            }
+            if let Some(f) = &self.forwarder {
+                let mut fw = f.write();
+                let before = fw.forwarded;
+                fw.offer(&domain);
+                self.stats
+                    .forwarded
+                    .fetch_add(fw.forwarded - before, Ordering::Relaxed);
+            }
+            let keep = self.filters.read().accepts(&domain);
+            if !keep {
+                self.stats.filtered.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+            match self.queue.try_send(StoredUpdate { update: domain }) {
+                Ok(()) => {
+                    self.stats.retained.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(TrySendError::Full(_)) => {
+                    self.stats.lost.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(TrySendError::Disconnected(_)) => return false,
+            }
+        }
+        true
     }
 }
 
-fn bad_proto(msg: &str) -> std::io::Error {
-    std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_string())
-}
-
-/// Runs one established session: read UPDATEs until EOF/NOTIFICATION,
-/// filter, enqueue. The reception clock is the elapsed time since session
-/// start.
-pub fn run_session(
-    mut s: MessageStream,
-    vp: VpId,
-    filters: Arc<RwLock<FilterSet>>,
-    queue: Sender<StoredUpdate>,
-    stats: Arc<DaemonStats>,
-) -> std::io::Result<()> {
-    run_session_with(&mut s, vp, filters, queue, stats, None, None)
-}
-
-/// [`run_session`] with the optional §14 services: a validator (shared by
-/// the pool so its knowledge base accumulates across sessions) and a
-/// forwarder tee evaluated *before* the discard stage.
-#[allow(clippy::too_many_arguments)]
-pub fn run_session_with(
-    s: &mut MessageStream,
-    vp: VpId,
-    filters: Arc<RwLock<FilterSet>>,
-    queue: Sender<StoredUpdate>,
-    stats: Arc<DaemonStats>,
-    validator: Option<Arc<RwLock<UpdateValidator>>>,
-    forwarder: Option<Arc<RwLock<Forwarder>>>,
-) -> std::io::Result<()> {
-    let start = Instant::now();
+/// Runs one established session to completion: drives the FSM (hold
+/// timer, keepalive generation, NOTIFICATION-on-error), feeds received
+/// UPDATEs through the pipeline, and returns why the session ended. The
+/// reception clock is the elapsed time since session start.
+pub fn run_session_with<T: Transport>(
+    s: &mut MessageStream<T>,
+    session: EstablishedSession,
+    ctx: &SessionCtx,
+) -> io::Result<CloseReason> {
+    let EstablishedSession { peer, mut fsm } = session;
+    let clock = SystemClock::new();
     loop {
-        let Some(msg) = s.read_message()? else {
-            return Ok(()); // peer closed
-        };
-        match msg {
-            BgpMessage::Update(u) => {
-                let now = Timestamp::from_millis(start.elapsed().as_millis() as u64);
-                for mut domain in u.to_domain(vp, now) {
-                    domain.time = now;
-                    stats.received.fetch_add(1, Ordering::Relaxed);
-                    if let Some(v) = &validator {
-                        match v.write().validate(vp.asn, &domain) {
-                            Verdict::Invalid(_) => {
-                                stats.invalid.fetch_add(1, Ordering::Relaxed);
-                                continue;
-                            }
-                            Verdict::Quarantine(_) => {
-                                stats.quarantined.fetch_add(1, Ordering::Relaxed);
-                            }
-                            Verdict::Valid => {}
-                        }
-                    }
-                    if let Some(f) = &forwarder {
-                        let mut fw = f.write();
-                        let before = fw.forwarded;
-                        fw.offer(&domain);
-                        stats
-                            .forwarded
-                            .fetch_add(fw.forwarded - before, Ordering::Relaxed);
-                    }
-                    let keep = filters.read().accepts(&domain);
-                    if !keep {
-                        stats.filtered.fetch_add(1, Ordering::Relaxed);
-                        continue;
-                    }
-                    match queue.try_send(StoredUpdate { update: domain }) {
-                        Ok(()) => {
-                            stats.retained.fetch_add(1, Ordering::Relaxed);
-                        }
-                        Err(TrySendError::Full(_)) => {
-                            stats.lost.fetch_add(1, Ordering::Relaxed);
-                        }
-                        Err(TrySendError::Disconnected(_)) => return Ok(()),
+        while let Some(event) = fsm.poll_event() {
+            match event {
+                SessionEvent::Update(u) => {
+                    let now = Timestamp::from_millis(clock.now_ms());
+                    if !ctx.ingest(peer, u, now) {
+                        return Ok(CloseReason::PeerClosed);
                     }
                 }
-            }
-            BgpMessage::Keepalive => {}
-            BgpMessage::Notification(_) => return Ok(()),
-            BgpMessage::Open(_) => {
-                let _ = s.write_message(&BgpMessage::Notification(Notification::cease()));
-                return Err(bad_proto("unexpected OPEN in established state"));
+                SessionEvent::KeepaliveSent => {
+                    ctx.stats.keepalives_sent.fetch_add(1, Ordering::Relaxed);
+                }
+                SessionEvent::KeepaliveReceived => {
+                    ctx.stats
+                        .keepalives_received
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+                SessionEvent::NotificationSent { .. } => {
+                    ctx.stats.notifications_sent.fetch_add(1, Ordering::Relaxed);
+                }
+                SessionEvent::Closed(reason) => {
+                    if reason == CloseReason::HoldTimerExpired {
+                        ctx.stats.hold_expirations.fetch_add(1, Ordering::Relaxed);
+                    }
+                    // flush the parting NOTIFICATION, best effort
+                    while fsm.has_output() {
+                        let out = fsm.take_output();
+                        if s.transport.write_all(&out).is_err() {
+                            break;
+                        }
+                    }
+                    s.transport.shutdown();
+                    return Ok(reason);
+                }
+                SessionEvent::Established { .. } => {}
             }
         }
+        drive_step(s, &mut fsm, &clock)?;
     }
 }
 
@@ -284,7 +476,7 @@ pub struct DaemonPool {
 impl DaemonPool {
     /// Binds to `addr` (use port 0 for an ephemeral port) and starts
     /// accepting peers.
-    pub fn start(addr: &str, cfg: DaemonConfig) -> std::io::Result<DaemonPool> {
+    pub fn start(addr: &str, cfg: DaemonConfig) -> io::Result<DaemonPool> {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
@@ -296,12 +488,18 @@ impl DaemonPool {
             .then(|| Arc::new(RwLock::new(UpdateValidator::new())));
         let forwarder = Arc::new(RwLock::new(Forwarder::new()));
         let stop = Arc::new(AtomicBool::new(false));
+        // identities that have completed a handshake before, for the
+        // reconnect counter
+        let known_peers: Arc<Mutex<std::collections::HashSet<VpId>>> =
+            Arc::new(Mutex::new(std::collections::HashSet::new()));
         let accept_thread = {
-            let stats = stats.clone();
-            let filters = filters.clone();
-            let validator = validator.clone();
-            let forwarder = forwarder.clone();
-            let queue_tx = queue_tx.clone();
+            let ctx = SessionCtx {
+                filters: filters.clone(),
+                queue: queue_tx.clone(),
+                stats: stats.clone(),
+                validator: validator.clone(),
+                forwarder: Some(forwarder.clone()),
+            };
             let stop = stop.clone();
             let cfg = cfg.clone();
             std::thread::spawn(move || {
@@ -309,28 +507,29 @@ impl DaemonPool {
                     match listener.accept() {
                         Ok((stream, _)) => {
                             stream.set_nonblocking(false).ok();
-                            let stats = stats.clone();
-                            let filters = filters.clone();
-                            let validator = validator.clone();
-                            let forwarder = forwarder.clone();
-                            let queue_tx = queue_tx.clone();
+                            let ctx = ctx.clone();
                             let cfg = cfg.clone();
+                            let known_peers = known_peers.clone();
                             std::thread::spawn(move || {
                                 let mut ms = MessageStream::new(stream);
-                                if let Ok(vp) = handshake_server(&mut ms, &cfg) {
-                                    let _ = run_session_with(
-                                        &mut ms,
-                                        vp,
-                                        filters,
-                                        queue_tx,
-                                        stats,
-                                        validator,
-                                        Some(forwarder),
-                                    );
+                                match handshake_server(&mut ms, &cfg) {
+                                    Ok(session) => {
+                                        ctx.stats.sessions_opened.fetch_add(1, Ordering::Relaxed);
+                                        if !known_peers.lock().insert(session.peer) {
+                                            ctx.stats.reconnects.fetch_add(1, Ordering::Relaxed);
+                                        }
+                                        let _ = run_session_with(&mut ms, session, &ctx);
+                                        ctx.stats.sessions_closed.fetch_add(1, Ordering::Relaxed);
+                                    }
+                                    Err(_) => {
+                                        ctx.stats
+                                            .handshake_failures
+                                            .fetch_add(1, Ordering::Relaxed);
+                                    }
                                 }
                             });
                         }
-                        Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        Err(ref e) if e.kind() == io::ErrorKind::WouldBlock => {
                             std::thread::sleep(Duration::from_millis(5));
                         }
                         Err(_) => break,
@@ -438,7 +637,7 @@ mod tests {
     use super::*;
     use crate::storage::MemoryStorage;
     use bgp_types::{Asn, Prefix, UpdateBuilder};
-    use bgp_wire::UpdateMessage;
+    use bgp_wire::{Notification, UpdateMessage};
     use gill_core::FilterGranularity;
 
     fn send_updates(addr: std::net::SocketAddr, asn: u32, prefixes: &[u32]) {
@@ -467,6 +666,17 @@ mod tests {
         }
     }
 
+    /// Waits until `cond` holds (bounded, for counters without a channel).
+    fn wait_until(cond: impl Fn() -> bool) -> bool {
+        for _ in 0..500 {
+            if cond() {
+                return true;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        false
+    }
+
     #[test]
     fn end_to_end_session_stores_updates() {
         let mut pool = DaemonPool::start("127.0.0.1:0", DaemonConfig::default()).unwrap();
@@ -482,6 +692,7 @@ mod tests {
         assert_eq!(pool.stats().received.load(Ordering::Relaxed), 3);
         assert_eq!(pool.stats().retained.load(Ordering::Relaxed), 3);
         assert_eq!(pool.stats().lost.load(Ordering::Relaxed), 0);
+        assert_eq!(pool.stats().sessions_opened.load(Ordering::Relaxed), 1);
         // VP identity comes from the OPEN handshake
         assert!(storage
             .updates
@@ -555,6 +766,42 @@ mod tests {
         assert_eq!(storage.updates.len(), 16);
         let vps: std::collections::BTreeSet<VpId> = storage.updates.iter().map(|u| u.vp).collect();
         assert_eq!(vps.len(), 8);
+        assert_eq!(pool.stats().sessions_opened.load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn garbage_handshake_counts_as_failure() {
+        let mut pool = DaemonPool::start("127.0.0.1:0", DaemonConfig::default()).unwrap();
+        let addr = pool.local_addr();
+        {
+            let mut s = TcpStream::connect(addr).unwrap();
+            std::io::Write::write_all(&mut s, b"not a bgp open").unwrap();
+        }
+        assert!(
+            wait_until(|| pool.stats().handshake_failures.load(Ordering::Relaxed) >= 1),
+            "garbage handshake must be counted"
+        );
+        pool.stop();
+        assert_eq!(pool.stats().sessions_opened.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn same_peer_reconnecting_is_counted() {
+        let mut pool = DaemonPool::start("127.0.0.1:0", DaemonConfig::default()).unwrap();
+        let addr = pool.local_addr();
+        for round in 0..2 {
+            std::thread::spawn(move || send_updates(addr, 65042, &[round]))
+                .join()
+                .unwrap();
+            wait_received(&pool, round as usize + 1);
+        }
+        assert!(
+            wait_until(|| pool.stats().sessions_closed.load(Ordering::Relaxed) >= 2),
+            "both sessions should close"
+        );
+        pool.stop();
+        assert_eq!(pool.stats().sessions_opened.load(Ordering::Relaxed), 2);
+        assert_eq!(pool.stats().reconnects.load(Ordering::Relaxed), 1);
     }
 }
 
@@ -564,7 +811,7 @@ mod services_tests {
     use crate::forwarding::ForwardRule;
     use crate::storage::MemoryStorage;
     use bgp_types::{Asn, Link, Prefix, UpdateBuilder};
-    use bgp_wire::UpdateMessage;
+    use bgp_wire::{Notification, UpdateMessage};
 
     fn send_raw(addr: std::net::SocketAddr, asn: u32, updates: Vec<bgp_types::BgpUpdate>) {
         let stream = TcpStream::connect(addr).unwrap();

@@ -1,0 +1,651 @@
+//! A sans-I/O BGP session finite state machine (RFC 4271 §8, simplified
+//! to the states this collector actually traverses).
+//!
+//! The FSM owns *protocol* state only — what to send, what a received
+//! byte sequence means, when timers fire — and never touches a socket or
+//! a wall clock. Drivers feed it three inputs:
+//!
+//! * [`SessionFsm::handle_bytes`] — bytes that arrived on the transport,
+//! * [`SessionFsm::handle_eof`] — the transport closed,
+//! * [`SessionFsm::tick`] — time passed (hold timer, keepalive timer),
+//!
+//! and consume two outputs: [`SessionFsm::take_output`] (bytes to write)
+//! and [`SessionFsm::poll_event`] (decoded protocol events). Because all
+//! inputs are explicit, an entire session — including hold-timer expiry
+//! and NOTIFICATION exchange — replays bit-identically under the
+//! [`crate::transport::VirtualClock`].
+//!
+//! State graph (`Passive` accepts, `Active` initiates; both collapse to
+//! the same OpenConfirm → Established tail):
+//!
+//! ```text
+//! Idle --start(Active)--> OpenSent    --OPEN--> OpenConfirm --KEEPALIVE--> Established
+//! Idle --start(Passive)-> AwaitOpen --OPEN--> OpenConfirm --KEEPALIVE--> Established
+//! any state --NOTIFICATION | EOF | decode error | hold expiry--> Closed
+//! ```
+
+use bgp_types::VpId;
+use bgp_wire::{BgpMessage, Notification, OpenMessage, UpdateMessage, WireError};
+use bytes::BytesMut;
+use std::collections::VecDeque;
+use std::net::Ipv4Addr;
+
+/// Which side of the TCP connection this FSM plays.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SessionRole {
+    /// Initiates: sends OPEN immediately (fake peers, outbound sessions).
+    Active,
+    /// Accepts: waits for the peer's OPEN before answering (the daemon).
+    Passive,
+}
+
+/// The session states.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SessionState {
+    /// Created, not started.
+    Idle,
+    /// Passive side waiting for the peer's OPEN.
+    AwaitOpen,
+    /// Active side sent its OPEN, waiting for the peer's.
+    OpenSent,
+    /// OPEN exchanged, waiting for the confirming KEEPALIVE.
+    OpenConfirm,
+    /// Session up; UPDATEs flow.
+    Established,
+    /// Session over (see the final [`SessionEvent::Closed`]).
+    Closed,
+}
+
+/// Static session parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct SessionConfig {
+    /// Our AS number for the OPEN.
+    pub local_asn: u32,
+    /// Hold time we propose (seconds; 0 disables timers).
+    pub hold_time: u16,
+    /// Our router id.
+    pub router_id: Ipv4Addr,
+}
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        SessionConfig {
+            local_asn: 65535,
+            hold_time: 240,
+            router_id: Ipv4Addr::new(10, 255, 0, 254),
+        }
+    }
+}
+
+/// Why a session ended.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CloseReason {
+    /// Peer closed cleanly at a message boundary.
+    PeerClosed,
+    /// Peer closed mid-frame (abrupt disconnect / truncation).
+    PeerClosedMidMessage,
+    /// Peer sent a NOTIFICATION.
+    NotificationReceived {
+        /// RFC 4271 §6 error code.
+        code: u8,
+        /// Error subcode.
+        subcode: u8,
+    },
+    /// Our hold timer expired (we sent NOTIFICATION code 4).
+    HoldTimerExpired,
+    /// The byte stream failed to decode (we sent the classifying
+    /// NOTIFICATION).
+    DecodeError(WireError),
+    /// A message arrived in a state that cannot accept it (we sent
+    /// NOTIFICATION code 5, or code 2 subcode 6 for a bad hold time).
+    ProtocolError(&'static str),
+}
+
+/// Protocol events a driver consumes. `KeepaliveSent` / `NotificationSent`
+/// fire when the FSM *queues* those messages, so a transcript of events is
+/// a complete, replayable record of the session.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SessionEvent {
+    /// The handshake completed.
+    Established {
+        /// Peer identity from its OPEN.
+        peer: VpId,
+        /// Negotiated hold time (min of both proposals), seconds.
+        hold_time: u16,
+    },
+    /// An UPDATE arrived.
+    Update(UpdateMessage),
+    /// A KEEPALIVE arrived (hold timer was refreshed).
+    KeepaliveReceived,
+    /// The FSM queued a KEEPALIVE.
+    KeepaliveSent,
+    /// The FSM queued a NOTIFICATION.
+    NotificationSent {
+        /// Error code.
+        code: u8,
+        /// Error subcode.
+        subcode: u8,
+    },
+    /// The session ended; no further events follow.
+    Closed(CloseReason),
+}
+
+/// The state machine. See the module docs for the driving contract.
+pub struct SessionFsm {
+    role: SessionRole,
+    cfg: SessionConfig,
+    state: SessionState,
+    buf: BytesMut,
+    out: BytesMut,
+    events: VecDeque<SessionEvent>,
+    peer: Option<VpId>,
+    /// True once the session reached Established, even if it has since
+    /// closed (a fast peer can handshake, send UPDATEs and close within
+    /// one read).
+    reached_established: bool,
+    /// Negotiated hold time in ms (0 = timers disabled).
+    hold_ms: u64,
+    hold_deadline: Option<u64>,
+    keepalive_due: Option<u64>,
+}
+
+impl SessionFsm {
+    /// A new, unstarted FSM.
+    pub fn new(role: SessionRole, cfg: SessionConfig) -> Self {
+        SessionFsm {
+            role,
+            cfg,
+            state: SessionState::Idle,
+            buf: BytesMut::new(),
+            out: BytesMut::new(),
+            events: VecDeque::new(),
+            peer: None,
+            reached_established: false,
+            hold_ms: 0,
+            hold_deadline: None,
+            keepalive_due: None,
+        }
+    }
+
+    /// Starts the session at virtual instant `now_ms`. Active FSMs queue
+    /// their OPEN; passive FSMs wait for the peer's. Until negotiation the
+    /// *proposed* hold time bounds how long we wait for the handshake.
+    pub fn start(&mut self, now_ms: u64) {
+        debug_assert_eq!(self.state, SessionState::Idle);
+        self.state = match self.role {
+            SessionRole::Active => {
+                self.queue(&BgpMessage::Open(self.local_open()));
+                SessionState::OpenSent
+            }
+            SessionRole::Passive => SessionState::AwaitOpen,
+        };
+        if self.cfg.hold_time > 0 {
+            self.hold_deadline = Some(now_ms + u64::from(self.cfg.hold_time) * 1000);
+        }
+    }
+
+    fn local_open(&self) -> OpenMessage {
+        OpenMessage::new(
+            bgp_types::Asn(self.cfg.local_asn),
+            self.cfg.hold_time,
+            self.cfg.router_id,
+        )
+    }
+
+    /// Current state.
+    pub fn state(&self) -> SessionState {
+        self.state
+    }
+
+    /// Peer identity once its OPEN has been seen.
+    pub fn peer(&self) -> Option<VpId> {
+        self.peer
+    }
+
+    /// Negotiated hold time in milliseconds (0 until negotiated or when
+    /// timers are disabled).
+    pub fn hold_ms(&self) -> u64 {
+        self.hold_ms
+    }
+
+    /// True once the session reached [`SessionState::Closed`].
+    pub fn is_closed(&self) -> bool {
+        self.state == SessionState::Closed
+    }
+
+    /// True once the session has reached [`SessionState::Established`] at
+    /// any point — it may have closed again since, with the close reason
+    /// (and any UPDATEs received in between) still queued as events.
+    pub fn reached_established(&self) -> bool {
+        self.reached_established
+    }
+
+    /// Bytes the driver must write to the transport (drained).
+    pub fn take_output(&mut self) -> Vec<u8> {
+        let len = self.out.len();
+        self.out.split_to(len).to_vec()
+    }
+
+    /// True when [`SessionFsm::take_output`] would return bytes.
+    pub fn has_output(&self) -> bool {
+        !self.out.is_empty()
+    }
+
+    /// The next pending event, if any.
+    pub fn poll_event(&mut self) -> Option<SessionEvent> {
+        self.events.pop_front()
+    }
+
+    /// The earliest virtual instant at which [`SessionFsm::tick`] would
+    /// act (hold expiry or keepalive emission). `None` when no timer is
+    /// armed.
+    pub fn next_deadline_ms(&self) -> Option<u64> {
+        match (self.hold_deadline, self.keepalive_due) {
+            (Some(h), Some(k)) => Some(h.min(k)),
+            (Some(h), None) => Some(h),
+            (None, Some(k)) => Some(k),
+            (None, None) => None,
+        }
+    }
+
+    /// Leftover undecoded bytes (useful when a driver hands the stream
+    /// over to manual framing after the handshake).
+    pub fn take_residual(&mut self) -> BytesMut {
+        let len = self.buf.len();
+        self.buf.split_to(len)
+    }
+
+    /// Enqueues an UPDATE for sending. Only valid once established (the
+    /// FSM silently drops it otherwise — the session is gone anyway).
+    pub fn send_update(&mut self, u: &UpdateMessage) {
+        if self.state == SessionState::Established {
+            self.queue(&BgpMessage::Update(u.clone()));
+        }
+    }
+
+    /// Queues a Cease NOTIFICATION and closes (graceful local shutdown).
+    pub fn close_gracefully(&mut self) {
+        if self.state != SessionState::Closed {
+            self.send_notification(Notification::cease());
+            self.close(CloseReason::PeerClosed);
+        }
+    }
+
+    /// Feeds received bytes at virtual instant `now_ms`.
+    pub fn handle_bytes(&mut self, data: &[u8], now_ms: u64) {
+        if self.state == SessionState::Closed {
+            return;
+        }
+        self.buf.extend_from_slice(data);
+        loop {
+            if self.state == SessionState::Closed {
+                return;
+            }
+            match BgpMessage::decode(&mut self.buf) {
+                Ok(Some(msg)) => self.handle_message(msg, now_ms),
+                Ok(None) => return,
+                Err(e) => {
+                    self.send_notification(Notification::for_wire_error(&e));
+                    self.close(CloseReason::DecodeError(e));
+                    return;
+                }
+            }
+        }
+    }
+
+    /// The transport reported EOF.
+    pub fn handle_eof(&mut self, _now_ms: u64) {
+        if self.state == SessionState::Closed {
+            return;
+        }
+        if self.buf.is_empty() {
+            self.close(CloseReason::PeerClosed);
+        } else {
+            self.close(CloseReason::PeerClosedMidMessage);
+        }
+    }
+
+    /// Advances timers to virtual instant `now_ms`: expires the hold
+    /// timer (NOTIFICATION code 4 + close) or emits a due KEEPALIVE.
+    pub fn tick(&mut self, now_ms: u64) {
+        if self.state == SessionState::Closed {
+            return;
+        }
+        if let Some(deadline) = self.hold_deadline {
+            if now_ms >= deadline {
+                self.send_notification(Notification::hold_timer_expired());
+                self.close(CloseReason::HoldTimerExpired);
+                return;
+            }
+        }
+        if self.state == SessionState::Established {
+            if let Some(due) = self.keepalive_due {
+                if now_ms >= due {
+                    self.queue(&BgpMessage::Keepalive);
+                    self.events.push_back(SessionEvent::KeepaliveSent);
+                    self.keepalive_due = Some(now_ms + self.keepalive_interval_ms());
+                }
+            }
+        }
+    }
+
+    fn keepalive_interval_ms(&self) -> u64 {
+        // RFC 4271 suggests one third of the hold time
+        (self.hold_ms / 3).max(1)
+    }
+
+    fn handle_message(&mut self, msg: BgpMessage, now_ms: u64) {
+        // any complete, well-formed message refreshes the hold timer
+        if self.hold_deadline.is_some() && self.hold_ms > 0 {
+            self.hold_deadline = Some(now_ms + self.hold_ms);
+        }
+        match (self.state, msg) {
+            (SessionState::AwaitOpen, BgpMessage::Open(open)) => {
+                if !self.negotiate(&open, now_ms) {
+                    return;
+                }
+                self.queue(&BgpMessage::Open(self.local_open()));
+                self.queue(&BgpMessage::Keepalive);
+                self.events.push_back(SessionEvent::KeepaliveSent);
+                self.state = SessionState::OpenConfirm;
+            }
+            (SessionState::OpenSent, BgpMessage::Open(open)) => {
+                if !self.negotiate(&open, now_ms) {
+                    return;
+                }
+                self.queue(&BgpMessage::Keepalive);
+                self.events.push_back(SessionEvent::KeepaliveSent);
+                self.state = SessionState::OpenConfirm;
+            }
+            (SessionState::OpenConfirm, BgpMessage::Keepalive) => {
+                self.state = SessionState::Established;
+                self.reached_established = true;
+                if self.hold_ms > 0 {
+                    self.keepalive_due = Some(now_ms + self.keepalive_interval_ms());
+                }
+                self.events.push_back(SessionEvent::Established {
+                    peer: self.peer.expect("peer set during negotiation"),
+                    hold_time: (self.hold_ms / 1000) as u16,
+                });
+            }
+            (SessionState::Established, BgpMessage::Update(u)) => {
+                self.events.push_back(SessionEvent::Update(u));
+            }
+            (SessionState::Established, BgpMessage::Keepalive) => {
+                self.events.push_back(SessionEvent::KeepaliveReceived);
+            }
+            (_, BgpMessage::Notification(n)) => {
+                self.close(CloseReason::NotificationReceived {
+                    code: n.code,
+                    subcode: n.subcode,
+                });
+            }
+            (SessionState::Established, BgpMessage::Open(_)) => {
+                self.send_notification(Notification::cease());
+                self.close(CloseReason::ProtocolError("OPEN while established"));
+            }
+            (_, _) => {
+                self.send_notification(Notification::fsm_error());
+                self.close(CloseReason::ProtocolError("message in wrong state"));
+            }
+        }
+    }
+
+    /// Validates the peer's OPEN and fixes the negotiated timers. Returns
+    /// false (after closing) when the proposal is unacceptable.
+    fn negotiate(&mut self, open: &OpenMessage, now_ms: u64) -> bool {
+        // RFC 4271: hold time must be 0 or >= 3 seconds
+        if open.hold_time == 1 || open.hold_time == 2 {
+            self.send_notification(Notification::new(
+                bgp_wire::error_code::OPEN,
+                bgp_wire::error_code::open::UNACCEPTABLE_HOLD_TIME,
+            ));
+            self.close(CloseReason::ProtocolError("unacceptable hold time"));
+            return false;
+        }
+        self.peer = Some(VpId::from_asn(open.asn));
+        let hold = self.cfg.hold_time.min(open.hold_time);
+        self.hold_ms = u64::from(hold) * 1000;
+        self.hold_deadline = (self.hold_ms > 0).then(|| now_ms + self.hold_ms);
+        true
+    }
+
+    fn queue(&mut self, msg: &BgpMessage) {
+        // encoding of the messages the FSM itself builds cannot fail
+        let bytes = msg.encode_to_vec().expect("FSM-built message encodes");
+        self.out.extend_from_slice(&bytes);
+    }
+
+    fn send_notification(&mut self, n: Notification) {
+        let (code, subcode) = (n.code, n.subcode);
+        self.queue(&BgpMessage::Notification(n));
+        self.events
+            .push_back(SessionEvent::NotificationSent { code, subcode });
+    }
+
+    fn close(&mut self, reason: CloseReason) {
+        self.state = SessionState::Closed;
+        self.hold_deadline = None;
+        self.keepalive_due = None;
+        self.events.push_back(SessionEvent::Closed(reason));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgp_types::Asn;
+
+    fn pump(a: &mut SessionFsm, b: &mut SessionFsm, now: u64) {
+        // cross-feed outputs until both sides are quiescent
+        loop {
+            let ab = a.take_output();
+            let ba = b.take_output();
+            if ab.is_empty() && ba.is_empty() {
+                return;
+            }
+            if !ab.is_empty() {
+                b.handle_bytes(&ab, now);
+            }
+            if !ba.is_empty() {
+                a.handle_bytes(&ba, now);
+            }
+        }
+    }
+
+    fn drain(f: &mut SessionFsm) -> Vec<SessionEvent> {
+        std::iter::from_fn(|| f.poll_event()).collect()
+    }
+
+    fn cfg(asn: u32, hold: u16) -> SessionConfig {
+        SessionConfig {
+            local_asn: asn,
+            hold_time: hold,
+            ..SessionConfig::default()
+        }
+    }
+
+    #[test]
+    fn handshake_establishes_both_sides_and_negotiates_hold() {
+        let mut client = SessionFsm::new(SessionRole::Active, cfg(65001, 90));
+        let mut server = SessionFsm::new(SessionRole::Passive, cfg(65535, 240));
+        client.start(0);
+        server.start(0);
+        pump(&mut client, &mut server, 0);
+        assert_eq!(client.state(), SessionState::Established);
+        assert_eq!(server.state(), SessionState::Established);
+        assert_eq!(server.peer(), Some(VpId::from_asn(Asn(65001))));
+        assert_eq!(client.peer(), Some(VpId::from_asn(Asn(65535))));
+        // negotiated hold = min(90, 240)
+        assert_eq!(client.hold_ms(), 90_000);
+        assert_eq!(server.hold_ms(), 90_000);
+        assert!(drain(&mut server)
+            .iter()
+            .any(|e| matches!(e, SessionEvent::Established { hold_time: 90, .. })));
+    }
+
+    #[test]
+    fn updates_flow_after_establishment() {
+        let mut client = SessionFsm::new(SessionRole::Active, cfg(65001, 90));
+        let mut server = SessionFsm::new(SessionRole::Passive, cfg(65535, 240));
+        client.start(0);
+        server.start(0);
+        pump(&mut client, &mut server, 0);
+        drain(&mut client);
+        drain(&mut server);
+        let u = UpdateMessage::withdraw("10.0.0.0/8".parse().unwrap());
+        client.send_update(&u);
+        pump(&mut client, &mut server, 1);
+        let evs = drain(&mut server);
+        assert!(evs
+            .iter()
+            .any(|e| matches!(e, SessionEvent::Update(m) if *m == u)));
+    }
+
+    #[test]
+    fn hold_timer_expires_with_notification_code_4() {
+        let mut server = SessionFsm::new(SessionRole::Passive, cfg(65535, 5));
+        server.start(0);
+        assert_eq!(server.next_deadline_ms(), Some(5_000));
+        server.tick(4_999);
+        assert!(!server.is_closed());
+        server.tick(5_000);
+        assert!(server.is_closed());
+        let evs = drain(&mut server);
+        assert!(evs
+            .iter()
+            .any(|e| matches!(e, SessionEvent::NotificationSent { code: 4, .. })));
+        assert!(evs
+            .iter()
+            .any(|e| matches!(e, SessionEvent::Closed(CloseReason::HoldTimerExpired))));
+        assert!(server.has_output(), "the NOTIFICATION must be queued");
+    }
+
+    #[test]
+    fn keepalives_are_generated_every_third_of_hold() {
+        let mut client = SessionFsm::new(SessionRole::Active, cfg(65001, 9));
+        let mut server = SessionFsm::new(SessionRole::Passive, cfg(65535, 9));
+        client.start(0);
+        server.start(0);
+        pump(&mut client, &mut server, 0);
+        drain(&mut client);
+        drain(&mut server);
+        // 10 virtual seconds with exchanges: nobody expires
+        for t in (0..10_000).step_by(500) {
+            client.tick(t);
+            server.tick(t);
+            pump(&mut client, &mut server, t);
+        }
+        assert_eq!(client.state(), SessionState::Established);
+        assert_eq!(server.state(), SessionState::Established);
+        let sent = drain(&mut client)
+            .iter()
+            .filter(|e| matches!(e, SessionEvent::KeepaliveSent))
+            .count();
+        assert!(
+            sent >= 3,
+            "expected ≥3 keepalives in 10 s at hold 9 s, got {sent}"
+        );
+    }
+
+    #[test]
+    fn silence_after_establishment_expires_hold() {
+        let mut client = SessionFsm::new(SessionRole::Active, cfg(65001, 6));
+        let mut server = SessionFsm::new(SessionRole::Passive, cfg(65535, 6));
+        client.start(0);
+        server.start(0);
+        pump(&mut client, &mut server, 0);
+        // server hears nothing for 6s (client ticks suppressed)
+        server.tick(6_001);
+        assert!(server.is_closed());
+        assert!(drain(&mut server)
+            .iter()
+            .any(|e| matches!(e, SessionEvent::Closed(CloseReason::HoldTimerExpired))));
+    }
+
+    #[test]
+    fn garbage_triggers_classified_notification() {
+        let mut server = SessionFsm::new(SessionRole::Passive, cfg(65535, 240));
+        server.start(0);
+        server.handle_bytes(b"GET / HTTP/1.1\r\nHost: not-bgp\r\n\r\n", 0);
+        assert!(server.is_closed());
+        let evs = drain(&mut server);
+        assert!(evs.iter().any(|e| matches!(
+            e,
+            SessionEvent::NotificationSent {
+                code: 1,
+                subcode: 1
+            }
+        )));
+        assert!(evs.iter().any(|e| matches!(
+            e,
+            SessionEvent::Closed(CloseReason::DecodeError(WireError::BadMarker))
+        )));
+    }
+
+    #[test]
+    fn eof_mid_message_is_distinguished_from_clean_close() {
+        let mut a = SessionFsm::new(SessionRole::Passive, cfg(65535, 240));
+        a.start(0);
+        a.handle_eof(0);
+        assert!(matches!(
+            drain(&mut a).last(),
+            Some(SessionEvent::Closed(CloseReason::PeerClosed))
+        ));
+
+        let mut b = SessionFsm::new(SessionRole::Passive, cfg(65535, 240));
+        b.start(0);
+        b.handle_bytes(&[0xff; 10], 0); // half a marker
+        b.handle_eof(0);
+        assert!(matches!(
+            drain(&mut b).last(),
+            Some(SessionEvent::Closed(CloseReason::PeerClosedMidMessage))
+        ));
+    }
+
+    #[test]
+    fn keepalive_before_open_is_an_fsm_error() {
+        let mut server = SessionFsm::new(SessionRole::Passive, cfg(65535, 240));
+        server.start(0);
+        server.handle_bytes(&BgpMessage::Keepalive.encode_to_vec().unwrap(), 0);
+        assert!(server.is_closed());
+        assert!(drain(&mut server)
+            .iter()
+            .any(|e| matches!(e, SessionEvent::NotificationSent { code: 5, .. })));
+    }
+
+    #[test]
+    fn unacceptable_hold_time_is_rejected_with_open_error() {
+        let mut server = SessionFsm::new(SessionRole::Passive, cfg(65535, 240));
+        server.start(0);
+        let open = OpenMessage::new(Asn(65001), 2, Ipv4Addr::new(10, 0, 0, 1));
+        server.handle_bytes(&BgpMessage::Open(open).encode_to_vec().unwrap(), 0);
+        assert!(server.is_closed());
+        assert!(drain(&mut server).iter().any(|e| matches!(
+            e,
+            SessionEvent::NotificationSent {
+                code: 2,
+                subcode: 6
+            }
+        )));
+    }
+
+    #[test]
+    fn notification_closes_quietly() {
+        let mut client = SessionFsm::new(SessionRole::Active, cfg(65001, 90));
+        let mut server = SessionFsm::new(SessionRole::Passive, cfg(65535, 240));
+        client.start(0);
+        server.start(0);
+        pump(&mut client, &mut server, 0);
+        client.close_gracefully();
+        pump(&mut client, &mut server, 1);
+        assert!(server.is_closed());
+        assert!(drain(&mut server).iter().any(|e| matches!(
+            e,
+            SessionEvent::Closed(CloseReason::NotificationReceived {
+                code: 6,
+                subcode: 2
+            })
+        )));
+    }
+}

@@ -13,23 +13,41 @@
 //!   protocol sanity, bogons, forged-origin quarantine).
 //! * [`forwarding`] — §14's operator services: forward selected updates to
 //!   subscribers before the discard stage.
+//! * [`transport`] — pluggable byte transports (TCP or the in-process
+//!   fault-injecting simulator) and clocks (system or virtual).
+//! * [`fsm`] — the sans-I/O RFC 4271 session state machine (hold timer,
+//!   keepalive generation, NOTIFICATION-on-error).
+//! * [`harness`] — the deterministic session harness: whole failure
+//!   scenarios (faults, reconnects, backoff) replay bit-identically from
+//!   a seed.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod daemon;
 pub mod forwarding;
+pub mod fsm;
+pub mod harness;
 pub mod orchestrator;
 pub mod peer;
 pub mod storage;
+pub mod transport;
 pub mod validator;
 
 pub use daemon::{
-    handshake_client, handshake_server, run_session, DaemonConfig, DaemonPool, DaemonStats,
-    MessageStream,
+    handshake_client, handshake_server, run_session_with, DaemonConfig, DaemonPool, DaemonStats,
+    EstablishedSession, MessageStream, SessionCtx,
 };
 pub use forwarding::{ForwardRule, Forwarder, Subscription};
+pub use fsm::{CloseReason, SessionConfig, SessionEvent, SessionFsm, SessionRole, SessionState};
+pub use harness::{run_scenario, Scenario, ScenarioOutcome, Side, Transcript, TranscriptEntry};
 pub use orchestrator::{Orchestrator, OrchestratorConfig, Refresh};
-pub use peer::{run_fake_peer, synthetic_updates, FakePeerConfig};
+pub use peer::{
+    run_fake_peer, run_resilient_peer, synthetic_updates, FakePeerConfig, ResilientPeerReport,
+};
 pub use storage::{received, MemoryStorage, MrtStorage, SlowStorage, Storage, StoredUpdate};
+pub use transport::{
+    sim_pair, BackoffPolicy, Clock, Fault, FaultAction, FaultSchedule, SimTransport, SystemClock,
+    Transport, VirtualClock,
+};
 pub use validator::{is_bogon, UpdateValidator, Verdict, Violation};

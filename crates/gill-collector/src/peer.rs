@@ -5,6 +5,7 @@
 //! updates" at a configured frequency.
 
 use crate::daemon::{handshake_client, MessageStream};
+use crate::transport::BackoffPolicy;
 use bgp_types::{Asn, BgpUpdate, Prefix, UpdateBuilder, VpId};
 use bgp_wire::{BgpMessage, Notification, UpdateMessage};
 use std::net::TcpStream;
@@ -79,6 +80,46 @@ pub fn run_fake_peer(addr: std::net::SocketAddr, cfg: &FakePeerConfig) -> std::i
     Ok(sent)
 }
 
+/// What [`run_resilient_peer`] did.
+#[derive(Debug, Default, PartialEq, Eq)]
+pub struct ResilientPeerReport {
+    /// Connection attempts made (including the successful one).
+    pub attempts: u32,
+    /// Updates delivered on the final, successful session.
+    pub sent: usize,
+    /// Total backoff slept across retries, in milliseconds.
+    pub backoff_ms: u64,
+}
+
+/// Like [`run_fake_peer`], but survives connection failures: retries with
+/// capped exponential backoff (deterministic jitter from
+/// `backoff.seed`) until a session completes or `max_attempts` runs out.
+/// A real operator router reconnects exactly like this after a collector
+/// restart.
+pub fn run_resilient_peer(
+    addr: std::net::SocketAddr,
+    cfg: &FakePeerConfig,
+    backoff: BackoffPolicy,
+    max_attempts: u32,
+) -> std::io::Result<ResilientPeerReport> {
+    let mut report = ResilientPeerReport::default();
+    loop {
+        report.attempts += 1;
+        match run_fake_peer(addr, cfg) {
+            Ok(sent) => {
+                report.sent = sent;
+                return Ok(report);
+            }
+            Err(e) if report.attempts >= max_attempts => return Err(e),
+            Err(_) => {
+                let delay = backoff.delay_ms(report.attempts - 1);
+                report.backoff_ms += delay;
+                std::thread::sleep(Duration::from_millis(delay));
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -103,11 +144,65 @@ mod tests {
         assert_eq!(sent, 40);
         // 40 updates at 200/s ≈ 200 ms; allow generous slack
         assert!(elapsed >= Duration::from_millis(150), "{elapsed:?}");
-        std::thread::sleep(Duration::from_millis(200));
+        // deterministic drain: wait on the counter, not wall-clock time
+        for _ in 0..500 {
+            if pool
+                .stats()
+                .received
+                .load(std::sync::atomic::Ordering::Relaxed)
+                >= 40
+            {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
         pool.stop();
         let mut storage = MemoryStorage::default();
         pool.drain_into(&mut storage);
         assert_eq!(storage.updates.len(), 40);
+    }
+
+    #[test]
+    fn resilient_peer_retries_until_the_collector_appears() {
+        // reserve a port, then close the listener: connects will fail
+        let addr = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap()
+        };
+        let cfg = FakePeerConfig {
+            asn: 65021,
+            rate_per_sec: 0.0,
+            count: 5,
+            prefixes: 5,
+        };
+        let backoff = BackoffPolicy {
+            base_ms: 20,
+            cap_ms: 100,
+            seed: 3,
+        };
+        let peer = std::thread::spawn(move || run_resilient_peer(addr, &cfg, backoff, 50));
+        // let a few attempts fail, then start the pool on that port
+        std::thread::sleep(Duration::from_millis(60));
+        let mut pool = DaemonPool::start(&addr.to_string(), DaemonConfig::default()).unwrap();
+        let report = peer.join().unwrap().unwrap();
+        assert!(report.attempts > 1, "at least one retry expected");
+        assert_eq!(report.sent, 5);
+        assert!(report.backoff_ms > 0);
+        for _ in 0..500 {
+            if pool
+                .stats()
+                .received
+                .load(std::sync::atomic::Ordering::Relaxed)
+                >= 5
+            {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        pool.stop();
+        let mut storage = MemoryStorage::default();
+        pool.drain_into(&mut storage);
+        assert_eq!(storage.updates.len(), 5);
     }
 
     #[test]

@@ -1,0 +1,678 @@
+//! Pluggable byte transports for BGP sessions.
+//!
+//! The daemon historically drove [`std::net::TcpStream`] directly, which
+//! made session-level faults (half-open peers, truncated frames, stalled
+//! reads, reconnect storms) untestable without real sockets and wall-clock
+//! sleeps. This module abstracts the byte stream behind [`Transport`]
+//! (implemented by `TcpStream` and by the in-process [`SimTransport`]) and
+//! abstracts time behind [`Clock`] (implemented by [`SystemClock`] and the
+//! test-controlled [`VirtualClock`]), so every failure scenario replays
+//! bit-identically from a seed.
+//!
+//! A [`SimTransport`] pair is wired through two directional channels, each
+//! carrying a [`FaultSchedule`]: a sorted list of faults keyed by *byte
+//! offset* in that direction's stream. The schedule grammar (also used by
+//! [`FaultSchedule::parse`]) is:
+//!
+//! ```text
+//! corrupt@OFF.BIT   flip bit BIT (0-7) of the byte at offset OFF
+//! drop@OFF+N        silently discard N bytes starting at offset OFF
+//! delay@OFF:MS      bytes from OFF onward become readable MS virtual ms later
+//! sever@OFF         connection dies at OFF: earlier bytes deliver, then EOF
+//! stall@OFF         delivery stops at OFF but the connection stays open
+//! ```
+//!
+//! `sever` models an abrupt disconnect (and, placed mid-frame, a partial
+//! write); `stall` models a half-open peer that keeps the socket up but
+//! stops sending — exactly the case a hold timer exists for.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
+use std::fmt;
+use std::io;
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+// ---------------------------------------------------------------------------
+// Clocks
+// ---------------------------------------------------------------------------
+
+/// A monotonic millisecond clock. Sessions only ever use *relative* time,
+/// so implementations are free to start at zero.
+pub trait Clock: Send + Sync {
+    /// Milliseconds elapsed since the clock's origin.
+    fn now_ms(&self) -> u64;
+}
+
+/// Wall-clock time since construction.
+#[derive(Debug)]
+pub struct SystemClock {
+    start: Instant,
+}
+
+impl SystemClock {
+    /// A clock whose origin is now.
+    pub fn new() -> Self {
+        SystemClock {
+            start: Instant::now(),
+        }
+    }
+}
+
+impl Default for SystemClock {
+    fn default() -> Self {
+        SystemClock::new()
+    }
+}
+
+impl Clock for SystemClock {
+    fn now_ms(&self) -> u64 {
+        self.start.elapsed().as_millis() as u64
+    }
+}
+
+/// A deterministic clock that only moves when the test advances it.
+/// Cloning yields a handle onto the same instant.
+#[derive(Clone, Debug, Default)]
+pub struct VirtualClock {
+    ms: Arc<AtomicU64>,
+}
+
+impl VirtualClock {
+    /// A clock at t = 0.
+    pub fn new() -> Self {
+        VirtualClock::default()
+    }
+
+    /// Moves time forward by `ms` milliseconds.
+    pub fn advance_ms(&self, ms: u64) {
+        self.ms.fetch_add(ms, Ordering::SeqCst);
+    }
+}
+
+impl Clock for VirtualClock {
+    fn now_ms(&self) -> u64 {
+        self.ms.load(Ordering::SeqCst)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Transport
+// ---------------------------------------------------------------------------
+
+/// A bidirectional byte stream a BGP session runs over.
+pub trait Transport: Send {
+    /// Reads into `buf`. `Ok(0)` means the peer closed; `WouldBlock` /
+    /// `TimedOut` mean no data is available yet.
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize>;
+
+    /// Writes all of `buf`.
+    fn write_all(&mut self, buf: &[u8]) -> io::Result<()>;
+
+    /// Bounds how long [`Transport::read`] may block. `None` blocks
+    /// indefinitely. Non-blocking transports may ignore this.
+    fn set_read_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()>;
+
+    /// Closes the transport in both directions (best effort).
+    fn shutdown(&mut self);
+}
+
+impl Transport for TcpStream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        io::Read::read(self, buf)
+    }
+
+    fn write_all(&mut self, buf: &[u8]) -> io::Result<()> {
+        io::Write::write_all(self, buf)
+    }
+
+    fn set_read_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()> {
+        // zero means "no timeout" to the socket API; clamp up instead
+        let t = timeout.map(|d| d.max(Duration::from_millis(1)));
+        TcpStream::set_read_timeout(self, t)
+    }
+
+    fn shutdown(&mut self) {
+        let _ = TcpStream::shutdown(self, std::net::Shutdown::Both);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fault schedules
+// ---------------------------------------------------------------------------
+
+/// What a fault does to the byte stream at its offset.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Flip one bit of the byte at the fault offset.
+    Corrupt {
+        /// Bit index (0 = least significant).
+        bit: u8,
+    },
+    /// Silently discard this many bytes starting at the fault offset.
+    Drop {
+        /// Number of bytes to discard.
+        count: u64,
+    },
+    /// Delay the byte at the offset — and every later byte — by this many
+    /// virtual milliseconds (delays accumulate).
+    Delay {
+        /// Added latency in milliseconds.
+        ms: u64,
+    },
+    /// Close the direction at the offset: earlier bytes still deliver,
+    /// then the reader sees EOF and later writes fail.
+    Sever,
+    /// Stop delivering at the offset without closing: the reader blocks
+    /// forever (a half-open peer).
+    Stall,
+}
+
+/// One fault: an action applied at a byte offset of a directional stream.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Fault {
+    /// Byte offset (counted over everything the sender has written).
+    pub offset: u64,
+    /// The action.
+    pub action: FaultAction,
+}
+
+/// A seeded, replayable schedule of faults for one stream direction.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultSchedule {
+    faults: Vec<Fault>,
+}
+
+impl FaultSchedule {
+    /// The empty (fault-free) schedule.
+    pub fn none() -> Self {
+        FaultSchedule::default()
+    }
+
+    /// Builds a schedule from faults (sorted by offset internally).
+    pub fn new(mut faults: Vec<Fault>) -> Self {
+        faults.sort_by_key(|f| f.offset);
+        FaultSchedule { faults }
+    }
+
+    /// The faults, ordered by offset.
+    pub fn faults(&self) -> &[Fault] {
+        &self.faults
+    }
+
+    /// Parses the schedule grammar documented at the module level, e.g.
+    /// `"corrupt@60.3 delay@120:500 sever@512"`.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        let mut faults = Vec::new();
+        for term in s.split_whitespace() {
+            let (kind, rest) = term
+                .split_once('@')
+                .ok_or_else(|| format!("`{term}`: expected KIND@OFFSET"))?;
+            let num = |s: &str| -> Result<u64, String> {
+                s.parse::<u64>()
+                    .map_err(|_| format!("`{term}`: bad number"))
+            };
+            let fault = match kind {
+                "corrupt" => {
+                    let (off, bit) = rest
+                        .split_once('.')
+                        .ok_or_else(|| format!("`{term}`: expected corrupt@OFF.BIT"))?;
+                    let bit = num(bit)?;
+                    if bit > 7 {
+                        return Err(format!("`{term}`: bit must be 0-7"));
+                    }
+                    Fault {
+                        offset: num(off)?,
+                        action: FaultAction::Corrupt { bit: bit as u8 },
+                    }
+                }
+                "drop" => {
+                    let (off, n) = rest
+                        .split_once('+')
+                        .ok_or_else(|| format!("`{term}`: expected drop@OFF+N"))?;
+                    Fault {
+                        offset: num(off)?,
+                        action: FaultAction::Drop { count: num(n)? },
+                    }
+                }
+                "delay" => {
+                    let (off, ms) = rest
+                        .split_once(':')
+                        .ok_or_else(|| format!("`{term}`: expected delay@OFF:MS"))?;
+                    Fault {
+                        offset: num(off)?,
+                        action: FaultAction::Delay { ms: num(ms)? },
+                    }
+                }
+                "sever" => Fault {
+                    offset: num(rest)?,
+                    action: FaultAction::Sever,
+                },
+                "stall" => Fault {
+                    offset: num(rest)?,
+                    action: FaultAction::Stall,
+                },
+                other => return Err(format!("unknown fault kind `{other}`")),
+            };
+            faults.push(fault);
+        }
+        Ok(FaultSchedule::new(faults))
+    }
+
+    /// A seeded random schedule of 1–4 faults within the first
+    /// `max_offset` bytes. Identical seeds yield identical schedules.
+    pub fn random(seed: u64, max_offset: u64) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let n = rng.gen_range(1usize..=4);
+        let faults = (0..n)
+            .map(|_| {
+                let offset = rng.gen_range(0..max_offset.max(1));
+                let action = match rng.gen_range(0u8..5) {
+                    0 => FaultAction::Corrupt {
+                        bit: rng.gen_range(0u8..8),
+                    },
+                    1 => FaultAction::Drop {
+                        count: rng.gen_range(1u64..32),
+                    },
+                    2 => FaultAction::Delay {
+                        ms: rng.gen_range(1u64..5_000),
+                    },
+                    3 => FaultAction::Sever,
+                    _ => FaultAction::Stall,
+                };
+                Fault { offset, action }
+            })
+            .collect();
+        FaultSchedule::new(faults)
+    }
+}
+
+impl fmt::Display for FaultSchedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, fault) in self.faults.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            match fault.action {
+                FaultAction::Corrupt { bit } => write!(f, "corrupt@{}.{bit}", fault.offset)?,
+                FaultAction::Drop { count } => write!(f, "drop@{}+{count}", fault.offset)?,
+                FaultAction::Delay { ms } => write!(f, "delay@{}:{ms}", fault.offset)?,
+                FaultAction::Sever => write!(f, "sever@{}", fault.offset)?,
+                FaultAction::Stall => write!(f, "stall@{}", fault.offset)?,
+            }
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SimTransport
+// ---------------------------------------------------------------------------
+
+/// One direction of a simulated link.
+struct SimDir {
+    schedule: Vec<Fault>,
+    next_fault: usize,
+    /// Bytes the sender has attempted so far (the fault-offset domain).
+    offset: u64,
+    /// Bytes still to discard because of an active `Drop` fault.
+    drop_left: u64,
+    /// Accumulated delivery delay in ms.
+    delay_ms: u64,
+    /// In-flight bytes tagged with the virtual instant they become
+    /// readable.
+    queue: VecDeque<(u64, u8)>,
+    /// Sender closed (or the direction was severed): reader sees EOF once
+    /// the queue drains.
+    closed: bool,
+    /// Delivery stopped without closing (half-open).
+    stalled: bool,
+}
+
+impl SimDir {
+    fn new(schedule: FaultSchedule) -> Self {
+        SimDir {
+            schedule: schedule.faults,
+            next_fault: 0,
+            offset: 0,
+            drop_left: 0,
+            delay_ms: 0,
+            queue: VecDeque::new(),
+            closed: false,
+            stalled: false,
+        }
+    }
+
+    fn write(&mut self, data: &[u8], now_ms: u64) -> io::Result<()> {
+        if self.closed {
+            return Err(io::Error::new(
+                io::ErrorKind::BrokenPipe,
+                "simulated link severed",
+            ));
+        }
+        for &raw in data {
+            let mut byte = raw;
+            while let Some(f) = self.schedule.get(self.next_fault) {
+                if f.offset != self.offset {
+                    break;
+                }
+                self.next_fault += 1;
+                match f.action {
+                    FaultAction::Corrupt { bit } => byte ^= 1 << bit,
+                    FaultAction::Drop { count } => self.drop_left += count,
+                    FaultAction::Delay { ms } => self.delay_ms += ms,
+                    FaultAction::Sever => {
+                        self.closed = true;
+                        // bytes already queued still deliver; the rest of
+                        // this write vanishes, later writes fail
+                        return Ok(());
+                    }
+                    FaultAction::Stall => self.stalled = true,
+                }
+            }
+            self.offset += 1;
+            if self.drop_left > 0 {
+                self.drop_left -= 1;
+                continue;
+            }
+            if self.stalled {
+                continue; // delivery stopped; connection stays open
+            }
+            self.queue.push_back((now_ms + self.delay_ms, byte));
+        }
+        Ok(())
+    }
+
+    fn read(&mut self, buf: &mut [u8], now_ms: u64) -> io::Result<usize> {
+        let mut n = 0;
+        while n < buf.len() {
+            match self.queue.front() {
+                Some(&(ready_at, byte)) if ready_at <= now_ms => {
+                    buf[n] = byte;
+                    n += 1;
+                    self.queue.pop_front();
+                }
+                _ => break,
+            }
+        }
+        if n > 0 {
+            Ok(n)
+        } else if self.closed && self.queue.is_empty() {
+            Ok(0)
+        } else {
+            Err(io::Error::new(
+                io::ErrorKind::WouldBlock,
+                "no simulated bytes ready",
+            ))
+        }
+    }
+}
+
+struct SimLink {
+    a2b: SimDir,
+    b2a: SimDir,
+}
+
+/// One endpoint of an in-process simulated link (see the module docs for
+/// the fault model). Reads are non-blocking: they return `WouldBlock`
+/// until bytes become ready on the shared [`VirtualClock`].
+pub struct SimTransport {
+    link: Arc<parking_lot::Mutex<SimLink>>,
+    clock: VirtualClock,
+    is_a: bool,
+}
+
+/// Creates a connected pair of simulated endpoints sharing `clock`.
+/// `a2b` faults apply to bytes written by the first endpoint, `b2a` to
+/// bytes written by the second.
+pub fn sim_pair(
+    clock: &VirtualClock,
+    a2b: FaultSchedule,
+    b2a: FaultSchedule,
+) -> (SimTransport, SimTransport) {
+    let link = Arc::new(parking_lot::Mutex::new(SimLink {
+        a2b: SimDir::new(a2b),
+        b2a: SimDir::new(b2a),
+    }));
+    (
+        SimTransport {
+            link: link.clone(),
+            clock: clock.clone(),
+            is_a: true,
+        },
+        SimTransport {
+            link,
+            clock: clock.clone(),
+            is_a: false,
+        },
+    )
+}
+
+impl Transport for SimTransport {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let now = self.clock.now_ms();
+        let mut link = self.link.lock();
+        let dir = if self.is_a {
+            &mut link.b2a
+        } else {
+            &mut link.a2b
+        };
+        dir.read(buf, now)
+    }
+
+    fn write_all(&mut self, buf: &[u8]) -> io::Result<()> {
+        let now = self.clock.now_ms();
+        let mut link = self.link.lock();
+        let dir = if self.is_a {
+            &mut link.a2b
+        } else {
+            &mut link.b2a
+        };
+        dir.write(buf, now)
+    }
+
+    fn set_read_timeout(&mut self, _timeout: Option<Duration>) -> io::Result<()> {
+        Ok(()) // reads are non-blocking; the harness advances the clock
+    }
+
+    fn shutdown(&mut self) {
+        let mut link = self.link.lock();
+        let dir = if self.is_a {
+            &mut link.a2b
+        } else {
+            &mut link.b2a
+        };
+        dir.closed = true;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reconnect backoff
+// ---------------------------------------------------------------------------
+
+/// Capped exponential backoff with deterministic jitter, used when
+/// re-establishing a dropped session. `delay_ms(attempt)` is in
+/// `[cap/2, cap]` once the exponential passes `cap_ms`, and identical
+/// `(seed, attempt)` pairs always produce identical delays.
+#[derive(Clone, Copy, Debug)]
+pub struct BackoffPolicy {
+    /// First-retry delay in milliseconds.
+    pub base_ms: u64,
+    /// Upper bound on the un-jittered delay.
+    pub cap_ms: u64,
+    /// Jitter seed (vary per peer to de-synchronize reconnect storms).
+    pub seed: u64,
+}
+
+impl Default for BackoffPolicy {
+    fn default() -> Self {
+        BackoffPolicy {
+            base_ms: 500,
+            cap_ms: 60_000,
+            seed: 0,
+        }
+    }
+}
+
+impl BackoffPolicy {
+    /// The jittered delay before reconnect attempt `attempt` (0-based).
+    pub fn delay_ms(&self, attempt: u32) -> u64 {
+        let exp = self
+            .base_ms
+            .saturating_mul(1u64.checked_shl(attempt).unwrap_or(u64::MAX))
+            .min(self.cap_ms)
+            .max(1);
+        // jitter in [exp/2, exp]: keeps retries spread without ever
+        // collapsing to zero delay
+        let half = exp / 2;
+        let mut rng = SmallRng::seed_from_u64(
+            self.seed ^ (attempt as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+        );
+        half + rng.gen_range(0..=exp - half)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sim_pair_delivers_bytes_both_ways() {
+        let clock = VirtualClock::new();
+        let (mut a, mut b) = sim_pair(&clock, FaultSchedule::none(), FaultSchedule::none());
+        a.write_all(b"hello").unwrap();
+        b.write_all(b"world").unwrap();
+        let mut buf = [0u8; 16];
+        assert_eq!(b.read(&mut buf).unwrap(), 5);
+        assert_eq!(&buf[..5], b"hello");
+        assert_eq!(a.read(&mut buf).unwrap(), 5);
+        assert_eq!(&buf[..5], b"world");
+        // nothing more: WouldBlock, not EOF
+        assert_eq!(
+            a.read(&mut buf).unwrap_err().kind(),
+            io::ErrorKind::WouldBlock
+        );
+    }
+
+    #[test]
+    fn corrupt_flips_exactly_one_bit() {
+        let clock = VirtualClock::new();
+        let sched = FaultSchedule::parse("corrupt@2.0").unwrap();
+        let (mut a, mut b) = sim_pair(&clock, sched, FaultSchedule::none());
+        a.write_all(&[0, 0, 0, 0]).unwrap();
+        let mut buf = [0u8; 4];
+        assert_eq!(b.read(&mut buf).unwrap(), 4);
+        assert_eq!(buf, [0, 0, 1, 0]);
+    }
+
+    #[test]
+    fn drop_discards_a_window() {
+        let clock = VirtualClock::new();
+        let sched = FaultSchedule::parse("drop@1+2").unwrap();
+        let (mut a, mut b) = sim_pair(&clock, sched, FaultSchedule::none());
+        a.write_all(&[1, 2, 3, 4, 5]).unwrap();
+        let mut buf = [0u8; 8];
+        assert_eq!(b.read(&mut buf).unwrap(), 3);
+        assert_eq!(&buf[..3], &[1, 4, 5]);
+    }
+
+    #[test]
+    fn delay_holds_bytes_until_the_clock_advances() {
+        let clock = VirtualClock::new();
+        let sched = FaultSchedule::parse("delay@2:100").unwrap();
+        let (mut a, mut b) = sim_pair(&clock, sched, FaultSchedule::none());
+        a.write_all(&[1, 2, 3, 4]).unwrap();
+        let mut buf = [0u8; 8];
+        assert_eq!(b.read(&mut buf).unwrap(), 2); // bytes before the fault
+        assert!(b.read(&mut buf).is_err());
+        clock.advance_ms(100);
+        assert_eq!(b.read(&mut buf).unwrap(), 2);
+        assert_eq!(&buf[..2], &[3, 4]);
+    }
+
+    #[test]
+    fn sever_delivers_prefix_then_eof_and_breaks_writes() {
+        let clock = VirtualClock::new();
+        let sched = FaultSchedule::parse("sever@3").unwrap();
+        let (mut a, mut b) = sim_pair(&clock, sched, FaultSchedule::none());
+        a.write_all(&[1, 2, 3, 4, 5]).unwrap(); // tail silently lost
+        let mut buf = [0u8; 8];
+        assert_eq!(b.read(&mut buf).unwrap(), 3);
+        assert_eq!(b.read(&mut buf).unwrap(), 0, "EOF after sever");
+        assert_eq!(
+            a.write_all(&[9]).unwrap_err().kind(),
+            io::ErrorKind::BrokenPipe
+        );
+    }
+
+    #[test]
+    fn stall_blocks_forever_without_eof() {
+        let clock = VirtualClock::new();
+        let sched = FaultSchedule::parse("stall@2").unwrap();
+        let (mut a, mut b) = sim_pair(&clock, sched, FaultSchedule::none());
+        a.write_all(&[1, 2, 3, 4]).unwrap();
+        let mut buf = [0u8; 8];
+        assert_eq!(b.read(&mut buf).unwrap(), 2);
+        clock.advance_ms(1_000_000);
+        let err = b.read(&mut buf).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::WouldBlock, "half-open, not EOF");
+        // the writer can keep writing into the void
+        a.write_all(&[5]).unwrap();
+    }
+
+    #[test]
+    fn schedule_grammar_roundtrips() {
+        let text = "corrupt@60.3 drop@100+7 delay@120:500 sever@512 stall@900";
+        let sched = FaultSchedule::parse(text).unwrap();
+        assert_eq!(sched.faults().len(), 5);
+        assert_eq!(sched.to_string(), text);
+        assert_eq!(FaultSchedule::parse(&sched.to_string()).unwrap(), sched);
+        assert!(FaultSchedule::parse("corrupt@5.9").is_err());
+        assert!(FaultSchedule::parse("explode@5").is_err());
+        assert!(FaultSchedule::parse("drop@x+1").is_err());
+    }
+
+    #[test]
+    fn random_schedules_are_seed_deterministic() {
+        for seed in 0..32 {
+            let a = FaultSchedule::random(seed, 1024);
+            let b = FaultSchedule::random(seed, 1024);
+            assert_eq!(a, b);
+            assert!(!a.faults().is_empty() && a.faults().len() <= 4);
+        }
+        assert_ne!(
+            FaultSchedule::random(1, 1024),
+            FaultSchedule::random(2, 1024)
+        );
+    }
+
+    #[test]
+    fn backoff_is_capped_jittered_and_deterministic() {
+        let p = BackoffPolicy {
+            base_ms: 100,
+            cap_ms: 2_000,
+            seed: 7,
+        };
+        for attempt in 0..20 {
+            let d1 = p.delay_ms(attempt);
+            let d2 = p.delay_ms(attempt);
+            assert_eq!(d1, d2, "same (seed, attempt) must give the same delay");
+            let exp = (100u64 << attempt.min(10)).min(2_000);
+            assert!(d1 >= exp / 2 && d1 <= exp, "attempt {attempt}: {d1}");
+        }
+        // different seeds de-synchronize
+        let q = BackoffPolicy { seed: 8, ..p };
+        assert!((0..20).any(|a| p.delay_ms(a) != q.delay_ms(a)));
+    }
+
+    #[test]
+    fn virtual_clock_is_shared_across_clones() {
+        let c = VirtualClock::new();
+        let c2 = c.clone();
+        c.advance_ms(50);
+        assert_eq!(c2.now_ms(), 50);
+    }
+}

@@ -9,6 +9,22 @@ use std::io::Write;
 use std::net::TcpStream;
 use std::time::Duration;
 
+/// Deterministic drain: waits until the pool's received counter reaches
+/// `expect` (bounded), instead of sleeping an arbitrary wall-clock amount.
+fn wait_received(pool: &DaemonPool, expect: usize) {
+    for _ in 0..500 {
+        if pool
+            .stats()
+            .received
+            .load(std::sync::atomic::Ordering::Relaxed)
+            >= expect
+        {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
 fn send_one_update(addr: std::net::SocketAddr, asn: u32, prefix: u32) {
     let stream = TcpStream::connect(addr).unwrap();
     let mut ms = MessageStream::new(stream);
@@ -43,7 +59,7 @@ fn garbage_peer_does_not_poison_the_pool() {
     }
     // a well-behaved peer afterwards must still be served
     send_one_update(addr, 65010, 7);
-    std::thread::sleep(Duration::from_millis(300));
+    wait_received(&pool, 1);
     pool.stop();
     let mut storage = MemoryStorage::default();
     pool.drain_into(&mut storage);
@@ -79,7 +95,7 @@ fn abrupt_disconnect_mid_message_is_contained() {
     }
     // pool still serves others
     send_one_update(addr, 65013, 2);
-    std::thread::sleep(Duration::from_millis(300));
+    wait_received(&pool, 1);
     pool.stop();
     let mut storage = MemoryStorage::default();
     pool.drain_into(&mut storage);

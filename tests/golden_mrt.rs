@@ -1,0 +1,177 @@
+//! Golden MRT fixtures: known-good byte images checked into
+//! `tests/fixtures/`. Decoding must succeed and re-encoding must
+//! reproduce the fixture byte-for-byte, so any unintended wire-format
+//! drift fails loudly with a diff offset instead of silently corrupting
+//! archives.
+//!
+//! To regenerate after an *intentional* format change:
+//! `cargo test --test golden_mrt -- --ignored regenerate`
+
+use gill::prelude::*;
+use gill::wire::{BgpMessage, MrtRecord, MrtWriter, TableDump, UpdateMessage};
+use std::collections::BTreeMap;
+use std::net::Ipv4Addr;
+use std::path::PathBuf;
+
+fn fixture_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn read_fixture(name: &str) -> Vec<u8> {
+    std::fs::read(fixture_path(name))
+        .unwrap_or_else(|e| panic!("missing fixture {name} ({e}); run the regenerate test"))
+}
+
+/// The canonical BGP4MP update stream: announce, withdraw, mixed, and a
+/// 4-byte-ASN peer. Every field is pinned so the bytes are reproducible.
+fn golden_updates() -> Vec<MrtRecord> {
+    let announce = UpdateMessage::announce(
+        Prefix::synthetic(7),
+        AsPath::from_u32s([65001, 174, 3356]),
+        Ipv4Addr::new(10, 0, 0, 9),
+        vec![Community::new(65001, 100), Community::new(65001, 200)],
+    );
+    let withdraw = UpdateMessage::withdraw(Prefix::synthetic(3));
+    let mut mixed = announce.clone();
+    mixed.withdrawn = vec![Prefix::synthetic(1), Prefix::synthetic(2)];
+    let wide = UpdateMessage::announce(
+        Prefix::synthetic(42),
+        AsPath::from_u32s([70_000, 65010, 2]),
+        Ipv4Addr::new(10, 0, 1, 9),
+        vec![],
+    );
+    let rec = |time, peer_as, message| MrtRecord {
+        time: Timestamp::from_secs(time),
+        peer_as: Asn(peer_as),
+        local_as: Asn(65535),
+        peer_ip: Ipv4Addr::new(10, 0, 0, 2),
+        local_ip: Ipv4Addr::new(10, 0, 0, 1),
+        message: BgpMessage::Update(message),
+    };
+    vec![
+        rec(1_700_000_000, 65001, announce),
+        rec(1_700_000_001, 65001, withdraw),
+        rec(1_700_000_002, 65001, mixed),
+        rec(1_700_000_003, 70_000, wide), // 4-byte ASN peer
+    ]
+}
+
+/// The canonical TABLE_DUMP_V2 snapshot: two peers, overlapping prefixes.
+fn golden_table_dump() -> TableDump {
+    let mut ribs: BTreeMap<VpId, Rib> = BTreeMap::new();
+    for (vp_asn, prefix, hops) in [
+        (65001u32, 1u32, [65001u32, 174, 3356]),
+        (65001, 2, [65001, 174, 2914]),
+        (65002, 1, [65002, 6939, 3356]),
+    ] {
+        let vp = VpId::from_asn(Asn(vp_asn));
+        let mut u = UpdateBuilder::announce(vp, Prefix::synthetic(prefix))
+            .at(Timestamp::from_secs(1_700_000_000))
+            .path(hops)
+            .build();
+        ribs.entry(vp).or_default().apply(&mut u);
+    }
+    TableDump::from_ribs(ribs.iter())
+}
+
+fn encode_updates() -> Vec<u8> {
+    let mut w = MrtWriter::new(Vec::new());
+    for rec in golden_updates() {
+        w.write_record(&rec).unwrap();
+    }
+    w.into_inner().unwrap()
+}
+
+fn encode_table_dump() -> Vec<u8> {
+    let mut bytes = Vec::new();
+    golden_table_dump()
+        .write_mrt(&mut bytes, Timestamp::from_secs(1_700_000_100))
+        .unwrap();
+    bytes
+}
+
+/// Points at the first differing byte so a format drift is immediately
+/// localizable.
+fn assert_bytes_eq(actual: &[u8], golden: &[u8], what: &str) {
+    if actual == golden {
+        return;
+    }
+    let at = actual
+        .iter()
+        .zip(golden.iter())
+        .position(|(a, b)| a != b)
+        .unwrap_or_else(|| actual.len().min(golden.len()));
+    panic!(
+        "{what}: encoding drifted from the golden fixture at byte {at} \
+         (actual len {}, golden len {}); if the format change is \
+         intentional, regenerate with \
+         `cargo test --test golden_mrt -- --ignored regenerate`",
+        actual.len(),
+        golden.len(),
+    );
+}
+
+#[test]
+fn bgp4mp_updates_reencode_byte_exactly() {
+    let golden = read_fixture("updates.mrt");
+    assert_bytes_eq(&encode_updates(), &golden, "BGP4MP update stream");
+
+    // and decoding the fixture yields the canonical records
+    let mut rest = &golden[..];
+    let mut decoded = Vec::new();
+    while let Some((rec, used)) = MrtRecord::decode(rest).unwrap() {
+        decoded.push(rec);
+        rest = &rest[used..];
+    }
+    let want = golden_updates();
+    assert_eq!(decoded.len(), want.len());
+    for (d, w) in decoded.iter().zip(&want) {
+        assert_eq!(d.peer_as, w.peer_as);
+        assert_eq!(d.time.as_secs(), w.time.as_secs());
+        assert_eq!(d.message, w.message);
+        // each record alone also re-encodes byte-exactly
+    }
+}
+
+#[test]
+fn each_bgp4mp_record_reencodes_byte_exactly() {
+    let golden = read_fixture("updates.mrt");
+    let mut rest = &golden[..];
+    let mut offset = 0usize;
+    while let Some((rec, used)) = MrtRecord::decode(rest).unwrap() {
+        let re = rec.encode().unwrap();
+        assert_bytes_eq(&re, &rest[..used], "decoded record re-encode");
+        offset += used;
+        rest = &golden[offset..];
+    }
+    assert_eq!(offset, golden.len(), "no trailing bytes in the fixture");
+}
+
+#[test]
+fn table_dump_v2_reencodes_byte_exactly() {
+    let golden = read_fixture("table_dump.mrt");
+    assert_bytes_eq(&encode_table_dump(), &golden, "TABLE_DUMP_V2 snapshot");
+
+    // decode → re-encode of the fixture itself is also byte-exact
+    let dump = TableDump::read_mrt(&golden).unwrap();
+    let mut re = Vec::new();
+    dump.write_mrt(&mut re, Timestamp::from_secs(1_700_000_100))
+        .unwrap();
+    assert_bytes_eq(&re, &golden, "TABLE_DUMP_V2 decode/re-encode");
+
+    // and the semantic content survives
+    let ribs = dump.to_ribs();
+    assert_eq!(ribs.len(), 2, "two peers in the golden snapshot");
+}
+
+/// Regenerates the fixtures. Run only after an intentional format change:
+/// `cargo test --test golden_mrt -- --ignored regenerate`
+#[test]
+#[ignore = "writes fixtures; run explicitly after intentional format changes"]
+fn regenerate() {
+    std::fs::create_dir_all(fixture_path("")).unwrap();
+    std::fs::write(fixture_path("updates.mrt"), encode_updates()).unwrap();
+    std::fs::write(fixture_path("table_dump.mrt"), encode_table_dump()).unwrap();
+}

@@ -169,7 +169,18 @@ fn orchestrator_drives_the_daemon_pool() {
         )
     });
     h.join().unwrap().unwrap();
-    std::thread::sleep(std::time::Duration::from_millis(300));
+    // deterministic drain: wait on the received counter, not wall time
+    for _ in 0..500 {
+        if pool
+            .stats()
+            .received
+            .load(std::sync::atomic::Ordering::Relaxed)
+            >= 50
+        {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
     pool.stop();
     let mut storage = MemoryStorage::default();
     pool.drain_into(&mut storage);

@@ -154,6 +154,104 @@ proptest! {
     }
 }
 
+/// Wire-struct-level UPDATE generator, covering the edge cases the domain
+/// generator can't express: withdraw-only messages with an empty attribute
+/// section, multi-prefix NLRI, and empty community lists.
+fn arb_wire_update() -> impl Strategy<Value = gill::wire::UpdateMessage> {
+    use gill::wire::UpdateMessage;
+    (
+        proptest::collection::vec((any::<u32>(), 8u8..=30), 0..4), // announced
+        proptest::collection::vec((any::<u32>(), 8u8..=30), 0..4), // withdrawn
+        proptest::collection::vec(1u32..4_000_000_000, 1..6),      // path
+        any::<u32>(),                                              // next hop
+        proptest::collection::vec(any::<u32>(), 0..5),             // communities
+    )
+        .prop_map(|(ann, wd, path, nh, comms)| {
+            let prefixes = |v: Vec<(u32, u8)>| {
+                v.into_iter()
+                    .map(|(bits, len)| Prefix::v4(Ipv4Addr::from(bits), len))
+                    .collect::<Vec<_>>()
+            };
+            let announced = prefixes(ann);
+            if announced.is_empty() {
+                // withdraw-only: attribute section must be empty on the wire
+                UpdateMessage {
+                    withdrawn: prefixes(wd),
+                    ..UpdateMessage::default()
+                }
+            } else {
+                let mut u = UpdateMessage::announce(
+                    announced[0],
+                    AsPath::from_u32s(path),
+                    Ipv4Addr::from(nh),
+                    comms.into_iter().map(Community).collect(),
+                );
+                u.announced = announced;
+                u.withdrawn = prefixes(wd);
+                u
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn wire_open_roundtrip_including_4_byte_asn(
+        asn in 1u32..4_000_000_000, // beyond u16::MAX exercises RFC 6793
+        hold in any::<u16>(),
+        router in any::<u32>(),
+    ) {
+        use gill::wire::{BgpMessage, OpenMessage};
+        let open = OpenMessage::new(Asn(asn), hold, Ipv4Addr::from(router));
+        let bytes = BgpMessage::Open(open.clone()).encode_to_vec().unwrap();
+        let mut buf = bytes::BytesMut::from(&bytes[..]);
+        let BgpMessage::Open(back) = BgpMessage::decode(&mut buf).unwrap().unwrap() else {
+            return Err(TestCaseError::fail("wrong message type"));
+        };
+        prop_assert_eq!(back.asn, Asn(asn));
+        prop_assert_eq!(back.hold_time, hold);
+        prop_assert_eq!(back.router_id, Ipv4Addr::from(router));
+        prop_assert!(buf.is_empty(), "no trailing bytes");
+    }
+
+    #[test]
+    fn wire_update_struct_roundtrip(u in arb_wire_update()) {
+        use gill::wire::BgpMessage;
+        let bytes = BgpMessage::Update(u.clone()).encode_to_vec().unwrap();
+        let mut buf = bytes::BytesMut::from(&bytes[..]);
+        let BgpMessage::Update(back) = BgpMessage::decode(&mut buf).unwrap().unwrap() else {
+            return Err(TestCaseError::fail("wrong message type"));
+        };
+        prop_assert_eq!(back, u);
+    }
+
+    #[test]
+    fn wire_notification_roundtrip(
+        code in any::<u8>(),
+        subcode in any::<u8>(),
+        data in proptest::collection::vec(any::<u8>(), 0..32),
+    ) {
+        use gill::wire::{BgpMessage, Notification};
+        let n = Notification { code, subcode, data };
+        let bytes = BgpMessage::Notification(n.clone()).encode_to_vec().unwrap();
+        let mut buf = bytes::BytesMut::from(&bytes[..]);
+        let BgpMessage::Notification(back) = BgpMessage::decode(&mut buf).unwrap().unwrap() else {
+            return Err(TestCaseError::fail("wrong message type"));
+        };
+        prop_assert_eq!(back, n);
+    }
+
+    #[test]
+    fn fault_schedule_grammar_roundtrip(seed in any::<u64>(), span in 1u64..100_000) {
+        use gill::collector::FaultSchedule;
+        let sched = FaultSchedule::random(seed, span);
+        let text = sched.to_string();
+        let back = FaultSchedule::parse(&text).unwrap();
+        prop_assert_eq!(back, sched);
+    }
+}
+
 // ---------------------------------------------------------------------------
 // RIB invariants
 // ---------------------------------------------------------------------------
