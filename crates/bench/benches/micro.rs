@@ -118,6 +118,56 @@ fn bench_redundancy(c: &mut Criterion) {
     });
 }
 
+fn bench_query_store(c: &mut Criterion) {
+    use gill_query::{MatchMode, RouteStore, StoreConfig};
+    let updates = bench::synth_query_stream(20_000, 8, 400, 3_600_000, 7);
+    c.bench_function("query/ingest_20k", |b| {
+        b.iter(|| {
+            let mut s = RouteStore::new(StoreConfig::default());
+            for u in black_box(&updates) {
+                s.ingest(u.clone());
+            }
+            s.stats().updates
+        })
+    });
+    let mut store = RouteStore::new(StoreConfig::default());
+    for u in &updates {
+        store.ingest(u.clone());
+    }
+    let t_mid = Timestamp::from_millis(store.latest_time().as_millis() / 2);
+    let vp = store.vps()[0].0;
+    c.bench_function("query/rib_at_snapshot_replay", |b| {
+        b.iter(|| store.rib_at(black_box(vp), black_box(t_mid)).unwrap().len())
+    });
+    let q = Prefix::synthetic(17);
+    c.bench_function("query/lookup_exact_live", |b| {
+        b.iter(|| store.lookup(black_box(&q), MatchMode::Exact, None).len())
+    });
+    c.bench_function("query/lookup_lpm_live", |b| {
+        b.iter(|| store.lookup(black_box(&q), MatchMode::Longest, None).len())
+    });
+    c.bench_function("query/lookup_at_historical", |b| {
+        b.iter(|| {
+            store
+                .lookup_at(black_box(&q), MatchMode::Exact, None, black_box(t_mid))
+                .len()
+        })
+    });
+    c.bench_function("query/updates_in_range_shard_scan", |b| {
+        b.iter(|| {
+            store
+                .updates_in_range(
+                    Some(black_box(&q)),
+                    gill_query::JoinMode::Exact,
+                    None,
+                    Timestamp::from_millis(t_mid.as_millis() / 2),
+                    t_mid,
+                )
+                .len()
+        })
+    });
+}
+
 fn bench_stream_synthesis(c: &mut Criterion) {
     let topo = TopologyBuilder::artificial(200, 42).build();
     let vps = topo.pick_vps(0.3, 7);
@@ -132,6 +182,6 @@ fn bench_stream_synthesis(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_wire_codec, bench_filters, bench_routing, bench_gill_core, bench_redundancy, bench_stream_synthesis
+    targets = bench_wire_codec, bench_filters, bench_routing, bench_gill_core, bench_redundancy, bench_query_store, bench_stream_synthesis
 }
 criterion_main!(benches);

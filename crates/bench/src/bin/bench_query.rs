@@ -1,0 +1,210 @@
+//! Query-store benchmark: snapshot+replay vs full replay, lookup latency,
+//! and HTTP throughput vs store size. Writes `BENCH_query.json`.
+//!
+//! The tentpole claim measured here: with the default snapshot cadence,
+//! `rib_at` (latest snapshot + bounded replay) reconstructs historical RIBs
+//! at least 5× faster than replaying the VP's whole update lane from
+//! scratch. The full-replay baseline is the same store configured to never
+//! snapshot, so both sides run identical `Rib::apply` code.
+//!
+//! Usage: `bench_query [n_updates] [runs]` (defaults: 50000, 3).
+
+use gill_query::{serve, MatchMode, RouteStore, ServerConfig, StoreConfig};
+use std::io::{Read, Write};
+use std::sync::Arc;
+use std::time::Instant;
+
+use bgp_types::{Prefix, Timestamp};
+
+fn peak_rss_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    status
+        .lines()
+        .find_map(|line| line.strip_prefix("VmHWM:"))
+        .and_then(|rest| rest.trim().trim_end_matches("kB").trim().parse().ok())
+}
+
+/// Best-of-`runs` wall time of `f`, plus the value of the last run.
+fn best_of<T>(runs: usize, mut f: impl FnMut() -> T) -> (T, f64) {
+    let mut best = f64::INFINITY;
+    let mut value = None;
+    for _ in 0..runs.max(1) {
+        let t0 = Instant::now();
+        let v = f();
+        best = best.min(t0.elapsed().as_secs_f64());
+        value = Some(v);
+    }
+    (value.unwrap(), best)
+}
+
+fn build_store(updates: &[bgp_types::BgpUpdate], cfg: StoreConfig) -> RouteStore {
+    let mut store = RouteStore::new(cfg);
+    for u in updates {
+        store.ingest(u.clone());
+    }
+    store
+}
+
+/// Reconstructs one RIB per (vp, probe) pair; returns total entries as a
+/// sink so the work cannot be optimized away.
+fn rib_probes(store: &RouteStore, probes: &[(bgp_types::VpId, Timestamp)]) -> usize {
+    probes
+        .iter()
+        .map(|&(vp, t)| store.rib_at(vp, t).map(|r| r.len()).unwrap_or(0))
+        .sum()
+}
+
+/// One blocking HTTP GET against the server; returns true on a 200.
+fn http_get(addr: std::net::SocketAddr, target: &str) -> bool {
+    let Ok(mut s) = std::net::TcpStream::connect(addr) else {
+        return false;
+    };
+    if write!(s, "GET {target} HTTP/1.1\r\nHost: bench\r\n\r\n").is_err() {
+        return false;
+    }
+    let mut buf = Vec::new();
+    s.read_to_end(&mut buf).is_ok() && buf.starts_with(b"HTTP/1.1 200")
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let n: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(50_000);
+    let runs: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(3);
+
+    let n_vps = 8u32;
+    let n_prefixes = 400u32;
+    let span_ms = 4 * 3_600_000u64; // 4 h of stream time → ~60 snapshot windows
+    eprintln!("synthesizing {n}-update stream ...");
+    let updates = bench::synth_query_stream(n, n_vps, n_prefixes, span_ms, 7);
+
+    let cfg = StoreConfig::default();
+    eprintln!("building snapshotted store ({runs} runs) ...");
+    let (store, t_build) = best_of(runs, || build_store(&updates, cfg));
+    let no_snap_cfg = StoreConfig {
+        shard_width_ms: cfg.shard_width_ms,
+        snapshot_every_shards: u64::MAX, // window id is always 0: never snapshots
+    };
+    eprintln!("building no-snapshot baseline store ...");
+    let full_store = build_store(&updates, no_snap_cfg);
+    assert_eq!(
+        full_store.stats().snapshots,
+        0,
+        "baseline must not snapshot"
+    );
+    let stats = store.stats();
+
+    // One probe per VP at each of 16 times spread over the span.
+    let t_max = store.latest_time().as_millis();
+    let probes: Vec<_> = store
+        .vps()
+        .into_iter()
+        .flat_map(|(vp, _)| (1..=16u64).map(move |i| (vp, Timestamp::from_millis(t_max * i / 16))))
+        .collect();
+    let mean_depth = probes
+        .iter()
+        .filter_map(|&(vp, t)| store.replay_depth(vp, t))
+        .sum::<usize>() as f64
+        / probes.len() as f64;
+    let mean_full_depth = probes
+        .iter()
+        .filter_map(|&(vp, t)| full_store.replay_depth(vp, t))
+        .sum::<usize>() as f64
+        / probes.len() as f64;
+
+    eprintln!("rib_at: snapshot+replay over {} probes ...", probes.len());
+    let (sink_snap, t_snap) = best_of(runs, || rib_probes(&store, &probes));
+    eprintln!("rib_at: full replay over {} probes ...", probes.len());
+    let (sink_full, t_full) = best_of(runs, || rib_probes(&full_store, &probes));
+    assert_eq!(
+        sink_snap, sink_full,
+        "snapshot+replay RIBs diverge from full replay"
+    );
+    let speedup = t_full / t_snap;
+
+    // Live looking-glass lookup latency, ns/op over a query mix.
+    let queries: Vec<Prefix> = (0..n_prefixes).map(Prefix::synthetic).collect();
+    let lookup_ns = |mode: MatchMode| {
+        let iters = 50usize;
+        let t0 = Instant::now();
+        let mut sink = 0usize;
+        for _ in 0..iters {
+            for q in &queries {
+                sink += store.lookup(q, mode, None).len();
+            }
+        }
+        let ns = t0.elapsed().as_nanos() as f64 / (iters * queries.len()) as f64;
+        (ns, sink)
+    };
+    eprintln!("live lookups ...");
+    let (exact_ns, s1) = lookup_ns(MatchMode::Exact);
+    let (lpm_ns, s2) = lookup_ns(MatchMode::Longest);
+    let (ms_ns, s3) = lookup_ns(MatchMode::MoreSpecific);
+    assert!(s1 + s2 + s3 > 0, "lookups must return routes");
+
+    // HTTP throughput vs store size: sequential-per-thread closed loop,
+    // 4 client threads, fresh connection per request (the server is
+    // connection-per-request by design).
+    let mut http_rows = Vec::new();
+    for &size in &[n / 4, n / 2, n] {
+        let sub = build_store(&updates[..size], cfg);
+        let shared = Arc::new(parking_lot::RwLock::new(sub));
+        let mut server =
+            serve("127.0.0.1:0", ServerConfig::default(), shared).expect("bind bench server");
+        let addr = server.local_addr();
+        let threads = 4usize;
+        let per_thread = 100usize;
+        eprintln!(
+            "http: {size}-update store, {} requests ...",
+            threads * per_thread
+        );
+        let t0 = Instant::now();
+        let handles: Vec<_> = (0..threads)
+            .map(|ti| {
+                std::thread::spawn(move || {
+                    let mut ok = 0usize;
+                    for i in 0..per_thread {
+                        let pfx = Prefix::synthetic(((ti * per_thread + i) % 400) as u32);
+                        if http_get(addr, &format!("/routes?prefix={pfx}&match=lpm")) {
+                            ok += 1;
+                        }
+                    }
+                    ok
+                })
+            })
+            .collect();
+        let ok: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        let secs = t0.elapsed().as_secs_f64();
+        server.stop();
+        assert_eq!(ok, threads * per_thread, "all requests must succeed");
+        http_rows.push(format!(
+            "    {{ \"store_updates\": {size}, \"requests\": {}, \"secs\": {secs:.4}, \"req_per_sec\": {:.1} }}",
+            threads * per_thread,
+            (threads * per_thread) as f64 / secs
+        ));
+    }
+
+    assert!(
+        speedup >= 5.0,
+        "snapshot+replay speedup {speedup:.2}x below the 5x bar"
+    );
+
+    let json = format!(
+        "{{\n  \"n_updates\": {n},\n  \"runs\": {runs},\n  \"store\": {{ \"shard_width_ms\": {}, \"snapshot_every_shards\": {}, \"vps\": {}, \"shards\": {}, \"snapshots\": {}, \"live_prefixes\": {}, \"build_secs\": {t_build:.4} }},\n  \"rib_at\": {{\n    \"probes\": {},\n    \"snapshot_replay\": {{ \"secs\": {t_snap:.6}, \"ribs_per_sec\": {:.1}, \"mean_replay_depth\": {mean_depth:.1} }},\n    \"full_replay\": {{ \"secs\": {t_full:.6}, \"ribs_per_sec\": {:.1}, \"mean_replay_depth\": {mean_full_depth:.1} }},\n    \"speedup\": {speedup:.2}\n  }},\n  \"live_lookup_ns\": {{ \"exact\": {exact_ns:.1}, \"lpm\": {lpm_ns:.1}, \"more_specifics\": {ms_ns:.1} }},\n  \"http\": [\n{}\n  ],\n  \"peak_rss_kb\": {}\n}}\n",
+        cfg.shard_width_ms,
+        cfg.snapshot_every_shards,
+        stats.vps,
+        stats.shards,
+        stats.snapshots,
+        stats.live_prefixes,
+        probes.len(),
+        probes.len() as f64 / t_snap,
+        probes.len() as f64 / t_full,
+        http_rows.join(",\n"),
+        peak_rss_kb()
+            .map(|kb| kb.to_string())
+            .unwrap_or_else(|| "null".into()),
+    );
+    std::fs::write("BENCH_query.json", &json).expect("write BENCH_query.json");
+    print!("{json}");
+    eprintln!("wrote BENCH_query.json");
+}

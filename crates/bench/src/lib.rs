@@ -127,6 +127,45 @@ pub fn synth_redundancy_stream(n: usize, seed: u64) -> Vec<bgp_types::BgpUpdate>
     updates
 }
 
+/// Synthesizes the update stream for the query-store benchmarks
+/// (`bench_query` and the criterion `query/*` group): `n_vps` vantage
+/// points churning `n_prefixes` prefixes over `span_ms` of stream time, so
+/// the store crosses many snapshot windows and `rib_at` has a deep history
+/// to bound.
+pub fn synth_query_stream(
+    n: usize,
+    n_vps: u32,
+    n_prefixes: u32,
+    span_ms: u64,
+    seed: u64,
+) -> Vec<bgp_types::BgpUpdate> {
+    use bgp_types::{Prefix, Timestamp, UpdateBuilder, VpId};
+    use rand::{rngs::SmallRng, Rng, SeedableRng};
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let step = (span_ms / n.max(1) as u64).max(1);
+    let mut t_ms = 0u64;
+    let mut updates = Vec::with_capacity(n);
+    for _ in 0..n {
+        t_ms += rng.gen_range(0..step * 2);
+        let vp = VpId::from_asn(bgp_types::Asn(65_000 + rng.gen_range(0..n_vps)));
+        let prefix = Prefix::synthetic(rng.gen_range(0..n_prefixes));
+        let u = if rng.gen_range(0..5u32) == 0 {
+            UpdateBuilder::withdraw(vp, prefix)
+                .at(Timestamp::from_millis(t_ms))
+                .build()
+        } else {
+            let mid = rng.gen_range(100u32..1_000);
+            UpdateBuilder::announce(vp, prefix)
+                .at(Timestamp::from_millis(t_ms))
+                .path([vp.asn.value(), mid, mid + 1, rng.gen_range(1..50u32)])
+                .community((vp.asn.value() % 1_000) as u16, rng.gen_range(0..200u16))
+                .build()
+        };
+        updates.push(u);
+    }
+    updates
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

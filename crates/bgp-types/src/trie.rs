@@ -109,6 +109,15 @@ impl<T> PrefixTrie<T> {
         self.nodes[cur].entry.as_ref().map(|(_, v)| v)
     }
 
+    /// Exact lookup, mutable.
+    pub fn get_mut(&mut self, prefix: &Prefix) -> Option<&mut T> {
+        let mut cur = self.root(prefix);
+        for i in 0..prefix.len() {
+            cur = self.nodes[cur].children[bit_at(prefix, i)]?;
+        }
+        self.nodes[cur].entry.as_mut().map(|(_, v)| v)
+    }
+
     /// Removes `prefix`, returning its value (nodes are not compacted).
     pub fn remove(&mut self, prefix: &Prefix) -> Option<T> {
         let mut cur = self.root(prefix);
@@ -201,6 +210,14 @@ mod tests {
         assert_eq!(t.remove(&p("10.0.0.0/8")), Some(2));
         assert!(t.is_empty());
         assert_eq!(t.remove(&p("10.0.0.0/8")), None);
+    }
+
+    #[test]
+    fn get_mut_edits_in_place() {
+        let mut t: PrefixTrie<Vec<u32>> = [(p("10.0.0.0/8"), vec![1])].into_iter().collect();
+        t.get_mut(&p("10.0.0.0/8")).unwrap().push(2);
+        assert_eq!(t.get(&p("10.0.0.0/8")), Some(&vec![1, 2]));
+        assert!(t.get_mut(&p("10.0.0.0/9")).is_none());
     }
 
     #[test]

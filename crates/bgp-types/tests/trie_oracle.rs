@@ -1,0 +1,123 @@
+//! Property tests: [`PrefixTrie`] lookups must agree with a naive
+//! linear-scan oracle over arbitrary prefix sets.
+
+use bgp_types::{Prefix, PrefixTrie};
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+
+/// Oracle for `longest_match`: scan every stored prefix, keep covering
+/// ones, pick the longest (ties impossible — equal-length covering
+/// prefixes of one query are equal).
+fn oracle_longest<'a>(entries: &'a [(Prefix, u32)], q: &Prefix) -> Option<&'a (Prefix, u32)> {
+    entries
+        .iter()
+        .filter(|(p, _)| p.covers(q))
+        .max_by_key(|(p, _)| p.len())
+}
+
+/// Oracle for `more_specifics`: every stored prefix the query covers.
+fn oracle_more_specifics(entries: &[(Prefix, u32)], q: &Prefix) -> Vec<(Prefix, u32)> {
+    let mut out: Vec<_> = entries
+        .iter()
+        .filter(|(p, _)| q.covers(p))
+        .copied()
+        .collect();
+    out.sort();
+    out
+}
+
+/// Deduplicates by prefix keeping the *last* value, matching
+/// `insert`'s replace semantics.
+fn dedup_last(pairs: Vec<(Prefix, u32)>) -> Vec<(Prefix, u32)> {
+    let mut map = std::collections::BTreeMap::new();
+    for (p, v) in pairs {
+        map.insert(p, v);
+    }
+    map.into_iter().collect()
+}
+
+fn prefix_from(addr: u32, len: u8) -> Prefix {
+    Prefix::v4(Ipv4Addr::from(addr), len.min(32))
+}
+
+proptest! {
+    #[test]
+    fn longest_match_agrees_with_linear_scan(
+        stored in proptest::collection::vec((any::<u32>(), 0u8..=32), 0..60),
+        queries in proptest::collection::vec((any::<u32>(), 0u8..=32), 1..20),
+    ) {
+        let entries = dedup_last(
+            stored.iter().map(|&(a, l)| (prefix_from(a, l), a)).collect(),
+        );
+        let trie: PrefixTrie<u32> = entries.iter().copied().collect();
+        prop_assert_eq!(trie.len(), entries.len());
+        for &(qa, ql) in &queries {
+            let q = prefix_from(qa, ql);
+            let got = trie.longest_match(&q).map(|(p, v)| (*p, *v));
+            let want = oracle_longest(&entries, &q).copied();
+            prop_assert_eq!(got, want, "query {}", q);
+        }
+    }
+
+    #[test]
+    fn longest_match_finds_stored_prefixes_clustered(
+        // clustered in 10.0.0.0/8 so covering relations actually occur
+        stored in proptest::collection::vec((any::<u16>(), 8u8..=32), 1..60),
+        queries in proptest::collection::vec((any::<u16>(), 8u8..=32), 1..20),
+    ) {
+        let entries = dedup_last(
+            stored
+                .iter()
+                .map(|&(a, l)| (prefix_from(0x0A00_0000 | (a as u32) << 8, l), a as u32))
+                .collect(),
+        );
+        let trie: PrefixTrie<u32> = entries.iter().copied().collect();
+        for &(qa, ql) in &queries {
+            let q = prefix_from(0x0A00_0000 | (qa as u32) << 8, ql);
+            let got = trie.longest_match(&q).map(|(p, v)| (*p, *v));
+            let want = oracle_longest(&entries, &q).copied();
+            prop_assert_eq!(got, want, "query {}", q);
+        }
+    }
+
+    #[test]
+    fn more_specifics_agrees_with_linear_scan(
+        stored in proptest::collection::vec((any::<u16>(), 8u8..=32), 0..60),
+        queries in proptest::collection::vec((any::<u16>(), 0u8..=24), 1..20),
+    ) {
+        let entries = dedup_last(
+            stored
+                .iter()
+                .map(|&(a, l)| (prefix_from(0x0A00_0000 | (a as u32) << 8, l), a as u32))
+                .collect(),
+        );
+        let trie: PrefixTrie<u32> = entries.iter().copied().collect();
+        for &(qa, ql) in &queries {
+            let q = prefix_from(0x0A00_0000 | (qa as u32) << 8, ql);
+            let mut got: Vec<(Prefix, u32)> =
+                trie.more_specifics(&q).into_iter().map(|(p, v)| (*p, *v)).collect();
+            got.sort();
+            let want = oracle_more_specifics(&entries, &q);
+            prop_assert_eq!(got, want, "query {}", q);
+        }
+    }
+
+    #[test]
+    fn get_agrees_with_membership(
+        stored in proptest::collection::vec((any::<u16>(), 8u8..=32), 0..60),
+        queries in proptest::collection::vec((any::<u16>(), 8u8..=32), 1..20),
+    ) {
+        let entries = dedup_last(
+            stored
+                .iter()
+                .map(|&(a, l)| (prefix_from(0x0A00_0000 | (a as u32) << 8, l), a as u32))
+                .collect(),
+        );
+        let trie: PrefixTrie<u32> = entries.iter().copied().collect();
+        for &(qa, ql) in &queries {
+            let q = prefix_from(0x0A00_0000 | (qa as u32) << 8, ql);
+            let want = entries.iter().find(|(p, _)| *p == q).map(|(_, v)| *v);
+            prop_assert_eq!(trie.get(&q).copied(), want, "query {}", q);
+        }
+    }
+}

@@ -593,7 +593,7 @@ impl DaemonPool {
     pub fn drain_into<S: Storage>(&self, storage: &mut S) {
         loop {
             match self.queue_rx.recv_timeout(Duration::from_millis(50)) {
-                Ok(rec) => storage.store(&rec),
+                Ok(rec) => storage.store(rec),
                 Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
                     if self.stop.load(Ordering::Relaxed) && self.queue_rx.is_empty() {
                         return;

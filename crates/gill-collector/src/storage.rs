@@ -21,8 +21,11 @@ pub struct StoredUpdate {
 
 /// A sink for retained updates.
 pub trait Storage: Send {
-    /// Persists one update.
-    fn store(&mut self, rec: &StoredUpdate);
+    /// Persists one update. Records are taken by value: the daemon's drain
+    /// loop owns each record exactly once, and passing ownership through
+    /// lets in-memory backends keep it without a per-record clone (the hot
+    /// path of §8's storage-bound daemon).
+    fn store(&mut self, rec: StoredUpdate);
 
     /// Number of records persisted so far.
     fn stored(&self) -> usize;
@@ -36,8 +39,8 @@ pub struct MemoryStorage {
 }
 
 impl Storage for MemoryStorage {
-    fn store(&mut self, rec: &StoredUpdate) {
-        self.updates.push(rec.update.clone());
+    fn store(&mut self, rec: StoredUpdate) {
+        self.updates.push(rec.update);
     }
 
     fn stored(&self) -> usize {
@@ -68,7 +71,7 @@ impl<W: Write + Send> MrtStorage<W> {
 }
 
 impl<W: Write + Send> Storage for MrtStorage<W> {
-    fn store(&mut self, rec: &StoredUpdate) {
+    fn store(&mut self, rec: StoredUpdate) {
         let Ok(msg) = UpdateMessage::from_domain(&rec.update) else {
             return;
         };
@@ -108,7 +111,7 @@ impl<S: Storage> SlowStorage<S> {
 }
 
 impl<S: Storage> Storage for SlowStorage<S> {
-    fn store(&mut self, rec: &StoredUpdate) {
+    fn store(&mut self, rec: StoredUpdate) {
         let start = std::time::Instant::now();
         self.inner.store(rec);
         while start.elapsed() < self.cost {
@@ -144,8 +147,8 @@ mod tests {
     #[test]
     fn memory_storage_counts() {
         let mut s = MemoryStorage::default();
-        s.store(&StoredUpdate { update: upd(1) });
-        s.store(&StoredUpdate { update: upd(2) });
+        s.store(StoredUpdate { update: upd(1) });
+        s.store(StoredUpdate { update: upd(2) });
         assert_eq!(s.stored(), 2);
         assert_eq!(s.updates.len(), 2);
     }
@@ -154,7 +157,7 @@ mod tests {
     fn mrt_storage_roundtrips_through_reader() {
         let mut s = MrtStorage::new(Vec::new(), 65535);
         for i in 0..5 {
-            s.store(&StoredUpdate { update: upd(i) });
+            s.store(StoredUpdate { update: upd(i) });
         }
         assert_eq!(s.stored(), 5);
         let bytes = s.into_inner().unwrap();
@@ -172,7 +175,7 @@ mod tests {
         let mut s = SlowStorage::new(MemoryStorage::default(), Duration::from_millis(3));
         let start = std::time::Instant::now();
         for i in 0..5 {
-            s.store(&StoredUpdate { update: upd(i) });
+            s.store(StoredUpdate { update: upd(i) });
         }
         assert!(start.elapsed() >= Duration::from_millis(15));
         assert_eq!(s.stored(), 5);

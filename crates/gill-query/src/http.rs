@@ -1,0 +1,509 @@
+//! A minimal blocking HTTP/1.1 server.
+//!
+//! No async runtime exists in the offline dependency set, so the serving
+//! layer is a classic bounded thread pool over `std::net::TcpListener`:
+//! the acceptor pushes connections into a bounded crossbeam channel and a
+//! fixed set of workers parse one request each (GET only, headers ignored
+//! beyond framing) under a per-connection read deadline, so a stalled
+//! client can never pin a worker. Connections are `Connection: close` —
+//! looking-glass queries are one-shot, and closing keeps the parser to a
+//! single request per socket.
+
+use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Server tuning knobs.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Number of worker threads.
+    pub workers: usize,
+    /// Pending-connection queue bound (beyond it, connections are refused
+    /// with 503 by the acceptor itself).
+    pub backlog: usize,
+    /// Per-connection read deadline.
+    pub read_timeout: Duration,
+    /// Per-connection write deadline.
+    pub write_timeout: Duration,
+    /// Maximum request head (request line + headers) size in bytes.
+    pub max_head_bytes: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 4,
+            backlog: 256,
+            read_timeout: Duration::from_secs(5),
+            write_timeout: Duration::from_secs(5),
+            max_head_bytes: 8 * 1024,
+        }
+    }
+}
+
+/// A parsed request: method, path, and decoded query parameters.
+#[derive(Clone, Debug)]
+pub struct Request {
+    /// The HTTP method (`GET` for every supported endpoint).
+    pub method: String,
+    /// The path component, percent-decoded.
+    pub path: String,
+    /// Query parameters in order of appearance, percent-decoded.
+    pub params: Vec<(String, String)>,
+}
+
+impl Request {
+    /// First value of a query parameter.
+    pub fn param(&self, key: &str) -> Option<&str> {
+        self.params
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// A response the handler returns.
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Content-Type header value.
+    pub content_type: &'static str,
+    /// The body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A `200 OK` JSON response.
+    pub fn json(body: String) -> Response {
+        Response {
+            status: 200,
+            content_type: "application/json",
+            body: body.into_bytes(),
+        }
+    }
+
+    /// A binary (MRT download) response.
+    pub fn octets(body: Vec<u8>) -> Response {
+        Response {
+            status: 200,
+            content_type: "application/octet-stream",
+            body,
+        }
+    }
+
+    /// An error response with a JSON `{"error": ...}` body.
+    pub fn error(status: u16, msg: &str) -> Response {
+        let body = crate::json::Json::obj([("error", crate::json::Json::str(msg))])
+            .encode()
+            .unwrap_or_else(|_| "{\"error\":\"internal\"}".to_string());
+        Response {
+            status,
+            content_type: "application/json",
+            body: body.into_bytes(),
+        }
+    }
+}
+
+fn status_text(code: u16) -> &'static str {
+    match code {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        503 => "Service Unavailable",
+        _ => "Error",
+    }
+}
+
+/// Serving counters (exposed for tests and shutdown logging).
+#[derive(Debug, Default)]
+pub struct ServerStats {
+    /// Connections accepted.
+    pub accepted: AtomicUsize,
+    /// Requests answered (any status).
+    pub served: AtomicUsize,
+    /// Connections refused because the queue was full.
+    pub refused: AtomicUsize,
+    /// Connections dropped on read timeout / parse failure.
+    pub bad_requests: AtomicUsize,
+}
+
+/// The running server: owns the acceptor and worker threads.
+pub struct HttpServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    stats: Arc<ServerStats>,
+    threads: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl HttpServer {
+    /// Binds `addr` (port 0 = ephemeral) and starts serving; `handler`
+    /// maps a parsed request to a response and must be `Send + Sync`
+    /// (workers share it).
+    pub fn start<H>(addr: &str, cfg: ServerConfig, handler: H) -> std::io::Result<HttpServer>
+    where
+        H: Fn(&Request) -> Response + Send + Sync + 'static,
+    {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stats = Arc::new(ServerStats::default());
+        let handler = Arc::new(handler);
+        let (tx, rx): (Sender<TcpStream>, Receiver<TcpStream>) = bounded(cfg.backlog);
+
+        let mut threads = Vec::new();
+        for _ in 0..cfg.workers.max(1) {
+            let rx = rx.clone();
+            let stop = stop.clone();
+            let stats = stats.clone();
+            let handler = handler.clone();
+            let cfg = cfg.clone();
+            threads.push(std::thread::spawn(move || loop {
+                match rx.recv_timeout(Duration::from_millis(50)) {
+                    Ok(stream) => serve_connection(stream, &cfg, &*handler, &stats),
+                    Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
+                        if stop.load(Ordering::Relaxed) {
+                            return;
+                        }
+                    }
+                    Err(crossbeam::channel::RecvTimeoutError::Disconnected) => return,
+                }
+            }));
+        }
+
+        {
+            let stop = stop.clone();
+            let stats = stats.clone();
+            threads.push(std::thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            stats.accepted.fetch_add(1, Ordering::Relaxed);
+                            match tx.try_send(stream) {
+                                Ok(()) => {}
+                                Err(TrySendError::Full(mut stream)) => {
+                                    stats.refused.fetch_add(1, Ordering::Relaxed);
+                                    let _ = stream.write_all(
+                                        b"HTTP/1.1 503 Service Unavailable\r\n\
+                                          Content-Length: 0\r\nConnection: close\r\n\r\n",
+                                    );
+                                }
+                                Err(TrySendError::Disconnected(_)) => return,
+                            }
+                        }
+                        Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_millis(5));
+                        }
+                        Err(_) => break,
+                    }
+                }
+            }));
+        }
+
+        Ok(HttpServer {
+            addr: local,
+            stop,
+            stats,
+            threads,
+        })
+    }
+
+    /// The bound address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Serving counters.
+    pub fn stats(&self) -> &ServerStats {
+        &self.stats
+    }
+
+    /// Stops accepting, drains workers, joins all threads.
+    pub fn stop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for HttpServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn serve_connection(
+    mut stream: TcpStream,
+    cfg: &ServerConfig,
+    handler: &(dyn Fn(&Request) -> Response + Send + Sync),
+    stats: &ServerStats,
+) {
+    stream.set_read_timeout(Some(cfg.read_timeout)).ok();
+    stream.set_write_timeout(Some(cfg.write_timeout)).ok();
+    let response = match read_head(&mut stream, cfg.max_head_bytes) {
+        Ok(head) => match parse_request(&head) {
+            Some(req) if req.method == "GET" => handler(&req),
+            Some(_) => Response::error(405, "only GET is supported"),
+            None => {
+                stats.bad_requests.fetch_add(1, Ordering::Relaxed);
+                Response::error(400, "malformed request")
+            }
+        },
+        Err(HeadError::TooLarge) => {
+            stats.bad_requests.fetch_add(1, Ordering::Relaxed);
+            Response::error(413, "request head too large")
+        }
+        Err(HeadError::TimedOut) => {
+            stats.bad_requests.fetch_add(1, Ordering::Relaxed);
+            Response::error(408, "read deadline exceeded")
+        }
+        Err(HeadError::Io) => {
+            stats.bad_requests.fetch_add(1, Ordering::Relaxed);
+            return; // peer vanished; nothing to write to
+        }
+    };
+    let header = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        response.status,
+        status_text(response.status),
+        response.content_type,
+        response.body.len()
+    );
+    let _ = stream
+        .write_all(header.as_bytes())
+        .and_then(|_| stream.write_all(&response.body));
+    stats.served.fetch_add(1, Ordering::Relaxed);
+    let _ = stream.shutdown(std::net::Shutdown::Both);
+}
+
+enum HeadError {
+    TooLarge,
+    TimedOut,
+    Io,
+}
+
+/// Reads until the `\r\n\r\n` head terminator (bounded).
+fn read_head(stream: &mut TcpStream, max: usize) -> Result<Vec<u8>, HeadError> {
+    let mut head = Vec::with_capacity(512);
+    let mut chunk = [0u8; 1024];
+    loop {
+        match stream.read(&mut chunk) {
+            Ok(0) => return Err(HeadError::Io),
+            Ok(n) => {
+                head.extend_from_slice(&chunk[..n]);
+                if head.len() > max {
+                    return Err(HeadError::TooLarge);
+                }
+                if head.windows(4).any(|w| w == b"\r\n\r\n") {
+                    return Ok(head);
+                }
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                return Err(HeadError::TimedOut)
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => return Err(HeadError::Io),
+        }
+    }
+}
+
+/// Parses the request line of `head`: `GET /path?query HTTP/1.1`.
+fn parse_request(head: &[u8]) -> Option<Request> {
+    let head = std::str::from_utf8(head).ok()?;
+    let line = head.lines().next()?;
+    let mut parts = line.split(' ');
+    let method = parts.next()?.to_string();
+    let target = parts.next()?;
+    let version = parts.next()?;
+    if !version.starts_with("HTTP/1.") || parts.next().is_some() {
+        return None;
+    }
+    let (path_raw, query_raw) = match target.split_once('?') {
+        Some((p, q)) => (p, Some(q)),
+        None => (target, None),
+    };
+    let path = percent_decode(path_raw)?;
+    let mut params = Vec::new();
+    if let Some(q) = query_raw {
+        for pair in q.split('&').filter(|p| !p.is_empty()) {
+            let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+            params.push((percent_decode(k)?, percent_decode(v)?));
+        }
+    }
+    Some(Request {
+        method,
+        path,
+        params,
+    })
+}
+
+/// Percent-decoding with `+` as space (query-string convention).
+fn percent_decode(s: &str) -> Option<String> {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'%' => {
+                let hi = hex_val(*bytes.get(i + 1)?)?;
+                let lo = hex_val(*bytes.get(i + 2)?)?;
+                out.push(hi * 16 + lo);
+                i += 3;
+            }
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8(out).ok()
+}
+
+fn hex_val(b: u8) -> Option<u8> {
+    match b {
+        b'0'..=b'9' => Some(b - b'0'),
+        b'a'..=b'f' => Some(b - b'a' + 10),
+        b'A'..=b'F' => Some(b - b'A' + 10),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn get(addr: SocketAddr, target: &str) -> (u16, Vec<u8>) {
+        let mut s = TcpStream::connect(addr).unwrap();
+        write!(s, "GET {target} HTTP/1.1\r\nHost: test\r\n\r\n").unwrap();
+        let mut buf = Vec::new();
+        s.read_to_end(&mut buf).unwrap();
+        let head_end = buf
+            .windows(4)
+            .position(|w| w == b"\r\n\r\n")
+            .expect("complete head");
+        let head = std::str::from_utf8(&buf[..head_end]).unwrap();
+        let status: u16 = head
+            .split(' ')
+            .nth(1)
+            .expect("status code")
+            .parse()
+            .unwrap();
+        (status, buf[head_end + 4..].to_vec())
+    }
+
+    fn echo_server() -> HttpServer {
+        HttpServer::start("127.0.0.1:0", ServerConfig::default(), |req| {
+            if req.path == "/missing" {
+                return Response::error(404, "nope");
+            }
+            Response::json(format!(
+                "{{\"path\":\"{}\",\"q\":\"{}\"}}",
+                req.path,
+                req.param("q").unwrap_or("")
+            ))
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn serves_parsed_requests() {
+        let mut srv = echo_server();
+        let (code, body) = get(srv.local_addr(), "/routes?q=10.0.0.0%2F8");
+        assert_eq!(code, 200);
+        assert_eq!(body, b"{\"path\":\"/routes\",\"q\":\"10.0.0.0/8\"}");
+        let (code, _) = get(srv.local_addr(), "/missing");
+        assert_eq!(code, 404);
+        srv.stop();
+        assert!(srv.stats().served.load(Ordering::Relaxed) >= 2);
+    }
+
+    #[test]
+    fn rejects_non_get_and_garbage() {
+        let mut srv = echo_server();
+        let addr = srv.local_addr();
+        let mut s = TcpStream::connect(addr).unwrap();
+        write!(s, "POST / HTTP/1.1\r\n\r\n").unwrap();
+        let mut buf = Vec::new();
+        s.read_to_end(&mut buf).unwrap();
+        assert!(std::str::from_utf8(&buf)
+            .unwrap()
+            .starts_with("HTTP/1.1 405"));
+
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.write_all(b"complete garbage\r\n\r\n").unwrap();
+        let mut buf = Vec::new();
+        s.read_to_end(&mut buf).unwrap();
+        assert!(std::str::from_utf8(&buf)
+            .unwrap()
+            .starts_with("HTTP/1.1 400"));
+        srv.stop();
+    }
+
+    #[test]
+    fn read_deadline_times_out_stalled_clients() {
+        let cfg = ServerConfig {
+            read_timeout: Duration::from_millis(100),
+            ..ServerConfig::default()
+        };
+        let mut srv =
+            HttpServer::start("127.0.0.1:0", cfg, |_| Response::json("{}".to_string())).unwrap();
+        let mut s = TcpStream::connect(srv.local_addr()).unwrap();
+        // send half a request and stall
+        s.write_all(b"GET / HT").unwrap();
+        let mut buf = Vec::new();
+        s.read_to_end(&mut buf).unwrap();
+        assert!(
+            std::str::from_utf8(&buf)
+                .unwrap()
+                .starts_with("HTTP/1.1 408"),
+            "stalled client must get 408, got {:?}",
+            std::str::from_utf8(&buf)
+        );
+        srv.stop();
+        assert_eq!(srv.stats().bad_requests.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn concurrent_requests_across_workers() {
+        let mut srv = echo_server();
+        let addr = srv.local_addr();
+        let handles: Vec<_> = (0..16)
+            .map(|i| {
+                std::thread::spawn(move || {
+                    let (code, body) = get(addr, &format!("/p{i}?q=v{i}"));
+                    assert_eq!(code, 200);
+                    assert!(!body.is_empty());
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        srv.stop();
+        assert_eq!(srv.stats().served.load(Ordering::Relaxed), 16);
+    }
+
+    #[test]
+    fn percent_decoding() {
+        assert_eq!(percent_decode("a%2Fb+c").unwrap(), "a/b c");
+        assert_eq!(percent_decode("plain").unwrap(), "plain");
+        assert!(percent_decode("%zz").is_none());
+        assert!(percent_decode("%2").is_none());
+    }
+}

@@ -1,0 +1,268 @@
+//! A small hand-rolled JSON encoder.
+//!
+//! The serving layer returns JSON to looking-glass clients; no JSON crate
+//! exists in the offline dependency set, and the value shapes we emit are
+//! simple (objects, arrays, strings, integers, a few floats), so a ~100-line
+//! encoder is cheaper than a shim. Encoding is strict RFC 8259: strings are
+//! escaped, non-finite floats are rejected (JSON has no NaN/Infinity), and
+//! integers are emitted verbatim up to the full `u64`/`i64` range.
+
+use std::fmt;
+
+/// A JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An unsigned integer (covers timestamps, counters, ASNs).
+    U64(u64),
+    /// A signed integer.
+    I64(i64),
+    /// A float; must be finite at encode time.
+    F64(f64),
+    /// A string (escaped on encode).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; key order is preserved as given (deterministic output).
+    Obj(Vec<(String, Json)>),
+}
+
+/// Error returned when a value cannot be represented in JSON.
+#[derive(Clone, Debug, PartialEq)]
+pub struct JsonError(pub String);
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json encode error: {}", self.0)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+impl Json {
+    /// Convenience constructor for strings.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// Convenience constructor for objects.
+    pub fn obj<I: IntoIterator<Item = (&'static str, Json)>>(pairs: I) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Encodes the value as a compact JSON string.
+    pub fn encode(&self) -> Result<String, JsonError> {
+        let mut out = String::new();
+        self.encode_into(&mut out)?;
+        Ok(out)
+    }
+
+    fn encode_into(&self, out: &mut String) -> Result<(), JsonError> {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::U64(n) => {
+                let mut buf = [0u8; 20];
+                out.push_str(fmt_u64(*n, &mut buf));
+            }
+            Json::I64(n) => out.push_str(&n.to_string()),
+            Json::F64(x) => {
+                if !x.is_finite() {
+                    return Err(JsonError(format!("non-finite float {x}")));
+                }
+                // `{}` on f64 never prints exponent notation for the
+                // magnitudes we emit and round-trips the value.
+                let s = format!("{x}");
+                out.push_str(&s);
+                // "1" would re-parse as an integer; keep floats floats.
+                if !s.contains('.') && !s.contains('e') && !s.contains('E') {
+                    out.push_str(".0");
+                }
+            }
+            Json::Str(s) => encode_str(s, out),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.encode_into(out)?;
+                }
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    encode_str(k, out);
+                    out.push(':');
+                    v.encode_into(out)?;
+                }
+                out.push('}');
+            }
+        }
+        Ok(())
+    }
+}
+
+fn fmt_u64(n: u64, buf: &mut [u8; 20]) -> &str {
+    let mut i = buf.len();
+    let mut n = n;
+    loop {
+        i -= 1;
+        buf[i] = b'0' + (n % 10) as u8;
+        n /= 10;
+        if n == 0 {
+            break;
+        }
+    }
+    std::str::from_utf8(&buf[i..]).expect("digits are ascii")
+}
+
+fn encode_str(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Golden tests: every expectation is the exact byte sequence the
+    // encoder must produce — clients (and the CI smoke test's well-formed
+    // check) depend on the output being stable.
+
+    #[test]
+    fn golden_scalars() {
+        assert_eq!(Json::Null.encode().unwrap(), "null");
+        assert_eq!(Json::Bool(true).encode().unwrap(), "true");
+        assert_eq!(Json::Bool(false).encode().unwrap(), "false");
+        assert_eq!(Json::U64(0).encode().unwrap(), "0");
+        assert_eq!(Json::I64(-42).encode().unwrap(), "-42");
+        assert_eq!(Json::F64(1.5).encode().unwrap(), "1.5");
+    }
+
+    #[test]
+    fn golden_u64_boundaries() {
+        assert_eq!(
+            Json::U64(u64::MAX).encode().unwrap(),
+            "18446744073709551615"
+        );
+        assert_eq!(
+            Json::U64(u64::MAX - 1).encode().unwrap(),
+            "18446744073709551614"
+        );
+        assert_eq!(Json::U64(1).encode().unwrap(), "1");
+        assert_eq!(
+            Json::I64(i64::MIN).encode().unwrap(),
+            "-9223372036854775808"
+        );
+        assert_eq!(Json::I64(i64::MAX).encode().unwrap(), "9223372036854775807");
+    }
+
+    #[test]
+    fn golden_float_formatting() {
+        // integral floats keep a decimal point so they re-parse as floats
+        assert_eq!(Json::F64(2.0).encode().unwrap(), "2.0");
+        assert_eq!(Json::F64(0.0).encode().unwrap(), "0.0");
+        assert_eq!(Json::F64(-3.0).encode().unwrap(), "-3.0");
+        assert_eq!(Json::F64(0.25).encode().unwrap(), "0.25");
+    }
+
+    #[test]
+    fn non_finite_floats_rejected() {
+        assert!(Json::F64(f64::NAN).encode().is_err());
+        assert!(Json::F64(f64::INFINITY).encode().is_err());
+        assert!(Json::F64(f64::NEG_INFINITY).encode().is_err());
+        // ... even when nested deep inside a structure
+        let nested = Json::obj([("a", Json::Arr(vec![Json::F64(f64::NAN)]))]);
+        assert!(nested.encode().is_err());
+    }
+
+    #[test]
+    fn golden_string_escaping() {
+        assert_eq!(Json::str("plain").encode().unwrap(), r#""plain""#);
+        assert_eq!(Json::str("say \"hi\"").encode().unwrap(), r#""say \"hi\"""#);
+        assert_eq!(Json::str("a\\b").encode().unwrap(), r#""a\\b""#);
+        assert_eq!(
+            Json::str("line\nbreak").encode().unwrap(),
+            r#""line\nbreak""#
+        );
+        assert_eq!(Json::str("tab\there").encode().unwrap(), r#""tab\there""#);
+        assert_eq!(Json::str("cr\rlf").encode().unwrap(), r#""cr\rlf""#);
+        assert_eq!(Json::str("\u{08}\u{0c}").encode().unwrap(), r#""\b\f""#);
+        // other control characters use \u00xx
+        assert_eq!(
+            Json::str("\u{01}\u{1f}").encode().unwrap(),
+            r#""\u0001\u001f""#
+        );
+        // non-ASCII passes through unescaped (JSON is UTF-8)
+        assert_eq!(
+            Json::str("prefix→route").encode().unwrap(),
+            "\"prefix→route\""
+        );
+    }
+
+    #[test]
+    fn golden_arrays_and_objects() {
+        assert_eq!(Json::Arr(vec![]).encode().unwrap(), "[]");
+        assert_eq!(Json::Obj(vec![]).encode().unwrap(), "{}");
+        let v = Json::Arr(vec![Json::U64(1), Json::U64(2), Json::U64(3)]);
+        assert_eq!(v.encode().unwrap(), "[1,2,3]");
+        let o = Json::obj([
+            ("vp", Json::str("AS65001")),
+            ("prefix", Json::str("10.0.0.0/24")),
+            ("hops", Json::Arr(vec![Json::U64(65001), Json::U64(2)])),
+        ]);
+        assert_eq!(
+            o.encode().unwrap(),
+            r#"{"vp":"AS65001","prefix":"10.0.0.0/24","hops":[65001,2]}"#
+        );
+    }
+
+    #[test]
+    fn golden_nested_structures() {
+        let v = Json::obj([
+            (
+                "routes",
+                Json::Arr(vec![
+                    Json::obj([("path", Json::Arr(vec![Json::U64(1)]))]),
+                    Json::obj([("path", Json::Arr(vec![]))]),
+                ]),
+            ),
+            ("count", Json::U64(2)),
+            ("truncated", Json::Bool(false)),
+            ("note", Json::Null),
+        ]);
+        assert_eq!(
+            v.encode().unwrap(),
+            r#"{"routes":[{"path":[1]},{"path":[]}],"count":2,"truncated":false,"note":null}"#
+        );
+    }
+
+    #[test]
+    fn object_key_order_is_preserved() {
+        let a = Json::obj([("b", Json::U64(1)), ("a", Json::U64(2))]);
+        assert_eq!(a.encode().unwrap(), r#"{"b":1,"a":2}"#);
+    }
+}

@@ -1,0 +1,360 @@
+//! The looking-glass endpoint router.
+//!
+//! Maps URLs onto [`QueryEngine`] calls against a shared [`RouteStore`] and
+//! serves the result over the [`http`](crate::http) layer. JSON endpoints
+//! answer interactive queries; the `/mrt/*` endpoints export the same data
+//! in the archive format (BGP4MP update streams, TABLE_DUMP_V2 RIB
+//! snapshots) so downstream tooling can consume a live store exactly like
+//! a published dump.
+//!
+//! | endpoint        | parameters                                        |
+//! |-----------------|---------------------------------------------------|
+//! | `/health`       | —                                                 |
+//! | `/vps`          | —                                                 |
+//! | `/routes`       | `prefix` (req), `match=exact|lpm|ms`, `vp`, `at`  |
+//! | `/rib`          | `vp` (req), `at`                                  |
+//! | `/updates`      | `from`, `to`, `prefix`, `join=exact|covered`, `vp`, `limit` |
+//! | `/origin`       | `asn` (req)                                       |
+//! | `/mrt/updates`  | `vp` (req)                                        |
+//! | `/mrt/rib`      | `at` (default: latest)                            |
+//!
+//! Timestamps are milliseconds since the epoch; `vp` is `65001` /
+//! `AS65001` / `65001#2`.
+
+use crate::http::{HttpServer, Request, Response, ServerConfig};
+use crate::query::{QueryEngine, RouteQuery, UpdateQuery};
+use crate::store::RouteStore;
+use crate::{JoinMode, MatchMode};
+use bgp_types::{Asn, BgpUpdate, Prefix, Timestamp, VpId};
+use bgp_wire::{BgpMessage, MrtRecord, MrtWriter, TableDump, UpdateMessage};
+use parking_lot::RwLock;
+use std::net::Ipv4Addr;
+use std::sync::Arc;
+
+/// The store handle shared between ingest and serving.
+pub type SharedStore = Arc<RwLock<RouteStore>>;
+
+/// Default cap on `/updates` results when `limit` is absent.
+const DEFAULT_UPDATE_LIMIT: usize = 10_000;
+
+/// Starts the looking-glass server on `addr` over `store`.
+pub fn serve(addr: &str, cfg: ServerConfig, store: SharedStore) -> std::io::Result<HttpServer> {
+    HttpServer::start(addr, cfg, move |req| route(req, &store))
+}
+
+/// Dispatches one parsed request against the store.
+pub fn route(req: &Request, store: &SharedStore) -> Response {
+    match req.path.as_str() {
+        "/health" => json_ok(QueryEngine::health(&store.read())),
+        "/vps" => json_ok(QueryEngine::vps(&store.read())),
+        "/routes" => routes(req, store),
+        "/rib" => rib(req, store),
+        "/updates" => updates(req, store),
+        "/origin" => origin(req, store),
+        "/mrt/updates" => mrt_updates(req, store),
+        "/mrt/rib" => mrt_rib(req, store),
+        _ => Response::error(404, "unknown endpoint"),
+    }
+}
+
+fn json_ok(j: crate::Json) -> Response {
+    match j.encode() {
+        Ok(body) => Response::json(body),
+        Err(e) => Response::error(400, &e.to_string()),
+    }
+}
+
+/// Parses `65001`, `AS65001`, or `65001#2` into a VP id.
+pub fn parse_vp(s: &str) -> Option<VpId> {
+    let (asn, router) = match s.split_once('#') {
+        Some((a, r)) => (a, r.parse::<u16>().ok()?),
+        None => (s, 0),
+    };
+    Some(VpId::new(asn.parse::<Asn>().ok()?, router))
+}
+
+fn parse_time(s: &str) -> Option<Timestamp> {
+    s.parse::<u64>().ok().map(Timestamp::from_millis)
+}
+
+/// Extracts an optional parameter, distinguishing absent from malformed.
+fn opt_param<T>(
+    req: &Request,
+    key: &str,
+    parse: impl Fn(&str) -> Option<T>,
+) -> Result<Option<T>, Response> {
+    match req.param(key) {
+        None => Ok(None),
+        Some(raw) => parse(raw)
+            .map(Some)
+            .ok_or_else(|| Response::error(400, &format!("bad {key} parameter: {raw:?}"))),
+    }
+}
+
+fn routes(req: &Request, store: &SharedStore) -> Response {
+    let Some(prefix_raw) = req.param("prefix") else {
+        return Response::error(400, "missing prefix parameter");
+    };
+    let Ok(prefix) = prefix_raw.parse::<Prefix>() else {
+        return Response::error(400, &format!("bad prefix parameter: {prefix_raw:?}"));
+    };
+    let mode = match opt_param(req, "match", MatchMode::parse) {
+        Ok(m) => m.unwrap_or(MatchMode::Longest),
+        Err(resp) => return resp,
+    };
+    let vp = match opt_param(req, "vp", parse_vp) {
+        Ok(v) => v,
+        Err(resp) => return resp,
+    };
+    let at = match opt_param(req, "at", parse_time) {
+        Ok(t) => t,
+        Err(resp) => return resp,
+    };
+    let q = RouteQuery {
+        prefix,
+        mode,
+        vp,
+        at,
+    };
+    json_ok(QueryEngine::routes(&store.read(), &q))
+}
+
+fn rib(req: &Request, store: &SharedStore) -> Response {
+    let vp = match opt_param(req, "vp", parse_vp) {
+        Ok(Some(v)) => v,
+        Ok(None) => return Response::error(400, "missing vp parameter"),
+        Err(resp) => return resp,
+    };
+    let at = match opt_param(req, "at", parse_time) {
+        Ok(t) => t,
+        Err(resp) => return resp,
+    };
+    match QueryEngine::rib(&store.read(), vp, at) {
+        Some(j) => json_ok(j),
+        None => Response::error(404, &format!("unknown vp {vp}")),
+    }
+}
+
+fn updates(req: &Request, store: &SharedStore) -> Response {
+    let prefix = match opt_param(req, "prefix", |s| s.parse::<Prefix>().ok()) {
+        Ok(p) => p,
+        Err(resp) => return resp,
+    };
+    let join = match req.param("join") {
+        None | Some("exact") => JoinMode::Exact,
+        Some("covered") => JoinMode::Covered,
+        Some(other) => return Response::error(400, &format!("bad join parameter: {other:?}")),
+    };
+    let vp = match opt_param(req, "vp", parse_vp) {
+        Ok(v) => v,
+        Err(resp) => return resp,
+    };
+    let from = match opt_param(req, "from", parse_time) {
+        Ok(t) => t.unwrap_or(Timestamp::ZERO),
+        Err(resp) => return resp,
+    };
+    let store_guard = store.read();
+    let to = match opt_param(req, "to", parse_time) {
+        Ok(t) => t.unwrap_or_else(|| store_guard.latest_time()),
+        Err(resp) => return resp,
+    };
+    let limit = match opt_param(req, "limit", |s| s.parse::<usize>().ok()) {
+        Ok(l) => l.unwrap_or(DEFAULT_UPDATE_LIMIT),
+        Err(resp) => return resp,
+    };
+    let q = UpdateQuery {
+        prefix,
+        join,
+        vp,
+        from,
+        to,
+        limit,
+    };
+    json_ok(QueryEngine::updates(&store_guard, &q))
+}
+
+fn origin(req: &Request, store: &SharedStore) -> Response {
+    let asn = match opt_param(req, "asn", |s| s.parse::<Asn>().ok()) {
+        Ok(Some(a)) => a,
+        Ok(None) => return Response::error(400, "missing asn parameter"),
+        Err(resp) => return resp,
+    };
+    json_ok(QueryEngine::origin(&store.read(), asn))
+}
+
+/// Encodes updates as MRT BGP4MP_MESSAGE_AS4 bytes (the archive format).
+fn encode_updates_mrt(updates: &[BgpUpdate]) -> std::io::Result<Vec<u8>> {
+    let mut w = MrtWriter::new(Vec::new());
+    for u in updates {
+        let msg = UpdateMessage::from_domain(u)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+        w.write_record(&MrtRecord {
+            time: u.time,
+            peer_as: u.vp.asn,
+            local_as: Asn(65535),
+            peer_ip: Ipv4Addr::new(10, 255, 0, 1),
+            local_ip: Ipv4Addr::new(10, 255, 0, 254),
+            message: BgpMessage::Update(msg),
+        })?;
+    }
+    w.into_inner()
+}
+
+fn mrt_updates(req: &Request, store: &SharedStore) -> Response {
+    let vp = match opt_param(req, "vp", parse_vp) {
+        Ok(Some(v)) => v,
+        Ok(None) => return Response::error(400, "missing vp parameter"),
+        Err(resp) => return resp,
+    };
+    let store = store.read();
+    let Some(updates) = store.lane_updates(vp) else {
+        return Response::error(404, &format!("unknown vp {vp}"));
+    };
+    match encode_updates_mrt(updates) {
+        Ok(bytes) => Response::octets(bytes),
+        Err(e) => Response::error(400, &format!("mrt encode failed: {e}")),
+    }
+}
+
+fn mrt_rib(req: &Request, store: &SharedStore) -> Response {
+    let store = store.read();
+    let at = match opt_param(req, "at", parse_time) {
+        Ok(t) => t.unwrap_or_else(|| store.latest_time()),
+        Err(resp) => return resp,
+    };
+    let ribs = store.ribs_at(at);
+    let dump = TableDump::from_ribs(ribs.iter());
+    let mut bytes = Vec::new();
+    match dump.write_mrt(&mut bytes, at) {
+        Ok(_) => Response::octets(bytes),
+        Err(e) => Response::error(400, &format!("mrt encode failed: {e}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgp_types::UpdateBuilder;
+    use bgp_wire::MrtReader;
+
+    fn filled_store() -> SharedStore {
+        let mut s = RouteStore::default();
+        for (i, (vp, pfx)) in [(65001u32, "10.0.0.0/8"), (65002, "10.1.0.0/16")]
+            .iter()
+            .enumerate()
+        {
+            s.ingest(
+                UpdateBuilder::announce(VpId::from_asn(Asn(*vp)), pfx.parse().unwrap())
+                    .at(Timestamp::from_secs(i as u64 + 1))
+                    .path([*vp, 2, 3])
+                    .build(),
+            );
+        }
+        Arc::new(RwLock::new(s))
+    }
+
+    fn get(store: &SharedStore, target: &str) -> Response {
+        let (path, query) = match target.split_once('?') {
+            Some((p, q)) => (p, q),
+            None => (target, ""),
+        };
+        let params = query
+            .split('&')
+            .filter(|s| !s.is_empty())
+            .map(|p| {
+                let (k, v) = p.split_once('=').unwrap_or((p, ""));
+                (k.to_string(), v.to_string())
+            })
+            .collect();
+        let req = Request {
+            method: "GET".to_string(),
+            path: path.to_string(),
+            params,
+        };
+        route(&req, store)
+    }
+
+    #[test]
+    fn json_endpoints_respond() {
+        let store = filled_store();
+        for target in [
+            "/health",
+            "/vps",
+            "/routes?prefix=10.0.0.0/8&match=exact",
+            "/routes?prefix=10.1.2.3/32&match=lpm",
+            "/rib?vp=65001",
+            "/updates?from=0&to=99999999",
+            "/origin?asn=3",
+        ] {
+            let resp = get(&store, target);
+            assert_eq!(resp.status, 200, "{target}");
+            let body = String::from_utf8(resp.body).unwrap();
+            assert!(body.starts_with('{'), "{target}: {body}");
+        }
+    }
+
+    #[test]
+    fn bad_parameters_are_400() {
+        let store = filled_store();
+        for target in [
+            "/routes",
+            "/routes?prefix=not-a-prefix",
+            "/routes?prefix=10.0.0.0/8&match=bogus",
+            "/routes?prefix=10.0.0.0/8&at=yesterday",
+            "/rib",
+            "/updates?join=sideways",
+            "/origin",
+        ] {
+            assert_eq!(get(&store, target).status, 400, "{target}");
+        }
+        assert_eq!(get(&store, "/nope").status, 404);
+        assert_eq!(get(&store, "/rib?vp=99").status, 404);
+    }
+
+    #[test]
+    fn mrt_updates_roundtrip() {
+        let store = filled_store();
+        let resp = get(&store, "/mrt/updates?vp=65001");
+        assert_eq!(resp.status, 200);
+        let mut r = MrtReader::new(&resp.body[..]);
+        let mut n = 0;
+        while let Some(rec) = r.next_record().unwrap() {
+            assert_eq!(rec.peer_as, Asn(65001));
+            n += 1;
+        }
+        assert_eq!(n, 1);
+    }
+
+    #[test]
+    fn mrt_rib_parses_as_table_dump() {
+        let store = filled_store();
+        let resp = get(&store, "/mrt/rib");
+        assert_eq!(resp.status, 200);
+        let dump = TableDump::read_mrt(&resp.body).unwrap();
+        let ribs = dump.to_ribs();
+        assert_eq!(ribs.len(), 2);
+    }
+
+    #[test]
+    fn vp_parsing_accepts_all_forms() {
+        assert_eq!(parse_vp("65001"), Some(VpId::from_asn(Asn(65001))));
+        assert_eq!(parse_vp("AS65001"), Some(VpId::from_asn(Asn(65001))));
+        assert_eq!(parse_vp("65001#2"), Some(VpId::new(Asn(65001), 2)));
+        assert_eq!(parse_vp("nope"), None);
+        assert_eq!(parse_vp("1#x"), None);
+    }
+
+    #[test]
+    fn served_end_to_end_over_tcp() {
+        use std::io::{Read as _, Write as _};
+        let store = filled_store();
+        let mut srv = serve("127.0.0.1:0", ServerConfig::default(), store).unwrap();
+        let mut sock = std::net::TcpStream::connect(srv.local_addr()).unwrap();
+        write!(sock, "GET /health HTTP/1.1\r\nHost: t\r\n\r\n").unwrap();
+        let mut buf = String::new();
+        sock.read_to_string(&mut buf).unwrap();
+        assert!(buf.starts_with("HTTP/1.1 200"));
+        assert!(buf.contains("\"status\":\"ok\""));
+        srv.stop();
+    }
+}

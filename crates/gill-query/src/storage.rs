@@ -1,0 +1,86 @@
+//! Bridges the collector's storage trait into the route store.
+//!
+//! Plugging a [`QueryableStorage`] into `DaemonPool::drain_into` turns a
+//! running collector into a live looking glass: every retained update is
+//! ingested into a shared [`RouteStore`] that the HTTP layer queries
+//! concurrently. The store sits behind a `parking_lot::RwLock` — ingest is
+//! a short exclusive write, queries take shared reads, and the lock is
+//! never held across I/O.
+
+use crate::store::{RouteStore, StoreConfig};
+use gill_collector::storage::{Storage, StoredUpdate};
+use parking_lot::RwLock;
+use std::sync::Arc;
+
+/// A [`Storage`] backend that indexes every update into a shared
+/// [`RouteStore`].
+pub struct QueryableStorage {
+    store: Arc<RwLock<RouteStore>>,
+    stored: usize,
+}
+
+impl Default for QueryableStorage {
+    fn default() -> Self {
+        Self::new(StoreConfig::default())
+    }
+}
+
+impl QueryableStorage {
+    /// A fresh store with the given tuning.
+    pub fn new(cfg: StoreConfig) -> Self {
+        QueryableStorage {
+            store: Arc::new(RwLock::new(RouteStore::new(cfg))),
+            stored: 0,
+        }
+    }
+
+    /// Wraps an existing shared store (e.g. one pre-loaded from MRT).
+    pub fn with_store(store: Arc<RwLock<RouteStore>>) -> Self {
+        QueryableStorage { store, stored: 0 }
+    }
+
+    /// The shared store handle, for the query/HTTP side.
+    pub fn handle(&self) -> Arc<RwLock<RouteStore>> {
+        self.store.clone()
+    }
+}
+
+impl Storage for QueryableStorage {
+    fn store(&mut self, rec: StoredUpdate) {
+        self.store.write().ingest(rec.update);
+        self.stored += 1;
+    }
+
+    fn stored(&self) -> usize {
+        self.stored
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MatchMode;
+    use bgp_types::{Asn, Prefix, Timestamp, UpdateBuilder, VpId};
+
+    #[test]
+    fn stored_updates_become_queryable() {
+        let mut s = QueryableStorage::default();
+        let handle = s.handle();
+        for i in 0..3u32 {
+            let u = UpdateBuilder::announce(VpId::from_asn(Asn(65000 + i)), Prefix::synthetic(i))
+                .at(Timestamp::from_secs(i as u64))
+                .path([65000 + i, 2, 3])
+                .build();
+            s.store(StoredUpdate { update: u });
+        }
+        assert_eq!(s.stored(), 3);
+        let store = handle.read();
+        assert_eq!(store.stats().updates, 3);
+        assert_eq!(
+            store
+                .lookup(&Prefix::synthetic(1), MatchMode::Exact, None)
+                .len(),
+            1
+        );
+    }
+}

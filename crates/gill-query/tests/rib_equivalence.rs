@@ -1,0 +1,148 @@
+//! Acceptance test: `rib_at(vp, t)` over a 50k-update synthetic stream must
+//! return RIBs identical to a from-scratch sequential `Rib::apply` replay.
+
+use bgp_types::{Asn, BgpUpdate, Prefix, Rib, Timestamp, UpdateBuilder, UpdateKind, VpId};
+use gill_query::{RouteStore, StoreConfig};
+
+/// Deterministic xorshift so the stream is reproducible without a rand dep.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+/// 50k updates: 8 VPs, 400 prefixes, mixed announces/withdrawals, slightly
+/// jittered (sometimes backwards-stepping) clocks.
+fn synthetic_stream(n: usize) -> Vec<BgpUpdate> {
+    let mut rng = Rng(0x9e3779b97f4a7c15);
+    let mut t_ms: u64 = 1_000_000;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        // mostly forward, occasionally a small backwards step
+        t_ms = if rng.below(50) == 0 {
+            t_ms.saturating_sub(rng.below(2_000))
+        } else {
+            t_ms + rng.below(400)
+        };
+        let vp = VpId::from_asn(Asn(65_000 + (rng.below(8) as u32)));
+        let prefix = Prefix::synthetic(rng.below(400) as u32);
+        let u = if rng.below(5) == 0 {
+            UpdateBuilder::withdraw(vp, prefix)
+                .at(Timestamp::from_millis(t_ms))
+                .build()
+        } else {
+            let mid = (rng.below(900) + 100) as u32;
+            UpdateBuilder::announce(vp, prefix)
+                .at(Timestamp::from_millis(t_ms))
+                .path([vp.asn.value(), mid, mid + 1, (rng.below(50) + 1) as u32])
+                .community((vp.asn.value() & 0xffff) as u16, rng.below(200) as u16)
+                .build()
+        };
+        out.push(u);
+    }
+    out
+}
+
+/// Sequential oracle: apply every update of `vp` with arrival time <= `t`,
+/// in arrival order, to a fresh RIB. Arrival-order timestamps are clamped
+/// to the VP's running max, mirroring the store's effective timestamps.
+fn oracle_rib(stream: &[BgpUpdate], vp: VpId, t: Timestamp) -> Rib {
+    let mut rib = Rib::new();
+    let mut eff = 0u64;
+    for u in stream.iter().filter(|u| u.vp == vp) {
+        eff = eff.max(u.time.as_millis());
+        if eff <= t.as_millis() {
+            let mut u = u.clone();
+            rib.apply(&mut u);
+        }
+    }
+    rib
+}
+
+fn assert_rib_eq(got: &Rib, want: &Rib, ctx: &str) {
+    assert_eq!(got.len(), want.len(), "{ctx}: size mismatch");
+    for (p, e) in want.iter() {
+        let g = got.get(p).unwrap_or_else(|| panic!("{ctx}: missing {p}"));
+        assert_eq!(g.path, e.path, "{ctx}: path for {p}");
+        assert_eq!(g.communities, e.communities, "{ctx}: communities for {p}");
+        assert_eq!(g.time, e.time, "{ctx}: time for {p}");
+    }
+}
+
+#[test]
+fn rib_at_matches_sequential_replay_over_50k_updates() {
+    let stream = synthetic_stream(50_000);
+    assert!(stream.iter().any(|u| u.kind == UpdateKind::Withdraw));
+
+    let cfg = StoreConfig {
+        shard_width_ms: 60_000,
+        snapshot_every_shards: 4,
+    };
+    let mut store = RouteStore::new(cfg);
+    for u in &stream {
+        store.ingest(u.clone());
+    }
+    assert_eq!(store.stats().updates, 50_000);
+    assert!(
+        store.stats().snapshots > 0,
+        "the stream must span enough shards to trigger snapshots"
+    );
+
+    let t_max = store.latest_time().as_millis();
+    let probes = [
+        1_000_000,
+        1_000_000 + (t_max - 1_000_000) / 4,
+        1_000_000 + (t_max - 1_000_000) / 2,
+        t_max - 60_000,
+        t_max,
+        t_max + 1_000_000,
+    ];
+    for vp_asn in 65_000..65_008u32 {
+        let vp = VpId::from_asn(Asn(vp_asn));
+        for &probe in &probes {
+            let t = Timestamp::from_millis(probe);
+            let got = store.rib_at(vp, t).expect("vp exists");
+            let want = oracle_rib(&stream, vp, t);
+            assert_rib_eq(&got, &want, &format!("vp {vp} at {probe}"));
+        }
+        // snapshots bound the replay: never more than one cadence window of
+        // the VP's updates (loose upper bound: the whole lane is ~6250).
+        let depth = store
+            .replay_depth(vp, Timestamp::from_millis(t_max))
+            .unwrap();
+        let lane_len = store.lane_updates(vp).unwrap().len();
+        assert!(
+            depth < lane_len / 2,
+            "vp {vp}: replay depth {depth} not bounded vs lane {lane_len}"
+        );
+    }
+}
+
+#[test]
+fn rib_now_matches_final_oracle() {
+    let stream = synthetic_stream(10_000);
+    let mut store = RouteStore::new(StoreConfig::default());
+    for u in &stream {
+        store.ingest(u.clone());
+    }
+    for vp_asn in 65_000..65_008u32 {
+        let vp = VpId::from_asn(Asn(vp_asn));
+        let want = oracle_rib(&stream, vp, Timestamp::from_millis(u64::MAX));
+        assert_rib_eq(
+            store.rib_now(vp).expect("vp exists"),
+            &want,
+            &format!("live rib of {vp}"),
+        );
+    }
+}

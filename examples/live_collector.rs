@@ -64,7 +64,7 @@ fn main() -> std::io::Result<()> {
     //    back to prove the archive is self-contained.
     let mut mrt = gill::collector::MrtStorage::new(Vec::new(), 65535);
     for u in &mem.updates {
-        mrt.store(&gill::collector::StoredUpdate { update: u.clone() });
+        mrt.store(gill::collector::StoredUpdate { update: u.clone() });
     }
     let bytes = mrt.into_inner()?;
     println!("MRT archive: {} bytes", bytes.len());

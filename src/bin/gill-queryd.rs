@@ -1,0 +1,69 @@
+//! `gill-queryd` — the looking-glass query daemon (the serving half of
+//! GILL: §9's bgproutes.io interface over a local store).
+//!
+//! Loads an MRT update archive into the time-indexed route store and
+//! serves the JSON + raw-MRT query API over HTTP:
+//!
+//! ```sh
+//! gill-queryd --updates updates.mrt --addr 127.0.0.1:8480
+//! curl 'http://127.0.0.1:8480/routes?prefix=10.0.0.0/8&match=lpm'
+//! ```
+
+use gill::cli::{read_updates_mrt, Args};
+use gill::query::{serve, RouteStore, ServerConfig, StoreConfig};
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+fn run() -> Result<(), String> {
+    let args = Args::parse()?;
+    let updates_path = PathBuf::from(args.required("updates")?);
+    let addr = args
+        .optional("addr")
+        .unwrap_or_else(|| "127.0.0.1:8480".to_string());
+
+    let cfg = StoreConfig {
+        shard_width_ms: args.num("shard-ms", StoreConfig::default().shard_width_ms)?,
+        snapshot_every_shards: args.num(
+            "snapshot-shards",
+            StoreConfig::default().snapshot_every_shards,
+        )?,
+    };
+    let mut store = RouteStore::new(cfg);
+    let updates = read_updates_mrt(&updates_path).map_err(|e| e.to_string())?;
+    let n = updates.len();
+    for u in updates {
+        store.ingest(u);
+    }
+    let stats = store.stats();
+    println!(
+        "loaded {n} updates: {} VPs, {} shards, {} snapshots, {} live prefixes",
+        stats.vps, stats.shards, stats.snapshots, stats.live_prefixes
+    );
+
+    let server_cfg = ServerConfig {
+        workers: args.num("workers", ServerConfig::default().workers)?,
+        ..ServerConfig::default()
+    };
+    let store = Arc::new(parking_lot::RwLock::new(store));
+    let server = serve(&addr, server_cfg, store).map_err(|e| e.to_string())?;
+    println!("serving on http://{}", server.local_addr());
+    // The server owns its threads; park the main thread until killed.
+    loop {
+        std::thread::park();
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!(
+                "usage: gill-queryd --updates updates.mrt [--addr host:port] \
+                 [--workers n] [--shard-ms ms] [--snapshot-shards n]"
+            );
+            ExitCode::FAILURE
+        }
+    }
+}

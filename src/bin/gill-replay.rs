@@ -5,35 +5,68 @@
 //! ```sh
 //! gill-replay --updates updates.mrt --filters filters.txt --out kept.mrt
 //! ```
+//!
+//! With `--serve`, the (optionally filtered) stream is loaded into the
+//! time-indexed route store and served over the looking-glass HTTP API
+//! instead of (or in addition to) being written back out:
+//!
+//! ```sh
+//! gill-replay --updates updates.mrt --serve 127.0.0.1:8480
+//! ```
 
 use gill::cli::{read_updates_mrt, write_updates_mrt, Args};
 use gill::core::FilterSet;
+use gill::query::{serve, RouteStore, ServerConfig};
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 fn run() -> Result<(), String> {
     let args = Args::parse()?;
     let updates_path = PathBuf::from(args.required("updates")?);
-    let filters_path = PathBuf::from(args.required("filters")?);
+    let filters_path = args.optional("filters").map(PathBuf::from);
     let out = args.optional("out").map(PathBuf::from);
+    let serve_addr = args.optional("serve");
+    if filters_path.is_none() && serve_addr.is_none() {
+        return Err("need --filters (replay) and/or --serve (looking glass)".into());
+    }
 
     let updates = read_updates_mrt(&updates_path).map_err(|e| e.to_string())?;
-    let text = std::fs::read_to_string(&filters_path).map_err(|e| e.to_string())?;
-    let filters = FilterSet::from_text(&text)?;
-    let kept: Vec<_> = updates
-        .iter()
-        .filter(|u| filters.accepts(u))
-        .cloned()
-        .collect();
-    println!(
-        "{} of {} updates pass the filters ({:.1}% discarded)",
-        kept.len(),
-        updates.len(),
-        (1.0 - kept.len() as f64 / updates.len().max(1) as f64) * 100.0
-    );
+    let kept: Vec<_> = match &filters_path {
+        Some(p) => {
+            let text = std::fs::read_to_string(p).map_err(|e| e.to_string())?;
+            let filters = FilterSet::from_text(&text)?;
+            let kept: Vec<_> = updates
+                .iter()
+                .filter(|u| filters.accepts(u))
+                .cloned()
+                .collect();
+            println!(
+                "{} of {} updates pass the filters ({:.1}% discarded)",
+                kept.len(),
+                updates.len(),
+                (1.0 - kept.len() as f64 / updates.len().max(1) as f64) * 100.0
+            );
+            kept
+        }
+        None => updates,
+    };
     if let Some(p) = out {
         let n = write_updates_mrt(&p, &kept).map_err(|e| e.to_string())?;
         println!("wrote {n} records to {}", p.display());
+    }
+    if let Some(addr) = serve_addr {
+        let mut store = RouteStore::default();
+        let n = kept.len();
+        for u in kept {
+            store.ingest(u);
+        }
+        let store = Arc::new(parking_lot::RwLock::new(store));
+        let server = serve(&addr, ServerConfig::default(), store).map_err(|e| e.to_string())?;
+        println!("serving {n} updates on http://{}", server.local_addr());
+        loop {
+            std::thread::park();
+        }
     }
     Ok(())
 }
@@ -44,7 +77,8 @@ fn main() -> ExitCode {
         Err(e) => {
             eprintln!("error: {e}");
             eprintln!(
-                "usage: gill-replay --updates updates.mrt --filters filters.txt [--out kept.mrt]"
+                "usage: gill-replay --updates updates.mrt [--filters filters.txt] \
+                 [--out kept.mrt] [--serve host:port]"
             );
             ExitCode::FAILURE
         }

@@ -18,6 +18,8 @@
 //! * [`use_cases`] — the canonical BGP analyses used for evaluation.
 //! * [`collector`] — the collection platform: per-peer BGP daemons and the
 //!   orchestrator.
+//! * [`query`] — the serving half: time-indexed route store and the
+//!   looking-glass HTTP query API (bgproutes.io's role in §9).
 //!
 //! ## Quickstart
 //!
@@ -48,6 +50,7 @@ pub use bgp_types as types;
 pub use bgp_wire as wire;
 pub use gill_collector as collector;
 pub use gill_core as core;
+pub use gill_query as query;
 pub use sampling;
 pub use use_cases;
 
