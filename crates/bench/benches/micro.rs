@@ -9,7 +9,10 @@ use bgp_types::{Asn, Prefix, Timestamp, UpdateBuilder, VpId};
 use bgp_wire::{BgpMessage, UpdateMessage};
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use gill_core::corrgroups::DEFAULT_WINDOW_MS;
-use gill_core::{build_correlation_groups, find_redundant_updates, FilterGranularity, FilterSet};
+use gill_core::{
+    build_correlation_groups, find_redundant_updates, CompiledFilters, FilterGranularity,
+    FilterHandle, FilterSet,
+};
 use std::collections::HashSet;
 
 fn bench_wire_codec(c: &mut Criterion) {
@@ -55,6 +58,26 @@ fn bench_filters(c: &mut Criterion) {
     });
     c.bench_function("filters/match_miss_10k_rules", |b| {
         b.iter(|| f.accepts(black_box(&miss)))
+    });
+
+    // the compiled engine on the same table, plus the session hot path
+    // (view probe) and the publisher's swap
+    let compiled = CompiledFilters::compile(&f, 1);
+    assert!(!compiled.accepts(hit) && compiled.accepts(&miss));
+    c.bench_function("filters/compiled_hit_10k_rules", |b| {
+        b.iter(|| compiled.accepts(black_box(hit)))
+    });
+    c.bench_function("filters/compiled_miss_10k_rules", |b| {
+        b.iter(|| compiled.accepts(black_box(&miss)))
+    });
+    let handle = FilterHandle::new(&f);
+    let view = handle.view();
+    c.bench_function("filters/view_judge_10k_rules", |b| {
+        b.iter(|| view.judge(black_box(hit)))
+    });
+    let next = handle.compile_next(&f);
+    c.bench_function("filters/publish_swap_10k_rules", |b| {
+        b.iter(|| handle.publish(black_box(next.clone())))
     });
 }
 

@@ -18,18 +18,19 @@
 
 use crate::forwarding::Forwarder;
 use crate::fsm::{CloseReason, SessionEvent, SessionFsm, SessionRole};
+use crate::orchestrator::Orchestrator;
 use crate::storage::{Storage, StoredUpdate};
 use crate::transport::{Clock, SystemClock, Transport};
 use crate::validator::{UpdateValidator, Verdict};
-use bgp_types::{Timestamp, VpId};
+use bgp_types::{BgpUpdate, Timestamp, VpId};
 use bgp_wire::{BgpMessage, WireError};
 use bytes::BytesMut;
-use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
-use gill_core::FilterSet;
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender, TrySendError};
+use gill_core::{FilterHandle, FilterSet, FilterView};
 use parking_lot::{Mutex, RwLock};
 use std::io;
 use std::net::{TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -43,6 +44,11 @@ pub struct DaemonConfig {
     pub hold_time: u16,
     /// Capacity of the bounded storage queue (shared by the pool).
     pub queue_capacity: usize,
+    /// Capacity of the bounded mirror channel feeding an attached
+    /// orchestrator ([`DaemonPool::attach_orchestrator`]). Overflow is
+    /// shed (never blocks a session) and counted in
+    /// [`DaemonStats::mirror_dropped`].
+    pub mirror_capacity: usize,
     /// Run the §14 validity checks on incoming updates (hard violations
     /// are dropped and counted; suspicious updates are stored but
     /// counted as quarantined).
@@ -55,6 +61,7 @@ impl Default for DaemonConfig {
             local_asn: 65535,
             hold_time: 240,
             queue_capacity: 1024,
+            mirror_capacity: 8192,
             validate: false,
         }
     }
@@ -104,9 +111,61 @@ pub struct DaemonStats {
     pub hold_expirations: AtomicUsize,
     /// Handshakes by a peer identity seen before (session re-established).
     pub reconnects: AtomicUsize,
+    /// The currently published filter epoch (bumped by every
+    /// `install_filters` / orchestrator refresh).
+    pub filter_epoch: AtomicU64,
+    /// Updates teed into the orchestrator mirror channel.
+    pub mirror_fed: AtomicUsize,
+    /// Updates the mirror channel shed because it was full (sessions
+    /// never block on the mirror).
+    pub mirror_dropped: AtomicUsize,
+    /// Per-epoch verdict counters, a ring of the last
+    /// [`EPOCH_SLOTS`] epochs.
+    epochs: [EpochCounter; EPOCH_SLOTS],
+}
+
+/// Ring size of the per-epoch accept/drop counters.
+pub const EPOCH_SLOTS: usize = 8;
+
+/// Accept/drop counters for one filter epoch.
+#[derive(Default, Debug)]
+struct EpochCounter {
+    epoch: AtomicU64,
+    accepted: AtomicU64,
+    dropped: AtomicU64,
 }
 
 impl DaemonStats {
+    /// Resets the ring slot for `epoch`. The publisher calls this *before*
+    /// making the epoch visible to sessions, so the slot can never mix
+    /// counts from the epoch it replaces (single-publisher discipline).
+    pub fn begin_epoch(&self, epoch: u64) {
+        let s = &self.epochs[(epoch as usize) % EPOCH_SLOTS];
+        s.accepted.store(0, Ordering::Relaxed);
+        s.dropped.store(0, Ordering::Relaxed);
+        s.epoch.store(epoch, Ordering::Release);
+    }
+
+    /// Records one filter verdict attributed to `epoch`.
+    pub fn note_verdict(&self, epoch: u64, retained: bool) {
+        let s = &self.epochs[(epoch as usize) % EPOCH_SLOTS];
+        if s.epoch.load(Ordering::Acquire) == epoch {
+            let c = if retained { &s.accepted } else { &s.dropped };
+            c.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// `(accepted, dropped)` for `epoch`, if its slot has not been
+    /// recycled by a newer epoch yet.
+    pub fn epoch_counts(&self, epoch: u64) -> Option<(u64, u64)> {
+        let s = &self.epochs[(epoch as usize) % EPOCH_SLOTS];
+        (s.epoch.load(Ordering::Acquire) == epoch).then(|| {
+            (
+                s.accepted.load(Ordering::Relaxed),
+                s.dropped.load(Ordering::Relaxed),
+            )
+        })
+    }
     /// Proportion of received updates lost to overload.
     pub fn loss_rate(&self) -> f64 {
         let rx = self.received.load(Ordering::Relaxed);
@@ -348,8 +407,11 @@ pub fn handshake_client<T: Transport>(s: &mut MessageStream<T>, asn: u32) -> io:
 /// forwarding tee).
 #[derive(Clone)]
 pub struct SessionCtx {
-    /// Filters applied before storage (orchestrator-refreshed).
-    pub filters: Arc<RwLock<FilterSet>>,
+    /// Filter view applied before storage. Each judged update costs one
+    /// atomic epoch load plus a hash probe — no lock, no allocation; an
+    /// orchestrator refresh swaps the epoch under the sessions without
+    /// touching them ([`FilterHandle`]).
+    pub filters: FilterView,
     /// The bounded storage queue.
     pub queue: Sender<StoredUpdate>,
     /// Shared counters.
@@ -358,15 +420,54 @@ pub struct SessionCtx {
     pub validator: Option<Arc<RwLock<UpdateValidator>>>,
     /// §14 forwarding tee, evaluated before the discard stage.
     pub forwarder: Option<Arc<RwLock<Forwarder>>>,
+    /// Orchestrator mirror tee: the *unfiltered* stream §8 trains on.
+    pub mirror: Option<Sender<BgpUpdate>>,
+    /// Whether an orchestrator is actually draining the mirror; when
+    /// false the tee is skipped entirely (one relaxed load per update).
+    pub mirror_on: Arc<AtomicBool>,
 }
 
 impl SessionCtx {
-    /// Runs one received UPDATE through validation, forwarding, filtering
-    /// and the bounded queue. Returns `false` when the queue is gone.
+    /// A pipeline over `filters` with no validator, forwarder, or mirror
+    /// (tests and embedded uses; the pool wires the full §14 stack).
+    pub fn new(
+        filters: FilterView,
+        queue: Sender<StoredUpdate>,
+        stats: Arc<DaemonStats>,
+    ) -> SessionCtx {
+        SessionCtx {
+            filters,
+            queue,
+            stats,
+            validator: None,
+            forwarder: None,
+            mirror: None,
+            mirror_on: Arc::new(AtomicBool::new(false)),
+        }
+    }
+
+    /// Runs one received UPDATE through the mirror tee, validation,
+    /// forwarding, filtering and the bounded queue. Returns `false` when
+    /// the queue is gone.
     fn ingest(&self, vp: VpId, wire: bgp_wire::UpdateMessage, now: Timestamp) -> bool {
         for mut domain in wire.to_domain(vp, now) {
             domain.time = now;
             self.stats.received.fetch_add(1, Ordering::Relaxed);
+            // the mirror sees the stream *before* filtering (§8: training
+            // needs all the data); shedding on overflow, never blocking
+            if let Some(m) = &self.mirror {
+                if self.mirror_on.load(Ordering::Relaxed) {
+                    match m.try_send(domain.clone()) {
+                        Ok(()) => {
+                            self.stats.mirror_fed.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(TrySendError::Full(_)) => {
+                            self.stats.mirror_dropped.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(TrySendError::Disconnected(_)) => {}
+                    }
+                }
+            }
             if let Some(v) = &self.validator {
                 match v.write().validate(vp.asn, &domain) {
                     Verdict::Invalid(_) => {
@@ -387,7 +488,8 @@ impl SessionCtx {
                     .forwarded
                     .fetch_add(fw.forwarded - before, Ordering::Relaxed);
             }
-            let keep = self.filters.read().accepts(&domain);
+            let (keep, epoch) = self.filters.judge(&domain);
+            self.stats.note_verdict(epoch, keep);
             if !keep {
                 self.stats.filtered.fetch_add(1, Ordering::Relaxed);
                 continue;
@@ -463,13 +565,16 @@ pub fn run_session_with<T: Transport>(
 /// peer with a single BGP router", multiplied).
 pub struct DaemonPool {
     stats: Arc<DaemonStats>,
-    filters: Arc<RwLock<FilterSet>>,
+    filters: Arc<FilterHandle>,
     validator: Option<Arc<RwLock<UpdateValidator>>>,
     forwarder: Arc<RwLock<Forwarder>>,
     queue_rx: Receiver<StoredUpdate>,
     queue_tx: Sender<StoredUpdate>,
+    mirror_rx: Option<Receiver<BgpUpdate>>,
+    mirror_on: Arc<AtomicBool>,
     stop: Arc<AtomicBool>,
     accept_thread: Option<std::thread::JoinHandle<()>>,
+    refresh_thread: Option<std::thread::JoinHandle<()>>,
     local_addr: std::net::SocketAddr,
 }
 
@@ -481,8 +586,10 @@ impl DaemonPool {
         let local_addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
         let (queue_tx, queue_rx) = bounded(cfg.queue_capacity);
+        let (mirror_tx, mirror_rx) = bounded(cfg.mirror_capacity.max(1));
+        let mirror_on = Arc::new(AtomicBool::new(false));
         let stats = Arc::new(DaemonStats::default());
-        let filters = Arc::new(RwLock::new(FilterSet::default()));
+        let filters = FilterHandle::empty();
         let validator = cfg
             .validate
             .then(|| Arc::new(RwLock::new(UpdateValidator::new())));
@@ -494,11 +601,13 @@ impl DaemonPool {
             Arc::new(Mutex::new(std::collections::HashSet::new()));
         let accept_thread = {
             let ctx = SessionCtx {
-                filters: filters.clone(),
+                filters: filters.view(),
                 queue: queue_tx.clone(),
                 stats: stats.clone(),
                 validator: validator.clone(),
                 forwarder: Some(forwarder.clone()),
+                mirror: Some(mirror_tx),
+                mirror_on: mirror_on.clone(),
             };
             let stop = stop.clone();
             let cfg = cfg.clone();
@@ -544,8 +653,11 @@ impl DaemonPool {
             forwarder,
             queue_rx,
             queue_tx,
+            mirror_rx: Some(mirror_rx),
+            mirror_on,
             stop,
             accept_thread: Some(accept_thread),
+            refresh_thread: None,
             local_addr,
         })
     }
@@ -583,9 +695,49 @@ impl DaemonPool {
         &self.stats
     }
 
-    /// Atomically replaces the filters (the orchestrator's refresh).
+    /// Compiles and publishes `f` as a new filter epoch (an operator
+    /// install; the attached orchestrator's refresh takes the same path).
+    /// Sessions observe the swap on their next judged update; none is
+    /// interrupted. The per-epoch counter slot is reset *before* the
+    /// epoch becomes visible, so its counts are attributable exactly.
     pub fn install_filters(&self, f: FilterSet) {
-        *self.filters.write() = f;
+        let compiled = self.filters.compile_next(&f);
+        self.stats.begin_epoch(compiled.epoch());
+        let e = self.filters.publish(compiled);
+        self.stats.filter_epoch.store(e, Ordering::Release);
+    }
+
+    /// The filter publication handle (share with e.g. the query layer's
+    /// `/filters` endpoint, or hold to publish epochs directly).
+    pub fn filter_handle(&self) -> &Arc<FilterHandle> {
+        &self.filters
+    }
+
+    /// Wires `orch` into the live pool as the §8 background refresh
+    /// driver: sessions tee their unfiltered stream into the bounded
+    /// mirror channel, a background thread drains it into the
+    /// orchestrator, and every `interval` a retraining run compiles and
+    /// publishes a new filter epoch — without dropping a single session.
+    /// Errors if an orchestrator is already attached.
+    pub fn attach_orchestrator(
+        &mut self,
+        orch: Orchestrator,
+        interval: Duration,
+    ) -> io::Result<()> {
+        let rx = self.mirror_rx.take().ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::AlreadyExists,
+                "orchestrator already attached",
+            )
+        })?;
+        self.mirror_on.store(true, Ordering::Relaxed);
+        let handle = self.filters.clone();
+        let stats = self.stats.clone();
+        let stop = self.stop.clone();
+        self.refresh_thread = Some(std::thread::spawn(move || {
+            run_refresh_driver(orch, rx, handle, stats, stop, interval)
+        }));
+        Ok(())
     }
 
     /// Drains the retained-update queue into `storage` until the pool is
@@ -622,6 +774,49 @@ impl DaemonPool {
         self.stop.store(true, Ordering::Relaxed);
         if let Some(t) = self.accept_thread.take() {
             let _ = t.join();
+        }
+        if let Some(t) = self.refresh_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// The orchestrator refresh loop: drain the mirror channel in batches,
+/// retrain every `interval`, publish the compiled result as a new epoch.
+/// The first run refreshes both components (anchors need one); later runs
+/// are component-#1-only, matching §7's schedule shape.
+fn run_refresh_driver(
+    mut orch: Orchestrator,
+    rx: Receiver<BgpUpdate>,
+    handle: Arc<FilterHandle>,
+    stats: Arc<DaemonStats>,
+    stop: Arc<AtomicBool>,
+    interval: Duration,
+) {
+    let t0 = std::time::Instant::now();
+    let mut last_refresh = std::time::Instant::now();
+    let mut first = true;
+    loop {
+        match rx.recv_timeout(Duration::from_millis(50)) {
+            Ok(u) => {
+                // batch whatever else is already queued to amortize
+                orch.observe(std::iter::once(u).chain(rx.try_iter().take(4096)));
+            }
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => return,
+        }
+        if last_refresh.elapsed() >= interval && orch.mirror_len() > 0 {
+            let now = Timestamp::from_millis(t0.elapsed().as_millis() as u64);
+            orch.force_refresh(now, first);
+            first = false;
+            let compiled = handle.compile_next(orch.filters());
+            stats.begin_epoch(compiled.epoch());
+            let e = handle.publish(compiled);
+            stats.filter_epoch.store(e, Ordering::Release);
+            last_refresh = std::time::Instant::now();
+        }
+        if stop.load(Ordering::Relaxed) && rx.is_empty() {
+            return;
         }
     }
 }

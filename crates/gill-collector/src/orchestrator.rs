@@ -24,6 +24,11 @@ pub struct OrchestratorConfig {
     pub comp1_interval: Duration,
     /// Refresh period of component #2 (default 365 days).
     pub comp2_interval: Duration,
+    /// Upper bound on the temporary mirror (updates). When a batch pushes
+    /// the mirror past the cap, the *oldest* shard is shed (counted in
+    /// [`Orchestrator::mirror_shed`]) so memory stays flat and training
+    /// runs on the most recent window.
+    pub mirror_cap: usize,
     /// GILL algorithm knobs.
     pub gill: GillConfig,
 }
@@ -33,6 +38,7 @@ impl Default for OrchestratorConfig {
         OrchestratorConfig {
             comp1_interval: Duration::from_secs(16 * 24 * 3600),
             comp2_interval: Duration::from_secs(365 * 24 * 3600),
+            mirror_cap: 1_000_000,
             gill: GillConfig::default(),
         }
     }
@@ -51,6 +57,7 @@ pub enum Refresh {
 pub struct Orchestrator {
     cfg: OrchestratorConfig,
     mirror: Vec<BgpUpdate>,
+    shed: u64,
     initial_ribs: HashMap<VpId, Rib>,
     vps: Vec<VpId>,
     categories: HashMap<Asn, AsCategory>,
@@ -70,6 +77,7 @@ impl Orchestrator {
         Orchestrator {
             cfg,
             mirror: Vec::new(),
+            shed: 0,
             initial_ribs: HashMap::new(),
             vps,
             categories,
@@ -86,13 +94,32 @@ impl Orchestrator {
     }
 
     /// Mirrors a batch of (unfiltered) updates for the next training run.
+    ///
+    /// The mirror is bounded by [`OrchestratorConfig::mirror_cap`]: on
+    /// overflow the oldest shard (at least 1/8 of the cap, so the `Vec`
+    /// memmove amortizes) is dropped and counted in
+    /// [`Orchestrator::mirror_shed`]. Training then runs on the most
+    /// recent retained window.
     pub fn observe(&mut self, updates: impl IntoIterator<Item = BgpUpdate>) {
-        self.mirror.extend(updates);
+        let cap = self.cfg.mirror_cap.max(1);
+        for u in updates {
+            if self.mirror.len() >= cap {
+                let chunk = (cap / 8).max(1).min(self.mirror.len());
+                self.mirror.drain(..chunk);
+                self.shed += chunk as u64;
+            }
+            self.mirror.push(u);
+        }
     }
 
     /// Size of the temporary mirror.
     pub fn mirror_len(&self) -> usize {
         self.mirror.len()
+    }
+
+    /// Updates shed from the mirror because it hit the configured cap.
+    pub fn mirror_shed(&self) -> u64 {
+        self.shed
     }
 
     /// The currently installed filters.
@@ -237,6 +264,43 @@ mod tests {
             orch.maybe_refresh(Timestamp::from_secs(366 * day)),
             Some(Refresh::Both)
         );
+    }
+
+    #[test]
+    fn mirror_cap_keeps_memory_flat_and_still_retrains() {
+        let topo = TopologyBuilder::artificial(60, 5).build();
+        let mut sim = Simulator::new(&topo);
+        let vps = topo.pick_vps(0.3, 1);
+        let stream = sim.synthesize_stream(&vps, StreamConfig::default().events(15).seed(7));
+        let cap = 1_000usize;
+        let mut cfg = small_cfg();
+        cfg.mirror_cap = cap;
+        let mut orch = Orchestrator::new(cfg, stream.vps.clone(), HashMap::new());
+        orch.set_initial_ribs(stream.initial_ribs.clone());
+        // overflow the mirror 10x over and verify memory stays flat
+        let mut fed = 0usize;
+        let mut peak_len = 0usize;
+        let mut peak_capacity = 0usize;
+        while fed < 10 * cap {
+            orch.observe(stream.updates.iter().cloned());
+            fed += stream.updates.len();
+            peak_len = peak_len.max(orch.mirror_len());
+            peak_capacity = peak_capacity.max(orch.mirror.capacity());
+        }
+        assert!(peak_len <= cap, "mirror length never exceeds the cap");
+        assert!(
+            peak_capacity <= 2 * cap,
+            "mirror allocation stays flat under 10x overflow (capacity {peak_capacity})"
+        );
+        assert_eq!(
+            orch.mirror_shed() as usize,
+            fed - orch.mirror_len(),
+            "every shed update is accounted"
+        );
+        // the retained window still trains
+        let r = orch.maybe_refresh(Timestamp::from_secs(3600));
+        assert_eq!(r, Some(Refresh::Both));
+        assert_eq!(orch.mirror_len(), 0, "mirror dropped after the run");
     }
 
     #[test]

@@ -1,0 +1,648 @@
+//! Compiled, immutable filters with epoch-based hot swap (§7–§8).
+//!
+//! [`FilterSet`] is the *training-side* representation: a mutable rule bag
+//! the orchestrator regenerates every refresh. The daemon hot path has
+//! different needs — it judges every incoming UPDATE and must not lock,
+//! allocate, or chase pointers. This module compiles a `FilterSet` once
+//! into a [`CompiledFilters`]: an immutable value holding
+//!
+//! * the anchor accept-all set as a **sorted `Vec<VpId>`** (binary-search
+//!   membership, empty-check short-circuit),
+//! * the drop rules as a **sorted entry table** (per-VP runs ordered by
+//!   prefix, then path, then communities — deterministic iteration and the
+//!   §9 text serialization fall out of the order), and
+//! * an **open-addressed index** over the entries keyed by a fixed
+//!   multiply-mix hash of exactly the fields the configured granularity
+//!   matches on, probed with *borrowed* update attributes — no `AsPath` or
+//!   community-set clone ever happens at lookup time.
+//!
+//! Every compiled set carries an **epoch** and build metadata. The
+//! [`FilterHandle`] is the publication point: the orchestrator swaps in a
+//! new epoch with one `Arc` pointer swap, and every session's
+//! [`FilterView`] notices via a single atomic epoch load — the per-update
+//! fast path is *one relaxed-acquire load plus a hash probe*, with zero
+//! lock acquisitions and zero heap allocations. Sessions only touch a
+//! mutex in the instant they observe a new epoch (to clone the new `Arc`),
+//! which happens once per refresh, not per update.
+//!
+//! The sequential [`FilterSet::accepts`] stays as the reference semantics;
+//! equivalence is proven by property tests
+//! (`gill-core/tests/compiled_filters.rs`), not assumed.
+
+use crate::filters::{FilterGranularity, FilterSet};
+use bgp_types::{Asn, BgpUpdate, Community, Prefix, VpId};
+use std::cell::{Cell, RefCell};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// One compiled drop rule. Path and community storage is empty at the
+/// granularities that do not match on them.
+#[derive(Clone, Debug)]
+pub struct CompiledRule {
+    /// Sending VP.
+    pub vp: VpId,
+    /// Matched prefix.
+    pub prefix: Prefix,
+    path: Box<[Asn]>,
+    comms: Box<[Community]>,
+}
+
+impl CompiledRule {
+    /// The AS-path hops this rule matches on (empty at `VpPrefix`).
+    pub fn path(&self) -> &[Asn] {
+        &self.path
+    }
+
+    /// The community values this rule matches on (sorted; empty unless
+    /// the granularity is `VpPrefixPathComms`).
+    pub fn communities(&self) -> &[Community] {
+        &self.comms
+    }
+}
+
+/// Build metadata recorded at compile time.
+#[derive(Clone, Copy, Debug)]
+pub struct BuildMeta {
+    /// Number of drop rules compiled.
+    pub rules: usize,
+    /// Number of anchor accept-all rules.
+    pub anchors: usize,
+    /// Wall time the compilation took.
+    pub build: Duration,
+}
+
+/// A `(VP, prefix)` rule key packed into 32 bytes for the `VpPrefix`
+/// probe fast path: half a cache line per rule instead of the full
+/// [`CompiledRule`], and the comparison is three integer equalities with
+/// no short-circuit chain through struct field layouts.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct PackedKey {
+    vpk: u64,
+    bits: u128,
+    meta: u64,
+}
+
+impl PackedKey {
+    #[inline]
+    fn new(vp: VpId, prefix: Prefix) -> PackedKey {
+        PackedKey {
+            vpk: ((vp.asn.value() as u64) << 16) | vp.router as u64,
+            bits: prefix.raw_bits(),
+            meta: ((prefix.len() as u64) << 1) | prefix.is_ipv6() as u64,
+        }
+    }
+}
+
+/// An immutable, epoch-stamped compilation of a [`FilterSet`].
+#[derive(Clone, Debug)]
+pub struct CompiledFilters {
+    granularity: FilterGranularity,
+    anchors: Vec<VpId>,
+    entries: Vec<CompiledRule>,
+    /// Open-addressed index into `entries`; `EMPTY_SLOT` marks a free
+    /// slot. Power-of-two sized at ~50 % load.
+    slots: Vec<u32>,
+    /// Packed keys parallel to `entries`, built only at `VpPrefix`
+    /// granularity (GILL's production configuration) so the hot probe
+    /// never touches the wider `CompiledRule` rows.
+    keys: Vec<PackedKey>,
+    /// Packed `(asn << 16) | router` bounds of the anchor set: one range
+    /// compare rejects the overwhelming non-anchor majority before any
+    /// scan. `lo > hi` encodes an empty anchor set.
+    anchor_lo: u64,
+    anchor_hi: u64,
+    mask: u64,
+    epoch: u64,
+    meta: BuildMeta,
+}
+
+const EMPTY_SLOT: u32 = u32::MAX;
+
+// ---------------------------------------------------------------------------
+// Hashing: a fixed (deterministic, seedless) multiply-mix hash over exactly
+// the fields the granularity matches on. SipHash-free on purpose: the whole
+// point of the compiled path is that a membership probe costs a handful of
+// multiplies, not a keyed cryptographic hash over ~30 bytes.
+// ---------------------------------------------------------------------------
+
+#[inline]
+fn fold(h: u64, v: u64) -> u64 {
+    (h ^ v).wrapping_mul(0x2545_f491_4f6c_dd1d).rotate_left(23)
+}
+
+#[inline]
+fn finish(mut h: u64) -> u64 {
+    h ^= h >> 30;
+    h = h.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    h ^= h >> 27;
+    h = h.wrapping_mul(0x94d0_49bb_1331_11eb);
+    h ^ (h >> 31)
+}
+
+#[inline]
+fn hash_vp_prefix(vp: VpId, prefix: Prefix) -> u64 {
+    // four independent multiplies (no serial fold chain): the probe hash
+    // sits on the critical path of every judged update, and the
+    // multilinear form lets the CPU compute all four products in parallel
+    let a = ((vp.asn.value() as u64) << 16) | vp.router as u64;
+    let bits = prefix.raw_bits();
+    let b = bits as u64;
+    let c = (bits >> 64) as u64;
+    let d = ((prefix.len() as u64) << 1) | prefix.is_ipv6() as u64;
+    a.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        ^ b.wrapping_mul(0xc2b2_ae3d_27d4_eb4f)
+        ^ c.wrapping_mul(0x1656_67b1_9e37_79f9)
+        ^ d.wrapping_mul(0x2545_f491_4f6c_dd1d)
+}
+
+#[inline]
+fn hash_path(mut h: u64, hops: &[Asn]) -> u64 {
+    for a in hops {
+        h = fold(h, a.value() as u64);
+    }
+    fold(h, hops.len() as u64)
+}
+
+#[inline]
+fn hash_comms<I: Iterator<Item = Community>>(mut h: u64, n: usize, comms: I) -> u64 {
+    for c in comms {
+        h = fold(h, c.raw() as u64);
+    }
+    fold(h, n as u64)
+}
+
+impl CompiledFilters {
+    /// Compiles `fs` into the immutable representation, stamped `epoch`.
+    pub fn compile(fs: &FilterSet, epoch: u64) -> CompiledFilters {
+        let t0 = std::time::Instant::now();
+        let granularity = fs.granularity();
+        let mut anchors: Vec<VpId> = fs.anchors().copied().collect();
+        anchors.sort_unstable();
+        anchors.dedup();
+
+        let mut entries: Vec<CompiledRule> = fs
+            .rules()
+            .map(|r| CompiledRule {
+                vp: r.vp,
+                prefix: r.prefix,
+                path: r
+                    .path
+                    .as_ref()
+                    .map(|p| p.hops().to_vec().into_boxed_slice())
+                    .unwrap_or_default(),
+                comms: r
+                    .communities
+                    .as_ref()
+                    .map(|c| c.iter().copied().collect())
+                    .unwrap_or_default(),
+            })
+            .collect();
+        // per-VP runs sorted by prefix then the fine-grained key: gives
+        // deterministic iteration and the §9 text order for free
+        entries.sort_unstable_by(|a, b| {
+            (a.vp, a.prefix, &a.path, &a.comms).cmp(&(b.vp, b.prefix, &b.path, &b.comms))
+        });
+
+        let cap = (entries.len() * 2).next_power_of_two().max(16);
+        let mask = cap as u64 - 1;
+        let mut slots = vec![EMPTY_SLOT; cap];
+        for (i, e) in entries.iter().enumerate() {
+            let mut idx = (Self::hash_entry(granularity, e) & mask) as usize;
+            while slots[idx] != EMPTY_SLOT {
+                idx = (idx + 1) & mask as usize;
+            }
+            slots[idx] = i as u32;
+        }
+
+        let pack_vp = |vp: &VpId| ((vp.asn.value() as u64) << 16) | vp.router as u64;
+        let anchor_lo = anchors.first().map(pack_vp).unwrap_or(1);
+        let anchor_hi = anchors.last().map(pack_vp).unwrap_or(0);
+        let keys = if granularity == FilterGranularity::VpPrefix {
+            entries
+                .iter()
+                .map(|e| PackedKey::new(e.vp, e.prefix))
+                .collect()
+        } else {
+            Vec::new()
+        };
+
+        let meta = BuildMeta {
+            rules: entries.len(),
+            anchors: anchors.len(),
+            build: t0.elapsed(),
+        };
+        CompiledFilters {
+            granularity,
+            anchors,
+            entries,
+            slots,
+            keys,
+            anchor_lo,
+            anchor_hi,
+            mask,
+            epoch,
+            meta,
+        }
+    }
+
+    fn hash_entry(g: FilterGranularity, e: &CompiledRule) -> u64 {
+        let mut h = hash_vp_prefix(e.vp, e.prefix);
+        match g {
+            FilterGranularity::VpPrefix => {}
+            FilterGranularity::VpPrefixPath => h = hash_path(h, &e.path),
+            FilterGranularity::VpPrefixPathComms => {
+                h = hash_path(h, &e.path);
+                h = hash_comms(h, e.comms.len(), e.comms.iter().copied());
+            }
+        }
+        finish(h)
+    }
+
+    #[inline]
+    fn hash_update(&self, u: &BgpUpdate) -> u64 {
+        let mut h = hash_vp_prefix(u.vp, u.prefix);
+        match self.granularity {
+            FilterGranularity::VpPrefix => {}
+            FilterGranularity::VpPrefixPath => h = hash_path(h, u.path.hops()),
+            FilterGranularity::VpPrefixPathComms => {
+                h = hash_path(h, u.path.hops());
+                h = hash_comms(h, u.communities.len(), u.communities.iter().copied());
+            }
+        }
+        finish(h)
+    }
+
+    #[inline]
+    fn matches(&self, r: &CompiledRule, u: &BgpUpdate) -> bool {
+        r.vp == u.vp
+            && r.prefix == u.prefix
+            && match self.granularity {
+                FilterGranularity::VpPrefix => true,
+                FilterGranularity::VpPrefixPath => *r.path == *u.path.hops(),
+                FilterGranularity::VpPrefixPathComms => {
+                    *r.path == *u.path.hops()
+                        && r.comms.len() == u.communities.len()
+                        && r.comms.iter().copied().eq(u.communities.iter().copied())
+                }
+            }
+    }
+
+    /// Anchor membership: one range compare rejects non-anchor VPs, then a
+    /// branch-free scan for realistic anchor counts (GILL runs tens of
+    /// anchors, not thousands) or binary search above that.
+    #[inline]
+    fn anchored(&self, vp: VpId) -> bool {
+        let k = ((vp.asn.value() as u64) << 16) | vp.router as u64;
+        if k < self.anchor_lo || k > self.anchor_hi {
+            return false;
+        }
+        if self.anchors.len() <= 16 {
+            let mut hit = false;
+            for a in &self.anchors {
+                hit |= *a == vp;
+            }
+            hit
+        } else {
+            self.anchors.binary_search(&vp).is_ok()
+        }
+    }
+
+    /// Whether `u` passes the filters (true = retained). Semantically
+    /// identical to [`FilterSet::accepts`]; allocation- and lock-free.
+    #[inline]
+    pub fn accepts(&self, u: &BgpUpdate) -> bool {
+        if self.anchored(u.vp) {
+            return true;
+        }
+        if self.entries.is_empty() {
+            return true;
+        }
+        if self.granularity == FilterGranularity::VpPrefix {
+            // the production-granularity fast path: probe against 32-byte
+            // packed keys, never touching the wider rule rows
+            let key = PackedKey::new(u.vp, u.prefix);
+            let h = finish(hash_vp_prefix(u.vp, u.prefix));
+            let mut idx = (h & self.mask) as usize;
+            loop {
+                let s = self.slots[idx];
+                if s == EMPTY_SLOT {
+                    return true;
+                }
+                if self.keys[s as usize] == key {
+                    return false;
+                }
+                idx = (idx + 1) & self.mask as usize;
+            }
+        }
+        let mut idx = (self.hash_update(u) & self.mask) as usize;
+        loop {
+            let s = self.slots[idx];
+            if s == EMPTY_SLOT {
+                return true;
+            }
+            if self.matches(&self.entries[s as usize], u) {
+                return false;
+            }
+            idx = (idx + 1) & self.mask as usize;
+        }
+    }
+
+    /// The epoch this compilation was published under.
+    #[inline]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The configured granularity.
+    pub fn granularity(&self) -> FilterGranularity {
+        self.granularity
+    }
+
+    /// Number of drop rules.
+    pub fn num_rules(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether `vp` has an anchor accept-all rule.
+    pub fn is_anchor(&self, vp: VpId) -> bool {
+        self.anchors.binary_search(&vp).is_ok()
+    }
+
+    /// The anchor VPs, sorted.
+    pub fn anchors(&self) -> &[VpId] {
+        &self.anchors
+    }
+
+    /// The compiled rules, sorted by `(vp, prefix, path, communities)`.
+    pub fn rules(&self) -> &[CompiledRule] {
+        &self.entries
+    }
+
+    /// Build metadata (rule count, anchor count, compile wall time).
+    pub fn meta(&self) -> &BuildMeta {
+        &self.meta
+    }
+
+    /// The §9 published text format — byte-identical to
+    /// [`FilterSet::to_text`] on the set this was compiled from. Only the
+    /// deployed `(VP, prefix)` granularity has a text form.
+    pub fn to_text(&self) -> Result<String, &'static str> {
+        if self.granularity != FilterGranularity::VpPrefix && !self.entries.is_empty() {
+            return Err("only (VP, prefix) filters have a text form");
+        }
+        let mut out = String::new();
+        for a in &self.anchors {
+            out.push_str(&format!("anchor {}\n", a.asn.value()));
+        }
+        for r in &self.entries {
+            out.push_str(&format!("drop {} {}\n", r.vp.asn.value(), r.prefix));
+        }
+        Ok(out)
+    }
+}
+
+impl Default for CompiledFilters {
+    /// An empty accept-everything compilation at epoch 0.
+    fn default() -> Self {
+        CompiledFilters::compile(&FilterSet::default(), 0)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Epoch publication
+// ---------------------------------------------------------------------------
+
+/// The publication point for compiled filters.
+///
+/// Writers ([`FilterHandle::install`] / [`FilterHandle::publish`]) swap the
+/// current `Arc<CompiledFilters>` under a short mutex and then advance the
+/// epoch counter; readers hold a [`FilterView`] and never block: they load
+/// the epoch atomically and only touch the mutex in the moment they
+/// observe a new epoch (once per refresh, to clone the new `Arc`).
+///
+/// Publication is expected from one driver at a time (the orchestrator or
+/// an operator install); concurrent publishers are memory-safe but may
+/// interleave epoch numbering.
+#[derive(Debug)]
+pub struct FilterHandle {
+    current: Mutex<Arc<CompiledFilters>>,
+    epoch: AtomicU64,
+}
+
+impl FilterHandle {
+    /// A handle starting at `fs` compiled as epoch 0.
+    pub fn new(fs: &FilterSet) -> Arc<FilterHandle> {
+        Arc::new(FilterHandle {
+            current: Mutex::new(Arc::new(CompiledFilters::compile(fs, 0))),
+            epoch: AtomicU64::new(0),
+        })
+    }
+
+    /// A handle starting from an accept-everything epoch 0.
+    pub fn empty() -> Arc<FilterHandle> {
+        FilterHandle::new(&FilterSet::default())
+    }
+
+    /// Compiles `fs` stamped with the *next* epoch without publishing it —
+    /// lets the caller pre-announce the epoch (e.g. reset its per-epoch
+    /// counters) before any session can observe it.
+    pub fn compile_next(&self, fs: &FilterSet) -> Arc<CompiledFilters> {
+        let next = self.epoch.load(Ordering::Acquire) + 1;
+        Arc::new(CompiledFilters::compile(fs, next))
+    }
+
+    /// Publishes a compiled set: one `Arc` pointer swap, then the epoch
+    /// store that readers poll. Returns the published epoch.
+    pub fn publish(&self, compiled: Arc<CompiledFilters>) -> u64 {
+        let e = compiled.epoch();
+        let mut cur = self.current.lock().unwrap_or_else(|p| p.into_inner());
+        *cur = compiled;
+        // released while still holding the lock: a reader that sees the
+        // new epoch and refreshes is guaranteed at least this Arc
+        self.epoch.store(e, Ordering::Release);
+        e
+    }
+
+    /// Compile-and-publish in one step (the orchestrator's refresh and
+    /// the operator's `install_filters` both land here).
+    pub fn install(&self, fs: &FilterSet) -> u64 {
+        self.publish(self.compile_next(fs))
+    }
+
+    /// The currently published epoch.
+    #[inline]
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// A clone of the currently published compilation.
+    pub fn snapshot(&self) -> Arc<CompiledFilters> {
+        self.current
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .clone()
+    }
+
+    /// A per-reader view for session hot paths.
+    pub fn view(self: &Arc<Self>) -> FilterView {
+        FilterView::new(self.clone())
+    }
+}
+
+/// A session-local filter reader.
+///
+/// Caches the current `Arc<CompiledFilters>`; each [`FilterView::judge`]
+/// is one atomic epoch load plus a hash probe. When the publisher swaps in
+/// a new epoch, the next judge call refreshes the cache (the only moment a
+/// reader touches the handle's mutex). `Cell`/`RefCell` interior
+/// mutability keeps the `&self` call signature of the ingest pipeline —
+/// neither is a lock.
+#[derive(Debug)]
+pub struct FilterView {
+    handle: Arc<FilterHandle>,
+    cached_epoch: Cell<u64>,
+    cached: RefCell<Arc<CompiledFilters>>,
+}
+
+impl FilterView {
+    /// A view over `handle`, primed with the current epoch.
+    pub fn new(handle: Arc<FilterHandle>) -> FilterView {
+        let cached = handle.snapshot();
+        FilterView {
+            cached_epoch: Cell::new(cached.epoch()),
+            cached: RefCell::new(cached),
+            handle,
+        }
+    }
+
+    #[cold]
+    fn refresh(&self) {
+        let fresh = self.handle.snapshot();
+        self.cached_epoch.set(fresh.epoch());
+        *self.cached.borrow_mut() = fresh;
+    }
+
+    /// Judges one update: returns `(retained, epoch)` where `epoch`
+    /// identifies exactly which compilation produced the verdict (the pair
+    /// can never be torn across a swap). Zero locks, zero allocations.
+    #[inline]
+    pub fn judge(&self, u: &BgpUpdate) -> (bool, u64) {
+        if self.handle.epoch.load(Ordering::Acquire) != self.cached_epoch.get() {
+            self.refresh();
+        }
+        let f = self.cached.borrow();
+        (f.accepts(u), f.epoch())
+    }
+
+    /// Whether `u` passes the current filters.
+    #[inline]
+    pub fn accepts(&self, u: &BgpUpdate) -> bool {
+        self.judge(u).0
+    }
+
+    /// The current compilation (refreshing the cache if stale).
+    pub fn current(&self) -> Arc<CompiledFilters> {
+        if self.handle.epoch.load(Ordering::Acquire) != self.cached_epoch.get() {
+            self.refresh();
+        }
+        self.cached.borrow().clone()
+    }
+
+    /// The shared publication handle.
+    pub fn handle(&self) -> &Arc<FilterHandle> {
+        &self.handle
+    }
+}
+
+impl Clone for FilterView {
+    fn clone(&self) -> Self {
+        FilterView::new(self.handle.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgp_types::{Timestamp, UpdateBuilder};
+
+    fn vp(n: u32) -> VpId {
+        VpId::from_asn(Asn(n))
+    }
+
+    fn upd(v: u32, pfx: u32, path: &[u32], comm: &[(u16, u16)]) -> BgpUpdate {
+        let mut b = UpdateBuilder::announce(vp(v), Prefix::synthetic(pfx))
+            .at(Timestamp::from_secs(1))
+            .path(path.iter().copied());
+        for &(a, c) in comm {
+            b = b.community(a, c);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn empty_compilation_accepts_everything() {
+        let c = CompiledFilters::default();
+        assert!(c.accepts(&upd(1, 1, &[1, 4], &[])));
+        assert_eq!(c.epoch(), 0);
+        assert_eq!(c.num_rules(), 0);
+    }
+
+    #[test]
+    fn compiled_matches_reference_on_all_granularities() {
+        for g in [
+            FilterGranularity::VpPrefix,
+            FilterGranularity::VpPrefixPath,
+            FilterGranularity::VpPrefixPathComms,
+        ] {
+            let train = [
+                upd(1, 1, &[1, 2, 4], &[(1, 10)]),
+                upd(2, 7, &[2, 4], &[]),
+                upd(3, 3, &[3, 9, 4], &[(3, 30), (3, 31)]),
+            ];
+            let fs = FilterSet::generate([vp(9)], train.iter(), g);
+            let c = CompiledFilters::compile(&fs, 1);
+            let probes = [
+                upd(1, 1, &[1, 2, 4], &[(1, 10)]), // exact training hit
+                upd(1, 1, &[1, 3, 4], &[(1, 10)]), // same (vp,pfx), new path
+                upd(1, 1, &[1, 2, 4], &[(1, 11)]), // same path, new comm
+                upd(2, 7, &[2, 4], &[]),
+                upd(4, 4, &[4, 5], &[]), // never trained
+                upd(9, 1, &[9, 4], &[]), // anchor
+            ];
+            for p in &probes {
+                assert_eq!(c.accepts(p), fs.accepts(p), "granularity {g:?}: {p}");
+            }
+            assert_eq!(c.num_rules(), fs.num_rules());
+            assert!(c.is_anchor(vp(9)));
+        }
+    }
+
+    #[test]
+    fn text_form_matches_filterset_exactly() {
+        let train = [upd(1, 1, &[1, 4], &[]), upd(2, 7, &[2, 4], &[])];
+        let fs = FilterSet::generate([vp(9), vp(3)], train.iter(), FilterGranularity::VpPrefix);
+        let c = CompiledFilters::compile(&fs, 5);
+        assert_eq!(c.to_text().unwrap(), fs.to_text().unwrap());
+        let fine = FilterSet::generate([], train.iter(), FilterGranularity::VpPrefixPath);
+        assert!(CompiledFilters::compile(&fine, 1).to_text().is_err());
+    }
+
+    #[test]
+    fn handle_swaps_bump_epochs_and_views_follow() {
+        let train = upd(1, 1, &[1, 2, 4], &[]);
+        let handle = FilterHandle::empty();
+        let view = handle.view();
+        assert_eq!(view.judge(&train), (true, 0));
+
+        let fs = FilterSet::generate([], [&train], FilterGranularity::VpPrefix);
+        assert_eq!(handle.install(&fs), 1);
+        assert_eq!(view.judge(&train), (false, 1));
+        assert_eq!(handle.epoch(), 1);
+
+        // swapping back to empty re-accepts under epoch 2
+        assert_eq!(handle.install(&FilterSet::default()), 2);
+        assert_eq!(view.judge(&train), (true, 2));
+        assert_eq!(view.current().meta().rules, 0);
+    }
+}

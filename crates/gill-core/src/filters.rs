@@ -14,7 +14,9 @@
 //! variants are implemented for the §7 ablation.
 
 use bgp_types::{AsPath, BgpUpdate, Community, Prefix, VpId};
+use std::borrow::Borrow;
 use std::collections::{BTreeSet, HashSet};
+use std::hash::{Hash, Hasher};
 
 /// Filter granularity (§7): what a drop rule matches on.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
@@ -29,7 +31,7 @@ pub enum FilterGranularity {
 }
 
 /// One drop rule at the configured granularity.
-#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct DropRule {
     /// Sending VP.
     pub vp: VpId,
@@ -39,6 +41,125 @@ pub struct DropRule {
     pub path: Option<AsPath>,
     /// Communities, for the finest variant.
     pub communities: Option<BTreeSet<Community>>,
+}
+
+/// The lookup-key view of a drop rule, shared between the owned
+/// [`DropRule`] and the borrowed [`DropRuleRef`] so that
+/// [`FilterSet::accepts`] can probe the rule set without cloning the AS
+/// path or community set of the update under test.
+trait RuleKey {
+    fn vp(&self) -> VpId;
+    fn prefix(&self) -> Prefix;
+    fn path(&self) -> Option<&AsPath>;
+    fn communities(&self) -> Option<&BTreeSet<Community>>;
+}
+
+impl RuleKey for DropRule {
+    fn vp(&self) -> VpId {
+        self.vp
+    }
+    fn prefix(&self) -> Prefix {
+        self.prefix
+    }
+    fn path(&self) -> Option<&AsPath> {
+        self.path.as_ref()
+    }
+    fn communities(&self) -> Option<&BTreeSet<Community>> {
+        self.communities.as_ref()
+    }
+}
+
+/// A borrowed drop-rule key: references the update's own attributes
+/// instead of cloning them (the seed implementation allocated a fresh
+/// `AsPath` + `BTreeSet` per lookup at the fine granularities).
+struct DropRuleRef<'a> {
+    vp: VpId,
+    prefix: Prefix,
+    path: Option<&'a AsPath>,
+    communities: Option<&'a BTreeSet<Community>>,
+}
+
+impl<'a> DropRuleRef<'a> {
+    /// The key `u` would match at granularity `g`.
+    fn for_update(u: &'a BgpUpdate, g: FilterGranularity) -> Self {
+        DropRuleRef {
+            vp: u.vp,
+            prefix: u.prefix,
+            path: match g {
+                FilterGranularity::VpPrefix => None,
+                _ => Some(&u.path),
+            },
+            communities: match g {
+                FilterGranularity::VpPrefixPathComms => Some(&u.communities),
+                _ => None,
+            },
+        }
+    }
+}
+
+impl RuleKey for DropRuleRef<'_> {
+    fn vp(&self) -> VpId {
+        self.vp
+    }
+    fn prefix(&self) -> Prefix {
+        self.prefix
+    }
+    fn path(&self) -> Option<&AsPath> {
+        self.path
+    }
+    fn communities(&self) -> Option<&BTreeSet<Community>> {
+        self.communities
+    }
+}
+
+// Owned and borrowed keys must hash identically for the `Borrow`-based
+// lookup to work, so both `Hash` impls funnel through this one function.
+fn hash_rule_key<H: Hasher>(key: &(impl RuleKey + ?Sized), state: &mut H) {
+    key.vp().hash(state);
+    key.prefix().hash(state);
+    match key.path() {
+        None => state.write_u8(0),
+        Some(p) => {
+            state.write_u8(1);
+            p.hash(state);
+        }
+    }
+    match key.communities() {
+        None => state.write_u8(0),
+        Some(c) => {
+            state.write_u8(1);
+            c.hash(state);
+        }
+    }
+}
+
+impl Hash for DropRule {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        hash_rule_key(self, state);
+    }
+}
+
+impl Hash for dyn RuleKey + '_ {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        hash_rule_key(self, state);
+    }
+}
+
+impl PartialEq for dyn RuleKey + '_ {
+    fn eq(&self, other: &Self) -> bool {
+        self.vp() == other.vp()
+            && self.prefix() == other.prefix()
+            && self.path() == other.path()
+            && self.communities() == other.communities()
+    }
+}
+
+impl Eq for dyn RuleKey + '_ {}
+
+impl<'a> Borrow<dyn RuleKey + 'a> for DropRule {
+    fn borrow(&self) -> &(dyn RuleKey + 'a) {
+        self
+    }
 }
 
 /// A generated filter set: anchor accept-alls, drop rules, accept default.
@@ -91,11 +212,15 @@ impl FilterSet {
     }
 
     /// Whether `u` passes the filters (true = retained).
+    ///
+    /// Allocation-free at every granularity: the probe key borrows the
+    /// update's AS path and community set instead of cloning them.
     pub fn accepts(&self, u: &BgpUpdate) -> bool {
         if self.anchors.contains(&u.vp) {
             return true;
         }
-        !self.drops.contains(&Self::rule_for(u, self.granularity))
+        let key = DropRuleRef::for_update(u, self.granularity);
+        !self.drops.contains(&key as &dyn RuleKey)
     }
 
     /// Fraction of `updates` that the filters discard.

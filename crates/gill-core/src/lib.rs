@@ -12,6 +12,8 @@
 //!   scores, greedy volume-aware selection.
 //! * [`filters`] — `(VP, prefix)` filter generation and the finer-grained
 //!   GILL-asp / GILL-asp-comm ablation variants (§7).
+//! * [`compiled`] — the immutable compiled filter representation and the
+//!   epoch-swapped `FilterHandle`/`FilterView` the daemon hot path reads.
 //! * [`analysis`] — the end-to-end pipeline gluing both components and the
 //!   filter generator together.
 
@@ -20,6 +22,7 @@
 
 pub mod analysis;
 pub mod anchors;
+pub mod compiled;
 pub mod corrgroups;
 pub mod filters;
 pub mod prepared;
@@ -31,6 +34,7 @@ pub use anchors::{
     category_matrix, detect_events, greedy_select, redundancy_scores, select_anchors,
     stratify_events, AnchorConfig, AnchorSelection, ObservedEvent, ObservedEventKind,
 };
+pub use compiled::{BuildMeta, CompiledFilters, CompiledRule, FilterHandle, FilterView};
 pub use corrgroups::{build_correlation_groups, CorrelationGroup, PrefixGroups, UpdateAttrs};
 pub use filters::{DropRule, FilterGranularity, FilterSet};
 pub use prepared::{sorted_subset, PreparedUpdate, PreparedUpdates};

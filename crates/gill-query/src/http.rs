@@ -85,6 +85,15 @@ impl Response {
         }
     }
 
+    /// A `200 OK` plain-text response (the §9 published filter format).
+    pub fn text(body: String) -> Response {
+        Response {
+            status: 200,
+            content_type: "text/plain; charset=utf-8",
+            body: body.into_bytes(),
+        }
+    }
+
     /// A binary (MRT download) response.
     pub fn octets(body: Vec<u8>) -> Response {
         Response {

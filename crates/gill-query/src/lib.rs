@@ -28,6 +28,6 @@ pub mod store;
 pub use http::{HttpServer, Request, Response, ServerConfig};
 pub use json::{Json, JsonError};
 pub use query::{JoinMode, MatchMode, QueryEngine, RouteQuery, UpdateQuery};
-pub use server::{serve, SharedStore};
+pub use server::{serve, serve_with, SharedStore};
 pub use storage::QueryableStorage;
 pub use store::{RouteStore, RouteView, StoreConfig, StoreStats};

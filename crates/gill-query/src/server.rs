@@ -17,9 +17,13 @@
 //! | `/origin`       | `asn` (req)                                       |
 //! | `/mrt/updates`  | `vp` (req)                                        |
 //! | `/mrt/rib`      | `at` (default: latest)                            |
+//! | `/filters`      | `format=json|text` (default: json)                |
 //!
 //! Timestamps are milliseconds since the epoch; `vp` is `65001` /
-//! `AS65001` / `65001#2`.
+//! `AS65001` / `65001#2`. `/filters` publishes the collector's live filter
+//! state (GILL §9): JSON describes the current epoch, `format=text` serves
+//! the exact published `anchor`/`drop` rule file, byte-for-byte what
+//! [`FilterSet::from_text`](gill_core::FilterSet::from_text) re-ingests.
 
 use crate::http::{HttpServer, Request, Response, ServerConfig};
 use crate::query::{QueryEngine, RouteQuery, UpdateQuery};
@@ -27,6 +31,7 @@ use crate::store::RouteStore;
 use crate::{JoinMode, MatchMode};
 use bgp_types::{Asn, BgpUpdate, Prefix, Timestamp, VpId};
 use bgp_wire::{BgpMessage, MrtRecord, MrtWriter, TableDump, UpdateMessage};
+use gill_core::{FilterGranularity, FilterHandle};
 use parking_lot::RwLock;
 use std::net::Ipv4Addr;
 use std::sync::Arc;
@@ -39,11 +44,31 @@ const DEFAULT_UPDATE_LIMIT: usize = 10_000;
 
 /// Starts the looking-glass server on `addr` over `store`.
 pub fn serve(addr: &str, cfg: ServerConfig, store: SharedStore) -> std::io::Result<HttpServer> {
-    HttpServer::start(addr, cfg, move |req| route(req, &store))
+    serve_with(addr, cfg, store, None)
 }
 
-/// Dispatches one parsed request against the store.
+/// Starts the looking-glass server with collector filter state attached,
+/// enabling `/filters` (reads always see the live epoch — the handle is
+/// the same one the collector's sessions judge against).
+pub fn serve_with(
+    addr: &str,
+    cfg: ServerConfig,
+    store: SharedStore,
+    filters: Option<Arc<FilterHandle>>,
+) -> std::io::Result<HttpServer> {
+    HttpServer::start(addr, cfg, move |req| {
+        route_with(req, &store, filters.as_deref())
+    })
+}
+
+/// Dispatches one parsed request against the store (no filter state).
 pub fn route(req: &Request, store: &SharedStore) -> Response {
+    route_with(req, store, None)
+}
+
+/// Dispatches one parsed request against the store and optional filter
+/// state.
+pub fn route_with(req: &Request, store: &SharedStore, filters: Option<&FilterHandle>) -> Response {
     match req.path.as_str() {
         "/health" => json_ok(QueryEngine::health(&store.read())),
         "/vps" => json_ok(QueryEngine::vps(&store.read())),
@@ -53,7 +78,60 @@ pub fn route(req: &Request, store: &SharedStore) -> Response {
         "/origin" => origin(req, store),
         "/mrt/updates" => mrt_updates(req, store),
         "/mrt/rib" => mrt_rib(req, store),
+        "/filters" => filters_endpoint(req, filters),
         _ => Response::error(404, "unknown endpoint"),
+    }
+}
+
+/// `/filters`: the live filter state. JSON by default; `format=text`
+/// serves the §9 published rule file exactly as
+/// [`CompiledFilters::to_text`](gill_core::CompiledFilters::to_text)
+/// renders it.
+fn filters_endpoint(req: &Request, filters: Option<&FilterHandle>) -> Response {
+    use crate::Json;
+    let Some(handle) = filters else {
+        return Response::error(404, "no filter state attached");
+    };
+    let compiled = handle.snapshot();
+    match req.param("format") {
+        Some("text") => match compiled.to_text() {
+            Ok(text) => Response::text(text),
+            Err(e) => Response::error(400, e),
+        },
+        None | Some("json") => {
+            let granularity = match compiled.granularity() {
+                FilterGranularity::VpPrefix => "vp-prefix",
+                FilterGranularity::VpPrefixPath => "vp-prefix-path",
+                FilterGranularity::VpPrefixPathComms => "vp-prefix-path-comms",
+            };
+            let anchors = compiled
+                .anchors()
+                .iter()
+                .map(|vp| {
+                    Json::str(if vp.router == 0 {
+                        format!("{}", vp.asn.value())
+                    } else {
+                        format!("{}#{}", vp.asn.value(), vp.router)
+                    })
+                })
+                .collect();
+            let meta = compiled.meta();
+            json_ok(Json::obj([
+                ("epoch", Json::U64(compiled.epoch())),
+                ("granularity", Json::str(granularity)),
+                ("rules", Json::U64(compiled.num_rules() as u64)),
+                ("anchors", Json::Arr(anchors)),
+                (
+                    "build",
+                    Json::obj([
+                        ("rules", Json::U64(meta.rules as u64)),
+                        ("anchors", Json::U64(meta.anchors as u64)),
+                        ("build_us", Json::U64(meta.build.as_micros() as u64)),
+                    ]),
+                ),
+            ]))
+        }
+        Some(other) => Response::error(400, &format!("bad format parameter: {other:?}")),
     }
 }
 
@@ -333,6 +411,67 @@ mod tests {
         let dump = TableDump::read_mrt(&resp.body).unwrap();
         let ribs = dump.to_ribs();
         assert_eq!(ribs.len(), 2);
+    }
+
+    #[test]
+    fn filters_endpoint_serves_live_state() {
+        use gill_core::FilterSet;
+        let store = filled_store();
+        let drop =
+            UpdateBuilder::announce(VpId::from_asn(Asn(65002)), "10.9.0.0/16".parse().unwrap())
+                .path([65002, 2])
+                .build();
+        let fs = FilterSet::generate(
+            [VpId::from_asn(Asn(65001)), VpId::new(Asn(65003), 2)],
+            [&drop],
+            FilterGranularity::VpPrefix,
+        );
+        let handle = FilterHandle::new(&fs);
+        let getf = |target: &str| {
+            let (path, query) = target.split_once('?').unwrap_or((target, ""));
+            let params = query
+                .split('&')
+                .filter(|s| !s.is_empty())
+                .map(|p| {
+                    let (k, v) = p.split_once('=').unwrap_or((p, ""));
+                    (k.to_string(), v.to_string())
+                })
+                .collect();
+            let req = Request {
+                method: "GET".to_string(),
+                path: path.to_string(),
+                params,
+            };
+            route_with(&req, &store, Some(&handle))
+        };
+
+        let resp = getf("/filters");
+        assert_eq!(resp.status, 200);
+        let body = String::from_utf8(resp.body).unwrap();
+        assert!(body.contains("\"epoch\":0"), "{body}");
+        assert!(body.contains("\"granularity\":\"vp-prefix\""), "{body}");
+        assert!(body.contains("\"rules\":1"), "{body}");
+        assert!(body.contains("\"65001\""), "{body}");
+        assert!(body.contains("\"65003#2\""), "{body}");
+
+        // format=text serves the §9 file byte-for-byte
+        let resp = getf("/filters?format=text");
+        assert_eq!(resp.status, 200);
+        assert_eq!(String::from_utf8(resp.body).unwrap(), fs.to_text().unwrap());
+
+        // a published refresh is visible on the next request
+        handle.install(&FilterSet::default());
+        let body = String::from_utf8(getf("/filters").body).unwrap();
+        assert!(body.contains("\"epoch\":1"), "{body}");
+        assert!(body.contains("\"rules\":0"), "{body}");
+
+        assert_eq!(getf("/filters?format=xml").status, 400);
+        // without attached state the endpoint reports, not 404-unknown
+        let no_state = get(&store, "/filters");
+        assert_eq!(no_state.status, 404);
+        assert!(String::from_utf8(no_state.body)
+            .unwrap()
+            .contains("no filter state"));
     }
 
     #[test]

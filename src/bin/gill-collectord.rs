@@ -10,8 +10,11 @@
 //! this offline build; use a large value), then drains the queue, writes
 //! the archive, and prints the session counters.
 
-use gill::collector::{DaemonConfig, DaemonPool, MrtStorage, Storage};
+use gill::collector::{
+    DaemonConfig, DaemonPool, MrtStorage, Orchestrator, OrchestratorConfig, Storage,
+};
 use gill::core::FilterSet;
+use std::collections::HashMap;
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Duration;
@@ -48,6 +51,16 @@ fn run() -> Result<(), String> {
     )
     .map_err(|e| e.to_string())?;
     pool.install_filters(filters);
+    // --retrain-interval SECS: attach a live orchestrator that mirrors the
+    // unfiltered stream and publishes a fresh filter epoch periodically
+    // (0 = no retraining; --filters then stays in force unchanged)
+    let retrain: u64 = args.num("retrain-interval", 0)?;
+    if retrain > 0 {
+        let orch = Orchestrator::new(OrchestratorConfig::default(), Vec::new(), HashMap::new());
+        pool.attach_orchestrator(orch, Duration::from_secs(retrain))
+            .map_err(|e| e.to_string())?;
+        eprintln!("orchestrator attached, retraining every {retrain}s");
+    }
     eprintln!(
         "collector AS{local_asn} listening on {} for {duration}s",
         pool.local_addr()
@@ -72,11 +85,14 @@ fn run() -> Result<(), String> {
     let stats = pool.stats();
     let load = |c: &std::sync::atomic::AtomicUsize| c.load(std::sync::atomic::Ordering::Relaxed);
     println!(
-        "received {} | filtered {} | retained {} | lost {}",
+        "received {} | filtered {} | retained {} | lost {} | filter epoch {}",
         load(&stats.received),
         load(&stats.filtered),
         load(&stats.retained),
         load(&stats.lost),
+        stats
+            .filter_epoch
+            .load(std::sync::atomic::Ordering::Relaxed),
     );
     let written = storage.stored();
     storage.into_inner().map_err(|e| e.to_string())?;
@@ -91,7 +107,8 @@ fn main() -> ExitCode {
             eprintln!("error: {e}");
             eprintln!(
                 "usage: gill-collectord [--listen ADDR] [--filters filters.txt] \
-                 [--archive out.mrt] [--duration SECS] [--queue N] [--local-asn N]"
+                 [--retrain-interval SECS] [--archive out.mrt] [--duration SECS] \
+                 [--queue N] [--local-asn N]"
             );
             ExitCode::FAILURE
         }

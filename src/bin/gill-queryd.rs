@@ -10,7 +10,8 @@
 //! ```
 
 use gill::cli::{read_updates_mrt, Args};
-use gill::query::{serve, RouteStore, ServerConfig, StoreConfig};
+use gill::core::{FilterHandle, FilterSet};
+use gill::query::{serve_with, RouteStore, ServerConfig, StoreConfig};
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -41,12 +42,23 @@ fn run() -> Result<(), String> {
         stats.vps, stats.shards, stats.snapshots, stats.live_prefixes
     );
 
+    // --filters FILE: publish a §9 rule file over /filters (JSON + text)
+    let filters = match args.optional("filters") {
+        Some(p) => {
+            let text = std::fs::read_to_string(&p).map_err(|e| e.to_string())?;
+            let fs = FilterSet::from_text(&text)?;
+            println!("publishing {} drop rules from {p}", fs.num_rules());
+            Some(FilterHandle::new(&fs))
+        }
+        None => None,
+    };
+
     let server_cfg = ServerConfig {
         workers: args.num("workers", ServerConfig::default().workers)?,
         ..ServerConfig::default()
     };
     let store = Arc::new(parking_lot::RwLock::new(store));
-    let server = serve(&addr, server_cfg, store).map_err(|e| e.to_string())?;
+    let server = serve_with(&addr, server_cfg, store, filters).map_err(|e| e.to_string())?;
     println!("serving on http://{}", server.local_addr());
     // The server owns its threads; park the main thread until killed.
     loop {
@@ -61,7 +73,8 @@ fn main() -> ExitCode {
             eprintln!("error: {e}");
             eprintln!(
                 "usage: gill-queryd --updates updates.mrt [--addr host:port] \
-                 [--workers n] [--shard-ms ms] [--snapshot-shards n]"
+                 [--filters filters.txt] [--workers n] [--shard-ms ms] \
+                 [--snapshot-shards n]"
             );
             ExitCode::FAILURE
         }

@@ -1,0 +1,254 @@
+//! Live-daemon retrain: a collector with three simulated sessions runs
+//! through a filter refresh mid-stream. No session drops, pre-epoch
+//! updates are judged by the old filters, post-epoch updates by the new,
+//! and the per-epoch `DaemonStats` counters account for every update.
+
+use gill::collector::{
+    handshake_client, handshake_server, run_session_with, sim_pair, CloseReason, DaemonConfig,
+    DaemonPool, DaemonStats, FaultSchedule, MessageStream, Orchestrator, OrchestratorConfig,
+    SessionCtx, VirtualClock,
+};
+use gill::core::{FilterGranularity, FilterHandle, FilterSet};
+use gill::prelude::*;
+use gill::wire::{BgpMessage, Notification, UpdateMessage};
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::Duration;
+
+fn wait_until(cond: impl Fn() -> bool) -> bool {
+    for _ in 0..2000 {
+        if cond() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    false
+}
+
+fn announce(asn: u32, prefix: u32) -> UpdateMessage {
+    UpdateMessage::announce(
+        Prefix::synthetic(prefix),
+        AsPath::from_u32s([asn, 174, 3356]),
+        Ipv4Addr::new(10, 0, 0, 9),
+        vec![],
+    )
+}
+
+/// What `DaemonPool::install_filters` does, for the pool-less sim setup:
+/// reset the epoch's counter slot *before* publishing it.
+fn publish(handle: &Arc<FilterHandle>, stats: &DaemonStats, fs: &FilterSet) -> u64 {
+    let compiled = handle.compile_next(fs);
+    stats.begin_epoch(compiled.epoch());
+    let e = handle.publish(compiled);
+    stats.filter_epoch.store(e, Ordering::Release);
+    e
+}
+
+const PEERS: [u32; 3] = [65001, 65002, 65003];
+
+#[test]
+fn refresh_mid_stream_over_three_sim_sessions() {
+    let clock = VirtualClock::new();
+    let handle = FilterHandle::empty();
+    let stats = Arc::new(DaemonStats::default());
+    let (queue_tx, queue_rx) = crossbeam::channel::bounded(1024);
+    let (mirror_tx, mirror_rx) = crossbeam::channel::bounded(1024);
+    let cfg = DaemonConfig::default();
+    // both phases gate on the main thread: phase 2 starts only after the
+    // new epoch is published mid-stream
+    let phase2 = Barrier::new(PEERS.len() + 1);
+    let done = Barrier::new(PEERS.len() + 1);
+
+    let reasons = std::thread::scope(|s| {
+        let mut servers = Vec::new();
+        for &asn in &PEERS {
+            let (srv_t, cli_t) =
+                sim_pair(&clock, FaultSchedule::default(), FaultSchedule::default());
+            let mut ctx = SessionCtx::new(handle.view(), queue_tx.clone(), stats.clone());
+            ctx.mirror = Some(mirror_tx.clone());
+            ctx.mirror_on = Arc::new(AtomicBool::new(true));
+            let cfg = cfg.clone();
+            servers.push(s.spawn(move || {
+                let mut ms = MessageStream::new(srv_t);
+                let session = handshake_server(&mut ms, &cfg).expect("handshake");
+                run_session_with(&mut ms, session, &ctx).expect("session io")
+            }));
+            let phase2 = &phase2;
+            let done = &done;
+            s.spawn(move || {
+                let mut ms = MessageStream::new(cli_t);
+                handshake_client(&mut ms, asn).expect("client handshake");
+                for p in 0..10 {
+                    ms.write_message(&BgpMessage::Update(announce(asn, p)))
+                        .unwrap();
+                }
+                phase2.wait();
+                for p in 0..10 {
+                    ms.write_message(&BgpMessage::Update(announce(asn, p)))
+                        .unwrap();
+                }
+                done.wait();
+                ms.write_message(&BgpMessage::Notification(Notification::cease()))
+                    .unwrap();
+            });
+        }
+
+        // phase 1 complete: 30 updates all judged by epoch 0 (accept-all)
+        assert!(
+            wait_until(|| stats.retained.load(Ordering::Relaxed) == 30),
+            "phase-1 updates must all be retained"
+        );
+        assert_eq!(stats.received.load(Ordering::Relaxed), 30);
+        assert_eq!(stats.epoch_counts(0), Some((30, 0)));
+
+        // mid-stream refresh: drop (vp, prefix 0) for every peer
+        let rules: Vec<BgpUpdate> = PEERS
+            .iter()
+            .map(|&asn| {
+                UpdateBuilder::announce(VpId::from_asn(Asn(asn)), Prefix::synthetic(0))
+                    .path([asn, 174, 3356])
+                    .build()
+            })
+            .collect();
+        let fs = FilterSet::generate([], rules.iter(), FilterGranularity::VpPrefix);
+        assert_eq!(publish(&handle, &stats, &fs), 1);
+        phase2.wait();
+
+        // phase 2: 30 more updates, 3 of them (prefix 0) judged by epoch 1
+        assert!(
+            wait_until(|| stats.received.load(Ordering::Relaxed) == 60),
+            "phase-2 updates must all arrive"
+        );
+        assert!(wait_until(|| {
+            stats.retained.load(Ordering::Relaxed) + stats.filtered.load(Ordering::Relaxed) == 60
+        }));
+        done.wait();
+        servers
+            .into_iter()
+            .map(|h| h.join().expect("server thread"))
+            .collect::<Vec<_>>()
+    });
+
+    // no session drops: every close was the client's graceful cease
+    assert_eq!(reasons.len(), PEERS.len());
+    for r in &reasons {
+        assert!(
+            matches!(r, CloseReason::NotificationReceived { code: 6, .. }),
+            "session must close gracefully, got {r:?}"
+        );
+    }
+    assert_eq!(stats.hold_expirations.load(Ordering::Relaxed), 0);
+
+    // attribution: epoch 0 judged exactly the 30 pre-refresh updates,
+    // epoch 1 the 30 post-refresh ones (27 accepted, 3 dropped)
+    assert_eq!(stats.epoch_counts(0), Some((30, 0)));
+    assert_eq!(stats.epoch_counts(1), Some((27, 3)));
+    assert_eq!(stats.filtered.load(Ordering::Relaxed), 3);
+    assert_eq!(stats.retained.load(Ordering::Relaxed), 57);
+    // every received update is accounted to exactly one epoch
+    let (a0, d0) = stats.epoch_counts(0).unwrap();
+    let (a1, d1) = stats.epoch_counts(1).unwrap();
+    assert_eq!(
+        (a0 + d0 + a1 + d1) as usize,
+        stats.received.load(Ordering::Relaxed)
+    );
+
+    // the unfiltered stream reached the mirror; a real orchestrator can
+    // train on it and publish the next epoch
+    assert_eq!(stats.mirror_fed.load(Ordering::Relaxed), 60);
+    assert_eq!(stats.mirror_dropped.load(Ordering::Relaxed), 0);
+    let mut orch = Orchestrator::new(
+        OrchestratorConfig::default(),
+        PEERS.iter().map(|&a| VpId::from_asn(Asn(a))).collect(),
+        HashMap::new(),
+    );
+    orch.observe(mirror_rx.try_iter().map(|u: BgpUpdate| u));
+    assert_eq!(orch.mirror_len(), 60);
+    orch.force_refresh(Timestamp::from_secs(60), true);
+    assert_eq!(publish(&handle, &stats, orch.filters()), 2);
+    assert_eq!(handle.epoch(), 2);
+
+    drop(queue_tx);
+    assert_eq!(queue_rx.try_iter().count(), 57);
+}
+
+#[test]
+fn attached_orchestrator_retrains_live_tcp_pool() {
+    let mut pool = DaemonPool::start("127.0.0.1:0", DaemonConfig::default()).unwrap();
+    let orch = Orchestrator::new(
+        OrchestratorConfig::default(),
+        PEERS.iter().map(|&a| VpId::from_asn(Asn(a))).collect(),
+        HashMap::new(),
+    );
+    pool.attach_orchestrator(orch, Duration::from_millis(200))
+        .unwrap();
+    // attaching twice is an error, not a second driver
+    let orch2 = Orchestrator::new(OrchestratorConfig::default(), Vec::new(), HashMap::new());
+    assert!(pool
+        .attach_orchestrator(orch2, Duration::from_millis(200))
+        .is_err());
+    let addr = pool.local_addr();
+    let stats = pool.stats();
+    let phase2 = Barrier::new(PEERS.len() + 1);
+    let opened = AtomicUsize::new(0);
+
+    std::thread::scope(|s| {
+        for &asn in &PEERS {
+            let phase2 = &phase2;
+            let opened = &opened;
+            s.spawn(move || {
+                let stream = std::net::TcpStream::connect(addr).unwrap();
+                let mut ms = MessageStream::new(stream);
+                handshake_client(&mut ms, asn).unwrap();
+                opened.fetch_add(1, Ordering::Relaxed);
+                for p in 0..20 {
+                    ms.write_message(&BgpMessage::Update(announce(asn, p)))
+                        .unwrap();
+                }
+                // hold the session open across the background retrain
+                phase2.wait();
+                for p in 0..5 {
+                    ms.write_message(&BgpMessage::Update(announce(asn, p)))
+                        .unwrap();
+                }
+                ms.write_message(&BgpMessage::Notification(Notification::cease()))
+                    .unwrap();
+            });
+        }
+        // the driver drains the mirror and publishes a new epoch without
+        // touching the live sessions
+        assert!(
+            wait_until(|| stats.filter_epoch.load(Ordering::Acquire) >= 1),
+            "background refresh must publish a new epoch"
+        );
+        assert_eq!(opened.load(Ordering::Relaxed), PEERS.len());
+        assert_eq!(stats.sessions_closed.load(Ordering::Relaxed), 0);
+        phase2.wait();
+    });
+
+    assert!(wait_until(|| {
+        stats.sessions_closed.load(Ordering::Relaxed) == PEERS.len()
+    }));
+    pool.stop();
+
+    let stats = pool.stats();
+    let received = stats.received.load(Ordering::Relaxed);
+    assert_eq!(received, PEERS.len() * 25);
+    assert_eq!(stats.sessions_opened.load(Ordering::Relaxed), PEERS.len());
+    assert_eq!(stats.handshake_failures.load(Ordering::Relaxed), 0);
+    assert_eq!(stats.hold_expirations.load(Ordering::Relaxed), 0);
+    // every update is attributed to exactly one published epoch
+    let last = stats.filter_epoch.load(Ordering::Acquire);
+    assert!(last >= 1);
+    let mut attributed = 0u64;
+    for e in 0..=last {
+        if let Some((a, d)) = stats.epoch_counts(e) {
+            attributed += a + d;
+        }
+    }
+    assert_eq!(attributed as usize, received);
+    // the mirror saw the unfiltered stream
+    assert_eq!(stats.mirror_fed.load(Ordering::Relaxed), received);
+}
