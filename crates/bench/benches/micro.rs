@@ -191,6 +191,51 @@ fn bench_query_store(c: &mut Criterion) {
     });
 }
 
+fn bench_stream_broker(c: &mut Criterion) {
+    use gill_stream::{BrokerConfig, Delivery, Frame, SlowPolicy, StreamBroker, StreamFilter};
+    let u = UpdateBuilder::announce(VpId::from_asn(Asn(65001)), Prefix::synthetic(7))
+        .at(Timestamp::from_secs(1))
+        .path([65001, 2, 3, 4, 5])
+        .community(65001, 100)
+        .community(2, 200)
+        .build();
+    // frame encode is the whole publish-path cost: both wire renderings
+    c.bench_function("stream/encode_frame", |b| {
+        b.iter(|| Frame::update(black_box(7), black_box(&u)))
+    });
+    let frame = Frame::update(7, &u);
+    let wire = frame.encode_binary();
+    c.bench_function("stream/decode_binary_frame", |b| {
+        b.iter(|| Frame::decode_binary(black_box(&wire)).unwrap().unwrap())
+    });
+    c.bench_function("stream/parse_json_frame", |b| {
+        b.iter(|| Frame::from_json(black_box(frame.json())).unwrap())
+    });
+    // publish + same-thread drain through an attached subscription: the
+    // broker hot path minus thread handoff
+    c.bench_function("stream/publish_and_poll", |b| {
+        let broker = StreamBroker::new(BrokerConfig {
+            ring_capacity: 1024,
+            max_subscribers: 4,
+        });
+        let mut sub = broker
+            .subscribe(StreamFilter::any(), SlowPolicy::SkipWithGapMarker)
+            .unwrap();
+        b.iter(|| {
+            broker.publish(black_box(&u)).unwrap();
+            match sub.poll_next() {
+                Delivery::Frame(f) => f.seq,
+                other => panic!("expected frame, got {other:?}"),
+            }
+        })
+    });
+    // the zero-subscriber shed path must stay at atomic-load cost
+    c.bench_function("stream/publish_shed_no_subscribers", |b| {
+        let broker = StreamBroker::new(BrokerConfig::default());
+        b.iter(|| broker.publish(black_box(&u)))
+    });
+}
+
 fn bench_stream_synthesis(c: &mut Criterion) {
     let topo = TopologyBuilder::artificial(200, 42).build();
     let vps = topo.pick_vps(0.3, 7);
@@ -205,6 +250,6 @@ fn bench_stream_synthesis(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_wire_codec, bench_filters, bench_routing, bench_gill_core, bench_redundancy, bench_query_store, bench_stream_synthesis
+    targets = bench_wire_codec, bench_filters, bench_routing, bench_gill_core, bench_redundancy, bench_query_store, bench_stream_broker, bench_stream_synthesis
 }
 criterion_main!(benches);

@@ -1,0 +1,230 @@
+//! Streaming-broker benchmark: fan-out scaling of the publish path and
+//! end-to-end delivery latency. Writes `BENCH_stream.json`.
+//!
+//! The tentpole claim measured here: because frames are encoded once at
+//! publish and the wake path is gated on a waiter count, the *publish
+//! path* does O(1) work in the number of subscribers — its cost moves by
+//! at most 10% going from 1 to 256 attached subscribers.
+//!
+//! Two phases per subscriber count, so the measurement survives
+//! single-core CI boxes where concurrent drain would bill subscriber CPU
+//! to the publisher through the scheduler:
+//!
+//! 1. **publish**: N subscriptions attached (the broker sees them and
+//!    pays its per-publish accounting) but held at a barrier; the
+//!    publisher replays the whole 50k-update stream flat-out into a ring
+//!    sized to hold it. This times exactly the publish path.
+//! 2. **drain**: the barrier drops and every subscriber consumes every
+//!    frame; aggregate frames/sec is the fan-out throughput.
+//!
+//! Delivery latency is measured separately with a *paced* publisher
+//! (1 ms/frame) racing live subscribers, reporting publish→deliver
+//! p50/p99 as seen by one designated subscriber.
+//!
+//! Usage: `bench_stream [n_updates] [runs]` (defaults: 50000, 3).
+
+use gill_stream::{BrokerConfig, Delivery, SlowPolicy, StreamBroker, StreamFilter};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+fn peak_rss_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    status
+        .lines()
+        .find_map(|line| line.strip_prefix("VmHWM:"))
+        .and_then(|rest| rest.trim().trim_end_matches("kB").trim().parse().ok())
+}
+
+struct Row {
+    subscribers: usize,
+    publish_secs: f64,
+    publish_frames_per_sec: f64,
+    drain_secs: f64,
+    fanout_frames_per_sec: f64,
+    p50_us: f64,
+    p99_us: f64,
+}
+
+/// Phase 1 + 2: timed flat-out publish with `n_subs` attached-but-gated
+/// subscriptions, then a timed full drain. Best publish time over `runs`.
+fn run_fanout(updates: &[bgp_types::BgpUpdate], n_subs: usize, runs: usize) -> (f64, f64) {
+    let n = updates.len();
+    let mut best_publish = f64::INFINITY;
+    let mut best_drain = f64::INFINITY;
+    for _ in 0..runs.max(1) {
+        // capacity > stream length: the drain phase replays everything
+        let broker = StreamBroker::new(BrokerConfig {
+            ring_capacity: (n + 2).next_power_of_two(),
+            max_subscribers: n_subs,
+        });
+        let gate = Arc::new(Barrier::new(n_subs + 1));
+        let handles: Vec<_> = (0..n_subs)
+            .map(|_| {
+                let mut sub = broker
+                    .subscribe(StreamFilter::any(), SlowPolicy::SkipWithGapMarker)
+                    .expect("under cap");
+                let gate = gate.clone();
+                std::thread::spawn(move || {
+                    gate.wait();
+                    let mut count = 0u64;
+                    loop {
+                        match sub.poll_next() {
+                            Delivery::Frame(_) => count += 1,
+                            Delivery::Gap(_) => panic!("ring sized to never gap"),
+                            Delivery::Overrun { .. } => panic!("skip policy"),
+                            Delivery::Pending => std::thread::yield_now(),
+                            Delivery::Closed => break,
+                        }
+                    }
+                    count
+                })
+            })
+            .collect();
+
+        let t0 = Instant::now();
+        for u in updates {
+            broker.publish(u).expect("subscribers attached");
+        }
+        let publish_secs = t0.elapsed().as_secs_f64();
+        broker.close();
+
+        gate.wait();
+        let t1 = Instant::now();
+        let delivered: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        let drain_secs = t1.elapsed().as_secs_f64();
+        assert_eq!(
+            delivered,
+            ((n + 1) * n_subs) as u64,
+            "every subscriber sees every frame + eos"
+        );
+        best_publish = best_publish.min(publish_secs);
+        best_drain = best_drain.min(drain_secs);
+    }
+    (best_publish, best_drain)
+}
+
+/// Paced concurrent run: publish→deliver latency under live fan-out.
+fn run_latency(updates: &[bgp_types::BgpUpdate], n_subs: usize) -> (f64, f64) {
+    let n = updates.len();
+    let broker = StreamBroker::new(BrokerConfig {
+        ring_capacity: (n + 2).next_power_of_two(),
+        max_subscribers: n_subs,
+    });
+    let handles: Vec<_> = (0..n_subs)
+        .map(|si| {
+            let mut sub = broker
+                .subscribe(StreamFilter::any(), SlowPolicy::SkipWithGapMarker)
+                .expect("under cap");
+            std::thread::spawn(move || {
+                // subscriber 0 stamps receives; the rest only count
+                let mut stamps: Vec<(u64, Instant)> = Vec::new();
+                loop {
+                    match sub.next_timeout(Duration::from_millis(50)) {
+                        Delivery::Frame(f) => {
+                            if si == 0 {
+                                stamps.push((f.seq, Instant::now()));
+                            }
+                        }
+                        Delivery::Gap(_) => panic!("ring sized to never gap"),
+                        Delivery::Overrun { .. } => panic!("skip policy"),
+                        Delivery::Pending => continue,
+                        Delivery::Closed => break,
+                    }
+                }
+                stamps
+            })
+        })
+        .collect();
+    let mut sent = Vec::with_capacity(n);
+    for u in updates {
+        // stamp *before* publish: the woken subscribers may run (and stamp
+        // their receive time) before the publisher is scheduled again
+        sent.push(Instant::now());
+        broker.publish(u).expect("subscribers attached");
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    broker.close();
+    let mut lat: Vec<Duration> = Vec::new();
+    for h in handles {
+        for (seq, recv) in h.join().expect("subscriber thread") {
+            // the final eos frame has no send stamp
+            if let Some(&s) = sent.get(seq as usize) {
+                lat.push(recv.duration_since(s));
+            }
+        }
+    }
+    lat.sort();
+    let pct = |p: f64| -> f64 {
+        if lat.is_empty() {
+            return 0.0;
+        }
+        let idx = ((lat.len() - 1) as f64 * p) as usize;
+        lat[idx].as_secs_f64() * 1e6
+    };
+    (pct(0.50), pct(0.99))
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let n: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(50_000);
+    let runs: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(3);
+
+    eprintln!("synthesizing {n}-update replay stream ...");
+    let updates = bench::synth_query_stream(n, 8, 400, 4 * 3_600_000, 7);
+    let lat_updates = &updates[..updates.len().min(500)];
+
+    let mut rows = Vec::new();
+    for &subs in &[1usize, 16, 256] {
+        eprintln!("fan-out to {subs} subscriber(s), {runs} runs ...");
+        let (publish_secs, drain_secs) = run_fanout(&updates, subs, runs);
+        eprintln!("paced latency run, {subs} subscriber(s) ...");
+        let (p50_us, p99_us) = run_latency(lat_updates, subs);
+        rows.push(Row {
+            subscribers: subs,
+            publish_secs,
+            publish_frames_per_sec: n as f64 / publish_secs,
+            drain_secs,
+            fanout_frames_per_sec: ((n + 1) * subs) as f64 / drain_secs,
+            p50_us,
+            p99_us,
+        });
+    }
+
+    let base = rows[0].publish_secs;
+    let worst = rows
+        .iter()
+        .map(|r| r.publish_secs)
+        .fold(f64::NEG_INFINITY, f64::max);
+    let slowdown_pct = (worst / base - 1.0) * 100.0;
+    assert!(
+        slowdown_pct <= 10.0,
+        "publish path slowed {slowdown_pct:.1}% from 1 to 256 subscribers (bar: 10%)"
+    );
+
+    let row_json: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{ \"subscribers\": {}, \"publish_secs\": {:.4}, \"publish_frames_per_sec\": {:.1}, \"drain_secs\": {:.4}, \"fanout_frames_per_sec\": {:.1}, \"latency_us\": {{ \"p50\": {:.1}, \"p99\": {:.1} }} }}",
+                r.subscribers,
+                r.publish_secs,
+                r.publish_frames_per_sec,
+                r.drain_secs,
+                r.fanout_frames_per_sec,
+                r.p50_us,
+                r.p99_us
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"n_updates\": {n},\n  \"runs\": {runs},\n  \"latency_run_updates\": {},\n  \"fanout\": [\n{}\n  ],\n  \"publish_slowdown_1_to_256_pct\": {slowdown_pct:.2},\n  \"peak_rss_kb\": {}\n}}\n",
+        lat_updates.len(),
+        row_json.join(",\n"),
+        peak_rss_kb()
+            .map(|kb| kb.to_string())
+            .unwrap_or_else(|| "null".into()),
+    );
+    std::fs::write("BENCH_stream.json", &json).expect("write BENCH_stream.json");
+    print!("{json}");
+    eprintln!("wrote BENCH_stream.json");
+}

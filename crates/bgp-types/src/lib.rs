@@ -24,6 +24,9 @@ pub mod trie;
 pub mod update;
 pub mod vp;
 
+#[cfg(feature = "testgen")]
+pub mod testgen;
+
 pub use asn::Asn;
 pub use community::Community;
 pub use link::Link;

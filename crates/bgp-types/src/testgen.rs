@@ -1,0 +1,50 @@
+//! Shared proptest strategies (behind the `testgen` feature).
+//!
+//! Every suite that property-tests a codec over updates — the BGP wire
+//! roundtrips, the stream frame codec — should draw from the *same*
+//! distribution, so a generator fix or widening benefits all of them at
+//! once. Keep strategies here instead of copying them between test files.
+
+use crate::{Asn, BgpUpdate, Prefix, Timestamp, UpdateBuilder, VpId};
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+
+/// An arbitrary IPv4 prefix (any bits, len 0..=32; the constructor masks
+/// host bits).
+pub fn arb_prefix_v4() -> impl Strategy<Value = Prefix> {
+    (any::<u32>(), 0u8..=32).prop_map(|(bits, len)| Prefix::v4(Ipv4Addr::from(bits), len))
+}
+
+/// An arbitrary vantage point (ASN 1..100k, router id 0..4 so multi-router
+/// VPs occur).
+pub fn arb_vp() -> impl Strategy<Value = VpId> {
+    (1u32..100_000, 0u16..4).prop_map(|(asn, router)| VpId::new(Asn(asn), router))
+}
+
+/// An arbitrary update: announcements carry a 1..8-hop path and up to 6
+/// communities; withdrawals carry neither (matching the wire format).
+pub fn arb_update() -> impl Strategy<Value = BgpUpdate> {
+    (
+        arb_vp(),
+        0u64..10_000, // time secs
+        arb_prefix_v4(),
+        proptest::collection::vec(1u32..1_000_000, 1..8), // path
+        proptest::collection::vec((0u16..60_000, 0u16..1_000), 0..6),
+        any::<bool>(), // announce?
+    )
+        .prop_map(|(vp, t, prefix, path, comms, announce)| {
+            if announce {
+                let mut b = UpdateBuilder::announce(vp, prefix)
+                    .at(Timestamp::from_secs(t))
+                    .path(path);
+                for (a, c) in comms {
+                    b = b.community(a, c);
+                }
+                b.build()
+            } else {
+                UpdateBuilder::withdraw(vp, prefix)
+                    .at(Timestamp::from_secs(t))
+                    .build()
+            }
+        })
+}

@@ -67,6 +67,22 @@ impl Default for DaemonConfig {
     }
 }
 
+/// A live-stream tee the collector publishes accepted updates into.
+///
+/// Defined here (not in the streaming crate) so the dependency chain stays
+/// linear: `gill-stream` implements this for its broker and hands the
+/// collector an `Arc<dyn UpdateSink>`; the collector never depends on the
+/// streaming layer. Implementations must never block — the paper's
+/// collection hot path is sacred, distribution sheds instead.
+pub trait UpdateSink: Send + Sync {
+    /// Offers one post-filter accepted update. Returns `true` if it was
+    /// published, `false` if the sink shed it (e.g. no subscribers).
+    fn offer(&self, update: &BgpUpdate) -> bool;
+
+    /// Number of consumers currently attached downstream.
+    fn subscribers(&self) -> usize;
+}
+
 impl DaemonConfig {
     /// The session-layer view of this configuration.
     pub fn session_config(&self) -> crate::fsm::SessionConfig {
@@ -119,6 +135,12 @@ pub struct DaemonStats {
     /// Updates the mirror channel shed because it was full (sessions
     /// never block on the mirror).
     pub mirror_dropped: AtomicUsize,
+    /// Accepted updates published into the live-stream sink.
+    pub stream_published: AtomicUsize,
+    /// Accepted updates the stream sink shed (e.g. zero subscribers).
+    pub stream_shed: AtomicUsize,
+    /// Gauge: stream subscribers attached at the last publish attempt.
+    pub stream_subscribers: AtomicUsize,
     /// Per-epoch verdict counters, a ring of the last
     /// [`EPOCH_SLOTS`] epochs.
     epochs: [EpochCounter; EPOCH_SLOTS],
@@ -425,6 +447,9 @@ pub struct SessionCtx {
     /// Whether an orchestrator is actually draining the mirror; when
     /// false the tee is skipped entirely (one relaxed load per update).
     pub mirror_on: Arc<AtomicBool>,
+    /// Live-stream tee, fed *after* filter-accept (subscribers see exactly
+    /// what the archive retains, minus queue overflow losses).
+    pub sink: Option<Arc<dyn UpdateSink>>,
 }
 
 impl SessionCtx {
@@ -443,7 +468,14 @@ impl SessionCtx {
             forwarder: None,
             mirror: None,
             mirror_on: Arc::new(AtomicBool::new(false)),
+            sink: None,
         }
+    }
+
+    /// Attaches a live-stream sink (builder style).
+    pub fn with_sink(mut self, sink: Arc<dyn UpdateSink>) -> SessionCtx {
+        self.sink = Some(sink);
+        self
     }
 
     /// Runs one received UPDATE through the mirror tee, validation,
@@ -493,6 +525,19 @@ impl SessionCtx {
             if !keep {
                 self.stats.filtered.fetch_add(1, Ordering::Relaxed);
                 continue;
+            }
+            // live-stream tee: strictly post-filter, never blocking — the
+            // sink sheds (and says so) rather than slow a session
+            if let Some(sink) = &self.sink {
+                let c = if sink.offer(&domain) {
+                    &self.stats.stream_published
+                } else {
+                    &self.stats.stream_shed
+                };
+                c.fetch_add(1, Ordering::Relaxed);
+                self.stats
+                    .stream_subscribers
+                    .store(sink.subscribers(), Ordering::Relaxed);
             }
             match self.queue.try_send(StoredUpdate { update: domain }) {
                 Ok(()) => {
@@ -582,6 +627,18 @@ impl DaemonPool {
     /// Binds to `addr` (use port 0 for an ephemeral port) and starts
     /// accepting peers.
     pub fn start(addr: &str, cfg: DaemonConfig) -> io::Result<DaemonPool> {
+        DaemonPool::start_with_sink(addr, cfg, None)
+    }
+
+    /// Like [`DaemonPool::start`] with a live-stream tee: every session
+    /// offers its post-filter accepted updates to `sink` (the sink must be
+    /// wired before accepting, since sessions clone their pipeline at
+    /// start).
+    pub fn start_with_sink(
+        addr: &str,
+        cfg: DaemonConfig,
+        sink: Option<Arc<dyn UpdateSink>>,
+    ) -> io::Result<DaemonPool> {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
@@ -608,6 +665,7 @@ impl DaemonPool {
                 forwarder: Some(forwarder.clone()),
                 mirror: Some(mirror_tx),
                 mirror_on: mirror_on.clone(),
+                sink,
             };
             let stop = stop.clone();
             let cfg = cfg.clone();

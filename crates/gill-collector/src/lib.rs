@@ -36,7 +36,7 @@ pub mod validator;
 
 pub use daemon::{
     handshake_client, handshake_server, run_session_with, DaemonConfig, DaemonPool, DaemonStats,
-    EstablishedSession, MessageStream, SessionCtx, EPOCH_SLOTS,
+    EstablishedSession, MessageStream, SessionCtx, UpdateSink, EPOCH_SLOTS,
 };
 pub use forwarding::{ForwardRule, Forwarder, Subscription};
 pub use fsm::{CloseReason, SessionConfig, SessionEvent, SessionFsm, SessionRole, SessionState};

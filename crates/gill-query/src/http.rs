@@ -3,17 +3,27 @@
 //! No async runtime exists in the offline dependency set, so the serving
 //! layer is a classic bounded thread pool over `std::net::TcpListener`:
 //! the acceptor pushes connections into a bounded crossbeam channel and a
-//! fixed set of workers parse one request each (GET only, headers ignored
-//! beyond framing) under a per-connection read deadline, so a stalled
-//! client can never pin a worker. Connections are `Connection: close` —
-//! looking-glass queries are one-shot, and closing keeps the parser to a
-//! single request per socket.
+//! fixed set of workers parse requests (GET only) under a per-connection
+//! read deadline, so a stalled client can never pin a worker forever.
+//!
+//! Connections are **keep-alive**: a worker serves up to
+//! [`ServerConfig::max_requests_per_conn`] sequential requests per socket
+//! (pipelined requests are handled — bytes read past one request's head
+//! carry over to the next parse) before answering `Connection: close`.
+//! Clients that go idle between requests are closed silently at the read
+//! deadline; clients that stall **mid-request** still get `408`.
+//!
+//! Handlers that need the raw socket — the `/stream/*` endpoints — return
+//! [`Handled::Takeover`]: the connection leaves the worker pool onto a
+//! dedicated streamer thread (long-lived streams must not occupy the
+//! bounded pool). Takeover closures receive the server's stop flag and
+//! must poll it; [`HttpServer::stop`] joins streamer threads too.
 
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 /// Server tuning knobs.
@@ -30,6 +40,10 @@ pub struct ServerConfig {
     pub write_timeout: Duration,
     /// Maximum request head (request line + headers) size in bytes.
     pub max_head_bytes: usize,
+    /// Requests served on one keep-alive connection before the server
+    /// forces `Connection: close` (bounds how long one client can hold a
+    /// pool worker).
+    pub max_requests_per_conn: usize,
 }
 
 impl Default for ServerConfig {
@@ -40,11 +54,12 @@ impl Default for ServerConfig {
             read_timeout: Duration::from_secs(5),
             write_timeout: Duration::from_secs(5),
             max_head_bytes: 8 * 1024,
+            max_requests_per_conn: 32,
         }
     }
 }
 
-/// A parsed request: method, path, and decoded query parameters.
+/// A parsed request: method, path, headers, and decoded query parameters.
 #[derive(Clone, Debug)]
 pub struct Request {
     /// The HTTP method (`GET` for every supported endpoint).
@@ -53,6 +68,8 @@ pub struct Request {
     pub path: String,
     /// Query parameters in order of appearance, percent-decoded.
     pub params: Vec<(String, String)>,
+    /// Headers in order of appearance; names lowercased, values trimmed.
+    pub headers: Vec<(String, String)>,
 }
 
 impl Request {
@@ -61,6 +78,15 @@ impl Request {
         self.params
             .iter()
             .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// First value of a header (`name` is matched case-insensitively).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == name)
             .map(|(_, v)| v.as_str())
     }
 }
@@ -116,6 +142,19 @@ impl Response {
     }
 }
 
+/// What a raw handler did with a request.
+pub enum Handled {
+    /// An ordinary response; the worker writes it and (keep-alive
+    /// permitting) parses the next request.
+    Response(Response),
+    /// The handler takes the socket: the closure runs on a **dedicated
+    /// streamer thread** outside the bounded worker pool, receives the
+    /// stream plus the server's stop flag, and must poll the flag so
+    /// [`HttpServer::stop`] can join it. It writes its own response bytes
+    /// (status line, headers, body) from scratch.
+    Takeover(Box<dyn FnOnce(TcpStream, Arc<AtomicBool>) + Send>),
+}
+
 fn status_text(code: u16) -> &'static str {
     match code {
         200 => "OK",
@@ -140,14 +179,17 @@ pub struct ServerStats {
     pub refused: AtomicUsize,
     /// Connections dropped on read timeout / parse failure.
     pub bad_requests: AtomicUsize,
+    /// Connections handed off to streamer threads.
+    pub takeovers: AtomicUsize,
 }
 
-/// The running server: owns the acceptor and worker threads.
+/// The running server: owns the acceptor, worker, and streamer threads.
 pub struct HttpServer {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
     stats: Arc<ServerStats>,
     threads: Vec<std::thread::JoinHandle<()>>,
+    streamers: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
 }
 
 impl HttpServer {
@@ -158,12 +200,23 @@ impl HttpServer {
     where
         H: Fn(&Request) -> Response + Send + Sync + 'static,
     {
+        HttpServer::start_with(addr, cfg, move |req| Handled::Response(handler(req)))
+    }
+
+    /// Like [`HttpServer::start`] but the handler may also claim the raw
+    /// socket with [`Handled::Takeover`] (streaming endpoints).
+    pub fn start_with<H>(addr: &str, cfg: ServerConfig, handler: H) -> std::io::Result<HttpServer>
+    where
+        H: Fn(&Request) -> Handled + Send + Sync + 'static,
+    {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         listener.set_nonblocking(true)?;
         let stop = Arc::new(AtomicBool::new(false));
         let stats = Arc::new(ServerStats::default());
         let handler = Arc::new(handler);
+        let streamers: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>> =
+            Arc::new(Mutex::new(Vec::new()));
         let (tx, rx): (Sender<TcpStream>, Receiver<TcpStream>) = bounded(cfg.backlog);
 
         let mut threads = Vec::new();
@@ -173,9 +226,12 @@ impl HttpServer {
             let stats = stats.clone();
             let handler = handler.clone();
             let cfg = cfg.clone();
+            let streamers = streamers.clone();
             threads.push(std::thread::spawn(move || loop {
                 match rx.recv_timeout(Duration::from_millis(50)) {
-                    Ok(stream) => serve_connection(stream, &cfg, &*handler, &stats),
+                    Ok(stream) => {
+                        serve_connection(stream, &cfg, &*handler, &stats, &streamers, &stop)
+                    }
                     Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
                         if stop.load(Ordering::Relaxed) {
                             return;
@@ -220,6 +276,7 @@ impl HttpServer {
             stop,
             stats,
             threads,
+            streamers,
         })
     }
 
@@ -233,10 +290,19 @@ impl HttpServer {
         &self.stats
     }
 
-    /// Stops accepting, drains workers, joins all threads.
+    /// Stops accepting, drains workers, joins all threads (streamers
+    /// included — takeover closures observe the stop flag and exit).
     pub fn stop(&mut self) {
         self.stop.store(true, Ordering::Relaxed);
         for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+        let handles: Vec<_> = self
+            .streamers
+            .lock()
+            .map(|mut v| v.drain(..).collect())
+            .unwrap_or_default();
+        for t in handles {
             let _ = t.join();
         }
     }
@@ -251,69 +317,147 @@ impl Drop for HttpServer {
 fn serve_connection(
     mut stream: TcpStream,
     cfg: &ServerConfig,
-    handler: &(dyn Fn(&Request) -> Response + Send + Sync),
+    handler: &(dyn Fn(&Request) -> Handled + Send + Sync),
     stats: &ServerStats,
+    streamers: &Mutex<Vec<std::thread::JoinHandle<()>>>,
+    stop: &Arc<AtomicBool>,
 ) {
     stream.set_read_timeout(Some(cfg.read_timeout)).ok();
     stream.set_write_timeout(Some(cfg.write_timeout)).ok();
-    let response = match read_head(&mut stream, cfg.max_head_bytes) {
-        Ok(head) => match parse_request(&head) {
-            Some(req) if req.method == "GET" => handler(&req),
-            Some(_) => Response::error(405, "only GET is supported"),
+    let mut buf: Vec<u8> = Vec::with_capacity(512);
+    let mut served_here = 0usize;
+    loop {
+        let head = match next_head(&mut stream, &mut buf, cfg.max_head_bytes) {
+            Ok(head) => head,
+            Err(HeadError::Closed) => return, // clean EOF between requests
+            Err(HeadError::TooLarge) => {
+                stats.bad_requests.fetch_add(1, Ordering::Relaxed);
+                finish(
+                    &mut stream,
+                    Response::error(413, "request head too large"),
+                    stats,
+                );
+                return;
+            }
+            Err(HeadError::TimedOut) => {
+                if served_here > 0 && buf.is_empty() {
+                    // idle keep-alive connection: close silently
+                    let _ = stream.shutdown(std::net::Shutdown::Both);
+                    return;
+                }
+                stats.bad_requests.fetch_add(1, Ordering::Relaxed);
+                finish(
+                    &mut stream,
+                    Response::error(408, "read deadline exceeded"),
+                    stats,
+                );
+                return;
+            }
+            Err(HeadError::Io) => {
+                stats.bad_requests.fetch_add(1, Ordering::Relaxed);
+                return; // peer vanished; nothing to write to
+            }
+        };
+        let req = match parse_request(&head) {
+            Some(req) if req.method == "GET" => req,
+            Some(_) => {
+                finish(
+                    &mut stream,
+                    Response::error(405, "only GET is supported"),
+                    stats,
+                );
+                return;
+            }
             None => {
                 stats.bad_requests.fetch_add(1, Ordering::Relaxed);
-                Response::error(400, "malformed request")
+                finish(
+                    &mut stream,
+                    Response::error(400, "malformed request"),
+                    stats,
+                );
+                return;
             }
-        },
-        Err(HeadError::TooLarge) => {
-            stats.bad_requests.fetch_add(1, Ordering::Relaxed);
-            Response::error(413, "request head too large")
+        };
+        served_here += 1;
+        let keep_alive = served_here < cfg.max_requests_per_conn
+            && !req
+                .header("connection")
+                .is_some_and(|v| v.eq_ignore_ascii_case("close"));
+        match handler(&req) {
+            Handled::Response(response) => {
+                let ok = write_response(&mut stream, &response, keep_alive);
+                stats.served.fetch_add(1, Ordering::Relaxed);
+                if !ok || !keep_alive {
+                    let _ = stream.shutdown(std::net::Shutdown::Both);
+                    return;
+                }
+            }
+            Handled::Takeover(run) => {
+                stats.served.fetch_add(1, Ordering::Relaxed);
+                stats.takeovers.fetch_add(1, Ordering::Relaxed);
+                let stop = stop.clone();
+                let handle = std::thread::spawn(move || run(stream, stop));
+                if let Ok(mut v) = streamers.lock() {
+                    v.push(handle);
+                }
+                return;
+            }
         }
-        Err(HeadError::TimedOut) => {
-            stats.bad_requests.fetch_add(1, Ordering::Relaxed);
-            Response::error(408, "read deadline exceeded")
-        }
-        Err(HeadError::Io) => {
-            stats.bad_requests.fetch_add(1, Ordering::Relaxed);
-            return; // peer vanished; nothing to write to
-        }
-    };
+    }
+}
+
+fn finish(stream: &mut TcpStream, response: Response, stats: &ServerStats) {
+    let _ = write_response(stream, &response, false);
+    stats.served.fetch_add(1, Ordering::Relaxed);
+    let _ = stream.shutdown(std::net::Shutdown::Both);
+}
+
+fn write_response(stream: &mut TcpStream, response: &Response, keep_alive: bool) -> bool {
     let header = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
         response.status,
         status_text(response.status),
         response.content_type,
-        response.body.len()
+        response.body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
     );
-    let _ = stream
+    stream
         .write_all(header.as_bytes())
-        .and_then(|_| stream.write_all(&response.body));
-    stats.served.fetch_add(1, Ordering::Relaxed);
-    let _ = stream.shutdown(std::net::Shutdown::Both);
+        .and_then(|_| stream.write_all(&response.body))
+        .is_ok()
 }
 
 enum HeadError {
     TooLarge,
     TimedOut,
     Io,
+    /// Clean EOF with no buffered bytes (keep-alive peer went away).
+    Closed,
 }
 
-/// Reads until the `\r\n\r\n` head terminator (bounded).
-fn read_head(stream: &mut TcpStream, max: usize) -> Result<Vec<u8>, HeadError> {
-    let mut head = Vec::with_capacity(512);
+/// Extracts the next request head (through `\r\n\r\n`) from `buf`,
+/// reading more from `stream` as needed. Bytes past the terminator —
+/// pipelined requests — stay in `buf` for the next call.
+fn next_head(stream: &mut TcpStream, buf: &mut Vec<u8>, max: usize) -> Result<Vec<u8>, HeadError> {
     let mut chunk = [0u8; 1024];
     loop {
+        if let Some(pos) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+            let rest = buf.split_off(pos + 4);
+            let head = std::mem::replace(buf, rest);
+            return Ok(head);
+        }
+        if buf.len() > max {
+            return Err(HeadError::TooLarge);
+        }
         match stream.read(&mut chunk) {
-            Ok(0) => return Err(HeadError::Io),
-            Ok(n) => {
-                head.extend_from_slice(&chunk[..n]);
-                if head.len() > max {
-                    return Err(HeadError::TooLarge);
-                }
-                if head.windows(4).any(|w| w == b"\r\n\r\n") {
-                    return Ok(head);
-                }
+            Ok(0) => {
+                return Err(if buf.is_empty() {
+                    HeadError::Closed
+                } else {
+                    HeadError::Io
+                })
             }
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
             Err(e)
                 if matches!(
                     e.kind(),
@@ -328,16 +472,26 @@ fn read_head(stream: &mut TcpStream, max: usize) -> Result<Vec<u8>, HeadError> {
     }
 }
 
-/// Parses the request line of `head`: `GET /path?query HTTP/1.1`.
+/// Parses a request head: request line `GET /path?query HTTP/1.1` plus
+/// header lines (names lowercased).
 fn parse_request(head: &[u8]) -> Option<Request> {
     let head = std::str::from_utf8(head).ok()?;
-    let line = head.lines().next()?;
+    let mut lines = head.lines();
+    let line = lines.next()?;
     let mut parts = line.split(' ');
     let method = parts.next()?.to_string();
     let target = parts.next()?;
     let version = parts.next()?;
     if !version.starts_with("HTTP/1.") || parts.next().is_some() {
         return None;
+    }
+    let mut headers = Vec::new();
+    for l in lines {
+        if l.is_empty() {
+            break;
+        }
+        let (name, value) = l.split_once(':')?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
     }
     let (path_raw, query_raw) = match target.split_once('?') {
         Some((p, q)) => (p, Some(q)),
@@ -355,6 +509,7 @@ fn parse_request(head: &[u8]) -> Option<Request> {
         method,
         path,
         params,
+        headers,
     })
 }
 
@@ -397,9 +552,15 @@ fn hex_val(b: u8) -> Option<u8> {
 mod tests {
     use super::*;
 
+    /// One-shot request: sends `Connection: close` so the server releases
+    /// the worker immediately (one-shot clients should do the same).
     fn get(addr: SocketAddr, target: &str) -> (u16, Vec<u8>) {
         let mut s = TcpStream::connect(addr).unwrap();
-        write!(s, "GET {target} HTTP/1.1\r\nHost: test\r\n\r\n").unwrap();
+        write!(
+            s,
+            "GET {target} HTTP/1.1\r\nHost: test\r\nConnection: close\r\n\r\n"
+        )
+        .unwrap();
         let mut buf = Vec::new();
         s.read_to_end(&mut buf).unwrap();
         let head_end = buf
@@ -414,6 +575,41 @@ mod tests {
             .parse()
             .unwrap();
         (status, buf[head_end + 4..].to_vec())
+    }
+
+    /// Reads exactly one response off a keep-alive socket (parses
+    /// Content-Length instead of waiting for EOF). `carry` holds bytes
+    /// read past this response — pipelined follow-ups — for the next call.
+    fn read_response(s: &mut TcpStream, carry: &mut Vec<u8>) -> (u16, Vec<u8>, bool) {
+        let mut buf = std::mem::take(carry);
+        let mut chunk = [0u8; 1024];
+        let head_end = loop {
+            if let Some(p) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+                break p;
+            }
+            let n = s.read(&mut chunk).unwrap();
+            assert!(n > 0, "eof before response head");
+            buf.extend_from_slice(&chunk[..n]);
+        };
+        let head = std::str::from_utf8(&buf[..head_end]).unwrap().to_string();
+        let status: u16 = head.split(' ').nth(1).unwrap().parse().unwrap();
+        let content_length: usize = head
+            .lines()
+            .find_map(|l| l.strip_prefix("Content-Length: "))
+            .unwrap()
+            .parse()
+            .unwrap();
+        let keep_alive = head
+            .lines()
+            .any(|l| l.eq_ignore_ascii_case("connection: keep-alive"));
+        let mut body = buf[head_end + 4..].to_vec();
+        while body.len() < content_length {
+            let n = s.read(&mut chunk).unwrap();
+            assert!(n > 0, "eof before response body");
+            body.extend_from_slice(&chunk[..n]);
+        }
+        *carry = body.split_off(content_length);
+        (status, body, keep_alive)
     }
 
     fn echo_server() -> HttpServer {
@@ -489,6 +685,134 @@ mod tests {
     }
 
     #[test]
+    fn keep_alive_serves_sequential_requests_on_one_connection() {
+        let mut srv = echo_server();
+        let mut s = TcpStream::connect(srv.local_addr()).unwrap();
+        let mut carry = Vec::new();
+        for i in 0..3 {
+            write!(s, "GET /r{i}?q=v{i} HTTP/1.1\r\nHost: t\r\n\r\n").unwrap();
+            let (code, body, keep_alive) = read_response(&mut s, &mut carry);
+            assert_eq!(code, 200);
+            assert_eq!(
+                body,
+                format!("{{\"path\":\"/r{i}\",\"q\":\"v{i}\"}}").into_bytes()
+            );
+            assert!(keep_alive, "request {i} should keep the connection open");
+        }
+        srv.stop();
+        assert_eq!(srv.stats().served.load(Ordering::Relaxed), 3);
+        assert_eq!(
+            srv.stats().accepted.load(Ordering::Relaxed),
+            1,
+            "all three requests used one connection"
+        );
+    }
+
+    #[test]
+    fn pipelined_requests_are_served_in_order() {
+        let mut srv = echo_server();
+        let mut s = TcpStream::connect(srv.local_addr()).unwrap();
+        // both requests in one write; second asks to close
+        s.write_all(
+            b"GET /a HTTP/1.1\r\nHost: t\r\n\r\n\
+              GET /b HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n",
+        )
+        .unwrap();
+        let mut carry = Vec::new();
+        let (code_a, body_a, _) = read_response(&mut s, &mut carry);
+        let (code_b, body_b, keep_b) = read_response(&mut s, &mut carry);
+        assert_eq!((code_a, code_b), (200, 200));
+        assert_eq!(body_a, b"{\"path\":\"/a\",\"q\":\"\"}");
+        assert_eq!(body_b, b"{\"path\":\"/b\",\"q\":\"\"}");
+        assert!(!keep_b, "Connection: close must be honored");
+        let mut rest = Vec::new();
+        s.read_to_end(&mut rest).unwrap();
+        assert!(rest.is_empty(), "connection closed after second response");
+        srv.stop();
+        assert_eq!(srv.stats().served.load(Ordering::Relaxed), 2);
+        assert_eq!(srv.stats().accepted.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn request_cap_forces_connection_close() {
+        let cfg = ServerConfig {
+            max_requests_per_conn: 2,
+            ..ServerConfig::default()
+        };
+        let mut srv =
+            HttpServer::start("127.0.0.1:0", cfg, |_| Response::json("{}".to_string())).unwrap();
+        let mut s = TcpStream::connect(srv.local_addr()).unwrap();
+        write!(s, "GET /1 HTTP/1.1\r\nHost: t\r\n\r\n").unwrap();
+        let mut carry = Vec::new();
+        let (_, _, keep1) = read_response(&mut s, &mut carry);
+        assert!(keep1);
+        write!(s, "GET /2 HTTP/1.1\r\nHost: t\r\n\r\n").unwrap();
+        let (_, _, keep2) = read_response(&mut s, &mut carry);
+        assert!(!keep2, "second request hits the per-connection cap");
+        let mut rest = Vec::new();
+        s.read_to_end(&mut rest).unwrap();
+        assert!(rest.is_empty());
+        srv.stop();
+    }
+
+    #[test]
+    fn idle_keep_alive_connection_closes_silently() {
+        let cfg = ServerConfig {
+            read_timeout: Duration::from_millis(100),
+            ..ServerConfig::default()
+        };
+        let mut srv =
+            HttpServer::start("127.0.0.1:0", cfg, |_| Response::json("{}".to_string())).unwrap();
+        let mut s = TcpStream::connect(srv.local_addr()).unwrap();
+        write!(s, "GET / HTTP/1.1\r\nHost: t\r\n\r\n").unwrap();
+        let (code, _, keep_alive) = read_response(&mut s, &mut Vec::new());
+        assert_eq!(code, 200);
+        assert!(keep_alive);
+        // go idle; the server must close without writing a 408
+        let mut rest = Vec::new();
+        s.read_to_end(&mut rest).unwrap();
+        assert!(rest.is_empty(), "idle close writes nothing, got {rest:?}");
+        srv.stop();
+        assert_eq!(
+            srv.stats().bad_requests.load(Ordering::Relaxed),
+            0,
+            "idle keep-alive close is not a bad request"
+        );
+    }
+
+    #[test]
+    fn takeover_runs_on_streamer_thread_and_joins_on_stop() {
+        let cfg = ServerConfig::default();
+        let mut srv = HttpServer::start_with("127.0.0.1:0", cfg, |req| {
+            if req.path == "/stream" {
+                Handled::Takeover(Box::new(|mut stream: TcpStream, stop| {
+                    let _ = stream.write_all(
+                        b"HTTP/1.1 200 OK\r\nContent-Type: text/plain\r\n\
+                          Connection: close\r\nContent-Length: 2\r\n\r\nok",
+                    );
+                    let _ = stream.shutdown(std::net::Shutdown::Write);
+                    // hold the thread until the server stops to prove
+                    // stop() joins streamers
+                    while !stop.load(Ordering::Relaxed) {
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                }))
+            } else {
+                Handled::Response(Response::json("{}".to_string()))
+            }
+        })
+        .unwrap();
+        let (code, body) = get(srv.local_addr(), "/stream");
+        assert_eq!(code, 200);
+        assert_eq!(body, b"ok");
+        // workers stay free while the streamer holds its thread
+        let (code, _) = get(srv.local_addr(), "/other");
+        assert_eq!(code, 200);
+        assert_eq!(srv.stats().takeovers.load(Ordering::Relaxed), 1);
+        srv.stop();
+    }
+
+    #[test]
     fn concurrent_requests_across_workers() {
         let mut srv = echo_server();
         let addr = srv.local_addr();
@@ -514,5 +838,14 @@ mod tests {
         assert_eq!(percent_decode("plain").unwrap(), "plain");
         assert!(percent_decode("%zz").is_none());
         assert!(percent_decode("%2").is_none());
+    }
+
+    #[test]
+    fn headers_are_parsed_case_insensitively() {
+        let head = b"GET /x HTTP/1.1\r\nHost: h\r\nX-Thing:  spaced  \r\n\r\n";
+        let req = parse_request(head).unwrap();
+        assert_eq!(req.header("host"), Some("h"));
+        assert_eq!(req.header("X-THING"), Some("spaced"));
+        assert_eq!(req.header("absent"), None);
     }
 }

@@ -1,4 +1,4 @@
-//! A small hand-rolled JSON encoder.
+//! A small hand-rolled JSON encoder and parser.
 //!
 //! The serving layer returns JSON to looking-glass clients; no JSON crate
 //! exists in the offline dependency set, and the value shapes we emit are
@@ -6,6 +6,11 @@
 //! encoder is cheaper than a shim. Encoding is strict RFC 8259: strings are
 //! escaped, non-finite floats are rejected (JSON has no NaN/Infinity), and
 //! integers are emitted verbatim up to the full `u64`/`i64` range.
+//!
+//! [`Json::parse`] is the matching strict decoder (the stream layer uses it
+//! to verify frames round-trip): no trailing content, no unescaped control
+//! characters, no leading zeros, surrogate pairs validated, and a recursion
+//! depth cap so hostile input cannot blow the stack.
 
 use std::fmt;
 
@@ -58,6 +63,24 @@ impl Json {
         let mut out = String::new();
         self.encode_into(&mut out)?;
         Ok(out)
+    }
+
+    /// Parses a JSON document (strict RFC 8259; the whole input must be one
+    /// value plus optional surrounding whitespace). Non-negative integers
+    /// parse as [`Json::U64`], negative ones as [`Json::I64`], and anything
+    /// with a fraction or exponent as [`Json::F64`].
+    pub fn parse(text: &str) -> Result<Json, JsonError> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value(0)?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(JsonError(format!("trailing content at byte {}", p.pos)));
+        }
+        Ok(v)
     }
 
     fn encode_into(&self, out: &mut String) -> Result<(), JsonError> {
@@ -122,6 +145,273 @@ fn fmt_u64(n: u64, buf: &mut [u8; 20]) -> &str {
         }
     }
     std::str::from_utf8(&buf[i..]).expect("digits are ascii")
+}
+
+/// Nesting depth cap for the parser (far above any frame we emit).
+const MAX_DEPTH: usize = 128;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, msg: &str) -> JsonError {
+        JsonError(format!("{msg} at byte {}", self.pos))
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(b) = self.bytes.get(self.pos) {
+            match b {
+                b' ' | b'\t' | b'\n' | b'\r' => self.pos += 1,
+                _ => break,
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected {:?}", b as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Json) -> Result<Json, JsonError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(self.err(&format!("expected {word}")))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, JsonError> {
+        if depth > MAX_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'[') => self.array(depth),
+            Some(b'{') => self.object(depth),
+            Some(b'-') | Some(b'0'..=b'9') => self.number(),
+            Some(b) => Err(self.err(&format!("unexpected byte {:?}", b as char))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Json, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Json, JsonError> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            pairs.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(pairs));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // fast path: run of plain bytes
+            while let Some(&b) = self.bytes.get(self.pos) {
+                if b == b'"' || b == b'\\' || b < 0x20 {
+                    break;
+                }
+                self.pos += 1;
+            }
+            if self.pos > start {
+                // the input is a &str, so slices on char runs are valid UTF-8
+                out.push_str(
+                    std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|_| self.err("invalid utf-8"))?,
+                );
+            }
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| self.err("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{08}'),
+                        b'f' => out.push('\u{0c}'),
+                        b'u' => {
+                            let hi = self.hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&hi) {
+                                // high surrogate: require \uXXXX low surrogate
+                                if self.peek() != Some(b'\\') {
+                                    return Err(self.err("lone high surrogate"));
+                                }
+                                self.pos += 1;
+                                if self.peek() != Some(b'u') {
+                                    return Err(self.err("lone high surrogate"));
+                                }
+                                self.pos += 1;
+                                let lo = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err(self.err("invalid low surrogate"));
+                                }
+                                let cp = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                                char::from_u32(cp).ok_or_else(|| self.err("bad surrogate pair"))?
+                            } else if (0xDC00..0xE000).contains(&hi) {
+                                return Err(self.err("lone low surrogate"));
+                            } else {
+                                char::from_u32(hi).ok_or_else(|| self.err("bad codepoint"))?
+                            };
+                            out.push(c);
+                        }
+                        _ => return Err(self.err("invalid escape")),
+                    }
+                }
+                Some(b) if b < 0x20 => return Err(self.err("raw control character")),
+                Some(_) => unreachable!("fast path consumes plain bytes"),
+                None => return Err(self.err("unterminated string")),
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        let mut v = 0u32;
+        for _ in 0..4 {
+            let b = self
+                .peek()
+                .ok_or_else(|| self.err("truncated \\u escape"))?;
+            let d = match b {
+                b'0'..=b'9' => b - b'0',
+                b'a'..=b'f' => b - b'a' + 10,
+                b'A'..=b'F' => b - b'A' + 10,
+                _ => return Err(self.err("bad hex digit")),
+            };
+            v = v * 16 + d as u32;
+            self.pos += 1;
+        }
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        let neg = self.peek() == Some(b'-');
+        if neg {
+            self.pos += 1;
+        }
+        // integer part: "0" or nonzero digit followed by digits
+        match self.peek() {
+            Some(b'0') => {
+                self.pos += 1;
+                if matches!(self.peek(), Some(b'0'..=b'9')) {
+                    return Err(self.err("leading zero"));
+                }
+            }
+            Some(b'1'..=b'9') => {
+                while matches!(self.peek(), Some(b'0'..=b'9')) {
+                    self.pos += 1;
+                }
+            }
+            _ => return Err(self.err("expected digit")),
+        }
+        let mut float = false;
+        if self.peek() == Some(b'.') {
+            float = true;
+            self.pos += 1;
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.err("expected fraction digit"));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e') | Some(b'E')) {
+            float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                self.pos += 1;
+            }
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.err("expected exponent digit"));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("number bytes are ascii");
+        if float {
+            let x: f64 = text.parse().map_err(|_| self.err("malformed number"))?;
+            if !x.is_finite() {
+                return Err(self.err("number out of range"));
+            }
+            Ok(Json::F64(x))
+        } else if neg {
+            text.parse::<i64>()
+                .map(Json::I64)
+                .map_err(|_| self.err("integer out of range"))
+        } else {
+            text.parse::<u64>()
+                .map(Json::U64)
+                .map_err(|_| self.err("integer out of range"))
+        }
+    }
 }
 
 fn encode_str(s: &str, out: &mut String) {
@@ -264,5 +554,107 @@ mod tests {
     fn object_key_order_is_preserved() {
         let a = Json::obj([("b", Json::U64(1)), ("a", Json::U64(2))]);
         assert_eq!(a.encode().unwrap(), r#"{"b":1,"a":2}"#);
+    }
+
+    #[test]
+    fn parse_scalars() {
+        assert_eq!(Json::parse("null").unwrap(), Json::Null);
+        assert_eq!(Json::parse("true").unwrap(), Json::Bool(true));
+        assert_eq!(Json::parse(" false ").unwrap(), Json::Bool(false));
+        assert_eq!(Json::parse("0").unwrap(), Json::U64(0));
+        assert_eq!(
+            Json::parse("18446744073709551615").unwrap(),
+            Json::U64(u64::MAX)
+        );
+        assert_eq!(Json::parse("-42").unwrap(), Json::I64(-42));
+        assert_eq!(Json::parse("1.5").unwrap(), Json::F64(1.5));
+        assert_eq!(Json::parse("2e3").unwrap(), Json::F64(2000.0));
+        assert_eq!(Json::parse("-0.25").unwrap(), Json::F64(-0.25));
+    }
+
+    #[test]
+    fn parse_strings_and_escapes() {
+        assert_eq!(Json::parse(r#""plain""#).unwrap(), Json::str("plain"));
+        assert_eq!(
+            Json::parse(r#""a\"b\\c\nd\te""#).unwrap(),
+            Json::str("a\"b\\c\nd\te")
+        );
+        assert_eq!(Json::parse(r#""A""#).unwrap(), Json::str("A"));
+        // surrogate pair → one astral char
+        assert_eq!(Json::parse(r#""😀""#).unwrap(), Json::str("\u{1F600}"));
+        assert_eq!(
+            Json::parse("\"prefix→route\"").unwrap(),
+            Json::str("prefix→route")
+        );
+        assert!(Json::parse(r#""\ud83d""#).is_err()); // lone high surrogate
+        assert!(Json::parse(r#""\udc00""#).is_err()); // lone low surrogate
+        assert!(Json::parse("\"raw\ncontrol\"").is_err());
+        assert!(Json::parse(r#""\x""#).is_err());
+        assert!(Json::parse("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn parse_structures() {
+        assert_eq!(Json::parse("[]").unwrap(), Json::Arr(vec![]));
+        assert_eq!(Json::parse("{}").unwrap(), Json::Obj(vec![]));
+        assert_eq!(
+            Json::parse("[1, 2 ,3]").unwrap(),
+            Json::Arr(vec![Json::U64(1), Json::U64(2), Json::U64(3)])
+        );
+        assert_eq!(
+            Json::parse(r#"{"b":1,"a":[true,null]}"#).unwrap(),
+            Json::Obj(vec![
+                ("b".into(), Json::U64(1)),
+                ("a".into(), Json::Arr(vec![Json::Bool(true), Json::Null])),
+            ])
+        );
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        for bad in [
+            "",
+            " ",
+            "{",
+            "[1,",
+            "[1,]",
+            r#"{"a"}"#,
+            r#"{"a":}"#,
+            "01",
+            "1.",
+            "1e",
+            "+1",
+            "truee",
+            "[1] 2",
+            "nul",
+            "--1",
+            "\u{1}",
+        ] {
+            assert!(Json::parse(bad).is_err(), "should reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn parse_depth_capped() {
+        let deep = "[".repeat(1000) + &"]".repeat(1000);
+        assert!(Json::parse(&deep).is_err());
+        let ok = "[".repeat(100) + &"]".repeat(100);
+        assert!(Json::parse(&ok).is_ok());
+    }
+
+    #[test]
+    fn encode_parse_roundtrip() {
+        let v = Json::obj([
+            ("vp", Json::str("AS65001")),
+            ("n", Json::U64(7)),
+            ("neg", Json::I64(-3)),
+            ("f", Json::F64(2.5)),
+            (
+                "routes",
+                Json::Arr(vec![Json::Null, Json::Bool(true), Json::str("a\"b")]),
+            ),
+        ]);
+        let text = v.encode().unwrap();
+        assert_eq!(Json::parse(&text).unwrap(), v);
     }
 }

@@ -25,7 +25,7 @@ pub mod server;
 pub mod storage;
 pub mod store;
 
-pub use http::{HttpServer, Request, Response, ServerConfig};
+pub use http::{Handled, HttpServer, Request, Response, ServerConfig};
 pub use json::{Json, JsonError};
 pub use query::{JoinMode, MatchMode, QueryEngine, RouteQuery, UpdateQuery};
 pub use server::{serve, serve_with, SharedStore};

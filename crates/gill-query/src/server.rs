@@ -348,6 +348,7 @@ mod tests {
             method: "GET".to_string(),
             path: path.to_string(),
             params,
+            headers: Vec::new(),
         };
         route(&req, store)
     }
@@ -441,6 +442,7 @@ mod tests {
                 method: "GET".to_string(),
                 path: path.to_string(),
                 params,
+                headers: Vec::new(),
             };
             route_with(&req, &store, Some(&handle))
         };

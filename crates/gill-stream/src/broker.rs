@@ -1,0 +1,320 @@
+//! The broker: owns the ring, admits subscribers up to a configured cap,
+//! and hands the collector a [`StreamPublisher`] implementing
+//! [`gill_collector::daemon::UpdateSink`] so accepted updates tee into the
+//! live stream without the collector crate depending on this one.
+
+use crate::frame::Frame;
+use crate::ring::Ring;
+use crate::subscriber::{SlowPolicy, StreamFilter, SubscriberShared, Subscription};
+use bgp_types::BgpUpdate;
+use gill_collector::daemon::UpdateSink;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Broker construction knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct BrokerConfig {
+    /// Frames retained for laggards before they observe a gap.
+    pub ring_capacity: usize,
+    /// Concurrent subscription cap; further subscribes get
+    /// [`SubscribeError::Full`] (the HTTP layer maps it to 503).
+    pub max_subscribers: usize,
+}
+
+impl Default for BrokerConfig {
+    fn default() -> BrokerConfig {
+        BrokerConfig {
+            ring_capacity: 4096,
+            max_subscribers: 256,
+        }
+    }
+}
+
+/// Why a subscription was refused.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SubscribeError {
+    /// The broker is at its `max_subscribers` cap.
+    Full {
+        /// The configured cap.
+        max: usize,
+    },
+    /// The broker's stream has already closed.
+    Closed,
+}
+
+struct Inner {
+    ring: Arc<Ring<Frame>>,
+    shared: Arc<SubscriberShared>,
+    max_subscribers: usize,
+    /// Serializes producers: the ring itself is single-producer.
+    producer: Mutex<()>,
+    published: AtomicUsize,
+    shed: AtomicUsize,
+}
+
+/// A handle to the live update broker. Cheap to clone.
+#[derive(Clone)]
+pub struct StreamBroker {
+    inner: Arc<Inner>,
+}
+
+/// Point-in-time broker counters (served at `/stream/stats`).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BrokerStats {
+    /// Frames published into the ring.
+    pub published: usize,
+    /// Updates offered while no subscriber was attached (not encoded).
+    pub shed: usize,
+    /// Live subscriptions.
+    pub subscribers: usize,
+    /// Gap markers emitted across all subscriptions, ever.
+    pub gaps_emitted: usize,
+    /// Subscriptions killed by [`SlowPolicy::Disconnect`] overruns.
+    pub disconnects: usize,
+    /// Frames delivered post-filter across all subscriptions.
+    pub frames_delivered: usize,
+    /// Frames suppressed by server-side filters.
+    pub frames_filtered: usize,
+    /// Ring capacity in frames.
+    pub ring_capacity: usize,
+    /// Subscription cap.
+    pub max_subscribers: usize,
+}
+
+impl StreamBroker {
+    /// A broker with the given ring capacity and subscriber cap.
+    pub fn new(cfg: BrokerConfig) -> StreamBroker {
+        StreamBroker {
+            inner: Arc::new(Inner {
+                ring: Arc::new(Ring::new(cfg.ring_capacity)),
+                shared: Arc::new(SubscriberShared::default()),
+                max_subscribers: cfg.max_subscribers.max(1),
+                producer: Mutex::new(()),
+                published: AtomicUsize::new(0),
+                shed: AtomicUsize::new(0),
+            }),
+        }
+    }
+
+    /// Current live subscription count.
+    pub fn subscribers(&self) -> usize {
+        self.inner.shared.active.load(Ordering::Acquire)
+    }
+
+    /// Whether the stream has been closed.
+    pub fn is_closed(&self) -> bool {
+        self.inner.ring.is_closed()
+    }
+
+    /// Attaches a new subscription starting at the *current* head (live
+    /// tail semantics: subscribers see updates published after they join).
+    pub fn subscribe(
+        &self,
+        filter: StreamFilter,
+        policy: SlowPolicy,
+    ) -> Result<Subscription, SubscribeError> {
+        if self.inner.ring.is_closed() {
+            return Err(SubscribeError::Closed);
+        }
+        // Optimistic admission: bump, then back out if we overshot the cap.
+        let prev = self.inner.shared.active.fetch_add(1, Ordering::AcqRel);
+        if prev >= self.inner.max_subscribers {
+            self.inner.shared.active.fetch_sub(1, Ordering::AcqRel);
+            return Err(SubscribeError::Full {
+                max: self.inner.max_subscribers,
+            });
+        }
+        Ok(Subscription::new(
+            self.inner.ring.clone(),
+            self.inner.shared.clone(),
+            filter,
+            policy,
+            self.inner.ring.head(),
+        ))
+    }
+
+    /// Publishes one update as a pre-encoded frame. Returns its sequence
+    /// number, or `None` if it was shed (no subscribers attached — the
+    /// encode cost is skipped entirely).
+    pub fn publish(&self, update: &BgpUpdate) -> Option<u64> {
+        if self.subscribers() == 0 {
+            self.inner.shed.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        let guard = self.inner.producer.lock();
+        let seq = self.inner.ring.head();
+        let frame = Arc::new(Frame::update(seq, update));
+        let seq = self.inner.ring.publish(frame);
+        drop(guard);
+        self.inner.published.fetch_add(1, Ordering::Relaxed);
+        Some(seq)
+    }
+
+    /// Publishes unconditionally (used by replay/bench drivers that want
+    /// frames in the ring regardless of subscriber count).
+    pub fn publish_always(&self, update: &BgpUpdate) -> u64 {
+        let guard = self.inner.producer.lock();
+        let seq = self.inner.ring.head();
+        let frame = Arc::new(Frame::update(seq, update));
+        let seq = self.inner.ring.publish(frame);
+        drop(guard);
+        self.inner.published.fetch_add(1, Ordering::Relaxed);
+        seq
+    }
+
+    /// Closes the stream: publishes a final end-of-stream frame and marks
+    /// the ring closed so subscribers drain and terminate.
+    pub fn close(&self) {
+        let guard = self.inner.producer.lock();
+        if !self.inner.ring.is_closed() {
+            let published = self.inner.ring.head();
+            self.inner.ring.publish(Arc::new(Frame::eos(published)));
+            self.inner.ring.close();
+        }
+        drop(guard);
+    }
+
+    /// Snapshot of the broker counters.
+    pub fn stats(&self) -> BrokerStats {
+        let s = &self.inner.shared;
+        BrokerStats {
+            published: self.inner.published.load(Ordering::Relaxed),
+            shed: self.inner.shed.load(Ordering::Relaxed),
+            subscribers: s.active.load(Ordering::Acquire),
+            gaps_emitted: s.gaps_emitted.load(Ordering::Relaxed),
+            disconnects: s.disconnects.load(Ordering::Relaxed),
+            frames_delivered: s.frames_delivered.load(Ordering::Relaxed),
+            frames_filtered: s.frames_filtered.load(Ordering::Relaxed),
+            ring_capacity: self.inner.ring.capacity(),
+            max_subscribers: self.inner.max_subscribers,
+        }
+    }
+
+    /// A collector-facing publisher handle (see [`UpdateSink`]).
+    pub fn publisher(&self) -> StreamPublisher {
+        StreamPublisher {
+            broker: self.clone(),
+        }
+    }
+}
+
+/// The collector-side tee: implements [`UpdateSink`] so
+/// `gill-collector` can publish accepted updates without depending on
+/// this crate.
+#[derive(Clone)]
+pub struct StreamPublisher {
+    broker: StreamBroker,
+}
+
+impl StreamPublisher {
+    /// The broker this publisher feeds.
+    pub fn broker(&self) -> &StreamBroker {
+        &self.broker
+    }
+}
+
+impl UpdateSink for StreamPublisher {
+    fn offer(&self, update: &BgpUpdate) -> bool {
+        self.broker.publish(update).is_some()
+    }
+
+    fn subscribers(&self) -> usize {
+        self.broker.subscribers()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::subscriber::Delivery;
+    use bgp_types::{Asn, Timestamp, UpdateBuilder, VpId};
+
+    fn upd(i: u64) -> BgpUpdate {
+        UpdateBuilder::announce(
+            VpId::from_asn(Asn(65001)),
+            bgp_types::Prefix::synthetic(i as u32),
+        )
+        .at(Timestamp::from_millis(i))
+        .path([65001, 2, 3])
+        .build()
+    }
+
+    #[test]
+    fn subscriber_cap_yields_full() {
+        let broker = StreamBroker::new(BrokerConfig {
+            ring_capacity: 8,
+            max_subscribers: 2,
+        });
+        let a = broker.subscribe(StreamFilter::any(), SlowPolicy::default());
+        let b = broker.subscribe(StreamFilter::any(), SlowPolicy::default());
+        assert!(a.is_ok() && b.is_ok());
+        match broker.subscribe(StreamFilter::any(), SlowPolicy::default()) {
+            Err(SubscribeError::Full { max }) => assert_eq!(max, 2),
+            other => panic!("expected Full, got {:?}", other.err()),
+        }
+        drop(a);
+        assert!(broker
+            .subscribe(StreamFilter::any(), SlowPolicy::default())
+            .is_ok());
+    }
+
+    #[test]
+    fn publish_sheds_with_no_subscribers() {
+        let broker = StreamBroker::new(BrokerConfig::default());
+        assert_eq!(broker.publish(&upd(0)), None);
+        let _s = broker
+            .subscribe(StreamFilter::any(), SlowPolicy::default())
+            .unwrap();
+        assert_eq!(broker.publish(&upd(1)), Some(0));
+        let stats = broker.stats();
+        assert_eq!(stats.shed, 1);
+        assert_eq!(stats.published, 1);
+    }
+
+    #[test]
+    fn close_delivers_eos_then_terminates() {
+        let broker = StreamBroker::new(BrokerConfig::default());
+        let mut s = broker
+            .subscribe(StreamFilter::any(), SlowPolicy::default())
+            .unwrap();
+        broker.publish(&upd(0));
+        broker.close();
+        assert!(broker
+            .subscribe(StreamFilter::any(), SlowPolicy::default())
+            .is_err());
+        let mut kinds = Vec::new();
+        loop {
+            match s.poll_next() {
+                Delivery::Frame(f) => kinds.push(match f.payload {
+                    crate::frame::FramePayload::Update(_) => "update",
+                    crate::frame::FramePayload::Gap { .. } => "gap",
+                    crate::frame::FramePayload::Eos { .. } => "eos",
+                }),
+                Delivery::Closed => break,
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert_eq!(kinds, vec!["update", "eos"]);
+    }
+
+    #[test]
+    fn late_subscriber_starts_at_live_head() {
+        let broker = StreamBroker::new(BrokerConfig::default());
+        let _early = broker
+            .subscribe(StreamFilter::any(), SlowPolicy::default())
+            .unwrap();
+        for i in 0..5 {
+            broker.publish(&upd(i));
+        }
+        let mut late = broker
+            .subscribe(StreamFilter::any(), SlowPolicy::default())
+            .unwrap();
+        assert!(matches!(late.poll_next(), Delivery::Pending));
+        broker.publish(&upd(5));
+        match late.poll_next() {
+            Delivery::Frame(f) => assert_eq!(f.seq, 5),
+            other => panic!("expected frame, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,551 @@
+//! Wire format of the stream: RIS-Live-shaped JSON messages and a
+//! length-prefixed binary framing for machine consumers.
+//!
+//! A [`Frame`] is encoded **once**, at publish time, in both formats; the
+//! fan-out layer then writes the pre-rendered bytes to every subscriber.
+//! Three frame types exist on the wire:
+//!
+//! ```text
+//! {"type":"update","seq":7,"vp":"65001","time":1000,"prefix":"10.0.0.0/24",
+//!  "kind":"announce","path":[65001,2,3],"communities":["65001:100"]}
+//! {"type":"gap","missed":12}
+//! {"type":"eos","published":50000}
+//! ```
+//!
+//! `update` carries the observable attributes of a stored update (§4.2's
+//! `u(v,t,p,L,C)`; the derived withdrawn sets are downstream state and are
+//! not streamed). `gap` is synthesized per subscriber by the slow-consumer
+//! policy; `eos` ends a replayed stream. The binary framing is
+//! `u32_be length ‖ payload` with a one-byte magic/version/kind header —
+//! see [`Frame::encode_binary`] / [`Frame::decode_binary`].
+
+use bgp_types::{AsPath, Asn, BgpUpdate, Community, Prefix, Timestamp, UpdateKind, VpId};
+use gill_query::Json;
+use std::collections::BTreeSet;
+
+/// Binary frame magic byte (`'G'`).
+pub const MAGIC: u8 = b'G';
+/// Binary framing version.
+pub const VERSION: u8 = 1;
+
+/// What a frame carries.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FramePayload {
+    /// A post-filter accepted update.
+    Update(BgpUpdate),
+    /// `missed` frames were lost to this subscriber (slow-consumer skip).
+    Gap {
+        /// Frames overwritten before the subscriber consumed them.
+        missed: u64,
+    },
+    /// End of a replayed stream; `published` is the total frame count.
+    Eos {
+        /// Frames published before the stream closed.
+        published: u64,
+    },
+}
+
+/// One stream frame: a sequence number, the payload, and both wire
+/// renderings (pre-encoded so fan-out is a byte copy per subscriber).
+#[derive(Clone, Debug)]
+pub struct Frame {
+    /// Sequence number (`update` frames: the ring sequence; `gap`/`eos`
+    /// frames: the cursor position they were synthesized at).
+    pub seq: u64,
+    /// The decoded payload.
+    pub payload: FramePayload,
+    json: String,
+    binary: Vec<u8>,
+}
+
+/// Renders a VP id in the query-parameter form `65001` / `65001#2`
+/// ([`gill_query::server::parse_vp`] accepts it back).
+fn vp_str(vp: VpId) -> String {
+    if vp.router == 0 {
+        format!("{}", vp.asn.value())
+    } else {
+        format!("{}#{}", vp.asn.value(), vp.router)
+    }
+}
+
+impl Frame {
+    /// Builds (and pre-encodes) an update frame.
+    pub fn update(seq: u64, u: &BgpUpdate) -> Frame {
+        let payload = FramePayload::Update(u.clone());
+        let json = payload_json(seq, &payload)
+            .encode()
+            .expect("update frames contain no non-finite floats");
+        let binary = encode_binary_payload(seq, &payload);
+        Frame {
+            seq,
+            payload,
+            json,
+            binary,
+        }
+    }
+
+    /// Builds a gap marker frame (synthesized per subscriber).
+    pub fn gap(at: u64, missed: u64) -> Frame {
+        let payload = FramePayload::Gap { missed };
+        let json = payload_json(at, &payload).encode().expect("gap is static");
+        let binary = encode_binary_payload(at, &payload);
+        Frame {
+            seq: at,
+            payload,
+            json,
+            binary,
+        }
+    }
+
+    /// Builds an end-of-stream frame.
+    pub fn eos(published: u64) -> Frame {
+        let payload = FramePayload::Eos { published };
+        let json = payload_json(published, &payload)
+            .encode()
+            .expect("eos is static");
+        let binary = encode_binary_payload(published, &payload);
+        Frame {
+            seq: published,
+            payload,
+            json,
+            binary,
+        }
+    }
+
+    /// The RIS-Live-shaped JSON rendering (no trailing newline).
+    pub fn json(&self) -> &str {
+        &self.json
+    }
+
+    /// The length-prefixed binary rendering.
+    pub fn binary(&self) -> &[u8] {
+        &self.binary
+    }
+
+    /// Encodes the binary framing: `u32_be length ‖ payload`.
+    pub fn encode_binary(&self) -> Vec<u8> {
+        self.binary.clone()
+    }
+
+    /// Decodes one binary frame from the front of `buf`. Returns the frame
+    /// and the number of bytes consumed; `Ok(None)` means `buf` does not
+    /// yet hold a complete frame.
+    pub fn decode_binary(buf: &[u8]) -> Result<Option<(Frame, usize)>, String> {
+        if buf.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_be_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;
+        if buf.len() < 4 + len {
+            return Ok(None);
+        }
+        let p = &buf[4..4 + len];
+        let mut r = Reader { buf: p, off: 0 };
+        if r.u8()? != MAGIC {
+            return Err("bad magic".into());
+        }
+        if r.u8()? != VERSION {
+            return Err("unsupported version".into());
+        }
+        let kind = r.u8()?;
+        let seq = r.u64()?;
+        let payload = match kind {
+            0 => {
+                let asn = Asn(r.u32()?);
+                let router = r.u16()?;
+                let time = Timestamp::from_millis(r.u64()?);
+                let upd_kind = match r.u8()? {
+                    0 => UpdateKind::Announce,
+                    1 => UpdateKind::Withdraw,
+                    k => return Err(format!("bad update kind {k}")),
+                };
+                let v6 = r.u8()? != 0;
+                let plen = r.u8()?;
+                let bits = r.u128()?;
+                let prefix = prefix_from_parts(bits, plen, v6)?;
+                let n_hops = r.u16()? as usize;
+                let mut hops = Vec::with_capacity(n_hops);
+                for _ in 0..n_hops {
+                    hops.push(r.u32()?);
+                }
+                let n_comms = r.u16()? as usize;
+                let mut communities = BTreeSet::new();
+                for _ in 0..n_comms {
+                    communities.insert(Community(r.u32()?));
+                }
+                FramePayload::Update(BgpUpdate {
+                    vp: VpId::new(asn, router),
+                    time,
+                    prefix,
+                    kind: upd_kind,
+                    path: AsPath::from_u32s(hops),
+                    communities,
+                    withdrawn_links: BTreeSet::new(),
+                    withdrawn_communities: BTreeSet::new(),
+                })
+            }
+            1 => FramePayload::Gap { missed: r.u64()? },
+            2 => FramePayload::Eos {
+                published: r.u64()?,
+            },
+            k => return Err(format!("bad frame kind {k}")),
+        };
+        if r.off != p.len() {
+            return Err(format!("{} trailing bytes", p.len() - r.off));
+        }
+        let frame = match &payload {
+            FramePayload::Update(u) => Frame::update(seq, u),
+            FramePayload::Gap { missed } => Frame::gap(seq, *missed),
+            FramePayload::Eos { published } => Frame::eos(*published),
+        };
+        Ok(Some((frame, 4 + len)))
+    }
+
+    /// Parses a JSON frame line back into its payload (strict: unknown
+    /// `type` values and malformed shapes are errors, matching the strict
+    /// encoder on the way out).
+    pub fn from_json(text: &str) -> Result<(u64, FramePayload), String> {
+        let v = Json::parse(text).map_err(|e| e.to_string())?;
+        let obj = as_obj(&v)?;
+        let ty = get_str(obj, "type")?;
+        match ty {
+            "update" => {
+                let seq = get_u64(obj, "seq")?;
+                let vp = gill_query::server::parse_vp(get_str(obj, "vp")?)
+                    .ok_or_else(|| "bad vp".to_string())?;
+                let time = Timestamp::from_millis(get_u64(obj, "time")?);
+                let prefix: Prefix = get_str(obj, "prefix")?
+                    .parse()
+                    .map_err(|e| format!("bad prefix: {e}"))?;
+                let kind = match get_str(obj, "kind")? {
+                    "announce" => UpdateKind::Announce,
+                    "withdraw" => UpdateKind::Withdraw,
+                    other => return Err(format!("bad kind {other:?}")),
+                };
+                let path = match get(obj, "path")? {
+                    Json::Arr(items) => {
+                        let mut hops = Vec::with_capacity(items.len());
+                        for item in items {
+                            match item {
+                                Json::U64(n) => hops.push(*n as u32),
+                                _ => return Err("non-integer path hop".into()),
+                            }
+                        }
+                        AsPath::from_u32s(hops)
+                    }
+                    _ => return Err("path is not an array".into()),
+                };
+                let mut communities = BTreeSet::new();
+                match get(obj, "communities")? {
+                    Json::Arr(items) => {
+                        for item in items {
+                            match item {
+                                Json::Str(s) => {
+                                    communities.insert(
+                                        s.parse::<Community>()
+                                            .map_err(|e| format!("bad community: {e}"))?,
+                                    );
+                                }
+                                _ => return Err("non-string community".into()),
+                            }
+                        }
+                    }
+                    _ => return Err("communities is not an array".into()),
+                }
+                Ok((
+                    seq,
+                    FramePayload::Update(BgpUpdate {
+                        vp,
+                        time,
+                        prefix,
+                        kind,
+                        path,
+                        communities,
+                        withdrawn_links: BTreeSet::new(),
+                        withdrawn_communities: BTreeSet::new(),
+                    }),
+                ))
+            }
+            "gap" => Ok((
+                0,
+                FramePayload::Gap {
+                    missed: get_u64(obj, "missed")?,
+                },
+            )),
+            "eos" => Ok((
+                0,
+                FramePayload::Eos {
+                    published: get_u64(obj, "published")?,
+                },
+            )),
+            other => Err(format!("unknown frame type {other:?}")),
+        }
+    }
+}
+
+fn payload_json(seq: u64, p: &FramePayload) -> Json {
+    match p {
+        FramePayload::Update(u) => Json::obj([
+            ("type", Json::str("update")),
+            ("seq", Json::U64(seq)),
+            ("vp", Json::str(vp_str(u.vp))),
+            ("time", Json::U64(u.time.as_millis())),
+            ("prefix", Json::str(u.prefix.to_string())),
+            (
+                "kind",
+                Json::str(match u.kind {
+                    UpdateKind::Announce => "announce",
+                    UpdateKind::Withdraw => "withdraw",
+                }),
+            ),
+            (
+                "path",
+                Json::Arr(
+                    u.path
+                        .hops()
+                        .iter()
+                        .map(|a| Json::U64(a.value() as u64))
+                        .collect(),
+                ),
+            ),
+            (
+                "communities",
+                Json::Arr(
+                    u.communities
+                        .iter()
+                        .map(|c| Json::str(c.to_string()))
+                        .collect(),
+                ),
+            ),
+        ]),
+        FramePayload::Gap { missed } => {
+            Json::obj([("type", Json::str("gap")), ("missed", Json::U64(*missed))])
+        }
+        FramePayload::Eos { published } => Json::obj([
+            ("type", Json::str("eos")),
+            ("published", Json::U64(*published)),
+        ]),
+    }
+}
+
+fn prefix_from_parts(bits: u128, len: u8, v6: bool) -> Result<Prefix, String> {
+    if v6 {
+        if len > 128 {
+            return Err(format!("bad v6 prefix length {len}"));
+        }
+        Ok(Prefix::v6(std::net::Ipv6Addr::from(bits), len))
+    } else {
+        if len > 32 || bits > u32::MAX as u128 {
+            return Err("bad v4 prefix".into());
+        }
+        Ok(Prefix::v4(std::net::Ipv4Addr::from(bits as u32), len))
+    }
+}
+
+fn encode_binary_payload(seq: u64, p: &FramePayload) -> Vec<u8> {
+    let mut body = Vec::with_capacity(64);
+    body.push(MAGIC);
+    body.push(VERSION);
+    match p {
+        FramePayload::Update(u) => {
+            body.push(0);
+            body.extend_from_slice(&seq.to_be_bytes());
+            body.extend_from_slice(&u.vp.asn.value().to_be_bytes());
+            body.extend_from_slice(&u.vp.router.to_be_bytes());
+            body.extend_from_slice(&u.time.as_millis().to_be_bytes());
+            body.push(match u.kind {
+                UpdateKind::Announce => 0,
+                UpdateKind::Withdraw => 1,
+            });
+            let (bits, len, v6) = prefix_parts(&u.prefix);
+            body.push(v6 as u8);
+            body.push(len);
+            body.extend_from_slice(&bits.to_be_bytes());
+            let hops = u.path.hops();
+            body.extend_from_slice(&(hops.len() as u16).to_be_bytes());
+            for h in hops {
+                body.extend_from_slice(&h.value().to_be_bytes());
+            }
+            body.extend_from_slice(&(u.communities.len() as u16).to_be_bytes());
+            for c in &u.communities {
+                body.extend_from_slice(&c.0.to_be_bytes());
+            }
+        }
+        FramePayload::Gap { missed } => {
+            body.push(1);
+            body.extend_from_slice(&seq.to_be_bytes());
+            body.extend_from_slice(&missed.to_be_bytes());
+        }
+        FramePayload::Eos { published } => {
+            body.push(2);
+            body.extend_from_slice(&seq.to_be_bytes());
+            body.extend_from_slice(&published.to_be_bytes());
+        }
+    }
+    let mut out = Vec::with_capacity(4 + body.len());
+    out.extend_from_slice(&(body.len() as u32).to_be_bytes());
+    out.extend_from_slice(&body);
+    out
+}
+
+fn prefix_parts(p: &Prefix) -> (u128, u8, bool) {
+    match p.addr() {
+        std::net::IpAddr::V4(a) => (u32::from(a) as u128, p.len(), false),
+        std::net::IpAddr::V6(a) => (u128::from(a), p.len(), true),
+    }
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    off: usize,
+}
+
+impl Reader<'_> {
+    fn take(&mut self, n: usize) -> Result<&[u8], String> {
+        if self.off + n > self.buf.len() {
+            return Err("truncated frame".into());
+        }
+        let s = &self.buf[self.off..self.off + n];
+        self.off += n;
+        Ok(s)
+    }
+    fn u8(&mut self) -> Result<u8, String> {
+        Ok(self.take(1)?[0])
+    }
+    fn u16(&mut self) -> Result<u16, String> {
+        Ok(u16::from_be_bytes(self.take(2)?.try_into().unwrap()))
+    }
+    fn u32(&mut self) -> Result<u32, String> {
+        Ok(u32::from_be_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn u64(&mut self) -> Result<u64, String> {
+        Ok(u64::from_be_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn u128(&mut self) -> Result<u128, String> {
+        Ok(u128::from_be_bytes(self.take(16)?.try_into().unwrap()))
+    }
+}
+
+fn as_obj(v: &Json) -> Result<&[(String, Json)], String> {
+    match v {
+        Json::Obj(pairs) => Ok(pairs),
+        _ => Err("frame is not an object".into()),
+    }
+}
+
+fn get<'a>(obj: &'a [(String, Json)], key: &str) -> Result<&'a Json, String> {
+    obj.iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+        .ok_or_else(|| format!("missing field {key:?}"))
+}
+
+fn get_str<'a>(obj: &'a [(String, Json)], key: &str) -> Result<&'a str, String> {
+    match get(obj, key)? {
+        Json::Str(s) => Ok(s),
+        _ => Err(format!("field {key:?} is not a string")),
+    }
+}
+
+fn get_u64(obj: &[(String, Json)], key: &str) -> Result<u64, String> {
+    match get(obj, key)? {
+        Json::U64(n) => Ok(*n),
+        _ => Err(format!("field {key:?} is not an unsigned integer")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgp_types::UpdateBuilder;
+
+    fn sample() -> BgpUpdate {
+        UpdateBuilder::announce(VpId::new(Asn(65001), 2), "10.1.0.0/16".parse().unwrap())
+            .at(Timestamp::from_millis(1234))
+            .path([65001, 2, 3])
+            .community(65001, 100)
+            .build()
+    }
+
+    #[test]
+    fn golden_update_json() {
+        let f = Frame::update(7, &sample());
+        assert_eq!(
+            f.json(),
+            "{\"type\":\"update\",\"seq\":7,\"vp\":\"65001#2\",\"time\":1234,\
+             \"prefix\":\"10.1.0.0/16\",\"kind\":\"announce\",\"path\":[65001,2,3],\
+             \"communities\":[\"65001:100\"]}"
+        );
+    }
+
+    #[test]
+    fn golden_gap_and_eos_json() {
+        assert_eq!(Frame::gap(3, 12).json(), "{\"type\":\"gap\",\"missed\":12}");
+        assert_eq!(Frame::eos(50).json(), "{\"type\":\"eos\",\"published\":50}");
+    }
+
+    #[test]
+    fn binary_roundtrip_update() {
+        let f = Frame::update(9, &sample());
+        let bytes = f.encode_binary();
+        let (g, used) = Frame::decode_binary(&bytes).unwrap().unwrap();
+        assert_eq!(used, bytes.len());
+        assert_eq!(g.seq, 9);
+        assert_eq!(g.payload, f.payload);
+        // re-encoding is byte-identical (codec is canonical)
+        assert_eq!(g.encode_binary(), bytes);
+    }
+
+    #[test]
+    fn binary_roundtrip_gap_eos() {
+        for f in [Frame::gap(5, 99), Frame::eos(123)] {
+            let bytes = f.encode_binary();
+            let (g, used) = Frame::decode_binary(&bytes).unwrap().unwrap();
+            assert_eq!(used, bytes.len());
+            assert_eq!(g.payload, f.payload);
+        }
+    }
+
+    #[test]
+    fn binary_decode_is_incremental_and_strict() {
+        let f = Frame::update(0, &sample());
+        let bytes = f.encode_binary();
+        // every strict prefix is "incomplete", not an error
+        for cut in 0..bytes.len() {
+            assert!(Frame::decode_binary(&bytes[..cut]).unwrap().is_none());
+        }
+        // corrupting the magic is an error
+        let mut bad = bytes.clone();
+        bad[4] ^= 0xff;
+        assert!(Frame::decode_binary(&bad).is_err());
+        // two frames back to back decode one at a time
+        let mut two = bytes.clone();
+        two.extend_from_slice(&Frame::gap(1, 3).encode_binary());
+        let (first, used) = Frame::decode_binary(&two).unwrap().unwrap();
+        assert!(matches!(first.payload, FramePayload::Update(_)));
+        let (second, _) = Frame::decode_binary(&two[used..]).unwrap().unwrap();
+        assert!(matches!(second.payload, FramePayload::Gap { missed: 3 }));
+    }
+
+    #[test]
+    fn json_parses_back_to_same_fields() {
+        let u = sample();
+        let f = Frame::update(4, &u);
+        let (seq, payload) = Frame::from_json(f.json()).unwrap();
+        assert_eq!(seq, 4);
+        assert_eq!(payload, FramePayload::Update(u));
+        let (_, gap) = Frame::from_json(Frame::gap(0, 7).json()).unwrap();
+        assert_eq!(gap, FramePayload::Gap { missed: 7 });
+    }
+
+    #[test]
+    fn withdraw_frames_roundtrip() {
+        let u = UpdateBuilder::withdraw(VpId::from_asn(Asn(65009)), "10.2.0.0/24".parse().unwrap())
+            .at(Timestamp::from_millis(5))
+            .build();
+        let f = Frame::update(1, &u);
+        let (g, _) = Frame::decode_binary(&f.encode_binary()).unwrap().unwrap();
+        assert_eq!(g.payload, FramePayload::Update(u.clone()));
+        let (_, p) = Frame::from_json(f.json()).unwrap();
+        assert_eq!(p, FramePayload::Update(u));
+    }
+}

@@ -1,0 +1,37 @@
+//! gill-stream: a RIS-Live-style real-time update broker.
+//!
+//! The paper's platform (§9) serves its archive through query APIs; this
+//! crate adds the *live* distribution half — the equivalent of RIPE RIS's
+//! RIS-Live firehose — with two properties the collection side demands:
+//!
+//! * **bounded fan-out cost**: frames are encoded once at publish
+//!   ([`frame`]), distribution is a pre-rendered byte copy per subscriber,
+//!   and an idle broker (zero subscribers) costs the collector one atomic
+//!   load per update;
+//! * **deterministic slow-consumer handling**: the sequenced broadcast
+//!   [`ring`] never applies backpressure to the producer. A subscriber
+//!   that falls more than a ring's capacity behind *loses* frames and
+//!   observes the loss explicitly — either as a `{"type":"gap"}` marker or
+//!   as a disconnect, per its declared [`SlowPolicy`]. A stalled client
+//!   can never wedge the collector.
+//!
+//! The [`broker`] ties these together and implements the collector's
+//! [`gill_collector::daemon::UpdateSink`] so accepted updates tee into the
+//! stream strictly after filter-accept; [`serve`] exposes
+//! `/stream/updates` and `/stream/stats` on the blocking HTTP server,
+//! moving each live connection onto a dedicated streamer thread.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod broker;
+pub mod frame;
+pub mod ring;
+pub mod serve;
+pub mod subscriber;
+
+pub use broker::{BrokerConfig, BrokerStats, StreamBroker, StreamPublisher, SubscribeError};
+pub use frame::{Frame, FramePayload};
+pub use ring::{Poll, Ring};
+pub use serve::{route_streaming, serve_streaming, stats_response};
+pub use subscriber::{Delivery, SlowPolicy, StreamFilter, Subscription};

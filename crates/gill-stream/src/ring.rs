@@ -1,0 +1,303 @@
+//! The sequenced broadcast ring.
+//!
+//! A fixed-capacity slab of [`Arc`]'d frames with monotonically increasing
+//! sequence numbers. One producer publishes; any number of reader cursors
+//! follow at their own pace and **never block the producer**: a reader that
+//! falls more than `capacity` frames behind does not apply backpressure —
+//! it *loses* the overwritten frames and observes the loss explicitly as a
+//! [`Poll::Gap`]. This is the overshoot-and-discard philosophy applied to
+//! distribution: the collector hot path is sacred, slow consumers pay.
+//!
+//! Readers take a per-slot read lock for the duration of one `Arc` clone;
+//! the producer write-locks exactly one slot per publish. Sequence numbers
+//! double as validity stamps, so a reader that raced an overwrite detects
+//! it (`slot.seq != cursor`) and reports the gap instead of delivering a
+//! torn frame.
+
+use parking_lot::RwLock;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// What one cursor poll observed.
+#[derive(Clone, Debug)]
+pub enum Poll<T> {
+    /// The frame at the cursor; advance the cursor by one.
+    Frame(Arc<T>),
+    /// The cursor fell behind the ring: `missed` frames were overwritten
+    /// before this reader consumed them. Resume from `resume`.
+    Gap {
+        /// Number of frames irrecoverably lost to this reader.
+        missed: u64,
+        /// The oldest sequence number still available.
+        resume: u64,
+    },
+    /// Nothing published at or beyond the cursor yet.
+    Empty,
+    /// The producer closed the ring and the cursor has consumed every
+    /// published frame.
+    Closed,
+}
+
+struct Slot<T> {
+    seq: u64,
+    frame: Option<Arc<T>>,
+}
+
+/// The broadcast ring. `T` is the frame payload (the broker publishes
+/// pre-encoded [`crate::frame::Frame`]s so the encode cost is paid once,
+/// not per subscriber).
+pub struct Ring<T> {
+    slots: Box<[RwLock<Slot<T>>]>,
+    /// Next sequence number to publish == total frames published.
+    head: AtomicU64,
+    closed: AtomicBool,
+    /// Readers parked waiting for the next publish. The producer only
+    /// touches the condvar when this is non-zero, so an all-busy reader
+    /// population costs the publish path nothing.
+    waiters: AtomicUsize,
+    wait_lock: Mutex<()>,
+    wait_cv: Condvar,
+}
+
+impl<T> Ring<T> {
+    /// A ring holding the most recent `capacity` frames (rounded up to 1).
+    pub fn new(capacity: usize) -> Ring<T> {
+        let cap = capacity.max(1);
+        let slots = (0..cap)
+            .map(|_| {
+                RwLock::new(Slot {
+                    seq: u64::MAX,
+                    frame: None,
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        Ring {
+            slots,
+            head: AtomicU64::new(0),
+            closed: AtomicBool::new(false),
+            waiters: AtomicUsize::new(0),
+            wait_lock: Mutex::new(()),
+            wait_cv: Condvar::new(),
+        }
+    }
+
+    /// Ring capacity in frames.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Total frames published so far (== the next sequence number).
+    pub fn head(&self) -> u64 {
+        self.head.load(Ordering::Acquire)
+    }
+
+    /// The oldest sequence number still resident, given the current head.
+    pub fn oldest(&self) -> u64 {
+        self.head().saturating_sub(self.slots.len() as u64)
+    }
+
+    /// Whether [`Ring::close`] has been called.
+    pub fn is_closed(&self) -> bool {
+        self.closed.load(Ordering::Acquire)
+    }
+
+    /// Publishes one frame, returning its sequence number. Single-producer:
+    /// callers must serialize publishes (the broker holds a producer lock).
+    pub fn publish(&self, frame: Arc<T>) -> u64 {
+        let seq = self.head.load(Ordering::Relaxed);
+        {
+            let mut slot = self.slots[(seq % self.slots.len() as u64) as usize].write();
+            slot.seq = seq;
+            slot.frame = Some(frame);
+        }
+        self.head.store(seq + 1, Ordering::Release);
+        self.wake_waiters();
+        seq
+    }
+
+    /// Marks the stream finished. Readers drain what remains, then observe
+    /// [`Poll::Closed`].
+    pub fn close(&self) {
+        self.closed.store(true, Ordering::Release);
+        self.wake_waiters();
+    }
+
+    fn wake_waiters(&self) {
+        if self.waiters.load(Ordering::Acquire) > 0 {
+            let _guard = self.wait_lock.lock().unwrap();
+            self.wait_cv.notify_all();
+        }
+    }
+
+    /// Non-blocking read of the frame at `cursor`.
+    pub fn poll(&self, cursor: u64) -> Poll<T> {
+        let head = self.head.load(Ordering::Acquire);
+        if cursor >= head {
+            return if self.is_closed() {
+                Poll::Closed
+            } else {
+                Poll::Empty
+            };
+        }
+        let oldest = head.saturating_sub(self.slots.len() as u64);
+        if cursor < oldest {
+            return Poll::Gap {
+                missed: oldest - cursor,
+                resume: oldest,
+            };
+        }
+        let slot = self.slots[(cursor % self.slots.len() as u64) as usize].read();
+        if slot.seq == cursor {
+            if let Some(f) = &slot.frame {
+                return Poll::Frame(f.clone());
+            }
+        }
+        // The producer lapped us between the head load and the slot read;
+        // recompute the loss against the fresh head.
+        drop(slot);
+        let oldest = self
+            .head
+            .load(Ordering::Acquire)
+            .saturating_sub(self.slots.len() as u64);
+        Poll::Gap {
+            missed: oldest.saturating_sub(cursor).max(1),
+            resume: oldest.max(cursor + 1),
+        }
+    }
+
+    /// Blocking poll: waits up to `timeout` for a frame at `cursor` before
+    /// returning [`Poll::Empty`]. Gap/Closed are returned immediately.
+    pub fn poll_wait(&self, cursor: u64, timeout: Duration) -> Poll<T> {
+        match self.poll(cursor) {
+            Poll::Empty => {}
+            other => return other,
+        }
+        self.waiters.fetch_add(1, Ordering::AcqRel);
+        let guard = self.wait_lock.lock().unwrap();
+        // Re-check under the lock: a publish may have raced the registration.
+        let result = match self.poll(cursor) {
+            Poll::Empty => {
+                let (_guard, _timeout) = self.wait_cv.wait_timeout(guard, timeout).unwrap();
+                self.poll(cursor)
+            }
+            other => other,
+        };
+        self.waiters.fetch_sub(1, Ordering::AcqRel);
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_publish_and_read() {
+        let ring: Ring<u32> = Ring::new(4);
+        for i in 0..3 {
+            assert_eq!(ring.publish(Arc::new(i)), i as u64);
+        }
+        for i in 0..3u64 {
+            match ring.poll(i) {
+                Poll::Frame(f) => assert_eq!(*f, i as u32),
+                other => panic!("expected frame at {i}, got {other:?}"),
+            }
+        }
+        assert!(matches!(ring.poll(3), Poll::Empty));
+    }
+
+    #[test]
+    fn lapped_cursor_reports_exact_gap() {
+        let ring: Ring<u32> = Ring::new(4);
+        for i in 0..10 {
+            ring.publish(Arc::new(i));
+        }
+        // oldest resident is 10 - 4 = 6
+        match ring.poll(0) {
+            Poll::Gap { missed, resume } => {
+                assert_eq!(missed, 6);
+                assert_eq!(resume, 6);
+            }
+            other => panic!("expected gap, got {other:?}"),
+        }
+        // resuming at the gap boundary delivers the oldest resident frame
+        match ring.poll(6) {
+            Poll::Frame(f) => assert_eq!(*f, 6),
+            other => panic!("expected frame, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn close_drains_then_signals() {
+        let ring: Ring<u32> = Ring::new(4);
+        ring.publish(Arc::new(7));
+        ring.close();
+        assert!(matches!(ring.poll(0), Poll::Frame(_)));
+        assert!(matches!(ring.poll(1), Poll::Closed));
+    }
+
+    #[test]
+    fn poll_wait_times_out_empty() {
+        let ring: Ring<u32> = Ring::new(4);
+        let start = std::time::Instant::now();
+        assert!(matches!(
+            ring.poll_wait(0, Duration::from_millis(30)),
+            Poll::Empty
+        ));
+        assert!(start.elapsed() >= Duration::from_millis(25));
+    }
+
+    #[test]
+    fn poll_wait_wakes_on_publish() {
+        let ring: Arc<Ring<u32>> = Arc::new(Ring::new(4));
+        let r = ring.clone();
+        let t = std::thread::spawn(move || r.poll_wait(0, Duration::from_secs(5)));
+        std::thread::sleep(Duration::from_millis(20));
+        ring.publish(Arc::new(42));
+        match t.join().unwrap() {
+            Poll::Frame(f) => assert_eq!(*f, 42),
+            other => panic!("expected frame, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn concurrent_readers_never_block_producer() {
+        let ring: Arc<Ring<u64>> = Arc::new(Ring::new(64));
+        let readers: Vec<_> = (0..4)
+            .map(|_| {
+                let r = ring.clone();
+                std::thread::spawn(move || {
+                    let mut cursor = 0u64;
+                    let mut seen = Vec::new();
+                    loop {
+                        match r.poll_wait(cursor, Duration::from_millis(200)) {
+                            Poll::Frame(f) => {
+                                seen.push(*f);
+                                cursor += 1;
+                            }
+                            Poll::Gap { missed, resume } => {
+                                seen.push(u64::MAX - missed);
+                                cursor = resume;
+                            }
+                            Poll::Empty | Poll::Closed => break,
+                        }
+                    }
+                    seen
+                })
+            })
+            .collect();
+        for i in 0..1000u64 {
+            ring.publish(Arc::new(i));
+        }
+        ring.close();
+        for t in readers {
+            let seen = t.join().unwrap();
+            assert!(!seen.is_empty());
+            // delivered values are strictly increasing (ignoring gap marks)
+            let vals: Vec<u64> = seen.iter().copied().filter(|v| *v < 1000).collect();
+            assert!(vals.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+}

@@ -1,0 +1,474 @@
+//! The streaming HTTP endpoints.
+//!
+//! * `GET /stream/updates?vp=&prefix=&origin=&policy=&format=&pace_ms=` —
+//!   a live chunked-Transfer-Encoding stream of frames. JSON format is one
+//!   frame per line (`curl -N` friendly); `format=binary` streams the
+//!   length-prefixed framing instead.
+//! * `GET /stream/stats` — broker counters as JSON.
+//!
+//! Everything else falls through to the ordinary looking-glass router
+//! ([`gill_query::server::route_with`]), so one server exposes both the
+//! query API and the live stream. Streaming connections leave the bounded
+//! worker pool via [`Handled::Takeover`] onto dedicated streamer threads:
+//! a thousand-update query and a day-long stream must not compete for the
+//! same four workers.
+
+use crate::broker::{StreamBroker, SubscribeError};
+use crate::subscriber::{Delivery, SlowPolicy, StreamFilter, Subscription};
+use bgp_types::{Asn, Prefix};
+use gill_core::FilterHandle;
+use gill_query::http::{Handled, HttpServer, Request, Response, ServerConfig};
+use gill_query::server::parse_vp;
+use gill_query::{Json, SharedStore};
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// How long one blocking poll waits before re-checking the stop flag.
+const POLL_SLICE: Duration = Duration::from_millis(250);
+
+/// Starts a combined looking-glass + streaming server: `/stream/*` is
+/// served from `broker`, everything else from `store` (and `filters`, when
+/// given, for `/filters`).
+pub fn serve_streaming(
+    addr: &str,
+    cfg: ServerConfig,
+    store: SharedStore,
+    filters: Option<Arc<FilterHandle>>,
+    broker: StreamBroker,
+) -> std::io::Result<HttpServer> {
+    HttpServer::start_with(addr, cfg, move |req| {
+        route_streaming(req, &broker).unwrap_or_else(|| {
+            Handled::Response(gill_query::server::route_with(
+                req,
+                &store,
+                filters.as_deref(),
+            ))
+        })
+    })
+}
+
+/// Routes one request against the streaming endpoints. Returns `None` for
+/// paths this layer does not own (callers fall through to their own
+/// router).
+pub fn route_streaming(req: &Request, broker: &StreamBroker) -> Option<Handled> {
+    match req.path.as_str() {
+        "/stream/updates" => Some(stream_updates(req, broker)),
+        "/stream/stats" => Some(Handled::Response(stats_response(broker))),
+        _ => None,
+    }
+}
+
+/// The `/stream/stats` JSON body.
+pub fn stats_response(broker: &StreamBroker) -> Response {
+    let s = broker.stats();
+    let body = Json::obj([
+        ("published", Json::U64(s.published as u64)),
+        ("shed", Json::U64(s.shed as u64)),
+        ("subscribers", Json::U64(s.subscribers as u64)),
+        ("max_subscribers", Json::U64(s.max_subscribers as u64)),
+        ("ring_capacity", Json::U64(s.ring_capacity as u64)),
+        ("gaps_emitted", Json::U64(s.gaps_emitted as u64)),
+        ("disconnects", Json::U64(s.disconnects as u64)),
+        ("frames_delivered", Json::U64(s.frames_delivered as u64)),
+        ("frames_filtered", Json::U64(s.frames_filtered as u64)),
+        ("closed", Json::Bool(broker.is_closed())),
+    ])
+    .encode()
+    .expect("stats contain no floats");
+    Response::json(body)
+}
+
+/// Wire format of one subscription.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum StreamFormat {
+    /// One JSON frame per line.
+    Ndjson,
+    /// Length-prefixed binary frames.
+    Binary,
+}
+
+fn stream_updates(req: &Request, broker: &StreamBroker) -> Handled {
+    let mut filter = StreamFilter::any();
+    if let Some(v) = req.param("vp") {
+        match parse_vp(v) {
+            Some(vp) => filter = filter.with_vp(vp),
+            None => return bad_request("malformed vp"),
+        }
+    }
+    // prefix is repeatable: any cover matches
+    for (k, v) in &req.params {
+        if k == "prefix" {
+            match v.parse::<Prefix>() {
+                Ok(p) => filter = filter.with_prefix(p),
+                Err(_) => return bad_request("malformed prefix"),
+            }
+        }
+    }
+    if let Some(o) = req.param("origin") {
+        let raw = o.strip_prefix("AS").unwrap_or(o);
+        match raw.parse::<u32>() {
+            Ok(asn) => filter = filter.with_origin(Asn(asn)),
+            Err(_) => return bad_request("malformed origin"),
+        }
+    }
+    let policy = match req.param("policy") {
+        None => SlowPolicy::default(),
+        Some(p) => match SlowPolicy::parse(p) {
+            Some(policy) => policy,
+            None => return bad_request("policy must be skip or disconnect"),
+        },
+    };
+    let format = match req.param("format") {
+        None | Some("json") | Some("ndjson") => StreamFormat::Ndjson,
+        Some("binary") => StreamFormat::Binary,
+        Some(_) => return bad_request("format must be json or binary"),
+    };
+    // Server-side delivery throttle (ms per frame). Primarily a test
+    // lever: a paced subscriber falls behind *deterministically*, without
+    // depending on TCP socket buffer sizes.
+    let pace = match req.param("pace_ms") {
+        None => None,
+        Some(ms) => match ms.parse::<u64>() {
+            Ok(ms) if ms > 0 => Some(Duration::from_millis(ms)),
+            _ => return bad_request("malformed pace_ms"),
+        },
+    };
+    let sub = match broker.subscribe(filter, policy) {
+        Ok(sub) => sub,
+        Err(SubscribeError::Full { max }) => {
+            return Handled::Response(Response::error(
+                503,
+                &format!("subscriber limit reached ({max})"),
+            ))
+        }
+        Err(SubscribeError::Closed) => {
+            return Handled::Response(Response::error(503, "stream closed"))
+        }
+    };
+    Handled::Takeover(Box::new(move |stream, stop| {
+        run_stream(stream, stop, sub, format, pace);
+    }))
+}
+
+fn bad_request(msg: &str) -> Handled {
+    Handled::Response(Response::error(400, msg))
+}
+
+/// The streamer-thread loop: chunked response head, then frames until the
+/// stream closes, the client vanishes, or the server stops.
+fn run_stream(
+    mut stream: TcpStream,
+    stop: Arc<AtomicBool>,
+    mut sub: Subscription,
+    format: StreamFormat,
+    pace: Option<Duration>,
+) {
+    // long-lived stream: the per-request read deadline does not apply,
+    // but writes must still fail out if the client wedges the socket
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
+    let content_type = match format {
+        StreamFormat::Ndjson => "application/x-ndjson",
+        StreamFormat::Binary => "application/octet-stream",
+    };
+    let head = format!(
+        "HTTP/1.1 200 OK\r\nContent-Type: {content_type}\r\n\
+         Transfer-Encoding: chunked\r\nConnection: close\r\n\r\n"
+    );
+    if stream.write_all(head.as_bytes()).is_err() {
+        return;
+    }
+    loop {
+        if stop.load(Ordering::Relaxed) {
+            break;
+        }
+        let delivery = sub.next_timeout(POLL_SLICE);
+        let frame = match &delivery {
+            Delivery::Frame(f) => Some(f.as_ref().clone()),
+            Delivery::Gap(g) => Some(g.as_ref().clone()),
+            Delivery::Pending => continue,
+            // Disconnect policy: terminate without a marker — the missing
+            // chunked terminator tells the client the stream died
+            Delivery::Overrun { .. } => break,
+            Delivery::Closed => {
+                // clean end: write the final zero-length chunk
+                let _ = stream.write_all(b"0\r\n\r\n");
+                break;
+            }
+        };
+        if let Some(f) = frame {
+            let payload: Vec<u8> = match format {
+                StreamFormat::Ndjson => {
+                    let mut line = f.json().as_bytes().to_vec();
+                    line.push(b'\n');
+                    line
+                }
+                StreamFormat::Binary => f.binary().to_vec(),
+            };
+            if write_chunk(&mut stream, &payload).is_err() {
+                break; // client went away
+            }
+            if let Some(d) = pace {
+                std::thread::sleep(d);
+            }
+        }
+    }
+    let _ = stream.shutdown(std::net::Shutdown::Both);
+}
+
+fn write_chunk(stream: &mut TcpStream, payload: &[u8]) -> std::io::Result<()> {
+    let mut buf = Vec::with_capacity(payload.len() + 16);
+    buf.extend_from_slice(format!("{:x}\r\n", payload.len()).as_bytes());
+    buf.extend_from_slice(payload);
+    buf.extend_from_slice(b"\r\n");
+    stream.write_all(&buf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::broker::BrokerConfig;
+    use crate::frame::FramePayload;
+    use bgp_types::{Timestamp, UpdateBuilder, VpId};
+    use gill_query::RouteStore;
+    use parking_lot::RwLock;
+    use std::io::{BufRead, BufReader, Read};
+
+    fn empty_store() -> SharedStore {
+        Arc::new(RwLock::new(RouteStore::new(Default::default())))
+    }
+
+    fn upd(i: u32) -> bgp_types::BgpUpdate {
+        UpdateBuilder::announce(VpId::from_asn(Asn(65001)), Prefix::synthetic(i))
+            .at(Timestamp::from_millis(i as u64))
+            .path([65001, 2, 3])
+            .build()
+    }
+
+    /// Connects, requests `target`, returns the reader after the response
+    /// head (asserting the head is a chunked 200).
+    fn open_stream(addr: std::net::SocketAddr, target: &str) -> BufReader<TcpStream> {
+        let mut s = TcpStream::connect(addr).unwrap();
+        write!(s, "GET {target} HTTP/1.1\r\nHost: t\r\n\r\n").unwrap();
+        let mut r = BufReader::new(s);
+        let mut line = String::new();
+        r.read_line(&mut line).unwrap();
+        assert!(line.starts_with("HTTP/1.1 200"), "got {line:?}");
+        loop {
+            let mut l = String::new();
+            r.read_line(&mut l).unwrap();
+            if l == "\r\n" {
+                return r;
+            }
+            if l.to_ascii_lowercase().starts_with("transfer-encoding") {
+                assert!(l.to_ascii_lowercase().contains("chunked"));
+            }
+        }
+    }
+
+    /// Reads chunked body lines until the terminating zero chunk.
+    fn read_chunked_lines(r: &mut BufReader<TcpStream>) -> Vec<String> {
+        let mut lines = Vec::new();
+        loop {
+            let mut size_line = String::new();
+            r.read_line(&mut size_line).unwrap();
+            let size = usize::from_str_radix(size_line.trim(), 16).unwrap();
+            if size == 0 {
+                let mut fin = String::new();
+                r.read_line(&mut fin).unwrap();
+                return lines;
+            }
+            let mut payload = vec![0u8; size + 2]; // chunk + trailing CRLF
+            r.read_exact(&mut payload).unwrap();
+            payload.truncate(size);
+            let text = String::from_utf8(payload).unwrap();
+            for l in text.lines() {
+                lines.push(l.to_string());
+            }
+        }
+    }
+
+    #[test]
+    fn streams_frames_over_chunked_http() {
+        let broker = StreamBroker::new(BrokerConfig::default());
+        let mut srv = serve_streaming(
+            "127.0.0.1:0",
+            ServerConfig::default(),
+            empty_store(),
+            None,
+            broker.clone(),
+        )
+        .unwrap();
+        let mut r = open_stream(srv.local_addr(), "/stream/updates");
+        // wait for the subscriber to attach, then publish and close
+        for _ in 0..200 {
+            if broker.subscribers() == 1 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(broker.subscribers(), 1);
+        for i in 0..3 {
+            assert!(broker.publish(&upd(i)).is_some());
+        }
+        broker.close();
+        let lines = read_chunked_lines(&mut r);
+        assert_eq!(lines.len(), 4, "3 updates + eos: {lines:?}");
+        for (i, l) in lines.iter().take(3).enumerate() {
+            let (seq, payload) = crate::frame::Frame::from_json(l).unwrap();
+            assert_eq!(seq, i as u64);
+            assert!(matches!(payload, FramePayload::Update(_)));
+        }
+        let (_, last) = crate::frame::Frame::from_json(&lines[3]).unwrap();
+        assert_eq!(last, FramePayload::Eos { published: 3 });
+        srv.stop();
+    }
+
+    #[test]
+    fn stream_stats_and_fallthrough_to_query_api() {
+        let broker = StreamBroker::new(BrokerConfig {
+            ring_capacity: 32,
+            max_subscribers: 7,
+        });
+        let mut srv = serve_streaming(
+            "127.0.0.1:0",
+            ServerConfig::default(),
+            empty_store(),
+            None,
+            broker.clone(),
+        )
+        .unwrap();
+        let get = |target: &str| -> (u16, String) {
+            let mut s = TcpStream::connect(srv.local_addr()).unwrap();
+            write!(
+                s,
+                "GET {target} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n"
+            )
+            .unwrap();
+            let mut buf = String::new();
+            s.read_to_string(&mut buf).unwrap();
+            let code = buf.split(' ').nth(1).unwrap().parse().unwrap();
+            let body = buf.split("\r\n\r\n").nth(1).unwrap_or("").to_string();
+            (code, body)
+        };
+        let (code, body) = get("/stream/stats");
+        assert_eq!(code, 200);
+        assert!(body.contains("\"max_subscribers\":7"), "{body}");
+        assert!(body.contains("\"ring_capacity\":32"), "{body}");
+        // non-stream paths reach the looking-glass router
+        let (code, body) = get("/health");
+        assert_eq!(code, 200, "{body}");
+        let (code, _) = get("/definitely-not-an-endpoint");
+        assert_eq!(code, 404);
+        srv.stop();
+    }
+
+    #[test]
+    fn subscriber_cap_returns_503_json() {
+        let broker = StreamBroker::new(BrokerConfig {
+            ring_capacity: 8,
+            max_subscribers: 1,
+        });
+        let mut srv = serve_streaming(
+            "127.0.0.1:0",
+            ServerConfig::default(),
+            empty_store(),
+            None,
+            broker.clone(),
+        )
+        .unwrap();
+        let _held = open_stream(srv.local_addr(), "/stream/updates");
+        for _ in 0..200 {
+            if broker.subscribers() == 1 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let mut s = TcpStream::connect(srv.local_addr()).unwrap();
+        write!(
+            s,
+            "GET /stream/updates HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n"
+        )
+        .unwrap();
+        let mut buf = String::new();
+        s.read_to_string(&mut buf).unwrap();
+        assert!(buf.starts_with("HTTP/1.1 503"), "{buf}");
+        assert!(buf.contains("subscriber limit reached (1)"), "{buf}");
+        broker.close();
+        srv.stop();
+    }
+
+    #[test]
+    fn bad_stream_params_are_rejected() {
+        let broker = StreamBroker::new(BrokerConfig::default());
+        let mut srv = serve_streaming(
+            "127.0.0.1:0",
+            ServerConfig::default(),
+            empty_store(),
+            None,
+            broker.clone(),
+        )
+        .unwrap();
+        for target in [
+            "/stream/updates?vp=notanumber",
+            "/stream/updates?prefix=999.0.0.0%2F8",
+            "/stream/updates?origin=xyz",
+            "/stream/updates?policy=whatever",
+            "/stream/updates?format=xml",
+            "/stream/updates?pace_ms=-3",
+        ] {
+            let mut s = TcpStream::connect(srv.local_addr()).unwrap();
+            write!(
+                s,
+                "GET {target} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n"
+            )
+            .unwrap();
+            let mut buf = String::new();
+            s.read_to_string(&mut buf).unwrap();
+            assert!(buf.starts_with("HTTP/1.1 400"), "{target} -> {buf}");
+        }
+        assert_eq!(broker.subscribers(), 0);
+        srv.stop();
+    }
+
+    #[test]
+    fn filtered_stream_only_delivers_matches() {
+        let broker = StreamBroker::new(BrokerConfig::default());
+        let mut srv = serve_streaming(
+            "127.0.0.1:0",
+            ServerConfig::default(),
+            empty_store(),
+            None,
+            broker.clone(),
+        )
+        .unwrap();
+        // subscribe to one VP only
+        let mut r = open_stream(srv.local_addr(), "/stream/updates?vp=65002");
+        for _ in 0..200 {
+            if broker.subscribers() == 1 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let mk = |asn: u32, i: u32| {
+            UpdateBuilder::announce(VpId::from_asn(Asn(asn)), Prefix::synthetic(i))
+                .at(Timestamp::from_millis(i as u64))
+                .path([asn, 2, 3])
+                .build()
+        };
+        broker.publish(&mk(65001, 0));
+        broker.publish(&mk(65002, 1));
+        broker.publish(&mk(65001, 2));
+        broker.publish(&mk(65002, 3));
+        broker.close();
+        let lines = read_chunked_lines(&mut r);
+        // 2 matching updates + eos
+        assert_eq!(lines.len(), 3, "{lines:?}");
+        for l in &lines[..2] {
+            assert!(l.contains("\"vp\":\"65002\""), "{l}");
+        }
+        srv.stop();
+    }
+}

@@ -1,0 +1,384 @@
+//! Per-subscriber state: a ring cursor, a server-side filter expression,
+//! and an explicit slow-consumer policy.
+//!
+//! Filtering happens server-side so a subscriber interested in one prefix
+//! does not pay for the full firehose on the wire (RIS-Live's `path` /
+//! `prefix` subscription parameters). The filter expression reuses the
+//! collection side's key types — [`VpId`], [`Prefix`] with
+//! [`PrefixTrie`]-backed longest-prefix matching, and origin [`Asn`] — the
+//! same attributes GILL's drop rules are keyed on
+//! ([`gill_core::DropRule`]).
+//!
+//! The slow-consumer policy makes overload behaviour *explicit and
+//! deterministic*: a stalled client either gets disconnected
+//! ([`SlowPolicy::Disconnect`]) or skips forward with a
+//! `{"type":"gap","missed":N}` marker ([`SlowPolicy::SkipWithGapMarker`]).
+//! Either way the producer never blocks and the ring never wedges.
+
+use crate::frame::{Frame, FramePayload};
+use crate::ring::{Poll, Ring};
+use bgp_types::{Asn, BgpUpdate, Prefix, PrefixTrie, VpId};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// What to do with a subscriber that falls more than a ring's capacity
+/// behind the producer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum SlowPolicy {
+    /// Skip the lost frames and deliver a gap marker stating how many.
+    #[default]
+    SkipWithGapMarker,
+    /// Terminate the subscription (the client must reconnect).
+    Disconnect,
+}
+
+impl SlowPolicy {
+    /// Parses the `policy=` query parameter (`skip` / `disconnect`).
+    pub fn parse(s: &str) -> Option<SlowPolicy> {
+        match s {
+            "skip" | "gap" => Some(SlowPolicy::SkipWithGapMarker),
+            "disconnect" | "drop" => Some(SlowPolicy::Disconnect),
+            _ => None,
+        }
+    }
+}
+
+/// A server-side filter expression: all present criteria must match
+/// (conjunction); an empty expression matches everything.
+#[derive(Clone, Debug, Default)]
+pub struct StreamFilter {
+    /// Deliver only updates observed by this VP.
+    pub vp: Option<VpId>,
+    /// Deliver only updates whose prefix is covered by one of these
+    /// (longest-prefix matching over a [`PrefixTrie`], so `10.0.0.0/8`
+    /// subscribes to every more-specific announcement under it).
+    prefixes: Option<PrefixTrie<()>>,
+    /// Deliver only updates originated by this AS.
+    pub origin: Option<Asn>,
+}
+
+impl StreamFilter {
+    /// The match-everything filter.
+    pub fn any() -> StreamFilter {
+        StreamFilter::default()
+    }
+
+    /// Restricts to one VP.
+    pub fn with_vp(mut self, vp: VpId) -> StreamFilter {
+        self.vp = Some(vp);
+        self
+    }
+
+    /// Adds a subscribed prefix (repeatable; any cover matches).
+    pub fn with_prefix(mut self, p: Prefix) -> StreamFilter {
+        self.prefixes
+            .get_or_insert_with(PrefixTrie::new)
+            .insert(p, ());
+        self
+    }
+
+    /// Restricts to one origin AS.
+    pub fn with_origin(mut self, asn: Asn) -> StreamFilter {
+        self.origin = Some(asn);
+        self
+    }
+
+    /// Whether the expression has no criteria (firehose subscription).
+    pub fn is_any(&self) -> bool {
+        self.vp.is_none() && self.prefixes.is_none() && self.origin.is_none()
+    }
+
+    /// Whether `u` matches the expression.
+    pub fn matches(&self, u: &BgpUpdate) -> bool {
+        if let Some(vp) = self.vp {
+            if u.vp != vp {
+                return false;
+            }
+        }
+        if let Some(trie) = &self.prefixes {
+            if trie.longest_match(&u.prefix).is_none() {
+                return false;
+            }
+        }
+        if let Some(origin) = self.origin {
+            if u.path.origin() != Some(origin) {
+                // withdrawals carry no path; an origin subscription still
+                // sees withdrawals of prefixes it saw announced? No — the
+                // expression is attribute-based and withdrawals have no
+                // origin, so they only flow on origin-free subscriptions.
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// What one subscription poll step yields.
+#[derive(Clone, Debug)]
+pub enum Delivery {
+    /// A frame to forward to the client.
+    Frame(Arc<Frame>),
+    /// A synthesized gap marker ([`SlowPolicy::SkipWithGapMarker`]).
+    Gap(Arc<Frame>),
+    /// The subscription fell behind under [`SlowPolicy::Disconnect`];
+    /// `missed` frames were lost and the subscription is dead.
+    Overrun {
+        /// Frames lost at disconnect time.
+        missed: u64,
+    },
+    /// Nothing to deliver yet.
+    Pending,
+    /// The stream closed and every matching frame has been delivered.
+    Closed,
+}
+
+/// Counters shared between a subscription and its broker.
+#[derive(Debug, Default)]
+pub(crate) struct SubscriberShared {
+    pub(crate) active: AtomicUsize,
+    pub(crate) gaps_emitted: AtomicUsize,
+    pub(crate) disconnects: AtomicUsize,
+    pub(crate) frames_delivered: AtomicUsize,
+    pub(crate) frames_filtered: AtomicUsize,
+}
+
+/// A live subscription: owns a cursor over the shared ring.
+pub struct Subscription {
+    ring: Arc<Ring<Frame>>,
+    shared: Arc<SubscriberShared>,
+    cursor: u64,
+    filter: StreamFilter,
+    policy: SlowPolicy,
+    dead: bool,
+    delivered: u64,
+    gaps: u64,
+}
+
+impl Subscription {
+    pub(crate) fn new(
+        ring: Arc<Ring<Frame>>,
+        shared: Arc<SubscriberShared>,
+        filter: StreamFilter,
+        policy: SlowPolicy,
+        start: u64,
+    ) -> Subscription {
+        Subscription {
+            ring,
+            shared,
+            cursor: start,
+            filter,
+            policy,
+            dead: false,
+            delivered: 0,
+            gaps: 0,
+        }
+    }
+
+    /// The next sequence number this subscription will look at.
+    pub fn cursor(&self) -> u64 {
+        self.cursor
+    }
+
+    /// Frames delivered (post-filter) so far.
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Gap markers emitted so far.
+    pub fn gaps(&self) -> u64 {
+        self.gaps
+    }
+
+    /// The subscription's slow-consumer policy.
+    pub fn policy(&self) -> SlowPolicy {
+        self.policy
+    }
+
+    /// One non-blocking poll step.
+    pub fn poll_next(&mut self) -> Delivery {
+        self.step(|ring, cursor| ring.poll(cursor))
+    }
+
+    /// One poll step that blocks up to `timeout` waiting for a frame.
+    pub fn next_timeout(&mut self, timeout: Duration) -> Delivery {
+        self.step(|ring, cursor| ring.poll_wait(cursor, timeout))
+    }
+
+    fn step(&mut self, poll: impl Fn(&Ring<Frame>, u64) -> Poll<Frame>) -> Delivery {
+        if self.dead {
+            return Delivery::Closed;
+        }
+        loop {
+            match poll(&self.ring, self.cursor) {
+                Poll::Frame(f) => {
+                    self.cursor += 1;
+                    let matched = match &f.payload {
+                        FramePayload::Update(u) => self.filter.matches(u),
+                        // control frames always flow
+                        FramePayload::Gap { .. } | FramePayload::Eos { .. } => true,
+                    };
+                    if matched {
+                        self.delivered += 1;
+                        self.shared.frames_delivered.fetch_add(1, Ordering::Relaxed);
+                        return Delivery::Frame(f);
+                    }
+                    self.shared.frames_filtered.fetch_add(1, Ordering::Relaxed);
+                    // filtered out: keep scanning without yielding
+                }
+                Poll::Gap { missed, resume } => {
+                    self.cursor = resume;
+                    return match self.policy {
+                        SlowPolicy::SkipWithGapMarker => {
+                            self.gaps += 1;
+                            self.shared.gaps_emitted.fetch_add(1, Ordering::Relaxed);
+                            Delivery::Gap(Arc::new(Frame::gap(resume, missed)))
+                        }
+                        SlowPolicy::Disconnect => {
+                            self.dead = true;
+                            self.shared.disconnects.fetch_add(1, Ordering::Relaxed);
+                            Delivery::Overrun { missed }
+                        }
+                    };
+                }
+                Poll::Empty => return Delivery::Pending,
+                Poll::Closed => {
+                    self.dead = true;
+                    return Delivery::Closed;
+                }
+            }
+        }
+    }
+}
+
+impl Drop for Subscription {
+    fn drop(&mut self) {
+        self.shared.active.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgp_types::{Timestamp, UpdateBuilder};
+
+    fn upd(vp: u32, pfx: &str, path: &[u32]) -> BgpUpdate {
+        UpdateBuilder::announce(VpId::from_asn(Asn(vp)), pfx.parse().unwrap())
+            .at(Timestamp::from_millis(1))
+            .path(path.iter().copied())
+            .build()
+    }
+
+    #[test]
+    fn filter_criteria_are_conjunctive() {
+        let u = upd(65001, "10.1.2.0/24", &[65001, 2, 3]);
+        assert!(StreamFilter::any().matches(&u));
+        assert!(StreamFilter::any()
+            .with_vp(VpId::from_asn(Asn(65001)))
+            .matches(&u));
+        assert!(!StreamFilter::any()
+            .with_vp(VpId::from_asn(Asn(65002)))
+            .matches(&u));
+        // prefix subscription is cover-based (LPM over the trie)
+        let cover = StreamFilter::any().with_prefix("10.0.0.0/8".parse().unwrap());
+        assert!(cover.matches(&u));
+        let other = StreamFilter::any().with_prefix("192.0.0.0/8".parse().unwrap());
+        assert!(!other.matches(&u));
+        assert!(StreamFilter::any().with_origin(Asn(3)).matches(&u));
+        assert!(!StreamFilter::any().with_origin(Asn(2)).matches(&u));
+        // conjunction: right vp, wrong origin
+        assert!(!StreamFilter::any()
+            .with_vp(VpId::from_asn(Asn(65001)))
+            .with_origin(Asn(9))
+            .matches(&u));
+    }
+
+    fn ring_with(n: u64, cap: usize) -> Arc<Ring<Frame>> {
+        let ring = Arc::new(Ring::new(cap));
+        for i in 0..n {
+            let u = upd(65001, "10.1.0.0/16", &[65001, 2, 3]);
+            ring.publish(Arc::new(Frame::update(i, &u)));
+        }
+        ring
+    }
+
+    fn sub(ring: &Arc<Ring<Frame>>, policy: SlowPolicy) -> Subscription {
+        let shared = Arc::new(SubscriberShared::default());
+        shared.active.fetch_add(1, Ordering::AcqRel);
+        Subscription::new(ring.clone(), shared, StreamFilter::any(), policy, 0)
+    }
+
+    #[test]
+    fn skip_policy_emits_one_gap_then_resumes_in_order() {
+        let ring = ring_with(10, 4);
+        let mut s = sub(&ring, SlowPolicy::SkipWithGapMarker);
+        match s.poll_next() {
+            Delivery::Gap(g) => match g.payload {
+                FramePayload::Gap { missed } => assert_eq!(missed, 6),
+                _ => unreachable!(),
+            },
+            other => panic!("expected gap, got {other:?}"),
+        }
+        let mut seqs = Vec::new();
+        while let Delivery::Frame(f) = s.poll_next() {
+            seqs.push(f.seq);
+        }
+        assert_eq!(seqs, vec![6, 7, 8, 9]);
+        assert_eq!(s.gaps(), 1);
+        assert_eq!(s.delivered(), 4);
+    }
+
+    #[test]
+    fn disconnect_policy_kills_the_subscription() {
+        let ring = ring_with(10, 4);
+        let mut s = sub(&ring, SlowPolicy::Disconnect);
+        match s.poll_next() {
+            Delivery::Overrun { missed } => assert_eq!(missed, 6),
+            other => panic!("expected overrun, got {other:?}"),
+        }
+        assert!(matches!(s.poll_next(), Delivery::Closed));
+    }
+
+    #[test]
+    fn filtered_frames_are_skipped_silently() {
+        let ring = Arc::new(Ring::new(16));
+        for i in 0..6u64 {
+            let vp = if i % 2 == 0 { 65001 } else { 65002 };
+            ring.publish(Arc::new(Frame::update(
+                i,
+                &upd(vp, "10.1.0.0/16", &[vp, 2, 3]),
+            )));
+        }
+        let shared = Arc::new(SubscriberShared::default());
+        shared.active.fetch_add(1, Ordering::AcqRel);
+        let mut s = Subscription::new(
+            ring.clone(),
+            shared.clone(),
+            StreamFilter::any().with_vp(VpId::from_asn(Asn(65002))),
+            SlowPolicy::SkipWithGapMarker,
+            0,
+        );
+        let mut seqs = Vec::new();
+        while let Delivery::Frame(f) = s.poll_next() {
+            seqs.push(f.seq);
+        }
+        assert_eq!(seqs, vec![1, 3, 5]);
+        assert_eq!(shared.frames_filtered.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn closed_ring_drains_then_closes() {
+        let ring = ring_with(3, 8);
+        ring.close();
+        let mut s = sub(&ring, SlowPolicy::SkipWithGapMarker);
+        let mut n = 0;
+        loop {
+            match s.poll_next() {
+                Delivery::Frame(_) => n += 1,
+                Delivery::Closed => break,
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert_eq!(n, 3);
+    }
+}

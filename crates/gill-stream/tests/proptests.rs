@@ -1,0 +1,138 @@
+//! Property tests for the stream wire formats and the delivery invariant.
+//!
+//! Updates are drawn from `bgp_types::testgen` — the same generators the
+//! BGP wire-codec proptests use — so both codecs are exercised over one
+//! distribution.
+
+// the proptest! body below is large; the macro expands recursively per test
+#![recursion_limit = "512"]
+
+use bgp_types::testgen::arb_update;
+use gill_stream::{
+    BrokerConfig, Delivery, Frame, FramePayload, SlowPolicy, StreamBroker, StreamFilter,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    // Binary framing: encode → decode is the identity on (seq, payload),
+    // and the decoder consumes exactly the encoded bytes.
+    #[test]
+    fn binary_frame_roundtrip(u in arb_update(), seq in any::<u64>()) {
+        let f = Frame::update(seq, &u);
+        let buf = f.encode_binary();
+        let (g, consumed) = Frame::decode_binary(&buf).unwrap().expect("complete frame");
+        prop_assert_eq!(consumed, buf.len());
+        prop_assert_eq!(g.seq, seq);
+        prop_assert_eq!(g.payload, FramePayload::Update(u));
+    }
+
+    // The decoder is incremental: a concatenation of frames decodes back
+    // one by one, and any strict prefix of a frame yields `Ok(None)`.
+    #[test]
+    fn binary_decoder_is_incremental(us in proptest::collection::vec(arb_update(), 1..6)) {
+        let mut wire = Vec::new();
+        for (i, u) in us.iter().enumerate() {
+            wire.extend_from_slice(Frame::update(i as u64, u).binary());
+        }
+        // every strict prefix of the first frame is "need more bytes"
+        let first_len = Frame::update(0, &us[0]).binary().len();
+        for cut in 0..first_len {
+            prop_assert!(Frame::decode_binary(&wire[..cut]).unwrap().is_none());
+        }
+        let mut off = 0;
+        for (i, u) in us.iter().enumerate() {
+            let (f, n) = Frame::decode_binary(&wire[off..]).unwrap().expect("frame");
+            prop_assert_eq!(f.seq, i as u64);
+            prop_assert_eq!(&f.payload, &FramePayload::Update(u.clone()));
+            off += n;
+        }
+        prop_assert_eq!(off, wire.len());
+    }
+
+    // JSON frames parse back to the same sequence number and fields.
+    #[test]
+    fn json_frame_parses_back(u in arb_update(), seq in any::<u64>()) {
+        let f = Frame::update(seq, &u);
+        let (got_seq, payload) = Frame::from_json(f.json()).unwrap();
+        prop_assert_eq!(got_seq, seq);
+        prop_assert_eq!(payload, FramePayload::Update(u));
+    }
+
+    // The delivery invariant behind the slow-consumer contract: whatever
+    // the ring capacity and poll interleave, the sequence numbers a
+    // subscriber sees form a strictly increasing subsequence of the
+    // published ones, and every hole is announced by a gap marker whose
+    // `missed` count covers it exactly.
+    #[test]
+    fn delivered_is_a_gap_accounted_subsequence(
+        us in proptest::collection::vec(arb_update(), 1..40),
+        cap in 2usize..16,
+        polls in proptest::collection::vec(0usize..3, 1..40),
+    ) {
+        let broker = StreamBroker::new(BrokerConfig {
+            ring_capacity: cap,
+            max_subscribers: 4,
+        });
+        let mut sub = broker
+            .subscribe(StreamFilter::any(), SlowPolicy::SkipWithGapMarker)
+            .unwrap();
+        // scripted interleave: after publish #i, poll polls[i % len] times
+        let mut events = Vec::new();
+        let mut drain = |sub: &mut gill_stream::Subscription, n: usize| {
+            for _ in 0..n {
+                match sub.poll_next() {
+                    Delivery::Frame(f) => events.push((f.seq, f.payload.clone())),
+                    Delivery::Gap(g) => events.push((g.seq, g.payload.clone())),
+                    Delivery::Pending | Delivery::Closed => break,
+                    Delivery::Overrun { .. } => unreachable!("skip policy"),
+                }
+            }
+        };
+        for (i, u) in us.iter().enumerate() {
+            broker.publish(u).expect("one subscriber attached");
+            drain(&mut sub, polls[i % polls.len()]);
+        }
+        broker.close();
+        loop {
+            match sub.poll_next() {
+                Delivery::Frame(f) => events.push((f.seq, f.payload.clone())),
+                Delivery::Gap(g) => events.push((g.seq, g.payload.clone())),
+                Delivery::Closed => break,
+                Delivery::Pending => prop_assert!(false, "pending after close"),
+                Delivery::Overrun { .. } => unreachable!("skip policy"),
+            }
+        }
+        // replay the event stream against a model cursor
+        let mut cursor = 0u64;
+        let mut delivered_updates = 0u64;
+        let mut missed_total = 0u64;
+        let mut saw_eos = false;
+        for (seq, payload) in &events {
+            prop_assert!(!saw_eos, "nothing may follow eos");
+            match payload {
+                FramePayload::Gap { missed } => {
+                    prop_assert!(*missed >= 1);
+                    // the marker's seq is the resume point; it must sit
+                    // exactly `missed` past the model cursor
+                    prop_assert_eq!(*seq, cursor + missed);
+                    cursor = *seq;
+                    missed_total += missed;
+                }
+                FramePayload::Update(_) => {
+                    prop_assert_eq!(*seq, cursor, "strictly in-order delivery");
+                    cursor += 1;
+                    delivered_updates += 1;
+                }
+                FramePayload::Eos { published } => {
+                    prop_assert_eq!(*published, us.len() as u64);
+                    saw_eos = true;
+                }
+            }
+        }
+        prop_assert!(saw_eos, "close must deliver eos");
+        // every published update is either delivered or gap-accounted
+        prop_assert_eq!(delivered_updates + missed_total, us.len() as u64);
+    }
+}

@@ -9,14 +9,23 @@
 //! Runs for `--duration` seconds (0 = until killed is not supported in
 //! this offline build; use a large value), then drains the queue, writes
 //! the archive, and prints the session counters.
+//!
+//! With `--stream-addr HOST:PORT` the collector also serves the live
+//! streaming API: every filter-accepted update is teed into a broadcast
+//! ring and fanned out to `curl -N` subscribers on `/stream/updates`
+//! (RIS-Live-style JSON frames), with `/stream/stats` reporting broker
+//! counters.
 
 use gill::collector::{
     DaemonConfig, DaemonPool, MrtStorage, Orchestrator, OrchestratorConfig, Storage,
 };
 use gill::core::FilterSet;
+use gill::query::{RouteStore, ServerConfig};
+use gill::stream::{serve_streaming, BrokerConfig, StreamBroker};
 use std::collections::HashMap;
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Duration;
 
 fn run() -> Result<(), String> {
@@ -41,13 +50,36 @@ fn run() -> Result<(), String> {
         None => FilterSet::default(),
     };
 
-    let mut pool = DaemonPool::start(
+    // --stream-addr HOST:PORT: tee filter-accepted updates into a broadcast
+    // broker and serve /stream/updates + /stream/stats alongside collection.
+    let stream = match args.optional("stream-addr") {
+        Some(addr) => {
+            let broker_defaults = BrokerConfig::default();
+            let broker = StreamBroker::new(BrokerConfig {
+                ring_capacity: args.num("ring-capacity", broker_defaults.ring_capacity)?,
+                max_subscribers: args.num("max-subscribers", broker_defaults.max_subscribers)?,
+            });
+            let store = Arc::new(parking_lot::RwLock::new(RouteStore::default()));
+            let server =
+                serve_streaming(&addr, ServerConfig::default(), store, None, broker.clone())
+                    .map_err(|e| e.to_string())?;
+            eprintln!("streaming on http://{}/stream/updates", server.local_addr());
+            Some((broker, server))
+        }
+        None => None,
+    };
+    let sink = stream
+        .as_ref()
+        .map(|(b, _)| Arc::new(b.publisher()) as Arc<dyn gill::collector::UpdateSink>);
+
+    let mut pool = DaemonPool::start_with_sink(
         &listen,
         DaemonConfig {
             local_asn,
             queue_capacity: queue,
             ..DaemonConfig::default()
         },
+        sink,
     )
     .map_err(|e| e.to_string())?;
     pool.install_filters(filters);
@@ -94,6 +126,16 @@ fn run() -> Result<(), String> {
             .filter_epoch
             .load(std::sync::atomic::Ordering::Relaxed),
     );
+    if let Some((broker, mut server)) = stream {
+        broker.close();
+        println!(
+            "streamed {} | shed {} | peak subscribers seen {}",
+            load(&stats.stream_published),
+            load(&stats.stream_shed),
+            load(&stats.stream_subscribers),
+        );
+        server.stop();
+    }
     let written = storage.stored();
     storage.into_inner().map_err(|e| e.to_string())?;
     println!("archived {written} records to {}", archive.display());
@@ -108,7 +150,8 @@ fn main() -> ExitCode {
             eprintln!(
                 "usage: gill-collectord [--listen ADDR] [--filters filters.txt] \
                  [--retrain-interval SECS] [--archive out.mrt] [--duration SECS] \
-                 [--queue N] [--local-asn N]"
+                 [--queue N] [--local-asn N] [--stream-addr HOST:PORT] \
+                 [--ring-capacity FRAMES] [--max-subscribers N]"
             );
             ExitCode::FAILURE
         }

@@ -2,19 +2,28 @@
 //! GILL: §9's bgproutes.io interface over a local store).
 //!
 //! Loads an MRT update archive into the time-indexed route store and
-//! serves the JSON + raw-MRT query API over HTTP:
+//! serves the JSON + raw-MRT query API over HTTP, plus the live streaming
+//! endpoints (`/stream/updates`, `/stream/stats`):
 //!
 //! ```sh
 //! gill-queryd --updates updates.mrt --addr 127.0.0.1:8480
 //! curl 'http://127.0.0.1:8480/routes?prefix=10.0.0.0/8&match=lpm'
+//! curl -N 'http://127.0.0.1:8480/stream/updates?prefix=10.0.0.0/8'
 //! ```
+//!
+//! `--replay-stream` re-publishes the loaded archive into the broker (at
+//! `--stream-interval-ms` per update) so the streaming endpoints carry
+//! data without a live collector attached; without it the broker is idle
+//! and subscribers simply wait.
 
 use gill::cli::{read_updates_mrt, Args};
 use gill::core::{FilterHandle, FilterSet};
-use gill::query::{serve_with, RouteStore, ServerConfig, StoreConfig};
+use gill::query::{RouteStore, ServerConfig, StoreConfig};
+use gill::stream::{serve_streaming, BrokerConfig, StreamBroker};
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::sync::Arc;
+use std::time::Duration;
 
 fn run() -> Result<(), String> {
     let args = Args::parse()?;
@@ -33,8 +42,8 @@ fn run() -> Result<(), String> {
     let mut store = RouteStore::new(cfg);
     let updates = read_updates_mrt(&updates_path).map_err(|e| e.to_string())?;
     let n = updates.len();
-    for u in updates {
-        store.ingest(u);
+    for u in &updates {
+        store.ingest(u.clone());
     }
     let stats = store.stats();
     println!(
@@ -57,9 +66,34 @@ fn run() -> Result<(), String> {
         workers: args.num("workers", ServerConfig::default().workers)?,
         ..ServerConfig::default()
     };
+    let broker_defaults = BrokerConfig::default();
+    let broker = StreamBroker::new(BrokerConfig {
+        ring_capacity: args.num("ring-capacity", broker_defaults.ring_capacity)?,
+        max_subscribers: args.num("max-subscribers", broker_defaults.max_subscribers)?,
+    });
+    let replay_stream = matches!(
+        args.optional("replay-stream").as_deref(),
+        Some("true") | Some("1") | Some("yes")
+    );
+    let interval_ms: u64 = args.num("stream-interval-ms", 1)?;
+
     let store = Arc::new(parking_lot::RwLock::new(store));
-    let server = serve_with(&addr, server_cfg, store, filters).map_err(|e| e.to_string())?;
+    let server = serve_streaming(&addr, server_cfg, store, filters, broker.clone())
+        .map_err(|e| e.to_string())?;
     println!("serving on http://{}", server.local_addr());
+
+    if replay_stream {
+        println!("replaying {n} updates into /stream/updates");
+        std::thread::spawn(move || {
+            for u in &updates {
+                broker.publish_always(u);
+                if interval_ms > 0 {
+                    std::thread::sleep(Duration::from_millis(interval_ms));
+                }
+            }
+            broker.close();
+        });
+    }
     // The server owns its threads; park the main thread until killed.
     loop {
         std::thread::park();
@@ -74,7 +108,8 @@ fn main() -> ExitCode {
             eprintln!(
                 "usage: gill-queryd --updates updates.mrt [--addr host:port] \
                  [--filters filters.txt] [--workers n] [--shard-ms ms] \
-                 [--snapshot-shards n]"
+                 [--snapshot-shards n] [--ring-capacity frames] \
+                 [--max-subscribers n] [--replay-stream true] [--stream-interval-ms ms]"
             );
             ExitCode::FAILURE
         }

@@ -7,19 +7,31 @@
 //! ```
 //!
 //! With `--serve`, the (optionally filtered) stream is loaded into the
-//! time-indexed route store and served over the looking-glass HTTP API
-//! instead of (or in addition to) being written back out:
+//! time-indexed route store and served over the looking-glass HTTP API —
+//! including the live `/stream/updates` endpoint, which replays the archive
+//! through the broadcast ring so `curl -N` clients see a RIS-Live-style
+//! feed:
 //!
 //! ```sh
-//! gill-replay --updates updates.mrt --serve 127.0.0.1:8480
+//! gill-replay --updates updates.mrt --serve 127.0.0.1:8480 \
+//!     --stream-repeat 100 --stream-interval-ms 1
+//! curl -N 'http://127.0.0.1:8480/stream/updates'
 //! ```
+//!
+//! The replay publisher closes the broker when the archive is exhausted, so
+//! streaming clients terminate cleanly (end-of-stream frame + final chunk).
+//! `--stream-wait-subs N` holds the replay until N subscribers are attached
+//! — the lever CI uses to race a fast and a deliberately stalled client
+//! against the same deterministic publish sequence.
 
 use gill::cli::{read_updates_mrt, write_updates_mrt, Args};
 use gill::core::FilterSet;
-use gill::query::{serve, RouteStore, ServerConfig};
+use gill::query::{RouteStore, ServerConfig};
+use gill::stream::{serve_streaming, BrokerConfig, StreamBroker};
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::sync::Arc;
+use std::time::Duration;
 
 fn run() -> Result<(), String> {
     let args = Args::parse()?;
@@ -56,14 +68,44 @@ fn run() -> Result<(), String> {
         println!("wrote {n} records to {}", p.display());
     }
     if let Some(addr) = serve_addr {
+        // Replay pacing / determinism knobs for the streaming endpoint.
+        let repeat: usize = args.num("stream-repeat", 1)?;
+        let wait_subs: usize = args.num("stream-wait-subs", 0)?;
+        let interval_ms: u64 = args.num("stream-interval-ms", 0)?;
+        let broker_defaults = BrokerConfig::default();
+        let broker = StreamBroker::new(BrokerConfig {
+            ring_capacity: args.num("ring-capacity", broker_defaults.ring_capacity)?,
+            max_subscribers: args.num("max-subscribers", broker_defaults.max_subscribers)?,
+        });
+
         let mut store = RouteStore::default();
         let n = kept.len();
-        for u in kept {
-            store.ingest(u);
+        for u in &kept {
+            store.ingest(u.clone());
         }
         let store = Arc::new(parking_lot::RwLock::new(store));
-        let server = serve(&addr, ServerConfig::default(), store).map_err(|e| e.to_string())?;
+        let server = serve_streaming(&addr, ServerConfig::default(), store, None, broker.clone())
+            .map_err(|e| e.to_string())?;
         println!("serving {n} updates on http://{}", server.local_addr());
+
+        if wait_subs > 0 {
+            println!("waiting for {wait_subs} stream subscriber(s) before replaying");
+            while broker.stats().subscribers < wait_subs {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        }
+        println!("replaying {n} updates x{repeat} into /stream/updates");
+        for _ in 0..repeat {
+            for u in &kept {
+                broker.publish_always(u);
+                if interval_ms > 0 {
+                    std::thread::sleep(Duration::from_millis(interval_ms));
+                }
+            }
+        }
+        // Signals end-of-stream so `curl -N` clients exit cleanly; the query
+        // endpoints stay up until the process is killed.
+        broker.close();
         loop {
             std::thread::park();
         }
@@ -78,7 +120,9 @@ fn main() -> ExitCode {
             eprintln!("error: {e}");
             eprintln!(
                 "usage: gill-replay --updates updates.mrt [--filters filters.txt] \
-                 [--out kept.mrt] [--serve host:port]"
+                 [--out kept.mrt] [--serve host:port] [--stream-repeat n] \
+                 [--stream-wait-subs n] [--stream-interval-ms ms] \
+                 [--ring-capacity frames] [--max-subscribers n]"
             );
             ExitCode::FAILURE
         }

@@ -51,6 +51,7 @@ pub use bgp_wire as wire;
 pub use gill_collector as collector;
 pub use gill_core as core;
 pub use gill_query as query;
+pub use gill_stream as stream;
 pub use sampling;
 pub use use_cases;
 

@@ -74,34 +74,9 @@ proptest! {
 // Wire codec properties
 // ---------------------------------------------------------------------------
 
-fn arb_update() -> impl Strategy<Value = BgpUpdate> {
-    (
-        1u32..100_000,                                    // vp asn
-        0u64..10_000,                                     // time secs
-        any::<u32>(),                                     // prefix bits
-        0u8..=32,                                         // prefix len
-        proptest::collection::vec(1u32..1_000_000, 1..8), // path
-        proptest::collection::vec((0u16..60_000, 0u16..1_000), 0..6),
-        any::<bool>(), // announce?
-    )
-        .prop_map(|(vp, t, bits, len, path, comms, announce)| {
-            let prefix = Prefix::v4(Ipv4Addr::from(bits), len);
-            let vp = VpId::from_asn(Asn(vp));
-            if announce {
-                let mut b = UpdateBuilder::announce(vp, prefix)
-                    .at(Timestamp::from_secs(t))
-                    .path(path);
-                for (a, c) in comms {
-                    b = b.community(a, c);
-                }
-                b.build()
-            } else {
-                UpdateBuilder::withdraw(vp, prefix)
-                    .at(Timestamp::from_secs(t))
-                    .build()
-            }
-        })
-}
+// Shared with the gill-stream frame-codec proptests: both codecs draw
+// updates from the same distribution (bgp-types `testgen` feature).
+use gill::types::testgen::arb_update;
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]
