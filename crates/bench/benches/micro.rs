@@ -191,6 +191,71 @@ fn bench_query_store(c: &mut Criterion) {
     });
 }
 
+fn bench_store_compression(c: &mut Criterion) {
+    use gill_query::{ReferenceStore, RouteStore, StoreConfig};
+    let mut updates = Vec::with_capacity(20_000);
+    bench::for_each_churn_update(20_000, 8, 2_000, 3_600_000, 7, |u| updates.push(u));
+
+    c.bench_function("store/ingest_interned_20k", |b| {
+        b.iter(|| {
+            let mut s = RouteStore::new(StoreConfig::default());
+            for u in black_box(&updates) {
+                s.ingest(u.clone());
+            }
+            s.stats().updates
+        })
+    });
+    c.bench_function("store/ingest_reference_20k", |b| {
+        b.iter(|| {
+            let mut s = ReferenceStore::new(StoreConfig::default());
+            for u in black_box(&updates) {
+                s.ingest(u.clone());
+            }
+            s.stats().updates
+        })
+    });
+
+    let mut store = RouteStore::new(StoreConfig::default());
+    for u in &updates {
+        store.ingest(u.clone());
+    }
+    let t_mid = Timestamp::from_millis(store.latest_time().as_millis() / 2);
+    let vp = store.vps()[0].0;
+    c.bench_function("store/rib_at_materialize", |b| {
+        b.iter(|| store.rib_at(black_box(vp), black_box(t_mid)).unwrap().len())
+    });
+
+    let dir = std::env::temp_dir().join(format!("gill-micro-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    store.seal_all_into(&dir).unwrap().unwrap();
+    let (_, seg_path) = gill_query::segment::list_segments(&dir).unwrap().remove(0);
+    let seg_bytes = std::fs::read(&seg_path).unwrap();
+    let seg = gill_query::segment::Segment::read_from(&mut &seg_bytes[..]).unwrap();
+    c.bench_function("store/segment_encode_20k", |b| {
+        b.iter(|| {
+            let mut out = Vec::with_capacity(seg_bytes.len());
+            black_box(&seg).write_to(&mut out).unwrap();
+            out.len()
+        })
+    });
+    c.bench_function("store/segment_decode_20k", |b| {
+        b.iter(|| {
+            gill_query::segment::Segment::read_from(&mut black_box(&seg_bytes[..]))
+                .unwrap()
+                .vp_order
+                .len()
+        })
+    });
+    c.bench_function("store/cold_start_replay_20k", |b| {
+        b.iter(|| {
+            let mut s = RouteStore::new(StoreConfig::default());
+            s.load_dir(black_box(&dir)).unwrap()
+        })
+    });
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 fn bench_stream_broker(c: &mut Criterion) {
     use gill_stream::{BrokerConfig, Delivery, Frame, SlowPolicy, StreamBroker, StreamFilter};
     let u = UpdateBuilder::announce(VpId::from_asn(Asn(65001)), Prefix::synthetic(7))
@@ -250,6 +315,6 @@ fn bench_stream_synthesis(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_wire_codec, bench_filters, bench_routing, bench_gill_core, bench_redundancy, bench_query_store, bench_stream_broker, bench_stream_synthesis
+    targets = bench_wire_codec, bench_filters, bench_routing, bench_gill_core, bench_redundancy, bench_query_store, bench_store_compression, bench_stream_broker, bench_stream_synthesis
 }
 criterion_main!(benches);

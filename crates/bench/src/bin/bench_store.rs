@@ -1,0 +1,248 @@
+//! Store-compression benchmark: the arena-interned, copy-on-write store vs
+//! the uncompressed [`ReferenceStore`], plus sealed-segment cold start.
+//! Writes `BENCH_store.json`.
+//!
+//! The tentpole claim measured here: at the same update stream, the
+//! interned store holds at least 4× more updates per GB of resident memory
+//! than the reference store (whose read paths it reproduces bit-for-bit —
+//! see `tests/store_equivalence.rs`).
+//!
+//! Each store mode runs in its own child process (`--child <mode> <n>`)
+//! so resident-memory deltas are measured in a clean heap, unpolluted by
+//! the other mode's allocations. The parent collects the per-mode JSON
+//! lines, computes the compression ratio, and enforces the gate.
+//!
+//! Usage: `bench_store [n_updates] [gate_ratio]` (defaults: 1000000, 4.0;
+//! a gate of 0 disables the assertion).
+
+use bgp_types::Timestamp;
+use gill_query::{ReferenceStore, RouteStore, StoreConfig};
+use std::time::Instant;
+
+const N_VPS: u32 = 8;
+const N_PREFIXES: u32 = 2_000;
+const SPAN_MS: u64 = 4 * 3_600_000;
+const SEED: u64 = 7;
+
+fn vm_rss_bytes() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    status
+        .lines()
+        .find_map(|line| line.strip_prefix("VmRSS:"))
+        .and_then(|rest| {
+            rest.trim()
+                .trim_end_matches("kB")
+                .trim()
+                .parse::<u64>()
+                .ok()
+        })
+        .unwrap_or(0)
+        * 1024
+}
+
+/// Median `rib_at` latency in µs over one probe per VP at 16 times inside
+/// `(from_ms, to_ms]` — probing earlier history exercises older snapshots
+/// and different replay depths.
+fn rib_at_us(
+    probe: impl Fn(bgp_types::VpId, Timestamp) -> Option<usize>,
+    from_ms: u64,
+    to_ms: u64,
+) -> f64 {
+    let mut samples = Vec::new();
+    for vp_asn in 65_000..65_000 + N_VPS {
+        let vp = bgp_types::VpId::from_asn(bgp_types::Asn(vp_asn));
+        for i in 1..=16u64 {
+            let t = Timestamp::from_millis(from_ms + (to_ms - from_ms) * i / 16);
+            let t0 = Instant::now();
+            let len = probe(vp, t);
+            let dt = t0.elapsed().as_secs_f64() * 1e6;
+            if len.is_some() {
+                samples.push(dt);
+            }
+        }
+    }
+    bench::median(&mut samples)
+}
+
+fn updates_per_gb(n: usize, rss_delta: u64) -> f64 {
+    n as f64 / (rss_delta.max(1) as f64 / 1e9)
+}
+
+/// `--child reference|interned <n>`: build one store, print one JSON line.
+/// The RSS delta brackets the ingest loop alone; latency probes run after
+/// the measurement so their transient `Rib` materializations (which glibc
+/// keeps in its arenas) cannot inflate the store's resident footprint.
+fn run_child(mode: &str, n: usize) {
+    enum AnyStore {
+        Reference(Box<ReferenceStore>),
+        Interned(Box<RouteStore>),
+    }
+    let rss0 = vm_rss_bytes();
+    let t0 = Instant::now();
+    let store = match mode {
+        "reference" => {
+            let mut store = ReferenceStore::new(StoreConfig::default());
+            bench::for_each_churn_update(n, N_VPS, N_PREFIXES, SPAN_MS, SEED, |u| store.ingest(u));
+            AnyStore::Reference(Box::new(store))
+        }
+        "interned" => {
+            let mut store = RouteStore::new(StoreConfig::default());
+            bench::for_each_churn_update(n, N_VPS, N_PREFIXES, SPAN_MS, SEED, |u| store.ingest(u));
+            AnyStore::Interned(Box::new(store))
+        }
+        other => panic!("unknown child mode {other:?}"),
+    };
+    let ingest_secs = t0.elapsed().as_secs_f64();
+    let rss_delta = vm_rss_bytes() - rss0;
+
+    // `rib_at` latency vs how far back the probe reaches: quarter-span
+    // buckets from oldest history to the live edge.
+    let (latest_ms, extra) = match &store {
+        AnyStore::Reference(s) => (s.latest_time().as_millis(), String::new()),
+        AnyStore::Interned(s) => {
+            let m = s.mem_stats();
+            (
+                s.latest_time().as_millis(),
+                format!(
+                    ", \"bytes_resident\": {}, \"dedup_ratio\": {:.2}, \"arena_entries\": {}",
+                    m.bytes_resident,
+                    m.dedup_ratio,
+                    m.arena_paths + m.arena_comm_sets + m.arena_link_sets
+                ),
+            )
+        }
+    };
+    let probe = |vp, t| match &store {
+        AnyStore::Reference(s) => s.rib_at(vp, t).map(|r| r.len()),
+        AnyStore::Interned(s) => s.rib_at(vp, t).map(|r| r.len()),
+    };
+    let mut by_age = Vec::new();
+    for q in 0..4u64 {
+        let (from, to) = (latest_ms * q / 4, latest_ms * (q + 1) / 4);
+        by_age.push(format!(
+            "{{ \"until_ms\": {to}, \"us\": {:.1} }}",
+            rib_at_us(probe, from, to)
+        ));
+    }
+    let overall = rib_at_us(probe, 0, latest_ms);
+    println!(
+        "{{ \"mode\": \"{mode}\", \"n\": {n}, \"rss_bytes\": {rss_delta}, \
+         \"updates_per_gb\": {:.0}, \"ingest_per_sec\": {:.0}, \"rib_at_us\": {overall:.1}, \
+         \"rib_at_us_by_age\": [{}], \"latest_ms\": {latest_ms}{extra} }}",
+        updates_per_gb(n, rss_delta),
+        n as f64 / ingest_secs,
+        by_age.join(", "),
+    );
+}
+
+/// `--child sealed <n>`: seal the stream to disk, reload it cold, report
+/// segment size and replay time.
+fn run_child_sealed(n: usize) {
+    let dir = std::env::temp_dir().join(format!("gill-bench-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let mut store = RouteStore::new(StoreConfig::default());
+    bench::for_each_churn_update(n, N_VPS, N_PREFIXES, SPAN_MS, SEED, |u| store.ingest(u));
+    let t0 = Instant::now();
+    store.seal_all_into(&dir).unwrap().expect("segment written");
+    let seal_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let segment_bytes: u64 = gill_query::segment::list_segments(&dir)
+        .unwrap()
+        .iter()
+        .map(|(_, p)| std::fs::metadata(p).map(|m| m.len()).unwrap_or(0))
+        .sum();
+    drop(store);
+
+    let t0 = Instant::now();
+    let mut cold = RouteStore::new(StoreConfig::default());
+    let replayed = cold.load_dir(&dir).unwrap();
+    let cold_start_ms = t0.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(replayed, n, "cold start must replay the full stream");
+    let us = rib_at_us(
+        |vp, t| cold.rib_at(vp, t).map(|r| r.len()),
+        0,
+        cold.latest_time().as_millis(),
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+    println!(
+        "{{ \"mode\": \"sealed\", \"n\": {n}, \"seal_ms\": {seal_ms:.1}, \
+         \"segment_bytes\": {segment_bytes}, \"bytes_per_update\": {:.1}, \
+         \"cold_start_ms\": {cold_start_ms:.1}, \"replay_per_sec\": {:.0}, \
+         \"rib_at_us\": {us:.1} }}",
+        segment_bytes as f64 / n as f64,
+        n as f64 / (cold_start_ms / 1e3),
+    );
+}
+
+/// Extracts a numeric field from one of our own child JSON lines.
+fn field(json: &str, key: &str) -> f64 {
+    let pat = format!("\"{key}\": ");
+    let start = json.find(&pat).map(|i| i + pat.len()).unwrap_or_else(|| {
+        panic!("field {key:?} missing from child output: {json}");
+    });
+    json[start..]
+        .split([',', '}'])
+        .next()
+        .and_then(|s| s.trim().parse().ok())
+        .unwrap_or_else(|| panic!("field {key:?} not numeric in: {json}"))
+}
+
+fn spawn_child(mode: &str, n: usize) -> String {
+    let exe = std::env::current_exe().expect("current_exe");
+    eprintln!("running {mode} child ({n} updates) ...");
+    let out = std::process::Command::new(exe)
+        .args(["--child", mode, &n.to_string()])
+        .output()
+        .expect("spawn child");
+    assert!(
+        out.status.success(),
+        "{mode} child failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let line = String::from_utf8(out.stdout).expect("child output utf8");
+    line.trim().to_string()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("--child") {
+        let mode = args.get(1).expect("child mode");
+        let n: usize = args.get(2).and_then(|s| s.parse().ok()).expect("child n");
+        if mode == "sealed" {
+            run_child_sealed(n);
+        } else {
+            run_child(mode, n);
+        }
+        return;
+    }
+
+    let n: usize = args
+        .first()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1_000_000);
+    let gate: f64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(4.0);
+
+    let reference = spawn_child("reference", n);
+    let interned = spawn_child("interned", n);
+    let sealed = spawn_child("sealed", n);
+
+    let ref_upg = field(&reference, "updates_per_gb");
+    let int_upg = field(&interned, "updates_per_gb");
+    let ratio = int_upg / ref_upg;
+
+    let json = format!(
+        "{{\n  \"n_updates\": {n},\n  \"gate_ratio\": {gate},\n  \
+         \"updates_per_gb_ratio\": {ratio:.2},\n  \"reference\": {reference},\n  \
+         \"interned\": {interned},\n  \"sealed\": {sealed}\n}}\n"
+    );
+    std::fs::write("BENCH_store.json", &json).expect("write BENCH_store.json");
+    print!("{json}");
+    eprintln!("wrote BENCH_store.json (interned holds {ratio:.2}x more updates per GB)");
+    assert!(
+        gate <= 0.0 || ratio >= gate,
+        "updates/GB ratio {ratio:.2}x below the {gate}x gate"
+    );
+}

@@ -1,0 +1,43 @@
+//! Arena-id key types for interned BGP attributes.
+//!
+//! The route store (gill-query) deduplicates recurring attributes — AS
+//! paths, community sets, implicit-withdrawal link sets, prefixes — into
+//! append-only arenas and stores these `u32` ids in its per-update records
+//! instead of owned values. The ids live here, next to the value types they
+//! key, so other crates (segment codecs, storage backends) can pass them
+//! around without depending on the store implementation.
+//!
+//! Id `0` is reserved in every arena for the empty value (empty path, empty
+//! set), so a freshly zeroed record is a valid "no attributes" record.
+
+/// Id of an interned AS path (`0` = the empty path).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct PathId(pub u32);
+
+/// Id of an interned, sorted community set (`0` = the empty set).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct CommSetId(pub u32);
+
+/// Id of an interned, sorted AS-link set (`0` = the empty set).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct LinkSetId(pub u32);
+
+/// Id of an interned prefix (prefixes are deduplicated but never empty, so
+/// `0` is simply the first prefix seen).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct PrefixId(pub u32);
+
+impl PathId {
+    /// The interned empty path.
+    pub const EMPTY: PathId = PathId(0);
+}
+
+impl CommSetId {
+    /// The interned empty community set.
+    pub const EMPTY: CommSetId = CommSetId(0);
+}
+
+impl LinkSetId {
+    /// The interned empty link set.
+    pub const EMPTY: LinkSetId = LinkSetId(0);
+}

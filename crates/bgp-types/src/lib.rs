@@ -15,6 +15,7 @@
 
 pub mod asn;
 pub mod community;
+pub mod internid;
 pub mod link;
 pub mod path;
 pub mod prefix;
@@ -29,6 +30,7 @@ pub mod testgen;
 
 pub use asn::Asn;
 pub use community::Community;
+pub use internid::{CommSetId, LinkSetId, PathId, PrefixId};
 pub use link::Link;
 pub use path::AsPath;
 pub use prefix::Prefix;

@@ -46,6 +46,15 @@ impl Rib {
         self.entries.get(prefix)
     }
 
+    /// Builds a RIB directly from `(prefix, entry)` pairs (used by stores
+    /// that keep routes in a compact interned form and materialize full
+    /// tables on demand). Later duplicates replace earlier ones.
+    pub fn from_entries<I: IntoIterator<Item = (Prefix, RibEntry)>>(entries: I) -> Self {
+        Rib {
+            entries: entries.into_iter().collect(),
+        }
+    }
+
     /// Iterates over `(prefix, entry)` pairs in arbitrary order.
     pub fn iter(&self) -> impl Iterator<Item = (&Prefix, &RibEntry)> {
         self.entries.iter()

@@ -799,19 +799,22 @@ impl DaemonPool {
     }
 
     /// Drains the retained-update queue into `storage` until the pool is
-    /// stopped and the queue is empty. Run this on the storage thread.
+    /// stopped and the queue is empty, then flushes the backend so buffered
+    /// state (e.g. unsealed store segments) reaches disk. Run this on the
+    /// storage thread.
     pub fn drain_into<S: Storage>(&self, storage: &mut S) {
         loop {
             match self.queue_rx.recv_timeout(Duration::from_millis(50)) {
                 Ok(rec) => storage.store(rec),
                 Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
                     if self.stop.load(Ordering::Relaxed) && self.queue_rx.is_empty() {
-                        return;
+                        break;
                     }
                 }
-                Err(crossbeam::channel::RecvTimeoutError::Disconnected) => return,
+                Err(crossbeam::channel::RecvTimeoutError::Disconnected) => break,
             }
         }
+        storage.flush();
     }
 
     /// A sender handle usable to inject updates bypassing TCP (tests,

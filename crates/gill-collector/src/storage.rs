@@ -29,6 +29,10 @@ pub trait Storage: Send {
 
     /// Number of records persisted so far.
     fn stored(&self) -> usize;
+
+    /// Flushes buffered state to durable storage (called when a drain loop
+    /// stops). Backends without buffering can ignore it.
+    fn flush(&mut self) {}
 }
 
 /// Keeps everything in memory (tests, analysis pipelines).
@@ -121,6 +125,10 @@ impl<S: Storage> Storage for SlowStorage<S> {
 
     fn stored(&self) -> usize {
         self.inner.stored()
+    }
+
+    fn flush(&mut self) {
+        self.inner.flush();
     }
 }
 

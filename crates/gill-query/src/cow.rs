@@ -1,0 +1,384 @@
+//! Copy-on-write persistent RIB over interned entries.
+//!
+//! The reference store clones a full `Rib` (a `HashMap` of owned entries)
+//! for every cadence snapshot; with thousands of snapshot windows that
+//! dominates steady-state RSS. [`CowRib`] replaces it with a hash-array
+//! mapped trie (16-way, `Arc`-linked nodes): a snapshot is an O(1) root
+//! clone, and consecutive snapshots share every unchanged subtree.
+//!
+//! Between snapshots the live table is usually the *sole* owner of its
+//! nodes, and mutation goes through [`Arc::make_mut`] — which mutates in
+//! place when the refcount is 1 — so ingest throughput stays close to a
+//! plain hash map. Only the first write after a snapshot along each path
+//! pays the path-copy.
+//!
+//! Keys are interned [`PrefixId`]s, not owned `Prefix`es: the id pins the
+//! prefix in the store's arena, and a 4-byte key keeps the `Node` enum —
+//! and therefore *every* trie allocation, branches included — small.
+//! Structural order depends on id assignment and is NOT part of the
+//! store's externally visible contract; every consumer of [`CowRib::for_each`]
+//! re-sorts (or hashes) downstream.
+
+use bgp_types::{CommSetId, PathId, PrefixId};
+use std::sync::Arc;
+
+/// A best route in interned form: arena ids plus the raw announcement
+/// timestamp (what `RibEntry::time` carries).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct CompactEntry {
+    /// Interned AS path.
+    pub path: PathId,
+    /// Interned community set.
+    pub comms: CommSetId,
+    /// Raw (arrival) announcement time in milliseconds.
+    pub time_ms: u64,
+}
+
+const BITS: u32 = 4;
+const MAX_DEPTH: u32 = 64 / BITS;
+
+#[inline]
+fn nibble(hash: u64, depth: u32) -> u32 {
+    ((hash >> (depth * BITS)) & 0xf) as u32
+}
+
+/// splitmix64 of the id: a bijection on u64, so distinct ids always get
+/// distinct hashes (the collision arm below is purely defensive) and every
+/// 4-bit nibble is well distributed even for sequential ids.
+#[inline]
+fn hash_id(id: PrefixId) -> u64 {
+    let mut z = (id.0 as u64).wrapping_add(0x9e3779b97f4a7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+#[derive(Clone)]
+enum Node {
+    Leaf(PrefixId, CompactEntry),
+    /// Entries whose full 64-bit hashes collide (unreachable for the
+    /// bijective hash above; kept so the structure is safe under any hash).
+    Collision(Vec<(PrefixId, CompactEntry)>),
+    /// 16-way branch: `bitmap` marks populated nibbles, `children` packs
+    /// them in nibble order.
+    Branch(u16, Vec<Arc<Node>>),
+}
+
+/// A persistent [`PrefixId`] → [`CompactEntry`] map with O(1) snapshots.
+#[derive(Clone, Default)]
+pub struct CowRib {
+    root: Option<Arc<Node>>,
+    len: usize,
+}
+
+impl CowRib {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of routes installed.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The current route for `id`.
+    pub fn get(&self, id: PrefixId) -> Option<&CompactEntry> {
+        let mut node = self.root.as_deref()?;
+        let hash = hash_id(id);
+        let mut depth = 0;
+        loop {
+            match node {
+                Node::Leaf(q, e) => return (*q == id).then_some(e),
+                Node::Collision(items) => {
+                    return items.iter().find(|(q, _)| *q == id).map(|(_, e)| e)
+                }
+                Node::Branch(bitmap, children) => {
+                    let bit = 1u16 << nibble(hash, depth);
+                    if bitmap & bit == 0 {
+                        return None;
+                    }
+                    let idx = (bitmap & (bit - 1)).count_ones() as usize;
+                    node = &children[idx];
+                    depth += 1;
+                }
+            }
+        }
+    }
+
+    /// Installs (or replaces) the route for `id`, returning the previous
+    /// entry if any. Shared nodes along the path are copied; exclusively
+    /// owned nodes are mutated in place.
+    pub fn insert(&mut self, id: PrefixId, e: CompactEntry) -> Option<CompactEntry> {
+        let old = match &mut self.root {
+            None => {
+                self.root = Some(Arc::new(Node::Leaf(id, e)));
+                None
+            }
+            Some(root) => insert_rec(root, hash_id(id), 0, id, e),
+        };
+        if old.is_none() {
+            self.len += 1;
+        }
+        old
+    }
+
+    /// Removes the route for `id`, returning it if present.
+    pub fn remove(&mut self, id: PrefixId) -> Option<CompactEntry> {
+        // Probe first: a miss must not path-copy shared nodes.
+        self.get(id)?;
+        let root = self.root.as_mut().expect("probe hit implies a root");
+        let (removed, prune) = remove_rec(root, hash_id(id), 0, id);
+        debug_assert!(removed.is_some());
+        if prune {
+            self.root = None;
+        }
+        self.len -= 1;
+        removed
+    }
+
+    /// Visits every `(id, entry)` pair in structural (hash) order.
+    pub fn for_each(&self, mut f: impl FnMut(PrefixId, &CompactEntry)) {
+        fn walk(node: &Node, f: &mut impl FnMut(PrefixId, &CompactEntry)) {
+            match node {
+                Node::Leaf(id, e) => f(*id, e),
+                Node::Collision(items) => {
+                    for (id, e) in items {
+                        f(*id, e);
+                    }
+                }
+                Node::Branch(_, children) => {
+                    for c in children {
+                        walk(c, f);
+                    }
+                }
+            }
+        }
+        if let Some(root) = &self.root {
+            walk(root, &mut f);
+        }
+    }
+}
+
+fn insert_rec(
+    node: &mut Arc<Node>,
+    hash: u64,
+    depth: u32,
+    id: PrefixId,
+    e: CompactEntry,
+) -> Option<CompactEntry> {
+    match Arc::make_mut(node) {
+        Node::Leaf(q, old) if *q == id => Some(std::mem::replace(old, e)),
+        n @ Node::Leaf(..) => {
+            let (q, old_e) = match n {
+                Node::Leaf(q, e) => (*q, *e),
+                _ => unreachable!(),
+            };
+            *n = split_leaf((q, old_e), (id, e), depth);
+            None
+        }
+        Node::Collision(items) => match items.iter_mut().find(|(q, _)| *q == id) {
+            Some(slot) => Some(std::mem::replace(&mut slot.1, e)),
+            None => {
+                items.push((id, e));
+                None
+            }
+        },
+        Node::Branch(bitmap, children) => {
+            let bit = 1u16 << nibble(hash, depth);
+            let idx = (*bitmap & (bit - 1)).count_ones() as usize;
+            if *bitmap & bit != 0 {
+                insert_rec(&mut children[idx], hash, depth + 1, id, e)
+            } else {
+                children.insert(idx, Arc::new(Node::Leaf(id, e)));
+                *bitmap |= bit;
+                None
+            }
+        }
+    }
+}
+
+/// Builds the minimal subtree holding two distinct entries whose paths
+/// diverge at or below `depth`.
+fn split_leaf(a: (PrefixId, CompactEntry), b: (PrefixId, CompactEntry), depth: u32) -> Node {
+    if depth >= MAX_DEPTH {
+        return Node::Collision(vec![a, b]);
+    }
+    let na = nibble(hash_id(a.0), depth);
+    let nb = nibble(hash_id(b.0), depth);
+    if na == nb {
+        let child = split_leaf(a, b, depth + 1);
+        Node::Branch(1 << na, vec![Arc::new(child)])
+    } else {
+        let (lo, hi) = if na < nb { (a, b) } else { (b, a) };
+        Node::Branch(
+            (1 << na) | (1 << nb),
+            vec![
+                Arc::new(Node::Leaf(lo.0, lo.1)),
+                Arc::new(Node::Leaf(hi.0, hi.1)),
+            ],
+        )
+    }
+}
+
+/// Removes `id` from the subtree; the bool asks the parent to drop this
+/// child entirely (it became empty). The caller guarantees `id` is present.
+fn remove_rec(
+    node: &mut Arc<Node>,
+    hash: u64,
+    depth: u32,
+    id: PrefixId,
+) -> (Option<CompactEntry>, bool) {
+    match Arc::make_mut(node) {
+        Node::Leaf(q, e) => {
+            debug_assert_eq!(*q, id);
+            (Some(*e), true)
+        }
+        Node::Collision(items) => {
+            let pos = items.iter().position(|(q, _)| *q == id);
+            match pos {
+                Some(i) => {
+                    let (_, e) = items.swap_remove(i);
+                    (Some(e), items.is_empty())
+                }
+                None => (None, false),
+            }
+        }
+        Node::Branch(bitmap, children) => {
+            let bit = 1u16 << nibble(hash, depth);
+            if *bitmap & bit == 0 {
+                return (None, false);
+            }
+            let idx = (*bitmap & (bit - 1)).count_ones() as usize;
+            let (removed, prune) = remove_rec(&mut children[idx], hash, depth + 1, id);
+            if prune {
+                children.remove(idx);
+                *bitmap &= !bit;
+            }
+            (removed, children.is_empty())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn entry(n: u32) -> CompactEntry {
+        CompactEntry {
+            path: PathId(n),
+            comms: CommSetId(n % 7),
+            time_ms: n as u64 * 100,
+        }
+    }
+
+    /// Deterministic xorshift (no rand dep in unit tests).
+    struct Rng(u64);
+    impl Rng {
+        fn below(&mut self, n: u64) -> u64 {
+            let mut x = self.0;
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            self.0 = x;
+            x % n
+        }
+    }
+
+    #[test]
+    fn node_stays_small() {
+        // The whole point of id keys: every trie allocation is one enum.
+        assert!(std::mem::size_of::<Node>() <= 32);
+    }
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut m = CowRib::new();
+        let p = PrefixId(42);
+        assert!(m.get(p).is_none());
+        assert_eq!(m.insert(p, entry(1)), None);
+        assert_eq!(m.get(p), Some(&entry(1)));
+        assert_eq!(m.insert(p, entry(2)), Some(entry(1)));
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.remove(p), Some(entry(2)));
+        assert!(m.is_empty());
+        assert_eq!(m.remove(p), None);
+    }
+
+    #[test]
+    fn model_checked_against_hashmap() {
+        let mut m = CowRib::new();
+        let mut model: HashMap<PrefixId, CompactEntry> = HashMap::new();
+        let mut rng = Rng(0xdeadbeefcafe1234);
+        for step in 0..20_000u32 {
+            let p = PrefixId(rng.below(500) as u32);
+            match rng.below(3) {
+                0 | 1 => {
+                    let e = entry(step);
+                    assert_eq!(m.insert(p, e), model.insert(p, e), "step {step}");
+                }
+                _ => {
+                    assert_eq!(m.remove(p), model.remove(&p), "step {step}");
+                }
+            }
+            assert_eq!(m.len(), model.len(), "step {step}");
+        }
+        // final contents identical
+        let mut got: Vec<(PrefixId, CompactEntry)> = Vec::new();
+        m.for_each(|p, e| got.push((p, *e)));
+        assert_eq!(got.len(), model.len());
+        for (p, e) in got {
+            assert_eq!(model.get(&p), Some(&e));
+        }
+    }
+
+    #[test]
+    fn snapshots_are_isolated_from_later_writes() {
+        let mut m = CowRib::new();
+        for i in 0..300u32 {
+            m.insert(PrefixId(i), entry(i));
+        }
+        let snap = m.clone();
+        // mutate heavily after the snapshot
+        for i in 0..300u32 {
+            if i % 3 == 0 {
+                m.remove(PrefixId(i));
+            } else {
+                m.insert(PrefixId(i), entry(i + 1_000));
+            }
+        }
+        m.insert(PrefixId(900), entry(900));
+        // snapshot still sees the original contents
+        assert_eq!(snap.len(), 300);
+        for i in 0..300u32 {
+            assert_eq!(snap.get(PrefixId(i)), Some(&entry(i)), "prefix {i}");
+        }
+        assert!(snap.get(PrefixId(900)).is_none());
+        // and the live map sees the new state
+        assert_eq!(m.get(PrefixId(3)), None);
+        assert_eq!(m.get(PrefixId(1)), Some(&entry(1_001)));
+    }
+
+    #[test]
+    fn structural_iteration_is_insertion_order_independent() {
+        let mut a = CowRib::new();
+        let mut b = CowRib::new();
+        for i in 0..100u32 {
+            a.insert(PrefixId(i), entry(i));
+        }
+        for i in (0..100u32).rev() {
+            b.insert(PrefixId(i), entry(i));
+        }
+        let mut va = Vec::new();
+        let mut vb = Vec::new();
+        a.for_each(|p, e| va.push((p, *e)));
+        b.for_each(|p, e| vb.push((p, *e)));
+        assert_eq!(va, vb, "same key set must iterate identically");
+    }
+}

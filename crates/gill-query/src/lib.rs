@@ -5,7 +5,10 @@
 //! instead of downloading MRT dumps. This crate reproduces that half:
 //!
 //! * [`store`] — a time-sharded, snapshot-accelerated route store over the
-//!   update stream ([`RouteStore::rib_at`] is snapshot + bounded replay);
+//!   update stream ([`RouteStore::rib_at`] is snapshot + bounded replay),
+//!   built on interning arenas ([`arena`]), copy-on-write RIBs ([`cow`])
+//!   and sealed on-disk segments ([`segment`]); [`refstore`] keeps the
+//!   original owned-value implementation as the behavioural oracle;
 //! * [`query`] — the looking-glass query surface (exact/LPM/more-specifics,
 //!   per-VP and cross-VP, live and historical) rendered as JSON;
 //! * [`http`] — a dependency-free blocking HTTP/1.1 server with a bounded
@@ -18,9 +21,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arena;
+pub mod cow;
 pub mod http;
 pub mod json;
 pub mod query;
+pub mod refstore;
+pub mod segment;
 pub mod server;
 pub mod storage;
 pub mod store;
@@ -28,6 +35,7 @@ pub mod store;
 pub use http::{Handled, HttpServer, Request, Response, ServerConfig};
 pub use json::{Json, JsonError};
 pub use query::{JoinMode, MatchMode, QueryEngine, RouteQuery, UpdateQuery};
+pub use refstore::ReferenceStore;
 pub use server::{serve, serve_with, SharedStore};
 pub use storage::QueryableStorage;
-pub use store::{RouteStore, RouteView, StoreConfig, StoreStats};
+pub use store::{RouteStore, RouteView, StoreConfig, StoreMemStats, StoreStats};

@@ -142,7 +142,7 @@ impl QueryEngine {
             ("truncated", Json::Bool(truncated)),
             (
                 "updates",
-                Json::Arr(shown.iter().map(|u| update_json(u)).collect()),
+                Json::Arr(shown.iter().map(update_json).collect()),
             ),
         ])
     }
@@ -188,6 +188,30 @@ impl QueryEngine {
                     .collect(),
             ),
         )])
+    }
+
+    /// `/store/stats` — memory, arena and persistence counters.
+    pub fn store_stats(store: &RouteStore) -> Json {
+        let st = store.stats();
+        let m = store.mem_stats();
+        Json::obj([
+            ("updates", Json::U64(st.updates as u64)),
+            ("shards", Json::U64(st.shards as u64)),
+            ("snapshots", Json::U64(st.snapshots as u64)),
+            ("bytes_resident", Json::U64(m.bytes_resident)),
+            ("arena_paths", Json::U64(m.arena_paths as u64)),
+            ("arena_comm_sets", Json::U64(m.arena_comm_sets as u64)),
+            ("arena_link_sets", Json::U64(m.arena_link_sets as u64)),
+            ("arena_prefixes", Json::U64(m.arena_prefixes as u64)),
+            ("attr_refs", Json::U64(m.attr_refs)),
+            (
+                "dedup_ratio",
+                Json::F64((m.dedup_ratio * 1000.0).round() / 1000.0),
+            ),
+            ("sealed_segments", Json::U64(m.sealed_segments as u64)),
+            ("sealed_updates", Json::U64(m.sealed_updates as u64)),
+            ("shed_updates", Json::U64(m.shed_updates as u64)),
+        ])
     }
 
     /// `/health` — liveness plus store counters.

@@ -71,6 +71,7 @@ pub fn route(req: &Request, store: &SharedStore) -> Response {
 pub fn route_with(req: &Request, store: &SharedStore, filters: Option<&FilterHandle>) -> Response {
     match req.path.as_str() {
         "/health" => json_ok(QueryEngine::health(&store.read())),
+        "/store/stats" => json_ok(QueryEngine::store_stats(&store.read())),
         "/vps" => json_ok(QueryEngine::vps(&store.read())),
         "/routes" => routes(req, store),
         "/rib" => rib(req, store),
@@ -288,7 +289,7 @@ fn mrt_updates(req: &Request, store: &SharedStore) -> Response {
     let Some(updates) = store.lane_updates(vp) else {
         return Response::error(404, &format!("unknown vp {vp}"));
     };
-    match encode_updates_mrt(updates) {
+    match encode_updates_mrt(&updates) {
         Ok(bytes) => Response::octets(bytes),
         Err(e) => Response::error(400, &format!("mrt encode failed: {e}")),
     }
@@ -358,6 +359,7 @@ mod tests {
         let store = filled_store();
         for target in [
             "/health",
+            "/store/stats",
             "/vps",
             "/routes?prefix=10.0.0.0/8&match=exact",
             "/routes?prefix=10.1.2.3/32&match=lpm",

@@ -6,17 +6,28 @@
 //! concurrently. The store sits behind a `parking_lot::RwLock` — ingest is
 //! a short exclusive write, queries take shared reads, and the lock is
 //! never held across I/O.
+//!
+//! With a data directory attached, the backend also drives persistence:
+//! complete (aged-out) shards are sealed into segment files periodically
+//! during ingest, and [`Storage::flush`] seals the remaining tail so a
+//! clean shutdown loses nothing.
 
 use crate::store::{RouteStore, StoreConfig};
 use gill_collector::storage::{Storage, StoredUpdate};
 use parking_lot::RwLock;
+use std::path::PathBuf;
 use std::sync::Arc;
+
+/// Seal aged-out shards every this many stored updates (cheap no-op when
+/// nothing new has aged out).
+const SEAL_CHECK_EVERY: usize = 5_000;
 
 /// A [`Storage`] backend that indexes every update into a shared
 /// [`RouteStore`].
 pub struct QueryableStorage {
     store: Arc<RwLock<RouteStore>>,
     stored: usize,
+    data_dir: Option<PathBuf>,
 }
 
 impl Default for QueryableStorage {
@@ -31,17 +42,46 @@ impl QueryableStorage {
         QueryableStorage {
             store: Arc::new(RwLock::new(RouteStore::new(cfg))),
             stored: 0,
+            data_dir: None,
         }
     }
 
     /// Wraps an existing shared store (e.g. one pre-loaded from MRT).
     pub fn with_store(store: Arc<RwLock<RouteStore>>) -> Self {
-        QueryableStorage { store, stored: 0 }
+        QueryableStorage {
+            store,
+            stored: 0,
+            data_dir: None,
+        }
+    }
+
+    /// Enables segment persistence under `dir`: aged-out shards seal during
+    /// ingest, and `flush` seals the tail.
+    pub fn persist_to(mut self, dir: PathBuf) -> Self {
+        self.data_dir = Some(dir);
+        self
     }
 
     /// The shared store handle, for the query/HTTP side.
     pub fn handle(&self) -> Arc<RwLock<RouteStore>> {
         self.store.clone()
+    }
+
+    fn seal(&self, all: bool) {
+        let Some(dir) = &self.data_dir else {
+            return;
+        };
+        let result = {
+            let mut store = self.store.write();
+            if all {
+                store.seal_all_into(dir)
+            } else {
+                store.seal_complete_into(dir)
+            }
+        };
+        if let Err(e) = result {
+            eprintln!("gill-query: sealing to {} failed: {e}", dir.display());
+        }
     }
 }
 
@@ -49,10 +89,17 @@ impl Storage for QueryableStorage {
     fn store(&mut self, rec: StoredUpdate) {
         self.store.write().ingest(rec.update);
         self.stored += 1;
+        if self.stored.is_multiple_of(SEAL_CHECK_EVERY) {
+            self.seal(false);
+        }
     }
 
     fn stored(&self) -> usize {
         self.stored
+    }
+
+    fn flush(&mut self) {
+        self.seal(true);
     }
 }
 
@@ -82,5 +129,27 @@ mod tests {
                 .len(),
             1
         );
+    }
+
+    #[test]
+    fn flush_seals_tail_to_data_dir() {
+        let dir = std::env::temp_dir().join(format!("gill-qs-flush-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut s = QueryableStorage::default().persist_to(dir.clone());
+        for i in 0..5u32 {
+            let u = UpdateBuilder::announce(VpId::from_asn(Asn(65000)), Prefix::synthetic(i))
+                .at(Timestamp::from_secs(i as u64))
+                .path([65000, 2, 3])
+                .build();
+            s.store(StoredUpdate { update: u });
+        }
+        s.flush();
+        let segs = crate::segment::list_segments(&dir).unwrap();
+        assert_eq!(segs.len(), 1, "flush writes exactly one tail segment");
+        let mut reloaded = RouteStore::default();
+        assert_eq!(reloaded.load_dir(&dir).unwrap(), 5);
+        assert_eq!(reloaded.stats().updates, 5);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

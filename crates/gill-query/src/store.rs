@@ -1,4 +1,4 @@
-//! The time-sharded route store.
+//! The time-sharded route store (arena-interned, copy-on-write core).
 //!
 //! GILL's serving half must answer "what routes did VP `v` hold for prefix
 //! `p` at time `t`?" without replaying the whole archive (PAPER §9: users
@@ -6,20 +6,43 @@
 //! coordinated indexes over one append-only update log:
 //!
 //! * **per-VP lanes** — each VP's updates in arrival order, with a live
-//!   [`Rib`] maintained incrementally and periodic RIB *snapshots* taken at
+//!   RIB maintained incrementally and periodic RIB *snapshots* taken at
 //!   a configurable shard cadence, so [`RouteStore::rib_at`] is
 //!   snapshot-clone + bounded replay instead of full-stream replay;
 //! * **time shards** — fixed-width buckets over the time axis, each holding
-//!   a per-prefix [`PrefixTrie`] of update references, so time-ranged
+//!   a per-prefix index of update references, so time-ranged
 //!   "what happened to p between t₁ and t₂" queries touch only the shards
 //!   that overlap the range;
 //! * **live looking-glass table** — a cross-VP [`PrefixTrie`] of current
 //!   best routes plus an origin-AS refcount index, serving the
 //!   fernglas-style exact/LPM/more-specifics lookups in O(prefix length).
+//!
+//! This implementation differs from the behavioural oracle in
+//! [`crate::refstore`] in three memory-focused ways, none visible through
+//! the query API (the equivalence suite asserts byte-identical answers):
+//!
+//! 1. **Attribute interning** — AS paths, community sets, `Lw`/`Cw` sets
+//!    and prefixes live once in refcounted [`Interner`] arenas; a stored
+//!    record is a handful of `u32` ids ([`Rec`]) instead of an owned
+//!    [`BgpUpdate`]. Full updates are rebuilt on demand, exactly.
+//! 2. **Copy-on-write RIBs** — the per-lane live table and its cadence
+//!    snapshots are [`CowRib`]s: a snapshot is an O(1) root clone sharing
+//!    unchanged subtrees, not a full `Rib` copy.
+//! 3. **Sealed segments** — aged-out records can be sealed into
+//!    checksummed append-only files ([`crate::segment`]) and replayed on
+//!    boot ([`RouteStore::load_dir`]), reproducing the store exactly.
 
+use crate::arena::{diff_sorted, Interner};
+use crate::cow::{CompactEntry, CowRib};
+use crate::segment::{self, Segment, SegmentBuilder};
 use crate::{JoinMode, MatchMode};
-use bgp_types::{Asn, BgpUpdate, Prefix, PrefixTrie, Rib, RibEntry, Timestamp, UpdateKind, VpId};
+use bgp_types::{
+    Asn, BgpUpdate, CommSetId, LinkSetId, PathId, Prefix, PrefixId, PrefixTrie, Rib, RibEntry,
+    Timestamp, UpdateKind, VpId,
+};
 use std::collections::{BTreeMap, HashMap};
+use std::io;
+use std::path::{Path, PathBuf};
 
 /// Store tuning knobs.
 #[derive(Clone, Copy, Debug)]
@@ -28,6 +51,10 @@ pub struct StoreConfig {
     pub shard_width_ms: u64,
     /// Take a per-VP RIB snapshot every `snapshot_every_shards` shards.
     pub snapshot_every_shards: u64,
+    /// Soft cap on resident bytes (estimated); `0` disables. Once the
+    /// estimate reaches the cap, further updates are *shed* (dropped and
+    /// counted) rather than ingested.
+    pub mem_cap_bytes: u64,
 }
 
 impl Default for StoreConfig {
@@ -37,6 +64,7 @@ impl Default for StoreConfig {
             // most ~4 minutes of one VP's updates.
             shard_width_ms: 60_000,
             snapshot_every_shards: 4,
+            mem_cap_bytes: 0,
         }
     }
 }
@@ -45,6 +73,15 @@ impl StoreConfig {
     /// Milliseconds between two snapshots of one VP.
     pub fn snapshot_cadence_ms(&self) -> u64 {
         self.shard_width_ms * self.snapshot_every_shards.max(1)
+    }
+
+    /// The config with degenerate zero widths clamped to 1.
+    pub fn clamped(self) -> Self {
+        StoreConfig {
+            shard_width_ms: self.shard_width_ms.max(1),
+            snapshot_every_shards: self.snapshot_every_shards.max(1),
+            mem_cap_bytes: self.mem_cap_bytes,
+        }
     }
 }
 
@@ -55,64 +92,84 @@ struct UpdateRef {
     idx: u32,
 }
 
-/// A per-VP RIB snapshot: `rib` reflects exactly `lane.updates[..idx]`.
+/// One stored update in interned form: ~24 bytes of ids instead of an
+/// owned [`BgpUpdate`] (~200+ bytes). `Lw`/`Cw` are stored (as set ids) so
+/// rebuilt updates are annotated exactly like the originals.
+#[derive(Clone, Copy, Debug)]
+struct Rec {
+    prefix: PrefixId,
+    path: PathId,
+    comms: CommSetId,
+    wlinks: LinkSetId,
+    wcomms: CommSetId,
+    kind: UpdateKind,
+}
+
+/// A per-VP RIB snapshot: `rib` reflects exactly `lane.recs[..idx]`.
 struct Snapshot {
     idx: usize,
-    rib: Rib,
+    rib: CowRib,
 }
 
 /// One VP's slice of the log.
 struct VpLane {
-    /// Updates in arrival order; `Rib::apply` has annotated each one's
-    /// implicit-withdrawal sets, so the log doubles as analysis input.
-    updates: Vec<BgpUpdate>,
-    /// Effective (monotone non-decreasing) timestamp per update: the
+    /// Interned records in arrival order.
+    recs: Vec<Rec>,
+    /// Effective (monotone non-decreasing) timestamp per record: the
     /// running max of arrival timestamps, which keeps binary search sound
     /// even if a peer's clock steps backwards briefly.
     times: Vec<u64>,
-    /// RIB after every update in `updates`.
-    rib: Rib,
-    /// Cadence snapshots, ascending by `idx`.
+    /// Raw arrival timestamps (what rebuilt updates carry).
+    raw_times: Vec<u64>,
+    /// RIB after every record in `recs`.
+    rib: CowRib,
+    /// Cadence snapshots, ascending by `idx`; O(1) clones of `rib`.
     snapshots: Vec<Snapshot>,
     /// Snapshot window (`shard_id / snapshot_every_shards`) of the last
     /// ingested update.
     last_window: Option<u64>,
+    /// Records `recs[..sealed_upto]` are already persisted in a segment.
+    sealed_upto: usize,
 }
 
 impl VpLane {
     fn new() -> Self {
         VpLane {
-            updates: Vec::new(),
+            recs: Vec::new(),
             times: Vec::new(),
-            rib: Rib::new(),
+            raw_times: Vec::new(),
+            rib: CowRib::new(),
             snapshots: Vec::new(),
             last_window: None,
+            sealed_upto: 0,
         }
     }
 
-    /// Number of updates with effective time <= `t_ms`.
+    /// Number of records with effective time <= `t_ms`.
     fn count_until(&self, t_ms: u64) -> usize {
         self.times.partition_point(|&t| t <= t_ms)
     }
 
-    /// Latest snapshot covering at most the first `k` updates.
+    /// Latest snapshot covering at most the first `k` records.
     fn snapshot_before(&self, k: usize) -> Option<&Snapshot> {
         let i = self.snapshots.partition_point(|s| s.idx <= k);
         i.checked_sub(1).map(|i| &self.snapshots[i])
     }
 }
 
-/// One fixed-width time bucket: a per-prefix index of the updates whose
-/// (effective) timestamps fall inside it.
+/// One fixed-width time bucket: prefix id → references to the updates whose
+/// (effective) timestamps fall inside it. A plain map keyed by interned
+/// prefix id — covered joins go through the single shared trie in the
+/// prefix arena instead of one trie per shard.
 struct Shard {
-    index: PrefixTrie<Vec<UpdateRef>>,
+    index: HashMap<u32, Vec<UpdateRef>>,
     count: usize,
 }
 
 impl Shard {
     fn new() -> Self {
         Shard {
-            index: PrefixTrie::new(),
+            index: HashMap::new(),
             count: 0,
         }
     }
@@ -145,19 +202,59 @@ pub struct StoreStats {
     pub live_prefixes: usize,
 }
 
+/// Memory/persistence counters (`/store/stats` endpoint).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct StoreMemStats {
+    /// Estimated resident bytes (arenas + per-record overhead).
+    pub bytes_resident: u64,
+    /// Distinct AS paths interned.
+    pub arena_paths: usize,
+    /// Distinct community sets interned (`C` and `Cw` share the arena).
+    pub arena_comm_sets: usize,
+    /// Distinct withdrawn-link sets interned.
+    pub arena_link_sets: usize,
+    /// Distinct prefixes interned.
+    pub arena_prefixes: usize,
+    /// Attribute references handed out across all arenas.
+    pub attr_refs: u64,
+    /// `attr_refs / distinct entries` — how many times the average
+    /// attribute value is reused.
+    pub dedup_ratio: f64,
+    /// Segments written (or loaded) so far.
+    pub sealed_segments: usize,
+    /// Updates covered by sealed segments.
+    pub sealed_updates: usize,
+    /// Updates dropped by the memory cap.
+    pub shed_updates: usize,
+}
+
+/// Fixed per-record overhead charged to the resident-bytes estimate: the
+/// `Rec` itself, the two timestamp lanes, the shard reference, and an
+/// amortized share of COW node copies and live-table entries.
+const REC_OVERHEAD_BYTES: u64 = 128;
+
 /// The time-indexed route store.
 pub struct RouteStore {
     cfg: StoreConfig,
+    interner: Interner,
     lanes: HashMap<VpId, VpLane>,
     /// VPs in first-seen order (stable output for `/vps`).
     vp_order: Vec<VpId>,
     shards: BTreeMap<u64, Shard>,
-    /// prefix → (vp → live best route).
-    live: PrefixTrie<BTreeMap<VpId, RibEntry>>,
+    /// prefix → (vp → live best route), in interned form.
+    live: PrefixTrie<BTreeMap<VpId, CompactEntry>>,
     /// origin AS → (prefix → number of VPs currently routing it via that
     /// origin). Refcounted so withdrawals retract cleanly.
     origins: HashMap<Asn, BTreeMap<Prefix, usize>>,
     total: usize,
+    /// Updates dropped by the memory cap.
+    shed: usize,
+    /// Per-record byte overhead accumulated so far.
+    rec_bytes: u64,
+    /// Sequence number for the next sealed segment.
+    next_seq: u64,
+    sealed_segments: usize,
+    sealed_updates: usize,
 }
 
 impl Default for RouteStore {
@@ -170,16 +267,19 @@ impl RouteStore {
     /// An empty store.
     pub fn new(cfg: StoreConfig) -> Self {
         RouteStore {
-            cfg: StoreConfig {
-                shard_width_ms: cfg.shard_width_ms.max(1),
-                snapshot_every_shards: cfg.snapshot_every_shards.max(1),
-            },
+            cfg: cfg.clamped(),
+            interner: Interner::new(),
             lanes: HashMap::new(),
             vp_order: Vec::new(),
             shards: BTreeMap::new(),
             live: PrefixTrie::new(),
             origins: HashMap::new(),
             total: 0,
+            shed: 0,
+            rec_bytes: 0,
+            next_seq: 0,
+            sealed_segments: 0,
+            sealed_updates: 0,
         }
     }
 
@@ -188,9 +288,30 @@ impl RouteStore {
         self.cfg
     }
 
-    /// Ingests one update (arrival order per VP is replay order).
+    /// Ingests one update (arrival order per VP is replay order). When a
+    /// memory cap is configured and the resident estimate has reached it,
+    /// the update is shed (dropped and counted) instead.
     pub fn ingest(&mut self, update: BgpUpdate) {
-        let vp = update.vp;
+        if self.cfg.mem_cap_bytes > 0 && self.approx_bytes() >= self.cfg.mem_cap_bytes {
+            self.shed += 1;
+            return;
+        }
+        self.ingest_unchecked(update);
+    }
+
+    /// The ingest path proper (no cap check — also used by segment replay,
+    /// which must reload everything the original process held).
+    fn ingest_unchecked(&mut self, update: BgpUpdate) {
+        let BgpUpdate {
+            vp,
+            time,
+            prefix,
+            kind,
+            path,
+            communities,
+            ..
+        } = update;
+
         let lane = match self.lanes.entry(vp) {
             std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
             std::collections::hash_map::Entry::Vacant(e) => {
@@ -199,49 +320,111 @@ impl RouteStore {
             }
         };
 
-        let eff_ms = update
-            .time
-            .as_millis()
-            .max(lane.times.last().copied().unwrap_or(0));
+        let raw_ms = time.as_millis();
+        let eff_ms = raw_ms.max(lane.times.last().copied().unwrap_or(0));
         let shard_id = eff_ms / self.cfg.shard_width_ms;
         let window = shard_id / self.cfg.snapshot_every_shards;
 
         // Snapshot *before* applying the first update of a new cadence
         // window: the snapshot then covers exactly the updates of earlier
         // windows, so rib_at(t) for t inside this window replays only the
-        // window's own updates.
+        // window's own updates. With CowRib this is an O(1) root clone.
         if let Some(last) = lane.last_window {
             if window > last {
                 lane.snapshots.push(Snapshot {
-                    idx: lane.updates.len(),
+                    idx: lane.recs.len(),
                     rib: lane.rib.clone(),
                 });
             }
         }
         lane.last_window = Some(window);
 
-        // Live RIB maintenance; `apply` also fills the update's
-        // implicit-withdrawal sets, so the stored log is analysis-ready.
-        let prev_entry = lane.rib.get(&update.prefix).cloned();
-        let mut update = update;
-        lane.rib.apply(&mut update);
-        let new_entry = match update.kind {
-            UpdateKind::Announce => lane.rib.get(&update.prefix).cloned(),
-            UpdateKind::Withdraw => None,
+        // Intern the update's attributes and derive Lw/Cw from the previous
+        // best route, matching `Rib::apply` on owned sets exactly: the
+        // arenas hand back sorted slices and `diff_sorted` is the slice
+        // analogue of `BTreeSet::difference`.
+        let interner = &mut self.interner;
+        let pid = interner.prefixes.intern(prefix);
+        let path_id = interner.paths.intern(&path);
+        let comms_id = CommSetId(
+            interner
+                .comm_sets
+                .intern_sorted(&communities.iter().copied().collect::<Vec<_>>()),
+        );
+        let prev = lane.rib.get(pid).copied();
+        let prev_origin = prev.map(|pe| interner.paths.get(pe.path).origin());
+        let new_origin = interner.paths.get(path_id).origin();
+
+        let (wlinks, wcomms, new_entry) = match kind {
+            UpdateKind::Announce => {
+                let (wl, wc) = match prev {
+                    Some(pe) => {
+                        let lw = diff_sorted(
+                            interner.paths.links(pe.path),
+                            interner.paths.links(path_id),
+                        );
+                        let cw = diff_sorted(
+                            interner.comm_sets.get(pe.comms.0),
+                            interner.comm_sets.get(comms_id.0),
+                        );
+                        (
+                            LinkSetId(interner.link_sets.intern_sorted(&lw)),
+                            CommSetId(interner.comm_sets.intern_sorted(&cw)),
+                        )
+                    }
+                    None => {
+                        interner.link_sets.bump(LinkSetId::EMPTY.0);
+                        interner.comm_sets.bump(CommSetId::EMPTY.0);
+                        (LinkSetId::EMPTY, CommSetId::EMPTY)
+                    }
+                };
+                let e = CompactEntry {
+                    path: path_id,
+                    comms: comms_id,
+                    time_ms: raw_ms,
+                };
+                lane.rib.insert(pid, e);
+                (wl, wc, Some(e))
+            }
+            UpdateKind::Withdraw => {
+                let removed = lane.rib.remove(pid);
+                match removed {
+                    Some(pe) => {
+                        // Lw carries everything the withdrawn route had.
+                        let links = interner.paths.links(pe.path).to_vec();
+                        let wl = LinkSetId(interner.link_sets.intern_sorted(&links));
+                        interner.comm_sets.bump(pe.comms.0);
+                        (wl, pe.comms, None)
+                    }
+                    None => {
+                        interner.link_sets.bump(LinkSetId::EMPTY.0);
+                        interner.comm_sets.bump(CommSetId::EMPTY.0);
+                        (LinkSetId::EMPTY, CommSetId::EMPTY, None)
+                    }
+                }
+            }
         };
-        let (prefix, kind) = (update.prefix, update.kind);
-        let idx = lane.updates.len() as u32;
+
+        let idx = lane.recs.len() as u32;
         lane.times.push(eff_ms);
-        lane.updates.push(update);
+        lane.raw_times.push(raw_ms);
+        lane.recs.push(Rec {
+            prefix: pid,
+            path: path_id,
+            comms: comms_id,
+            wlinks,
+            wcomms,
+            kind,
+        });
 
         // Looking-glass + origin indexes (lane borrow released above).
         match kind {
             UpdateKind::Announce => {
                 let entry = new_entry.expect("announce installs a route");
-                if let Some(prev) = &prev_entry {
-                    self.retract_origin(prev.path.origin(), prefix);
+                if let Some(po) = prev_origin {
+                    retract_origin(&mut self.origins, po, prefix);
                 }
-                self.add_origin(entry.path.origin(), prefix);
+                add_origin(&mut self.origins, new_origin, prefix);
                 match self.live.get_mut(&prefix) {
                     Some(routes) => {
                         routes.insert(vp, entry);
@@ -252,8 +435,8 @@ impl RouteStore {
                 }
             }
             UpdateKind::Withdraw => {
-                if let Some(prev) = &prev_entry {
-                    self.retract_origin(prev.path.origin(), prefix);
+                if let Some(po) = prev_origin {
+                    retract_origin(&mut self.origins, po, prefix);
                     if let Some(routes) = self.live.get_mut(&prefix) {
                         routes.remove(&vp);
                         if routes.is_empty() {
@@ -267,47 +450,20 @@ impl RouteStore {
         // Shard index.
         let shard = self.shards.entry(shard_id).or_insert_with(Shard::new);
         shard.count += 1;
-        match shard.index.get_mut(&prefix) {
-            Some(refs) => refs.push(UpdateRef { vp, idx }),
-            None => {
-                shard.index.insert(prefix, vec![UpdateRef { vp, idx }]);
-            }
-        }
+        shard
+            .index
+            .entry(pid.0)
+            .or_default()
+            .push(UpdateRef { vp, idx });
         self.total += 1;
-    }
-
-    fn add_origin(&mut self, origin: Option<Asn>, prefix: Prefix) {
-        if let Some(o) = origin {
-            *self
-                .origins
-                .entry(o)
-                .or_default()
-                .entry(prefix)
-                .or_insert(0) += 1;
-        }
-    }
-
-    fn retract_origin(&mut self, origin: Option<Asn>, prefix: Prefix) {
-        if let Some(o) = origin {
-            if let Some(prefixes) = self.origins.get_mut(&o) {
-                if let Some(n) = prefixes.get_mut(&prefix) {
-                    *n -= 1;
-                    if *n == 0 {
-                        prefixes.remove(&prefix);
-                    }
-                }
-                if prefixes.is_empty() {
-                    self.origins.remove(&o);
-                }
-            }
-        }
+        self.rec_bytes += REC_OVERHEAD_BYTES;
     }
 
     /// VPs in first-seen order with their update counts.
     pub fn vps(&self) -> Vec<(VpId, usize)> {
         self.vp_order
             .iter()
-            .map(|vp| (*vp, self.lanes[vp].updates.len()))
+            .map(|vp| (*vp, self.lanes[vp].recs.len()))
             .collect()
     }
 
@@ -322,6 +478,94 @@ impl RouteStore {
         }
     }
 
+    /// Estimated resident bytes: arena heap (tracked incrementally by the
+    /// arenas) plus a fixed per-record overhead. Deterministic for a given
+    /// stream, so memory-cap shedding is reproducible.
+    pub fn approx_bytes(&self) -> u64 {
+        self.interner.bytes() + self.rec_bytes
+    }
+
+    /// Memory and persistence counters.
+    pub fn mem_stats(&self) -> StoreMemStats {
+        let entries = self.interner.entries();
+        let refs = self.interner.refs();
+        StoreMemStats {
+            bytes_resident: self.approx_bytes(),
+            arena_paths: self.interner.paths.len(),
+            arena_comm_sets: self.interner.comm_sets.len(),
+            arena_link_sets: self.interner.link_sets.len(),
+            arena_prefixes: self.interner.prefixes.len(),
+            attr_refs: refs,
+            dedup_ratio: if entries > 0 {
+                refs as f64 / entries as f64
+            } else {
+                0.0
+            },
+            sealed_segments: self.sealed_segments,
+            sealed_updates: self.sealed_updates,
+            shed_updates: self.shed,
+        }
+    }
+
+    /// Rebuilds the full update for one lane record — the exact value the
+    /// reference store would have kept (Lw/Cw included).
+    fn rebuild(&self, vp: VpId, lane: &VpLane, idx: usize) -> BgpUpdate {
+        let rec = &lane.recs[idx];
+        let i = &self.interner;
+        BgpUpdate {
+            vp,
+            time: Timestamp::from_millis(lane.raw_times[idx]),
+            prefix: i.prefixes.get(rec.prefix),
+            kind: rec.kind,
+            path: i.paths.get(rec.path).clone(),
+            communities: i.comm_sets.get(rec.comms.0).iter().copied().collect(),
+            withdrawn_links: i.link_sets.get(rec.wlinks.0).iter().copied().collect(),
+            withdrawn_communities: i.comm_sets.get(rec.wcomms.0).iter().copied().collect(),
+        }
+    }
+
+    /// Materializes an interned entry into the owned form queries return.
+    fn entry(&self, e: &CompactEntry) -> RibEntry {
+        RibEntry {
+            path: self.interner.paths.get(e.path).clone(),
+            communities: self
+                .interner
+                .comm_sets
+                .get(e.comms.0)
+                .iter()
+                .copied()
+                .collect(),
+            time: Timestamp::from_millis(e.time_ms),
+        }
+    }
+
+    /// Materializes a COW table into an owned [`Rib`].
+    fn materialize(&self, rib: &CowRib) -> Rib {
+        let mut entries = Vec::with_capacity(rib.len());
+        rib.for_each(|id, e| entries.push((self.interner.prefixes.get(id), self.entry(e))));
+        Rib::from_entries(entries)
+    }
+
+    /// Replays one record into a COW table (the compact analogue of
+    /// `Rib::apply`; Lw/Cw derivation already happened at ingest).
+    fn apply_rec(rib: &mut CowRib, rec: &Rec, raw_ms: u64) {
+        match rec.kind {
+            UpdateKind::Announce => {
+                rib.insert(
+                    rec.prefix,
+                    CompactEntry {
+                        path: rec.path,
+                        comms: rec.comms,
+                        time_ms: raw_ms,
+                    },
+                );
+            }
+            UpdateKind::Withdraw => {
+                rib.remove(rec.prefix);
+            }
+        }
+    }
+
     /// The RIB VP `vp` held at time `t`: latest snapshot at or before `t`,
     /// plus replay of the (bounded) tail. Returns `None` for an unknown VP.
     pub fn rib_at(&self, vp: VpId, t: Timestamp) -> Option<Rib> {
@@ -329,13 +573,28 @@ impl RouteStore {
         let k = lane.count_until(t.as_millis());
         let (mut rib, start) = match lane.snapshot_before(k) {
             Some(s) => (s.rib.clone(), s.idx),
-            None => (Rib::new(), 0),
+            None => (CowRib::new(), 0),
         };
-        for u in &lane.updates[start..k] {
-            let mut u = u.clone();
-            rib.apply(&mut u);
+        for i in start..k {
+            Self::apply_rec(&mut rib, &lane.recs[i], lane.raw_times[i]);
         }
-        Some(rib)
+        Some(self.materialize(&rib))
+    }
+
+    /// Number of routes `vp` held at `t` — the reconstruction of [`rib_at`]
+    /// without the final materialization into a [`Rib`], so its cost is the
+    /// snapshot lookup plus the bounded replay alone.
+    pub fn rib_len_at(&self, vp: VpId, t: Timestamp) -> Option<usize> {
+        let lane = self.lanes.get(&vp)?;
+        let k = lane.count_until(t.as_millis());
+        let (mut rib, start) = match lane.snapshot_before(k) {
+            Some(s) => (s.rib.clone(), s.idx),
+            None => (CowRib::new(), 0),
+        };
+        for i in start..k {
+            Self::apply_rec(&mut rib, &lane.recs[i], lane.raw_times[i]);
+        }
+        Some(rib.len())
     }
 
     /// Number of updates `rib_at` would replay after the snapshot (used by
@@ -347,9 +606,9 @@ impl RouteStore {
         Some(k - start)
     }
 
-    /// The latest RIB of `vp`.
-    pub fn rib_now(&self, vp: VpId) -> Option<&Rib> {
-        self.lanes.get(&vp).map(|l| &l.rib)
+    /// The latest RIB of `vp`, materialized.
+    pub fn rib_now(&self, vp: VpId) -> Option<Rib> {
+        self.lanes.get(&vp).map(|l| self.materialize(&l.rib))
     }
 
     /// Looking-glass lookup against the *live* table.
@@ -358,17 +617,18 @@ impl RouteStore {
     /// covering prefix that still has a route from the selected view;
     /// more-specifics enumerates the covered subtree.
     pub fn lookup(&self, prefix: &Prefix, mode: MatchMode, vp: Option<VpId>) -> Vec<RouteView> {
-        let keep = |routes: &BTreeMap<VpId, RibEntry>, pfx: &Prefix, out: &mut Vec<RouteView>| {
-            for (v, entry) in routes {
-                if vp.is_none_or(|want| *v == want) {
-                    out.push(RouteView {
-                        vp: *v,
-                        prefix: *pfx,
-                        entry: entry.clone(),
-                    });
+        let keep =
+            |routes: &BTreeMap<VpId, CompactEntry>, pfx: &Prefix, out: &mut Vec<RouteView>| {
+                for (v, entry) in routes {
+                    if vp.is_none_or(|want| *v == want) {
+                        out.push(RouteView {
+                            vp: *v,
+                            prefix: *pfx,
+                            entry: self.entry(entry),
+                        });
+                    }
                 }
-            }
-        };
+            };
         let mut out = Vec::new();
         match mode {
             MatchMode::Exact => {
@@ -456,7 +716,8 @@ impl RouteStore {
     /// Updates touching `prefix` in `[from, to]`, via the shard indexes.
     ///
     /// `join` controls prefix matching: exact, or any stored prefix covered
-    /// by the query (more-specifics). Results are in (time, vp, lane order).
+    /// by the query (more-specifics, resolved through the shared prefix
+    /// trie). Results are rebuilt updates in (time, vp, prefix, lane order).
     pub fn updates_in_range(
         &self,
         prefix: Option<&Prefix>,
@@ -464,46 +725,68 @@ impl RouteStore {
         vp: Option<VpId>,
         from: Timestamp,
         to: Timestamp,
-    ) -> Vec<&BgpUpdate> {
+    ) -> Vec<BgpUpdate> {
         let (from_ms, to_ms) = (from.as_millis(), to.as_millis());
         if from_ms > to_ms {
             return Vec::new();
         }
+        // Resolve the prefix filter to interned ids once, up front.
+        let pids: Option<Vec<u32>> = prefix.map(|p| match join {
+            JoinMode::Exact => self
+                .interner
+                .prefixes
+                .lookup(p)
+                .map(|id| vec![id.0])
+                .unwrap_or_default(),
+            JoinMode::Covered => self
+                .interner
+                .prefixes
+                .trie()
+                .more_specifics(p)
+                .into_iter()
+                .map(|(_, id)| *id)
+                .collect(),
+        });
         let first = from_ms / self.cfg.shard_width_ms;
         let last = to_ms / self.cfg.shard_width_ms;
         let mut refs: Vec<UpdateRef> = Vec::new();
         for (_, shard) in self.shards.range(first..=last) {
-            match prefix {
-                Some(p) => match join {
-                    JoinMode::Exact => {
-                        if let Some(rs) = shard.index.get(p) {
+            match &pids {
+                Some(ids) => {
+                    for id in ids {
+                        if let Some(rs) = shard.index.get(id) {
                             refs.extend(rs.iter().copied());
                         }
                     }
-                    JoinMode::Covered => {
-                        for (_, rs) in shard.index.more_specifics(p) {
-                            refs.extend(rs.iter().copied());
-                        }
-                    }
-                },
+                }
                 None => {
-                    for (_, rs) in shard.index.iter() {
+                    for rs in shard.index.values() {
                         refs.extend(rs.iter().copied());
                     }
                 }
             }
         }
-        let mut out: Vec<&BgpUpdate> = refs
+        // Total sort key (time, vp, prefix, lane idx): within a tie group
+        // the lane index ascends exactly like the reference store's stable
+        // sort over shard-ordered refs, so output order is identical.
+        let mut keyed: Vec<(u64, VpId, Prefix, u32)> = refs
             .into_iter()
             .filter(|r| vp.is_none_or(|want| r.vp == want))
             .filter_map(|r| {
                 let lane = self.lanes.get(&r.vp)?;
                 let t = *lane.times.get(r.idx as usize)?;
-                (t >= from_ms && t <= to_ms).then(|| &lane.updates[r.idx as usize])
+                (t >= from_ms && t <= to_ms).then(|| {
+                    let raw = lane.raw_times[r.idx as usize];
+                    let p = self.interner.prefixes.get(lane.recs[r.idx as usize].prefix);
+                    (raw, r.vp, p, r.idx)
+                })
             })
             .collect();
-        out.sort_by_key(|u| (u.time, u.vp, u.prefix));
-        out
+        keyed.sort_unstable();
+        keyed
+            .into_iter()
+            .map(|(_, v, _, idx)| self.rebuild(v, &self.lanes[&v], idx as usize))
+            .collect()
     }
 
     /// Prefixes currently originated by `asn`, with the number of VPs
@@ -515,9 +798,14 @@ impl RouteStore {
             .unwrap_or_default()
     }
 
-    /// All updates of one VP in arrival order (MRT export).
-    pub fn lane_updates(&self, vp: VpId) -> Option<&[BgpUpdate]> {
-        self.lanes.get(&vp).map(|l| l.updates.as_slice())
+    /// All updates of one VP in arrival order (MRT export), rebuilt.
+    pub fn lane_updates(&self, vp: VpId) -> Option<Vec<BgpUpdate>> {
+        let lane = self.lanes.get(&vp)?;
+        Some(
+            (0..lane.recs.len())
+                .map(|i| self.rebuild(vp, lane, i))
+                .collect(),
+        )
     }
 
     /// Per-VP RIBs at time `t` for every VP (TABLE_DUMP export).
@@ -544,6 +832,163 @@ impl RouteStore {
                 .unwrap_or(0),
         )
     }
+
+    // ---- sealed segments -------------------------------------------------
+
+    /// Seals every record of every *complete* shard (strictly before the
+    /// latest shard seen) that is not yet on disk into one new segment file
+    /// under `dir`. Returns the file path, or `None` when nothing new aged
+    /// out. Records stay resident for serving; sealing is durability.
+    pub fn seal_complete_into(&mut self, dir: &Path) -> io::Result<Option<PathBuf>> {
+        let Some((&latest, _)) = self.shards.last_key_value() else {
+            return Ok(None);
+        };
+        let cutoff_ms = latest.saturating_mul(self.cfg.shard_width_ms);
+        self.seal_until(dir, Some(cutoff_ms))
+    }
+
+    /// Seals *all* unsealed records into one new segment file under `dir`
+    /// (shutdown flush). Returns the file path, or `None` if nothing new.
+    pub fn seal_all_into(&mut self, dir: &Path) -> io::Result<Option<PathBuf>> {
+        self.seal_until(dir, None)
+    }
+
+    /// Seals per-lane records with effective time `< cutoff_ms` (or all when
+    /// `None`). Effective times are monotone per lane, so the sealed range
+    /// is always a lane prefix and `sealed_upto` is a plain watermark.
+    fn seal_until(&mut self, dir: &Path, cutoff_ms: Option<u64>) -> io::Result<Option<PathBuf>> {
+        let mut builder = SegmentBuilder::new(self.next_seq, self.vp_order.clone());
+        let mut new_upto: Vec<usize> = Vec::with_capacity(self.vp_order.len());
+        for (vi, vp) in self.vp_order.iter().enumerate() {
+            let lane = &self.lanes[vp];
+            let upto = match cutoff_ms {
+                Some(ms) => lane.times.partition_point(|&t| t < ms),
+                None => lane.recs.len(),
+            };
+            new_upto.push(upto);
+            let handle = builder.add_lane(vi as u32, lane.sealed_upto as u64);
+            for i in lane.sealed_upto..upto {
+                let rec = &lane.recs[i];
+                builder.push_rec(
+                    handle,
+                    lane.raw_times[i],
+                    self.interner.prefixes.get(rec.prefix),
+                    self.interner.paths.get(rec.path),
+                    self.interner.comm_sets.get(rec.comms.0),
+                    rec.kind,
+                );
+            }
+        }
+        let count = builder.rec_count();
+        if count == 0 {
+            return Ok(None);
+        }
+        let seg = builder.finish();
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(segment::segment_file_name(seg.seq));
+        let tmp = dir.join(format!("{}.tmp", segment::segment_file_name(seg.seq)));
+        {
+            let mut f = io::BufWriter::new(std::fs::File::create(&tmp)?);
+            seg.write_to(&mut f)?;
+            use io::Write as _;
+            f.flush()?;
+        }
+        std::fs::rename(&tmp, &path)?;
+        for (vi, vp) in self.vp_order.iter().enumerate() {
+            self.lanes.get_mut(vp).expect("lane exists").sealed_upto = new_upto[vi];
+        }
+        self.next_seq += 1;
+        self.sealed_segments += 1;
+        self.sealed_updates += count;
+        Ok(Some(path))
+    }
+
+    /// Cold-start replay: loads every segment under `dir` in sequence order
+    /// and re-ingests its lanes, reproducing the sealed portion of the
+    /// store exactly (per-lane order is all that matters: Lw/Cw, shards,
+    /// snapshots and the live table are re-derived deterministically).
+    ///
+    /// Returns the number of updates replayed. Replay bypasses the memory
+    /// cap — what the original process held must come back.
+    pub fn load_dir(&mut self, dir: &Path) -> io::Result<usize> {
+        let mut replayed = 0;
+        for (seq, path) in segment::list_segments(dir)? {
+            let mut f = io::BufReader::new(std::fs::File::open(&path)?);
+            let seg = Segment::read_from(&mut f)
+                .map_err(|e| io::Error::new(e.kind(), format!("{}: {e}", path.display())))?;
+            // Reproduce VP registration order even for lanes that were
+            // empty when this segment was written.
+            for vp in &seg.vp_order {
+                self.register_vp(*vp);
+            }
+            for lane in &seg.lanes {
+                let vp = seg.vp_order[lane.vp as usize];
+                let cur = self.lanes[&vp].recs.len() as u64;
+                if lane.start != cur {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!(
+                            "{}: lane {vp} starts at {} but store holds {cur}",
+                            path.display(),
+                            lane.start
+                        ),
+                    ));
+                }
+            }
+            for u in seg.updates() {
+                self.ingest_unchecked(u);
+                replayed += 1;
+            }
+            for lane in &seg.lanes {
+                let vp = seg.vp_order[lane.vp as usize];
+                let l = self.lanes.get_mut(&vp).expect("registered above");
+                l.sealed_upto = l.recs.len();
+            }
+            self.next_seq = self.next_seq.max(seq + 1);
+            self.sealed_segments += 1;
+            self.sealed_updates += seg.lanes.iter().map(|l| l.recs.len()).sum::<usize>();
+        }
+        Ok(replayed)
+    }
+
+    /// Registers a VP with an empty lane (used by segment replay to pin the
+    /// first-seen order recorded at seal time).
+    fn register_vp(&mut self, vp: VpId) {
+        if let std::collections::hash_map::Entry::Vacant(e) = self.lanes.entry(vp) {
+            self.vp_order.push(vp);
+            e.insert(VpLane::new());
+        }
+    }
+}
+
+fn add_origin(
+    origins: &mut HashMap<Asn, BTreeMap<Prefix, usize>>,
+    origin: Option<Asn>,
+    prefix: Prefix,
+) {
+    if let Some(o) = origin {
+        *origins.entry(o).or_default().entry(prefix).or_insert(0) += 1;
+    }
+}
+
+fn retract_origin(
+    origins: &mut HashMap<Asn, BTreeMap<Prefix, usize>>,
+    origin: Option<Asn>,
+    prefix: Prefix,
+) {
+    if let Some(o) = origin {
+        if let Some(prefixes) = origins.get_mut(&o) {
+            if let Some(n) = prefixes.get_mut(&prefix) {
+                *n -= 1;
+                if *n == 0 {
+                    prefixes.remove(&prefix);
+                }
+            }
+            if prefixes.is_empty() {
+                origins.remove(&o);
+            }
+        }
+    }
 }
 
 /// `prefix` truncated to `len` bits (host bits re-masked).
@@ -558,6 +1003,7 @@ fn truncate(p: &Prefix, len: u8) -> Prefix {
 mod tests {
     use super::*;
     use bgp_types::UpdateBuilder;
+    use std::sync::atomic::{AtomicU64, Ordering};
 
     fn vp(n: u32) -> VpId {
         VpId::from_asn(Asn(n))
@@ -580,7 +1026,21 @@ mod tests {
         StoreConfig {
             shard_width_ms: 1_000,
             snapshot_every_shards: 2,
+            ..StoreConfig::default()
         }
+    }
+
+    /// Unique scratch dir per test invocation (no tempfile dep).
+    fn scratch(tag: &str) -> std::path::PathBuf {
+        static N: AtomicU64 = AtomicU64::new(0);
+        let d = std::env::temp_dir().join(format!(
+            "gill-store-{tag}-{}-{}",
+            std::process::id(),
+            N.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
     }
 
     #[test]
@@ -801,5 +1261,135 @@ mod tests {
         assert_eq!(st.shards, 2);
         assert_eq!(st.live_prefixes, 2);
         assert_eq!(s.vps().len(), 2);
+    }
+
+    #[test]
+    fn interning_dedups_repeated_attributes() {
+        let mut s = RouteStore::new(small_cfg());
+        for i in 0..100u64 {
+            s.ingest(ann(1, i * 10, "10.0.0.0/8", &[1, 2, 3]));
+        }
+        let m = s.mem_stats();
+        // one distinct path (+ empty), one prefix, heavy reuse
+        assert_eq!(m.arena_paths, 2);
+        assert_eq!(m.arena_prefixes, 1);
+        assert!(m.dedup_ratio > 10.0, "dedup ratio {}", m.dedup_ratio);
+        assert!(m.bytes_resident > 0);
+    }
+
+    #[test]
+    fn mem_cap_sheds_deterministically() {
+        let cap = {
+            // measure bytes after 10 updates, cap there, re-ingest longer
+            let mut probe = RouteStore::new(small_cfg());
+            for i in 0..10u64 {
+                probe.ingest(ann(1, i * 10, "10.0.0.0/8", &[1, (i % 4) as u32 + 2, 9]));
+            }
+            probe.approx_bytes()
+        };
+        let mut s = RouteStore::new(StoreConfig {
+            mem_cap_bytes: cap,
+            ..small_cfg()
+        });
+        for i in 0..50u64 {
+            s.ingest(ann(1, i * 10, "10.0.0.0/8", &[1, (i % 4) as u32 + 2, 9]));
+        }
+        let m = s.mem_stats();
+        assert!(m.shed_updates > 0, "cap must shed");
+        assert_eq!(s.stats().updates + m.shed_updates, 50);
+        // the store still answers queries with what it kept
+        assert_eq!(
+            s.lookup(&"10.0.0.0/8".parse().unwrap(), MatchMode::Exact, None)
+                .len(),
+            1
+        );
+    }
+
+    #[test]
+    fn seal_and_reload_reproduces_store() {
+        let dir = scratch("reload");
+        let mk_stream = || {
+            let mut v = Vec::new();
+            for i in 0..60u64 {
+                if i % 9 == 4 {
+                    v.push(wd(1 + (i % 3) as u32, i * 400, "10.0.0.0/8"));
+                } else {
+                    v.push(ann(
+                        1 + (i % 3) as u32,
+                        i * 400,
+                        if i % 2 == 0 {
+                            "10.0.0.0/8"
+                        } else {
+                            "10.1.0.0/16"
+                        },
+                        &[1, (i % 5) as u32 + 2, 9],
+                    ));
+                }
+            }
+            v
+        };
+        let mut a = RouteStore::new(small_cfg());
+        for u in mk_stream() {
+            a.ingest(u);
+        }
+        // two seals: complete shards first, remainder on "shutdown"
+        let p1 = a.seal_complete_into(&dir).unwrap();
+        assert!(p1.is_some(), "aged-out shards must seal");
+        let p2 = a.seal_all_into(&dir).unwrap();
+        assert!(p2.is_some(), "tail must seal");
+        assert!(a.seal_all_into(&dir).unwrap().is_none(), "nothing left");
+
+        let mut b = RouteStore::new(small_cfg());
+        let n = b.load_dir(&dir).unwrap();
+        assert_eq!(n, 60);
+        assert_eq!(a.stats(), b.stats());
+        assert_eq!(a.vps(), b.vps());
+        assert_eq!(a.shard_counts(), b.shard_counts());
+        for v in [vp(1), vp(2), vp(3)] {
+            assert_eq!(a.lane_updates(v), b.lane_updates(v), "lane {v}");
+            for t in [0, 5_000, 12_345, 24_000] {
+                let (ra, rb) = (
+                    a.rib_at(v, Timestamp::from_millis(t)).unwrap(),
+                    b.rib_at(v, Timestamp::from_millis(t)).unwrap(),
+                );
+                assert_eq!(ra.len(), rb.len());
+                for (p, e) in ra.iter() {
+                    assert_eq!(rb.get(p), Some(e), "vp {v} t {t} prefix {p}");
+                }
+            }
+        }
+        let range = |s: &RouteStore| {
+            s.updates_in_range(
+                None,
+                JoinMode::Exact,
+                None,
+                Timestamp::ZERO,
+                Timestamp::from_millis(u64::MAX / 2),
+            )
+        };
+        assert_eq!(range(&a), range(&b));
+        // further ingest + seal continues the sequence
+        b.ingest(ann(1, 30_000, "10.2.0.0/16", &[1, 7]));
+        let p3 = b.seal_all_into(&dir).unwrap().unwrap();
+        assert!(
+            p3.file_name().unwrap().to_str().unwrap()
+                > p2.unwrap().file_name().unwrap().to_str().unwrap()
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_segment_fails_load() {
+        let dir = scratch("corrupt");
+        let mut s = RouteStore::new(small_cfg());
+        s.ingest(ann(1, 10, "10.0.0.0/8", &[1, 2, 3]));
+        let path = s.seal_all_into(&dir).unwrap().unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x10;
+        std::fs::write(&path, &bytes).unwrap();
+        let err = RouteStore::new(small_cfg()).load_dir(&dir).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -88,6 +88,7 @@ fn rib_at_matches_sequential_replay_over_50k_updates() {
     let cfg = StoreConfig {
         shard_width_ms: 60_000,
         snapshot_every_shards: 4,
+        ..StoreConfig::default()
     };
     let mut store = RouteStore::new(cfg);
     for u in &stream {
@@ -140,7 +141,7 @@ fn rib_now_matches_final_oracle() {
         let vp = VpId::from_asn(Asn(vp_asn));
         let want = oracle_rib(&stream, vp, Timestamp::from_millis(u64::MAX));
         assert_rib_eq(
-            store.rib_now(vp).expect("vp exists"),
+            &store.rib_now(vp).expect("vp exists"),
             &want,
             &format!("live rib of {vp}"),
         );

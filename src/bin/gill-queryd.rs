@@ -27,7 +27,11 @@ use std::time::Duration;
 
 fn run() -> Result<(), String> {
     let args = Args::parse()?;
-    let updates_path = PathBuf::from(args.required("updates")?);
+    let updates_path = args.optional("updates").map(PathBuf::from);
+    let data_dir = args.optional("data-dir").map(PathBuf::from);
+    if updates_path.is_none() && data_dir.is_none() {
+        return Err("need --updates and/or --data-dir".to_string());
+    }
     let addr = args
         .optional("addr")
         .unwrap_or_else(|| "127.0.0.1:8480".to_string());
@@ -38,17 +42,48 @@ fn run() -> Result<(), String> {
             "snapshot-shards",
             StoreConfig::default().snapshot_every_shards,
         )?,
+        mem_cap_bytes: args.num("store-mem-cap", 0)?,
     };
     let mut store = RouteStore::new(cfg);
-    let updates = read_updates_mrt(&updates_path).map_err(|e| e.to_string())?;
+
+    // Cold start: replay sealed segments first, then ingest any fresh MRT
+    // on top, then seal the new tail so the whole store is durable again.
+    if let Some(dir) = &data_dir {
+        if dir.exists() {
+            let replayed = store.load_dir(dir).map_err(|e| e.to_string())?;
+            if replayed > 0 {
+                println!("replayed {replayed} updates from {}", dir.display());
+            }
+        }
+    }
+    let updates = match &updates_path {
+        Some(p) => read_updates_mrt(p).map_err(|e| e.to_string())?,
+        None => Vec::new(),
+    };
     let n = updates.len();
     for u in &updates {
         store.ingest(u.clone());
+    }
+    if let Some(dir) = &data_dir {
+        if let Some(path) = store.seal_all_into(dir).map_err(|e| e.to_string())? {
+            println!("sealed new updates to {}", path.display());
+        }
     }
     let stats = store.stats();
     println!(
         "loaded {n} updates: {} VPs, {} shards, {} snapshots, {} live prefixes",
         stats.vps, stats.shards, stats.snapshots, stats.live_prefixes
+    );
+    let m = store.mem_stats();
+    println!(
+        "store: ~{:.1} MiB resident, dedup {:.1}x over {} attr entries, \
+         {} sealed segments ({} updates), {} shed",
+        m.bytes_resident as f64 / (1024.0 * 1024.0),
+        m.dedup_ratio,
+        m.arena_paths + m.arena_comm_sets + m.arena_link_sets,
+        m.sealed_segments,
+        m.sealed_updates,
+        m.shed_updates
     );
 
     // --filters FILE: publish a §9 rule file over /filters (JSON + text)
@@ -106,10 +141,11 @@ fn main() -> ExitCode {
         Err(e) => {
             eprintln!("error: {e}");
             eprintln!(
-                "usage: gill-queryd --updates updates.mrt [--addr host:port] \
-                 [--filters filters.txt] [--workers n] [--shard-ms ms] \
-                 [--snapshot-shards n] [--ring-capacity frames] \
-                 [--max-subscribers n] [--replay-stream true] [--stream-interval-ms ms]"
+                "usage: gill-queryd [--updates updates.mrt] [--data-dir dir] \
+                 [--addr host:port] [--filters filters.txt] [--workers n] \
+                 [--shard-ms ms] [--snapshot-shards n] [--store-mem-cap bytes] \
+                 [--ring-capacity frames] [--max-subscribers n] \
+                 [--replay-stream true] [--stream-interval-ms ms]"
             );
             ExitCode::FAILURE
         }

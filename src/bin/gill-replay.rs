@@ -26,7 +26,7 @@
 
 use gill::cli::{read_updates_mrt, write_updates_mrt, Args};
 use gill::core::FilterSet;
-use gill::query::{RouteStore, ServerConfig};
+use gill::query::{RouteStore, ServerConfig, StoreConfig};
 use gill::stream::{serve_streaming, BrokerConfig, StreamBroker};
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -78,10 +78,27 @@ fn run() -> Result<(), String> {
             max_subscribers: args.num("max-subscribers", broker_defaults.max_subscribers)?,
         });
 
-        let mut store = RouteStore::default();
+        let data_dir = args.optional("data-dir").map(PathBuf::from);
+        let mut store = RouteStore::new(StoreConfig {
+            mem_cap_bytes: args.num("store-mem-cap", 0)?,
+            ..StoreConfig::default()
+        });
+        if let Some(dir) = &data_dir {
+            if dir.exists() {
+                let replayed = store.load_dir(dir).map_err(|e| e.to_string())?;
+                if replayed > 0 {
+                    println!("replayed {replayed} updates from {}", dir.display());
+                }
+            }
+        }
         let n = kept.len();
         for u in &kept {
             store.ingest(u.clone());
+        }
+        if let Some(dir) = &data_dir {
+            if let Some(path) = store.seal_all_into(dir).map_err(|e| e.to_string())? {
+                println!("sealed new updates to {}", path.display());
+            }
         }
         let store = Arc::new(parking_lot::RwLock::new(store));
         let server = serve_streaming(&addr, ServerConfig::default(), store, None, broker.clone())
@@ -120,7 +137,8 @@ fn main() -> ExitCode {
             eprintln!("error: {e}");
             eprintln!(
                 "usage: gill-replay --updates updates.mrt [--filters filters.txt] \
-                 [--out kept.mrt] [--serve host:port] [--stream-repeat n] \
+                 [--out kept.mrt] [--serve host:port] [--data-dir dir] \
+                 [--store-mem-cap bytes] [--stream-repeat n] \
                  [--stream-wait-subs n] [--stream-interval-ms ms] \
                  [--ring-capacity frames] [--max-subscribers n]"
             );
