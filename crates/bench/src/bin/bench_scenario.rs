@@ -1,0 +1,128 @@
+//! Scenario-engine and soak-pipeline throughput. Writes
+//! `BENCH_scenario.json`.
+//!
+//! Two rates matter for the soak harness to stay useful in CI:
+//!
+//! * **generator throughput** — how fast the scenario engine synthesizes
+//!   its merged background + campaign stream (updates/sec). If this ever
+//!   drops near the pipeline's own rate the soak starts benchmarking the
+//!   generator instead of the pipeline.
+//! * **pipeline sustain** — end-to-end updates/sec through the full soak
+//!   loop (wire codec, FSMs, compiled filters, both stores, broker,
+//!   restart fork), i.e. what a CI minute of soaking actually buys.
+//!
+//! Usage: `bench_scenario [n_updates]` (default 200000).
+
+use gill::soak::{run_soak, SoakConfig};
+use gill_scenario::{
+    BackgroundConfig, CampaignConfig, CampaignKind, ScenarioConfig, ScenarioEngine, World,
+};
+use std::time::Instant;
+
+fn scenario(n: usize, seed: u64) -> ScenarioConfig {
+    let world = World {
+        n_vps: 8,
+        n_prefixes: 256,
+        seed: seed ^ 0xfeed,
+    };
+    let background = BackgroundConfig::default();
+    let duration_ms = background.duration_for(n);
+    let campaigns = CampaignKind::all()
+        .iter()
+        .enumerate()
+        .map(|(i, &kind)| CampaignConfig {
+            kind,
+            start_ms: duration_ms * (i as u64 + 1) / 6,
+            duration_ms: duration_ms / 12,
+            n_targets: 32,
+            repeats: 3,
+            actor: 64_000 + i as u32,
+            seed: seed ^ (0xbad + i as u64),
+        })
+        .collect();
+    ScenarioConfig {
+        world,
+        background,
+        duration_ms,
+        campaigns,
+        seed,
+    }
+}
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(200_000);
+
+    // 1. raw generator throughput (all five campaign kinds layered in)
+    let cfg = scenario(n, 11);
+    let t0 = Instant::now();
+    let mut emitted = 0usize;
+    let mut last_ms = 0u64;
+    for item in ScenarioEngine::new(&cfg) {
+        emitted += 1;
+        last_ms = item.update.time.as_millis();
+    }
+    let gen_secs = t0.elapsed().as_secs_f64();
+    let gen_rate = emitted as f64 / gen_secs;
+
+    // 2. campaign generators alone, per kind
+    let world = cfg.world;
+    let mut campaign_rows = Vec::new();
+    for kind in CampaignKind::all() {
+        let ccfg = CampaignConfig {
+            kind,
+            start_ms: 0,
+            duration_ms: 600_000,
+            n_targets: 128,
+            repeats: 16,
+            actor: 64_777,
+            seed: 5,
+        };
+        let t0 = Instant::now();
+        let (updates, truth) = gill_scenario::generate_campaign(&world, &ccfg, 0);
+        let secs = t0.elapsed().as_secs_f64();
+        assert_eq!(truth.emitted, updates.len());
+        campaign_rows.push(format!(
+            "{{ \"kind\": \"{}\", \"updates\": {}, \"per_sec\": {:.0} }}",
+            kind.tag(),
+            updates.len(),
+            updates.len() as f64 / secs.max(1e-9)
+        ));
+    }
+
+    // 3. end-to-end pipeline sustain through the soak driver
+    let soak_n = (n / 8).max(5_000);
+    let dir = std::env::temp_dir().join(format!("bench-scenario-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    let soak_cfg = SoakConfig {
+        seed: 11,
+        background_updates: soak_n,
+        data_dir: Some(dir.clone()),
+        ..SoakConfig::default()
+    };
+    let t0 = Instant::now();
+    let report = run_soak(&soak_cfg);
+    let soak_secs = t0.elapsed().as_secs_f64();
+    let _ = std::fs::remove_dir_all(&dir);
+    assert!(report.all_pass(), "soak invariants must hold under bench");
+    let sustain = report.counters.received as f64 / soak_secs;
+
+    let json = format!(
+        "{{\n  \"generator\": {{ \"updates\": {emitted}, \"span_ms\": {last_ms}, \
+         \"per_sec\": {gen_rate:.0} }},\n  \"campaigns\": [{}],\n  \"pipeline\": {{ \
+         \"updates\": {}, \"kept\": {}, \"secs\": {soak_secs:.2}, \"sustain_per_sec\": \
+         {sustain:.0}, \"digest\": \"{}\" }}\n}}\n",
+        campaign_rows.join(", "),
+        report.counters.received,
+        report.counters.kept,
+        report.digest,
+    );
+    std::fs::write("BENCH_scenario.json", &json).expect("write BENCH_scenario.json");
+    eprintln!(
+        "wrote BENCH_scenario.json (generator {gen_rate:.0}/s, pipeline sustain {sustain:.0}/s)"
+    );
+    println!("{json}");
+}

@@ -23,4 +23,4 @@ pub mod stream;
 pub use events::{EventKind, PrefixId, RecordedEvent};
 pub use routing::{compute_routes, RouteClass, RouteTable, SourceAnnouncement};
 pub use simulator::{PrefixPlan, SimState, Simulator};
-pub use stream::{StreamConfig, UpdateStream};
+pub use stream::{EventBatch, EventStream, StreamConfig, UpdateStream};

@@ -190,6 +190,66 @@ impl PartialOrd for Pending {
     }
 }
 
+/// One executed event and the updates it induced, yielded by
+/// [`EventStream`]. `event.emitted_updates == updates.len()` always.
+#[derive(Clone, Debug)]
+pub struct EventBatch {
+    /// The ground-truth record (id, kind, time, affected prefixes, count).
+    pub event: RecordedEvent,
+    /// The updates the event induced, in emission order (per-VP convergence
+    /// delays applied, so timestamps are *not* globally sorted yet).
+    pub updates: Vec<BgpUpdate>,
+}
+
+/// A seeded, pull-based event stream over one collection window.
+///
+/// Created by [`Simulator::event_stream`]. Each [`Iterator::next`] executes
+/// the next effective scheduled event (no-op events — a failure of an
+/// already-down link, a hijack of an overridden prefix — are skipped
+/// transparently) and yields its [`EventBatch`]. Secondary events (link
+/// restores, hijack ends) enter the queue as their primaries execute, so
+/// the stream ends only when the whole cascade has drained.
+///
+/// The iterator borrows the simulator mutably and leaves it in the
+/// post-window state when dropped; [`Simulator::synthesize_stream`] wraps
+/// it with a state save/restore and the global sort + `Lw`/`Cw`
+/// annotation pass. Consumers that want raw per-event batches (the
+/// scenario engine's extra-source merge, incremental pipelines) iterate
+/// directly.
+pub struct EventStream<'s, 'a> {
+    sim: &'s mut Simulator<'a>,
+    rng: SmallRng,
+    explore_prob: f64,
+    vp_nodes: Vec<(VpId, u32)>,
+    tables: HashMap<TableKey, RouteTable>,
+    queue: BinaryHeap<Pending>,
+    seq: usize,
+    // affected keys recorded per failed link, for the matching restore
+    fail_scope: HashMap<(u32, u32), Vec<TableKey>>,
+    initial_ribs: HashMap<VpId, Rib>,
+    initial_updates: Vec<BgpUpdate>,
+    next_id: usize,
+}
+
+impl EventStream<'_, '_> {
+    /// Every VP's RIB at window start.
+    pub fn initial_ribs(&self) -> &HashMap<VpId, Rib> {
+        &self.initial_ribs
+    }
+
+    /// Takes the initial-RIB announcements (empty unless the config set
+    /// `include_initial`). Idempotent: the second call returns nothing.
+    pub fn take_initial_updates(&mut self) -> Vec<BgpUpdate> {
+        std::mem::take(&mut self.initial_updates)
+    }
+
+    /// Scheduled events not yet executed (secondary events included once
+    /// their primaries have run).
+    pub fn pending_events(&self) -> usize {
+        self.queue.len()
+    }
+}
+
 impl<'a> Simulator<'a> {
     /// Synthesizes one collection window observed by `vps`. The simulator's
     /// mutable state is restored afterwards, so successive windows with
@@ -201,7 +261,10 @@ impl<'a> Simulator<'a> {
         out
     }
 
-    fn run_stream(&mut self, vps: &[VpId], cfg: &StreamConfig) -> UpdateStream {
+    /// Builds the seeded event iterator for one window: flappy subsets and
+    /// primary-event schedule are fixed here, execution is pulled through
+    /// [`Iterator::next`]. See [`EventStream`] for the state contract.
+    pub fn event_stream<'s>(&'s mut self, vps: &[VpId], cfg: &StreamConfig) -> EventStream<'s, 'a> {
         let topo = self.topology();
         let n = topo.num_ases();
         let mut rng = SmallRng::seed_from_u64(cfg.seed ^ 0xd1b5_4a32_d192_ed03);
@@ -231,14 +294,14 @@ impl<'a> Simulator<'a> {
             tables.insert(TableKey::Origin(origin), self.table_for_origin(origin));
         }
 
-        let mut updates: Vec<BgpUpdate> = Vec::new();
+        let mut initial_updates: Vec<BgpUpdate> = Vec::new();
         if cfg.include_initial {
             for vp in vps {
                 let rib = &initial_ribs[vp];
                 let mut entries: Vec<_> = rib.iter().collect();
                 entries.sort_by_key(|(p, _)| **p);
                 for (prefix, entry) in entries {
-                    updates.push(
+                    initial_updates.push(
                         UpdateBuilder::announce(*vp, *prefix)
                             .at(Timestamp::from_millis(rng.gen_range(0..5_000)))
                             .as_path(entry.path.clone())
@@ -299,192 +362,31 @@ impl<'a> Simulator<'a> {
             });
         }
 
-        // ---- execute -------------------------------------------------------
-        let mut events: Vec<RecordedEvent> = Vec::new();
-        // affected keys recorded per failed link, for the matching restore
-        let mut fail_scope: HashMap<(u32, u32), Vec<TableKey>> = HashMap::new();
-
-        while let Some(Pending { time, kind, .. }) = queue.pop() {
-            let mut affected: Vec<TableKey> = Vec::new();
-            let mut olds: HashMap<TableKey, RouteTable> = HashMap::new();
-
-            // 1. determine scope & snapshot old tables, 2. mutate state
-            match &kind {
-                EventKind::LinkFailure { a, b } => {
-                    if !self.fail_link(*a, *b) {
-                        continue; // already down
-                    }
-                    for (key, t) in &tables {
-                        if t.uses_link(*a, *b) {
-                            affected.push(*key);
-                        }
-                    }
-                    fail_scope.insert((*a.min(b), *a.max(b)), affected.clone());
-                    // schedule restore
-                    let hold = Duration::from_secs(rng.gen_range(120..900));
-                    queue.push(Pending {
-                        time: time + hold,
-                        seq: {
-                            seq += 1;
-                            seq
-                        },
-                        kind: EventKind::LinkRestore { a: *a, b: *b },
-                    });
-                }
-                EventKind::LinkRestore { a, b } => {
-                    if !self.restore_link(*a, *b) {
-                        continue;
-                    }
-                    affected = fail_scope
-                        .remove(&(*a.min(b), *a.max(b)))
-                        .unwrap_or_default();
-                    // keep only keys that still exist
-                    affected.retain(|k| tables.contains_key(k));
-                }
-                EventKind::ForgedOriginHijack {
-                    prefix, attacker, ..
-                } => {
-                    if self.is_overridden(*prefix) {
-                        continue; // one override at a time per prefix
-                    }
-                    let origin = self.plan().origin_of[*prefix as usize];
-                    if *attacker == origin {
-                        continue;
-                    }
-                    olds.insert(
-                        TableKey::Prefix(*prefix),
-                        tables[&TableKey::Origin(origin)].clone(),
-                    );
-                    if let EventKind::ForgedOriginHijack {
-                        prefix: p,
-                        attacker: at,
-                        hijack_type,
-                    } = kind
-                    {
-                        self.start_hijack(p, at, hijack_type);
-                    }
-                    affected.push(TableKey::Prefix(*prefix));
-                    let hold = Duration::from_secs(rng.gen_range(300..1200));
-                    queue.push(Pending {
-                        time: time + hold,
-                        seq: {
-                            seq += 1;
-                            seq
-                        },
-                        kind: EventKind::HijackEnd { prefix: *prefix },
-                    });
-                }
-                EventKind::HijackEnd { prefix } => {
-                    if !self.is_overridden(*prefix) {
-                        continue;
-                    }
-                    olds.insert(
-                        TableKey::Prefix(*prefix),
-                        tables
-                            .remove(&TableKey::Prefix(*prefix))
-                            .unwrap_or_else(|| self.table_for_prefix(*prefix)),
-                    );
-                    self.clear_override(*prefix);
-                    affected.push(TableKey::Prefix(*prefix));
-                }
-                EventKind::OriginChange {
-                    prefix,
-                    new_origin,
-                    moas,
-                } => {
-                    if self.is_overridden(*prefix)
-                        || *new_origin == self.plan().origin_of[*prefix as usize]
-                    {
-                        continue;
-                    }
-                    let origin = self.plan().origin_of[*prefix as usize];
-                    olds.insert(
-                        TableKey::Prefix(*prefix),
-                        tables[&TableKey::Origin(origin)].clone(),
-                    );
-                    self.change_origin(*prefix, *new_origin, *moas);
-                    affected.push(TableKey::Prefix(*prefix));
-                }
-                EventKind::CommunityChange { origin } => {
-                    self.bump_epoch(*origin);
-                    affected.push(TableKey::Origin(*origin));
-                }
-            }
-
-            // 3. recompute & diff (sorted: HashMap scan order above is not
-            //    deterministic, the stream must be)
-            affected.sort_unstable();
-            affected.dedup();
-            let mut emitted = 0usize;
-            let mut affected_prefixes: Vec<PrefixId> = Vec::new();
-            let community_only = matches!(kind, EventKind::CommunityChange { .. });
-            for key in affected {
-                let old = olds
-                    .remove(&key)
-                    .or_else(|| tables.get(&key).cloned())
-                    .unwrap_or_else(|| match key {
-                        TableKey::Origin(o) => self.table_for_origin(o),
-                        TableKey::Prefix(p) => self.table_for_prefix(p),
-                    });
-                let new = match key {
-                    TableKey::Origin(o) => self.table_for_origin(o),
-                    TableKey::Prefix(p) => {
-                        if self.is_overridden(p) {
-                            self.table_for_prefix(p)
-                        } else {
-                            // back to plain origin routing
-                            self.table_for_origin(self.plan().origin_of[p as usize])
-                        }
-                    }
-                };
-                let prefixes: Vec<PrefixId> = match key {
-                    TableKey::Origin(o) => self.plan().prefixes_of[o as usize]
-                        .iter()
-                        .copied()
-                        .filter(|p| !self.is_overridden(*p))
-                        .collect(),
-                    TableKey::Prefix(p) => vec![p],
-                };
-                let count = self.diff_and_emit(
-                    &vp_nodes,
-                    &old,
-                    &new,
-                    &prefixes,
-                    time,
-                    community_only,
-                    cfg.explore_prob,
-                    &mut rng,
-                    &mut updates,
-                );
-                if count > 0 {
-                    affected_prefixes.extend(&prefixes);
-                }
-                emitted += count;
-                // update cache (per-prefix overrides live under Prefix key;
-                // a cleared override goes back to the Origin key, which is
-                // still cached and may be refreshed here too)
-                match key {
-                    TableKey::Origin(_) => {
-                        tables.insert(key, new);
-                    }
-                    TableKey::Prefix(p) => {
-                        if self.is_overridden(p) {
-                            tables.insert(key, new);
-                        } else {
-                            tables.remove(&key);
-                        }
-                    }
-                }
-            }
-
-            events.push(RecordedEvent {
-                id: events.len(),
-                kind,
-                time,
-                affected_prefixes,
-                emitted_updates: emitted,
-            });
+        EventStream {
+            sim: self,
+            rng,
+            explore_prob: cfg.explore_prob,
+            vp_nodes,
+            tables,
+            queue,
+            seq,
+            fail_scope: HashMap::new(),
+            initial_ribs,
+            initial_updates,
+            next_id: 0,
         }
+    }
+
+    fn run_stream(&mut self, vps: &[VpId], cfg: &StreamConfig) -> UpdateStream {
+        let mut stream = self.event_stream(vps, cfg);
+        let mut updates = stream.take_initial_updates();
+        let mut events: Vec<RecordedEvent> = Vec::new();
+        for batch in stream.by_ref() {
+            updates.extend(batch.updates);
+            events.push(batch.event);
+        }
+        let initial_ribs = std::mem::take(&mut stream.initial_ribs);
+        drop(stream);
 
         // ---- annotate Lw/Cw by replay --------------------------------------
         updates.sort_by_key(|u| (u.time, u.vp, u.prefix));
@@ -633,6 +535,202 @@ impl<'a> Simulator<'a> {
         let ms = 800 + 600 * path_len.min(20) as u64 + rng.gen_range(0..4_000u64);
         Duration::from_millis(ms.min(90_000))
     }
+}
+
+impl Iterator for EventStream<'_, '_> {
+    type Item = EventBatch;
+
+    fn next(&mut self) -> Option<EventBatch> {
+        while let Some(Pending { time, kind, .. }) = self.queue.pop() {
+            let mut affected: Vec<TableKey> = Vec::new();
+            let mut olds: HashMap<TableKey, RouteTable> = HashMap::new();
+
+            // 1. determine scope & snapshot old tables, 2. mutate state
+            match &kind {
+                EventKind::LinkFailure { a, b } => {
+                    if !self.sim.fail_link(*a, *b) {
+                        continue; // already down
+                    }
+                    for (key, t) in &self.tables {
+                        if t.uses_link(*a, *b) {
+                            affected.push(*key);
+                        }
+                    }
+                    self.fail_scope
+                        .insert((*a.min(b), *a.max(b)), affected.clone());
+                    // schedule restore
+                    let hold = Duration::from_secs(self.rng.gen_range(120..900));
+                    queue_push(&mut self.queue, &mut self.seq, time + hold, {
+                        EventKind::LinkRestore { a: *a, b: *b }
+                    });
+                }
+                EventKind::LinkRestore { a, b } => {
+                    if !self.sim.restore_link(*a, *b) {
+                        continue;
+                    }
+                    affected = self
+                        .fail_scope
+                        .remove(&(*a.min(b), *a.max(b)))
+                        .unwrap_or_default();
+                    // keep only keys that still exist
+                    let tables = &self.tables;
+                    affected.retain(|k| tables.contains_key(k));
+                }
+                EventKind::ForgedOriginHijack {
+                    prefix, attacker, ..
+                } => {
+                    if self.sim.is_overridden(*prefix) {
+                        continue; // one override at a time per prefix
+                    }
+                    let origin = self.sim.plan().origin_of[*prefix as usize];
+                    if *attacker == origin {
+                        continue;
+                    }
+                    olds.insert(
+                        TableKey::Prefix(*prefix),
+                        self.tables[&TableKey::Origin(origin)].clone(),
+                    );
+                    if let EventKind::ForgedOriginHijack {
+                        prefix: p,
+                        attacker: at,
+                        hijack_type,
+                    } = kind
+                    {
+                        self.sim.start_hijack(p, at, hijack_type);
+                    }
+                    affected.push(TableKey::Prefix(*prefix));
+                    let hold = Duration::from_secs(self.rng.gen_range(300..1200));
+                    queue_push(&mut self.queue, &mut self.seq, time + hold, {
+                        EventKind::HijackEnd { prefix: *prefix }
+                    });
+                }
+                EventKind::HijackEnd { prefix } => {
+                    if !self.sim.is_overridden(*prefix) {
+                        continue;
+                    }
+                    olds.insert(
+                        TableKey::Prefix(*prefix),
+                        self.tables
+                            .remove(&TableKey::Prefix(*prefix))
+                            .unwrap_or_else(|| self.sim.table_for_prefix(*prefix)),
+                    );
+                    self.sim.clear_override(*prefix);
+                    affected.push(TableKey::Prefix(*prefix));
+                }
+                EventKind::OriginChange {
+                    prefix,
+                    new_origin,
+                    moas,
+                } => {
+                    if self.sim.is_overridden(*prefix)
+                        || *new_origin == self.sim.plan().origin_of[*prefix as usize]
+                    {
+                        continue;
+                    }
+                    let origin = self.sim.plan().origin_of[*prefix as usize];
+                    olds.insert(
+                        TableKey::Prefix(*prefix),
+                        self.tables[&TableKey::Origin(origin)].clone(),
+                    );
+                    self.sim.change_origin(*prefix, *new_origin, *moas);
+                    affected.push(TableKey::Prefix(*prefix));
+                }
+                EventKind::CommunityChange { origin } => {
+                    self.sim.bump_epoch(*origin);
+                    affected.push(TableKey::Origin(*origin));
+                }
+            }
+
+            // 3. recompute & diff (sorted: HashMap scan order above is not
+            //    deterministic, the stream must be)
+            affected.sort_unstable();
+            affected.dedup();
+            let mut emitted = 0usize;
+            let mut updates: Vec<BgpUpdate> = Vec::new();
+            let mut affected_prefixes: Vec<PrefixId> = Vec::new();
+            let community_only = matches!(kind, EventKind::CommunityChange { .. });
+            for key in affected {
+                let old = olds
+                    .remove(&key)
+                    .or_else(|| self.tables.get(&key).cloned())
+                    .unwrap_or_else(|| match key {
+                        TableKey::Origin(o) => self.sim.table_for_origin(o),
+                        TableKey::Prefix(p) => self.sim.table_for_prefix(p),
+                    });
+                let new = match key {
+                    TableKey::Origin(o) => self.sim.table_for_origin(o),
+                    TableKey::Prefix(p) => {
+                        if self.sim.is_overridden(p) {
+                            self.sim.table_for_prefix(p)
+                        } else {
+                            // back to plain origin routing
+                            self.sim
+                                .table_for_origin(self.sim.plan().origin_of[p as usize])
+                        }
+                    }
+                };
+                let prefixes: Vec<PrefixId> = match key {
+                    TableKey::Origin(o) => self.sim.plan().prefixes_of[o as usize]
+                        .iter()
+                        .copied()
+                        .filter(|p| !self.sim.is_overridden(*p))
+                        .collect(),
+                    TableKey::Prefix(p) => vec![p],
+                };
+                let count = self.sim.diff_and_emit(
+                    &self.vp_nodes,
+                    &old,
+                    &new,
+                    &prefixes,
+                    time,
+                    community_only,
+                    self.explore_prob,
+                    &mut self.rng,
+                    &mut updates,
+                );
+                if count > 0 {
+                    affected_prefixes.extend(&prefixes);
+                }
+                emitted += count;
+                // update cache (per-prefix overrides live under Prefix key;
+                // a cleared override goes back to the Origin key, which is
+                // still cached and may be refreshed here too)
+                match key {
+                    TableKey::Origin(_) => {
+                        self.tables.insert(key, new);
+                    }
+                    TableKey::Prefix(p) => {
+                        if self.sim.is_overridden(p) {
+                            self.tables.insert(key, new);
+                        } else {
+                            self.tables.remove(&key);
+                        }
+                    }
+                }
+            }
+
+            let event = RecordedEvent {
+                id: self.next_id,
+                kind,
+                time,
+                affected_prefixes,
+                emitted_updates: emitted,
+            };
+            self.next_id += 1;
+            return Some(EventBatch { event, updates });
+        }
+        None
+    }
+}
+
+/// Pushes a secondary event with the next sequence number.
+fn queue_push(queue: &mut BinaryHeap<Pending>, seq: &mut usize, time: Timestamp, kind: EventKind) {
+    *seq += 1;
+    queue.push(Pending {
+        time,
+        seq: *seq,
+        kind,
+    });
 }
 
 #[cfg(test)]

@@ -55,6 +55,24 @@ impl Prefix {
         Prefix::v4(Ipv4Addr::new(10u8.wrapping_add(z), x, y, 0), 24)
     }
 
+    /// Inverse of [`Prefix::synthetic`]: the dense id this prefix was
+    /// derived from, or `None` if it does not have the synthetic
+    /// `10.z.x.y/24` shape. Exact for ids below `2^22` (the fold limit).
+    pub fn synthetic_index(&self) -> Option<u32> {
+        if self.v6 || self.len != 24 {
+            return None;
+        }
+        let bits = self.bits as u32;
+        let a = (bits >> 24) & 0xff;
+        let x = (bits >> 16) & 0xff;
+        let y = (bits >> 8) & 0xff;
+        let z = a.wrapping_sub(10);
+        if z >= 0x40 {
+            return None;
+        }
+        Some((z << 16) | (x << 8) | y)
+    }
+
     /// Prefix length in bits.
     #[inline]
     pub const fn len(&self) -> u8 {

@@ -21,6 +21,89 @@ pub fn arb_vp() -> impl Strategy<Value = VpId> {
     (1u32..100_000, 0u16..4).prop_map(|(asn, router)| VpId::new(Asn(asn), router))
 }
 
+/// Campaign-shaped workload descriptor: the scenario vocabulary shared by
+/// `gill-scenario`'s adversarial generators and plain proptests. Kept here
+/// (rather than in `gill-scenario`) so strategy widenings reach every
+/// consumer at once.
+#[derive(Clone, Copy, Debug)]
+pub struct CampaignShape {
+    /// Window start, scenario milliseconds.
+    pub start_ms: u64,
+    /// Window length in milliseconds.
+    pub duration_ms: u64,
+    /// How many prefixes the campaign targets.
+    pub n_targets: u32,
+    /// Waves / flap cycles / flood rounds.
+    pub repeats: u32,
+    /// Adversary ASN, outside VP (65k+) and origin (10k+) ranges.
+    pub actor: u32,
+    /// Campaign randomness seed.
+    pub seed: u64,
+}
+
+/// An arbitrary campaign shape: windows from seconds to minutes, target
+/// counts and repeat counts that keep one generated campaign small enough
+/// to verify exhaustively against its ground truth.
+pub fn arb_campaign_shape() -> impl Strategy<Value = CampaignShape> {
+    (
+        0u64..3_600_000,
+        1_000u64..300_000,
+        1u32..12,
+        1u32..6,
+        64_000u32..65_000,
+        any::<u64>(),
+    )
+        .prop_map(
+            |(start_ms, duration_ms, n_targets, repeats, actor, seed)| CampaignShape {
+                start_ms,
+                duration_ms,
+                n_targets,
+                repeats,
+                actor,
+                seed,
+            },
+        )
+}
+
+/// A bursty arrival schedule: bursts of tightly spaced events separated by
+/// long silences, sorted and strictly advancing. The shape the scenario
+/// engine's background process produces, as a plain strategy for codecs and
+/// stores that should survive clustered timestamps.
+pub fn arb_bursty_schedule() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec((500u64..60_000, 1usize..40, 1u64..80), 4..32).prop_map(|bursts| {
+        let mut t = 0u64;
+        let mut times = Vec::new();
+        for (silence, len, intra) in bursts {
+            t += silence;
+            for _ in 0..len {
+                t += intra;
+                times.push(t);
+            }
+        }
+        times
+    })
+}
+
+/// A burst of updates whose timestamps follow a bursty schedule — the
+/// high-fan-out input for broker/store proptests.
+pub fn arb_update_burst() -> impl Strategy<Value = Vec<BgpUpdate>> {
+    (
+        arb_bursty_schedule(),
+        proptest::collection::vec(arb_update(), 1..16),
+    )
+        .prop_map(|(times, palette)| {
+            times
+                .iter()
+                .enumerate()
+                .map(|(i, &t)| {
+                    let mut u = palette[i % palette.len()].clone();
+                    u.time = Timestamp::from_millis(t);
+                    u
+                })
+                .collect()
+        })
+}
+
 /// An arbitrary update: announcements carry a 1..8-hop path and up to 6
 /// communities; withdrawals carry neither (matching the wire format).
 pub fn arb_update() -> impl Strategy<Value = BgpUpdate> {

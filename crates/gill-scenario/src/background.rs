@@ -1,0 +1,309 @@
+//! Background traffic: an ON/OFF burst process with heavy-tailed burst
+//! lengths and silence gaps, plus per-prefix flap memory.
+//!
+//! The classic construction of long-range-dependent traffic is the
+//! superposition of ON/OFF sources whose period lengths are heavy-tailed
+//! (Pareto with tail exponent `1 < α < 2`). We generate one aggregate
+//! stream the same way: bursts of updates with short intra-burst gaps,
+//! separated by bounded-Pareto silences, with bounded-Pareto burst
+//! lengths. Within a burst, the *flap memory* re-draws recently active
+//! `(vp, prefix)` pairs with configurable probability, so activity clusters
+//! per prefix the way real flapping does — the per-prefix autocorrelation
+//! the redundancy engine trains on.
+//!
+//! The generated process is *checked*, not assumed: [`crate::burst`]
+//! estimates the index of dispersion and lag autocorrelation of the binned
+//! arrival counts, and the soak asserts they are in-band on every run.
+
+use crate::world::World;
+use bgp_types::{BgpUpdate, Timestamp, UpdateBuilder};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{HashMap, VecDeque};
+
+/// Knobs for the background process. Gaps and lengths are bounded-Pareto:
+/// the `*_scale` fields are the Pareto scale (minimum) parameters, the
+/// `max_*` fields the truncation bounds, and the `*_alpha` fields the tail
+/// exponents (keep them in `(1, 2)` for long-range correlation).
+#[derive(Clone, Copy, Debug)]
+pub struct BackgroundConfig {
+    /// Mean gap between updates inside a burst, in milliseconds.
+    pub intra_gap_ms: u64,
+    /// Pareto scale of the inter-burst silence, in milliseconds.
+    pub gap_scale_ms: u64,
+    /// Truncation bound on one silence, in milliseconds.
+    pub max_gap_ms: u64,
+    /// Tail exponent of the silence distribution.
+    pub gap_alpha: f64,
+    /// Pareto scale (minimum) of a burst's update count.
+    pub burst_scale: u64,
+    /// Truncation bound on one burst's update count.
+    pub max_burst: u64,
+    /// Tail exponent of the burst-length distribution.
+    pub burst_alpha: f64,
+    /// Probability that a burst update re-draws a recently active pair
+    /// instead of a fresh one (per-prefix flap memory).
+    pub flap_memory: f64,
+    /// How many recently active pairs the memory retains.
+    pub memory_depth: usize,
+    /// Fraction of prefixes that are "hot" (absorb most fresh draws).
+    pub hot_fraction: f64,
+    /// Probability that a fresh draw lands in the hot subset.
+    pub hot_weight: f64,
+    /// Probability that a currently announced pair withdraws (otherwise it
+    /// re-announces through another palette variant).
+    pub withdraw_prob: f64,
+}
+
+impl Default for BackgroundConfig {
+    fn default() -> Self {
+        BackgroundConfig {
+            intra_gap_ms: 40,
+            gap_scale_ms: 2_500,
+            max_gap_ms: 120_000,
+            gap_alpha: 1.3,
+            burst_scale: 4,
+            max_burst: 400,
+            burst_alpha: 1.4,
+            flap_memory: 0.55,
+            memory_depth: 192,
+            hot_fraction: 0.12,
+            hot_weight: 0.6,
+            withdraw_prob: 0.3,
+        }
+    }
+}
+
+/// Mean of `min(X, h)` where `X` is Pareto with scale `l` and exponent
+/// `alpha > 1`: `l · (α − (h/l)^{1−α}) / (α − 1)`.
+fn clamped_pareto_mean(l: f64, h: f64, alpha: f64) -> f64 {
+    l * (alpha - (h / l).powf(1.0 - alpha)) / (alpha - 1.0)
+}
+
+impl BackgroundConfig {
+    /// Approximate mean inter-arrival over a long run, in milliseconds
+    /// (one burst cycle = one Pareto silence + `E[len] − 1` intra gaps).
+    pub fn approx_mean_gap_ms(&self) -> f64 {
+        let e_len = clamped_pareto_mean(
+            self.burst_scale as f64,
+            self.max_burst as f64,
+            self.burst_alpha,
+        );
+        let e_gap = clamped_pareto_mean(
+            self.gap_scale_ms as f64,
+            self.max_gap_ms as f64,
+            self.gap_alpha,
+        );
+        (e_gap + (e_len - 1.0).max(0.0) * self.intra_gap_ms as f64) / e_len.max(1.0)
+    }
+
+    /// Scenario span that yields roughly `n` background updates.
+    pub fn duration_for(&self, n: usize) -> u64 {
+        (self.approx_mean_gap_ms() * n as f64).ceil() as u64
+    }
+}
+
+/// Per-pair routing state: announced or not, and which palette variant the
+/// last announcement used.
+#[derive(Clone, Copy, Default)]
+struct PairState {
+    announced: bool,
+    variant: u8,
+}
+
+/// The background generator: an infinite, seeded iterator of updates with
+/// non-decreasing timestamps. Bound it by count or by time.
+pub struct BackgroundGen {
+    world: World,
+    cfg: BackgroundConfig,
+    rng: SmallRng,
+    t_ms: u64,
+    burst_left: u64,
+    recent: VecDeque<(u32, u32)>,
+    hot: Vec<u32>,
+    pairs: HashMap<(u32, u32), PairState>,
+}
+
+impl BackgroundGen {
+    /// A generator over `world`, seeded independently of the world seed.
+    pub fn new(world: World, cfg: BackgroundConfig, seed: u64) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0x05ca_1ab1_e0dd_ba11);
+        let n_hot = (((world.n_prefixes as f64) * cfg.hot_fraction) as u32).max(1);
+        // hot subset drawn once per generator, world-independent
+        let mut hot = Vec::with_capacity(n_hot as usize);
+        while (hot.len() as u32) < n_hot.min(world.n_prefixes) {
+            let p = rng.gen_range(0..world.n_prefixes);
+            if !hot.contains(&p) {
+                hot.push(p);
+            }
+        }
+        BackgroundGen {
+            world,
+            cfg,
+            rng,
+            t_ms: 0,
+            burst_left: 0,
+            recent: VecDeque::new(),
+            hot,
+            pairs: HashMap::new(),
+        }
+    }
+
+    /// The current virtual time (time of the last emitted update).
+    pub fn now_ms(&self) -> u64 {
+        self.t_ms
+    }
+
+    /// Clamped bounded-Pareto sample with scale `l`, bound `h`.
+    fn pareto(&mut self, l: f64, h: f64, alpha: f64) -> f64 {
+        let u: f64 = self.rng.gen::<f64>().max(1e-12);
+        (l * u.powf(-1.0 / alpha)).min(h)
+    }
+
+    fn pick_pair(&mut self) -> (u32, u32) {
+        if !self.recent.is_empty() && self.rng.gen::<f64>() < self.cfg.flap_memory {
+            let i = self.rng.gen_range(0..self.recent.len());
+            return self.recent[i];
+        }
+        let p = if self.rng.gen::<f64>() < self.cfg.hot_weight {
+            let i = self.rng.gen_range(0..self.hot.len());
+            self.hot[i]
+        } else {
+            self.rng.gen_range(0..self.world.n_prefixes)
+        };
+        (self.rng.gen_range(0..self.world.n_vps), p)
+    }
+}
+
+impl Iterator for BackgroundGen {
+    type Item = BgpUpdate;
+
+    fn next(&mut self) -> Option<BgpUpdate> {
+        // advance time: a fresh Pareto silence at burst start, a short
+        // uniform gap inside a burst
+        if self.burst_left == 0 {
+            let (l, h, a) = (
+                self.cfg.gap_scale_ms as f64,
+                self.cfg.max_gap_ms as f64,
+                self.cfg.gap_alpha,
+            );
+            let gap = self.pareto(l, h, a) as u64;
+            let (bl, bh, ba) = (
+                self.cfg.burst_scale as f64,
+                self.cfg.max_burst as f64,
+                self.cfg.burst_alpha,
+            );
+            self.burst_left = (self.pareto(bl, bh, ba) as u64).max(1);
+            self.t_ms += gap.max(1);
+        } else {
+            self.t_ms += self.rng.gen_range(1..=self.cfg.intra_gap_ms.max(1) * 2);
+        }
+        self.burst_left -= 1;
+
+        let (vp_i, p) = self.pick_pair();
+        self.recent.push_back((vp_i, p));
+        while self.recent.len() > self.cfg.memory_depth.max(1) {
+            self.recent.pop_front();
+        }
+
+        let vp = self.world.vp(vp_i);
+        let prefix = self.world.prefix(p);
+        let at = Timestamp::from_millis(self.t_ms);
+        let state = self.pairs.entry((vp_i, p)).or_default();
+        let u = if state.announced && self.rng.gen::<f64>() < self.cfg.withdraw_prob {
+            state.announced = false;
+            UpdateBuilder::withdraw(vp, prefix).at(at).build()
+        } else {
+            state.announced = true;
+            state.variant = (state.variant + 1) & 0x3;
+            let variant = state.variant;
+            UpdateBuilder::announce(vp, prefix)
+                .at(at)
+                .path(self.world.path(vp_i, p, variant))
+                .community((1_000 + vp_i) as u16, variant as u16)
+                .build()
+        };
+        Some(u)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::burst::{burst_report, BurstBand};
+
+    fn world() -> World {
+        World {
+            n_vps: 8,
+            n_prefixes: 64,
+            seed: 3,
+        }
+    }
+
+    #[test]
+    fn generator_is_deterministic_and_time_sorted() {
+        let a: Vec<_> = BackgroundGen::new(world(), BackgroundConfig::default(), 7)
+            .take(3_000)
+            .collect();
+        let b: Vec<_> = BackgroundGen::new(world(), BackgroundConfig::default(), 7)
+            .take(3_000)
+            .collect();
+        assert_eq!(a, b);
+        assert!(a.windows(2).all(|w| w[0].time <= w[1].time));
+        let c: Vec<_> = BackgroundGen::new(world(), BackgroundConfig::default(), 8)
+            .take(3_000)
+            .collect();
+        assert_ne!(a, c, "different seeds must differ");
+    }
+
+    #[test]
+    fn announce_withdraw_states_are_consistent() {
+        // a withdraw for a pair only ever follows an announce for that pair
+        let mut announced = std::collections::HashSet::new();
+        for u in BackgroundGen::new(world(), BackgroundConfig::default(), 11).take(5_000) {
+            let key = (u.vp, u.prefix);
+            if u.is_announce() {
+                announced.insert(key);
+            } else {
+                assert!(announced.remove(&key), "withdraw without announce");
+            }
+        }
+    }
+
+    #[test]
+    fn arrivals_are_bursty_for_multiple_seeds() {
+        for seed in [1u64, 2, 3, 17, 99] {
+            let times: Vec<u64> = BackgroundGen::new(world(), BackgroundConfig::default(), seed)
+                .take(8_000)
+                .map(|u| u.time.as_millis())
+                .collect();
+            let report = burst_report(&times, 1_000, 8);
+            report
+                .in_band(&BurstBand::default())
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        }
+    }
+
+    #[test]
+    fn uniform_arrivals_fail_the_band() {
+        // power check: a memoryless uniform process must NOT pass, so the
+        // estimator genuinely distinguishes bursty from flat traffic
+        let times: Vec<u64> = (0..8_000u64).map(|i| i * 37).collect();
+        let report = burst_report(&times, 1_000, 8);
+        assert!(report.in_band(&BurstBand::default()).is_err());
+    }
+
+    #[test]
+    fn duration_estimate_is_in_the_right_ballpark() {
+        let cfg = BackgroundConfig::default();
+        let n = 6_000;
+        let gen = BackgroundGen::new(world(), cfg, 5);
+        let last = gen.take(n).last().unwrap().time.as_millis();
+        let predicted = cfg.duration_for(n) as f64;
+        let ratio = last as f64 / predicted;
+        assert!(
+            (0.2..5.0).contains(&ratio),
+            "span {last} vs predicted {predicted}"
+        );
+    }
+}

@@ -1,0 +1,170 @@
+//! Burstiness self-check: estimates second-order statistics of an arrival
+//! process and asserts they fall in the configured band.
+//!
+//! Two statistics over binned arrival counts:
+//!
+//! * **Index of dispersion** `IoD = Var(N)/E(N)` — 1 for Poisson arrivals,
+//!   `≫ 1` for overdispersed (bursty) ones. Heavy-tailed ON/OFF traffic
+//!   grows the IoD with bin width; a flat uniform stream drives it to 0.
+//! * **Lag-k autocorrelation** of the counts — ~0 for memoryless arrivals,
+//!   positive and slowly decaying when bursts span bins (the short-range
+//!   signature of long-range correlation at the scales a soak can observe).
+//!
+//! The soak computes these on every run's background arrivals and fails if
+//! they leave the band, so a refactor that silently flattens the generator
+//! is caught by the same CI job that exercises the pipeline.
+
+/// Acceptance band for [`BurstReport::in_band`].
+#[derive(Clone, Copy, Debug)]
+pub struct BurstBand {
+    /// Minimum index of dispersion of binned counts.
+    pub min_iod: f64,
+    /// Minimum lag-1 autocorrelation of binned counts.
+    pub min_acf1: f64,
+    /// Minimum autocorrelation at the deepest computed lag (slow decay —
+    /// the long-memory part of the check).
+    pub min_acf_tail: f64,
+}
+
+impl Default for BurstBand {
+    fn default() -> Self {
+        BurstBand {
+            min_iod: 1.5,
+            min_acf1: 0.05,
+            min_acf_tail: 0.0,
+        }
+    }
+}
+
+/// Estimated second-order statistics of an arrival process.
+#[derive(Clone, Debug)]
+pub struct BurstReport {
+    /// Number of bins the span was divided into.
+    pub bins: usize,
+    /// Mean arrivals per bin.
+    pub mean: f64,
+    /// Index of dispersion (variance over mean) of per-bin counts.
+    pub iod: f64,
+    /// Autocorrelation of per-bin counts at lags `1..=max_lag`.
+    pub acf: Vec<f64>,
+}
+
+impl BurstReport {
+    /// Lag-1 autocorrelation (0 when no lags were computable).
+    pub fn acf1(&self) -> f64 {
+        self.acf.first().copied().unwrap_or(0.0)
+    }
+
+    /// Autocorrelation at the deepest computed lag.
+    pub fn acf_tail(&self) -> f64 {
+        self.acf.last().copied().unwrap_or(0.0)
+    }
+
+    /// Checks the report against a band, with a diagnostic on failure.
+    pub fn in_band(&self, band: &BurstBand) -> Result<(), String> {
+        if self.bins < 16 {
+            return Err(format!("too few bins ({}) to judge burstiness", self.bins));
+        }
+        if self.iod < band.min_iod {
+            return Err(format!(
+                "index of dispersion {:.3} below band minimum {:.3}",
+                self.iod, band.min_iod
+            ));
+        }
+        if self.acf1() < band.min_acf1 {
+            return Err(format!(
+                "lag-1 autocorrelation {:.3} below band minimum {:.3}",
+                self.acf1(),
+                band.min_acf1
+            ));
+        }
+        if self.acf_tail() < band.min_acf_tail {
+            return Err(format!(
+                "lag-{} autocorrelation {:.3} below band minimum {:.3}",
+                self.acf.len(),
+                self.acf_tail(),
+                band.min_acf_tail
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Bins `times_ms` (need not be sorted) into `bin_ms`-wide bins over the
+/// observed span and estimates the dispersion and autocorrelation of the
+/// per-bin counts.
+pub fn burst_report(times_ms: &[u64], bin_ms: u64, max_lag: usize) -> BurstReport {
+    let bin_ms = bin_ms.max(1);
+    let (lo, hi) = times_ms
+        .iter()
+        .fold((u64::MAX, 0u64), |(lo, hi), &t| (lo.min(t), hi.max(t)));
+    if times_ms.is_empty() || hi <= lo {
+        return BurstReport {
+            bins: 0,
+            mean: 0.0,
+            iod: 0.0,
+            acf: Vec::new(),
+        };
+    }
+    let nbins = ((hi - lo) / bin_ms + 1) as usize;
+    let mut counts = vec![0f64; nbins];
+    for &t in times_ms {
+        counts[((t - lo) / bin_ms) as usize] += 1.0;
+    }
+    let n = counts.len() as f64;
+    let mean = counts.iter().sum::<f64>() / n;
+    let var = counts.iter().map(|c| (c - mean) * (c - mean)).sum::<f64>() / n;
+    let iod = if mean > 0.0 { var / mean } else { 0.0 };
+    let mut acf = Vec::new();
+    if var > 0.0 {
+        for lag in 1..=max_lag.min(nbins.saturating_sub(2)) {
+            let cov = counts
+                .iter()
+                .zip(counts.iter().skip(lag))
+                .map(|(a, b)| (a - mean) * (b - mean))
+                .sum::<f64>()
+                / (n - lag as f64);
+            acf.push(cov / var);
+        }
+    }
+    BurstReport {
+        bins: nbins,
+        mean,
+        iod,
+        acf,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clustered_arrivals_score_high_flat_score_low() {
+        // 50 bursts of 100 arrivals each spanning ~10 s (well past the
+        // deepest computed lag), with long silences between bursts
+        let mut bursty = Vec::new();
+        for b in 0..50u64 {
+            for i in 0..100u64 {
+                bursty.push(b * 60_000 + i * 100);
+            }
+        }
+        let rb = burst_report(&bursty, 1_000, 8);
+        assert!(rb.iod > 5.0, "bursty IoD was {:.2}", rb.iod);
+        assert!(rb.acf1() > 0.1, "bursty acf1 was {:.3}", rb.acf1());
+
+        let flat: Vec<u64> = (0..5_000u64).map(|i| i * 600).collect();
+        let rf = burst_report(&flat, 1_000, 8);
+        assert!(rf.iod < 1.1, "flat IoD was {:.2}", rf.iod);
+        assert!(rb.in_band(&BurstBand::default()).is_ok());
+        assert!(rf.in_band(&BurstBand::default()).is_err());
+    }
+
+    #[test]
+    fn degenerate_inputs_do_not_panic() {
+        assert_eq!(burst_report(&[], 100, 4).bins, 0);
+        assert_eq!(burst_report(&[5], 100, 4).bins, 0);
+        let r = burst_report(&[5, 5, 5, 6], 1, 4);
+        assert!(r.bins >= 1);
+    }
+}

@@ -1,0 +1,299 @@
+//! Adversarial campaign generators. Each campaign is a pure function of
+//! its [`CampaignConfig`]: it emits a time-sorted update stream plus a
+//! [`CampaignTruth`] ground-truth record, and tests verify the stream
+//! *against* the truth (every hijack announce carries a MOAS-conflicting
+//! origin, flap storms strictly alternate announce/withdraw per pair, …).
+
+use crate::world::World;
+use bgp_types::{Asn, BgpUpdate, Timestamp, UpdateBuilder};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// The five campaign shapes of an adversarial internet day.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CampaignKind {
+    /// The actor re-exports routes it should not: every target prefix is
+    /// announced through a path that *transits* the actor.
+    RouteLeak,
+    /// Each targeted `(vp, prefix)` pair flaps: strictly alternating
+    /// announce/withdraw at a tight cadence.
+    FlapStorm,
+    /// MOAS waves: the actor originates the target prefixes itself, so
+    /// every announce conflicts with the world's legitimate origin.
+    HijackWave,
+    /// Community manipulation: paths stay constant while the community
+    /// set churns on every repeat.
+    CommunityFlood,
+    /// A dense wave of withdrawals across every targeted pair.
+    WithdrawalAvalanche,
+}
+
+impl CampaignKind {
+    /// Stable lowercase tag (CLI values, transcript lines, JSON).
+    pub fn tag(&self) -> &'static str {
+        match self {
+            CampaignKind::RouteLeak => "leak",
+            CampaignKind::FlapStorm => "flap",
+            CampaignKind::HijackWave => "hijack",
+            CampaignKind::CommunityFlood => "community",
+            CampaignKind::WithdrawalAvalanche => "withdraw",
+        }
+    }
+
+    /// Parses a [`CampaignKind::tag`] back.
+    pub fn parse(s: &str) -> Option<CampaignKind> {
+        match s {
+            "leak" => Some(CampaignKind::RouteLeak),
+            "flap" => Some(CampaignKind::FlapStorm),
+            "hijack" => Some(CampaignKind::HijackWave),
+            "community" => Some(CampaignKind::CommunityFlood),
+            "withdraw" => Some(CampaignKind::WithdrawalAvalanche),
+            _ => None,
+        }
+    }
+
+    /// All kinds, in a stable order.
+    pub fn all() -> [CampaignKind; 5] {
+        [
+            CampaignKind::RouteLeak,
+            CampaignKind::FlapStorm,
+            CampaignKind::HijackWave,
+            CampaignKind::CommunityFlood,
+            CampaignKind::WithdrawalAvalanche,
+        ]
+    }
+}
+
+/// One campaign, fully described.
+#[derive(Clone, Copy, Debug)]
+pub struct CampaignConfig {
+    /// Which shape.
+    pub kind: CampaignKind,
+    /// Campaign window start (scenario milliseconds).
+    pub start_ms: u64,
+    /// Window length; all emitted updates land inside it.
+    pub duration_ms: u64,
+    /// How many prefixes the campaign targets.
+    pub n_targets: u32,
+    /// Intensity: waves/flap cycles/flood rounds per target.
+    pub repeats: u32,
+    /// The adversary's ASN (leaker, hijacker, flood source). Keep it
+    /// outside the world's VP/origin/transit ranges so it is unambiguous.
+    pub actor: u32,
+    /// Campaign randomness (target choice, jitter).
+    pub seed: u64,
+}
+
+/// Ground truth for one generated campaign.
+#[derive(Clone, Debug)]
+pub struct CampaignTruth {
+    /// Caller-assigned campaign id.
+    pub id: usize,
+    /// The campaign shape.
+    pub kind: CampaignKind,
+    /// The adversary ASN.
+    pub actor: u32,
+    /// Half-open `[first, last+1)` span actually emitted.
+    pub window: (u64, u64),
+    /// Targeted prefix indices, sorted.
+    pub prefixes: Vec<u32>,
+    /// Updates emitted.
+    pub emitted: usize,
+}
+
+/// Runs one campaign generator. Returns the time-sorted update stream and
+/// its ground truth. Deterministic in `cfg` (and `world`).
+pub fn generate_campaign(
+    world: &World,
+    cfg: &CampaignConfig,
+    id: usize,
+) -> (Vec<BgpUpdate>, CampaignTruth) {
+    let mut rng = SmallRng::seed_from_u64(cfg.seed ^ 0xc0ff_ee00_0bad_5eed);
+    let dur = cfg.duration_ms.max(1_000);
+
+    // sample distinct target prefixes
+    let n_targets = cfg.n_targets.clamp(1, world.n_prefixes);
+    let mut prefixes: Vec<u32> = Vec::with_capacity(n_targets as usize);
+    while (prefixes.len() as u32) < n_targets {
+        let p = rng.gen_range(0..world.n_prefixes);
+        if !prefixes.contains(&p) {
+            prefixes.push(p);
+        }
+    }
+    prefixes.sort_unstable();
+
+    let repeats = cfg.repeats.max(1);
+    let mut updates: Vec<BgpUpdate> = Vec::new();
+    match cfg.kind {
+        CampaignKind::RouteLeak => {
+            // `repeats` leak waves: each wave re-announces every target
+            // through the actor in transit position
+            for w in 0..repeats as u64 {
+                let wave_t = cfg.start_ms + dur * w / repeats as u64;
+                for &p in &prefixes {
+                    for v in 0..world.n_vps {
+                        let legit = world.path(v, p, 0);
+                        let path = vec![legit[0], cfg.actor, legit[1], *legit.last().unwrap()];
+                        updates.push(
+                            UpdateBuilder::announce(world.vp(v), world.prefix(p))
+                                .at(Timestamp::from_millis(wave_t + rng.gen_range(0..3_000u64)))
+                                .path(path)
+                                .build(),
+                        );
+                    }
+                }
+            }
+        }
+        CampaignKind::FlapStorm => {
+            // per pair: `repeats` announce/withdraw cycles at a tight,
+            // jittered cadence, strictly alternating
+            for &p in &prefixes {
+                for v in 0..world.n_vps {
+                    let budget = dur / (2 * repeats as u64 + 1);
+                    let t0 = cfg.start_ms + rng.gen_range(0..budget.max(1));
+                    // step stays below the half-cycle budget so the
+                    // announce/withdraw alternation is strict in time order
+                    let step = rng.gen_range(50..=200u64).min(budget.max(1));
+                    for r in 0..repeats as u64 {
+                        let base = t0 + 2 * r * budget;
+                        updates.push(
+                            UpdateBuilder::announce(world.vp(v), world.prefix(p))
+                                .at(Timestamp::from_millis(base))
+                                .path(world.path(v, p, (r & 1) as u8))
+                                .build(),
+                        );
+                        updates.push(
+                            UpdateBuilder::withdraw(world.vp(v), world.prefix(p))
+                                .at(Timestamp::from_millis(base + step))
+                                .build(),
+                        );
+                    }
+                }
+            }
+        }
+        CampaignKind::HijackWave => {
+            // `repeats` MOAS waves: the actor originates each target
+            for w in 0..repeats as u64 {
+                let wave_t = cfg.start_ms + dur * w / repeats as u64;
+                for &p in &prefixes {
+                    for v in 0..world.n_vps {
+                        let vp_asn = world.vp(v).asn.value();
+                        let transit = 1_000 + ((cfg.seed as u32 ^ (v << 8) ^ p) % 5_000);
+                        updates.push(
+                            UpdateBuilder::announce(world.vp(v), world.prefix(p))
+                                .at(Timestamp::from_millis(wave_t + rng.gen_range(0..5_000u64)))
+                                .path(vec![vp_asn, transit, cfg.actor])
+                                .build(),
+                        );
+                    }
+                }
+            }
+        }
+        CampaignKind::CommunityFlood => {
+            // path constant per pair; the community set churns every round
+            for r in 0..repeats as u64 {
+                let round_t = cfg.start_ms + dur * r / repeats as u64;
+                for &p in &prefixes {
+                    for v in 0..world.n_vps {
+                        updates.push(
+                            UpdateBuilder::announce(world.vp(v), world.prefix(p))
+                                .at(Timestamp::from_millis(round_t + rng.gen_range(0..2_000u64)))
+                                .path(world.path(v, p, 0))
+                                .community((cfg.actor % 60_000) as u16, r as u16)
+                                .community((cfg.actor % 60_000) as u16, (r + 1) as u16 * 7)
+                                .build(),
+                        );
+                    }
+                }
+            }
+        }
+        CampaignKind::WithdrawalAvalanche => {
+            // one dense wave: every targeted pair withdraws inside a short
+            // sub-window, the burst fan-out stress for the broker
+            let wave = dur.clamp(1, 30_000);
+            for &p in &prefixes {
+                for v in 0..world.n_vps {
+                    updates.push(
+                        UpdateBuilder::withdraw(world.vp(v), world.prefix(p))
+                            .at(Timestamp::from_millis(
+                                cfg.start_ms + rng.gen_range(0..wave),
+                            ))
+                            .build(),
+                    );
+                }
+            }
+        }
+    }
+
+    updates.sort_by_key(|u| (u.time, u.vp, u.prefix));
+    let window = match (updates.first(), updates.last()) {
+        (Some(a), Some(b)) => (a.time.as_millis(), b.time.as_millis() + 1),
+        _ => (cfg.start_ms, cfg.start_ms),
+    };
+    let truth = CampaignTruth {
+        id,
+        kind: cfg.kind,
+        actor: cfg.actor,
+        window,
+        prefixes,
+        emitted: updates.len(),
+    };
+    (updates, truth)
+}
+
+/// True when `path` transits `asn` (contains it in a non-origin,
+/// non-first-hop position) — the route-leak signature.
+pub fn path_transits(path: &[Asn], asn: u32) -> bool {
+    path.len() > 2 && path[1..path.len() - 1].iter().any(|a| a.value() == asn)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn world() -> World {
+        World {
+            n_vps: 6,
+            n_prefixes: 40,
+            seed: 2,
+        }
+    }
+
+    fn cfg(kind: CampaignKind) -> CampaignConfig {
+        CampaignConfig {
+            kind,
+            start_ms: 100_000,
+            duration_ms: 60_000,
+            n_targets: 7,
+            repeats: 3,
+            actor: 64_100,
+            seed: 12,
+        }
+    }
+
+    #[test]
+    fn campaigns_are_deterministic_and_windowed() {
+        for kind in CampaignKind::all() {
+            let (a, ta) = generate_campaign(&world(), &cfg(kind), 0);
+            let (b, tb) = generate_campaign(&world(), &cfg(kind), 0);
+            assert_eq!(a, b, "{kind:?} not deterministic");
+            assert_eq!(ta.emitted, a.len());
+            assert_eq!(ta.emitted, tb.emitted);
+            assert!(!a.is_empty());
+            assert!(a.windows(2).all(|w| w[0].time <= w[1].time));
+            for u in &a {
+                let t = u.time.as_millis();
+                assert!(t >= ta.window.0 && t < ta.window.1);
+                assert!((100_000..170_000).contains(&t), "{kind:?} at {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn kind_tags_roundtrip() {
+        for kind in CampaignKind::all() {
+            assert_eq!(CampaignKind::parse(kind.tag()), Some(kind));
+        }
+        assert_eq!(CampaignKind::parse("nope"), None);
+    }
+}

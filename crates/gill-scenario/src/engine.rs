@@ -1,0 +1,291 @@
+//! The scenario engine: a deterministic k-way merge of one lazy background
+//! source and any number of materialized campaign (or extra) sources into
+//! a single time-sorted stream.
+//!
+//! The background source is consumed lazily — a 500k-update soak holds one
+//! update per source in memory, not the day's worth. Campaign streams are
+//! small (bounded by `n_targets · n_vps · repeats`) and materialized up
+//! front so their ground truth exists before the merge starts. Ties are
+//! broken by source index (background first), which is stable and
+//! seed-independent, so the merged order is a pure function of the config.
+
+use crate::background::{BackgroundConfig, BackgroundGen};
+use crate::burst::{burst_report, BurstBand, BurstReport};
+use crate::campaign::{generate_campaign, CampaignConfig, CampaignTruth};
+use crate::world::World;
+use bgp_types::BgpUpdate;
+use std::collections::VecDeque;
+
+/// Where a merged update came from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Source {
+    /// The bursty background process.
+    Background,
+    /// Campaign `id` (index into [`ScenarioEngine::truths`]).
+    Campaign(usize),
+    /// An extra caller-provided stream (e.g. a `bgp-sim` event stream).
+    Extra,
+}
+
+/// One merged update, tagged with its source.
+#[derive(Clone, Debug)]
+pub struct ScenarioItem {
+    /// The update.
+    pub update: BgpUpdate,
+    /// Which generator emitted it.
+    pub source: Source,
+}
+
+/// Everything a scenario needs: the world, the background shape, the
+/// campaign scripts, and a span.
+#[derive(Clone, Debug)]
+pub struct ScenarioConfig {
+    /// The routing world.
+    pub world: World,
+    /// Background process shape.
+    pub background: BackgroundConfig,
+    /// Background updates stop once their timestamp passes this span (ms).
+    pub duration_ms: u64,
+    /// Campaigns to overlay, in id order.
+    pub campaigns: Vec<CampaignConfig>,
+    /// Scenario seed (drives the background; campaigns carry their own).
+    pub seed: u64,
+}
+
+enum Feed {
+    Lazy(Box<BackgroundGen>, u64),
+    Ready(VecDeque<BgpUpdate>),
+}
+
+struct MergeSource {
+    feed: Feed,
+    peeked: Option<BgpUpdate>,
+    tag: Source,
+}
+
+impl MergeSource {
+    fn refill(&mut self) {
+        if self.peeked.is_some() {
+            return;
+        }
+        self.peeked = match &mut self.feed {
+            Feed::Lazy(gen, until) => gen.next().filter(|u| u.time.as_millis() < *until),
+            Feed::Ready(q) => q.pop_front(),
+        };
+    }
+}
+
+/// The merged, lazily evaluated scenario stream.
+pub struct ScenarioEngine {
+    sources: Vec<MergeSource>,
+    truths: Vec<CampaignTruth>,
+    background_times: Vec<u64>,
+    emitted: usize,
+}
+
+impl ScenarioEngine {
+    /// Builds the engine: runs every campaign generator, arms the
+    /// background, and leaves the merge lazy.
+    pub fn new(cfg: &ScenarioConfig) -> ScenarioEngine {
+        let mut sources = Vec::with_capacity(cfg.campaigns.len() + 1);
+        sources.push(MergeSource {
+            feed: Feed::Lazy(
+                Box::new(BackgroundGen::new(cfg.world, cfg.background, cfg.seed)),
+                cfg.duration_ms,
+            ),
+            peeked: None,
+            tag: Source::Background,
+        });
+        let mut truths = Vec::with_capacity(cfg.campaigns.len());
+        for (id, c) in cfg.campaigns.iter().enumerate() {
+            let (updates, truth) = generate_campaign(&cfg.world, c, id);
+            truths.push(truth);
+            sources.push(MergeSource {
+                feed: Feed::Ready(updates.into()),
+                peeked: None,
+                tag: Source::Campaign(id),
+            });
+        }
+        ScenarioEngine {
+            sources,
+            truths,
+            background_times: Vec::new(),
+            emitted: 0,
+        }
+    }
+
+    /// Adds a pre-sorted extra update stream to the merge (e.g. the output
+    /// of `bgp_sim::Simulator::event_stream`). Call before iterating.
+    pub fn add_extra(&mut self, mut updates: Vec<BgpUpdate>) {
+        updates.sort_by_key(|u| (u.time, u.vp, u.prefix));
+        self.sources.push(MergeSource {
+            feed: Feed::Ready(updates.into()),
+            peeked: None,
+            tag: Source::Extra,
+        });
+    }
+
+    /// Ground truth of every campaign, in id order.
+    pub fn truths(&self) -> &[CampaignTruth] {
+        &self.truths
+    }
+
+    /// Arrival times of the background updates emitted so far (the
+    /// burstiness self-check input).
+    pub fn background_times(&self) -> &[u64] {
+        &self.background_times
+    }
+
+    /// Updates emitted so far.
+    pub fn emitted(&self) -> usize {
+        self.emitted
+    }
+
+    /// Burstiness report over the background arrivals seen so far.
+    pub fn burst_report(&self, bin_ms: u64, max_lag: usize) -> BurstReport {
+        burst_report(&self.background_times, bin_ms, max_lag)
+    }
+
+    /// Asserts the generated background was bursty in-band. Call after the
+    /// stream is (mostly) consumed.
+    pub fn check_burstiness(&self, bin_ms: u64, band: &BurstBand) -> Result<(), String> {
+        self.burst_report(bin_ms, 8).in_band(band)
+    }
+}
+
+impl Iterator for ScenarioEngine {
+    type Item = ScenarioItem;
+
+    fn next(&mut self) -> Option<ScenarioItem> {
+        let mut best: Option<(usize, u64)> = None;
+        for (i, s) in self.sources.iter_mut().enumerate() {
+            s.refill();
+            if let Some(u) = &s.peeked {
+                let t = u.time.as_millis();
+                // strict < keeps the tie-break on the lowest source index
+                if best.map(|(_, bt)| t < bt).unwrap_or(true) {
+                    best = Some((i, t));
+                }
+            }
+        }
+        let (i, t) = best?;
+        let src = &mut self.sources[i];
+        let update = src.peeked.take().expect("peeked above");
+        if src.tag == Source::Background {
+            self.background_times.push(t);
+        }
+        self.emitted += 1;
+        Some(ScenarioItem {
+            update,
+            source: src.tag,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::CampaignKind;
+
+    fn config(seed: u64) -> ScenarioConfig {
+        let world = World {
+            n_vps: 6,
+            n_prefixes: 48,
+            seed: 4,
+        };
+        let bg = BackgroundConfig::default();
+        let duration = bg.duration_for(4_000);
+        let campaigns = vec![
+            CampaignConfig {
+                kind: CampaignKind::FlapStorm,
+                start_ms: duration / 6,
+                duration_ms: duration / 6,
+                n_targets: 6,
+                repeats: 4,
+                actor: 64_001,
+                seed: seed ^ 1,
+            },
+            CampaignConfig {
+                kind: CampaignKind::HijackWave,
+                start_ms: duration / 2,
+                duration_ms: duration / 6,
+                n_targets: 6,
+                repeats: 3,
+                actor: 64_002,
+                seed: seed ^ 2,
+            },
+        ];
+        ScenarioConfig {
+            world,
+            background: bg,
+            duration_ms: duration,
+            campaigns,
+            seed,
+        }
+    }
+
+    #[test]
+    fn merge_is_time_sorted_deterministic_and_complete() {
+        let cfg = config(9);
+        let a: Vec<_> = ScenarioEngine::new(&cfg).collect();
+        assert!(a.windows(2).all(|w| w[0].update.time <= w[1].update.time));
+
+        let mut engine = ScenarioEngine::new(&cfg);
+        let b: Vec<_> = engine.by_ref().collect();
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.update, y.update);
+            assert_eq!(x.source, y.source);
+        }
+        // every campaign update surfaced exactly once
+        for truth in engine.truths() {
+            let n = b
+                .iter()
+                .filter(|i| i.source == Source::Campaign(truth.id))
+                .count();
+            assert_eq!(n, truth.emitted, "campaign {} incomplete", truth.id);
+        }
+        // background was recorded and is bursty
+        assert_eq!(
+            engine.background_times().len(),
+            b.iter().filter(|i| i.source == Source::Background).count()
+        );
+        engine
+            .check_burstiness(1_000, &BurstBand::default())
+            .expect("background must be bursty");
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a: Vec<_> = ScenarioEngine::new(&config(9)).map(|i| i.update).collect();
+        let b: Vec<_> = ScenarioEngine::new(&config(10)).map(|i| i.update).collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn extra_sources_merge_in_time_order() {
+        let mut cfg = config(5);
+        cfg.campaigns.clear();
+        let mut engine = ScenarioEngine::new(&cfg);
+        // unsorted extra input is sorted on add, then merged by time
+        let w = cfg.world;
+        let extra: Vec<BgpUpdate> = (0..50u32)
+            .rev()
+            .map(|i| {
+                bgp_types::UpdateBuilder::announce(w.vp(0), w.prefix(i % 8))
+                    .at(bgp_types::Timestamp::from_millis(1_000 + i as u64 * 997))
+                    .path(w.path(0, i % 8, 0))
+                    .build()
+            })
+            .collect();
+        engine.add_extra(extra);
+        let merged: Vec<_> = engine.collect();
+        assert!(merged
+            .windows(2)
+            .all(|x| x[0].update.time <= x[1].update.time));
+        assert_eq!(
+            merged.iter().filter(|i| i.source == Source::Extra).count(),
+            50
+        );
+    }
+}

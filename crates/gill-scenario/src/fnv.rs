@@ -1,0 +1,98 @@
+//! FNV-1a transcript digests — the same constants as the collector
+//! harness's `Transcript::digest`, exposed as a streaming hasher so a
+//! 500k-update soak never materializes its transcript.
+//!
+//! Equal digests mean two runs were observationally identical, bit for
+//! bit; the soak's determinism acceptance check is exactly "same seed ⇒
+//! same digest".
+
+use bgp_types::BgpUpdate;
+
+/// Streaming FNV-1a (64-bit) over lines.
+#[derive(Clone, Copy, Debug)]
+pub struct Fnv64(u64);
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Fnv64(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+impl Fnv64 {
+    /// A fresh hasher at the FNV offset basis.
+    pub fn new() -> Fnv64 {
+        Fnv64::default()
+    }
+
+    /// Absorbs raw bytes.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x1_0000_01b3);
+        }
+    }
+
+    /// Absorbs one transcript line plus a terminating newline.
+    pub fn write_line(&mut self, line: &str) {
+        self.write(line.as_bytes());
+        self.write(b"\n");
+    }
+
+    /// The digest so far.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Canonical one-line rendering of an update for transcripts: every field
+/// that affects pipeline behavior, none that depends on the host.
+pub fn update_line(u: &BgpUpdate) -> String {
+    let kind = if u.is_announce() { 'A' } else { 'W' };
+    let path: Vec<String> = u
+        .path
+        .hops()
+        .iter()
+        .map(|a| a.value().to_string())
+        .collect();
+    let comms: Vec<String> = u.communities.iter().map(|c| c.to_string()).collect();
+    format!(
+        "{kind} t={} vp={}#{} p={} path={} comms={}",
+        u.time.as_millis(),
+        u.vp.asn.value(),
+        u.vp.router,
+        u.prefix,
+        path.join("-"),
+        comms.join(",")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgp_types::{Asn, Prefix, Timestamp, UpdateBuilder, VpId};
+
+    #[test]
+    fn digest_matches_reference_constants() {
+        // FNV-1a of "a\n" from the offset basis
+        let mut h = Fnv64::new();
+        h.write_line("a");
+        let mut manual: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in b"a\n" {
+            manual ^= u64::from(*b);
+            manual = manual.wrapping_mul(0x1_0000_01b3);
+        }
+        assert_eq!(h.finish(), manual);
+    }
+
+    #[test]
+    fn update_line_distinguishes_fields() {
+        let base = UpdateBuilder::announce(VpId::from_asn(Asn(65_001)), Prefix::synthetic(4))
+            .at(Timestamp::from_millis(10))
+            .path([65_001, 2, 3])
+            .community(9, 9)
+            .build();
+        let mut other = base.clone();
+        other.communities.clear();
+        assert_ne!(update_line(&base), update_line(&other));
+    }
+}

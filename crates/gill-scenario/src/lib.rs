@@ -1,0 +1,46 @@
+//! Seeded, deterministic workload engine for soak-testing the full
+//! collection pipeline against "adversarial internet days".
+//!
+//! Every bench in this workspace drives a *uniform* synthetic stream; real
+//! feeds are nothing like that. Measured BGP update arrivals are bursty and
+//! long-range correlated (Kitsak et al.), and the pathological days the
+//! paper motivates collection redesign with — route-leak storms, hijack
+//! waves, community-manipulation floods (Krenc et al.) — arrive as
+//! *campaigns* layered on that background. This crate synthesizes both:
+//!
+//! * [`background`] — an ON/OFF burst process with heavy-tailed (bounded
+//!   Pareto) burst lengths and silence gaps, plus a per-prefix flap memory
+//!   that concentrates activity on recently active `(vp, prefix)` pairs.
+//!   The result is overdispersed, positively autocorrelated arrival counts;
+//!   [`burst`] provides the estimator that *proves* it on every run.
+//! * [`campaign`] — five adversarial campaign generators (route-leak storm,
+//!   flap storm, MOAS/hijack wave, community flood, withdrawal avalanche),
+//!   each emitting a plain update stream *plus* a [`CampaignTruth`] ground
+//!   truth record that tests verify the stream against.
+//! * [`engine`] — the deterministic k-way merge of background and campaign
+//!   sources into one time-sorted stream of [`ScenarioItem`]s, consumed
+//!   lazily so multi-hundred-thousand-update soaks never materialize the
+//!   whole day.
+//! * [`fnv`] — the FNV-1a transcript digest shared with the collector
+//!   harness: two runs of the same seed must produce bit-identical digests.
+//!
+//! Determinism contract: every public generator is a pure function of its
+//! config (seed included). No wall clock, no thread scheduling, no HashMap
+//! iteration order reaches an output.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod background;
+pub mod burst;
+pub mod campaign;
+pub mod engine;
+pub mod fnv;
+pub mod world;
+
+pub use background::{BackgroundConfig, BackgroundGen};
+pub use burst::{burst_report, BurstBand, BurstReport};
+pub use campaign::{generate_campaign, path_transits, CampaignConfig, CampaignKind, CampaignTruth};
+pub use engine::{ScenarioConfig, ScenarioEngine, ScenarioItem, Source};
+pub use fnv::{update_line, Fnv64};
+pub use world::World;

@@ -1,0 +1,111 @@
+//! The synthetic world scenarios play out in: a fixed set of vantage
+//! points, prefixes, per-prefix legitimate origins, and a deterministic
+//! palette of stable AS paths per `(vp, prefix)` pair.
+//!
+//! Campaign ground truth is defined *against* this world: a hijack is an
+//! announcement whose origin differs from [`World::origin`], a route leak
+//! is a path that transits an AS the palette never routes through, and so
+//! on. Keeping the legitimate state in one value means generators and
+//! verifiers can never disagree about it.
+
+use bgp_types::{Asn, Prefix, VpId};
+
+/// VP ASNs start here (`vp(i)` has ASN `VP_ASN_BASE + i`), matching the
+/// convention of the workspace's bench generators.
+pub const VP_ASN_BASE: u32 = 65_000;
+
+/// Prefix `p` is legitimately originated by ASN `ORIGIN_BASE + p`.
+pub const ORIGIN_BASE: u32 = 10_000;
+
+/// The static routing world: who exists and what the legitimate routes
+/// look like. Cheap to copy; everything is derived on demand.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct World {
+    /// Number of vantage points feeding the collector.
+    pub n_vps: u32,
+    /// Number of prefixes in play.
+    pub n_prefixes: u32,
+    /// World seed: fixes the path palette (shared across scenario windows
+    /// so filters trained on one window keep matching the next).
+    pub seed: u64,
+}
+
+/// SplitMix64 finalizer — the workspace's standard cheap deterministic mix.
+fn mix64(x: u64) -> u64 {
+    let mut z = x.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl World {
+    /// The `i`-th vantage point.
+    pub fn vp(&self, i: u32) -> VpId {
+        debug_assert!(i < self.n_vps);
+        VpId::from_asn(Asn(VP_ASN_BASE + i))
+    }
+
+    /// All vantage points, in index order.
+    pub fn vps(&self) -> Vec<VpId> {
+        (0..self.n_vps).map(|i| self.vp(i)).collect()
+    }
+
+    /// Maps a VP back to its index, if it belongs to this world.
+    pub fn vp_index(&self, vp: VpId) -> Option<u32> {
+        let a = vp.asn.value();
+        (a >= VP_ASN_BASE && a < VP_ASN_BASE + self.n_vps).then(|| a - VP_ASN_BASE)
+    }
+
+    /// The `p`-th prefix.
+    pub fn prefix(&self, p: u32) -> Prefix {
+        debug_assert!(p < self.n_prefixes);
+        Prefix::synthetic(p)
+    }
+
+    /// The legitimate origin ASN of prefix `p`.
+    pub fn origin(&self, p: u32) -> u32 {
+        ORIGIN_BASE + p
+    }
+
+    /// One of four stable AS paths from `vp(vp_i)` to prefix `p`'s origin.
+    /// Transit ASNs land in `1_000..6_007`, disjoint from VP and origin
+    /// ranges, so a campaign actor injected into a path is unambiguous.
+    pub fn path(&self, vp_i: u32, p: u32, variant: u8) -> Vec<u32> {
+        let mix =
+            mix64(self.seed ^ ((vp_i as u64) << 40) ^ ((p as u64) << 8) ^ (variant as u64 & 0x3));
+        let t1 = 1_000 + ((mix >> 16) % 5_000) as u32;
+        let t2 = t1 + 1 + ((mix >> 32) % 7) as u32;
+        vec![VP_ASN_BASE + vp_i, t1, t2, self.origin(p)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn palette_is_deterministic_and_legitimate() {
+        let w = World {
+            n_vps: 4,
+            n_prefixes: 16,
+            seed: 9,
+        };
+        assert_eq!(w.path(1, 3, 2), w.path(1, 3, 2));
+        assert_ne!(w.path(1, 3, 0), w.path(2, 3, 0));
+        for v in 0..4 {
+            for p in 0..16 {
+                for k in 0..4 {
+                    let path = w.path(v, p, k);
+                    assert_eq!(*path.last().unwrap(), w.origin(p));
+                    assert_eq!(path[0], w.vp(v).asn.value());
+                    // transit hops never collide with VP/origin ranges
+                    for &t in &path[1..path.len() - 1] {
+                        assert!((1_000..6_007).contains(&t));
+                    }
+                }
+            }
+        }
+        assert_eq!(w.vp_index(w.vp(3)), Some(3));
+        assert_eq!(w.vp_index(VpId::from_asn(Asn(64_000))), None);
+    }
+}

@@ -1,0 +1,181 @@
+//! Property tests: every campaign generator against its own ground truth.
+//!
+//! The campaign shapes come from `bgp_types::testgen::arb_campaign_shape`,
+//! the same strategy vocabulary the workspace's other proptests draw from,
+//! so widening the shape distribution stresses every consumer at once.
+
+use bgp_types::testgen::{arb_campaign_shape, CampaignShape};
+use bgp_types::BgpUpdate;
+use gill_scenario::{generate_campaign, path_transits, CampaignConfig, CampaignKind, World};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+fn world() -> World {
+    World {
+        n_vps: 5,
+        n_prefixes: 32,
+        seed: 77,
+    }
+}
+
+fn cfg(kind: CampaignKind, s: CampaignShape) -> CampaignConfig {
+    CampaignConfig {
+        kind,
+        start_ms: s.start_ms,
+        duration_ms: s.duration_ms,
+        n_targets: s.n_targets,
+        repeats: s.repeats,
+        actor: s.actor,
+        seed: s.seed,
+    }
+}
+
+/// Shared truth checks: emitted count, window containment, targeted
+/// prefixes only.
+fn check_common(kind: CampaignKind, updates: &[BgpUpdate], w: &World, truth_prefixes: &[u32]) {
+    for u in updates {
+        let p = u
+            .prefix
+            .synthetic_index()
+            .expect("campaigns emit synthetic prefixes");
+        assert!(
+            truth_prefixes.contains(&p),
+            "{kind:?} touched untargeted prefix {p}"
+        );
+        assert!(w.vp_index(u.vp).is_some(), "{kind:?} used a foreign VP");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn hijack_waves_always_conflict_with_the_legitimate_origin(s in arb_campaign_shape()) {
+        let w = world();
+        let (updates, truth) = generate_campaign(&w, &cfg(CampaignKind::HijackWave, s), 0);
+        prop_assert_eq!(truth.emitted, updates.len());
+        check_common(CampaignKind::HijackWave, &updates, &w, &truth.prefixes);
+        for u in &updates {
+            prop_assert!(u.is_announce());
+            let origin = u.path.origin().expect("announce has a path").value();
+            // the MOAS signature: origin is the actor, never the world's
+            prop_assert_eq!(origin, truth.actor);
+            let p = u.prefix.synthetic_index().unwrap();
+            prop_assert_ne!(origin, w.origin(p));
+        }
+    }
+
+    #[test]
+    fn flap_storms_strictly_alternate_per_pair(s in arb_campaign_shape()) {
+        let w = world();
+        let (updates, truth) = generate_campaign(&w, &cfg(CampaignKind::FlapStorm, s), 0);
+        prop_assert_eq!(truth.emitted, updates.len());
+        check_common(CampaignKind::FlapStorm, &updates, &w, &truth.prefixes);
+        // per (vp, prefix): starts with announce, alternates strictly,
+        // 2·repeats updates, ends withdrawn
+        let mut per_pair: HashMap<_, Vec<bool>> = HashMap::new();
+        for u in &updates {
+            per_pair.entry((u.vp, u.prefix)).or_default().push(u.is_announce());
+        }
+        let repeats = s.repeats.max(1) as usize;
+        for ((vp, prefix), seq) in per_pair {
+            prop_assert_eq!(
+                seq.len(),
+                2 * repeats,
+                "pair {:?}/{} flapped {} times",
+                vp,
+                prefix,
+                seq.len()
+            );
+            for (i, announce) in seq.iter().enumerate() {
+                prop_assert_eq!(*announce, i % 2 == 0, "alternation broken at {}", i);
+            }
+        }
+    }
+
+    #[test]
+    fn route_leaks_always_transit_the_actor(s in arb_campaign_shape()) {
+        let w = world();
+        let (updates, truth) = generate_campaign(&w, &cfg(CampaignKind::RouteLeak, s), 0);
+        prop_assert_eq!(truth.emitted, updates.len());
+        check_common(CampaignKind::RouteLeak, &updates, &w, &truth.prefixes);
+        for u in &updates {
+            prop_assert!(u.is_announce());
+            prop_assert!(
+                path_transits(u.path.hops(), truth.actor),
+                "leak path missing actor transit"
+            );
+            // still ends at the legitimate origin — that is what makes it a
+            // leak rather than a hijack
+            let p = u.prefix.synthetic_index().unwrap();
+            prop_assert_eq!(u.path.origin().unwrap().value(), w.origin(p));
+        }
+    }
+
+    #[test]
+    fn community_floods_churn_communities_on_constant_paths(s in arb_campaign_shape()) {
+        let w = world();
+        let (updates, truth) = generate_campaign(&w, &cfg(CampaignKind::CommunityFlood, s), 0);
+        prop_assert_eq!(truth.emitted, updates.len());
+        check_common(CampaignKind::CommunityFlood, &updates, &w, &truth.prefixes);
+        let mut paths: HashMap<_, Vec<_>> = HashMap::new();
+        let mut comm_sets: HashMap<_, Vec<_>> = HashMap::new();
+        for u in &updates {
+            prop_assert!(u.is_announce());
+            prop_assert!(!u.communities.is_empty(), "flood update without communities");
+            paths.entry((u.vp, u.prefix)).or_default().push(u.path.clone());
+            comm_sets
+                .entry((u.vp, u.prefix))
+                .or_default()
+                .push(u.communities.clone());
+        }
+        for (pair, ps) in paths {
+            prop_assert!(
+                ps.windows(2).all(|w| w[0] == w[1]),
+                "path churned for {:?}",
+                pair
+            );
+            let cs = &comm_sets[&pair];
+            if cs.len() > 1 {
+                prop_assert!(
+                    cs.windows(2).all(|w| w[0] != w[1]),
+                    "communities did not churn for {:?}",
+                    pair
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn withdrawal_avalanches_withdraw_every_targeted_pair(s in arb_campaign_shape()) {
+        let w = world();
+        let (updates, truth) = generate_campaign(&w, &cfg(CampaignKind::WithdrawalAvalanche, s), 0);
+        prop_assert_eq!(truth.emitted, updates.len());
+        check_common(CampaignKind::WithdrawalAvalanche, &updates, &w, &truth.prefixes);
+        prop_assert_eq!(
+            updates.len(),
+            truth.prefixes.len() * w.n_vps as usize,
+            "one withdrawal per targeted pair"
+        );
+        for u in &updates {
+            prop_assert!(!u.is_announce());
+        }
+    }
+
+    #[test]
+    fn campaigns_are_pure_functions_of_their_config(s in arb_campaign_shape()) {
+        let w = world();
+        for kind in CampaignKind::all() {
+            let (a, ta) = generate_campaign(&w, &cfg(kind, s), 3);
+            let (b, tb) = generate_campaign(&w, &cfg(kind, s), 3);
+            prop_assert_eq!(&a, &b);
+            prop_assert_eq!(ta.window, tb.window);
+            prop_assert_eq!(&ta.prefixes, &tb.prefixes);
+            // truth windows bound every emission
+            for u in &a {
+                let t = u.time.as_millis();
+                prop_assert!(t >= ta.window.0 && t < ta.window.1);
+            }
+        }
+    }
+}

@@ -1,0 +1,121 @@
+//! Soak-derived regression: gap-marker exactness under a withdrawal
+//! avalanche fanned out to a stalled subscriber. The avalanche bursts far
+//! past the ring, so the stalled consumer must lose frames — and every
+//! lost frame must surface in a gap marker: `delivered + Σ missed ==
+//! published`, exactly, plus a clean EOS.
+
+use gill_scenario::{generate_campaign, CampaignConfig, CampaignKind, World};
+use gill_stream::{BrokerConfig, Delivery, FramePayload, SlowPolicy, StreamBroker, StreamFilter};
+
+fn avalanche(seed: u64) -> Vec<bgp_types::BgpUpdate> {
+    let world = World {
+        n_vps: 6,
+        n_prefixes: 96,
+        seed: seed ^ 0xde1,
+    };
+    let cfg = CampaignConfig {
+        kind: CampaignKind::WithdrawalAvalanche,
+        start_ms: 10_000,
+        duration_ms: 40_000,
+        n_targets: 48,
+        repeats: 4,
+        actor: 64_200,
+        seed,
+    };
+    let (updates, truth) = generate_campaign(&world, &cfg, 0);
+    assert_eq!(truth.emitted, updates.len());
+    updates
+}
+
+/// Drains a subscription to quiescence, separating real updates from
+/// gap-marker losses. Returns (updates_seen, frames_missed, eos_seen).
+fn drain(sub: &mut gill_stream::Subscription) -> (u64, u64, bool) {
+    let (mut seen, mut missed, mut eos) = (0u64, 0u64, false);
+    loop {
+        match sub.poll_next() {
+            Delivery::Frame(f) => match &f.payload {
+                FramePayload::Update(_) => seen += 1,
+                FramePayload::Gap { missed: m } => missed += m,
+                FramePayload::Eos { .. } => eos = true,
+            },
+            Delivery::Gap(f) => {
+                if let FramePayload::Gap { missed: m } = &f.payload {
+                    missed += m;
+                }
+            }
+            Delivery::Overrun { missed: m } => missed += m,
+            Delivery::Pending | Delivery::Closed => return (seen, missed, eos),
+        }
+    }
+}
+
+#[test]
+fn stalled_subscriber_gaps_account_for_every_frame() {
+    let updates = avalanche(17);
+    let broker = StreamBroker::new(BrokerConfig {
+        ring_capacity: 64,
+        max_subscribers: 4,
+    });
+    let mut live = broker
+        .subscribe(StreamFilter::any(), SlowPolicy::SkipWithGapMarker)
+        .unwrap();
+    let mut stalled = broker
+        .subscribe(StreamFilter::any(), SlowPolicy::SkipWithGapMarker)
+        .unwrap();
+
+    let mut published = 0u64;
+    let (mut live_seen, mut live_missed) = (0u64, 0u64);
+    for u in &updates {
+        broker.publish_always(u);
+        published += 1;
+        // the live consumer keeps up frame-by-frame; the stalled one
+        // never polls during the avalanche
+        let (s, m, _) = drain(&mut live);
+        live_seen += s;
+        live_missed += m;
+    }
+    assert!(
+        published > 64,
+        "avalanche must overrun the ring ({published} published)"
+    );
+    broker.close();
+
+    let (s, m, live_eos) = drain(&mut live);
+    live_seen += s;
+    live_missed += m;
+    assert_eq!(live_seen, published, "live consumer sees every frame");
+    assert_eq!(live_missed, 0);
+    assert!(live_eos, "close must deliver EOS to the live consumer");
+
+    let (stalled_seen, stalled_missed, stalled_eos) = drain(&mut stalled);
+    assert!(stalled_missed > 0, "stall must have cost frames");
+    assert_eq!(
+        stalled_seen + stalled_missed,
+        published,
+        "every lost frame must be counted in a gap marker"
+    );
+    assert!(stalled_eos, "EOS survives the gap");
+}
+
+#[test]
+fn gap_accounting_is_deterministic_across_reruns() {
+    let run = || {
+        let updates = avalanche(29);
+        let broker = StreamBroker::new(BrokerConfig {
+            ring_capacity: 32,
+            max_subscribers: 2,
+        });
+        let mut stalled = broker
+            .subscribe(StreamFilter::any(), SlowPolicy::SkipWithGapMarker)
+            .unwrap();
+        for u in &updates {
+            broker.publish_always(u);
+        }
+        broker.close();
+        let (seen, missed, eos) = drain(&mut stalled);
+        assert!(eos);
+        assert_eq!(seen + missed, updates.len() as u64);
+        (seen, missed, stalled.gaps())
+    };
+    assert_eq!(run(), run(), "loss pattern must replay identically");
+}

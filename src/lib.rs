@@ -20,6 +20,11 @@
 //!   orchestrator.
 //! * [`query`] — the serving half: time-indexed route store and the
 //!   looking-glass HTTP query API (bgproutes.io's role in §9).
+//! * [`scenario`] — seeded adversarial-workload engine: bursty background
+//!   traffic plus campaign generators with ground truth, driving the
+//!   full-pipeline soak harness in [`soak`].
+//! * [`soak`] — the end-to-end soak: scenario → sessions → FSM → filters →
+//!   store → broker → query, with continuously asserted invariants.
 //!
 //! ## Quickstart
 //!
@@ -43,6 +48,7 @@
 //! ```
 
 pub mod cli;
+pub mod soak;
 
 pub use as_topology as topology;
 pub use bgp_sim as sim;
@@ -51,6 +57,7 @@ pub use bgp_wire as wire;
 pub use gill_collector as collector;
 pub use gill_core as core;
 pub use gill_query as query;
+pub use gill_scenario as scenario;
 pub use gill_stream as stream;
 pub use sampling;
 pub use use_cases;
