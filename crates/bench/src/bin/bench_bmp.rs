@@ -1,0 +1,348 @@
+//! BMP ingestion throughput: many concurrent `SimTransport` BMP sessions,
+//! each carrying several monitored peers, demuxed and fed through the
+//! compiled filter path into the route store and the stream broker.
+//! Writes `BENCH_bmp.json`.
+//!
+//! The whole run is deterministic: one OS thread services every open
+//! session in a fixed round-robin order over a virtual clock, so the
+//! FNV-1a transcript digest must replay bit-identically across the two
+//! seeded runs (asserted). The per-update accounting is exact —
+//! `decoded == retained + filtered + shed` — with the bounded storage
+//! queue sized so shedding actually happens under line rate.
+//!
+//! Usage: `bench_bmp [n_sessions] [n_updates]` (defaults 512, 120000).
+
+use crossbeam::channel::bounded;
+use gill::bmp::{BmpCloseReason, BmpEvent, BmpFsm, BmpSessionConfig};
+use gill::collector::daemon::{DaemonStats, SessionCtx};
+use gill::collector::transport::{
+    sim_pair, Clock, FaultSchedule, SimTransport, Transport, VirtualClock,
+};
+use gill::collector::StoredUpdate;
+use gill::core::{FilterGranularity, FilterHandle, FilterSet};
+use gill::query::RouteStore;
+use gill::scenario::{
+    update_line, BackgroundConfig, BmpFeed, Fnv64, ScenarioConfig, ScenarioEngine, ScenarioItem,
+    World,
+};
+use gill::stream::{
+    BrokerConfig, Delivery, FramePayload, SlowPolicy, StreamBroker, StreamFilter, Subscription,
+};
+use gill::types::Timestamp;
+use std::collections::VecDeque;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Monitored peers multiplexed onto each BMP session.
+const PEERS_PER_SESSION: u32 = 4;
+
+/// Route Monitoring frames written per session per service turn.
+const FRAMES_PER_TURN: usize = 8;
+
+/// Bounded storage-queue capacity; smaller than one round-robin pass of
+/// kept updates at full width (512 sessions x 8 frames x ~60% filter
+/// acceptance), so the shed path is exercised for real.
+const QUEUE_CAP: usize = 2_048;
+
+struct Sess {
+    fsm: BmpFsm,
+    client: SimTransport,
+    server: SimTransport,
+    script: VecDeque<Vec<u8>>,
+    close: Option<BmpCloseReason>,
+}
+
+struct RunResult {
+    decoded: usize,
+    retained: usize,
+    filtered: usize,
+    shed: usize,
+    published: usize,
+    stream_shed: usize,
+    sub_frames: u64,
+    sub_missed: u64,
+    stored_routes: usize,
+    secs: f64,
+    digest: String,
+}
+
+fn drain_sub(sub: &mut Subscription, frames: &mut u64, missed: &mut u64) {
+    loop {
+        match sub.poll_next() {
+            Delivery::Frame(f) => match &f.payload {
+                FramePayload::Update(_) => *frames += 1,
+                FramePayload::Gap { missed: m } => *missed += m,
+                FramePayload::Eos { .. } => {}
+            },
+            Delivery::Gap(f) => {
+                if let FramePayload::Gap { missed: m } = &f.payload {
+                    *missed += m;
+                }
+            }
+            Delivery::Overrun { missed: m } => *missed += m,
+            Delivery::Pending | Delivery::Closed => return,
+        }
+    }
+}
+
+/// One full ingest run over pre-encoded per-session frame scripts.
+fn drive(scripts: &[VecDeque<Vec<u8>>], filters: &FilterSet, monitored: &[u64]) -> RunResult {
+    let clock = VirtualClock::new();
+    let handle = FilterHandle::empty();
+    handle.publish(handle.compile_next(filters));
+    let (tx, rx) = bounded::<StoredUpdate>(QUEUE_CAP);
+    let stats = Arc::new(DaemonStats::default());
+    let broker = StreamBroker::new(BrokerConfig {
+        ring_capacity: 4_096,
+        max_subscribers: 8,
+    });
+    let mut sub = broker
+        .subscribe(StreamFilter::default(), SlowPolicy::SkipWithGapMarker)
+        .expect("subscribe");
+    let mut ctx = SessionCtx::new(handle.view(), tx, stats.clone());
+    ctx.sink = Some(Arc::new(broker.publisher()));
+
+    let mut sessions: Vec<Sess> = scripts
+        .iter()
+        .map(|q| {
+            let (client, server) = sim_pair(&clock, FaultSchedule::none(), FaultSchedule::none());
+            Sess {
+                fsm: BmpFsm::new(BmpSessionConfig::default(), clock.now_ms()),
+                client,
+                server,
+                script: q.clone(),
+                close: None,
+            }
+        })
+        .collect();
+
+    let mut store = RouteStore::default();
+    let mut digest = Fnv64::new();
+    let mut stored_routes = 0usize;
+    let (mut sub_frames, mut sub_missed) = (0u64, 0u64);
+    let mut open = sessions.len();
+    let mut buf = vec![0u8; 16 * 1024];
+
+    let t0 = Instant::now();
+    while open > 0 {
+        for sess in &mut sessions {
+            if sess.close.is_some() {
+                continue;
+            }
+            for _ in 0..FRAMES_PER_TURN {
+                match sess.script.pop_front() {
+                    Some(f) => {
+                        let _ = sess.client.write_all(&f);
+                    }
+                    None => break,
+                }
+            }
+            let now = clock.now_ms();
+            loop {
+                match sess.server.read(&mut buf) {
+                    Ok(0) => {
+                        sess.fsm.handle_eof(now);
+                        break;
+                    }
+                    Ok(n) => sess.fsm.handle_bytes(&buf[..n], now),
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(_) => break,
+                }
+            }
+            sess.fsm.tick(now);
+            while let Some(ev) = sess.fsm.poll_event() {
+                match ev {
+                    BmpEvent::Update { vp, update, ts_ms } => {
+                        ctx.offer(vp, update, Timestamp::from_millis(ts_ms));
+                    }
+                    BmpEvent::Closed(r) => {
+                        sess.close = Some(r);
+                        open -= 1;
+                    }
+                    _ => {}
+                }
+            }
+        }
+        // end-of-pass drains, in the same fixed order every pass
+        while let Ok(rec) = rx.try_recv() {
+            digest.write_line(&update_line(&rec.update));
+            store.ingest(rec.update);
+            stored_routes += 1;
+        }
+        drain_sub(&mut sub, &mut sub_frames, &mut sub_missed);
+        clock.advance_ms(1);
+    }
+    let secs = t0.elapsed().as_secs_f64();
+
+    // every session must have ended on its script's Termination frame,
+    // with its full demux table intact and exact per-session ledgers
+    for (s, sess) in sessions.iter().enumerate() {
+        assert_eq!(
+            sess.close,
+            Some(BmpCloseReason::Terminated),
+            "session {s} close reason"
+        );
+        assert_eq!(
+            sess.fsm.peer_count(),
+            PEERS_PER_SESSION as usize,
+            "session {s} demux table"
+        );
+        let ledger = sess.fsm.ledger();
+        assert_eq!(ledger.route_monitoring, monitored[s], "session {s} frames");
+        assert_eq!(ledger.unknown_peer, 0, "session {s} unknown peers");
+        assert_eq!(ledger.denied_peers, 0, "session {s} denied peers");
+    }
+
+    let load = |c: &std::sync::atomic::AtomicUsize| c.load(Ordering::Relaxed);
+    let decoded = load(&stats.received);
+    let retained = load(&stats.retained);
+    let filtered = load(&stats.filtered);
+    let shed = load(&stats.lost);
+    let published = load(&stats.stream_published);
+    let stream_shed = load(&stats.stream_shed);
+
+    // the exactness contracts: nothing uncounted anywhere in the path
+    assert_eq!(decoded, retained + filtered + shed, "ingest accounting");
+    assert_eq!(retained, stored_routes, "queue drained to the store");
+    assert_eq!(
+        published + stream_shed,
+        retained + shed,
+        "sink sees exactly the filter-accepted stream"
+    );
+    assert_eq!(
+        sub_frames + sub_missed,
+        published as u64,
+        "subscriber gaps counted exactly"
+    );
+
+    digest.write_line(&format!(
+        "decoded={decoded} retained={retained} filtered={filtered} shed={shed} \
+         published={published} stream_shed={stream_shed} sub={sub_frames}+{sub_missed}"
+    ));
+    RunResult {
+        decoded,
+        retained,
+        filtered,
+        shed,
+        published,
+        stream_shed,
+        sub_frames,
+        sub_missed,
+        stored_routes,
+        secs,
+        digest: format!("{:016x}", digest.finish()),
+    }
+}
+
+fn main() {
+    let n_sessions: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(512);
+    let n: usize = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(120_000);
+
+    // one VP per monitored peer; the scenario engine supplies the day
+    let world = World {
+        n_vps: n_sessions * PEERS_PER_SESSION,
+        n_prefixes: 512,
+        seed: 0xb17,
+    };
+    let background = BackgroundConfig::default();
+    let duration_ms = background.duration_for(n);
+    let cfg = ScenarioConfig {
+        world,
+        background,
+        duration_ms,
+        campaigns: Vec::new(),
+        seed: 17,
+    };
+    let items: Vec<ScenarioItem> = ScenarioEngine::new(&cfg).collect();
+
+    // train drop rules on every 9th update so the compiled path does
+    // real work (and `filtered` is provably nonzero)
+    let filters = FilterSet::generate(
+        [],
+        items.iter().step_by(9).map(|i| &i.update),
+        FilterGranularity::VpPrefix,
+    );
+
+    // pre-encode every session's frame script (generation cost excluded
+    // from the timed region): Initiation, one Peer Up per peer, the
+    // session's share of the day as Route Monitoring, Termination
+    let feeds: Vec<BmpFeed> = (0..n_sessions)
+        .map(|s| {
+            let vps: Vec<_> = (0..PEERS_PER_SESSION)
+                .map(|k| world.vp(s * PEERS_PER_SESSION + k))
+                .collect();
+            BmpFeed::new(&vps)
+        })
+        .collect();
+    let mut scripts: Vec<VecDeque<Vec<u8>>> = feeds
+        .iter()
+        .map(|feed| {
+            let mut q = VecDeque::new();
+            q.push_back(BmpFeed::initiation_frame("bench-bmp"));
+            q.extend(feed.peer_up_frames(0));
+            q
+        })
+        .collect();
+    let mut monitored = vec![0u64; n_sessions as usize];
+    for item in &items {
+        let i = world.vp_index(item.update.vp).expect("world VP");
+        let s = (i / PEERS_PER_SESSION) as usize;
+        if let Some(frame) = feeds[s].route_monitoring_frame(item) {
+            scripts[s].push_back(frame);
+            monitored[s] += 1;
+        }
+    }
+    for q in &mut scripts {
+        q.push_back(BmpFeed::termination_frame());
+    }
+    let total_frames: usize = scripts.iter().map(|q| q.len()).sum();
+
+    // two identical runs: the determinism contract, checked end to end
+    let a = drive(&scripts, &filters, &monitored);
+    let b = drive(&scripts, &filters, &monitored);
+    assert_eq!(a.digest, b.digest, "BMP ingest must replay bit-identically");
+    assert_eq!(a.decoded, b.decoded);
+    assert!(a.filtered > 0, "compiled filters never dropped anything");
+    assert!(
+        a.shed > 0,
+        "bounded queue never shed under line rate (decoded {} retained {} filtered {})",
+        a.decoded,
+        a.retained,
+        a.filtered
+    );
+
+    let per_sec = a.decoded as f64 / a.secs.max(1e-9);
+    let json = format!(
+        "{{\n  \"sessions\": {n_sessions}, \"peers\": {}, \"frames\": {total_frames}, \
+         \"decoded\": {},\n  \"secs\": {:.2}, \"per_sec\": {per_sec:.0},\n  \
+         \"accounting\": {{ \"retained\": {}, \"filtered\": {}, \"shed\": {}, \
+         \"published\": {}, \"stream_shed\": {}, \"sub_frames\": {}, \"sub_missed\": {}, \
+         \"stored_routes\": {} }},\n  \"digest\": \"{}\"\n}}\n",
+        n_sessions * PEERS_PER_SESSION,
+        a.decoded,
+        a.secs,
+        a.retained,
+        a.filtered,
+        a.shed,
+        a.published,
+        a.stream_shed,
+        a.sub_frames,
+        a.sub_missed,
+        a.stored_routes,
+        a.digest,
+    );
+    std::fs::write("BENCH_bmp.json", &json).expect("write BENCH_bmp.json");
+    eprintln!(
+        "wrote BENCH_bmp.json ({n_sessions} sessions x {PEERS_PER_SESSION} peers, \
+         {per_sec:.0} updates/s, digest {})",
+        a.digest
+    );
+    println!("{json}");
+}

@@ -104,6 +104,198 @@ pub fn arb_update_burst() -> impl Strategy<Value = Vec<BgpUpdate>> {
         })
 }
 
+// ---------------------------------------------------------------------------
+// BMP (RFC 7854) frame generators
+// ---------------------------------------------------------------------------
+//
+// Byte-level on purpose: `bgp-types` sits below `bgp-wire` and `gill-bmp`,
+// so it cannot name their codecs. Callers hand in palettes of already
+// encoded BGP PDUs (UPDATEs for Route Monitoring, OPENs for Peer Up) and
+// get back whole BMP frames — the one distribution every BMP fuzz suite
+// should draw from.
+
+/// Builds one BMP frame: 6-byte common header (version 3, u32 BE total
+/// length, u8 type) followed by `body`.
+fn bmp_frame(msg_type: u8, body: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(6 + body.len());
+    out.push(3);
+    out.extend_from_slice(&((6 + body.len()) as u32).to_be_bytes());
+    out.push(msg_type);
+    out.extend_from_slice(body);
+    out
+}
+
+/// A 42-byte BMP per-peer header for a global-instance IPv4 peer.
+fn bmp_peer_header(asn: u32, addr: u32, distinguisher: u64, ts_sec: u32) -> [u8; 42] {
+    let mut h = [0u8; 42];
+    h[2..10].copy_from_slice(&distinguisher.to_be_bytes());
+    h[22..26].copy_from_slice(&addr.to_be_bytes()); // v4, right-justified
+    h[26..30].copy_from_slice(&asn.to_be_bytes());
+    h[30..34].copy_from_slice(&addr.to_be_bytes()); // BGP ID mirrors the addr
+    h[34..38].copy_from_slice(&ts_sec.to_be_bytes());
+    h
+}
+
+/// A BMP Information TLV (`kind`, length, value).
+fn bmp_tlv(kind: u16, value: &[u8]) -> Vec<u8> {
+    let mut t = Vec::with_capacity(4 + value.len());
+    t.extend_from_slice(&kind.to_be_bytes());
+    t.extend_from_slice(&(value.len() as u16).to_be_bytes());
+    t.extend_from_slice(value);
+    t
+}
+
+/// An arbitrary **valid** BMP v3 frame covering all six RFC 7854 message
+/// types. `updates` supplies encoded BGP UPDATE PDUs (marker included) for
+/// Route Monitoring bodies; `opens` supplies encoded OPEN PDUs for Peer
+/// Up. Both palettes must be non-empty.
+pub fn arb_bmp_frame(updates: Vec<Vec<u8>>, opens: Vec<Vec<u8>>) -> impl Strategy<Value = Vec<u8>> {
+    assert!(!updates.is_empty(), "arb_bmp_frame: empty UPDATE palette");
+    assert!(!opens.is_empty(), "arb_bmp_frame: empty OPEN palette");
+    (
+        0u8..6,              // message type
+        1u32..100_000,       // peer ASN
+        any::<u32>(),        // peer address bits
+        any::<u64>(),        // route distinguisher
+        0u32..2_000_000_000, // peer timestamp (secs)
+        any::<u16>(),        // misc: stat type / FSM code / port
+        0usize..1_024,       // palette pick
+        any::<u32>(),        // counter value / extra selector
+    )
+        .prop_map(move |(ty, asn, addr, rd, ts, misc, pick, extra)| {
+            let peer = bmp_peer_header(asn, addr, rd, ts);
+            match ty {
+                // Route Monitoring: peer header + one palette UPDATE
+                0 => {
+                    let mut body = peer.to_vec();
+                    body.extend_from_slice(&updates[pick % updates.len()]);
+                    bmp_frame(0, &body)
+                }
+                // Stats Report: one 4-byte counter + one 8-byte gauge
+                1 => {
+                    let mut body = peer.to_vec();
+                    body.extend_from_slice(&2u32.to_be_bytes());
+                    body.extend_from_slice(&bmp_tlv(misc % 7, &extra.to_be_bytes()));
+                    body.extend_from_slice(&bmp_tlv(7, &(extra as u64).to_be_bytes()));
+                    bmp_frame(1, &body)
+                }
+                // Peer Down: FSM-code, remote-no-data or deconfigured
+                // (notification-carrying reasons live in the golden suite)
+                2 => {
+                    let mut body = peer.to_vec();
+                    match misc % 3 {
+                        0 => {
+                            body.push(2); // local, FSM event code follows
+                            body.extend_from_slice(&(extra as u16).to_be_bytes());
+                        }
+                        1 => body.push(4), // remote, no data
+                        _ => body.push(5), // peer de-configured
+                    }
+                    bmp_frame(2, &body)
+                }
+                // Peer Up: local addr + ports + sent/recv OPEN + info TLV
+                3 => {
+                    let mut body = peer.to_vec();
+                    let mut local = [0u8; 16];
+                    local[12..].copy_from_slice(&extra.to_be_bytes());
+                    body.extend_from_slice(&local);
+                    body.extend_from_slice(&179u16.to_be_bytes());
+                    body.extend_from_slice(&misc.to_be_bytes());
+                    body.extend_from_slice(&opens[pick % opens.len()]);
+                    body.extend_from_slice(&opens[(pick + 1) % opens.len()]);
+                    body.extend_from_slice(&bmp_tlv(0, b"generated peer"));
+                    bmp_frame(3, &body)
+                }
+                // Initiation: sysDescr + sysName TLVs
+                4 => {
+                    let mut body = bmp_tlv(1, b"gill testgen router");
+                    body.extend_from_slice(&bmp_tlv(2, format!("r{asn}").as_bytes()));
+                    bmp_frame(4, &body)
+                }
+                // Termination: reason string TLV, sometimes empty
+                _ => {
+                    let body = if misc % 2 == 0 {
+                        bmp_tlv(0, b"session over")
+                    } else {
+                        Vec::new()
+                    };
+                    bmp_frame(5, &body)
+                }
+            }
+        })
+}
+
+/// Applies one deterministic structural mutation to a BMP frame. The
+/// mutation is chosen by `kind % 6` and parameterized by `a`/`b`, so a
+/// failing input reproduces from the generated tuple alone: truncation,
+/// length-field lies, version corruption, bit flips, byte splices, or
+/// replacement with pure noise.
+pub fn mutate_bmp_frame(mut frame: Vec<u8>, kind: u8, a: u32, b: u32) -> Vec<u8> {
+    match kind % 6 {
+        // truncate anywhere, including inside the 6-byte common header
+        0 => {
+            let at = a as usize % (frame.len() + 1);
+            frame.truncate(at);
+        }
+        // lie in the u32 length field at offset 1: zero, below header
+        // size, plausible-but-wrong, or absurdly large
+        1 => {
+            if frame.len() >= 5 {
+                let lie: u32 = match b % 4 {
+                    0 => 0,
+                    1 => b % 6,
+                    2 => 7 + (b % 4_096),
+                    _ => 0x4000_0000 | b,
+                };
+                frame[1..5].copy_from_slice(&lie.to_be_bytes());
+            }
+        }
+        // corrupt the version byte
+        2 => frame[0] = (b % 256) as u8,
+        // flip one bit
+        3 => {
+            let i = a as usize % frame.len();
+            frame[i] ^= 1 << (b % 8);
+        }
+        // splice one byte
+        4 => {
+            let i = a as usize % frame.len();
+            frame[i] = (b % 256) as u8;
+        }
+        // replace with noise of a plausible size (xorshift, no RNG dep)
+        _ => {
+            let n = a as usize % 96;
+            let mut x = (u64::from(a) << 32 | u64::from(b)) | 1;
+            frame = (0..n)
+                .map(|_| {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    (x & 0xff) as u8
+                })
+                .collect();
+        }
+    }
+    frame
+}
+
+/// An arbitrary structurally-mutated BMP frame: a valid frame from
+/// [`arb_bmp_frame`] put through one [`mutate_bmp_frame`] mutation.
+/// Decoders must answer with a typed error or a clean parse — never a
+/// panic.
+pub fn arb_bmp_frame_mutated(
+    updates: Vec<Vec<u8>>,
+    opens: Vec<Vec<u8>>,
+) -> impl Strategy<Value = Vec<u8>> {
+    (
+        arb_bmp_frame(updates, opens),
+        any::<u8>(),
+        any::<u32>(),
+        any::<u32>(),
+    )
+        .prop_map(|(frame, kind, a, b)| mutate_bmp_frame(frame, kind, a, b))
+}
+
 /// An arbitrary update: announcements carry a 1..8-hop path and up to 6
 /// communities; withdrawals carry neither (matching the wire format).
 pub fn arb_update() -> impl Strategy<Value = BgpUpdate> {

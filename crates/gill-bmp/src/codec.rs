@@ -1,0 +1,951 @@
+//! BMP v3 wire codec (RFC 7854).
+//!
+//! Frame layout: a 6-byte common header (version, total length, message
+//! type) followed by a per-type body. Five of the six message types carry
+//! the 42-byte per-peer header identifying which monitored BGP peer the
+//! message is about; Initiation/Termination are session-scoped and carry
+//! TLVs instead. Embedded BGP PDUs keep their full RFC 4271 framing
+//! (marker + length + type) and are decoded by `bgp-wire`.
+//!
+//! [`BmpMessage::decode`] mirrors `BgpMessage::decode`: `Ok(None)` means
+//! "incomplete, feed more bytes", success consumes exactly one frame, and
+//! every malformation maps to a typed [`BmpError`] — the fuzz battery
+//! asserts the decoder never panics on arbitrary input.
+
+use bgp_wire::{BgpMessage, Notification, OpenMessage, UpdateMessage, WireError};
+use bytes::{Buf, BufMut, BytesMut};
+use std::fmt;
+use std::net::Ipv4Addr;
+
+/// The only BMP version this codec speaks.
+pub const BMP_VERSION: u8 = 3;
+
+/// Common header size: version (1) + length (4) + type (1).
+pub const COMMON_HEADER_LEN: usize = 6;
+
+/// Per-peer header size (RFC 7854 §4.2).
+pub const PEER_HEADER_LEN: usize = 42;
+
+/// Upper bound on one frame. RFC 7854 leaves length unbounded (a Route
+/// Monitoring frame is ~one BGP message, Peer Up is two), so anything near
+/// the u32 limit is a length-lie from a corrupt stream; reject it instead
+/// of buffering gigabytes waiting for bytes that never come.
+pub const MAX_FRAME_LEN: usize = 1 << 20;
+
+/// BMP message type codes (RFC 7854 §4).
+pub mod msg_type {
+    /// Route Monitoring: one monitored peer's BGP UPDATE.
+    pub const ROUTE_MONITORING: u8 = 0;
+    /// Statistics Report.
+    pub const STATS_REPORT: u8 = 1;
+    /// Peer Down Notification.
+    pub const PEER_DOWN: u8 = 2;
+    /// Peer Up Notification.
+    pub const PEER_UP: u8 = 3;
+    /// Initiation: first message on a session.
+    pub const INITIATION: u8 = 4;
+    /// Termination: last message on a session.
+    pub const TERMINATION: u8 = 5;
+}
+
+/// Information TLV types (RFC 7854 §4.4).
+pub mod info_type {
+    /// Free-form string.
+    pub const STRING: u16 = 0;
+    /// sysDescr.
+    pub const SYS_DESCR: u16 = 1;
+    /// sysName.
+    pub const SYS_NAME: u16 = 2;
+}
+
+/// Errors raised while encoding or decoding BMP frames.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BmpError {
+    /// A structure ended before it was complete (within one frame — a
+    /// short *buffer* is `Ok(None)`, a short *frame* is this).
+    Truncated {
+        /// What was being decoded.
+        what: &'static str,
+        /// Bytes needed.
+        needed: usize,
+        /// Bytes available.
+        have: usize,
+    },
+    /// Version byte is not 3.
+    BadVersion(u8),
+    /// Unknown message type code.
+    UnknownMessageType(u8),
+    /// Length field below the header size or above [`MAX_FRAME_LEN`].
+    BadLength(u32),
+    /// The frame body was longer than its type's structure.
+    TrailingBytes {
+        /// Which message type had the excess.
+        what: &'static str,
+        /// How many bytes were left over.
+        extra: usize,
+    },
+    /// An embedded BGP PDU failed to decode.
+    Bgp(WireError),
+    /// An embedded BGP PDU decoded to the wrong message type (e.g. a
+    /// KEEPALIVE where Route Monitoring requires an UPDATE).
+    EmbeddedType {
+        /// Where the PDU was embedded.
+        what: &'static str,
+        /// The BGP type code found.
+        found: u8,
+    },
+    /// A TLV's declared length overruns the frame, or a stats counter has
+    /// an unsupported width.
+    BadTlv(&'static str),
+    /// Unknown Peer Down reason code.
+    BadPeerDownReason(u8),
+}
+
+impl fmt::Display for BmpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BmpError::Truncated { what, needed, have } => {
+                write!(f, "truncated BMP {what}: need {needed} bytes, have {have}")
+            }
+            BmpError::BadVersion(v) => write!(f, "unsupported BMP version {v}"),
+            BmpError::UnknownMessageType(t) => write!(f, "unknown BMP message type {t}"),
+            BmpError::BadLength(l) => write!(f, "invalid BMP frame length {l}"),
+            BmpError::TrailingBytes { what, extra } => {
+                write!(f, "{extra} trailing bytes after BMP {what}")
+            }
+            BmpError::Bgp(e) => write!(f, "embedded BGP PDU: {e}"),
+            BmpError::EmbeddedType { what, found } => {
+                write!(f, "wrong embedded BGP message type {found} in {what}")
+            }
+            BmpError::BadTlv(what) => write!(f, "malformed BMP TLV: {what}"),
+            BmpError::BadPeerDownReason(r) => write!(f, "unknown Peer Down reason {r}"),
+        }
+    }
+}
+
+impl std::error::Error for BmpError {}
+
+impl From<WireError> for BmpError {
+    fn from(e: WireError) -> Self {
+        BmpError::Bgp(e)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Per-peer header
+// ---------------------------------------------------------------------------
+
+/// The 42-byte per-peer header (RFC 7854 §4.2) identifying which monitored
+/// BGP peer a message concerns.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PeerHeader {
+    /// Peer type (0 = Global Instance, 1 = RD Instance, 2 = Local).
+    pub peer_type: u8,
+    /// Flags (V/L/A bits; V set means the address is IPv6).
+    pub flags: u8,
+    /// Peer Distinguisher (route distinguisher for type 1, else 0).
+    pub distinguisher: u64,
+    /// Peer address, 16 bytes; IPv4 is right-justified with a zero prefix.
+    pub address: [u8; 16],
+    /// Peer AS number.
+    pub asn: u32,
+    /// Peer BGP ID.
+    pub bgp_id: u32,
+    /// Timestamp seconds (when the encapsulated data was received; 0 if
+    /// unavailable).
+    pub ts_sec: u32,
+    /// Timestamp microseconds.
+    pub ts_usec: u32,
+}
+
+impl PeerHeader {
+    /// A Global-Instance IPv4 peer, with the timestamp taken from a
+    /// millisecond clock.
+    pub fn v4(asn: u32, address: Ipv4Addr, distinguisher: u64, ts_ms: u64) -> PeerHeader {
+        let mut addr = [0u8; 16];
+        addr[12..].copy_from_slice(&address.octets());
+        PeerHeader {
+            peer_type: 0,
+            flags: 0,
+            distinguisher,
+            address: addr,
+            asn,
+            bgp_id: u32::from(address),
+            ts_sec: (ts_ms / 1000) as u32,
+            ts_usec: ((ts_ms % 1000) * 1000) as u32,
+        }
+    }
+
+    /// The peer address as IPv4, when the 12-byte prefix is zero.
+    pub fn addr_v4(&self) -> Option<Ipv4Addr> {
+        if self.address[..12].iter().all(|&b| b == 0) {
+            let o = &self.address[12..];
+            Some(Ipv4Addr::new(o[0], o[1], o[2], o[3]))
+        } else {
+            None
+        }
+    }
+
+    /// Renders the peer address for config lookups and logs: dotted quad
+    /// for IPv4, colon-joined hex groups otherwise.
+    pub fn addr_string(&self) -> String {
+        match self.addr_v4() {
+            Some(v4) => v4.to_string(),
+            None => {
+                let groups: Vec<String> = self
+                    .address
+                    .chunks(2)
+                    .map(|c| format!("{:x}", u16::from_be_bytes([c[0], c[1]])))
+                    .collect();
+                groups.join(":")
+            }
+        }
+    }
+
+    /// The header timestamp in milliseconds (0 when the router reported
+    /// none).
+    pub fn ts_ms(&self) -> u64 {
+        self.ts_sec as u64 * 1000 + self.ts_usec as u64 / 1000
+    }
+
+    fn encode(&self, out: &mut BytesMut) {
+        out.put_u8(self.peer_type);
+        out.put_u8(self.flags);
+        out.put_slice(&self.distinguisher.to_be_bytes());
+        out.put_slice(&self.address);
+        out.put_u32(self.asn);
+        out.put_u32(self.bgp_id);
+        out.put_u32(self.ts_sec);
+        out.put_u32(self.ts_usec);
+    }
+
+    fn decode(b: &mut BytesMut) -> Result<PeerHeader, BmpError> {
+        if b.len() < PEER_HEADER_LEN {
+            return Err(BmpError::Truncated {
+                what: "per-peer header",
+                needed: PEER_HEADER_LEN,
+                have: b.len(),
+            });
+        }
+        let peer_type = b.get_u8();
+        let flags = b.get_u8();
+        let mut dist = [0u8; 8];
+        dist.copy_from_slice(&b.chunk()[..8]);
+        b.advance(8);
+        let mut address = [0u8; 16];
+        address.copy_from_slice(&b.chunk()[..16]);
+        b.advance(16);
+        Ok(PeerHeader {
+            peer_type,
+            flags,
+            distinguisher: u64::from_be_bytes(dist),
+            address,
+            asn: b.get_u32(),
+            bgp_id: b.get_u32(),
+            ts_sec: b.get_u32(),
+            ts_usec: b.get_u32(),
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// TLVs and stats counters
+// ---------------------------------------------------------------------------
+
+/// An Information TLV (Initiation, Termination, Peer Up).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct InfoTlv {
+    /// TLV type (see [`info_type`]).
+    pub kind: u16,
+    /// Raw value bytes (strings are UTF-8 by convention).
+    pub value: Vec<u8>,
+}
+
+impl InfoTlv {
+    /// A string-typed TLV.
+    pub fn string(kind: u16, s: &str) -> InfoTlv {
+        InfoTlv {
+            kind,
+            value: s.as_bytes().to_vec(),
+        }
+    }
+
+    /// The value as UTF-8 text, when it is.
+    pub fn as_str(&self) -> Option<&str> {
+        std::str::from_utf8(&self.value).ok()
+    }
+}
+
+/// Finds the first TLV of `kind` and returns its value as text.
+pub fn tlv_text(tlvs: &[InfoTlv], kind: u16) -> Option<&str> {
+    tlvs.iter()
+        .find(|t| t.kind == kind)
+        .and_then(|t| t.as_str())
+}
+
+fn encode_tlvs(tlvs: &[InfoTlv], out: &mut BytesMut) {
+    for t in tlvs {
+        out.put_u16(t.kind);
+        out.put_u16(t.value.len() as u16);
+        out.put_slice(&t.value);
+    }
+}
+
+fn decode_tlvs(b: &mut BytesMut) -> Result<Vec<InfoTlv>, BmpError> {
+    let mut tlvs = Vec::new();
+    while !b.is_empty() {
+        if b.len() < 4 {
+            return Err(BmpError::BadTlv("header shorter than 4 bytes"));
+        }
+        let kind = b.get_u16();
+        let len = b.get_u16() as usize;
+        if b.len() < len {
+            return Err(BmpError::BadTlv("value overruns frame"));
+        }
+        let value = b.split_to(len).to_vec();
+        tlvs.push(InfoTlv { kind, value });
+    }
+    Ok(tlvs)
+}
+
+/// One statistics counter from a Stats Report (RFC 7854 §4.8).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StatCounter {
+    /// Stat type code (e.g. 0 = prefixes rejected by inbound policy).
+    pub stat_type: u16,
+    /// Counter or gauge value.
+    pub value: u64,
+    /// Whether the value is a 64-bit gauge (types 7/8) rather than a
+    /// 32-bit counter.
+    pub wide: bool,
+}
+
+impl StatCounter {
+    /// A 32-bit counter.
+    pub fn counter(stat_type: u16, value: u32) -> StatCounter {
+        StatCounter {
+            stat_type,
+            value: value as u64,
+            wide: false,
+        }
+    }
+
+    /// A 64-bit gauge (stat types 7 and 8).
+    pub fn gauge(stat_type: u16, value: u64) -> StatCounter {
+        StatCounter {
+            stat_type,
+            value,
+            wide: true,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Message bodies
+// ---------------------------------------------------------------------------
+
+/// Why a monitored peer went down (RFC 7854 §4.9 reason codes).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PeerDownReason {
+    /// 1: the local system closed, with the NOTIFICATION it sent.
+    LocalNotification(Notification),
+    /// 2: the local system closed without a NOTIFICATION; carries the FSM
+    /// event code.
+    LocalFsm(u16),
+    /// 3: the remote system closed, with the NOTIFICATION it sent.
+    RemoteNotification(Notification),
+    /// 4: the remote system closed without a NOTIFICATION.
+    RemoteNoData,
+    /// 5: monitoring for this peer was de-configured on the router.
+    PeerDeconfigured,
+}
+
+impl PeerDownReason {
+    /// The wire reason code.
+    pub fn code(&self) -> u8 {
+        match self {
+            PeerDownReason::LocalNotification(_) => 1,
+            PeerDownReason::LocalFsm(_) => 2,
+            PeerDownReason::RemoteNotification(_) => 3,
+            PeerDownReason::RemoteNoData => 4,
+            PeerDownReason::PeerDeconfigured => 5,
+        }
+    }
+}
+
+/// A Peer Up Notification (RFC 7854 §4.10): a monitored peer's session
+/// reached Established, with both sides' OPENs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PeerUpMessage {
+    /// Which peer came up.
+    pub peer: PeerHeader,
+    /// The router's local address for the session (same encoding as the
+    /// peer address).
+    pub local_address: [u8; 16],
+    /// Local TCP port.
+    pub local_port: u16,
+    /// Remote TCP port.
+    pub remote_port: u16,
+    /// The OPEN the router sent.
+    pub sent_open: OpenMessage,
+    /// The OPEN the router received from the peer.
+    pub recv_open: OpenMessage,
+    /// Optional Information TLVs (e.g. a type-0 peer name).
+    pub info: Vec<InfoTlv>,
+}
+
+/// A decoded BMP message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BmpMessage {
+    /// One monitored peer's BGP UPDATE, verbatim.
+    RouteMonitoring {
+        /// Which peer the UPDATE came from.
+        peer: PeerHeader,
+        /// The embedded UPDATE.
+        update: UpdateMessage,
+    },
+    /// Periodic per-peer statistics.
+    StatsReport {
+        /// Which peer the stats concern.
+        peer: PeerHeader,
+        /// The counters.
+        stats: Vec<StatCounter>,
+    },
+    /// A monitored peer's session went down.
+    PeerDown {
+        /// Which peer went down.
+        peer: PeerHeader,
+        /// Why.
+        reason: PeerDownReason,
+    },
+    /// A monitored peer's session reached Established.
+    PeerUp(PeerUpMessage),
+    /// First message on a BMP session.
+    Initiation {
+        /// sysDescr/sysName/string TLVs.
+        info: Vec<InfoTlv>,
+    },
+    /// Last message on a BMP session.
+    Termination {
+        /// Reason/string TLVs.
+        info: Vec<InfoTlv>,
+    },
+}
+
+fn decode_embedded(b: &mut BytesMut, what: &'static str) -> Result<BgpMessage, BmpError> {
+    match BgpMessage::decode(b) {
+        Ok(Some(m)) => Ok(m),
+        Ok(None) => Err(BmpError::Truncated {
+            what,
+            needed: bgp_wire::MIN_MESSAGE_LEN,
+            have: b.len(),
+        }),
+        Err(e) => Err(BmpError::Bgp(e)),
+    }
+}
+
+fn encode_pdu(m: &BgpMessage, out: &mut BytesMut) -> Result<(), BmpError> {
+    m.encode(out).map_err(BmpError::Bgp)
+}
+
+impl BmpMessage {
+    /// The message's wire type code.
+    pub fn type_code(&self) -> u8 {
+        match self {
+            BmpMessage::RouteMonitoring { .. } => msg_type::ROUTE_MONITORING,
+            BmpMessage::StatsReport { .. } => msg_type::STATS_REPORT,
+            BmpMessage::PeerDown { .. } => msg_type::PEER_DOWN,
+            BmpMessage::PeerUp(_) => msg_type::PEER_UP,
+            BmpMessage::Initiation { .. } => msg_type::INITIATION,
+            BmpMessage::Termination { .. } => msg_type::TERMINATION,
+        }
+    }
+
+    /// Encodes the full frame (common header + body) into `out`.
+    pub fn encode(&self, out: &mut BytesMut) -> Result<(), BmpError> {
+        let mut body = BytesMut::new();
+        match self {
+            BmpMessage::RouteMonitoring { peer, update } => {
+                peer.encode(&mut body);
+                encode_pdu(&BgpMessage::Update(update.clone()), &mut body)?;
+            }
+            BmpMessage::StatsReport { peer, stats } => {
+                peer.encode(&mut body);
+                body.put_u32(stats.len() as u32);
+                for s in stats {
+                    body.put_u16(s.stat_type);
+                    if s.wide {
+                        body.put_u16(8);
+                        body.put_slice(&s.value.to_be_bytes());
+                    } else {
+                        body.put_u16(4);
+                        body.put_u32(s.value as u32);
+                    }
+                }
+            }
+            BmpMessage::PeerDown { peer, reason } => {
+                peer.encode(&mut body);
+                body.put_u8(reason.code());
+                match reason {
+                    PeerDownReason::LocalNotification(n)
+                    | PeerDownReason::RemoteNotification(n) => {
+                        encode_pdu(&BgpMessage::Notification(n.clone()), &mut body)?;
+                    }
+                    PeerDownReason::LocalFsm(code) => body.put_u16(*code),
+                    PeerDownReason::RemoteNoData | PeerDownReason::PeerDeconfigured => {}
+                }
+            }
+            BmpMessage::PeerUp(up) => {
+                up.peer.encode(&mut body);
+                body.put_slice(&up.local_address);
+                body.put_u16(up.local_port);
+                body.put_u16(up.remote_port);
+                encode_pdu(&BgpMessage::Open(up.sent_open.clone()), &mut body)?;
+                encode_pdu(&BgpMessage::Open(up.recv_open.clone()), &mut body)?;
+                encode_tlvs(&up.info, &mut body);
+            }
+            BmpMessage::Initiation { info } | BmpMessage::Termination { info } => {
+                encode_tlvs(info, &mut body);
+            }
+        }
+        let len = COMMON_HEADER_LEN + body.len();
+        if len > MAX_FRAME_LEN {
+            return Err(BmpError::BadLength(len as u32));
+        }
+        out.reserve(len);
+        out.put_u8(BMP_VERSION);
+        out.put_u32(len as u32);
+        out.put_u8(self.type_code());
+        out.extend_from_slice(&body);
+        Ok(())
+    }
+
+    /// Encodes into a fresh buffer.
+    pub fn encode_to_vec(&self) -> Result<Vec<u8>, BmpError> {
+        let mut b = BytesMut::new();
+        self.encode(&mut b)?;
+        Ok(b.to_vec())
+    }
+
+    /// Attempts to decode one frame from the front of `buf`.
+    ///
+    /// `Ok(None)` means the buffer does not yet hold a complete frame
+    /// (stream decoding); success consumes exactly the frame's bytes.
+    pub fn decode(buf: &mut BytesMut) -> Result<Option<BmpMessage>, BmpError> {
+        if buf.is_empty() {
+            return Ok(None);
+        }
+        // version first: a wrong byte here means the stream is not BMP at
+        // all, so fail fast instead of trusting a garbage length field
+        if buf[0] != BMP_VERSION {
+            return Err(BmpError::BadVersion(buf[0]));
+        }
+        if buf.len() < COMMON_HEADER_LEN {
+            return Ok(None);
+        }
+        let len = u32::from_be_bytes([buf[1], buf[2], buf[3], buf[4]]) as usize;
+        if !(COMMON_HEADER_LEN..=MAX_FRAME_LEN).contains(&len) {
+            return Err(BmpError::BadLength(len as u32));
+        }
+        if buf.len() < len {
+            return Ok(None);
+        }
+        let ty = buf[5];
+        let mut body = buf.split_to(len);
+        body.advance(COMMON_HEADER_LEN);
+        let decoded = match ty {
+            msg_type::ROUTE_MONITORING => {
+                let peer = PeerHeader::decode(&mut body)?;
+                let update = match decode_embedded(&mut body, "Route Monitoring PDU")? {
+                    BgpMessage::Update(u) => u,
+                    other => {
+                        return Err(BmpError::EmbeddedType {
+                            what: "Route Monitoring",
+                            found: other.type_code(),
+                        })
+                    }
+                };
+                BmpMessage::RouteMonitoring { peer, update }
+            }
+            msg_type::STATS_REPORT => {
+                let peer = PeerHeader::decode(&mut body)?;
+                if body.len() < 4 {
+                    return Err(BmpError::Truncated {
+                        what: "stats count",
+                        needed: 4,
+                        have: body.len(),
+                    });
+                }
+                let count = body.get_u32() as usize;
+                let mut stats = Vec::new();
+                for _ in 0..count {
+                    if body.len() < 4 {
+                        return Err(BmpError::BadTlv("stat header shorter than 4 bytes"));
+                    }
+                    let stat_type = body.get_u16();
+                    let slen = body.get_u16() as usize;
+                    if body.len() < slen {
+                        return Err(BmpError::BadTlv("stat value overruns frame"));
+                    }
+                    let stat = match slen {
+                        4 => StatCounter::counter(stat_type, body.get_u32()),
+                        8 => {
+                            let mut v = [0u8; 8];
+                            v.copy_from_slice(&body.chunk()[..8]);
+                            body.advance(8);
+                            StatCounter::gauge(stat_type, u64::from_be_bytes(v))
+                        }
+                        _ => return Err(BmpError::BadTlv("stat value is neither 4 nor 8 bytes")),
+                    };
+                    stats.push(stat);
+                }
+                BmpMessage::StatsReport { peer, stats }
+            }
+            msg_type::PEER_DOWN => {
+                let peer = PeerHeader::decode(&mut body)?;
+                if body.is_empty() {
+                    return Err(BmpError::Truncated {
+                        what: "Peer Down reason",
+                        needed: 1,
+                        have: 0,
+                    });
+                }
+                let code = body.get_u8();
+                let reason = match code {
+                    1 | 3 => {
+                        let n = match decode_embedded(&mut body, "Peer Down NOTIFICATION")? {
+                            BgpMessage::Notification(n) => n,
+                            other => {
+                                return Err(BmpError::EmbeddedType {
+                                    what: "Peer Down",
+                                    found: other.type_code(),
+                                })
+                            }
+                        };
+                        if code == 1 {
+                            PeerDownReason::LocalNotification(n)
+                        } else {
+                            PeerDownReason::RemoteNotification(n)
+                        }
+                    }
+                    2 => {
+                        if body.len() < 2 {
+                            return Err(BmpError::Truncated {
+                                what: "Peer Down FSM code",
+                                needed: 2,
+                                have: body.len(),
+                            });
+                        }
+                        PeerDownReason::LocalFsm(body.get_u16())
+                    }
+                    4 => PeerDownReason::RemoteNoData,
+                    5 => PeerDownReason::PeerDeconfigured,
+                    other => return Err(BmpError::BadPeerDownReason(other)),
+                };
+                BmpMessage::PeerDown { peer, reason }
+            }
+            msg_type::PEER_UP => {
+                let peer = PeerHeader::decode(&mut body)?;
+                if body.len() < 20 {
+                    return Err(BmpError::Truncated {
+                        what: "Peer Up local address/ports",
+                        needed: 20,
+                        have: body.len(),
+                    });
+                }
+                let mut local_address = [0u8; 16];
+                local_address.copy_from_slice(&body.chunk()[..16]);
+                body.advance(16);
+                let local_port = body.get_u16();
+                let remote_port = body.get_u16();
+                let sent_open = match decode_embedded(&mut body, "Peer Up sent OPEN")? {
+                    BgpMessage::Open(o) => o,
+                    other => {
+                        return Err(BmpError::EmbeddedType {
+                            what: "Peer Up sent OPEN",
+                            found: other.type_code(),
+                        })
+                    }
+                };
+                let recv_open = match decode_embedded(&mut body, "Peer Up received OPEN")? {
+                    BgpMessage::Open(o) => o,
+                    other => {
+                        return Err(BmpError::EmbeddedType {
+                            what: "Peer Up received OPEN",
+                            found: other.type_code(),
+                        })
+                    }
+                };
+                let info = decode_tlvs(&mut body)?;
+                body = BytesMut::new(); // decode_tlvs consumed to the end
+                BmpMessage::PeerUp(PeerUpMessage {
+                    peer,
+                    local_address,
+                    local_port,
+                    remote_port,
+                    sent_open,
+                    recv_open,
+                    info,
+                })
+            }
+            msg_type::INITIATION => {
+                let info = decode_tlvs(&mut body)?;
+                body = BytesMut::new();
+                BmpMessage::Initiation { info }
+            }
+            msg_type::TERMINATION => {
+                let info = decode_tlvs(&mut body)?;
+                body = BytesMut::new();
+                BmpMessage::Termination { info }
+            }
+            other => return Err(BmpError::UnknownMessageType(other)),
+        };
+        if !body.is_empty() {
+            return Err(BmpError::TrailingBytes {
+                what: match ty {
+                    msg_type::ROUTE_MONITORING => "Route Monitoring",
+                    msg_type::STATS_REPORT => "Stats Report",
+                    msg_type::PEER_DOWN => "Peer Down",
+                    _ => "Peer Up",
+                },
+                extra: body.len(),
+            });
+        }
+        Ok(Some(decoded))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgp_types::{AsPath, Asn, Prefix};
+
+    fn peer() -> PeerHeader {
+        PeerHeader::v4(65010, Ipv4Addr::new(10, 0, 0, 1), 0, 1_723_000_123_456)
+    }
+
+    fn sample_update() -> UpdateMessage {
+        UpdateMessage::announce(
+            Prefix::synthetic(42),
+            AsPath::from_iter([Asn(65010), Asn(2), Asn(3)]),
+            Ipv4Addr::new(10, 0, 0, 1),
+            vec![],
+        )
+    }
+
+    fn roundtrip(m: BmpMessage) -> BmpMessage {
+        let bytes = m.encode_to_vec().unwrap();
+        let mut buf = BytesMut::from(&bytes[..]);
+        let back = BmpMessage::decode(&mut buf).unwrap().unwrap();
+        assert!(buf.is_empty(), "frame fully consumed");
+        back
+    }
+
+    #[test]
+    fn route_monitoring_roundtrip() {
+        let m = BmpMessage::RouteMonitoring {
+            peer: peer(),
+            update: sample_update(),
+        };
+        assert_eq!(roundtrip(m.clone()), m);
+    }
+
+    #[test]
+    fn peer_up_roundtrip() {
+        let mut local = [0u8; 16];
+        local[12..].copy_from_slice(&[10, 0, 0, 254]);
+        let m = BmpMessage::PeerUp(PeerUpMessage {
+            peer: peer(),
+            local_address: local,
+            local_port: 179,
+            remote_port: 40001,
+            sent_open: OpenMessage::new(Asn(65535), 90, Ipv4Addr::new(10, 0, 0, 254)),
+            recv_open: OpenMessage::new(Asn(65010), 180, Ipv4Addr::new(10, 0, 0, 1)),
+            info: vec![InfoTlv::string(info_type::STRING, "edge peer")],
+        });
+        assert_eq!(roundtrip(m.clone()), m);
+    }
+
+    #[test]
+    fn peer_down_all_reasons_roundtrip() {
+        for reason in [
+            PeerDownReason::LocalNotification(Notification::cease()),
+            PeerDownReason::LocalFsm(18),
+            PeerDownReason::RemoteNotification(Notification::cease()),
+            PeerDownReason::RemoteNoData,
+            PeerDownReason::PeerDeconfigured,
+        ] {
+            let m = BmpMessage::PeerDown {
+                peer: peer(),
+                reason,
+            };
+            assert_eq!(roundtrip(m.clone()), m);
+        }
+    }
+
+    #[test]
+    fn stats_report_roundtrip_mixed_widths() {
+        let m = BmpMessage::StatsReport {
+            peer: peer(),
+            stats: vec![
+                StatCounter::counter(0, 12),
+                StatCounter::gauge(7, 0x1_0000_0001),
+                StatCounter::counter(11, 3),
+            ],
+        };
+        assert_eq!(roundtrip(m.clone()), m);
+    }
+
+    #[test]
+    fn initiation_and_termination_roundtrip() {
+        let m = BmpMessage::Initiation {
+            info: vec![
+                InfoTlv::string(info_type::SYS_NAME, "r7.example"),
+                InfoTlv::string(info_type::SYS_DESCR, "gill test router"),
+            ],
+        };
+        let back = roundtrip(m.clone());
+        assert_eq!(back, m);
+        if let BmpMessage::Initiation { info } = &back {
+            assert_eq!(tlv_text(info, info_type::SYS_NAME), Some("r7.example"));
+        }
+        let t = BmpMessage::Termination {
+            info: vec![InfoTlv::string(info_type::STRING, "maintenance")],
+        };
+        assert_eq!(roundtrip(t.clone()), t);
+    }
+
+    #[test]
+    fn streaming_decode_is_incremental() {
+        let m = BmpMessage::RouteMonitoring {
+            peer: peer(),
+            update: sample_update(),
+        };
+        let bytes = m.encode_to_vec().unwrap();
+        let mut buf = BytesMut::new();
+        for (i, &b) in bytes.iter().enumerate() {
+            buf.extend_from_slice(&[b]);
+            let r = BmpMessage::decode(&mut buf).unwrap();
+            if i + 1 < bytes.len() {
+                assert!(r.is_none(), "byte {i}: incomplete frame must wait");
+            } else {
+                assert_eq!(r.unwrap(), m);
+            }
+        }
+    }
+
+    #[test]
+    fn two_frames_coalesced_decode_in_order() {
+        let a = BmpMessage::Initiation { info: vec![] };
+        let b = BmpMessage::Termination { info: vec![] };
+        let mut bytes = a.encode_to_vec().unwrap();
+        bytes.extend(b.encode_to_vec().unwrap());
+        let mut buf = BytesMut::from(&bytes[..]);
+        assert_eq!(BmpMessage::decode(&mut buf).unwrap().unwrap(), a);
+        assert_eq!(BmpMessage::decode(&mut buf).unwrap().unwrap(), b);
+        assert!(BmpMessage::decode(&mut buf).unwrap().is_none());
+    }
+
+    #[test]
+    fn bad_version_fails_fast() {
+        let mut bytes = BmpMessage::Initiation { info: vec![] }
+            .encode_to_vec()
+            .unwrap();
+        bytes[0] = 2;
+        let mut buf = BytesMut::from(&bytes[..]);
+        assert_eq!(BmpMessage::decode(&mut buf), Err(BmpError::BadVersion(2)));
+    }
+
+    #[test]
+    fn absurd_length_is_rejected() {
+        let mut buf = BytesMut::from(&[3u8, 0xff, 0xff, 0xff, 0xff, 0][..]);
+        assert!(matches!(
+            BmpMessage::decode(&mut buf),
+            Err(BmpError::BadLength(_))
+        ));
+        let mut short = BytesMut::from(&[3u8, 0, 0, 0, 5, 0][..]);
+        assert_eq!(BmpMessage::decode(&mut short), Err(BmpError::BadLength(5)));
+    }
+
+    #[test]
+    fn unknown_type_is_rejected() {
+        let mut bytes = BmpMessage::Initiation { info: vec![] }
+            .encode_to_vec()
+            .unwrap();
+        bytes[5] = 9;
+        let mut buf = BytesMut::from(&bytes[..]);
+        assert_eq!(
+            BmpMessage::decode(&mut buf),
+            Err(BmpError::UnknownMessageType(9))
+        );
+    }
+
+    #[test]
+    fn wrong_embedded_pdu_type_is_rejected() {
+        // a Route Monitoring frame whose embedded PDU is a KEEPALIVE
+        let mut body = BytesMut::new();
+        peer().encode(&mut body);
+        BgpMessage::Keepalive.encode(&mut body).unwrap();
+        let mut frame = BytesMut::new();
+        frame.put_u8(BMP_VERSION);
+        frame.put_u32((COMMON_HEADER_LEN + body.len()) as u32);
+        frame.put_u8(msg_type::ROUTE_MONITORING);
+        frame.extend_from_slice(&body);
+        assert_eq!(
+            BmpMessage::decode(&mut frame),
+            Err(BmpError::EmbeddedType {
+                what: "Route Monitoring",
+                found: 4
+            })
+        );
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let m = BmpMessage::PeerDown {
+            peer: peer(),
+            reason: PeerDownReason::RemoteNoData,
+        };
+        let mut bytes = m.encode_to_vec().unwrap();
+        bytes.push(0xaa);
+        // fix up the length to include the junk byte
+        let len = bytes.len() as u32;
+        bytes[1..5].copy_from_slice(&len.to_be_bytes());
+        let mut buf = BytesMut::from(&bytes[..]);
+        assert!(matches!(
+            BmpMessage::decode(&mut buf),
+            Err(BmpError::TrailingBytes { extra: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn peer_header_timestamp_and_address_helpers() {
+        let p = peer();
+        assert_eq!(p.ts_ms(), 1_723_000_123_456);
+        assert_eq!(p.addr_v4(), Some(Ipv4Addr::new(10, 0, 0, 1)));
+        assert_eq!(p.addr_string(), "10.0.0.1");
+        let mut v6 = p;
+        v6.address[0] = 0x20;
+        assert_eq!(v6.addr_v4(), None);
+        assert!(v6.addr_string().contains(':'));
+    }
+
+    #[test]
+    fn bad_stat_width_is_typed() {
+        let mut body = BytesMut::new();
+        peer().encode(&mut body);
+        body.put_u32(1);
+        body.put_u16(0);
+        body.put_u16(3); // neither 4 nor 8
+        body.put_slice(&[0, 0, 0]);
+        let mut frame = BytesMut::new();
+        frame.put_u8(BMP_VERSION);
+        frame.put_u32((COMMON_HEADER_LEN + body.len()) as u32);
+        frame.put_u8(msg_type::STATS_REPORT);
+        frame.extend_from_slice(&body);
+        assert!(matches!(
+            BmpMessage::decode(&mut frame),
+            Err(BmpError::BadTlv(_))
+        ));
+    }
+}

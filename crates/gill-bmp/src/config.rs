@@ -1,0 +1,275 @@
+//! TOML-ish BMP configuration: listener instances, peer allowlists and
+//! per-peer-address overrides.
+//!
+//! The grammar is the small TOML subset the rest of the workspace already
+//! favors — sections, `key = value` pairs, `"quoted strings"` and bare
+//! integers — parsed by hand so the offline build needs no TOML crate:
+//!
+//! ```text
+//! # one section per listener socket
+//! [[listener]]
+//! bind = "0.0.0.0:11019"
+//! idle-timeout-ms = 60000
+//!
+//! [[listener]]
+//! bind = "127.0.0.1:11020"
+//!
+//! # session-wide peer policy
+//! [peers]
+//! allow = "65010 65011 65012"     # space-separated ASNs, or omit for any
+//!
+//! # per-peer-address overrides (keyed by the per-peer header address)
+//! [peer."10.0.0.1"]
+//! name = "fra1-r7"
+//! asn = 64512
+//! router = 7
+//! ```
+
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One listening socket.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ListenerConfig {
+    /// Bind address, `host:port` (port 0 for ephemeral).
+    pub bind: String,
+    /// Per-session idle timeout in ms (0 disables).
+    pub idle_timeout_ms: u64,
+}
+
+/// Per-address identity overrides applied at Peer Up.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PeerOverride {
+    /// Operator-assigned peer name.
+    pub name: Option<String>,
+    /// Pin the VP's ASN (overriding the per-peer header's).
+    pub asn: Option<u32>,
+    /// Pin the VP's router discriminator (overriding arrival-order
+    /// allocation).
+    pub router: Option<u16>,
+}
+
+/// Session-wide peer policy: who may register, and under what identity.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PeerPolicy {
+    /// ASNs allowed to register via Peer Up; `None` allows any.
+    pub allow: Option<BTreeSet<u32>>,
+    /// Overrides keyed by the rendered peer address (dotted quad for
+    /// IPv4).
+    pub overrides: BTreeMap<String, PeerOverride>,
+}
+
+impl PeerPolicy {
+    /// Whether a peer with this (post-override) ASN may register.
+    pub fn allows(&self, asn: u32) -> bool {
+        self.allow.as_ref().is_none_or(|set| set.contains(&asn))
+    }
+
+    /// The override for a peer address, if configured.
+    pub fn override_for(&self, addr: &str) -> Option<&PeerOverride> {
+        self.overrides.get(addr)
+    }
+}
+
+/// The full BMP subsystem configuration.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BmpConfig {
+    /// Listener instances (at least one for a running pool).
+    pub listeners: Vec<ListenerConfig>,
+    /// Peer policy shared by every session.
+    pub policy: PeerPolicy,
+}
+
+impl BmpConfig {
+    /// A config with a single allow-all listener on `bind`.
+    pub fn single(bind: &str) -> BmpConfig {
+        BmpConfig {
+            listeners: vec![ListenerConfig {
+                bind: bind.to_string(),
+                idle_timeout_ms: 0,
+            }],
+            policy: PeerPolicy::default(),
+        }
+    }
+
+    /// Parses the config grammar documented at the module level.
+    pub fn parse(text: &str) -> Result<BmpConfig, String> {
+        #[derive(PartialEq)]
+        enum Section {
+            None,
+            Listener(usize),
+            Peers,
+            Peer(String),
+        }
+        let mut cfg = BmpConfig::default();
+        let mut section = Section::None;
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            let err = |msg: &str| format!("line {}: {msg}", lineno + 1);
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if line == "[[listener]]" {
+                cfg.listeners.push(ListenerConfig {
+                    bind: String::new(),
+                    idle_timeout_ms: 0,
+                });
+                section = Section::Listener(cfg.listeners.len() - 1);
+                continue;
+            }
+            if line == "[peers]" {
+                section = Section::Peers;
+                continue;
+            }
+            if let Some(inner) = line
+                .strip_prefix("[peer.")
+                .and_then(|s| s.strip_suffix(']'))
+            {
+                let addr = inner
+                    .strip_prefix('"')
+                    .and_then(|s| s.strip_suffix('"'))
+                    .ok_or_else(|| err("expected [peer.\"ADDR\"]"))?;
+                cfg.policy
+                    .overrides
+                    .entry(addr.to_string())
+                    .or_insert_with(PeerOverride::default);
+                section = Section::Peer(addr.to_string());
+                continue;
+            }
+            if line.starts_with('[') {
+                return Err(err("unknown section"));
+            }
+            let (key, value) = line
+                .split_once('=')
+                .map(|(k, v)| (k.trim(), v.trim()))
+                .ok_or_else(|| err("expected key = value"))?;
+            let as_str = || -> Result<&str, String> {
+                value
+                    .strip_prefix('"')
+                    .and_then(|s| s.strip_suffix('"'))
+                    .ok_or_else(|| err("expected a quoted string"))
+            };
+            let as_u64 = || -> Result<u64, String> {
+                value.parse::<u64>().map_err(|_| err("expected an integer"))
+            };
+            match (&mut section, key) {
+                (Section::Listener(i), "bind") => cfg.listeners[*i].bind = as_str()?.to_string(),
+                (Section::Listener(i), "idle-timeout-ms") => {
+                    cfg.listeners[*i].idle_timeout_ms = as_u64()?;
+                }
+                (Section::Peers, "allow") => {
+                    let mut set = BTreeSet::new();
+                    for tok in as_str()?.split_whitespace() {
+                        if tok == "any" {
+                            cfg.policy.allow = None;
+                            set.clear();
+                            break;
+                        }
+                        set.insert(
+                            tok.parse::<u32>()
+                                .map_err(|_| err("allow: expected ASN or `any`"))?,
+                        );
+                    }
+                    if !set.is_empty() {
+                        cfg.policy.allow = Some(set);
+                    }
+                }
+                (Section::Peer(addr), "name") => {
+                    cfg.policy.overrides.get_mut(addr.as_str()).unwrap().name =
+                        Some(as_str()?.to_string());
+                }
+                (Section::Peer(addr), "asn") => {
+                    cfg.policy.overrides.get_mut(addr.as_str()).unwrap().asn =
+                        Some(as_u64()? as u32);
+                }
+                (Section::Peer(addr), "router") => {
+                    cfg.policy.overrides.get_mut(addr.as_str()).unwrap().router =
+                        Some(as_u64()? as u16);
+                }
+                (Section::None, _) => return Err(err("key outside any section")),
+                _ => return Err(err("unknown key for this section")),
+            }
+        }
+        for (i, l) in cfg.listeners.iter().enumerate() {
+            if l.bind.is_empty() {
+                return Err(format!("listener {} has no bind address", i + 1));
+            }
+        }
+        Ok(cfg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"
+# gill-bmp example
+[[listener]]
+bind = "127.0.0.1:11019"
+idle-timeout-ms = 60000
+
+[[listener]]
+bind = "127.0.0.1:0"
+
+[peers]
+allow = "65010 65011"
+
+[peer."10.0.0.1"]
+name = "fra1-r7"
+asn = 64512
+router = 7
+
+[peer."10.0.0.2"]
+name = "ams2-r1"
+"#;
+
+    #[test]
+    fn parses_the_full_grammar() {
+        let cfg = BmpConfig::parse(SAMPLE).unwrap();
+        assert_eq!(cfg.listeners.len(), 2);
+        assert_eq!(cfg.listeners[0].bind, "127.0.0.1:11019");
+        assert_eq!(cfg.listeners[0].idle_timeout_ms, 60_000);
+        assert_eq!(cfg.listeners[1].idle_timeout_ms, 0);
+        assert!(cfg.policy.allows(65010));
+        assert!(!cfg.policy.allows(65012));
+        let o = cfg.policy.override_for("10.0.0.1").unwrap();
+        assert_eq!(o.name.as_deref(), Some("fra1-r7"));
+        assert_eq!(o.asn, Some(64512));
+        assert_eq!(o.router, Some(7));
+        assert_eq!(
+            cfg.policy.override_for("10.0.0.2").unwrap().router,
+            None,
+            "partial overrides leave the rest defaulted"
+        );
+    }
+
+    #[test]
+    fn allow_any_clears_the_allowlist() {
+        let cfg = BmpConfig::parse("[peers]\nallow = \"any\"\n").unwrap();
+        assert!(cfg.policy.allows(1));
+        assert!(cfg.policy.allow.is_none());
+    }
+
+    #[test]
+    fn default_policy_allows_everyone() {
+        assert!(PeerPolicy::default().allows(4_200_000_000));
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = BmpConfig::parse("[[listener]]\nbind 127.0.0.1\n").unwrap_err();
+        assert!(e.contains("line 2"), "{e}");
+        assert!(BmpConfig::parse("[[listener]]\n").is_err(), "missing bind");
+        assert!(BmpConfig::parse("bind = \"x\"\n").is_err(), "no section");
+        assert!(BmpConfig::parse("[wat]\n").is_err());
+        assert!(BmpConfig::parse("[peer.10.0.0.1]\n").is_err(), "unquoted");
+        assert!(BmpConfig::parse("[[listener]]\nidle-timeout-ms = \"x\"\n").is_err());
+    }
+
+    #[test]
+    fn single_is_allow_all() {
+        let cfg = BmpConfig::single("127.0.0.1:0");
+        assert_eq!(cfg.listeners.len(), 1);
+        assert!(cfg.policy.allows(12345));
+    }
+}

@@ -1,0 +1,237 @@
+//! The BMP runtime: accept loops, the per-session drive loop, and the
+//! shared counter ledger.
+//!
+//! [`run_bmp_session`] is generic over [`Transport`], so the exact loop
+//! that serves TCP routers also runs over `SimTransport` in tests, the
+//! soak harness, and `bench_bmp`. Accepted routes are handed to
+//! [`SessionCtx::offer`] — the same mirror → validate → filter → sink →
+//! bounded-queue pipeline BGP sessions feed — so BMP inherits every
+//! downstream accounting invariant for free.
+
+use crate::config::BmpConfig;
+use crate::fsm::{BmpCloseReason, BmpEvent, BmpFsm, BmpSessionConfig};
+use bgp_types::Timestamp;
+use gill_collector::daemon::SessionCtx;
+use gill_collector::transport::{Clock, SystemClock, Transport};
+use std::io;
+use std::net::{SocketAddr, TcpListener};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Shared counters for the BMP subsystem, in the style of
+/// `gill_collector::daemon::DaemonStats`. Message-level counters are
+/// incremented live by the drive loop (so `/health`-style probes see
+/// progress mid-session), session counters at open/close.
+#[derive(Default, Debug)]
+pub struct BmpStats {
+    /// BMP sessions that sent a valid Initiation.
+    pub sessions_opened: AtomicUsize,
+    /// BMP sessions that ended (any reason).
+    pub sessions_closed: AtomicUsize,
+    /// Sessions that died before Initiation (garbage, wrong protocol).
+    pub initiation_failures: AtomicUsize,
+    /// Monitored peers registered via Peer Up, across all sessions.
+    pub peers_up: AtomicUsize,
+    /// Monitored peers torn down via Peer Down.
+    pub peers_down: AtomicUsize,
+    /// Route Monitoring UPDATEs delivered into the pipeline.
+    pub updates: AtomicUsize,
+    /// Stats Reports received for registered peers.
+    pub stats_reports: AtomicUsize,
+    /// Frames for unregistered peers (dropped, counted, never guessed).
+    pub unknown_peer: AtomicUsize,
+    /// Peer Ups rejected by the ASN allowlist.
+    pub peers_denied: AtomicUsize,
+    /// Duplicate Peer Ups (existing demux entry kept).
+    pub duplicate_peer_ups: AtomicUsize,
+    /// Sessions closed by the idle timer.
+    pub idle_timeouts: AtomicUsize,
+    /// Sessions closed by decode or protocol errors.
+    pub protocol_errors: AtomicUsize,
+    /// Sessions closed by a clean Termination message.
+    pub terminations: AtomicUsize,
+}
+
+/// Upper bound on one blocking read so idle-timer ticks stay responsive.
+const MAX_READ_SLICE_MS: u64 = 500;
+
+/// Drives one BMP session over `transport` until it closes, feeding every
+/// accepted UPDATE through `ctx` attributed to its demuxed [`bgp_types::VpId`].
+/// Returns the close reason (an `Err` only for unexpected transport
+/// failures; session-level failures are reasons).
+pub fn run_bmp_session<T: Transport>(
+    mut transport: T,
+    cfg: BmpSessionConfig,
+    ctx: &SessionCtx,
+    stats: &BmpStats,
+    clock: &dyn Clock,
+) -> io::Result<BmpCloseReason> {
+    let mut fsm = BmpFsm::new(cfg, clock.now_ms());
+    let mut chunk = vec![0u8; 16 * 1024];
+    let mut started = false;
+    loop {
+        while let Some(event) = fsm.poll_event() {
+            match event {
+                BmpEvent::SessionStarted { .. } => {
+                    started = true;
+                    stats.sessions_opened.fetch_add(1, Ordering::Relaxed);
+                }
+                BmpEvent::PeerUp { .. } => {
+                    stats.peers_up.fetch_add(1, Ordering::Relaxed);
+                }
+                BmpEvent::PeerDown { .. } => {
+                    stats.peers_down.fetch_add(1, Ordering::Relaxed);
+                }
+                BmpEvent::Update { vp, update, ts_ms } => {
+                    stats.updates.fetch_add(1, Ordering::Relaxed);
+                    ctx.offer(vp, update, Timestamp::from_millis(ts_ms));
+                }
+                BmpEvent::Stats { .. } => {
+                    stats.stats_reports.fetch_add(1, Ordering::Relaxed);
+                }
+                BmpEvent::Closed(reason) => {
+                    let ledger = fsm.ledger();
+                    stats
+                        .unknown_peer
+                        .fetch_add(ledger.unknown_peer as usize, Ordering::Relaxed);
+                    stats
+                        .peers_denied
+                        .fetch_add(ledger.denied_peers as usize, Ordering::Relaxed);
+                    stats
+                        .duplicate_peer_ups
+                        .fetch_add(ledger.duplicate_peer_ups as usize, Ordering::Relaxed);
+                    if started {
+                        stats.sessions_closed.fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        stats.initiation_failures.fetch_add(1, Ordering::Relaxed);
+                    }
+                    match &reason {
+                        BmpCloseReason::Terminated => {
+                            stats.terminations.fetch_add(1, Ordering::Relaxed);
+                        }
+                        BmpCloseReason::IdleTimeout => {
+                            stats.idle_timeouts.fetch_add(1, Ordering::Relaxed);
+                        }
+                        BmpCloseReason::DecodeError(_) | BmpCloseReason::ProtocolError(_) => {
+                            stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                        }
+                        _ => {}
+                    }
+                    transport.shutdown();
+                    return Ok(reason);
+                }
+            }
+        }
+        let now = clock.now_ms();
+        let timeout = fsm
+            .next_deadline_ms()
+            .map(|d| d.saturating_sub(now).clamp(1, MAX_READ_SLICE_MS))
+            .unwrap_or(MAX_READ_SLICE_MS);
+        transport.set_read_timeout(Some(Duration::from_millis(timeout)))?;
+        match transport.read(&mut chunk[..]) {
+            Ok(0) => fsm.handle_eof(clock.now_ms()),
+            Ok(n) => fsm.handle_bytes(&chunk[..n], clock.now_ms()),
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                fsm.tick(clock.now_ms());
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// A pool of BMP listeners: one accept thread per configured listener,
+/// one session thread per connected router, all sharing one
+/// [`SessionCtx`] pipeline and one [`BmpStats`] ledger.
+pub struct BmpPool {
+    stats: Arc<BmpStats>,
+    stop: Arc<AtomicBool>,
+    accept_threads: Vec<std::thread::JoinHandle<()>>,
+    local_addrs: Vec<SocketAddr>,
+}
+
+impl BmpPool {
+    /// Binds every configured listener and starts accepting routers.
+    /// Sessions publish through `ctx` — typically
+    /// `DaemonPool::session_ctx()`, so BGP and BMP share one pipeline.
+    pub fn start(cfg: &BmpConfig, ctx: SessionCtx) -> io::Result<BmpPool> {
+        let stats = Arc::new(BmpStats::default());
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut accept_threads = Vec::new();
+        let mut local_addrs = Vec::new();
+        for lst in &cfg.listeners {
+            let listener = TcpListener::bind(&lst.bind)?;
+            local_addrs.push(listener.local_addr()?);
+            listener.set_nonblocking(true)?;
+            let session_cfg = BmpSessionConfig {
+                idle_timeout_ms: lst.idle_timeout_ms,
+                policy: cfg.policy.clone(),
+            };
+            let stats = stats.clone();
+            let stop = stop.clone();
+            let ctx = ctx.clone();
+            accept_threads.push(std::thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            stream.set_nonblocking(false).ok();
+                            let ctx = ctx.clone();
+                            let stats = stats.clone();
+                            let session_cfg = session_cfg.clone();
+                            std::thread::spawn(move || {
+                                let clock = SystemClock::new();
+                                let _ = run_bmp_session(stream, session_cfg, &ctx, &stats, &clock);
+                            });
+                        }
+                        Err(ref e) if e.kind() == io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_millis(5));
+                        }
+                        Err(_) => break,
+                    }
+                }
+            }));
+        }
+        Ok(BmpPool {
+            stats,
+            stop,
+            accept_threads,
+            local_addrs,
+        })
+    }
+
+    /// Addresses routers should connect to, one per listener.
+    pub fn local_addrs(&self) -> &[SocketAddr] {
+        &self.local_addrs
+    }
+
+    /// Live counters (shared with every session).
+    pub fn stats(&self) -> &Arc<BmpStats> {
+        &self.stats
+    }
+
+    /// Signals shutdown without joining (usable through a shared
+    /// reference from inside a thread scope).
+    pub fn request_stop(&self) {
+        self.stop.store(true, Ordering::Relaxed);
+    }
+
+    /// Stops accepting; session threads exit as routers disconnect.
+    pub fn stop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        for t in self.accept_threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for BmpPool {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}

@@ -478,6 +478,15 @@ impl SessionCtx {
         self
     }
 
+    /// Offers one received UPDATE into the pipeline on behalf of `vp`.
+    /// This is the entry point for non-BGP ingest paths (the BMP
+    /// subsystem demuxes many monitored peers onto it), so every protocol
+    /// shares the same mirror → validate → filter → sink → queue
+    /// accounting. Returns `false` when the queue is gone.
+    pub fn offer(&self, vp: VpId, wire: bgp_wire::UpdateMessage, now: Timestamp) -> bool {
+        self.ingest(vp, wire, now)
+    }
+
     /// Runs one received UPDATE through the mirror tee, validation,
     /// forwarding, filtering and the bounded queue. Returns `false` when
     /// the queue is gone.
@@ -613,6 +622,8 @@ pub struct DaemonPool {
     filters: Arc<FilterHandle>,
     validator: Option<Arc<RwLock<UpdateValidator>>>,
     forwarder: Arc<RwLock<Forwarder>>,
+    mirror_tx: Sender<BgpUpdate>,
+    sink: Option<Arc<dyn UpdateSink>>,
     queue_rx: Receiver<StoredUpdate>,
     queue_tx: Sender<StoredUpdate>,
     mirror_rx: Option<Receiver<BgpUpdate>>,
@@ -656,17 +667,18 @@ impl DaemonPool {
         // reconnect counter
         let known_peers: Arc<Mutex<std::collections::HashSet<VpId>>> =
             Arc::new(Mutex::new(std::collections::HashSet::new()));
+        let session_ctx = SessionCtx {
+            filters: filters.view(),
+            queue: queue_tx.clone(),
+            stats: stats.clone(),
+            validator: validator.clone(),
+            forwarder: Some(forwarder.clone()),
+            mirror: Some(mirror_tx.clone()),
+            mirror_on: mirror_on.clone(),
+            sink: sink.clone(),
+        };
         let accept_thread = {
-            let ctx = SessionCtx {
-                filters: filters.view(),
-                queue: queue_tx.clone(),
-                stats: stats.clone(),
-                validator: validator.clone(),
-                forwarder: Some(forwarder.clone()),
-                mirror: Some(mirror_tx),
-                mirror_on: mirror_on.clone(),
-                sink,
-            };
+            let ctx = session_ctx.clone();
             let stop = stop.clone();
             let cfg = cfg.clone();
             std::thread::spawn(move || {
@@ -709,6 +721,8 @@ impl DaemonPool {
             filters,
             validator,
             forwarder,
+            mirror_tx,
+            sink,
             queue_rx,
             queue_tx,
             mirror_rx: Some(mirror_rx),
@@ -769,6 +783,24 @@ impl DaemonPool {
     /// `/filters` endpoint, or hold to publish epochs directly).
     pub fn filter_handle(&self) -> &Arc<FilterHandle> {
         &self.filters
+    }
+
+    /// A fresh handle onto the shared session pipeline (its own filter
+    /// view cache, everything else shared), for wiring additional ingest
+    /// paths (e.g. a BMP listener pool) into the same filters, counters,
+    /// stream sink and bounded storage queue as the BGP sessions this
+    /// pool accepts.
+    pub fn session_ctx(&self) -> SessionCtx {
+        SessionCtx {
+            filters: self.filters.view(),
+            queue: self.queue_tx.clone(),
+            stats: self.stats.clone(),
+            validator: self.validator.clone(),
+            forwarder: Some(self.forwarder.clone()),
+            mirror: Some(self.mirror_tx.clone()),
+            mirror_on: self.mirror_on.clone(),
+            sink: self.sink.clone(),
+        }
     }
 
     /// Wires `orch` into the live pool as the §8 background refresh

@@ -1,0 +1,30 @@
+//! Property tests for the transport layer's fault-schedule grammar,
+//! kept next to the code they constrain (moved here from the root
+//! integration suite): every randomly generated schedule must survive a
+//! Display → parse round trip unchanged, so a schedule printed in a
+//! failing test's output always reproduces the exact same fault pattern
+//! when pasted back in.
+
+use gill_collector::transport::FaultSchedule;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn fault_schedule_grammar_roundtrip(seed in any::<u64>(), span in 1u64..100_000) {
+        let sched = FaultSchedule::random(seed, span);
+        let text = sched.to_string();
+        let back = FaultSchedule::parse(&text).unwrap();
+        prop_assert_eq!(back, sched);
+    }
+
+    #[test]
+    fn parse_rejects_garbage_without_panicking(noise in collection::vec(any::<u8>(), 0..48)) {
+        // arbitrary bytes (lossily stringified) either parse into a
+        // schedule that re-Displays consistently, or fail cleanly
+        let text = String::from_utf8_lossy(&noise).into_owned();
+        if let Ok(sched) = FaultSchedule::parse(&text) {
+            let back = FaultSchedule::parse(&sched.to_string()).unwrap();
+            prop_assert_eq!(back, sched);
+        }
+    }
+}

@@ -1,0 +1,211 @@
+//! Scenario → BMP bridge: renders a [`ScenarioItem`] stream as the BMP
+//! (RFC 7854) frames a monitoring router would emit, so the same seeded
+//! adversarial day can enter the collector through either protocol — BGP
+//! sessions or one BMP session carrying many monitored peers — under one
+//! transcript digest.
+//!
+//! The per-VP → per-peer-header mapping is the load-bearing part: peer
+//! `k` of the feed gets a unique synthetic address (`10.x.y.z` from its
+//! registration index), the VP's ASN in the per-peer header, and a Peer
+//! Up in registration order. The collector-side `BmpFsm` allocates router
+//! discriminators per ASN in Peer Up *arrival* order, so as long as VPs
+//! are registered in router order (the natural order of
+//! `World::vps()`-style lists), the demuxed [`VpId`] on the far side is
+//! bit-identical to the one the scenario generated — which is exactly
+//! what keeps a mixed BGP+BMP soak day on a single digest.
+
+use crate::engine::ScenarioItem;
+use bgp_types::{Asn, VpId};
+use bgp_wire::{OpenMessage, UpdateMessage};
+use gill_bmp::codec::{info_type, BmpMessage, InfoTlv, PeerHeader, PeerUpMessage};
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+/// Renders scenario updates as BMP frames for a fixed set of monitored
+/// peers (one per VP).
+#[derive(Clone, Debug)]
+pub struct BmpFeed {
+    peers: Vec<(VpId, Ipv4Addr)>,
+    addr_of: HashMap<VpId, Ipv4Addr>,
+}
+
+impl BmpFeed {
+    /// A feed monitoring `vps`, registered in the given order. Each VP's
+    /// router discriminator must equal its per-ASN arrival rank in the
+    /// slice (true for any list of distinct-ASN VPs, and for multi-router
+    /// VPs listed in router order) — that is what makes the collector's
+    /// arrival-order demux reproduce the same [`VpId`]s.
+    pub fn new(vps: &[VpId]) -> BmpFeed {
+        let mut rank: HashMap<Asn, u16> = HashMap::new();
+        let mut peers = Vec::with_capacity(vps.len());
+        let mut addr_of = HashMap::with_capacity(vps.len());
+        for (i, &vp) in vps.iter().enumerate() {
+            let r = rank.entry(vp.asn).or_insert(0);
+            assert_eq!(
+                vp.router, *r,
+                "BmpFeed: VP {vp:?} out of router order (arrival rank {r})"
+            );
+            *r += 1;
+            // unique synthetic peer address from the registration index
+            let addr = Ipv4Addr::from(0x0a00_0000 | (i as u32 + 1));
+            peers.push((vp, addr));
+            addr_of.insert(vp, addr);
+        }
+        BmpFeed { peers, addr_of }
+    }
+
+    /// The monitored peers in registration order, with their addresses.
+    pub fn peers(&self) -> &[(VpId, Ipv4Addr)] {
+        &self.peers
+    }
+
+    /// The per-peer header for `vp` at scenario time `ts_ms`, or `None`
+    /// for a VP outside the feed.
+    pub fn peer_header(&self, vp: VpId, ts_ms: u64) -> Option<PeerHeader> {
+        let addr = *self.addr_of.get(&vp)?;
+        Some(PeerHeader::v4(vp.asn.value(), addr, 0, ts_ms))
+    }
+
+    /// The session-opening Initiation frame.
+    pub fn initiation_frame(sys_name: &str) -> Vec<u8> {
+        BmpMessage::Initiation {
+            info: vec![
+                InfoTlv::string(info_type::SYS_DESCR, "gill scenario feed"),
+                InfoTlv::string(info_type::SYS_NAME, sys_name),
+            ],
+        }
+        .encode_to_vec()
+        .expect("initiation frame encodes")
+    }
+
+    /// One Peer Up frame per monitored peer, in registration order,
+    /// timestamped `ts_ms`. Send these right after the Initiation.
+    pub fn peer_up_frames(&self, ts_ms: u64) -> Vec<Vec<u8>> {
+        let mut local = [0u8; 16];
+        local[12..].copy_from_slice(&[10, 255, 0, 254]);
+        self.peers
+            .iter()
+            .map(|&(vp, addr)| {
+                BmpMessage::PeerUp(PeerUpMessage {
+                    peer: PeerHeader::v4(vp.asn.value(), addr, 0, ts_ms),
+                    local_address: local,
+                    local_port: 179,
+                    remote_port: 40_000,
+                    sent_open: OpenMessage::new(Asn(64_512), 180, Ipv4Addr::new(10, 255, 0, 254)),
+                    recv_open: OpenMessage::new(vp.asn, 90, addr),
+                    info: vec![],
+                })
+                .encode_to_vec()
+                .expect("peer up frame encodes")
+            })
+            .collect()
+    }
+
+    /// Renders one scenario item as a Route Monitoring frame, timestamped
+    /// from the update itself (the collector side reads it back out of
+    /// the per-peer header — no out-of-band time channel). `None` when
+    /// the item's VP is outside the feed or its update has no wire form.
+    pub fn route_monitoring_frame(&self, item: &ScenarioItem) -> Option<Vec<u8>> {
+        let peer = self.peer_header(item.update.vp, item.update.time.as_millis())?;
+        let update = UpdateMessage::from_domain(&item.update).ok()?;
+        Some(
+            BmpMessage::RouteMonitoring { peer, update }
+                .encode_to_vec()
+                .expect("route monitoring frame encodes"),
+        )
+    }
+
+    /// The session-closing Termination frame.
+    pub fn termination_frame() -> Vec<u8> {
+        BmpMessage::Termination { info: vec![] }
+            .encode_to_vec()
+            .expect("termination frame encodes")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Source;
+    use bgp_types::{Prefix, Timestamp, UpdateBuilder};
+    use gill_bmp::fsm::{BmpEvent, BmpFsm, BmpSessionConfig};
+
+    fn vps() -> Vec<VpId> {
+        vec![
+            VpId::from_asn(Asn(65_000)),
+            VpId::from_asn(Asn(65_001)),
+            // a second router of 65000: router order matches arrival order
+            VpId::new(Asn(65_000), 1),
+        ]
+    }
+
+    fn item(vp: VpId, prefix: u32, t_ms: u64) -> ScenarioItem {
+        ScenarioItem {
+            update: UpdateBuilder::announce(vp, Prefix::synthetic(prefix))
+                .at(Timestamp::from_millis(t_ms))
+                .path([vp.asn.value(), 174, 10_000 + prefix])
+                .build(),
+            source: Source::Background,
+        }
+    }
+
+    /// The whole point of the feed: frames pushed through a collector-side
+    /// `BmpFsm` demux back to the *same* VpIds and timestamps the
+    /// scenario generated.
+    #[test]
+    fn demux_roundtrips_vp_identity_and_time() {
+        let vps = vps();
+        let feed = BmpFeed::new(&vps);
+        let mut fsm = BmpFsm::new(BmpSessionConfig::default(), 0);
+        fsm.handle_bytes(&BmpFeed::initiation_frame("test-feed"), 0);
+        for f in feed.peer_up_frames(10) {
+            fsm.handle_bytes(&f, 0);
+        }
+        let items = vec![
+            item(vps[0], 1, 1_000),
+            item(vps[2], 2, 1_100),
+            item(vps[1], 3, 1_200),
+        ];
+        for it in &items {
+            fsm.handle_bytes(&feed.route_monitoring_frame(it).unwrap(), 0);
+        }
+        fsm.handle_bytes(&BmpFeed::termination_frame(), 0);
+        let mut got = Vec::new();
+        while let Some(ev) = fsm.poll_event() {
+            if let BmpEvent::Update { vp, ts_ms, .. } = ev {
+                got.push((vp, ts_ms));
+            }
+        }
+        let want: Vec<_> = items
+            .iter()
+            .map(|i| (i.update.vp, i.update.time.as_millis()))
+            .collect();
+        assert_eq!(got, want);
+        assert_eq!(fsm.ledger().unknown_peer, 0);
+        assert_eq!(fsm.ledger().peer_ups, 3);
+    }
+
+    #[test]
+    fn out_of_feed_vps_have_no_frame() {
+        let feed = BmpFeed::new(&vps());
+        let stranger = VpId::from_asn(Asn(64_999));
+        assert!(feed.route_monitoring_frame(&item(stranger, 1, 5)).is_none());
+        assert!(feed.peer_header(stranger, 5).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of router order")]
+    fn out_of_order_routers_are_rejected() {
+        BmpFeed::new(&[VpId::new(Asn(65_000), 1)]);
+    }
+
+    #[test]
+    fn peer_addresses_are_unique() {
+        let many: Vec<VpId> = (0..300).map(|i| VpId::from_asn(Asn(65_000 + i))).collect();
+        let feed = BmpFeed::new(&many);
+        let mut addrs: Vec<_> = feed.peers().iter().map(|&(_, a)| a).collect();
+        addrs.sort_unstable();
+        addrs.dedup();
+        assert_eq!(addrs.len(), many.len());
+    }
+}

@@ -32,6 +32,7 @@
 #![warn(missing_docs)]
 
 pub mod background;
+pub mod bmp_feed;
 pub mod burst;
 pub mod campaign;
 pub mod engine;
@@ -39,6 +40,7 @@ pub mod fnv;
 pub mod world;
 
 pub use background::{BackgroundConfig, BackgroundGen};
+pub use bmp_feed::BmpFeed;
 pub use burst::{burst_report, BurstBand, BurstReport};
 pub use campaign::{generate_campaign, path_transits, CampaignConfig, CampaignKind, CampaignTruth};
 pub use engine::{ScenarioConfig, ScenarioEngine, ScenarioItem, Source};

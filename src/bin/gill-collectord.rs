@@ -14,19 +14,56 @@
 //! streaming API: every filter-accepted update is teed into a broadcast
 //! ring and fanned out to `curl -N` subscribers on `/stream/updates`
 //! (RIS-Live-style JSON frames), with `/stream/stats` reporting broker
-//! counters.
+//! counters. The looking-glass endpoints (`/vps`, `/routes`, …) on the
+//! same socket answer from a store fed live by the collection drain.
+//!
+//! With `--bmp-addr HOST:PORT` (or a full `--bmp-config FILE`, see
+//! `gill::bmp::BmpConfig`) the collector also accepts BMP (RFC 7854)
+//! routers: one TCP session per router, each carrying many monitored
+//! peers, demuxed into per-peer VPs and fed through the *same* filter /
+//! archive / stream pipeline as the BGP sessions.
 
+use gill::bmp::{BmpConfig, BmpPool, ListenerConfig};
 use gill::collector::{
-    DaemonConfig, DaemonPool, MrtStorage, Orchestrator, OrchestratorConfig, Storage,
+    DaemonConfig, DaemonPool, MrtStorage, Orchestrator, OrchestratorConfig, Storage, StoredUpdate,
 };
 use gill::core::FilterSet;
-use gill::query::{RouteStore, ServerConfig};
+use gill::query::{QueryableStorage, RouteStore, ServerConfig};
 use gill::stream::{serve_streaming, BrokerConfig, StreamBroker};
 use std::collections::HashMap;
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Duration;
+
+/// Archives to MRT and (when serving) mirrors every retained update into
+/// the looking-glass route store, so `/vps` and `/routes` answer live.
+struct TeeStorage {
+    archive: MrtStorage<std::io::BufWriter<std::fs::File>>,
+    serving: Option<QueryableStorage>,
+}
+
+impl Storage for TeeStorage {
+    fn store(&mut self, rec: StoredUpdate) {
+        if let Some(s) = &mut self.serving {
+            s.store(StoredUpdate {
+                update: rec.update.clone(),
+            });
+        }
+        self.archive.store(rec);
+    }
+
+    fn stored(&self) -> usize {
+        self.archive.stored()
+    }
+
+    fn flush(&mut self) {
+        self.archive.flush();
+        if let Some(s) = &mut self.serving {
+            s.flush();
+        }
+    }
+}
 
 fn run() -> Result<(), String> {
     let args = gill::cli::Args::parse()?;
@@ -60,17 +97,22 @@ fn run() -> Result<(), String> {
                 max_subscribers: args.num("max-subscribers", broker_defaults.max_subscribers)?,
             });
             let store = Arc::new(parking_lot::RwLock::new(RouteStore::default()));
-            let server =
-                serve_streaming(&addr, ServerConfig::default(), store, None, broker.clone())
-                    .map_err(|e| e.to_string())?;
+            let server = serve_streaming(
+                &addr,
+                ServerConfig::default(),
+                store.clone(),
+                None,
+                broker.clone(),
+            )
+            .map_err(|e| e.to_string())?;
             eprintln!("streaming on http://{}/stream/updates", server.local_addr());
-            Some((broker, server))
+            Some((broker, server, store))
         }
         None => None,
     };
     let sink = stream
         .as_ref()
-        .map(|(b, _)| Arc::new(b.publisher()) as Arc<dyn gill::collector::UpdateSink>);
+        .map(|(b, _, _)| Arc::new(b.publisher()) as Arc<dyn gill::collector::UpdateSink>);
 
     let mut pool = DaemonPool::start_with_sink(
         &listen,
@@ -93,13 +135,50 @@ fn run() -> Result<(), String> {
             .map_err(|e| e.to_string())?;
         eprintln!("orchestrator attached, retraining every {retrain}s");
     }
+    // --bmp-addr / --bmp-config: accept BMP routers into the same pipeline.
+    // A bare --bmp-addr is sugar for a single allow-all listener; with
+    // --bmp-config the flag appends one more listener to the parsed set.
+    let bmp_cfg = match (args.optional("bmp-config"), args.optional("bmp-addr")) {
+        (None, None) => None,
+        (file, addr) => {
+            let mut cfg = match file {
+                Some(p) => {
+                    let text = std::fs::read_to_string(&p).map_err(|e| format!("{p}: {e}"))?;
+                    BmpConfig::parse(&text)?
+                }
+                None => BmpConfig::default(),
+            };
+            if let Some(bind) = addr {
+                cfg.listeners.push(ListenerConfig {
+                    bind,
+                    idle_timeout_ms: 0,
+                });
+            }
+            Some(cfg)
+        }
+    };
+    let bmp = match &bmp_cfg {
+        Some(cfg) => {
+            let bp = BmpPool::start(cfg, pool.session_ctx()).map_err(|e| e.to_string())?;
+            for a in bp.local_addrs() {
+                eprintln!("bmp listening on {a}");
+            }
+            Some(bp)
+        }
+        None => None,
+    };
     eprintln!(
         "collector AS{local_asn} listening on {} for {duration}s",
         pool.local_addr()
     );
 
     let file = std::fs::File::create(&archive).map_err(|e| e.to_string())?;
-    let storage = MrtStorage::new(std::io::BufWriter::new(file), local_asn);
+    let storage = TeeStorage {
+        archive: MrtStorage::new(std::io::BufWriter::new(file), local_asn),
+        serving: stream
+            .as_ref()
+            .map(|(_, _, store)| QueryableStorage::with_store(store.clone())),
+    };
     // drain concurrently for the configured duration
     let storage = std::thread::scope(|s| {
         let pool_ref = &pool;
@@ -109,6 +188,9 @@ fn run() -> Result<(), String> {
             st
         });
         std::thread::sleep(Duration::from_secs(duration));
+        if let Some(bp) = &bmp {
+            bp.request_stop();
+        }
         pool_ref.request_stop();
         drain.join().expect("storage thread")
     });
@@ -126,7 +208,22 @@ fn run() -> Result<(), String> {
             .filter_epoch
             .load(std::sync::atomic::Ordering::Relaxed),
     );
-    if let Some((broker, mut server)) = stream {
+    if let Some(mut bp) = bmp {
+        let b = bp.stats();
+        println!(
+            "bmp sessions {} opened / {} closed | peers {} up / {} down | \
+             updates {} | unknown-peer {} | denied {}",
+            load(&b.sessions_opened),
+            load(&b.sessions_closed),
+            load(&b.peers_up),
+            load(&b.peers_down),
+            load(&b.updates),
+            load(&b.unknown_peer),
+            load(&b.peers_denied),
+        );
+        bp.stop();
+    }
+    if let Some((broker, mut server, _)) = stream {
         broker.close();
         println!(
             "streamed {} | shed {} | peak subscribers seen {}",
@@ -137,7 +234,7 @@ fn run() -> Result<(), String> {
         server.stop();
     }
     let written = storage.stored();
-    storage.into_inner().map_err(|e| e.to_string())?;
+    storage.archive.into_inner().map_err(|e| e.to_string())?;
     println!("archived {written} records to {}", archive.display());
     Ok(())
 }
@@ -151,7 +248,8 @@ fn main() -> ExitCode {
                 "usage: gill-collectord [--listen ADDR] [--filters filters.txt] \
                  [--retrain-interval SECS] [--archive out.mrt] [--duration SECS] \
                  [--queue N] [--local-asn N] [--stream-addr HOST:PORT] \
-                 [--ring-capacity FRAMES] [--max-subscribers N]"
+                 [--ring-capacity FRAMES] [--max-subscribers N] \
+                 [--bmp-addr HOST:PORT] [--bmp-config FILE]"
             );
             ExitCode::FAILURE
         }

@@ -39,8 +39,10 @@ fn run() -> Result<(), String> {
     let filters_path = args.optional("filters").map(PathBuf::from);
     let out = args.optional("out").map(PathBuf::from);
     let serve_addr = args.optional("serve");
-    if filters_path.is_none() && serve_addr.is_none() {
-        return Err("need --filters (replay) and/or --serve (looking glass)".into());
+    if filters_path.is_none() && serve_addr.is_none() && args.optional("bmp-to").is_none() {
+        return Err(
+            "need --filters (replay), --bmp-to (BMP feed) and/or --serve (looking glass)".into(),
+        );
     }
 
     let updates = read_updates_mrt(&updates_path).map_err(|e| e.to_string())?;
@@ -66,6 +68,51 @@ fn run() -> Result<(), String> {
     if let Some(p) = out {
         let n = write_updates_mrt(&p, &kept).map_err(|e| e.to_string())?;
         println!("wrote {n} records to {}", p.display());
+    }
+    // --bmp-to HOST:PORT: replay the (filtered) stream as one BMP router
+    // session — Initiation, a Peer Up per distinct VP, a Route Monitoring
+    // frame per update, Termination. This is how CI feeds a fixture day
+    // into a live collector's --bmp-addr listener over loopback.
+    if let Some(addr) = args.optional("bmp-to") {
+        use gill::scenario::{BmpFeed, ScenarioItem, Source};
+        use std::io::Write;
+        let mut vps: Vec<_> = {
+            let mut seen = std::collections::BTreeSet::new();
+            kept.iter()
+                .map(|u| u.vp)
+                .filter(|vp| seen.insert(*vp))
+                .collect()
+        };
+        // BmpFeed allocates router discriminators in Peer Up arrival
+        // order, so register each AS's routers in rank order
+        vps.sort_by_key(|vp| (vp.asn.value(), vp.router));
+        let feed = BmpFeed::new(&vps);
+        let mut sock = std::net::TcpStream::connect(&addr).map_err(|e| format!("{addr}: {e}"))?;
+        let send = |sock: &mut std::net::TcpStream, frame: &[u8]| {
+            sock.write_all(frame).map_err(|e| format!("{addr}: {e}"))
+        };
+        send(&mut sock, &BmpFeed::initiation_frame("gill-replay"))?;
+        let t0 = kept.first().map(|u| u.time.as_millis()).unwrap_or(0);
+        for frame in feed.peer_up_frames(t0) {
+            send(&mut sock, &frame)?;
+        }
+        let mut frames = 0usize;
+        for u in &kept {
+            let item = ScenarioItem {
+                update: u.clone(),
+                source: Source::Extra,
+            };
+            if let Some(frame) = feed.route_monitoring_frame(&item) {
+                send(&mut sock, &frame)?;
+                frames += 1;
+            }
+        }
+        send(&mut sock, &BmpFeed::termination_frame())?;
+        sock.flush().map_err(|e| e.to_string())?;
+        println!(
+            "bmp: sent {} peers + {frames} route-monitoring frames to {addr}",
+            vps.len()
+        );
     }
     if let Some(addr) = serve_addr {
         // Replay pacing / determinism knobs for the streaming endpoint.
@@ -137,7 +184,7 @@ fn main() -> ExitCode {
             eprintln!("error: {e}");
             eprintln!(
                 "usage: gill-replay --updates updates.mrt [--filters filters.txt] \
-                 [--out kept.mrt] [--serve host:port] [--data-dir dir] \
+                 [--out kept.mrt] [--bmp-to host:port] [--serve host:port] [--data-dir dir] \
                  [--store-mem-cap bytes] [--stream-repeat n] \
                  [--stream-wait-subs n] [--stream-interval-ms ms] \
                  [--ring-capacity frames] [--max-subscribers n]"

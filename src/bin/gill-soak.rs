@@ -25,6 +25,7 @@ fn run() -> Result<bool, String> {
     let mirror_cap: usize = args.num("mirror-cap", 4_096)?;
     let store_mem_cap: u64 = args.num("store-mem-cap", 1 << 20)?;
     let ring: usize = args.num("ring", 512)?;
+    let bmp_vps: u32 = args.num("bmp-vps", 0)?;
     let runs: u32 = args.num("runs", 1)?;
     let report_path = args.optional("report").map(PathBuf::from);
 
@@ -67,6 +68,7 @@ fn run() -> Result<bool, String> {
         capped_store_bytes: store_mem_cap,
         ring_capacity: ring,
         data_dir: data_dir.clone(),
+        bmp_vps,
     };
 
     let mut ok = true;
@@ -122,7 +124,7 @@ fn main() -> ExitCode {
             eprintln!(
                 "usage: gill-soak [--seed N] [--updates N] [--vps N] [--prefixes N] \
                  [--campaign leak,hijack,...] [--mirror-cap N] [--store-mem-cap BYTES] \
-                 [--ring N] [--runs N] [--data-dir DIR|none] [--report FILE]"
+                 [--ring N] [--bmp-vps N] [--runs N] [--data-dir DIR|none] [--report FILE]"
             );
             ExitCode::FAILURE
         }

@@ -18,6 +18,8 @@
 //! * [`use_cases`] — the canonical BGP analyses used for evaluation.
 //! * [`collector`] — the collection platform: per-peer BGP daemons and the
 //!   orchestrator.
+//! * [`bmp`] — BMP (RFC 7854) ingestion: one session carries a router's
+//!   view of many monitored BGP peers into the same pipeline.
 //! * [`query`] — the serving half: time-indexed route store and the
 //!   looking-glass HTTP query API (bgproutes.io's role in §9).
 //! * [`scenario`] — seeded adversarial-workload engine: bursty background
@@ -54,6 +56,7 @@ pub use as_topology as topology;
 pub use bgp_sim as sim;
 pub use bgp_types as types;
 pub use bgp_wire as wire;
+pub use gill_bmp as bmp;
 pub use gill_collector as collector;
 pub use gill_core as core;
 pub use gill_query as query;

@@ -34,6 +34,7 @@
 //! 10. **background-burstiness-in-band** — the generated background shows
 //!     the configured overdispersion and autocorrelation.
 
+use crate::bmp::{BmpCloseReason, BmpEvent, BmpFsm, BmpSessionConfig};
 use crate::collector::transport::{
     sim_pair, Clock, FaultSchedule, SimTransport, Transport, VirtualClock,
 };
@@ -45,8 +46,8 @@ use crate::core::{FilterHandle, FilterSet, FilterView};
 use crate::query::server::route;
 use crate::query::{QueryableStorage, Request, RouteStore, SharedStore, StoreConfig};
 use crate::scenario::{
-    update_line, BackgroundConfig, BurstBand, CampaignConfig, CampaignKind, Fnv64, ScenarioConfig,
-    ScenarioEngine, World,
+    update_line, BackgroundConfig, BmpFeed, BurstBand, CampaignConfig, CampaignKind, Fnv64,
+    ScenarioConfig, ScenarioEngine, World,
 };
 use crate::stream::{
     BrokerConfig, Delivery, FramePayload, SlowPolicy, StreamBroker, StreamFilter, Subscription,
@@ -80,6 +81,11 @@ pub struct SoakConfig {
     /// Segment directory for the crash-restart fork. `None` skips the
     /// restart invariant (it reports as skipped, not failed).
     pub data_dir: Option<PathBuf>,
+    /// How many of the day's VPs enter through one BMP (RFC 7854) session
+    /// instead of their own BGP sessions — the *last* `bmp_vps` of
+    /// `n_vps`, demuxed from per-peer headers on the collector side. 0
+    /// keeps the classic all-BGP day (and its digests) unchanged.
+    pub bmp_vps: u32,
 }
 
 impl Default for SoakConfig {
@@ -98,6 +104,7 @@ impl Default for SoakConfig {
             capped_store_bytes: 1 << 20,
             ring_capacity: 512,
             data_dir: None,
+            bmp_vps: 0,
         }
     }
 }
@@ -409,6 +416,49 @@ impl Pipeline {
     }
 }
 
+/// The day's BMP entrance: one session carrying the last `bmp_vps` VPs
+/// as monitored peers, over the same virtual clock as the BGP pairs.
+struct BmpSide {
+    feed: BmpFeed,
+    client: SimTransport,
+    server: SimTransport,
+    fsm: BmpFsm,
+    frames_sent: u64,
+    close: Option<BmpCloseReason>,
+}
+
+impl BmpSide {
+    /// Reads everything pending off the server half, ticks the FSM, and
+    /// stages demuxed updates through the shared pipeline — timestamps
+    /// come from the per-peer headers, not the harness clock.
+    fn drain(&mut self, now: u64, pl: &mut Pipeline) {
+        let mut buf = [0u8; 4096];
+        loop {
+            match self.server.read(&mut buf) {
+                Ok(0) => {
+                    self.fsm.handle_eof(now);
+                    break;
+                }
+                Ok(n) => self.fsm.handle_bytes(&buf[..n], now),
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(_) => break,
+            }
+        }
+        self.fsm.tick(now);
+        while let Some(ev) = self.fsm.poll_event() {
+            match ev {
+                BmpEvent::Update { vp, update, ts_ms } => {
+                    for u in update.to_domain(vp, Timestamp::from_millis(ts_ms)) {
+                        pl.process(u);
+                    }
+                }
+                BmpEvent::Closed(r) => self.close = Some(r),
+                _ => {}
+            }
+        }
+    }
+}
+
 fn drain_sub(sub: &mut Subscription, frames: &mut u64, missed: &mut u64) {
     loop {
         match sub.poll_next() {
@@ -552,9 +602,14 @@ pub fn run_soak(cfg: &SoakConfig) -> SoakReport {
         .get(scenario.campaigns.len() / 2)
         .map(|c| c.start_ms + c.duration_ms / 2);
 
+    // the last `bmp_vps` VPs enter via one BMP session; the rest get
+    // their own live BGP session pair
+    let bmp_vps = cfg.bmp_vps.min(cfg.n_vps);
+    let bgp_vps = cfg.n_vps - bmp_vps;
+
     // live sessions over the simulated transport
     let clock = VirtualClock::new();
-    let mut pairs: Vec<SessionPair> = (0..cfg.n_vps)
+    let mut pairs: Vec<SessionPair> = (0..bgp_vps)
         .map(|i| {
             let (a, b) = sim_pair(&clock, FaultSchedule::none(), FaultSchedule::none());
             let vp = world.vp(i);
@@ -677,6 +732,38 @@ pub fn run_soak(cfg: &SoakConfig) -> SoakReport {
         cfg.campaigns.len()
     ));
 
+    // bring up the BMP session: Initiation, then one Peer Up per BMP VP
+    // (registration order = demux order). All of this — including the
+    // extra digest lines — only exists when bmp_vps > 0, so the classic
+    // all-BGP digests are untouched.
+    let mut bmp = (bmp_vps > 0).then(|| {
+        let (client, server) = sim_pair(&clock, FaultSchedule::none(), FaultSchedule::none());
+        let vps: Vec<VpId> = (bgp_vps..cfg.n_vps).map(|i| world.vp(i)).collect();
+        BmpSide {
+            feed: BmpFeed::new(&vps),
+            client,
+            server,
+            fsm: BmpFsm::new(BmpSessionConfig::default(), clock.now_ms()),
+            frames_sent: 0,
+            close: None,
+        }
+    });
+    if let Some(side) = &mut bmp {
+        let now = clock.now_ms();
+        let _ = side
+            .client
+            .write_all(&BmpFeed::initiation_frame("soak-bmp"));
+        for f in side.feed.peer_up_frames(now) {
+            let _ = side.client.write_all(&f);
+        }
+        side.drain(now, &mut pl);
+        pl.digest.write_line(&format!(
+            "bmp peers={} registered={}",
+            bmp_vps,
+            side.fsm.peer_count()
+        ));
+    }
+
     // the day itself
     let mut engine = ScenarioEngine::new(&scenario);
     let mut next_boundary = 0usize;
@@ -696,6 +783,20 @@ pub fn run_soak(cfg: &SoakConfig) -> SoakReport {
         let Some(i) = world.vp_index(item.update.vp) else {
             continue;
         };
+        if i >= bgp_vps {
+            // a BMP-fed VP: the update rides a Route Monitoring frame,
+            // its timestamp in the per-peer header
+            let side = bmp.as_mut().expect("BMP side exists for BMP-fed VPs");
+            let Some(frame) = side.feed.route_monitoring_frame(&item) else {
+                continue;
+            };
+            let _ = side.client.write_all(&frame);
+            side.frames_sent += 1;
+            pl.counters.sent += 1;
+            clock.advance_ms(2);
+            side.drain(clock.now_ms(), &mut pl);
+            continue;
+        }
         let msg = match UpdateMessage::from_domain(&item.update) {
             Ok(m) => m,
             Err(_) => continue,
@@ -723,7 +824,25 @@ pub fn run_soak(cfg: &SoakConfig) -> SoakReport {
         }
     }
 
-    // orderly shutdown: close sessions, then the broker
+    // orderly shutdown: Termination on the BMP session, graceful close on
+    // every BGP session, then the broker
+    if let Some(side) = &mut bmp {
+        let _ = side.client.write_all(&BmpFeed::termination_frame());
+        side.client.shutdown();
+        for _ in 0..16 {
+            clock.advance_ms(10);
+            side.drain(clock.now_ms(), &mut pl);
+            if side.close.is_some() {
+                break;
+            }
+        }
+        pl.digest.write_line(&format!(
+            "bmp closed={:?} frames={} monitored={}",
+            side.close,
+            side.frames_sent,
+            side.fsm.ledger().route_monitoring
+        ));
+    }
     for pair in &mut pairs {
         pair.client.fsm.close_gracefully();
     }
@@ -792,10 +911,9 @@ pub fn run_soak(cfg: &SoakConfig) -> SoakReport {
     let mut invariants = vec![
         Invariant {
             name: "sessions-stable",
-            pass: established as u32 == cfg.n_vps && failures == 0 && all_closed,
+            pass: established as u32 == bgp_vps && failures == 0 && all_closed,
             detail: format!(
-                "established={established}/{} failures={failures} all_closed={all_closed}",
-                cfg.n_vps
+                "established={established}/{bgp_vps} failures={failures} all_closed={all_closed}"
             ),
         },
         Invariant {
@@ -888,6 +1006,35 @@ pub fn run_soak(cfg: &SoakConfig) -> SoakReport {
             },
         },
     ];
+    // BMP-side exactness: clean Termination, every frame demuxed to a
+    // registered peer, nothing dropped as unknown or denied
+    invariants.push(match &bmp {
+        None => Invariant {
+            name: "bmp-ingest-exact",
+            pass: true,
+            detail: "skipped (no bmp vps)".to_string(),
+        },
+        Some(side) => {
+            let ledger = side.fsm.ledger();
+            Invariant {
+                name: "bmp-ingest-exact",
+                pass: side.close == Some(BmpCloseReason::Terminated)
+                    && ledger.route_monitoring == side.frames_sent
+                    && ledger.unknown_peer == 0
+                    && ledger.denied_peers == 0
+                    && side.fsm.peer_count() == bmp_vps as usize,
+                detail: format!(
+                    "close={:?} frames_sent={} monitored={} peers={} unknown={} denied={}",
+                    side.close,
+                    side.frames_sent,
+                    ledger.route_monitoring,
+                    side.fsm.peer_count(),
+                    ledger.unknown_peer,
+                    ledger.denied_peers
+                ),
+            }
+        }
+    });
     // ground-truth sanity rides along: every campaign must have fired
     let truths = engine.truths();
     invariants.push(Invariant {

@@ -183,6 +183,70 @@ fn notification_body_decoder_survives_mutations() {
     assert!(err > 0, "zero-length truncations must error");
 }
 
+/// PDU palettes for the BMP generators: the OPEN and UPDATE frames from
+/// `seed_frames`, exactly as they'd ride inside BMP Peer Up / Route
+/// Monitoring bodies.
+fn bmp_palettes() -> (Vec<Vec<u8>>, Vec<Vec<u8>>) {
+    let frames = seed_frames();
+    let updates: Vec<Vec<u8>> = frames
+        .iter()
+        .filter(|f| f.len() > 19 && f[18] == 2)
+        .cloned()
+        .collect();
+    let opens: Vec<Vec<u8>> = frames
+        .iter()
+        .filter(|f| f.len() > 19 && f[18] == 1)
+        .cloned()
+        .collect();
+    (updates, opens)
+}
+
+#[test]
+fn bmp_decoder_accepts_and_roundtrips_generated_frames() {
+    use proptest::Strategy;
+    let (updates, opens) = bmp_palettes();
+    let strat = gill::types::testgen::arb_bmp_frame(updates, opens);
+    let mut rng = SmallRng::seed_from_u64(0xb3b0);
+    for i in 0..FRAMES_PER_DECODER {
+        let frame = strat.generate(&mut rng);
+        let mut buf = BytesMut::new();
+        buf.extend_from_slice(&frame);
+        let msg = gill::bmp::BmpMessage::decode(&mut buf)
+            .unwrap_or_else(|e| panic!("valid frame {i} rejected: {e}"))
+            .unwrap_or_else(|| panic!("valid frame {i} reported incomplete"));
+        assert!(buf.is_empty(), "frame {i} left residue");
+        // generated frames are canonical: re-encoding is byte-exact
+        assert_eq!(
+            msg.encode_to_vec().unwrap(),
+            frame,
+            "frame {i} did not re-encode byte-exactly"
+        );
+    }
+}
+
+#[test]
+fn bmp_decoder_survives_mutations() {
+    use proptest::Strategy;
+    let (updates, opens) = bmp_palettes();
+    let strat = gill::types::testgen::arb_bmp_frame_mutated(updates, opens);
+    let mut rng = SmallRng::seed_from_u64(0xb3b1);
+    let (mut ok, mut err, mut incomplete) = (0usize, 0usize, 0usize);
+    for _ in 0..FRAMES_PER_DECODER {
+        let mutated = strat.generate(&mut rng);
+        let mut buf = BytesMut::new();
+        buf.extend_from_slice(&mutated);
+        match gill::bmp::BmpMessage::decode(&mut buf) {
+            Ok(Some(_)) => ok += 1,
+            Ok(None) => incomplete += 1,
+            Err(_) => err += 1,
+        }
+    }
+    assert_eq!(ok + err + incomplete, FRAMES_PER_DECODER);
+    assert!(err > 0, "mutations must produce structured errors");
+    assert!(ok > 0, "some mutations leave frames intact");
+    assert!(incomplete > 0, "length lies must read as incomplete frames");
+}
+
 fn seed_mrt_record() -> Vec<u8> {
     let u = UpdateBuilder::announce(VpId::from_asn(Asn(65001)), Prefix::synthetic(4))
         .at(Timestamp::from_secs(11))

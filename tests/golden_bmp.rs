@@ -1,0 +1,228 @@
+//! Golden BMP (RFC 7854) fixtures: known-good byte images checked into
+//! `tests/fixtures/*.bmp`, one per message type. Decoding must succeed
+//! and re-encoding must reproduce the fixture byte-for-byte, so any
+//! unintended wire-format drift fails loudly with a diff offset instead
+//! of silently corrupting a monitoring feed.
+//!
+//! To regenerate after an *intentional* format change:
+//! `cargo test --test golden_bmp -- --ignored regenerate`
+
+use bytes::BytesMut;
+use gill::bmp::codec::{
+    info_type, BmpMessage, InfoTlv, PeerDownReason, PeerHeader, PeerUpMessage, StatCounter,
+};
+use gill::prelude::*;
+use gill::wire::{Notification, OpenMessage, UpdateMessage};
+use std::net::Ipv4Addr;
+use std::path::PathBuf;
+
+fn fixture_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn read_fixture(name: &str) -> Vec<u8> {
+    std::fs::read(fixture_path(name))
+        .unwrap_or_else(|e| panic!("missing fixture {name} ({e}); run the regenerate test"))
+}
+
+/// The monitored peer every per-peer fixture refers to. Timestamps are
+/// pinned so the bytes are reproducible.
+fn golden_peer() -> PeerHeader {
+    PeerHeader::v4(65010, Ipv4Addr::new(10, 0, 0, 1), 0, 1_700_000_000_500)
+}
+
+fn golden_initiation() -> Vec<BmpMessage> {
+    vec![BmpMessage::Initiation {
+        info: vec![
+            InfoTlv::string(info_type::SYS_DESCR, "gill golden router, sw 1.0"),
+            InfoTlv::string(info_type::SYS_NAME, "fra1-r7"),
+            InfoTlv::string(info_type::STRING, "golden fixture"),
+        ],
+    }]
+}
+
+fn golden_peer_up() -> Vec<BmpMessage> {
+    let mut local = [0u8; 16];
+    local[12..].copy_from_slice(&[10, 255, 0, 1]);
+    vec![BmpMessage::PeerUp(PeerUpMessage {
+        peer: golden_peer(),
+        local_address: local,
+        local_port: 179,
+        remote_port: 41_000,
+        sent_open: OpenMessage::new(Asn(65535), 180, Ipv4Addr::new(10, 255, 0, 1)),
+        // a 4-byte-ASN peer: AS_TRANS in the fixed field, the real ASN in
+        // the capability
+        recv_open: OpenMessage::new(Asn(70_000), 90, Ipv4Addr::new(10, 0, 0, 1)),
+        info: vec![InfoTlv::string(info_type::STRING, "golden peer")],
+    })]
+}
+
+/// Route Monitoring with real UPDATE payloads: announce with communities,
+/// pure withdraw, and a mixed frame.
+fn golden_route_monitoring() -> Vec<BmpMessage> {
+    let announce = UpdateMessage::announce(
+        Prefix::synthetic(7),
+        AsPath::from_u32s([65010, 174, 3356]),
+        Ipv4Addr::new(10, 0, 0, 9),
+        vec![Community::new(65010, 100), Community::new(65010, 200)],
+    );
+    let withdraw = UpdateMessage::withdraw(Prefix::synthetic(3));
+    let mut mixed = announce.clone();
+    mixed.withdrawn = vec![Prefix::synthetic(1), Prefix::synthetic(2)];
+    [announce, withdraw, mixed]
+        .into_iter()
+        .map(|update| BmpMessage::RouteMonitoring {
+            peer: golden_peer(),
+            update,
+        })
+        .collect()
+}
+
+/// Peer Down in all three data shapes: embedded NOTIFICATION (reason 1),
+/// local FSM code (reason 2), and remote-no-data (reason 4).
+fn golden_peer_down() -> Vec<BmpMessage> {
+    let mut notif = Notification::cease();
+    notif.data = vec![0xde, 0xad, 0xbe, 0xef];
+    vec![
+        BmpMessage::PeerDown {
+            peer: golden_peer(),
+            reason: PeerDownReason::LocalNotification(notif),
+        },
+        BmpMessage::PeerDown {
+            peer: golden_peer(),
+            reason: PeerDownReason::LocalFsm(18),
+        },
+        BmpMessage::PeerDown {
+            peer: golden_peer(),
+            reason: PeerDownReason::RemoteNoData,
+        },
+    ]
+}
+
+fn golden_stats() -> Vec<BmpMessage> {
+    vec![BmpMessage::StatsReport {
+        peer: golden_peer(),
+        stats: vec![
+            StatCounter::counter(0, 12),    // prefixes rejected
+            StatCounter::counter(2, 3),     // duplicate withdraws
+            StatCounter::gauge(7, 950_000), // Adj-RIB-In size
+            StatCounter::gauge(8, 845_112), // Loc-RIB size
+        ],
+    }]
+}
+
+fn fixtures() -> Vec<(&'static str, Vec<BmpMessage>)> {
+    vec![
+        ("initiation.bmp", golden_initiation()),
+        ("peer_up.bmp", golden_peer_up()),
+        ("route_monitoring.bmp", golden_route_monitoring()),
+        ("peer_down.bmp", golden_peer_down()),
+        ("stats_report.bmp", golden_stats()),
+    ]
+}
+
+fn encode_all(msgs: &[BmpMessage]) -> Vec<u8> {
+    let mut out = Vec::new();
+    for m in msgs {
+        out.extend(m.encode_to_vec().unwrap());
+    }
+    out
+}
+
+/// Points at the first differing byte so a format drift is immediately
+/// localizable.
+fn assert_bytes_eq(actual: &[u8], golden: &[u8], what: &str) {
+    if actual == golden {
+        return;
+    }
+    let at = actual
+        .iter()
+        .zip(golden.iter())
+        .position(|(a, b)| a != b)
+        .unwrap_or_else(|| actual.len().min(golden.len()));
+    panic!(
+        "{what}: encoding drifted from the golden fixture at byte {at} \
+         (actual len {}, golden len {}); if the format change is \
+         intentional, regenerate with \
+         `cargo test --test golden_bmp -- --ignored regenerate`",
+        actual.len(),
+        golden.len(),
+    );
+}
+
+#[test]
+fn every_fixture_reencodes_byte_exactly() {
+    for (name, msgs) in fixtures() {
+        let golden = read_fixture(name);
+        assert_bytes_eq(&encode_all(&msgs), &golden, name);
+
+        // streaming-decode the fixture and compare message by message
+        let mut buf = BytesMut::new();
+        buf.extend_from_slice(&golden);
+        let mut decoded = Vec::new();
+        while let Some(m) = BmpMessage::decode(&mut buf).unwrap_or_else(|e| {
+            panic!("{name}: fixture failed to decode: {e}");
+        }) {
+            decoded.push(m);
+        }
+        assert!(buf.is_empty(), "{name}: trailing bytes in the fixture");
+        assert_eq!(decoded, msgs, "{name}: decoded content drifted");
+    }
+}
+
+#[test]
+fn fixtures_decode_under_byte_by_byte_delivery() {
+    // the streaming decoder must yield identical messages when the TCP
+    // layer delivers one byte at a time
+    for (name, msgs) in fixtures() {
+        let golden = read_fixture(name);
+        let mut buf = BytesMut::new();
+        let mut decoded = Vec::new();
+        for &byte in &golden {
+            buf.extend_from_slice(&[byte]);
+            while let Some(m) = BmpMessage::decode(&mut buf).unwrap() {
+                decoded.push(m);
+            }
+        }
+        assert_eq!(decoded, msgs, "{name}: byte-by-byte decode drifted");
+    }
+}
+
+#[test]
+fn golden_semantics_survive() {
+    // spot-check the load-bearing fields a consumer relies on
+    let peer = golden_peer();
+    assert_eq!(peer.addr_string(), "10.0.0.1");
+    assert_eq!(peer.ts_ms(), 1_700_000_000_500);
+
+    let down = golden_peer_down();
+    let codes: Vec<u8> = down
+        .iter()
+        .map(|m| match m {
+            BmpMessage::PeerDown { reason, .. } => reason.code(),
+            _ => unreachable!(),
+        })
+        .collect();
+    assert_eq!(codes, vec![1, 2, 4]);
+
+    match &golden_route_monitoring()[0] {
+        BmpMessage::RouteMonitoring { update, .. } => {
+            assert_eq!(update.announced.len(), 1);
+            assert!(update.withdrawn.is_empty());
+        }
+        _ => unreachable!(),
+    }
+}
+
+/// Regenerates the fixtures. Run only after an intentional format change:
+/// `cargo test --test golden_bmp -- --ignored regenerate`
+#[test]
+#[ignore = "writes fixtures; run explicitly after intentional format changes"]
+fn regenerate() {
+    std::fs::create_dir_all(fixture_path("")).unwrap();
+    for (name, msgs) in fixtures() {
+        std::fs::write(fixture_path(name), encode_all(&msgs)).unwrap();
+    }
+}

@@ -216,16 +216,10 @@ proptest! {
         };
         prop_assert_eq!(back, n);
     }
-
-    #[test]
-    fn fault_schedule_grammar_roundtrip(seed in any::<u64>(), span in 1u64..100_000) {
-        use gill::collector::FaultSchedule;
-        let sched = FaultSchedule::random(seed, span);
-        let text = sched.to_string();
-        let back = FaultSchedule::parse(&text).unwrap();
-        prop_assert_eq!(back, sched);
-    }
 }
+
+// The fault-schedule grammar round-trip proptest lives with the code it
+// constrains: `crates/gill-collector/tests/transport_proptests.rs`.
 
 // ---------------------------------------------------------------------------
 // RIB invariants
