@@ -24,6 +24,7 @@ fn scenario(n: usize, seed: u64) -> ScenarioConfig {
         n_vps: 8,
         n_prefixes: 256,
         seed: seed ^ 0xfeed,
+        dual_stack: false,
     };
     let background = BackgroundConfig::default();
     let duration_ms = background.duration_for(n);

@@ -1,0 +1,201 @@
+//! Address families (RFC 4760 AFI/SAFI pairs).
+//!
+//! GILL is multiprotocol: every layer that touches prefixes — wire codecs,
+//! session capability negotiation, the store, MRT export — is keyed by an
+//! [`AddressFamily`]. Only the two unicast families the platform collects
+//! are modelled; the AFI/SAFI numbers are the IANA ones so they can go
+//! straight onto the wire (Multiprotocol capability, MP_REACH_NLRI,
+//! BGP4MP and TABLE_DUMP_V2 records).
+
+use crate::Prefix;
+use std::fmt;
+
+/// An (AFI, SAFI) pair the platform understands.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum AddressFamily {
+    /// AFI 1 / SAFI 1.
+    Ipv4Unicast,
+    /// AFI 2 / SAFI 1.
+    Ipv6Unicast,
+}
+
+impl AddressFamily {
+    /// Both supported families, in AFI order.
+    pub const ALL: [AddressFamily; 2] = [AddressFamily::Ipv4Unicast, AddressFamily::Ipv6Unicast];
+
+    /// The IANA Address Family Identifier.
+    #[inline]
+    pub const fn afi(self) -> u16 {
+        match self {
+            AddressFamily::Ipv4Unicast => 1,
+            AddressFamily::Ipv6Unicast => 2,
+        }
+    }
+
+    /// The IANA Subsequent Address Family Identifier (always unicast here).
+    #[inline]
+    pub const fn safi(self) -> u8 {
+        1
+    }
+
+    /// Looks up the family for an (AFI, SAFI) pair; `None` for anything we
+    /// do not collect (multicast, VPN, ...).
+    pub const fn from_afi_safi(afi: u16, safi: u8) -> Option<AddressFamily> {
+        match (afi, safi) {
+            (1, 1) => Some(AddressFamily::Ipv4Unicast),
+            (2, 1) => Some(AddressFamily::Ipv6Unicast),
+            _ => None,
+        }
+    }
+
+    /// The family a prefix belongs to.
+    #[inline]
+    pub fn of(prefix: &Prefix) -> AddressFamily {
+        if prefix.is_ipv6() {
+            AddressFamily::Ipv6Unicast
+        } else {
+            AddressFamily::Ipv4Unicast
+        }
+    }
+
+    /// `true` for [`AddressFamily::Ipv6Unicast`].
+    #[inline]
+    pub const fn is_ipv6(self) -> bool {
+        matches!(self, AddressFamily::Ipv6Unicast)
+    }
+}
+
+impl fmt::Display for AddressFamily {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AddressFamily::Ipv4Unicast => write!(f, "ipv4-unicast"),
+            AddressFamily::Ipv6Unicast => write!(f, "ipv6-unicast"),
+        }
+    }
+}
+
+/// A `Copy` set of address families, for session configuration and
+/// negotiation results (capability intersections are set intersections).
+#[derive(Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub struct FamilySet {
+    bits: u8,
+}
+
+impl FamilySet {
+    /// The empty set (a legacy v4-only session advertises no families).
+    pub const EMPTY: FamilySet = FamilySet { bits: 0 };
+    /// Both unicast families.
+    pub const ALL: FamilySet = FamilySet { bits: 0b11 };
+
+    const fn bit(fam: AddressFamily) -> u8 {
+        match fam {
+            AddressFamily::Ipv4Unicast => 0b01,
+            AddressFamily::Ipv6Unicast => 0b10,
+        }
+    }
+
+    /// The set holding exactly `fam`.
+    pub const fn only(fam: AddressFamily) -> FamilySet {
+        FamilySet {
+            bits: Self::bit(fam),
+        }
+    }
+
+    /// Inserts a family.
+    pub fn insert(&mut self, fam: AddressFamily) {
+        self.bits |= Self::bit(fam);
+    }
+
+    /// Membership test.
+    pub const fn contains(self, fam: AddressFamily) -> bool {
+        self.bits & Self::bit(fam) != 0
+    }
+
+    /// True when no family is in the set.
+    pub const fn is_empty(self) -> bool {
+        self.bits == 0
+    }
+
+    /// Set intersection — what two capability advertisements agree on.
+    pub const fn intersect(self, other: FamilySet) -> FamilySet {
+        FamilySet {
+            bits: self.bits & other.bits,
+        }
+    }
+
+    /// The member families, in AFI order.
+    pub fn iter(self) -> impl Iterator<Item = AddressFamily> {
+        AddressFamily::ALL
+            .into_iter()
+            .filter(move |f| self.contains(*f))
+    }
+}
+
+impl FromIterator<AddressFamily> for FamilySet {
+    fn from_iter<I: IntoIterator<Item = AddressFamily>>(iter: I) -> Self {
+        let mut set = FamilySet::EMPTY;
+        for fam in iter {
+            set.insert(fam);
+        }
+        set
+    }
+}
+
+impl fmt::Debug for FamilySet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn afi_safi_roundtrip() {
+        for fam in AddressFamily::ALL {
+            assert_eq!(
+                AddressFamily::from_afi_safi(fam.afi(), fam.safi()),
+                Some(fam)
+            );
+        }
+        assert_eq!(AddressFamily::from_afi_safi(1, 2), None);
+        assert_eq!(AddressFamily::from_afi_safi(3, 1), None);
+    }
+
+    #[test]
+    fn family_of_prefix() {
+        let v4: Prefix = "10.0.0.0/8".parse().unwrap();
+        let v6: Prefix = "2001:db8::/32".parse().unwrap();
+        assert_eq!(AddressFamily::of(&v4), AddressFamily::Ipv4Unicast);
+        assert_eq!(AddressFamily::of(&v6), AddressFamily::Ipv6Unicast);
+        assert!(AddressFamily::of(&v6).is_ipv6());
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(AddressFamily::Ipv4Unicast.to_string(), "ipv4-unicast");
+        assert_eq!(AddressFamily::Ipv6Unicast.to_string(), "ipv6-unicast");
+    }
+
+    #[test]
+    fn family_set_operations() {
+        let mut s = FamilySet::EMPTY;
+        assert!(s.is_empty());
+        s.insert(AddressFamily::Ipv6Unicast);
+        assert!(s.contains(AddressFamily::Ipv6Unicast));
+        assert!(!s.contains(AddressFamily::Ipv4Unicast));
+        assert_eq!(
+            s.iter().collect::<Vec<_>>(),
+            vec![AddressFamily::Ipv6Unicast]
+        );
+
+        let all: FamilySet = AddressFamily::ALL.into_iter().collect();
+        assert_eq!(all, FamilySet::ALL);
+        assert_eq!(all.intersect(s), s);
+        assert_eq!(
+            s.intersect(FamilySet::only(AddressFamily::Ipv4Unicast)),
+            FamilySet::EMPTY
+        );
+    }
+}

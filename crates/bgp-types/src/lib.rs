@@ -13,6 +13,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod af;
 pub mod asn;
 pub mod community;
 pub mod internid;
@@ -28,6 +29,7 @@ pub mod vp;
 #[cfg(feature = "testgen")]
 pub mod testgen;
 
+pub use af::{AddressFamily, FamilySet};
 pub use asn::Asn;
 pub use community::Community;
 pub use internid::{CommSetId, LinkSetId, PathId, PrefixId};

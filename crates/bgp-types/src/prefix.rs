@@ -55,6 +55,29 @@ impl Prefix {
         Prefix::v4(Ipv4Addr::new(10u8.wrapping_add(z), x, y, 0), 24)
     }
 
+    /// A synthetic IPv6 test prefix: `2001:db8:x:y::/64` derived from
+    /// `id` (the documentation prefix, RFC 3849). The v6 companion of
+    /// [`Prefix::synthetic`] for dual-stack scenario generation.
+    pub fn synthetic_v6(id: u32) -> Self {
+        let x = ((id >> 16) & 0xffff) as u16;
+        let y = (id & 0xffff) as u16;
+        Prefix::v6(Ipv6Addr::new(0x2001, 0xdb8, x, y, 0, 0, 0, 0), 64)
+    }
+
+    /// Inverse of [`Prefix::synthetic_v6`]: the dense id this prefix was
+    /// derived from, or `None` if it does not have the synthetic
+    /// `2001:db8:x:y::/64` shape.
+    pub fn synthetic_v6_index(&self) -> Option<u32> {
+        if !self.v6 || self.len != 64 {
+            return None;
+        }
+        let segs = Ipv6Addr::from(self.bits).segments();
+        if segs[0] != 0x2001 || segs[1] != 0xdb8 {
+            return None;
+        }
+        Some(((segs[2] as u32) << 16) | segs[3] as u32)
+    }
+
     /// Inverse of [`Prefix::synthetic`]: the dense id this prefix was
     /// derived from, or `None` if it does not have the synthetic
     /// `10.z.x.y/24` shape. Exact for ids below `2^22` (the fold limit).
@@ -89,6 +112,12 @@ impl Prefix {
     #[inline]
     pub const fn is_ipv6(&self) -> bool {
         self.v6
+    }
+
+    /// The address family this prefix belongs to.
+    #[inline]
+    pub fn family(&self) -> crate::AddressFamily {
+        crate::AddressFamily::of(self)
     }
 
     /// The network address.
@@ -223,6 +252,18 @@ mod tests {
         assert!("10.0.0.0/33".parse::<Prefix>().is_err());
         assert!("2001:db8::/129".parse::<Prefix>().is_err());
         assert!("bogus/8".parse::<Prefix>().is_err());
+    }
+
+    #[test]
+    fn synthetic_v6_roundtrips_through_index() {
+        for id in [0u32, 1, 255, 65_535, 65_536, 0xdead_beef] {
+            let p = Prefix::synthetic_v6(id);
+            assert!(p.is_ipv6());
+            assert_eq!(p.len(), 64);
+            assert_eq!(p.synthetic_v6_index(), Some(id), "{p}");
+            assert_eq!(p.synthetic_index(), None);
+        }
+        assert_eq!(Prefix::synthetic(7).synthetic_v6_index(), None);
     }
 
     #[test]

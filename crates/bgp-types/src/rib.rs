@@ -1,7 +1,7 @@
 //! Per-vantage-point Routing Information Base.
 
 use crate::{AsPath, BgpUpdate, Community, Prefix, Timestamp, UpdateKind, VpId};
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 /// The best route a VP currently holds for one prefix.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -14,15 +14,21 @@ pub struct RibEntry {
     pub time: Timestamp,
 }
 
-/// A single vantage point's routing table: prefix → best route.
+/// A single vantage point's routing table: (prefix, path-id) → best route.
 ///
 /// Replaying a stream of updates through [`Rib::apply`] maintains the table
 /// and, crucially, derives each update's implicit-withdrawal sets `Lw`/`Cw`
 /// (§4.2): the links/communities of the *previous* route for the prefix that
 /// the new update renders obsolete.
+///
+/// On classic sessions every route has `path_id = None` and the table is
+/// the familiar prefix → route map. Where ADD-PATH (RFC 7911) was
+/// negotiated a VP may hold several routes per prefix, one per path
+/// identifier; an announce/withdraw only replaces/removes the route with
+/// the *same* `(prefix, path_id)` key.
 #[derive(Clone, Default, Debug)]
 pub struct Rib {
-    entries: HashMap<Prefix, RibEntry>,
+    entries: HashMap<Prefix, BTreeMap<Option<u32>, RibEntry>>,
 }
 
 impl Rib {
@@ -31,8 +37,13 @@ impl Rib {
         Self::default()
     }
 
-    /// Number of prefixes with an installed route.
+    /// Number of installed routes (counting each ADD-PATH path once).
     pub fn len(&self) -> usize {
+        self.entries.values().map(|paths| paths.len()).sum()
+    }
+
+    /// Number of distinct prefixes with at least one route.
+    pub fn prefix_count(&self) -> usize {
         self.entries.len()
     }
 
@@ -41,38 +52,78 @@ impl Rib {
         self.entries.is_empty()
     }
 
-    /// Current best route for `prefix`.
+    /// Current route for `prefix`: the classic (`path_id = None`) route if
+    /// installed, otherwise the lowest-path-id ADD-PATH route.
     pub fn get(&self, prefix: &Prefix) -> Option<&RibEntry> {
-        self.entries.get(prefix)
+        self.entries
+            .get(prefix)
+            .and_then(|paths| paths.values().next())
+    }
+
+    /// The route installed under exactly `(prefix, path_id)`.
+    pub fn get_path(&self, prefix: &Prefix, path_id: Option<u32>) -> Option<&RibEntry> {
+        self.entries
+            .get(prefix)
+            .and_then(|paths| paths.get(&path_id))
+    }
+
+    /// All routes for `prefix`, ordered by path id (`None` first).
+    pub fn paths(&self, prefix: &Prefix) -> impl Iterator<Item = (Option<u32>, &RibEntry)> {
+        self.entries
+            .get(prefix)
+            .into_iter()
+            .flat_map(|paths| paths.iter().map(|(id, e)| (*id, e)))
     }
 
     /// Builds a RIB directly from `(prefix, entry)` pairs (used by stores
     /// that keep routes in a compact interned form and materialize full
-    /// tables on demand). Later duplicates replace earlier ones.
+    /// tables on demand). Later duplicates replace earlier ones. All
+    /// entries install with `path_id = None`; use
+    /// [`Rib::from_path_entries`] for ADD-PATH tables.
     pub fn from_entries<I: IntoIterator<Item = (Prefix, RibEntry)>>(entries: I) -> Self {
-        Rib {
-            entries: entries.into_iter().collect(),
-        }
+        Self::from_path_entries(entries.into_iter().map(|(p, e)| (p, None, e)))
     }
 
-    /// Iterates over `(prefix, entry)` pairs in arbitrary order.
+    /// Builds a RIB from `(prefix, path_id, entry)` triples.
+    pub fn from_path_entries<I: IntoIterator<Item = (Prefix, Option<u32>, RibEntry)>>(
+        entries: I,
+    ) -> Self {
+        let mut rib = Rib::new();
+        for (p, id, e) in entries {
+            rib.entries.entry(p).or_default().insert(id, e);
+        }
+        rib
+    }
+
+    /// Iterates over `(prefix, entry)` pairs in arbitrary prefix order
+    /// (ADD-PATH prefixes yield one pair per installed path).
     pub fn iter(&self) -> impl Iterator<Item = (&Prefix, &RibEntry)> {
-        self.entries.iter()
+        self.entries
+            .iter()
+            .flat_map(|(p, paths)| paths.values().map(move |e| (p, e)))
+    }
+
+    /// Iterates over `(prefix, path_id, entry)` triples.
+    pub fn iter_paths(&self) -> impl Iterator<Item = (&Prefix, Option<u32>, &RibEntry)> {
+        self.entries
+            .iter()
+            .flat_map(|(p, paths)| paths.iter().map(move |(id, e)| (p, *id, e)))
     }
 
     /// Applies `update` to the table, filling in its `withdrawn_links` and
     /// `withdrawn_communities` from the route it replaces (empty sets when
-    /// the prefix was not previously installed, exactly as §4.2 specifies).
+    /// the `(prefix, path_id)` key was not previously installed, exactly
+    /// as §4.2 specifies).
     ///
     /// Withdrawals remove the entry; their `Lw`/`Cw` carry everything the
     /// withdrawn route had.
     pub fn apply(&mut self, update: &mut BgpUpdate) {
-        let prev = self.entries.get(&update.prefix);
         match update.kind {
             UpdateKind::Announce => {
                 let new_links = update.path.links();
                 let new_comms = update.communities.clone();
-                if let Some(prev) = prev {
+                let paths = self.entries.entry(update.prefix).or_default();
+                if let Some(prev) = paths.get(&update.path_id) {
                     update.withdrawn_links =
                         prev.path.links().difference(&new_links).copied().collect();
                     update.withdrawn_communities =
@@ -81,8 +132,8 @@ impl Rib {
                     update.withdrawn_links.clear();
                     update.withdrawn_communities.clear();
                 }
-                self.entries.insert(
-                    update.prefix,
+                paths.insert(
+                    update.path_id,
                     RibEntry {
                         path: update.path.clone(),
                         communities: new_comms,
@@ -91,7 +142,17 @@ impl Rib {
                 );
             }
             UpdateKind::Withdraw => {
-                if let Some(prev) = self.entries.remove(&update.prefix) {
+                let removed = match self.entries.get_mut(&update.prefix) {
+                    Some(paths) => {
+                        let removed = paths.remove(&update.path_id);
+                        if paths.is_empty() {
+                            self.entries.remove(&update.prefix);
+                        }
+                        removed
+                    }
+                    None => None,
+                };
+                if let Some(prev) = removed {
                     update.withdrawn_links = prev.path.links();
                     update.withdrawn_communities = prev.communities;
                 } else {
@@ -212,6 +273,65 @@ mod tests {
             rib.get(&Prefix::synthetic(2)).unwrap().path,
             AsPath::from_u32s([6, 4])
         );
+    }
+
+    #[test]
+    fn add_path_routes_are_keyed_separately() {
+        let mut rib = Rib::new();
+        let p = Prefix::synthetic(1);
+        for (id, path) in [(1u32, &[6u32, 2, 4][..]), (2, &[6, 3, 4])] {
+            let mut u = UpdateBuilder::announce(vp(6), p)
+                .at(Timestamp::from_secs(1))
+                .path(path.iter().copied())
+                .path_id(id)
+                .build();
+            rib.apply(&mut u);
+            // distinct keys: installing path 2 never withdraws path 1's links
+            assert!(u.withdrawn_links.is_empty());
+        }
+        assert_eq!(rib.len(), 2);
+        assert_eq!(rib.prefix_count(), 1);
+        assert_eq!(rib.paths(&p).count(), 2);
+        assert!(rib.get_path(&p, Some(1)).is_some());
+        assert!(rib.get_path(&p, None).is_none());
+        // withdrawing one path leaves the other installed
+        let mut w = UpdateBuilder::withdraw(vp(6), p)
+            .at(Timestamp::from_secs(2))
+            .path_id(1)
+            .build();
+        rib.apply(&mut w);
+        assert_eq!(w.withdrawn_links.len(), 2);
+        assert_eq!(rib.len(), 1);
+        assert_eq!(
+            rib.get(&p).unwrap().path,
+            AsPath::from_u32s([6, 3, 4]),
+            "remaining route is path id 2"
+        );
+    }
+
+    #[test]
+    fn v6_routes_key_separately_from_v4() {
+        let mut rib = Rib::new();
+        let v4: Prefix = "10.1.0.0/24".parse().unwrap();
+        let v6: Prefix = "2001:db8:1::/64".parse().unwrap();
+        for p in [v4, v6] {
+            let mut u = ann_at(p, 1);
+            rib.apply(&mut u);
+        }
+        assert_eq!(rib.len(), 2);
+        assert!(rib.get(&v4).is_some());
+        assert!(rib.get(&v6).is_some());
+        let mut w = UpdateBuilder::withdraw(vp(6), v6).build();
+        rib.apply(&mut w);
+        assert!(rib.get(&v6).is_none());
+        assert!(rib.get(&v4).is_some());
+    }
+
+    fn ann_at(p: Prefix, t: u64) -> BgpUpdate {
+        UpdateBuilder::announce(vp(6), p)
+            .at(Timestamp::from_secs(t))
+            .path([6, 2, 4])
+            .build()
     }
 
     #[test]

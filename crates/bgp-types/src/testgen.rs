@@ -7,12 +7,38 @@
 
 use crate::{Asn, BgpUpdate, Prefix, Timestamp, UpdateBuilder, VpId};
 use proptest::prelude::*;
-use std::net::Ipv4Addr;
+use std::net::{Ipv4Addr, Ipv6Addr};
 
 /// An arbitrary IPv4 prefix (any bits, len 0..=32; the constructor masks
 /// host bits).
 pub fn arb_prefix_v4() -> impl Strategy<Value = Prefix> {
     (any::<u32>(), 0u8..=32).prop_map(|(bits, len)| Prefix::v4(Ipv4Addr::from(bits), len))
+}
+
+/// An arbitrary IPv6 prefix (any bits, len 0..=128; the constructor masks
+/// host bits).
+pub fn arb_prefix_v6() -> impl Strategy<Value = Prefix> {
+    (any::<u128>(), 0u8..=128).prop_map(|(bits, len)| Prefix::v6(Ipv6Addr::from(bits), len))
+}
+
+/// An arbitrary prefix of either family — the dual-stack default every
+/// family-aware codec and store proptest should draw from (v4-weighted
+/// 2:1, roughly the collector's real mix).
+pub fn arb_prefix() -> impl Strategy<Value = Prefix> {
+    prop_oneof![
+        2 => arb_prefix_v4(),
+        1 => arb_prefix_v6(),
+    ]
+}
+
+/// An arbitrary ADD-PATH path identifier: usually absent (classic
+/// session), sometimes a small id, occasionally an arbitrary one.
+pub fn arb_path_id() -> impl Strategy<Value = Option<u32>> {
+    prop_oneof![
+        3 => Just(None),
+        2 => (0u32..8).prop_map(Some),
+        1 => any::<u32>().prop_map(Some),
+    ]
 }
 
 /// An arbitrary vantage point (ASN 1..100k, router id 0..4 so multi-router
@@ -298,28 +324,46 @@ pub fn arb_bmp_frame_mutated(
 
 /// An arbitrary update: announcements carry a 1..8-hop path and up to 6
 /// communities; withdrawals carry neither (matching the wire format).
+/// Draws mixed v4/v6 prefixes and occasionally an ADD-PATH path id, so
+/// every codec/store proptest exercises the multiprotocol surface.
 pub fn arb_update() -> impl Strategy<Value = BgpUpdate> {
     (
         arb_vp(),
         0u64..10_000, // time secs
-        arb_prefix_v4(),
+        arb_prefix(),
+        arb_path_id(),
         proptest::collection::vec(1u32..1_000_000, 1..8), // path
         proptest::collection::vec((0u16..60_000, 0u16..1_000), 0..6),
         any::<bool>(), // announce?
     )
-        .prop_map(|(vp, t, prefix, path, comms, announce)| {
-            if announce {
+        .prop_map(|(vp, t, prefix, path_id, path, comms, announce)| {
+            let mut b = if announce {
                 let mut b = UpdateBuilder::announce(vp, prefix)
                     .at(Timestamp::from_secs(t))
                     .path(path);
                 for (a, c) in comms {
                     b = b.community(a, c);
                 }
-                b.build()
+                b
             } else {
-                UpdateBuilder::withdraw(vp, prefix)
-                    .at(Timestamp::from_secs(t))
-                    .build()
+                UpdateBuilder::withdraw(vp, prefix).at(Timestamp::from_secs(t))
+            };
+            if let Some(id) = path_id {
+                b = b.path_id(id);
             }
+            b.build()
         })
+}
+
+/// An arbitrary v4-only, classic-session update (no v6, no path ids) —
+/// for suites pinned to the pre-multiprotocol wire surface.
+pub fn arb_update_v4() -> impl Strategy<Value = BgpUpdate> {
+    arb_update().prop_map(|mut u| {
+        if u.prefix.is_ipv6() {
+            let bits = (u.prefix.raw_bits() >> 96) as u32;
+            u.prefix = Prefix::v4(Ipv4Addr::from(bits), u.prefix.len().min(32));
+        }
+        u.path_id = None;
+        u
+    })
 }

@@ -38,6 +38,11 @@ pub struct BgpUpdate {
     pub time: Timestamp,
     /// Announced (or withdrawn) prefix (`p`).
     pub prefix: Prefix,
+    /// ADD-PATH path identifier (RFC 7911), when the session that
+    /// observed the update negotiated ADD-PATH for the prefix's family.
+    /// `None` on classic single-path sessions. Routes are keyed by
+    /// `(prefix, path_id)` so a VP can hold several paths per prefix.
+    pub path_id: Option<u32>,
     /// Announcement vs withdrawal.
     pub kind: UpdateKind,
     /// The AS path; empty for withdrawals.
@@ -92,6 +97,7 @@ impl BgpUpdate {
     pub fn same_content(&self, other: &BgpUpdate) -> bool {
         self.vp == other.vp
             && self.prefix == other.prefix
+            && self.path_id == other.path_id
             && self.kind == other.kind
             && self.path == other.path
             && self.communities == other.communities
@@ -138,6 +144,7 @@ impl UpdateBuilder {
                 vp,
                 time: Timestamp::ZERO,
                 prefix,
+                path_id: None,
                 kind: UpdateKind::Announce,
                 path: AsPath::empty(),
                 communities: BTreeSet::new(),
@@ -157,6 +164,12 @@ impl UpdateBuilder {
     /// Sets the reception timestamp.
     pub fn at(mut self, t: Timestamp) -> Self {
         self.update.time = t;
+        self
+    }
+
+    /// Sets the ADD-PATH path identifier (RFC 7911).
+    pub fn path_id(mut self, id: u32) -> Self {
+        self.update.path_id = Some(id);
         self
     }
 

@@ -35,6 +35,11 @@ pub enum WireError {
     Unsupported(&'static str),
     /// Malformed MRT record.
     BadMrt(&'static str),
+    /// A structurally complete MRT record of a type, subtype or address
+    /// family we do not decode. Readers can skip the record (its length
+    /// is known from the header) and count it instead of aborting the
+    /// archive — see `MrtReader::skipped`.
+    UnsupportedMrt(&'static str),
 }
 
 impl fmt::Display for WireError {
@@ -53,6 +58,7 @@ impl fmt::Display for WireError {
             WireError::BadPrefixLength(l) => write!(f, "invalid prefix length {l}"),
             WireError::Unsupported(s) => write!(f, "unsupported: {s}"),
             WireError::BadMrt(s) => write!(f, "malformed MRT record: {s}"),
+            WireError::UnsupportedMrt(s) => write!(f, "unsupported MRT record: {s}"),
         }
     }
 }

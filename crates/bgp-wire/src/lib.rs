@@ -5,15 +5,19 @@
 //! updates are archived as MRT `BGP4MP_MESSAGE_AS4` records.
 //!
 //! * [`message`] — framing (marker/length/type) and the message enum.
-//! * [`open`] — OPEN with the RFC 6793 four-octet-ASN capability.
+//! * [`open`] — OPEN with the RFC 6793 four-octet-ASN, RFC 4760
+//!   Multiprotocol and RFC 7911 ADD-PATH capabilities.
 //! * [`update`] — UPDATE with ORIGIN / AS_PATH / NEXT_HOP / COMMUNITIES
-//!   attributes and conversions to/from the domain [`bgp_types::BgpUpdate`].
+//!   attributes, `MP_REACH_NLRI`/`MP_UNREACH_NLRI` for IPv6 unicast,
+//!   ADD-PATH path identifiers, and conversions to/from the domain
+//!   [`bgp_types::BgpUpdate`].
 //! * [`notification`] — NOTIFICATION.
-//! * [`mrt`] — MRT record writer/reader.
+//! * [`mrt`] — MRT record writer/reader (AFI 1 and 2 peers; unsupported
+//!   record types are skipped and counted, not fatal).
 //!
-//! Scope: IPv4 unicast NLRI (the simulator's prefix space);
-//! `MP_REACH_NLRI` is intentionally out of scope and encodes as an error
-//! rather than silently wrong bytes.
+//! Scope: IPv4 and IPv6 unicast (AFI 1/2, SAFI 1). Whether NLRI carries
+//! RFC 7911 path identifiers is session state, so decoding is
+//! parameterized by [`update::DecodeCtx`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -26,10 +30,11 @@ pub mod open;
 pub mod table_dump;
 pub mod update;
 
+pub use bgp_types::{AddressFamily, FamilySet};
 pub use error::{WireError, WireResult};
 pub use message::{BgpMessage, MAX_MESSAGE_LEN, MIN_MESSAGE_LEN};
 pub use mrt::{MrtReader, MrtRecord, MrtWriter};
 pub use notification::{error_code, Notification};
 pub use open::OpenMessage;
 pub use table_dump::{PeerEntry, RibRoute, TableDump};
-pub use update::{Origin, UpdateMessage};
+pub use update::{DecodeCtx, Nlri, Origin, UpdateMessage};

@@ -3,7 +3,7 @@
 use crate::error::{WireError, WireResult};
 use crate::notification::Notification;
 use crate::open::OpenMessage;
-use crate::update::UpdateMessage;
+use crate::update::{DecodeCtx, UpdateMessage};
 use bytes::{Buf, BufMut, BytesMut};
 
 /// Minimum BGP message size (the 19-byte header alone).
@@ -75,11 +75,18 @@ impl BgpMessage {
         Ok(b.to_vec())
     }
 
-    /// Attempts to decode one message from the front of `buf`.
+    /// Attempts to decode one message from the front of `buf`, assuming a
+    /// classic session (no ADD-PATH negotiated).
     ///
     /// Returns `Ok(None)` when the buffer does not yet hold a complete
     /// message (stream decoding); consumes the message bytes on success.
     pub fn decode(buf: &mut BytesMut) -> WireResult<Option<BgpMessage>> {
+        Self::decode_ctx(buf, &DecodeCtx::default())
+    }
+
+    /// Attempts to decode one message under the session's negotiated
+    /// [`DecodeCtx`] (governs ADD-PATH path-id parsing in UPDATEs).
+    pub fn decode_ctx(buf: &mut BytesMut, ctx: &DecodeCtx) -> WireResult<Option<BgpMessage>> {
         if buf.len() < MIN_MESSAGE_LEN {
             return Ok(None);
         }
@@ -100,7 +107,7 @@ impl BgpMessage {
         let body = msg.freeze();
         let decoded = match ty {
             type_code::OPEN => BgpMessage::Open(OpenMessage::decode_body(&body)?),
-            type_code::UPDATE => BgpMessage::Update(UpdateMessage::decode_body(&body)?),
+            type_code::UPDATE => BgpMessage::Update(UpdateMessage::decode_body_ctx(&body, ctx)?),
             type_code::NOTIFICATION => BgpMessage::Notification(Notification::decode_body(&body)?),
             type_code::KEEPALIVE => {
                 if !body.is_empty() {

@@ -2,16 +2,20 @@
 //! collected updates in (§9).
 //!
 //! Implements `BGP4MP_MESSAGE_AS4` records (type 16, subtype 4): the MRT
-//! common header followed by peer/local AS and addresses and a raw BGP
-//! message. [`MrtWriter`] streams records to any `io::Write`;
-//! [`MrtReader`] streams them back.
+//! common header followed by peer/local AS and addresses (AFI 1 with
+//! 4-byte or AFI 2 with 16-byte addresses) and a raw BGP message.
+//! [`MrtWriter`] streams records to any `io::Write`; [`MrtReader`]
+//! streams them back, skipping-and-counting records of types we do not
+//! decode instead of aborting the archive (real collector dumps mix in
+//! OSPF, TABLE_DUMP and exotic AFIs — see [`MrtReader::skipped`]).
 
 use crate::error::{WireError, WireResult};
 use crate::message::BgpMessage;
+use crate::update::DecodeCtx;
 use bgp_types::{Asn, Timestamp};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use std::io::{Read, Write};
-use std::net::Ipv4Addr;
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr};
 
 /// MRT type code for BGP4MP.
 pub const MRT_TYPE_BGP4MP: u16 = 16;
@@ -27,10 +31,10 @@ pub struct MrtRecord {
     pub peer_as: Asn,
     /// The collector's AS.
     pub local_as: Asn,
-    /// Peer address.
-    pub peer_ip: Ipv4Addr,
-    /// Collector address.
-    pub local_ip: Ipv4Addr,
+    /// Peer address (the record's AFI field follows its family).
+    pub peer_ip: IpAddr,
+    /// Collector address (must be the same family as `peer_ip`).
+    pub local_ip: IpAddr,
     /// The carried BGP message.
     pub message: BgpMessage,
 }
@@ -39,13 +43,23 @@ impl MrtRecord {
     /// Encodes the record (header + body).
     pub fn encode(&self) -> WireResult<Vec<u8>> {
         let msg = self.message.encode_to_vec()?;
-        let mut body = BytesMut::with_capacity(20 + msg.len());
+        let mut body = BytesMut::with_capacity(44 + msg.len());
         body.put_u32(self.peer_as.value());
         body.put_u32(self.local_as.value());
         body.put_u16(0); // interface index
-        body.put_u16(1); // AFI: IPv4
-        body.put_u32(u32::from(self.peer_ip));
-        body.put_u32(u32::from(self.local_ip));
+        match (self.peer_ip, self.local_ip) {
+            (IpAddr::V4(p), IpAddr::V4(l)) => {
+                body.put_u16(1); // AFI: IPv4
+                body.put_u32(u32::from(p));
+                body.put_u32(u32::from(l));
+            }
+            (IpAddr::V6(p), IpAddr::V6(l)) => {
+                body.put_u16(2); // AFI: IPv6
+                body.extend_from_slice(&p.octets());
+                body.extend_from_slice(&l.octets());
+            }
+            _ => return Err(WireError::Unsupported("mixed-family MRT peer addresses")),
+        }
         body.extend_from_slice(&msg);
         let mut out = BytesMut::with_capacity(12 + body.len());
         out.put_u32(self.time.as_secs() as u32);
@@ -56,9 +70,15 @@ impl MrtRecord {
         Ok(out.to_vec())
     }
 
-    /// Decodes one record from `bytes`; returns the record and the number
-    /// of bytes consumed, or `None` when the input is incomplete.
+    /// Decodes one record from `bytes` (classic sessions — no ADD-PATH);
+    /// returns the record and the number of bytes consumed, or `None`
+    /// when the input is incomplete.
     pub fn decode(bytes: &[u8]) -> WireResult<Option<(MrtRecord, usize)>> {
+        Self::decode_ctx(bytes, &DecodeCtx::default())
+    }
+
+    /// Decodes one record, parsing the embedded BGP message under `ctx`.
+    pub fn decode_ctx(bytes: &[u8], ctx: &DecodeCtx) -> WireResult<Option<(MrtRecord, usize)>> {
         if bytes.len() < 12 {
             return Ok(None);
         }
@@ -70,8 +90,10 @@ impl MrtRecord {
         if bytes.len() < 12 + len {
             return Ok(None);
         }
+        // completeness is checked first, so an unsupported-record error
+        // always refers to a fully buffered record that a reader can skip
         if ty != MRT_TYPE_BGP4MP || subty != MRT_SUBTYPE_MESSAGE_AS4 {
-            return Err(WireError::BadMrt("unsupported MRT type/subtype"));
+            return Err(WireError::UnsupportedMrt("unsupported MRT type/subtype"));
         }
         if len < 20 {
             return Err(WireError::BadMrt("BGP4MP body too short"));
@@ -81,13 +103,29 @@ impl MrtRecord {
         let local_as = Asn(body.get_u32());
         let _ifindex = body.get_u16();
         let afi = body.get_u16();
-        if afi != 1 {
-            return Err(WireError::BadMrt("non-IPv4 AFI"));
-        }
-        let peer_ip = Ipv4Addr::from(body.get_u32());
-        let local_ip = Ipv4Addr::from(body.get_u32());
+        let (peer_ip, local_ip) = match afi {
+            1 => (
+                IpAddr::V4(Ipv4Addr::from(body.get_u32())),
+                IpAddr::V4(Ipv4Addr::from(body.get_u32())),
+            ),
+            2 => {
+                if body.remaining() < 32 {
+                    return Err(WireError::BadMrt("BGP4MP v6 body too short"));
+                }
+                let mut p = [0u8; 16];
+                for slot in p.iter_mut() {
+                    *slot = body.get_u8();
+                }
+                let mut l = [0u8; 16];
+                for slot in l.iter_mut() {
+                    *slot = body.get_u8();
+                }
+                (IpAddr::V6(Ipv6Addr::from(p)), IpAddr::V6(Ipv6Addr::from(l)))
+            }
+            _ => return Err(WireError::UnsupportedMrt("unknown BGP4MP AFI")),
+        };
         let mut msgbuf = BytesMut::from(&body[..]);
-        let message = BgpMessage::decode(&mut msgbuf)?
+        let message = BgpMessage::decode_ctx(&mut msgbuf, ctx)?
             .ok_or(WireError::BadMrt("truncated BGP message in record"))?;
         Ok(Some((
             MrtRecord {
@@ -138,31 +176,59 @@ impl<W: Write> MrtWriter<W> {
 }
 
 /// Streams MRT records from a reader.
+///
+/// Structurally complete records of unsupported types/subtypes/AFIs are
+/// skipped and tallied in [`MrtReader::skipped`] rather than aborting the
+/// stream; malformed records still error.
 pub struct MrtReader<R: Read> {
     inner: R,
     buf: Vec<u8>,
     eof: bool,
+    skipped: usize,
+    ctx: DecodeCtx,
 }
 
 impl<R: Read> MrtReader<R> {
-    /// Wraps a reader.
+    /// Wraps a reader (classic sessions — no ADD-PATH).
     pub fn new(inner: R) -> Self {
+        Self::with_ctx(inner, DecodeCtx::default())
+    }
+
+    /// Wraps a reader whose embedded BGP messages decode under `ctx`.
+    pub fn with_ctx(inner: R, ctx: DecodeCtx) -> Self {
         MrtReader {
             inner,
             buf: Vec::new(),
             eof: false,
+            skipped: 0,
+            ctx,
         }
+    }
+
+    /// Number of unsupported records skipped so far (the skip ledger).
+    pub fn skipped(&self) -> usize {
+        self.skipped
     }
 
     /// Reads the next record, or `None` at end of stream.
     pub fn next_record(&mut self) -> WireResult<Option<MrtRecord>> {
         loop {
-            match MrtRecord::decode(&self.buf)? {
-                Some((rec, used)) => {
+            match MrtRecord::decode_ctx(&self.buf, &self.ctx) {
+                Ok(Some((rec, used))) => {
                     self.buf.drain(..used);
                     return Ok(Some(rec));
                 }
-                None => {
+                Err(WireError::UnsupportedMrt(_)) => {
+                    // decode only reports unsupported records once fully
+                    // buffered, so the header length is trustworthy here
+                    let len =
+                        u32::from_be_bytes([self.buf[8], self.buf[9], self.buf[10], self.buf[11]])
+                            as usize;
+                    self.buf.drain(..12 + len);
+                    self.skipped += 1;
+                }
+                Err(e) => return Err(e),
+                Ok(None) => {
                     if self.eof {
                         if self.buf.is_empty() {
                             return Ok(None);
@@ -196,12 +262,28 @@ mod tests {
             time: Timestamp::from_secs(t),
             peer_as: Asn(peer),
             local_as: Asn(65535),
-            peer_ip: Ipv4Addr::new(10, 0, 0, 2),
-            local_ip: Ipv4Addr::new(10, 0, 0, 1),
+            peer_ip: IpAddr::V4(Ipv4Addr::new(10, 0, 0, 2)),
+            local_ip: IpAddr::V4(Ipv4Addr::new(10, 0, 0, 1)),
             message: BgpMessage::Update(UpdateMessage::announce(
                 "192.0.2.0/24".parse().unwrap(),
                 AsPath::from_u32s([peer, 2, 3]),
                 Ipv4Addr::new(10, 0, 0, 2),
+                vec![],
+            )),
+        }
+    }
+
+    fn sample_v6_record(t: u64, peer: u32) -> MrtRecord {
+        MrtRecord {
+            time: Timestamp::from_secs(t),
+            peer_as: Asn(peer),
+            local_as: Asn(65535),
+            peer_ip: IpAddr::V6("2001:db8::2".parse().unwrap()),
+            local_ip: IpAddr::V6("2001:db8::1".parse().unwrap()),
+            message: BgpMessage::Update(UpdateMessage::announce_v6(
+                "2001:db8:42::/48".parse().unwrap(),
+                AsPath::from_u32s([peer, 2, 3]),
+                "2001:db8::2".parse().unwrap(),
                 vec![],
             )),
         }
@@ -214,6 +296,25 @@ mod tests {
         let (back, used) = MrtRecord::decode(&bytes).unwrap().unwrap();
         assert_eq!(used, bytes.len());
         assert_eq!(back, r);
+    }
+
+    #[test]
+    fn v6_record_roundtrip_uses_afi_2() {
+        let r = sample_v6_record(1_700_000_000, 65001);
+        let bytes = r.encode().unwrap();
+        // AFI field sits after the 12-byte header + 8 bytes of ASNs +
+        // 2 bytes interface index
+        assert_eq!(u16::from_be_bytes([bytes[22], bytes[23]]), 2);
+        let (back, used) = MrtRecord::decode(&bytes).unwrap().unwrap();
+        assert_eq!(used, bytes.len());
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn mixed_family_peer_addresses_fail_encode() {
+        let mut r = sample_v6_record(1, 2);
+        r.local_ip = IpAddr::V4(Ipv4Addr::new(10, 0, 0, 1));
+        assert!(r.encode().is_err());
     }
 
     #[test]
@@ -230,7 +331,13 @@ mod tests {
     fn writer_reader_stream_roundtrip() {
         let mut w = MrtWriter::new(Vec::new());
         let records: Vec<MrtRecord> = (0..10)
-            .map(|i| sample_record(1000 + i, 65000 + i as u32))
+            .map(|i| {
+                if i % 3 == 0 {
+                    sample_v6_record(1000 + i, 65000 + i as u32)
+                } else {
+                    sample_record(1000 + i, 65000 + i as u32)
+                }
+            })
             .collect();
         for r in &records {
             w.write_record(r).unwrap();
@@ -243,6 +350,7 @@ mod tests {
             back.push(r);
         }
         assert_eq!(back, records);
+        assert_eq!(rd.skipped(), 0);
     }
 
     #[test]
@@ -262,5 +370,27 @@ mod tests {
         bytes[4] = 0;
         bytes[5] = 13; // TABLE_DUMP_V2
         assert!(MrtRecord::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn reader_skips_and_counts_unsupported_records() {
+        let good = [sample_record(1, 65001), sample_v6_record(2, 65002)];
+        let mut ospf = sample_record(3, 65003).encode().unwrap();
+        ospf[4] = 0;
+        ospf[5] = 48; // OSPFv3 — complete record of a foreign type
+        let mut exotic_afi = sample_record(4, 65004).encode().unwrap();
+        exotic_afi[23] = 25; // AFI 25 (L2VPN) — complete but undecodable
+        let mut bytes = Vec::new();
+        bytes.extend(good[0].encode().unwrap());
+        bytes.extend(ospf);
+        bytes.extend(good[1].encode().unwrap());
+        bytes.extend(exotic_afi);
+        let mut rd = MrtReader::new(&bytes[..]);
+        let mut back = Vec::new();
+        while let Some(r) = rd.next_record().unwrap() {
+            back.push(r);
+        }
+        assert_eq!(back, good);
+        assert_eq!(rd.skipped(), 2);
     }
 }

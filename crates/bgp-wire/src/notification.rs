@@ -132,7 +132,9 @@ impl Notification {
                     Notification::new(ec::UPDATE, ec::update::MALFORMED_ATTRIBUTES)
                 }
             }
-            WireError::Unsupported(_) | WireError::BadMrt(_) => Notification::cease(),
+            WireError::Unsupported(_) | WireError::BadMrt(_) | WireError::UnsupportedMrt(_) => {
+                Notification::cease()
+            }
         }
     }
 

@@ -1,9 +1,11 @@
 //! OPEN message (RFC 4271 §4.2) with the 4-octet-ASN capability
-//! (RFC 6793).
+//! (RFC 6793), the Multiprotocol capability (RFC 4760) and the ADD-PATH
+//! capability (RFC 7911).
 
 use crate::error::{WireError, WireResult};
-use bgp_types::Asn;
+use bgp_types::{AddressFamily, Asn};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::collections::BTreeSet;
 use std::net::Ipv4Addr;
 
 /// Supported BGP version.
@@ -11,9 +13,16 @@ pub const BGP_VERSION: u8 = 4;
 
 /// Capability codes we understand.
 mod cap_code {
+    /// Multiprotocol extensions (RFC 4760).
+    pub const MULTIPROTOCOL: u8 = 1;
     /// Four-octet AS numbers (RFC 6793).
     pub const FOUR_OCTET_AS: u8 = 65;
+    /// ADD-PATH (RFC 7911).
+    pub const ADD_PATH: u8 = 69;
 }
+
+/// ADD-PATH send/receive mode: both directions (RFC 7911 §4).
+const ADD_PATH_SEND_RECEIVE: u8 = 3;
 
 /// A BGP OPEN message.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -25,16 +34,36 @@ pub struct OpenMessage {
     pub hold_time: u16,
     /// BGP identifier (router id).
     pub router_id: Ipv4Addr,
+    /// Address families advertised in Multiprotocol capabilities
+    /// (RFC 4760). Empty on a legacy v4-only OPEN — the capability is
+    /// then omitted entirely, keeping legacy encodings byte-identical.
+    pub mp_families: BTreeSet<AddressFamily>,
+    /// Families for which ADD-PATH send+receive is offered (RFC 7911).
+    pub add_paths: BTreeSet<AddressFamily>,
 }
 
 impl OpenMessage {
-    /// Builds an OPEN with the given parameters.
+    /// Builds a legacy OPEN with no multiprotocol capabilities.
     pub fn new(asn: Asn, hold_time: u16, router_id: Ipv4Addr) -> Self {
         OpenMessage {
             asn,
             hold_time,
             router_id,
+            mp_families: BTreeSet::new(),
+            add_paths: BTreeSet::new(),
         }
+    }
+
+    /// Adds Multiprotocol capabilities for `families`.
+    pub fn with_families<I: IntoIterator<Item = AddressFamily>>(mut self, families: I) -> Self {
+        self.mp_families.extend(families);
+        self
+    }
+
+    /// Offers ADD-PATH (send+receive) for `families`.
+    pub fn with_add_paths<I: IntoIterator<Item = AddressFamily>>(mut self, families: I) -> Self {
+        self.add_paths.extend(families);
+        self
     }
 
     /// Encodes the message body (everything after the common header).
@@ -54,6 +83,24 @@ impl OpenMessage {
         caps.put_u8(cap_code::FOUR_OCTET_AS);
         caps.put_u8(4);
         caps.put_u32(self.asn.value());
+        // one Multiprotocol capability per family (RFC 4760 §8)
+        for fam in &self.mp_families {
+            caps.put_u8(cap_code::MULTIPROTOCOL);
+            caps.put_u8(4);
+            caps.put_u16(fam.afi());
+            caps.put_u8(0); // reserved
+            caps.put_u8(fam.safi());
+        }
+        // one ADD-PATH capability listing all families (RFC 7911 §4)
+        if !self.add_paths.is_empty() {
+            caps.put_u8(cap_code::ADD_PATH);
+            caps.put_u8((self.add_paths.len() * 4) as u8);
+            for fam in &self.add_paths {
+                caps.put_u16(fam.afi());
+                caps.put_u8(fam.safi());
+                caps.put_u8(ADD_PATH_SEND_RECEIVE);
+            }
+        }
         let mut params = BytesMut::new();
         params.put_u8(2); // param type: capabilities
         params.put_u8(caps.len() as u8);
@@ -89,6 +136,8 @@ impl OpenMessage {
             });
         }
         let mut asn = Asn(two_octet as u32);
+        let mut mp_families = BTreeSet::new();
+        let mut add_paths = BTreeSet::new();
         let mut params = b.copy_to_bytes(opt_len);
         while params.remaining() >= 2 {
             let ptype = params.get_u8();
@@ -114,8 +163,33 @@ impl OpenMessage {
                         });
                     }
                     let mut cbody = pbody.copy_to_bytes(clen);
-                    if code == cap_code::FOUR_OCTET_AS && clen == 4 {
-                        asn = Asn(cbody.get_u32());
+                    match code {
+                        cap_code::FOUR_OCTET_AS if clen == 4 => {
+                            asn = Asn(cbody.get_u32());
+                        }
+                        cap_code::MULTIPROTOCOL if clen == 4 => {
+                            let afi = cbody.get_u16();
+                            let _reserved = cbody.get_u8();
+                            let safi = cbody.get_u8();
+                            // unknown AFI/SAFI pairs are skipped, not fatal
+                            if let Some(fam) = AddressFamily::from_afi_safi(afi, safi) {
+                                mp_families.insert(fam);
+                            }
+                        }
+                        cap_code::ADD_PATH if clen.is_multiple_of(4) => {
+                            while cbody.remaining() >= 4 {
+                                let afi = cbody.get_u16();
+                                let safi = cbody.get_u8();
+                                let mode = cbody.get_u8();
+                                // only send+receive-capable peers count
+                                if mode & ADD_PATH_SEND_RECEIVE != 0 {
+                                    if let Some(fam) = AddressFamily::from_afi_safi(afi, safi) {
+                                        add_paths.insert(fam);
+                                    }
+                                }
+                            }
+                        }
+                        _ => {} // tolerate unknown capabilities
                     }
                 }
             }
@@ -124,6 +198,8 @@ impl OpenMessage {
             asn,
             hold_time,
             router_id,
+            mp_families,
+            add_paths,
         })
     }
 }
@@ -174,5 +250,44 @@ mod tests {
     fn truncated_open_rejected() {
         let body = Bytes::from_static(&[4, 0]);
         assert!(OpenMessage::decode_body(&body).is_err());
+    }
+
+    #[test]
+    fn multiprotocol_and_addpath_caps_roundtrip() {
+        let m = OpenMessage::new(Asn(65001), 90, Ipv4Addr::new(10, 0, 0, 1))
+            .with_families(AddressFamily::ALL)
+            .with_add_paths([AddressFamily::Ipv6Unicast]);
+        let back = roundtrip(m.clone());
+        assert_eq!(back, m);
+        assert_eq!(back.mp_families.len(), 2);
+        assert!(back.add_paths.contains(&AddressFamily::Ipv6Unicast));
+        assert!(!back.add_paths.contains(&AddressFamily::Ipv4Unicast));
+    }
+
+    #[test]
+    fn legacy_open_encoding_is_unchanged() {
+        // an OPEN without MP/ADD-PATH capabilities must encode exactly as
+        // before the multiprotocol work: one capability (code 65)
+        let m = OpenMessage::new(Asn(65000), 90, Ipv4Addr::new(10, 0, 0, 1));
+        let bytes = BgpMessage::Open(m).encode_to_vec().unwrap();
+        // body: ver(1) asn(2) hold(2) rid(4) optlen(1) ptype(1) plen(1) cap(6)
+        assert_eq!(bytes.len(), 19 + 10 + 2 + 6);
+        assert_eq!(bytes[19 + 10 + 2], 65); // first cap code
+    }
+
+    #[test]
+    fn unknown_afi_in_caps_is_tolerated() {
+        let m = OpenMessage::new(Asn(65000), 90, Ipv4Addr::new(10, 0, 0, 1))
+            .with_families([AddressFamily::Ipv6Unicast]);
+        let mut bytes = BgpMessage::Open(m).encode_to_vec().unwrap();
+        // corrupt the MP capability's AFI to an unknown value (l2vpn = 25)
+        let mp_afi_at = 19 + 10 + 2 + 6 + 2;
+        assert_eq!(bytes[mp_afi_at - 2], 1); // MP cap code
+        bytes[mp_afi_at + 1] = 25;
+        let mut buf = BytesMut::from(&bytes[..]);
+        match BgpMessage::decode(&mut buf).unwrap().unwrap() {
+            BgpMessage::Open(o) => assert!(o.mp_families.is_empty()),
+            other => panic!("wrong type {other:?}"),
+        }
     }
 }

@@ -2,7 +2,8 @@
 //!
 //! GILL stores "RIBs every eight hours or every update" (§8). A
 //! TABLE_DUMP_V2 archive starts with a PEER_INDEX_TABLE record naming the
-//! peers, followed by one RIB_IPV4_UNICAST record per prefix, each holding
+//! peers (IPv4 or IPv6 addresses, flagged per-peer), followed by one
+//! RIB_IPV4_UNICAST or RIB_IPV6_UNICAST record per prefix, each holding
 //! the best route of every peer that has one (peer referenced by index).
 //!
 //! Only the attributes the rest of the workspace uses are encoded
@@ -14,7 +15,7 @@ use bgp_types::{AsPath, Asn, Community, Prefix, Rib, Timestamp, VpId};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use std::collections::BTreeMap;
 use std::io::Write;
-use std::net::Ipv4Addr;
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr};
 
 /// MRT type code for TABLE_DUMP_V2.
 pub const MRT_TYPE_TABLE_DUMP_V2: u16 = 13;
@@ -22,14 +23,16 @@ pub const MRT_TYPE_TABLE_DUMP_V2: u16 = 13;
 pub const SUBTYPE_PEER_INDEX_TABLE: u16 = 1;
 /// Subtype: RIB_IPV4_UNICAST.
 pub const SUBTYPE_RIB_IPV4_UNICAST: u16 = 2;
+/// Subtype: RIB_IPV6_UNICAST.
+pub const SUBTYPE_RIB_IPV6_UNICAST: u16 = 4;
 
 /// One peer in the index table.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct PeerEntry {
     /// Peer AS number.
     pub asn: Asn,
-    /// Peer BGP id / address.
-    pub addr: Ipv4Addr,
+    /// Peer address (the entry's type bits flag its family).
+    pub addr: IpAddr,
 }
 
 /// One route within a RIB entry record.
@@ -69,7 +72,9 @@ impl TableDump {
             let peer_index = peers.len() as u16;
             peers.push(PeerEntry {
                 asn: vp.asn,
-                addr: Ipv4Addr::from(0x0a00_0000u32 | (vp.asn.value() & 0x00ff_ffff)),
+                addr: IpAddr::V4(Ipv4Addr::from(
+                    0x0a00_0000u32 | (vp.asn.value() & 0x00ff_ffff),
+                )),
             });
             let mut entries: Vec<_> = rib.iter().collect();
             entries.sort_by_key(|(p, _)| **p);
@@ -126,9 +131,20 @@ impl TableDump {
         body.put_u16(0); // view name length (empty)
         body.put_u16(self.peers.len() as u16);
         for p in &self.peers {
-            body.put_u8(0x02); // type: AS4, IPv4
-            body.put_u32(u32::from(p.addr)); // peer BGP id (reuse addr)
-            body.put_u32(u32::from(p.addr));
+            match p.addr {
+                IpAddr::V4(a) => {
+                    body.put_u8(0x02); // type: AS4, IPv4
+                    body.put_u32(u32::from(a)); // peer BGP id (reuse addr)
+                    body.put_u32(u32::from(a));
+                }
+                IpAddr::V6(a) => {
+                    body.put_u8(0x03); // type: AS4, IPv6
+                    let oct = a.octets();
+                    // BGP id stays 4 bytes: low 32 address bits
+                    body.extend_from_slice(&oct[12..]);
+                    body.extend_from_slice(&oct);
+                }
+            }
             body.put_u32(p.asn.value());
         }
         write_mrt_header(w, at, SUBTYPE_PEER_INDEX_TABLE, &body)?;
@@ -146,7 +162,12 @@ impl TableDump {
                 body.put_u16(attrs.len() as u16);
                 body.extend_from_slice(&attrs);
             }
-            write_mrt_header(w, at, SUBTYPE_RIB_IPV4_UNICAST, &body)?;
+            let subtype = if prefix.is_ipv6() {
+                SUBTYPE_RIB_IPV6_UNICAST
+            } else {
+                SUBTYPE_RIB_IPV4_UNICAST
+            };
+            write_mrt_header(w, at, subtype, &body)?;
             records += 1;
         }
         Ok(records)
@@ -190,12 +211,23 @@ impl TableDump {
                             return Err(WireError::BadMrt("short peer entry"));
                         }
                         let ptype = body.get_u8();
-                        if ptype & 0x01 != 0 {
-                            return Err(WireError::BadMrt("IPv6 peers unsupported"));
-                        }
                         let _bgp_id = body.get_u32();
-                        let addr = Ipv4Addr::from(body.get_u32());
+                        let addr = if ptype & 0x01 != 0 {
+                            if body.remaining() < 16 {
+                                return Err(WireError::BadMrt("short v6 peer address"));
+                            }
+                            let mut oct = [0u8; 16];
+                            for slot in oct.iter_mut() {
+                                *slot = body.get_u8();
+                            }
+                            IpAddr::V6(Ipv6Addr::from(oct))
+                        } else {
+                            IpAddr::V4(Ipv4Addr::from(body.get_u32()))
+                        };
                         let asn = if ptype & 0x02 != 0 {
+                            if body.remaining() < 4 {
+                                return Err(WireError::BadMrt("short 4-octet peer AS"));
+                            }
                             Asn(body.get_u32())
                         } else {
                             if body.remaining() < 2 {
@@ -207,7 +239,7 @@ impl TableDump {
                     }
                     saw_index = true;
                 }
-                SUBTYPE_RIB_IPV4_UNICAST => {
+                SUBTYPE_RIB_IPV4_UNICAST | SUBTYPE_RIB_IPV6_UNICAST => {
                     if !saw_index {
                         return Err(WireError::BadMrt("RIB entry before PEER_INDEX_TABLE"));
                     }
@@ -215,7 +247,7 @@ impl TableDump {
                         return Err(WireError::BadMrt("short RIB entry"));
                     }
                     let _seq = body.get_u32();
-                    let prefix = decode_prefix_nlri(&mut body)?;
+                    let prefix = decode_prefix_nlri(&mut body, subty == SUBTYPE_RIB_IPV6_UNICAST)?;
                     if body.remaining() < 2 {
                         return Err(WireError::BadMrt("missing entry count"));
                     }
@@ -265,33 +297,44 @@ fn write_mrt_header<W: Write>(
 }
 
 fn encode_prefix_nlri(p: &Prefix, out: &mut BytesMut) -> WireResult<()> {
-    if p.is_ipv6() {
-        return Err(WireError::Unsupported("IPv6 RIB entries"));
-    }
     out.put_u8(p.len());
     let octets = (p.len() as usize).div_ceil(8);
-    let bits = (p.raw_bits() as u32).to_be_bytes();
-    out.extend_from_slice(&bits[..octets]);
+    if p.is_ipv6() {
+        let bits = p.raw_bits().to_be_bytes();
+        out.extend_from_slice(&bits[..octets]);
+    } else {
+        let bits = (p.raw_bits() as u32).to_be_bytes();
+        out.extend_from_slice(&bits[..octets]);
+    }
     Ok(())
 }
 
-fn decode_prefix_nlri(b: &mut Bytes) -> WireResult<Prefix> {
+fn decode_prefix_nlri(b: &mut Bytes, v6: bool) -> WireResult<Prefix> {
     if !b.has_remaining() {
         return Err(WireError::BadMrt("missing prefix"));
     }
     let len = b.get_u8();
-    if len > 32 {
+    let max = if v6 { 128 } else { 32 };
+    if len > max {
         return Err(WireError::BadPrefixLength(len));
     }
     let octets = (len as usize).div_ceil(8);
     if b.remaining() < octets {
         return Err(WireError::BadMrt("short prefix"));
     }
-    let mut addr = [0u8; 4];
-    for slot in addr.iter_mut().take(octets) {
-        *slot = b.get_u8();
+    if v6 {
+        let mut addr = [0u8; 16];
+        for slot in addr.iter_mut().take(octets) {
+            *slot = b.get_u8();
+        }
+        Ok(Prefix::v6(Ipv6Addr::from(addr), len))
+    } else {
+        let mut addr = [0u8; 4];
+        for slot in addr.iter_mut().take(octets) {
+            *slot = b.get_u8();
+        }
+        Ok(Prefix::v4(Ipv4Addr::from(addr), len))
     }
-    Ok(Prefix::v4(Ipv4Addr::from(addr), len))
 }
 
 fn encode_attrs(r: &RibRoute) -> WireResult<BytesMut> {
@@ -451,6 +494,40 @@ mod tests {
         let mut bytes = Vec::new();
         dump.write_mrt(&mut bytes, Timestamp::ZERO).unwrap();
         assert!(TableDump::read_mrt(&bytes[..bytes.len() - 3]).is_err());
+    }
+
+    #[test]
+    fn dual_stack_dump_roundtrip() {
+        let vp = VpId::from_asn(Asn(65001));
+        let mut rib = Rib::new();
+        for (i, pfx) in [Prefix::synthetic(1), Prefix::synthetic_v6(2)]
+            .into_iter()
+            .enumerate()
+        {
+            let mut u = UpdateBuilder::announce(vp, pfx)
+                .at(Timestamp::from_secs(100 + i as u64))
+                .path([65001, 2, 3])
+                .community(65, 100)
+                .build();
+            rib.apply(&mut u);
+        }
+        let mut ribs = BTreeMap::new();
+        ribs.insert(vp, rib);
+        let mut dump = TableDump::from_ribs(ribs.iter());
+        // give the peer a v6 address to exercise the 0x01 peer-type bit
+        dump.peers[0].addr = IpAddr::V6("2001:db8::42".parse().unwrap());
+        let mut bytes = Vec::new();
+        let records = dump
+            .write_mrt(&mut bytes, Timestamp::from_secs(999))
+            .unwrap();
+        assert_eq!(records, 1 + 2);
+        let back = TableDump::read_mrt(&bytes).unwrap();
+        assert_eq!(back.peers, dump.peers);
+        assert_eq!(back.entries.len(), 2);
+        let families: Vec<bool> = back.entries.iter().map(|(p, _)| p.is_ipv6()).collect();
+        assert!(families.contains(&true) && families.contains(&false));
+        let ribs2 = back.to_ribs();
+        assert_eq!(ribs2[&vp].len(), 2);
     }
 
     #[test]

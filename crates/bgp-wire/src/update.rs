@@ -1,10 +1,20 @@
 //! UPDATE message (RFC 4271 §4.3) with ORIGIN, AS_PATH (4-octet,
-//! RFC 6793), NEXT_HOP and COMMUNITIES (RFC 1997) attributes.
+//! RFC 6793), NEXT_HOP and COMMUNITIES (RFC 1997) attributes, plus the
+//! multiprotocol extensions: MP_REACH_NLRI / MP_UNREACH_NLRI (RFC 4760)
+//! for IPv6 unicast and ADD-PATH path identifiers (RFC 7911).
+//!
+//! IPv4 routes travel in the classic withdrawn-routes / NLRI fields; IPv6
+//! routes travel in the MP attributes. Whether NLRI carries a 4-byte path
+//! identifier is **session state**, not discoverable from the bytes — so
+//! decoding takes a [`DecodeCtx`] holding the per-family ADD-PATH
+//! negotiation outcome (the default context decodes classic sessions).
 
 use crate::error::{WireError, WireResult};
-use bgp_types::{AsPath, Asn, BgpUpdate, Community, Prefix, Timestamp, UpdateBuilder, VpId};
+use bgp_types::{
+    AddressFamily, AsPath, Asn, BgpUpdate, Community, Prefix, Timestamp, UpdateBuilder, VpId,
+};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
-use std::net::Ipv4Addr;
+use std::net::{Ipv4Addr, Ipv6Addr};
 
 /// Path-attribute type codes.
 mod attr_code {
@@ -12,6 +22,8 @@ mod attr_code {
     pub const AS_PATH: u8 = 2;
     pub const NEXT_HOP: u8 = 3;
     pub const COMMUNITIES: u8 = 8;
+    pub const MP_REACH_NLRI: u8 = 14;
+    pub const MP_UNREACH_NLRI: u8 = 15;
 }
 
 /// Attribute flag bits.
@@ -19,6 +31,92 @@ mod attr_flag {
     pub const OPTIONAL: u8 = 0x80;
     pub const TRANSITIVE: u8 = 0x40;
     pub const EXTENDED_LEN: u8 = 0x10;
+}
+
+/// Per-session decode state: which address families negotiated ADD-PATH
+/// (RFC 7911). NLRI in those families is prefixed with a 4-byte path
+/// identifier; the bytes are ambiguous without this knowledge, which is
+/// why it rides alongside the buffer instead of being sniffed from it.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DecodeCtx {
+    /// IPv4 unicast NLRI carries path identifiers.
+    pub addpath_v4: bool,
+    /// IPv6 unicast NLRI carries path identifiers.
+    pub addpath_v6: bool,
+}
+
+impl DecodeCtx {
+    /// Context for a session that negotiated ADD-PATH on `families`.
+    pub fn from_families<I: IntoIterator<Item = AddressFamily>>(families: I) -> Self {
+        let mut ctx = DecodeCtx::default();
+        for f in families {
+            match f {
+                AddressFamily::Ipv4Unicast => ctx.addpath_v4 = true,
+                AddressFamily::Ipv6Unicast => ctx.addpath_v6 = true,
+            }
+        }
+        ctx
+    }
+
+    /// Whether NLRI of `family` carries path identifiers.
+    pub fn addpath(&self, family: AddressFamily) -> bool {
+        match family {
+            AddressFamily::Ipv4Unicast => self.addpath_v4,
+            AddressFamily::Ipv6Unicast => self.addpath_v6,
+        }
+    }
+}
+
+/// One unit of (un)reachability information: a prefix, optionally tagged
+/// with an ADD-PATH path identifier.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Nlri {
+    /// The route's prefix.
+    pub prefix: Prefix,
+    /// RFC 7911 path identifier; `Some` exactly when the encoding carries
+    /// the 4-byte id (i.e. the session negotiated ADD-PATH for the
+    /// prefix's family).
+    pub path_id: Option<u32>,
+}
+
+impl Nlri {
+    /// NLRI with a path identifier.
+    pub fn with_path_id(prefix: Prefix, path_id: u32) -> Self {
+        Nlri {
+            prefix,
+            path_id: Some(path_id),
+        }
+    }
+}
+
+impl From<Prefix> for Nlri {
+    fn from(prefix: Prefix) -> Self {
+        Nlri {
+            prefix,
+            path_id: None,
+        }
+    }
+}
+
+/// A decoded UPDATE message (IPv4 and IPv6 unicast).
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct UpdateMessage {
+    /// Withdrawn routes (v4 from the classic field, v6 from
+    /// MP_UNREACH_NLRI).
+    pub withdrawn: Vec<Nlri>,
+    /// Announced routes (v4 from the classic NLRI field, v6 from
+    /// MP_REACH_NLRI).
+    pub announced: Vec<Nlri>,
+    /// ORIGIN attribute.
+    pub origin: Origin,
+    /// AS_PATH (empty when there is no announcement).
+    pub as_path: AsPath,
+    /// NEXT_HOP (required when a v4 route is announced).
+    pub next_hop: Option<Ipv4Addr>,
+    /// MP_REACH next hop (required when a v6 route is announced).
+    pub mp_next_hop: Option<Ipv6Addr>,
+    /// COMMUNITIES attribute values.
+    pub communities: Vec<Community>,
 }
 
 /// ORIGIN attribute values.
@@ -55,25 +153,9 @@ impl Origin {
     }
 }
 
-/// A decoded UPDATE message (IPv4 unicast).
-#[derive(Clone, Debug, PartialEq, Eq, Default)]
-pub struct UpdateMessage {
-    /// Withdrawn prefixes.
-    pub withdrawn: Vec<Prefix>,
-    /// Announced prefixes (NLRI).
-    pub announced: Vec<Prefix>,
-    /// ORIGIN attribute.
-    pub origin: Origin,
-    /// AS_PATH (empty when there is no announcement).
-    pub as_path: AsPath,
-    /// NEXT_HOP (required when `announced` is non-empty).
-    pub next_hop: Option<Ipv4Addr>,
-    /// COMMUNITIES attribute values.
-    pub communities: Vec<Community>,
-}
-
 impl UpdateMessage {
-    /// An announcement of `prefix` with the given path and communities.
+    /// An announcement of an IPv4 `prefix` with the given path and
+    /// communities.
     pub fn announce(
         prefix: Prefix,
         as_path: AsPath,
@@ -82,42 +164,96 @@ impl UpdateMessage {
     ) -> Self {
         UpdateMessage {
             withdrawn: Vec::new(),
-            announced: vec![prefix],
+            announced: vec![prefix.into()],
             origin: Origin::Igp,
             as_path,
             next_hop: Some(next_hop),
+            mp_next_hop: None,
             communities,
         }
     }
 
-    /// A withdrawal of `prefix`.
+    /// An announcement of an IPv6 `prefix` (travels in MP_REACH_NLRI).
+    pub fn announce_v6(
+        prefix: Prefix,
+        as_path: AsPath,
+        next_hop: Ipv6Addr,
+        communities: Vec<Community>,
+    ) -> Self {
+        UpdateMessage {
+            withdrawn: Vec::new(),
+            announced: vec![prefix.into()],
+            origin: Origin::Igp,
+            as_path,
+            next_hop: None,
+            mp_next_hop: Some(next_hop),
+            communities,
+        }
+    }
+
+    /// A withdrawal of `prefix` (either family).
     pub fn withdraw(prefix: Prefix) -> Self {
         UpdateMessage {
-            withdrawn: vec![prefix],
+            withdrawn: vec![prefix.into()],
             ..UpdateMessage::default()
         }
     }
 
-    /// Converts a domain [`BgpUpdate`] into a wire message. The next hop
-    /// is derived from the first-hop ASN (synthetic but deterministic).
-    pub fn from_domain(u: &BgpUpdate) -> WireResult<Self> {
-        if u.prefix.is_ipv6() {
-            return Err(WireError::Unsupported("IPv6 NLRI (use MP_REACH)"));
+    /// Drops RFC 7911 path identifiers from every NLRI. `BGP4MP_MESSAGE_AS4`
+    /// records carry no ADD-PATH signal (RFC 8050 defines dedicated subtypes
+    /// this platform does not emit), so MRT exporters call this at the
+    /// archive boundary; the native segment store preserves path ids.
+    pub fn without_path_ids(mut self) -> Self {
+        for n in self.announced.iter_mut().chain(self.withdrawn.iter_mut()) {
+            n.path_id = None;
         }
+        self
+    }
+
+    /// Converts a domain [`BgpUpdate`] into a wire message. Next hops are
+    /// derived from the first-hop ASN (synthetic but deterministic); the
+    /// update's `path_id` rides on the NLRI.
+    pub fn from_domain(u: &BgpUpdate) -> WireResult<Self> {
+        let nlri = Nlri {
+            prefix: u.prefix,
+            path_id: u.path_id,
+        };
         Ok(if u.is_announce() {
-            let nh = u
-                .path
-                .first_hop()
-                .map(|a| Ipv4Addr::from(0x0a00_0000u32 | (a.value() & 0x00ff_ffff)))
-                .unwrap_or(Ipv4Addr::new(10, 0, 0, 1));
-            UpdateMessage::announce(
-                u.prefix,
-                u.path.clone(),
-                nh,
-                u.communities.iter().copied().collect(),
-            )
+            let first = u.path.first_hop().map(|a| a.value());
+            let mut m = if u.prefix.is_ipv6() {
+                let nh = Ipv6Addr::new(
+                    0x2001,
+                    0xdb8,
+                    0xffff,
+                    0,
+                    0,
+                    0,
+                    (first.unwrap_or(1) >> 16) as u16,
+                    first.unwrap_or(1) as u16,
+                );
+                UpdateMessage::announce_v6(
+                    u.prefix,
+                    u.path.clone(),
+                    nh,
+                    u.communities.iter().copied().collect(),
+                )
+            } else {
+                let nh = first
+                    .map(|a| Ipv4Addr::from(0x0a00_0000u32 | (a & 0x00ff_ffff)))
+                    .unwrap_or(Ipv4Addr::new(10, 0, 0, 1));
+                UpdateMessage::announce(
+                    u.prefix,
+                    u.path.clone(),
+                    nh,
+                    u.communities.iter().copied().collect(),
+                )
+            };
+            m.announced[0] = nlri;
+            m
         } else {
-            UpdateMessage::withdraw(u.prefix)
+            let mut m = UpdateMessage::withdraw(u.prefix);
+            m.withdrawn[0] = nlri;
+            m
         })
     }
 
@@ -126,27 +262,54 @@ impl UpdateMessage {
     /// one update (this helper returns them all).
     pub fn to_domain(&self, vp: VpId, time: Timestamp) -> Vec<BgpUpdate> {
         let mut out = Vec::new();
-        for &p in &self.withdrawn {
-            out.push(UpdateBuilder::withdraw(vp, p).at(time).build());
+        for n in &self.withdrawn {
+            let mut b = UpdateBuilder::withdraw(vp, n.prefix).at(time);
+            if let Some(id) = n.path_id {
+                b = b.path_id(id);
+            }
+            out.push(b.build());
         }
-        for &p in &self.announced {
-            out.push(
-                UpdateBuilder::announce(vp, p)
-                    .at(time)
-                    .as_path(self.as_path.clone())
-                    .communities(self.communities.iter().copied())
-                    .build(),
-            );
+        for n in &self.announced {
+            let mut b = UpdateBuilder::announce(vp, n.prefix)
+                .at(time)
+                .as_path(self.as_path.clone())
+                .communities(self.communities.iter().copied());
+            if let Some(id) = n.path_id {
+                b = b.path_id(id);
+            }
+            out.push(b.build());
         }
         out
     }
 
-    /// Encodes the message body.
+    /// Encodes the message body. v4 routes go to the classic fields, v6
+    /// routes to MP_REACH/MP_UNREACH attributes; NLRI is path-id-prefixed
+    /// exactly where `path_id` is `Some`.
     pub fn encode_body(&self, out: &mut BytesMut) -> WireResult<()> {
-        // withdrawn routes
+        let v4_withdrawn: Vec<&Nlri> = self
+            .withdrawn
+            .iter()
+            .filter(|n| !n.prefix.is_ipv6())
+            .collect();
+        let v6_withdrawn: Vec<&Nlri> = self
+            .withdrawn
+            .iter()
+            .filter(|n| n.prefix.is_ipv6())
+            .collect();
+        let v4_announced: Vec<&Nlri> = self
+            .announced
+            .iter()
+            .filter(|n| !n.prefix.is_ipv6())
+            .collect();
+        let v6_announced: Vec<&Nlri> = self
+            .announced
+            .iter()
+            .filter(|n| n.prefix.is_ipv6())
+            .collect();
+        // withdrawn routes (v4)
         let mut wd = BytesMut::new();
-        for p in &self.withdrawn {
-            encode_prefix(p, &mut wd)?;
+        for n in &v4_withdrawn {
+            encode_nlri(n, &mut wd)?;
         }
         out.put_u16(wd.len() as u16);
         out.extend_from_slice(&wd);
@@ -168,16 +331,18 @@ impl UpdateMessage {
                 }
             }
             put_attr(&mut attrs, attr_flag::TRANSITIVE, attr_code::AS_PATH, &ap);
-            let nh = self.next_hop.ok_or(WireError::BadAttribute {
-                code: attr_code::NEXT_HOP,
-                reason: "announcement without next hop",
-            })?;
-            put_attr(
-                &mut attrs,
-                attr_flag::TRANSITIVE,
-                attr_code::NEXT_HOP,
-                &u32::from(nh).to_be_bytes(),
-            );
+            if !v4_announced.is_empty() {
+                let nh = self.next_hop.ok_or(WireError::BadAttribute {
+                    code: attr_code::NEXT_HOP,
+                    reason: "v4 announcement without next hop",
+                })?;
+                put_attr(
+                    &mut attrs,
+                    attr_flag::TRANSITIVE,
+                    attr_code::NEXT_HOP,
+                    &u32::from(nh).to_be_bytes(),
+                );
+            }
             if !self.communities.is_empty() {
                 let mut cb = BytesMut::new();
                 for c in &self.communities {
@@ -191,17 +356,58 @@ impl UpdateMessage {
                 );
             }
         }
+        if !v6_announced.is_empty() {
+            let nh = self.mp_next_hop.ok_or(WireError::BadAttribute {
+                code: attr_code::MP_REACH_NLRI,
+                reason: "v6 announcement without mp next hop",
+            })?;
+            let mut mp = BytesMut::new();
+            mp.put_u16(AddressFamily::Ipv6Unicast.afi());
+            mp.put_u8(AddressFamily::Ipv6Unicast.safi());
+            mp.put_u8(16); // next-hop length
+            mp.extend_from_slice(&nh.octets());
+            mp.put_u8(0); // reserved
+            for n in &v6_announced {
+                encode_nlri(n, &mut mp)?;
+            }
+            put_attr(
+                &mut attrs,
+                attr_flag::OPTIONAL,
+                attr_code::MP_REACH_NLRI,
+                &mp,
+            );
+        }
+        if !v6_withdrawn.is_empty() {
+            let mut mp = BytesMut::new();
+            mp.put_u16(AddressFamily::Ipv6Unicast.afi());
+            mp.put_u8(AddressFamily::Ipv6Unicast.safi());
+            for n in &v6_withdrawn {
+                encode_nlri(n, &mut mp)?;
+            }
+            put_attr(
+                &mut attrs,
+                attr_flag::OPTIONAL,
+                attr_code::MP_UNREACH_NLRI,
+                &mp,
+            );
+        }
         out.put_u16(attrs.len() as u16);
         out.extend_from_slice(&attrs);
-        // NLRI
-        for p in &self.announced {
-            encode_prefix(p, out)?;
+        // NLRI (v4)
+        for n in &v4_announced {
+            encode_nlri(n, out)?;
         }
         Ok(())
     }
 
-    /// Decodes the message body.
+    /// Decodes the message body on a classic session (no ADD-PATH).
     pub fn decode_body(body: &Bytes) -> WireResult<UpdateMessage> {
+        Self::decode_body_ctx(body, &DecodeCtx::default())
+    }
+
+    /// Decodes the message body under the session's negotiated
+    /// [`DecodeCtx`].
+    pub fn decode_body_ctx(body: &Bytes, ctx: &DecodeCtx) -> WireResult<UpdateMessage> {
         let mut b = body.clone();
         let need = |b: &Bytes, n: usize, what: &'static str| -> WireResult<()> {
             if b.remaining() < n {
@@ -220,7 +426,7 @@ impl UpdateMessage {
         let mut wd = b.copy_to_bytes(wd_len);
         let mut withdrawn = Vec::new();
         while wd.has_remaining() {
-            withdrawn.push(decode_prefix(&mut wd)?);
+            withdrawn.push(decode_nlri(&mut wd, false, ctx.addpath_v4)?);
         }
         need(&b, 2, "attribute length")?;
         let at_len = b.get_u16() as usize;
@@ -229,7 +435,9 @@ impl UpdateMessage {
         let mut origin = Origin::Igp;
         let mut as_path = AsPath::empty();
         let mut next_hop = None;
+        let mut mp_next_hop = None;
         let mut communities = Vec::new();
+        let mut announced = Vec::new();
         while attrs.has_remaining() {
             if attrs.remaining() < 3 {
                 return Err(WireError::Truncated {
@@ -320,12 +528,89 @@ impl UpdateMessage {
                         communities.push(Community(abody.get_u32()));
                     }
                 }
+                attr_code::MP_REACH_NLRI => {
+                    if abody.remaining() < 4 {
+                        return Err(WireError::BadAttribute {
+                            code,
+                            reason: "MP_REACH header too short",
+                        });
+                    }
+                    let afi = abody.get_u16();
+                    let safi = abody.get_u8();
+                    let family =
+                        AddressFamily::from_afi_safi(afi, safi).ok_or(WireError::BadAttribute {
+                            code,
+                            reason: "unsupported AFI/SAFI",
+                        })?;
+                    let nh_len = abody.get_u8() as usize;
+                    if abody.remaining() < nh_len + 1 {
+                        return Err(WireError::BadAttribute {
+                            code,
+                            reason: "MP_REACH next hop truncated",
+                        });
+                    }
+                    let nh = abody.copy_to_bytes(nh_len);
+                    match family {
+                        AddressFamily::Ipv6Unicast => {
+                            // 16 (global) or 32 (global + link-local)
+                            if nh_len != 16 && nh_len != 32 {
+                                return Err(WireError::BadAttribute {
+                                    code,
+                                    reason: "bad v6 next hop length",
+                                });
+                            }
+                            let mut oct = [0u8; 16];
+                            oct.copy_from_slice(&nh[..16]);
+                            mp_next_hop = Some(Ipv6Addr::from(oct));
+                        }
+                        AddressFamily::Ipv4Unicast => {
+                            if nh_len != 4 {
+                                return Err(WireError::BadAttribute {
+                                    code,
+                                    reason: "bad v4 next hop length",
+                                });
+                            }
+                            let mut oct = [0u8; 4];
+                            oct.copy_from_slice(&nh[..4]);
+                            next_hop = Some(Ipv4Addr::from(oct));
+                        }
+                    }
+                    let _reserved = abody.get_u8();
+                    while abody.has_remaining() {
+                        announced.push(decode_nlri(
+                            &mut abody,
+                            family.is_ipv6(),
+                            ctx.addpath(family),
+                        )?);
+                    }
+                }
+                attr_code::MP_UNREACH_NLRI => {
+                    if abody.remaining() < 3 {
+                        return Err(WireError::BadAttribute {
+                            code,
+                            reason: "MP_UNREACH header too short",
+                        });
+                    }
+                    let afi = abody.get_u16();
+                    let safi = abody.get_u8();
+                    let family =
+                        AddressFamily::from_afi_safi(afi, safi).ok_or(WireError::BadAttribute {
+                            code,
+                            reason: "unsupported AFI/SAFI",
+                        })?;
+                    while abody.has_remaining() {
+                        withdrawn.push(decode_nlri(
+                            &mut abody,
+                            family.is_ipv6(),
+                            ctx.addpath(family),
+                        )?);
+                    }
+                }
                 _ => {} // ignore unknown attributes (tolerant reader)
             }
         }
-        let mut announced = Vec::new();
         while b.has_remaining() {
-            announced.push(decode_prefix(&mut b)?);
+            announced.push(decode_nlri(&mut b, false, ctx.addpath_v4)?);
         }
         Ok(UpdateMessage {
             withdrawn,
@@ -333,6 +618,7 @@ impl UpdateMessage {
             origin,
             as_path,
             next_hop,
+            mp_next_hop,
             communities,
         })
     }
@@ -351,21 +637,40 @@ fn put_attr(out: &mut BytesMut, flags: u8, code: u8, body: &[u8]) {
     out.extend_from_slice(body);
 }
 
-/// Encodes an IPv4 prefix in RFC 4271 NLRI form (length byte + minimal
-/// octets).
-fn encode_prefix(p: &Prefix, out: &mut BytesMut) -> WireResult<()> {
-    if p.is_ipv6() {
-        return Err(WireError::Unsupported("IPv6 NLRI (use MP_REACH)"));
+/// Encodes one NLRI unit: optional 4-byte path id, length byte, minimal
+/// prefix octets (RFC 4271 §4.3 / RFC 7911 §3).
+fn encode_nlri(n: &Nlri, out: &mut BytesMut) -> WireResult<()> {
+    if let Some(id) = n.path_id {
+        out.put_u32(id);
     }
+    let p = &n.prefix;
     out.put_u8(p.len());
     let octets = (p.len() as usize).div_ceil(8);
-    let bits = (p.raw_bits() as u32).to_be_bytes();
-    out.extend_from_slice(&bits[..octets]);
+    if p.is_ipv6() {
+        let bits = p.raw_bits().to_be_bytes();
+        out.extend_from_slice(&bits[..octets]);
+    } else {
+        let bits = (p.raw_bits() as u32).to_be_bytes();
+        out.extend_from_slice(&bits[..octets]);
+    }
     Ok(())
 }
 
-/// Decodes one NLRI prefix.
-fn decode_prefix(b: &mut Bytes) -> WireResult<Prefix> {
+/// Decodes one NLRI unit of the given family; reads a 4-byte path id
+/// first when `addpath` is negotiated.
+fn decode_nlri(b: &mut Bytes, v6: bool, addpath: bool) -> WireResult<Nlri> {
+    let path_id = if addpath {
+        if b.remaining() < 4 {
+            return Err(WireError::Truncated {
+                what: "path identifier",
+                needed: 4,
+                have: b.remaining(),
+            });
+        }
+        Some(b.get_u32())
+    } else {
+        None
+    };
     if !b.has_remaining() {
         return Err(WireError::Truncated {
             what: "prefix length",
@@ -374,7 +679,8 @@ fn decode_prefix(b: &mut Bytes) -> WireResult<Prefix> {
         });
     }
     let len = b.get_u8();
-    if len > 32 {
+    let max = if v6 { 128 } else { 32 };
+    if len > max {
         return Err(WireError::BadPrefixLength(len));
     }
     let octets = (len as usize).div_ceil(8);
@@ -385,11 +691,20 @@ fn decode_prefix(b: &mut Bytes) -> WireResult<Prefix> {
             have: b.remaining(),
         });
     }
-    let mut addr = [0u8; 4];
-    for slot in addr.iter_mut().take(octets) {
-        *slot = b.get_u8();
-    }
-    Ok(Prefix::v4(Ipv4Addr::from(addr), len))
+    let prefix = if v6 {
+        let mut addr = [0u8; 16];
+        for slot in addr.iter_mut().take(octets) {
+            *slot = b.get_u8();
+        }
+        Prefix::v6(Ipv6Addr::from(addr), len)
+    } else {
+        let mut addr = [0u8; 4];
+        for slot in addr.iter_mut().take(octets) {
+            *slot = b.get_u8();
+        }
+        Prefix::v4(Ipv4Addr::from(addr), len)
+    };
+    Ok(Nlri { prefix, path_id })
 }
 
 #[cfg(test)]
@@ -398,9 +713,13 @@ mod tests {
     use crate::message::BgpMessage;
 
     fn roundtrip(m: UpdateMessage) -> UpdateMessage {
+        roundtrip_ctx(m, &DecodeCtx::default())
+    }
+
+    fn roundtrip_ctx(m: UpdateMessage, ctx: &DecodeCtx) -> UpdateMessage {
         let bytes = BgpMessage::Update(m).encode_to_vec().unwrap();
         let mut buf = BytesMut::from(&bytes[..]);
-        match BgpMessage::decode(&mut buf).unwrap().unwrap() {
+        match BgpMessage::decode_ctx(&mut buf, ctx).unwrap().unwrap() {
             BgpMessage::Update(u) => u,
             other => panic!("wrong type {other:?}"),
         }
@@ -427,6 +746,105 @@ mod tests {
     }
 
     #[test]
+    fn v6_announce_travels_in_mp_reach() {
+        let m = UpdateMessage::announce_v6(
+            "2001:db8:42::/48".parse().unwrap(),
+            AsPath::from_u32s([65001, 2, 3]),
+            "2001:db8::1".parse().unwrap(),
+            vec![Community::new(65001, 100)],
+        );
+        let back = roundtrip(m.clone());
+        assert_eq!(back, m);
+        assert_eq!(back.mp_next_hop, Some("2001:db8::1".parse().unwrap()));
+        // the classic NLRI field must stay empty: body ends after attrs
+        let bytes = BgpMessage::Update(m).encode_to_vec().unwrap();
+        let wd_len = u16::from_be_bytes([bytes[19], bytes[20]]) as usize;
+        assert_eq!(wd_len, 0);
+        let at_len = u16::from_be_bytes([bytes[21 + wd_len], bytes[22 + wd_len]]) as usize;
+        assert_eq!(bytes.len(), 23 + wd_len + at_len);
+    }
+
+    #[test]
+    fn v6_withdraw_travels_in_mp_unreach() {
+        let m = UpdateMessage::withdraw("2001:db8:7::/64".parse().unwrap());
+        let back = roundtrip(m.clone());
+        assert_eq!(back, m);
+        assert_eq!(back.withdrawn.len(), 1);
+        assert!(back.withdrawn[0].prefix.is_ipv6());
+    }
+
+    #[test]
+    fn mixed_family_update_roundtrips() {
+        let mut m = UpdateMessage::announce(
+            "192.0.2.0/24".parse().unwrap(),
+            AsPath::from_u32s([1, 2, 3]),
+            Ipv4Addr::new(10, 0, 0, 1),
+            vec![],
+        );
+        m.mp_next_hop = Some("2001:db8::9".parse().unwrap());
+        m.announced
+            .push("2001:db8:1::/48".parse::<Prefix>().unwrap().into());
+        m.withdrawn
+            .push("203.0.113.0/24".parse::<Prefix>().unwrap().into());
+        m.withdrawn
+            .push("2001:db8:dead::/48".parse::<Prefix>().unwrap().into());
+        let back = roundtrip(m.clone());
+        // family split is canonicalized on decode: v4 first, then MP routes
+        assert_eq!(back.announced.len(), 2);
+        assert_eq!(back.withdrawn.len(), 2);
+        for n in m.announced {
+            assert!(back.announced.contains(&n));
+        }
+        for n in m.withdrawn {
+            assert!(back.withdrawn.contains(&n));
+        }
+    }
+
+    #[test]
+    fn addpath_nlri_roundtrips_under_ctx() {
+        let ctx = DecodeCtx {
+            addpath_v4: true,
+            addpath_v6: true,
+        };
+        let mut m = UpdateMessage::announce(
+            "192.0.2.0/24".parse().unwrap(),
+            AsPath::from_u32s([65001, 2]),
+            Ipv4Addr::new(10, 0, 0, 1),
+            vec![],
+        );
+        m.announced[0].path_id = Some(7);
+        m.mp_next_hop = Some("2001:db8::1".parse().unwrap());
+        m.announced
+            .push(Nlri::with_path_id("2001:db8:5::/48".parse().unwrap(), 42));
+        m.withdrawn
+            .push(Nlri::with_path_id("198.51.100.0/24".parse().unwrap(), 9));
+        let back = roundtrip_ctx(m.clone(), &ctx);
+        // decode canonicalizes ordering (MP routes parse before the
+        // trailing classic NLRI field), so compare as sets
+        assert_eq!(back.announced.len(), m.announced.len());
+        assert_eq!(back.withdrawn.len(), m.withdrawn.len());
+        for n in &m.announced {
+            assert!(back.announced.contains(n), "{n:?}");
+        }
+        for n in &m.withdrawn {
+            assert!(back.withdrawn.contains(n), "{n:?}");
+        }
+    }
+
+    #[test]
+    fn addpath_bytes_without_ctx_misparse_or_error() {
+        // the same bytes decoded without the ADD-PATH ctx must not yield
+        // the path-id routes (they are ambiguous) — and must never panic
+        let mut m = UpdateMessage::withdraw("198.51.100.0/24".parse().unwrap());
+        m.withdrawn[0].path_id = Some(0x01020304);
+        let bytes = BgpMessage::Update(m).encode_to_vec().unwrap();
+        let mut buf = BytesMut::from(&bytes[..]);
+        if let Ok(Some(BgpMessage::Update(u))) = BgpMessage::decode(&mut buf) {
+            assert_ne!(u.withdrawn.first().map(|n| n.prefix.len()), Some(24));
+        }
+    }
+
+    #[test]
     fn odd_prefix_lengths_roundtrip() {
         for len in [0u8, 1, 7, 8, 9, 15, 17, 23, 25, 32] {
             let p = Prefix::v4(Ipv4Addr::new(198, 51, 100, 255), len);
@@ -437,7 +855,22 @@ mod tests {
                 vec![],
             );
             let back = roundtrip(m);
-            assert_eq!(back.announced[0], p, "len {len}");
+            assert_eq!(back.announced[0].prefix, p, "len {len}");
+        }
+    }
+
+    #[test]
+    fn odd_v6_prefix_lengths_roundtrip() {
+        for len in [0u8, 1, 9, 33, 47, 63, 64, 65, 97, 127, 128] {
+            let p = Prefix::v6("2001:db8:a:b:c:d:e:f".parse().unwrap(), len);
+            let m = UpdateMessage::announce_v6(
+                p,
+                AsPath::from_u32s([1, 2]),
+                "2001:db8::1".parse().unwrap(),
+                vec![],
+            );
+            let back = roundtrip(m);
+            assert_eq!(back.announced[0].prefix, p, "len {len}");
         }
     }
 
@@ -449,8 +882,10 @@ mod tests {
             Ipv4Addr::new(10, 0, 0, 1),
             vec![],
         );
-        m.announced.push("198.51.100.0/25".parse().unwrap());
-        m.withdrawn.push("203.0.113.0/24".parse().unwrap());
+        m.announced
+            .push("198.51.100.0/25".parse::<Prefix>().unwrap().into());
+        m.withdrawn
+            .push("203.0.113.0/24".parse::<Prefix>().unwrap().into());
         assert_eq!(roundtrip(m.clone()), m);
     }
 
@@ -468,6 +903,21 @@ mod tests {
         assert_eq!(back[0].path, u.path);
         assert_eq!(back[0].communities, u.communities);
         assert_eq!(back[0].kind, u.kind);
+    }
+
+    #[test]
+    fn domain_conversion_roundtrips_v6_and_path_id() {
+        let u = UpdateBuilder::announce(VpId::from_asn(Asn(65000)), Prefix::synthetic_v6(9))
+            .at(Timestamp::from_secs(42))
+            .path([65000, 2, 3])
+            .path_id(5)
+            .community(2, 200)
+            .build();
+        let wire = UpdateMessage::from_domain(&u).unwrap();
+        assert!(wire.mp_next_hop.is_some());
+        let back = wire.to_domain(u.vp, u.time);
+        assert_eq!(back.len(), 1);
+        assert_eq!(back[0], u);
     }
 
     #[test]
@@ -493,6 +943,15 @@ mod tests {
         m.next_hop = None;
         let mut out = BytesMut::new();
         assert!(m.encode_body(&mut out).is_err());
+        let mut m6 = UpdateMessage::announce_v6(
+            "2001:db8::/32".parse().unwrap(),
+            AsPath::from_u32s([1]),
+            "2001:db8::1".parse().unwrap(),
+            vec![],
+        );
+        m6.mp_next_hop = None;
+        let mut out = BytesMut::new();
+        assert!(m6.encode_body(&mut out).is_err());
     }
 
     #[test]
@@ -512,5 +971,15 @@ mod tests {
         let m = UpdateMessage::decode_body(&body).unwrap();
         assert!(m.announced.is_empty());
         assert!(m.withdrawn.is_empty());
+    }
+
+    #[test]
+    fn mp_reach_with_unknown_afi_is_rejected() {
+        // MP_REACH attr: afi 3, safi 1, nh len 4, nh, reserved
+        let body = Bytes::from_static(&[0, 0, 0, 12, 0x80, 14, 9, 0, 3, 1, 4, 10, 0, 0, 1, 0]);
+        assert!(matches!(
+            UpdateMessage::decode_body(&body),
+            Err(WireError::BadAttribute { code: 14, .. })
+        ));
     }
 }

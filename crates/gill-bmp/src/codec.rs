@@ -432,8 +432,12 @@ pub enum BmpMessage {
     },
 }
 
-fn decode_embedded(b: &mut BytesMut, what: &'static str) -> Result<BgpMessage, BmpError> {
-    match BgpMessage::decode(b) {
+fn decode_embedded(
+    b: &mut BytesMut,
+    what: &'static str,
+    ctx: &bgp_wire::DecodeCtx,
+) -> Result<BgpMessage, BmpError> {
+    match BgpMessage::decode_ctx(b, ctx) {
         Ok(Some(m)) => Ok(m),
         Ok(None) => Err(BmpError::Truncated {
             what,
@@ -531,7 +535,22 @@ impl BmpMessage {
     ///
     /// `Ok(None)` means the buffer does not yet hold a complete frame
     /// (stream decoding); success consumes exactly the frame's bytes.
+    ///
+    /// Route Monitoring PDUs decode with the classic (no ADD-PATH)
+    /// context; peers that negotiated ADD-PATH need
+    /// [`BmpMessage::decode_with`].
     pub fn decode(buf: &mut BytesMut) -> Result<Option<BmpMessage>, BmpError> {
+        Self::decode_with(buf, |_| bgp_wire::DecodeCtx::default())
+    }
+
+    /// [`BmpMessage::decode`] with a per-peer decode context: `ctx_for`
+    /// maps the frame's per-peer header to the UPDATE decode context that
+    /// peer's OPEN exchange negotiated (RFC 7911 path ids are per-session
+    /// state, and a BMP session multiplexes many monitored sessions).
+    pub fn decode_with(
+        buf: &mut BytesMut,
+        ctx_for: impl Fn(&PeerHeader) -> bgp_wire::DecodeCtx,
+    ) -> Result<Option<BmpMessage>, BmpError> {
         if buf.is_empty() {
             return Ok(None);
         }
@@ -556,7 +575,8 @@ impl BmpMessage {
         let decoded = match ty {
             msg_type::ROUTE_MONITORING => {
                 let peer = PeerHeader::decode(&mut body)?;
-                let update = match decode_embedded(&mut body, "Route Monitoring PDU")? {
+                let ctx = ctx_for(&peer);
+                let update = match decode_embedded(&mut body, "Route Monitoring PDU", &ctx)? {
                     BgpMessage::Update(u) => u,
                     other => {
                         return Err(BmpError::EmbeddedType {
@@ -613,7 +633,11 @@ impl BmpMessage {
                 let code = body.get_u8();
                 let reason = match code {
                     1 | 3 => {
-                        let n = match decode_embedded(&mut body, "Peer Down NOTIFICATION")? {
+                        let n = match decode_embedded(
+                            &mut body,
+                            "Peer Down NOTIFICATION",
+                            &bgp_wire::DecodeCtx::default(),
+                        )? {
                             BgpMessage::Notification(n) => n,
                             other => {
                                 return Err(BmpError::EmbeddedType {
@@ -658,7 +682,11 @@ impl BmpMessage {
                 body.advance(16);
                 let local_port = body.get_u16();
                 let remote_port = body.get_u16();
-                let sent_open = match decode_embedded(&mut body, "Peer Up sent OPEN")? {
+                let sent_open = match decode_embedded(
+                    &mut body,
+                    "Peer Up sent OPEN",
+                    &bgp_wire::DecodeCtx::default(),
+                )? {
                     BgpMessage::Open(o) => o,
                     other => {
                         return Err(BmpError::EmbeddedType {
@@ -667,7 +695,11 @@ impl BmpMessage {
                         })
                     }
                 };
-                let recv_open = match decode_embedded(&mut body, "Peer Up received OPEN")? {
+                let recv_open = match decode_embedded(
+                    &mut body,
+                    "Peer Up received OPEN",
+                    &bgp_wire::DecodeCtx::default(),
+                )? {
                     BgpMessage::Open(o) => o,
                     other => {
                         return Err(BmpError::EmbeddedType {

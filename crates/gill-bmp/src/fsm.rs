@@ -33,8 +33,8 @@
 
 use crate::codec::{info_type, tlv_text, BmpError, BmpMessage, StatCounter};
 use crate::config::PeerPolicy;
-use bgp_types::{Asn, VpId};
-use bgp_wire::UpdateMessage;
+use bgp_types::{Asn, FamilySet, VpId};
+use bgp_wire::{OpenMessage, UpdateMessage};
 use bytes::BytesMut;
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
@@ -146,6 +146,12 @@ pub enum BmpEvent {
         /// Operator-assigned name (config override, else the Peer Up's
         /// type-0 info TLV).
         name: Option<String>,
+        /// Multiprotocol families both OPENs in the Peer Up advertised
+        /// (empty for a legacy v4-only monitored session).
+        families: bgp_types::FamilySet,
+        /// Families with ADD-PATH negotiated on the monitored session;
+        /// this peer's Route Monitoring NLRI carries path identifiers.
+        add_paths: bgp_types::FamilySet,
     },
     /// A monitored peer went down and was removed from the demux table.
     PeerDown {
@@ -219,6 +225,10 @@ pub struct BmpFsm {
     buf: BytesMut,
     events: VecDeque<BmpEvent>,
     demux: HashMap<PeerKey, VpId>,
+    /// Per-peer UPDATE decode context, negotiated by the OPEN pair the
+    /// Peer Up carried (RFC 7911 path ids are per-monitored-session
+    /// state). Peers absent here decode classic.
+    ctxs: HashMap<PeerKey, bgp_wire::DecodeCtx>,
     /// Next router discriminator per ASN, advanced on every allocation so
     /// a re-registered peer gets a fresh VP identity.
     next_router: HashMap<u32, u16>,
@@ -236,6 +246,7 @@ impl BmpFsm {
             buf: BytesMut::new(),
             events: VecDeque::new(),
             demux: HashMap::new(),
+            ctxs: HashMap::new(),
             next_router: HashMap::new(),
             ledger: BmpLedger::default(),
             last_rx_ms: now_ms,
@@ -294,7 +305,11 @@ impl BmpFsm {
         self.last_rx_ms = now_ms;
         self.buf.extend_from_slice(data);
         loop {
-            match BmpMessage::decode(&mut self.buf) {
+            let ctxs = &self.ctxs;
+            let decoded = BmpMessage::decode_with(&mut self.buf, |hdr| {
+                ctxs.get(&PeerKey::of(hdr)).copied().unwrap_or_default()
+            });
+            match decoded {
                 Ok(Some(msg)) => {
                     self.handle_message(msg, now_ms);
                     if self.is_closed() {
@@ -396,14 +411,32 @@ impl BmpFsm {
                 };
                 let vp = VpId::new(Asn(asn), router);
                 self.demux.insert(key, vp);
+                // the monitored session's capabilities are whatever both
+                // OPENs agreed on — that fixes how this peer's Route
+                // Monitoring NLRI decodes from now on
+                let families = sets_of(&up.sent_open).intersect(sets_of(&up.recv_open));
+                let add_paths = addpaths_of(&up.sent_open)
+                    .intersect(addpaths_of(&up.recv_open))
+                    .intersect(families);
+                if !add_paths.is_empty() {
+                    self.ctxs
+                        .insert(key, bgp_wire::DecodeCtx::from_families(add_paths.iter()));
+                }
                 self.ledger.peer_ups += 1;
                 let name = over
                     .and_then(|o| o.name)
                     .or_else(|| tlv_text(&up.info, info_type::STRING).map(str::to_owned));
-                self.events.push_back(BmpEvent::PeerUp { vp, key, name });
+                self.events.push_back(BmpEvent::PeerUp {
+                    vp,
+                    key,
+                    name,
+                    families,
+                    add_paths,
+                });
             }
             BmpMessage::PeerDown { peer, reason } => {
                 let key = PeerKey::of(&peer);
+                self.ctxs.remove(&key);
                 match self.demux.remove(&key) {
                     Some(vp) => {
                         self.ledger.peer_downs += 1;
@@ -443,6 +476,16 @@ impl BmpFsm {
             }
         }
     }
+}
+
+/// Multiprotocol families an OPEN advertised.
+fn sets_of(open: &OpenMessage) -> FamilySet {
+    open.mp_families.iter().copied().collect()
+}
+
+/// Families an OPEN offered ADD-PATH for.
+fn addpaths_of(open: &OpenMessage) -> FamilySet {
+    open.add_paths.iter().copied().collect()
 }
 
 #[cfg(test)]
@@ -493,6 +536,60 @@ mod tests {
 
     fn drain(fsm: &mut BmpFsm) -> Vec<BmpEvent> {
         std::iter::from_fn(|| fsm.poll_event()).collect()
+    }
+
+    #[test]
+    fn add_path_peer_decodes_route_monitoring_with_negotiated_ctx() {
+        use bgp_types::AddressFamily;
+        let addr = Ipv4Addr::new(10, 0, 0, 1);
+        // a Peer Up whose OPEN pair negotiated dual-stack + v6 ADD-PATH
+        let peer = PeerHeader::v4(65010, addr, 0, 0);
+        let mut local = [0u8; 16];
+        local[12..].copy_from_slice(&[10, 255, 0, 1]);
+        let caps = |asn: u32, router: Ipv4Addr| {
+            OpenMessage::new(Asn(asn), 90, router)
+                .with_families(AddressFamily::ALL)
+                .with_add_paths([AddressFamily::Ipv6Unicast])
+        };
+        let up = BmpMessage::PeerUp(PeerUpMessage {
+            peer,
+            local_address: local,
+            local_port: 179,
+            remote_port: 40000,
+            sent_open: caps(65535, Ipv4Addr::new(10, 255, 0, 1)),
+            recv_open: caps(65010, addr),
+            info: vec![],
+        });
+        // a v6 ADD-PATH route from that peer
+        let mut u = UpdateMessage::announce_v6(
+            "2001:db8::/32".parse().unwrap(),
+            [Asn(65010), Asn(2)].into_iter().collect(),
+            std::net::Ipv6Addr::new(0x2001, 0xdb8, 0xffff, 0, 0, 0, 0, 9),
+            vec![],
+        );
+        for n in &mut u.announced {
+            n.path_id = Some(11);
+        }
+        let rm = BmpMessage::RouteMonitoring {
+            peer: PeerHeader::v4(65010, addr, 0, 5),
+            update: u.clone(),
+        };
+
+        let mut fsm = BmpFsm::new(BmpSessionConfig::default(), 0);
+        pump(&mut fsm, &initiation(), 0);
+        pump(&mut fsm, &up, 1);
+        pump(&mut fsm, &rm, 2);
+        assert!(!fsm.is_closed());
+        let evs = drain(&mut fsm);
+        assert!(evs.iter().any(|e| matches!(
+            e,
+            BmpEvent::PeerUp { families, add_paths, .. }
+                if *families == FamilySet::ALL
+                    && *add_paths == FamilySet::only(AddressFamily::Ipv6Unicast)
+        )));
+        assert!(evs
+            .iter()
+            .any(|e| matches!(e, BmpEvent::Update { update, .. } if *update == u)));
     }
 
     #[test]

@@ -84,11 +84,16 @@ pub trait UpdateSink: Send + Sync {
 }
 
 impl DaemonConfig {
-    /// The session-layer view of this configuration.
+    /// The session-layer view of this configuration. The collector
+    /// advertises both unicast families and offers ADD-PATH on both: it
+    /// archives whatever the peer can send, and a legacy peer's OPEN
+    /// intersects the sets back down to a classic v4 session.
     pub fn session_config(&self) -> crate::fsm::SessionConfig {
         crate::fsm::SessionConfig {
             local_asn: self.local_asn,
             hold_time: self.hold_time,
+            families: bgp_types::FamilySet::ALL,
+            add_paths: bgp_types::FamilySet::ALL,
             ..crate::fsm::SessionConfig::default()
         }
     }
@@ -405,11 +410,31 @@ pub fn handshake_server<T: Transport>(
 /// until Established; any bytes the peer sent beyond the handshake are
 /// left in the stream's decode buffer.
 pub fn handshake_client<T: Transport>(s: &mut MessageStream<T>, asn: u32) -> io::Result<()> {
+    handshake_client_mp(
+        s,
+        asn,
+        bgp_types::FamilySet::EMPTY,
+        bgp_types::FamilySet::EMPTY,
+    )
+    .map(|_| ())
+}
+
+/// [`handshake_client`] with Multiprotocol / ADD-PATH capabilities in the
+/// OPEN. Returns the negotiated `(families, add_paths)` sets — what the
+/// peer in the session's NLRI encoding must follow from then on.
+pub fn handshake_client_mp<T: Transport>(
+    s: &mut MessageStream<T>,
+    asn: u32,
+    families: bgp_types::FamilySet,
+    add_paths: bgp_types::FamilySet,
+) -> io::Result<(bgp_types::FamilySet, bgp_types::FamilySet)> {
     let clock = SystemClock::new();
     let cfg = crate::fsm::SessionConfig {
         local_asn: asn,
         hold_time: 240,
         router_id: std::net::Ipv4Addr::new(10, 255, 0, 1),
+        families,
+        add_paths,
     };
     let mut fsm = SessionFsm::new(SessionRole::Active, cfg);
     fsm.start(clock.now_ms());
@@ -421,7 +446,7 @@ pub fn handshake_client<T: Transport>(s: &mut MessageStream<T>, asn: u32) -> io:
         merged.extend_from_slice(&s.buf);
         s.buf = merged;
     }
-    Ok(())
+    Ok((fsm.families(), fsm.add_paths()))
 }
 
 /// The shared pipeline a session feeds: filters, the bounded storage

@@ -24,8 +24,8 @@
 //! any state --NOTIFICATION | EOF | decode error | hold expiry--> Closed
 //! ```
 
-use bgp_types::VpId;
-use bgp_wire::{BgpMessage, Notification, OpenMessage, UpdateMessage, WireError};
+use bgp_types::{FamilySet, VpId};
+use bgp_wire::{BgpMessage, DecodeCtx, Notification, OpenMessage, UpdateMessage, WireError};
 use bytes::BytesMut;
 use std::collections::VecDeque;
 use std::net::Ipv4Addr;
@@ -65,6 +65,12 @@ pub struct SessionConfig {
     pub hold_time: u16,
     /// Our router id.
     pub router_id: Ipv4Addr,
+    /// Families to advertise in RFC 4760 Multiprotocol capabilities.
+    /// Empty keeps the OPEN legacy (implicit v4 unicast, no capability).
+    pub families: FamilySet,
+    /// Families for which to offer RFC 7911 ADD-PATH (send+receive).
+    /// Only honored for families also in `families`.
+    pub add_paths: FamilySet,
 }
 
 impl Default for SessionConfig {
@@ -73,6 +79,8 @@ impl Default for SessionConfig {
             local_asn: 65535,
             hold_time: 240,
             router_id: Ipv4Addr::new(10, 255, 0, 254),
+            families: FamilySet::EMPTY,
+            add_paths: FamilySet::EMPTY,
         }
     }
 }
@@ -112,6 +120,12 @@ pub enum SessionEvent {
         peer: VpId,
         /// Negotiated hold time (min of both proposals), seconds.
         hold_time: u16,
+        /// Multiprotocol families both sides advertised (empty on a
+        /// legacy session, which carries v4 unicast implicitly).
+        families: FamilySet,
+        /// Families for which both sides offered ADD-PATH; NLRI in these
+        /// families carries RFC 7911 path identifiers.
+        add_paths: FamilySet,
     },
     /// An UPDATE arrived.
     Update(UpdateMessage),
@@ -147,6 +161,12 @@ pub struct SessionFsm {
     hold_ms: u64,
     hold_deadline: Option<u64>,
     keepalive_due: Option<u64>,
+    /// Multiprotocol families both OPENs advertised.
+    families: FamilySet,
+    /// Families with ADD-PATH negotiated; mirrored into `ctx`.
+    add_paths: FamilySet,
+    /// Decode context for UPDATEs on this session.
+    ctx: DecodeCtx,
 }
 
 impl SessionFsm {
@@ -164,6 +184,9 @@ impl SessionFsm {
             hold_ms: 0,
             hold_deadline: None,
             keepalive_due: None,
+            families: FamilySet::EMPTY,
+            add_paths: FamilySet::EMPTY,
+            ctx: DecodeCtx::default(),
         }
     }
 
@@ -190,6 +213,8 @@ impl SessionFsm {
             self.cfg.hold_time,
             self.cfg.router_id,
         )
+        .with_families(self.cfg.families.iter())
+        .with_add_paths(self.cfg.add_paths.intersect(self.cfg.families).iter())
     }
 
     /// Current state.
@@ -206,6 +231,22 @@ impl SessionFsm {
     /// timers are disabled).
     pub fn hold_ms(&self) -> u64 {
         self.hold_ms
+    }
+
+    /// Multiprotocol families both sides advertised (empty until the
+    /// peer's OPEN is seen, and on legacy v4-only sessions).
+    pub fn families(&self) -> FamilySet {
+        self.families
+    }
+
+    /// Families with ADD-PATH negotiated in both directions.
+    pub fn add_paths(&self) -> FamilySet {
+        self.add_paths
+    }
+
+    /// The UPDATE decode context this session negotiated.
+    pub fn decode_ctx(&self) -> &DecodeCtx {
+        &self.ctx
     }
 
     /// True once the session reached [`SessionState::Closed`].
@@ -281,7 +322,7 @@ impl SessionFsm {
             if self.state == SessionState::Closed {
                 return;
             }
-            match BgpMessage::decode(&mut self.buf) {
+            match BgpMessage::decode_ctx(&mut self.buf, &self.ctx) {
                 Ok(Some(msg)) => self.handle_message(msg, now_ms),
                 Ok(None) => return,
                 Err(e) => {
@@ -366,6 +407,8 @@ impl SessionFsm {
                 self.events.push_back(SessionEvent::Established {
                     peer: self.peer.expect("peer set during negotiation"),
                     hold_time: (self.hold_ms / 1000) as u16,
+                    families: self.families,
+                    add_paths: self.add_paths,
                 });
             }
             (SessionState::Established, BgpMessage::Update(u)) => {
@@ -407,6 +450,19 @@ impl SessionFsm {
         let hold = self.cfg.hold_time.min(open.hold_time);
         self.hold_ms = u64::from(hold) * 1000;
         self.hold_deadline = (self.hold_ms > 0).then(|| now_ms + self.hold_ms);
+        // RFC 4760 / RFC 7911: a capability is in effect only when both
+        // sides advertised it, so the negotiated sets are intersections.
+        // No Multiprotocol capability from either side leaves the session
+        // legacy (implicit v4 unicast) and the intersections empty.
+        let peer_families: FamilySet = open.mp_families.iter().copied().collect();
+        let peer_add_paths: FamilySet = open.add_paths.iter().copied().collect();
+        self.families = self.cfg.families.intersect(peer_families);
+        self.add_paths = self
+            .cfg
+            .add_paths
+            .intersect(peer_add_paths)
+            .intersect(self.families);
+        self.ctx = DecodeCtx::from_families(self.add_paths.iter());
         true
     }
 
@@ -482,6 +538,77 @@ mod tests {
         assert!(drain(&mut server)
             .iter()
             .any(|e| matches!(e, SessionEvent::Established { hold_time: 90, .. })));
+    }
+
+    #[test]
+    fn capability_negotiation_intersects_families_and_add_paths() {
+        use bgp_types::AddressFamily;
+        // client offers dual-stack with ADD-PATH on both; server offers
+        // dual-stack with ADD-PATH only on v6
+        let mut ccfg = cfg(65001, 90);
+        ccfg.families = FamilySet::ALL;
+        ccfg.add_paths = FamilySet::ALL;
+        let mut scfg = cfg(65535, 240);
+        scfg.families = FamilySet::ALL;
+        scfg.add_paths = FamilySet::only(AddressFamily::Ipv6Unicast);
+        let mut client = SessionFsm::new(SessionRole::Active, ccfg);
+        let mut server = SessionFsm::new(SessionRole::Passive, scfg);
+        client.start(0);
+        server.start(0);
+        pump(&mut client, &mut server, 0);
+        for side in [&client, &server] {
+            assert_eq!(side.state(), SessionState::Established);
+            assert_eq!(side.families(), FamilySet::ALL);
+            assert_eq!(
+                side.add_paths(),
+                FamilySet::only(AddressFamily::Ipv6Unicast)
+            );
+            assert!(!side.decode_ctx().addpath_v4);
+            assert!(side.decode_ctx().addpath_v6);
+        }
+        assert!(drain(&mut server).iter().any(|e| matches!(
+            e,
+            SessionEvent::Established { families, add_paths, .. }
+                if *families == FamilySet::ALL
+                    && *add_paths == FamilySet::only(AddressFamily::Ipv6Unicast)
+        )));
+
+        // ADD-PATH UPDATEs now flow: a v6 announce with a path id survives
+        // the session codec because both ends share the negotiated context
+        let mut u = UpdateMessage::announce_v6(
+            "2001:db8::/32".parse().unwrap(),
+            bgp_types::AsPath::from_u32s([65001, 174]),
+            std::net::Ipv6Addr::new(0x2001, 0xdb8, 0xffff, 0, 0, 0, 0, 9),
+            vec![],
+        );
+        for n in &mut u.announced {
+            n.path_id = Some(7);
+        }
+        client.send_update(&u);
+        pump(&mut client, &mut server, 1);
+        let evs = drain(&mut server);
+        assert!(evs
+            .iter()
+            .any(|e| matches!(e, SessionEvent::Update(m) if *m == u)));
+    }
+
+    #[test]
+    fn legacy_peer_yields_empty_negotiated_sets() {
+        // dual-stack server, legacy client: the session falls back to
+        // classic v4-only decoding
+        let mut scfg = cfg(65535, 240);
+        scfg.families = FamilySet::ALL;
+        scfg.add_paths = FamilySet::ALL;
+        let mut client = SessionFsm::new(SessionRole::Active, cfg(65001, 90));
+        let mut server = SessionFsm::new(SessionRole::Passive, scfg);
+        client.start(0);
+        server.start(0);
+        pump(&mut client, &mut server, 0);
+        assert_eq!(server.state(), SessionState::Established);
+        assert!(server.families().is_empty());
+        assert!(server.add_paths().is_empty());
+        assert!(!server.decode_ctx().addpath_v4);
+        assert!(!server.decode_ctx().addpath_v6);
     }
 
     #[test]

@@ -144,8 +144,20 @@ impl Transcript {
 
 fn render(event: &SessionEvent) -> String {
     match event {
-        SessionEvent::Established { peer, hold_time } => {
-            format!("established peer={peer} hold={hold_time}")
+        SessionEvent::Established {
+            peer,
+            hold_time,
+            families,
+            add_paths,
+        } => {
+            let mut line = format!("established peer={peer} hold={hold_time}");
+            for fam in families.iter() {
+                line.push_str(&format!(" mp={fam}"));
+            }
+            for fam in add_paths.iter() {
+                line.push_str(&format!(" add-path={fam}"));
+            }
+            line
         }
         SessionEvent::Update(u) => format!(
             "update announce={} withdraw={}",

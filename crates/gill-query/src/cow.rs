@@ -12,8 +12,9 @@
 //! plain hash map. Only the first write after a snapshot along each path
 //! pays the path-copy.
 //!
-//! Keys are interned [`PrefixId`]s, not owned `Prefix`es: the id pins the
-//! prefix in the store's arena, and a 4-byte key keeps the `Node` enum —
+//! Keys are [`RouteKey`]s — an interned [`PrefixId`] plus the optional
+//! RFC 7911 ADD-PATH identifier — not owned `Prefix`es: the id pins the
+//! prefix in the store's arena, and the compact key keeps the `Node` enum —
 //! and therefore *every* trie allocation, branches included — small.
 //! Structural order depends on id assignment and is NOT part of the
 //! store's externally visible contract; every consumer of [`CowRib::for_each`]
@@ -21,6 +22,30 @@
 
 use bgp_types::{CommSetId, PathId, PrefixId};
 use std::sync::Arc;
+
+/// A route identity: the prefix plus the ADD-PATH id (`None` on sessions
+/// without the capability). Distinct path ids under one prefix are distinct
+/// routes, per RFC 7911.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct RouteKey {
+    /// Interned prefix.
+    pub prefix: PrefixId,
+    /// ADD-PATH identifier, if the announcing session negotiated it.
+    pub path: Option<u32>,
+}
+
+impl RouteKey {
+    /// A key with no ADD-PATH id (the classic single-route-per-prefix case).
+    pub fn classic(prefix: PrefixId) -> Self {
+        RouteKey { prefix, path: None }
+    }
+}
+
+impl From<PrefixId> for RouteKey {
+    fn from(prefix: PrefixId) -> Self {
+        RouteKey::classic(prefix)
+    }
+}
 
 /// A best route in interned form: arena ids plus the raw announcement
 /// timestamp (what `RibEntry::time` carries).
@@ -42,12 +67,20 @@ fn nibble(hash: u64, depth: u32) -> u32 {
     ((hash >> (depth * BITS)) & 0xf) as u32
 }
 
-/// splitmix64 of the id: a bijection on u64, so distinct ids always get
-/// distinct hashes (the collision arm below is purely defensive) and every
-/// 4-bit nibble is well distributed even for sequential ids.
+/// splitmix64 over the key. The path id is folded in as `id + 1` in u64
+/// space (so `None` ≠ `Some(u32::MAX)` — the add cannot wrap) times an odd
+/// constant, which is injective in the path word; the combined 65-bit key
+/// space cannot be bijective into u64, so the collision arm below is live
+/// in principle, though unreachable for any realistic table.
 #[inline]
-fn hash_id(id: PrefixId) -> u64 {
-    let mut z = (id.0 as u64).wrapping_add(0x9e3779b97f4a7c15);
+fn hash_key(k: RouteKey) -> u64 {
+    let path_word = match k.path {
+        None => 0u64,
+        Some(id) => (id as u64) + 1,
+    };
+    let mut z = (k.prefix.0 as u64)
+        .wrapping_add(path_word.wrapping_mul(0x6c62_272e_07bb_0142))
+        .wrapping_add(0x9e3779b97f4a7c15);
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
     z ^ (z >> 31)
@@ -55,16 +88,16 @@ fn hash_id(id: PrefixId) -> u64 {
 
 #[derive(Clone)]
 enum Node {
-    Leaf(PrefixId, CompactEntry),
-    /// Entries whose full 64-bit hashes collide (unreachable for the
-    /// bijective hash above; kept so the structure is safe under any hash).
-    Collision(Vec<(PrefixId, CompactEntry)>),
+    Leaf(RouteKey, CompactEntry),
+    /// Entries whose full 64-bit hashes collide (astronomically unlikely
+    /// for the hash above; kept so the structure is safe under any hash).
+    Collision(Vec<(RouteKey, CompactEntry)>),
     /// 16-way branch: `bitmap` marks populated nibbles, `children` packs
     /// them in nibble order.
     Branch(u16, Vec<Arc<Node>>),
 }
 
-/// A persistent [`PrefixId`] → [`CompactEntry`] map with O(1) snapshots.
+/// A persistent [`RouteKey`] → [`CompactEntry`] map with O(1) snapshots.
 #[derive(Clone, Default)]
 pub struct CowRib {
     root: Option<Arc<Node>>,
@@ -87,16 +120,16 @@ impl CowRib {
         self.len == 0
     }
 
-    /// The current route for `id`.
-    pub fn get(&self, id: PrefixId) -> Option<&CompactEntry> {
+    /// The current route for `key`.
+    pub fn get(&self, key: RouteKey) -> Option<&CompactEntry> {
         let mut node = self.root.as_deref()?;
-        let hash = hash_id(id);
+        let hash = hash_key(key);
         let mut depth = 0;
         loop {
             match node {
-                Node::Leaf(q, e) => return (*q == id).then_some(e),
+                Node::Leaf(q, e) => return (*q == key).then_some(e),
                 Node::Collision(items) => {
-                    return items.iter().find(|(q, _)| *q == id).map(|(_, e)| e)
+                    return items.iter().find(|(q, _)| *q == key).map(|(_, e)| e)
                 }
                 Node::Branch(bitmap, children) => {
                     let bit = 1u16 << nibble(hash, depth);
@@ -111,16 +144,16 @@ impl CowRib {
         }
     }
 
-    /// Installs (or replaces) the route for `id`, returning the previous
+    /// Installs (or replaces) the route for `key`, returning the previous
     /// entry if any. Shared nodes along the path are copied; exclusively
     /// owned nodes are mutated in place.
-    pub fn insert(&mut self, id: PrefixId, e: CompactEntry) -> Option<CompactEntry> {
+    pub fn insert(&mut self, key: RouteKey, e: CompactEntry) -> Option<CompactEntry> {
         let old = match &mut self.root {
             None => {
-                self.root = Some(Arc::new(Node::Leaf(id, e)));
+                self.root = Some(Arc::new(Node::Leaf(key, e)));
                 None
             }
-            Some(root) => insert_rec(root, hash_id(id), 0, id, e),
+            Some(root) => insert_rec(root, hash_key(key), 0, key, e),
         };
         if old.is_none() {
             self.len += 1;
@@ -128,12 +161,12 @@ impl CowRib {
         old
     }
 
-    /// Removes the route for `id`, returning it if present.
-    pub fn remove(&mut self, id: PrefixId) -> Option<CompactEntry> {
+    /// Removes the route for `key`, returning it if present.
+    pub fn remove(&mut self, key: RouteKey) -> Option<CompactEntry> {
         // Probe first: a miss must not path-copy shared nodes.
-        self.get(id)?;
+        self.get(key)?;
         let root = self.root.as_mut().expect("probe hit implies a root");
-        let (removed, prune) = remove_rec(root, hash_id(id), 0, id);
+        let (removed, prune) = remove_rec(root, hash_key(key), 0, key);
         debug_assert!(removed.is_some());
         if prune {
             self.root = None;
@@ -142,14 +175,14 @@ impl CowRib {
         removed
     }
 
-    /// Visits every `(id, entry)` pair in structural (hash) order.
-    pub fn for_each(&self, mut f: impl FnMut(PrefixId, &CompactEntry)) {
-        fn walk(node: &Node, f: &mut impl FnMut(PrefixId, &CompactEntry)) {
+    /// Visits every `(key, entry)` pair in structural (hash) order.
+    pub fn for_each(&self, mut f: impl FnMut(RouteKey, &CompactEntry)) {
+        fn walk(node: &Node, f: &mut impl FnMut(RouteKey, &CompactEntry)) {
             match node {
-                Node::Leaf(id, e) => f(*id, e),
+                Node::Leaf(key, e) => f(*key, e),
                 Node::Collision(items) => {
-                    for (id, e) in items {
-                        f(*id, e);
+                    for (key, e) in items {
+                        f(*key, e);
                     }
                 }
                 Node::Branch(_, children) => {
@@ -169,23 +202,23 @@ fn insert_rec(
     node: &mut Arc<Node>,
     hash: u64,
     depth: u32,
-    id: PrefixId,
+    key: RouteKey,
     e: CompactEntry,
 ) -> Option<CompactEntry> {
     match Arc::make_mut(node) {
-        Node::Leaf(q, old) if *q == id => Some(std::mem::replace(old, e)),
+        Node::Leaf(q, old) if *q == key => Some(std::mem::replace(old, e)),
         n @ Node::Leaf(..) => {
             let (q, old_e) = match n {
                 Node::Leaf(q, e) => (*q, *e),
                 _ => unreachable!(),
             };
-            *n = split_leaf((q, old_e), (id, e), depth);
+            *n = split_leaf((q, old_e), (key, e), depth);
             None
         }
-        Node::Collision(items) => match items.iter_mut().find(|(q, _)| *q == id) {
+        Node::Collision(items) => match items.iter_mut().find(|(q, _)| *q == key) {
             Some(slot) => Some(std::mem::replace(&mut slot.1, e)),
             None => {
-                items.push((id, e));
+                items.push((key, e));
                 None
             }
         },
@@ -193,9 +226,9 @@ fn insert_rec(
             let bit = 1u16 << nibble(hash, depth);
             let idx = (*bitmap & (bit - 1)).count_ones() as usize;
             if *bitmap & bit != 0 {
-                insert_rec(&mut children[idx], hash, depth + 1, id, e)
+                insert_rec(&mut children[idx], hash, depth + 1, key, e)
             } else {
-                children.insert(idx, Arc::new(Node::Leaf(id, e)));
+                children.insert(idx, Arc::new(Node::Leaf(key, e)));
                 *bitmap |= bit;
                 None
             }
@@ -205,12 +238,12 @@ fn insert_rec(
 
 /// Builds the minimal subtree holding two distinct entries whose paths
 /// diverge at or below `depth`.
-fn split_leaf(a: (PrefixId, CompactEntry), b: (PrefixId, CompactEntry), depth: u32) -> Node {
+fn split_leaf(a: (RouteKey, CompactEntry), b: (RouteKey, CompactEntry), depth: u32) -> Node {
     if depth >= MAX_DEPTH {
         return Node::Collision(vec![a, b]);
     }
-    let na = nibble(hash_id(a.0), depth);
-    let nb = nibble(hash_id(b.0), depth);
+    let na = nibble(hash_key(a.0), depth);
+    let nb = nibble(hash_key(b.0), depth);
     if na == nb {
         let child = split_leaf(a, b, depth + 1);
         Node::Branch(1 << na, vec![Arc::new(child)])
@@ -226,21 +259,21 @@ fn split_leaf(a: (PrefixId, CompactEntry), b: (PrefixId, CompactEntry), depth: u
     }
 }
 
-/// Removes `id` from the subtree; the bool asks the parent to drop this
-/// child entirely (it became empty). The caller guarantees `id` is present.
+/// Removes `key` from the subtree; the bool asks the parent to drop this
+/// child entirely (it became empty). The caller guarantees `key` is present.
 fn remove_rec(
     node: &mut Arc<Node>,
     hash: u64,
     depth: u32,
-    id: PrefixId,
+    key: RouteKey,
 ) -> (Option<CompactEntry>, bool) {
     match Arc::make_mut(node) {
         Node::Leaf(q, e) => {
-            debug_assert_eq!(*q, id);
+            debug_assert_eq!(*q, key);
             (Some(*e), true)
         }
         Node::Collision(items) => {
-            let pos = items.iter().position(|(q, _)| *q == id);
+            let pos = items.iter().position(|(q, _)| *q == key);
             match pos {
                 Some(i) => {
                     let (_, e) = items.swap_remove(i);
@@ -255,7 +288,7 @@ fn remove_rec(
                 return (None, false);
             }
             let idx = (*bitmap & (bit - 1)).count_ones() as usize;
-            let (removed, prune) = remove_rec(&mut children[idx], hash, depth + 1, id);
+            let (removed, prune) = remove_rec(&mut children[idx], hash, depth + 1, key);
             if prune {
                 children.remove(idx);
                 *bitmap &= !bit;
@@ -278,6 +311,10 @@ mod tests {
         }
     }
 
+    fn key(n: u32) -> RouteKey {
+        RouteKey::classic(PrefixId(n))
+    }
+
     /// Deterministic xorshift (no rand dep in unit tests).
     struct Rng(u64);
     impl Rng {
@@ -293,14 +330,15 @@ mod tests {
 
     #[test]
     fn node_stays_small() {
-        // The whole point of id keys: every trie allocation is one enum.
-        assert!(std::mem::size_of::<Node>() <= 32);
+        // Compact keys keep every trie allocation one small enum (the
+        // ADD-PATH id widened the pre-RFC7911 32-byte bound slightly).
+        assert!(std::mem::size_of::<Node>() <= 40);
     }
 
     #[test]
     fn insert_get_remove_roundtrip() {
         let mut m = CowRib::new();
-        let p = PrefixId(42);
+        let p = key(42);
         assert!(m.get(p).is_none());
         assert_eq!(m.insert(p, entry(1)), None);
         assert_eq!(m.get(p), Some(&entry(1)));
@@ -312,12 +350,59 @@ mod tests {
     }
 
     #[test]
+    fn path_ids_are_distinct_routes() {
+        // RFC 7911: (prefix, path-id) is the route identity. None and
+        // Some(0) must also stay distinct, as must Some(u32::MAX).
+        let mut m = CowRib::new();
+        let p = PrefixId(7);
+        let keys = [
+            RouteKey {
+                prefix: p,
+                path: None,
+            },
+            RouteKey {
+                prefix: p,
+                path: Some(0),
+            },
+            RouteKey {
+                prefix: p,
+                path: Some(1),
+            },
+            RouteKey {
+                prefix: p,
+                path: Some(u32::MAX),
+            },
+        ];
+        for (i, k) in keys.iter().enumerate() {
+            assert_eq!(m.insert(*k, entry(i as u32)), None, "key {k:?}");
+        }
+        assert_eq!(m.len(), keys.len());
+        for (i, k) in keys.iter().enumerate() {
+            assert_eq!(m.get(*k), Some(&entry(i as u32)), "key {k:?}");
+        }
+        assert_eq!(m.remove(keys[1]), Some(entry(1)));
+        assert_eq!(
+            m.get(keys[0]),
+            Some(&entry(0)),
+            "None survives Some(0) removal"
+        );
+        assert_eq!(m.len(), keys.len() - 1);
+    }
+
+    #[test]
     fn model_checked_against_hashmap() {
         let mut m = CowRib::new();
-        let mut model: HashMap<PrefixId, CompactEntry> = HashMap::new();
+        let mut model: HashMap<RouteKey, CompactEntry> = HashMap::new();
         let mut rng = Rng(0xdeadbeefcafe1234);
         for step in 0..20_000u32 {
-            let p = PrefixId(rng.below(500) as u32);
+            let path = match rng.below(3) {
+                0 => None,
+                _ => Some(rng.below(4) as u32),
+            };
+            let p = RouteKey {
+                prefix: PrefixId(rng.below(500) as u32),
+                path,
+            };
             match rng.below(3) {
                 0 | 1 => {
                     let e = entry(step);
@@ -330,7 +415,7 @@ mod tests {
             assert_eq!(m.len(), model.len(), "step {step}");
         }
         // final contents identical
-        let mut got: Vec<(PrefixId, CompactEntry)> = Vec::new();
+        let mut got: Vec<(RouteKey, CompactEntry)> = Vec::new();
         m.for_each(|p, e| got.push((p, *e)));
         assert_eq!(got.len(), model.len());
         for (p, e) in got {
@@ -342,27 +427,27 @@ mod tests {
     fn snapshots_are_isolated_from_later_writes() {
         let mut m = CowRib::new();
         for i in 0..300u32 {
-            m.insert(PrefixId(i), entry(i));
+            m.insert(key(i), entry(i));
         }
         let snap = m.clone();
         // mutate heavily after the snapshot
         for i in 0..300u32 {
             if i % 3 == 0 {
-                m.remove(PrefixId(i));
+                m.remove(key(i));
             } else {
-                m.insert(PrefixId(i), entry(i + 1_000));
+                m.insert(key(i), entry(i + 1_000));
             }
         }
-        m.insert(PrefixId(900), entry(900));
+        m.insert(key(900), entry(900));
         // snapshot still sees the original contents
         assert_eq!(snap.len(), 300);
         for i in 0..300u32 {
-            assert_eq!(snap.get(PrefixId(i)), Some(&entry(i)), "prefix {i}");
+            assert_eq!(snap.get(key(i)), Some(&entry(i)), "prefix {i}");
         }
-        assert!(snap.get(PrefixId(900)).is_none());
+        assert!(snap.get(key(900)).is_none());
         // and the live map sees the new state
-        assert_eq!(m.get(PrefixId(3)), None);
-        assert_eq!(m.get(PrefixId(1)), Some(&entry(1_001)));
+        assert_eq!(m.get(key(3)), None);
+        assert_eq!(m.get(key(1)), Some(&entry(1_001)));
     }
 
     #[test]
@@ -370,10 +455,10 @@ mod tests {
         let mut a = CowRib::new();
         let mut b = CowRib::new();
         for i in 0..100u32 {
-            a.insert(PrefixId(i), entry(i));
+            a.insert(key(i), entry(i));
         }
         for i in (0..100u32).rev() {
-            b.insert(PrefixId(i), entry(i));
+            b.insert(key(i), entry(i));
         }
         let mut va = Vec::new();
         let mut vb = Vec::new();

@@ -271,7 +271,7 @@ fn entry_json(prefix: Prefix, e: &bgp_types::RibEntry) -> Json {
 }
 
 fn update_json(u: &bgp_types::BgpUpdate) -> Json {
-    Json::obj([
+    let mut fields = vec![
         ("vp", Json::str(u.vp.to_string())),
         ("time", Json::U64(u.time.as_millis())),
         ("prefix", Json::str(u.prefix.to_string())),
@@ -301,7 +301,13 @@ fn update_json(u: &bgp_types::BgpUpdate) -> Json {
                     .collect(),
             ),
         ),
-    ])
+    ];
+    // only ADD-PATH-tagged updates carry the key; classic responses
+    // stay byte-identical (the store-persist cmp depends on that)
+    if let Some(id) = u.path_id {
+        fields.push(("path_id", Json::U64(id as u64)));
+    }
+    Json::obj(fields)
 }
 
 #[cfg(test)]
@@ -338,6 +344,27 @@ mod tests {
              \"path\":[65001,2,3],\"origin\":3,\"communities\":[\"65001:100\"],\
              \"time\":1000}]}"
         );
+    }
+
+    #[test]
+    fn update_json_tags_path_id_only_when_present() {
+        let classic =
+            UpdateBuilder::announce(VpId::from_asn(Asn(65001)), "10.0.0.0/8".parse().unwrap())
+                .at(Timestamp::from_secs(1))
+                .path([65001, 2])
+                .build();
+        assert!(!update_json(&classic).encode().unwrap().contains("path_id"));
+
+        let tagged =
+            UpdateBuilder::announce(VpId::from_asn(Asn(65001)), "2001:db8::/32".parse().unwrap())
+                .at(Timestamp::from_secs(1))
+                .path([65001, 2])
+                .path_id(7)
+                .build();
+        assert!(update_json(&tagged)
+            .encode()
+            .unwrap()
+            .contains("\"path_id\":7"));
     }
 
     #[test]

@@ -11,16 +11,22 @@
 //! Layout (all integers little-endian):
 //!
 //! ```text
-//! magic    8B  b"GSEG0001"
+//! magic    8B  b"GSEG0002" (v1 files carry b"GSEG0001")
 //! seq      8B  segment sequence number
 //! vps      4B count, then {asn u32, router u16} each
 //! prefixes 4B count, then {v6 u8, len u8, bits 16B BE} each
 //! paths    4B count, then {hops u32, asn u32 ...} each
 //! commsets 4B count, then {n u32, community u32 ...} each
 //! lanes    4B count, then {vp_idx u32, start u64, recs u32,
-//!              {time_ms u64, prefix u32, path u32, comms u32, kind u8} ...}
+//!              {time_ms u64, prefix u32, path u32, comms u32, kind u8,
+//!               [path_id u32]} ...}
 //! crc32    4B  CRC-32/IEEE over every preceding byte
 //! ```
+//!
+//! The v2 kind byte doubles as the ADD-PATH flag: 0/1 are classic
+//! announce/withdraw records (byte-identical to v1), 2/3 are
+//! announce/withdraw carrying a trailing 4-byte RFC 7911 path identifier.
+//! v1 files (which predate ADD-PATH and never carry path ids) still load.
 //!
 //! Any corruption — bad magic, truncation, out-of-range table index, CRC
 //! mismatch — surfaces as `io::ErrorKind::InvalidData` at load time rather
@@ -33,7 +39,8 @@ use std::net::{Ipv4Addr, Ipv6Addr};
 use std::path::{Path, PathBuf};
 use std::sync::OnceLock;
 
-const MAGIC: &[u8; 8] = b"GSEG0001";
+const MAGIC_V1: &[u8; 8] = b"GSEG0001";
+const MAGIC_V2: &[u8; 8] = b"GSEG0002";
 
 /// One sealed update record (all attribute fields are segment-local ids).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -48,6 +55,9 @@ pub struct SegmentRec {
     pub comms: u32,
     /// Announce vs withdraw.
     pub kind: UpdateKind,
+    /// ADD-PATH path identifier (RFC 7911), when the route was observed
+    /// on an ADD-PATH session. Only representable in v2 segments.
+    pub path_id: Option<u32>,
 }
 
 /// The sealed records of one VP lane.
@@ -116,6 +126,7 @@ impl SegmentBuilder {
     }
 
     /// Appends one record to an open lane.
+    #[allow(clippy::too_many_arguments)]
     pub fn push_rec(
         &mut self,
         lane: usize,
@@ -124,6 +135,7 @@ impl SegmentBuilder {
         path: &AsPath,
         comms: &[Community],
         kind: UpdateKind,
+        path_id: Option<u32>,
     ) {
         let prefix = intern(&mut self.seg.prefixes, &mut self.prefix_ids, &prefix);
         let path = intern(&mut self.seg.paths, &mut self.path_ids, path);
@@ -134,6 +146,7 @@ impl SegmentBuilder {
             path,
             comms,
             kind,
+            path_id,
         });
     }
 
@@ -166,7 +179,7 @@ impl Segment {
     /// Serializes the segment (with trailing CRC) into `w`.
     pub fn write_to(&self, w: &mut impl Write) -> io::Result<()> {
         let mut buf = Vec::new();
-        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(MAGIC_V2);
         buf.extend_from_slice(&self.seq.to_le_bytes());
 
         put_len(&mut buf, self.vp_order.len())?;
@@ -208,10 +221,17 @@ impl Segment {
                 buf.extend_from_slice(&r.prefix.to_le_bytes());
                 buf.extend_from_slice(&r.path.to_le_bytes());
                 buf.extend_from_slice(&r.comms.to_le_bytes());
-                buf.push(match r.kind {
+                let kind_bit = match r.kind {
                     UpdateKind::Announce => 0,
                     UpdateKind::Withdraw => 1,
-                });
+                };
+                match r.path_id {
+                    None => buf.push(kind_bit),
+                    Some(id) => {
+                        buf.push(kind_bit | 2);
+                        buf.extend_from_slice(&id.to_le_bytes());
+                    }
+                }
             }
         }
 
@@ -224,7 +244,7 @@ impl Segment {
     pub fn read_from(r: &mut impl Read) -> io::Result<Segment> {
         let mut data = Vec::new();
         r.read_to_end(&mut data)?;
-        if data.len() < MAGIC.len() + 8 + 4 {
+        if data.len() < MAGIC_V2.len() + 8 + 4 {
             return Err(bad("segment file truncated"));
         }
         let (body, tail) = data.split_at(data.len() - 4);
@@ -234,9 +254,12 @@ impl Segment {
         }
 
         let mut c = Cursor { buf: body, pos: 0 };
-        if c.bytes(8)? != MAGIC {
-            return Err(bad("bad segment magic"));
-        }
+        let magic = c.bytes(8)?;
+        let v2 = match magic {
+            m if m == MAGIC_V2 => true,
+            m if m == MAGIC_V1 => false,
+            _ => return Err(bad("bad segment magic")),
+        };
         let seq = c.u64()?;
 
         let n = c.len()?;
@@ -313,9 +336,15 @@ impl Segment {
                 {
                     return Err(bad("record table index out of range"));
                 }
-                let kind = match c.u8()? {
+                let kind_byte = c.u8()?;
+                let kind = match kind_byte & 1 {
                     0 => UpdateKind::Announce,
-                    1 => UpdateKind::Withdraw,
+                    _ => UpdateKind::Withdraw,
+                };
+                let path_id = match kind_byte {
+                    0 | 1 => None,
+                    // the path-id flag only exists in the v2 format
+                    2 | 3 if v2 => Some(c.u32()?),
                     _ => return Err(bad("bad record kind byte")),
                 };
                 recs.push(SegmentRec {
@@ -324,6 +353,7 @@ impl Segment {
                     path,
                     comms,
                     kind,
+                    path_id,
                 });
             }
             lanes.push(SegmentLane { vp, start, recs });
@@ -355,6 +385,7 @@ impl Segment {
                     vp,
                     time: Timestamp::from_millis(r.time_ms),
                     prefix: self.prefixes[r.prefix as usize],
+                    path_id: r.path_id,
                     kind: r.kind,
                     path: self.paths[r.path as usize].clone(),
                     communities: self.comm_sets[r.comms as usize].iter().copied().collect(),
@@ -476,10 +507,10 @@ mod tests {
         let p2: Prefix = "2001:db8::/32".parse().unwrap();
         let path = AsPath::from_u32s([65_000, 20, 30]);
         let comms = vec![Community::new(65_000, 100), Community::new(65_000, 200)];
-        b.push_rec(lane0, 1_000, p1, &path, &comms, UpdateKind::Announce);
-        b.push_rec(lane0, 2_000, p2, &path, &[], UpdateKind::Announce);
+        b.push_rec(lane0, 1_000, p1, &path, &comms, UpdateKind::Announce, None);
+        b.push_rec(lane0, 2_000, p2, &path, &[], UpdateKind::Announce, Some(7));
         // same attrs again: must dedup into the same local ids
-        b.push_rec(lane0, 3_000, p1, &path, &comms, UpdateKind::Announce);
+        b.push_rec(lane0, 3_000, p1, &path, &comms, UpdateKind::Announce, None);
         b.push_rec(
             lane1,
             2_500,
@@ -487,6 +518,7 @@ mod tests {
             &AsPath::empty(),
             &[],
             UpdateKind::Withdraw,
+            None,
         );
         assert_eq!(b.rec_count(), 4);
         b.finish()
@@ -518,6 +550,100 @@ mod tests {
         assert!(ups[3].path.is_empty());
         assert_eq!(ups[0].prefix, "10.0.0.0/8".parse().unwrap());
         assert!(ups[1].prefix.is_ipv6());
+        assert_eq!(ups[0].path_id, None);
+        assert_eq!(ups[1].path_id, Some(7));
+    }
+
+    #[test]
+    fn v1_segments_still_load() {
+        // hand-build a v1 file: same layout, old magic, kind bytes 0/1
+        // only, no trailing path ids
+        let seg = sample();
+        let mut buf = Vec::new();
+        seg.write_to(&mut buf).unwrap();
+        // rebuild the body v1-style
+        let mut v1 = Vec::new();
+        v1.extend_from_slice(MAGIC_V1);
+        let body = &buf[8..buf.len() - 4];
+        let mut pos = 0usize;
+        // everything up to the lanes table is format-identical; re-walk
+        // the records to drop the path-id bytes and clear the flag bit
+        // seq
+        v1.extend_from_slice(&body[pos..pos + 8]);
+        pos += 8;
+        // vps
+        let n = u32::from_le_bytes(body[pos..pos + 4].try_into().unwrap()) as usize;
+        v1.extend_from_slice(&body[pos..pos + 4 + n * 6]);
+        pos += 4 + n * 6;
+        // prefixes
+        let n = u32::from_le_bytes(body[pos..pos + 4].try_into().unwrap()) as usize;
+        v1.extend_from_slice(&body[pos..pos + 4 + n * 18]);
+        pos += 4 + n * 18;
+        // paths
+        let n = u32::from_le_bytes(body[pos..pos + 4].try_into().unwrap()) as usize;
+        v1.extend_from_slice(&body[pos..pos + 4]);
+        pos += 4;
+        for _ in 0..n {
+            let hops = u32::from_le_bytes(body[pos..pos + 4].try_into().unwrap()) as usize;
+            v1.extend_from_slice(&body[pos..pos + 4 + hops * 4]);
+            pos += 4 + hops * 4;
+        }
+        // comm sets
+        let n = u32::from_le_bytes(body[pos..pos + 4].try_into().unwrap()) as usize;
+        v1.extend_from_slice(&body[pos..pos + 4]);
+        pos += 4;
+        for _ in 0..n {
+            let m = u32::from_le_bytes(body[pos..pos + 4].try_into().unwrap()) as usize;
+            v1.extend_from_slice(&body[pos..pos + 4 + m * 4]);
+            pos += 4 + m * 4;
+        }
+        // lanes: strip the v2 path-id extension
+        let n = u32::from_le_bytes(body[pos..pos + 4].try_into().unwrap()) as usize;
+        v1.extend_from_slice(&body[pos..pos + 4]);
+        pos += 4;
+        for _ in 0..n {
+            v1.extend_from_slice(&body[pos..pos + 12]);
+            pos += 12;
+            let m = u32::from_le_bytes(body[pos..pos + 4].try_into().unwrap()) as usize;
+            v1.extend_from_slice(&body[pos..pos + 4]);
+            pos += 4;
+            for _ in 0..m {
+                v1.extend_from_slice(&body[pos..pos + 20]);
+                pos += 20;
+                let kind = body[pos];
+                v1.push(kind & 1);
+                pos += 1;
+                if kind & 2 != 0 {
+                    pos += 4; // drop the path id
+                }
+            }
+        }
+        assert_eq!(pos, body.len());
+        let crc = crc32(&v1);
+        v1.extend_from_slice(&crc.to_le_bytes());
+        let back = Segment::read_from(&mut &v1[..]).unwrap();
+        assert_eq!(back.seq, seg.seq);
+        assert_eq!(back.prefixes, seg.prefixes);
+        assert!(back
+            .lanes
+            .iter()
+            .flat_map(|l| &l.recs)
+            .all(|r| r.path_id.is_none()));
+    }
+
+    #[test]
+    fn v1_files_reject_path_id_kind_bytes() {
+        // a v1-magic file using kind byte 2 must be rejected, not
+        // silently misread
+        let seg = sample();
+        let mut buf = Vec::new();
+        seg.write_to(&mut buf).unwrap();
+        let mut body = buf[..buf.len() - 4].to_vec();
+        body[..8].copy_from_slice(MAGIC_V1);
+        let crc = crc32(&body);
+        body.extend_from_slice(&crc.to_le_bytes());
+        let err = Segment::read_from(&mut &body[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
     }
 
     #[test]

@@ -33,7 +33,7 @@ use bgp_types::{Asn, BgpUpdate, Prefix, Timestamp, VpId};
 use bgp_wire::{BgpMessage, MrtRecord, MrtWriter, TableDump, UpdateMessage};
 use gill_core::{FilterGranularity, FilterHandle};
 use parking_lot::RwLock;
-use std::net::Ipv4Addr;
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr};
 use std::sync::Arc;
 
 /// The store handle shared between ingest and serving.
@@ -266,13 +266,27 @@ fn encode_updates_mrt(updates: &[BgpUpdate]) -> std::io::Result<Vec<u8>> {
     let mut w = MrtWriter::new(Vec::new());
     for u in updates {
         let msg = UpdateMessage::from_domain(u)
-            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?
+            .without_path_ids();
+        // record addresses follow the route's family: v6 updates export as
+        // AFI-2 BGP4MP records, exactly like the collector's archive path
+        let (peer_ip, local_ip) = if u.prefix.is_ipv6() {
+            (
+                IpAddr::V6(Ipv6Addr::new(0x2001, 0xdb8, 0xff, 0, 0, 0, 0, 1)),
+                IpAddr::V6(Ipv6Addr::new(0x2001, 0xdb8, 0xff, 0, 0, 0, 0, 0xfe)),
+            )
+        } else {
+            (
+                IpAddr::V4(Ipv4Addr::new(10, 255, 0, 1)),
+                IpAddr::V4(Ipv4Addr::new(10, 255, 0, 254)),
+            )
+        };
         w.write_record(&MrtRecord {
             time: u.time,
             peer_as: u.vp.asn,
             local_as: Asn(65535),
-            peer_ip: Ipv4Addr::new(10, 255, 0, 1),
-            local_ip: Ipv4Addr::new(10, 255, 0, 254),
+            peer_ip,
+            local_ip,
             message: BgpMessage::Update(msg),
         })?;
     }
@@ -414,6 +428,54 @@ mod tests {
         let dump = TableDump::read_mrt(&resp.body).unwrap();
         let ribs = dump.to_ribs();
         assert_eq!(ribs.len(), 2);
+    }
+
+    #[test]
+    fn dual_stack_endpoints_serve_v6() {
+        let mut s = RouteStore::default();
+        let vp1 = VpId::from_asn(Asn(65001));
+        s.ingest(
+            UpdateBuilder::announce(vp1, "10.0.0.0/8".parse().unwrap())
+                .at(Timestamp::from_secs(1))
+                .path([65001, 2, 3])
+                .build(),
+        );
+        s.ingest(
+            UpdateBuilder::announce(vp1, "2001:db8::/32".parse().unwrap())
+                .at(Timestamp::from_secs(2))
+                .path([65001, 2, 6])
+                .path_id(7)
+                .build(),
+        );
+        let store: SharedStore = Arc::new(RwLock::new(s));
+
+        // JSON route lookups answer for v6 prefixes
+        let resp = get(&store, "/routes?prefix=2001:db8::/32&match=exact");
+        assert_eq!(resp.status, 200);
+        let body = String::from_utf8(resp.body).unwrap();
+        assert!(body.contains("2001:db8::/32"), "{body}");
+
+        // /mrt/updates carries the v6 update as an AFI-2 BGP4MP record
+        let resp = get(&store, "/mrt/updates?vp=65001");
+        assert_eq!(resp.status, 200);
+        let mut r = MrtReader::new(&resp.body[..]);
+        let (mut n, mut v6) = (0, 0);
+        while let Some(rec) = r.next_record().unwrap() {
+            if rec.peer_ip.is_ipv6() {
+                v6 += 1;
+            }
+            n += 1;
+        }
+        assert_eq!((n, v6), (2, 1));
+
+        // /mrt/rib exports the v6 route in a RIB_IPV6_UNICAST entry
+        let resp = get(&store, "/mrt/rib");
+        assert_eq!(resp.status, 200);
+        let dump = TableDump::read_mrt(&resp.body).unwrap();
+        let ribs = dump.to_ribs();
+        let rib = ribs.get(&vp1).expect("vp present");
+        assert!(rib.iter().any(|(p, _)| p.is_ipv6()));
+        assert!(rib.iter().any(|(p, _)| !p.is_ipv6()));
     }
 
     #[test]

@@ -33,7 +33,7 @@
 //!    boot ([`RouteStore::load_dir`]), reproducing the store exactly.
 
 use crate::arena::{diff_sorted, Interner};
-use crate::cow::{CompactEntry, CowRib};
+use crate::cow::{CompactEntry, CowRib, RouteKey};
 use crate::segment::{self, Segment, SegmentBuilder};
 use crate::{JoinMode, MatchMode};
 use bgp_types::{
@@ -98,11 +98,24 @@ struct UpdateRef {
 #[derive(Clone, Copy, Debug)]
 struct Rec {
     prefix: PrefixId,
+    /// RFC 7911 ADD-PATH identifier (`None` on classic sessions). Distinct
+    /// from `path`, which is the *interned AS-path* arena id.
+    path_id: Option<u32>,
     path: PathId,
     comms: CommSetId,
     wlinks: LinkSetId,
     wcomms: CommSetId,
     kind: UpdateKind,
+}
+
+impl Rec {
+    /// The route identity this record addresses in a RIB.
+    fn route_key(&self) -> RouteKey {
+        RouteKey {
+            prefix: self.prefix,
+            path: self.path_id,
+        }
+    }
 }
 
 /// A per-VP RIB snapshot: `rib` reflects exactly `lane.recs[..idx]`.
@@ -241,8 +254,10 @@ pub struct RouteStore {
     /// VPs in first-seen order (stable output for `/vps`).
     vp_order: Vec<VpId>,
     shards: BTreeMap<u64, Shard>,
-    /// prefix → (vp → live best route), in interned form.
-    live: PrefixTrie<BTreeMap<VpId, CompactEntry>>,
+    /// prefix → ((vp, ADD-PATH id) → live route), in interned form. The
+    /// path-id key keeps concurrent RFC 7911 routes from one VP distinct;
+    /// classic sessions collapse to a single `None` slot per VP.
+    live: PrefixTrie<BTreeMap<(VpId, Option<u32>), CompactEntry>>,
     /// origin AS → (prefix → number of VPs currently routing it via that
     /// origin). Refcounted so withdrawals retract cleanly.
     origins: HashMap<Asn, BTreeMap<Prefix, usize>>,
@@ -306,6 +321,7 @@ impl RouteStore {
             vp,
             time,
             prefix,
+            path_id,
             kind,
             path,
             communities,
@@ -345,15 +361,19 @@ impl RouteStore {
         // analogue of `BTreeSet::difference`.
         let interner = &mut self.interner;
         let pid = interner.prefixes.intern(prefix);
-        let path_id = interner.paths.intern(&path);
+        let rkey = RouteKey {
+            prefix: pid,
+            path: path_id,
+        };
+        let aspath_id = interner.paths.intern(&path);
         let comms_id = CommSetId(
             interner
                 .comm_sets
                 .intern_sorted(&communities.iter().copied().collect::<Vec<_>>()),
         );
-        let prev = lane.rib.get(pid).copied();
+        let prev = lane.rib.get(rkey).copied();
         let prev_origin = prev.map(|pe| interner.paths.get(pe.path).origin());
-        let new_origin = interner.paths.get(path_id).origin();
+        let new_origin = interner.paths.get(aspath_id).origin();
 
         let (wlinks, wcomms, new_entry) = match kind {
             UpdateKind::Announce => {
@@ -361,7 +381,7 @@ impl RouteStore {
                     Some(pe) => {
                         let lw = diff_sorted(
                             interner.paths.links(pe.path),
-                            interner.paths.links(path_id),
+                            interner.paths.links(aspath_id),
                         );
                         let cw = diff_sorted(
                             interner.comm_sets.get(pe.comms.0),
@@ -379,15 +399,15 @@ impl RouteStore {
                     }
                 };
                 let e = CompactEntry {
-                    path: path_id,
+                    path: aspath_id,
                     comms: comms_id,
                     time_ms: raw_ms,
                 };
-                lane.rib.insert(pid, e);
+                lane.rib.insert(rkey, e);
                 (wl, wc, Some(e))
             }
             UpdateKind::Withdraw => {
-                let removed = lane.rib.remove(pid);
+                let removed = lane.rib.remove(rkey);
                 match removed {
                     Some(pe) => {
                         // Lw carries everything the withdrawn route had.
@@ -410,7 +430,8 @@ impl RouteStore {
         lane.raw_times.push(raw_ms);
         lane.recs.push(Rec {
             prefix: pid,
-            path: path_id,
+            path_id,
+            path: aspath_id,
             comms: comms_id,
             wlinks,
             wcomms,
@@ -427,10 +448,11 @@ impl RouteStore {
                 add_origin(&mut self.origins, new_origin, prefix);
                 match self.live.get_mut(&prefix) {
                     Some(routes) => {
-                        routes.insert(vp, entry);
+                        routes.insert((vp, path_id), entry);
                     }
                     None => {
-                        self.live.insert(prefix, BTreeMap::from([(vp, entry)]));
+                        self.live
+                            .insert(prefix, BTreeMap::from([((vp, path_id), entry)]));
                     }
                 }
             }
@@ -438,7 +460,7 @@ impl RouteStore {
                 if let Some(po) = prev_origin {
                     retract_origin(&mut self.origins, po, prefix);
                     if let Some(routes) = self.live.get_mut(&prefix) {
-                        routes.remove(&vp);
+                        routes.remove(&(vp, path_id));
                         if routes.is_empty() {
                             self.live.remove(&prefix);
                         }
@@ -516,6 +538,7 @@ impl RouteStore {
             vp,
             time: Timestamp::from_millis(lane.raw_times[idx]),
             prefix: i.prefixes.get(rec.prefix),
+            path_id: rec.path_id,
             kind: rec.kind,
             path: i.paths.get(rec.path).clone(),
             communities: i.comm_sets.get(rec.comms.0).iter().copied().collect(),
@@ -542,8 +565,14 @@ impl RouteStore {
     /// Materializes a COW table into an owned [`Rib`].
     fn materialize(&self, rib: &CowRib) -> Rib {
         let mut entries = Vec::with_capacity(rib.len());
-        rib.for_each(|id, e| entries.push((self.interner.prefixes.get(id), self.entry(e))));
-        Rib::from_entries(entries)
+        rib.for_each(|key, e| {
+            entries.push((
+                self.interner.prefixes.get(key.prefix),
+                key.path,
+                self.entry(e),
+            ))
+        });
+        Rib::from_path_entries(entries)
     }
 
     /// Replays one record into a COW table (the compact analogue of
@@ -552,7 +581,7 @@ impl RouteStore {
         match rec.kind {
             UpdateKind::Announce => {
                 rib.insert(
-                    rec.prefix,
+                    rec.route_key(),
                     CompactEntry {
                         path: rec.path,
                         comms: rec.comms,
@@ -561,7 +590,7 @@ impl RouteStore {
                 );
             }
             UpdateKind::Withdraw => {
-                rib.remove(rec.prefix);
+                rib.remove(rec.route_key());
             }
         }
     }
@@ -617,18 +646,19 @@ impl RouteStore {
     /// covering prefix that still has a route from the selected view;
     /// more-specifics enumerates the covered subtree.
     pub fn lookup(&self, prefix: &Prefix, mode: MatchMode, vp: Option<VpId>) -> Vec<RouteView> {
-        let keep =
-            |routes: &BTreeMap<VpId, CompactEntry>, pfx: &Prefix, out: &mut Vec<RouteView>| {
-                for (v, entry) in routes {
-                    if vp.is_none_or(|want| *v == want) {
-                        out.push(RouteView {
-                            vp: *v,
-                            prefix: *pfx,
-                            entry: self.entry(entry),
-                        });
-                    }
+        let keep = |routes: &BTreeMap<(VpId, Option<u32>), CompactEntry>,
+                    pfx: &Prefix,
+                    out: &mut Vec<RouteView>| {
+            for ((v, _path_id), entry) in routes {
+                if vp.is_none_or(|want| *v == want) {
+                    out.push(RouteView {
+                        vp: *v,
+                        prefix: *pfx,
+                        entry: self.entry(entry),
+                    });
                 }
-            };
+            }
+        };
         let mut out = Vec::new();
         match mode {
             MatchMode::Exact => {
@@ -678,33 +708,40 @@ impl RouteStore {
             let Some(rib) = self.rib_at(v, t) else {
                 continue;
             };
-            let trie: PrefixTrie<RibEntry> = rib.iter().map(|(p, e)| (*p, e.clone())).collect();
+            // Group per prefix: an ADD-PATH table can hold several routes
+            // under one prefix, and every one is part of the answer.
+            let mut trie: PrefixTrie<Vec<RibEntry>> = PrefixTrie::new();
+            for (p, e) in rib.iter() {
+                match trie.get_mut(p) {
+                    Some(v) => v.push(e.clone()),
+                    None => {
+                        trie.insert(*p, vec![e.clone()]);
+                    }
+                }
+            }
+            let push = |pfx: &Prefix, entries: &Vec<RibEntry>, out: &mut Vec<RouteView>| {
+                for e in entries {
+                    out.push(RouteView {
+                        vp: v,
+                        prefix: *pfx,
+                        entry: e.clone(),
+                    });
+                }
+            };
             match mode {
                 MatchMode::Exact => {
-                    if let Some(e) = trie.get(prefix) {
-                        out.push(RouteView {
-                            vp: v,
-                            prefix: *prefix,
-                            entry: e.clone(),
-                        });
+                    if let Some(es) = trie.get(prefix) {
+                        push(prefix, es, &mut out);
                     }
                 }
                 MatchMode::Longest => {
-                    if let Some((pfx, e)) = trie.longest_match(prefix) {
-                        out.push(RouteView {
-                            vp: v,
-                            prefix: *pfx,
-                            entry: e.clone(),
-                        });
+                    if let Some((pfx, es)) = trie.longest_match(prefix) {
+                        push(pfx, es, &mut out);
                     }
                 }
                 MatchMode::MoreSpecific => {
-                    for (pfx, e) in trie.more_specifics(prefix) {
-                        out.push(RouteView {
-                            vp: v,
-                            prefix: *pfx,
-                            entry: e.clone(),
-                        });
+                    for (pfx, es) in trie.more_specifics(prefix) {
+                        push(pfx, es, &mut out);
                     }
                 }
             }
@@ -876,6 +913,7 @@ impl RouteStore {
                     self.interner.paths.get(rec.path),
                     self.interner.comm_sets.get(rec.comms.0),
                     rec.kind,
+                    rec.path_id,
                 );
             }
         }
@@ -1117,6 +1155,72 @@ mod tests {
         s.ingest(ann(1, 20, "10.0.0.0/8", &[1, 9, 7])); // origin 3 → 7
         assert!(s.originated(Asn(3)).is_empty());
         assert_eq!(s.originated(Asn(7)).len(), 1);
+    }
+
+    #[test]
+    fn add_path_routes_are_distinct() {
+        let mut s = RouteStore::new(small_cfg());
+        let p: Prefix = "2001:db8::/32".parse().unwrap();
+        let mk = |id: u32, path: &[u32], t: u64| {
+            UpdateBuilder::announce(vp(1), p)
+                .at(Timestamp::from_millis(t))
+                .path(path.iter().copied())
+                .path_id(id)
+                .build()
+        };
+        s.ingest(mk(1, &[1, 2, 3], 10));
+        s.ingest(mk(2, &[1, 9, 3], 20));
+        // both RFC 7911 routes are live simultaneously
+        assert_eq!(s.lookup(&p, MatchMode::Exact, None).len(), 2);
+        let rib = s.rib_at(vp(1), Timestamp::from_millis(100)).unwrap();
+        assert_eq!(rib.len(), 2);
+        assert!(rib.get_path(&p, Some(1)).is_some());
+        assert!(rib.get_path(&p, Some(2)).is_some());
+        // withdrawing one path id retracts only that route
+        s.ingest(
+            UpdateBuilder::withdraw(vp(1), p)
+                .at(Timestamp::from_millis(30))
+                .path_id(1)
+                .build(),
+        );
+        assert_eq!(s.lookup(&p, MatchMode::Exact, None).len(), 1);
+        let rib = s.rib_at(vp(1), Timestamp::from_millis(100)).unwrap();
+        assert!(rib.get_path(&p, Some(1)).is_none());
+        assert!(rib.get_path(&p, Some(2)).is_some());
+        // historical lookup before the withdrawal still sees both
+        assert_eq!(
+            s.lookup_at(&p, MatchMode::Exact, None, Timestamp::from_millis(25))
+                .len(),
+            2
+        );
+    }
+
+    #[test]
+    fn seal_and_reload_keeps_v6_and_path_ids() {
+        let dir = scratch("reload-v6");
+        let p6: Prefix = "2001:db8:1::/48".parse().unwrap();
+        let mut a = RouteStore::new(small_cfg());
+        a.ingest(ann(1, 10, "10.0.0.0/8", &[1, 2, 3]));
+        a.ingest(
+            UpdateBuilder::announce(vp(1), p6)
+                .at(Timestamp::from_millis(20))
+                .path([1, 5, 6])
+                .path_id(9)
+                .build(),
+        );
+        a.seal_all_into(&dir).unwrap().unwrap();
+
+        let mut b = RouteStore::new(small_cfg());
+        assert_eq!(b.load_dir(&dir).unwrap(), 2);
+        assert_eq!(a.lane_updates(vp(1)), b.lane_updates(vp(1)));
+        let rib = b.rib_at(vp(1), Timestamp::from_millis(100)).unwrap();
+        assert!(rib.get_path(&p6, Some(9)).is_some());
+        assert_eq!(
+            b.lookup(&p6, MatchMode::Exact, None).len(),
+            1,
+            "v6 route survives the reload into the live table"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

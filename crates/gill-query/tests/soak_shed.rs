@@ -14,6 +14,7 @@ fn burst_day(seed: u64) -> ScenarioConfig {
         n_vps: 5,
         n_prefixes: 64,
         seed: seed ^ 0xb0b,
+        dual_stack: false,
     };
     let background = BackgroundConfig::default();
     let duration_ms = background.duration_for(4_000);

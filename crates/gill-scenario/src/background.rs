@@ -237,6 +237,7 @@ mod tests {
             n_vps: 8,
             n_prefixes: 64,
             seed: 3,
+            dual_stack: false,
         }
     }
 

@@ -256,6 +256,7 @@ mod tests {
             n_vps: 6,
             n_prefixes: 40,
             seed: 2,
+            dual_stack: false,
         }
     }
 

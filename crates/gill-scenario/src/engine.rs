@@ -192,6 +192,7 @@ mod tests {
             n_vps: 6,
             n_prefixes: 48,
             seed: 4,
+            dual_stack: false,
         };
         let bg = BackgroundConfig::default();
         let duration = bg.duration_for(4_000);

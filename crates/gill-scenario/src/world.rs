@@ -28,6 +28,11 @@ pub struct World {
     /// World seed: fixes the path palette (shared across scenario windows
     /// so filters trained on one window keep matching the next).
     pub seed: u64,
+    /// When set, odd prefix indices map to IPv6 (`Prefix::synthetic_v6`)
+    /// and every scenario becomes a mixed-family day. Origins, paths and
+    /// campaign arithmetic are keyed by the index, so they are
+    /// family-agnostic either way.
+    pub dual_stack: bool,
 }
 
 /// SplitMix64 finalizer — the workspace's standard cheap deterministic mix.
@@ -59,7 +64,11 @@ impl World {
     /// The `p`-th prefix.
     pub fn prefix(&self, p: u32) -> Prefix {
         debug_assert!(p < self.n_prefixes);
-        Prefix::synthetic(p)
+        if self.dual_stack && p % 2 == 1 {
+            Prefix::synthetic_v6(p)
+        } else {
+            Prefix::synthetic(p)
+        }
     }
 
     /// The legitimate origin ASN of prefix `p`.
@@ -84,11 +93,33 @@ mod tests {
     use super::*;
 
     #[test]
+    fn dual_stack_worlds_interleave_families() {
+        let v4only = World {
+            n_vps: 2,
+            n_prefixes: 8,
+            seed: 9,
+            dual_stack: false,
+        };
+        let dual = World {
+            dual_stack: true,
+            ..v4only
+        };
+        assert!((0..8).all(|p| !v4only.prefix(p).is_ipv6()));
+        for p in 0..8 {
+            assert_eq!(dual.prefix(p).is_ipv6(), p % 2 == 1);
+            // family never changes the legitimate origin or the palette
+            assert_eq!(dual.origin(p), v4only.origin(p));
+            assert_eq!(dual.path(0, p, 1), v4only.path(0, p, 1));
+        }
+    }
+
+    #[test]
     fn palette_is_deterministic_and_legitimate() {
         let w = World {
             n_vps: 4,
             n_prefixes: 16,
             seed: 9,
+            dual_stack: false,
         };
         assert_eq!(w.path(1, 3, 2), w.path(1, 3, 2));
         assert_ne!(w.path(1, 3, 0), w.path(2, 3, 0));

@@ -15,6 +15,7 @@ fn world() -> World {
         n_vps: 5,
         n_prefixes: 32,
         seed: 77,
+        dual_stack: false,
     }
 }
 

@@ -65,6 +65,7 @@ fn scenario_engine_merges_a_simulated_window() {
         n_vps: 4,
         n_prefixes: 32,
         seed: 6,
+        dual_stack: false,
     };
     let bg = BackgroundConfig::default();
     let cfg = ScenarioConfig {

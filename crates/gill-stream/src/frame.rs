@@ -14,9 +14,11 @@
 //!
 //! `update` carries the observable attributes of a stored update (§4.2's
 //! `u(v,t,p,L,C)`; the derived withdrawn sets are downstream state and are
-//! not streamed). `gap` is synthesized per subscriber by the slow-consumer
-//! policy; `eos` ends a replayed stream. The binary framing is
-//! `u32_be length ‖ payload` with a one-byte magic/version/kind header —
+//! not streamed). Routes from RFC 7911 ADD-PATH sessions add a `path_id`
+//! field — omitted entirely on classic routes, so pre-ADD-PATH consumers
+//! see byte-identical JSON. `gap` is synthesized per subscriber by the
+//! slow-consumer policy; `eos` ends a replayed stream. The binary framing
+//! is `u32_be length ‖ payload` with a one-byte magic/version/kind header —
 //! see [`Frame::encode_binary`] / [`Frame::decode_binary`].
 
 use bgp_types::{AsPath, Asn, BgpUpdate, Community, Prefix, Timestamp, UpdateKind, VpId};
@@ -158,7 +160,13 @@ impl Frame {
                     1 => UpdateKind::Withdraw,
                     k => return Err(format!("bad update kind {k}")),
                 };
-                let v6 = r.u8()? != 0;
+                // flags byte: bit 0 = v6 prefix, bit 1 = ADD-PATH id
+                // present (classic v4 frames keep their historic 0/1 byte)
+                let flags = r.u8()?;
+                if flags & !0b11 != 0 {
+                    return Err(format!("bad prefix flags {flags:#x}"));
+                }
+                let v6 = flags & 1 != 0;
                 let plen = r.u8()?;
                 let bits = r.u128()?;
                 let prefix = prefix_from_parts(bits, plen, v6)?;
@@ -172,10 +180,12 @@ impl Frame {
                 for _ in 0..n_comms {
                     communities.insert(Community(r.u32()?));
                 }
+                let path_id = if flags & 2 != 0 { Some(r.u32()?) } else { None };
                 FramePayload::Update(BgpUpdate {
                     vp: VpId::new(asn, router),
                     time,
                     prefix,
+                    path_id,
                     kind: upd_kind,
                     path: AsPath::from_u32s(hops),
                     communities,
@@ -221,6 +231,11 @@ impl Frame {
                     "withdraw" => UpdateKind::Withdraw,
                     other => return Err(format!("bad kind {other:?}")),
                 };
+                let path_id = match obj.iter().find(|(k, _)| k == "path_id") {
+                    None => None,
+                    Some((_, Json::U64(n))) if *n <= u32::MAX as u64 => Some(*n as u32),
+                    Some(_) => return Err("bad path_id".into()),
+                };
                 let path = match get(obj, "path")? {
                     Json::Arr(items) => {
                         let mut hops = Vec::with_capacity(items.len());
@@ -257,6 +272,7 @@ impl Frame {
                         vp,
                         time,
                         prefix,
+                        path_id,
                         kind,
                         path,
                         communities,
@@ -284,39 +300,49 @@ impl Frame {
 
 fn payload_json(seq: u64, p: &FramePayload) -> Json {
     match p {
-        FramePayload::Update(u) => Json::obj([
-            ("type", Json::str("update")),
-            ("seq", Json::U64(seq)),
-            ("vp", Json::str(vp_str(u.vp))),
-            ("time", Json::U64(u.time.as_millis())),
-            ("prefix", Json::str(u.prefix.to_string())),
-            (
-                "kind",
-                Json::str(match u.kind {
-                    UpdateKind::Announce => "announce",
-                    UpdateKind::Withdraw => "withdraw",
-                }),
-            ),
-            (
-                "path",
-                Json::Arr(
-                    u.path
-                        .hops()
-                        .iter()
-                        .map(|a| Json::U64(a.value() as u64))
-                        .collect(),
+        FramePayload::Update(u) => {
+            let mut pairs = vec![
+                ("type", Json::str("update")),
+                ("seq", Json::U64(seq)),
+                ("vp", Json::str(vp_str(u.vp))),
+                ("time", Json::U64(u.time.as_millis())),
+                ("prefix", Json::str(u.prefix.to_string())),
+            ];
+            // present only on ADD-PATH routes so classic frames stay
+            // byte-identical to the pre-RFC7911 stream format
+            if let Some(id) = u.path_id {
+                pairs.push(("path_id", Json::U64(id as u64)));
+            }
+            pairs.extend([
+                (
+                    "kind",
+                    Json::str(match u.kind {
+                        UpdateKind::Announce => "announce",
+                        UpdateKind::Withdraw => "withdraw",
+                    }),
                 ),
-            ),
-            (
-                "communities",
-                Json::Arr(
-                    u.communities
-                        .iter()
-                        .map(|c| Json::str(c.to_string()))
-                        .collect(),
+                (
+                    "path",
+                    Json::Arr(
+                        u.path
+                            .hops()
+                            .iter()
+                            .map(|a| Json::U64(a.value() as u64))
+                            .collect(),
+                    ),
                 ),
-            ),
-        ]),
+                (
+                    "communities",
+                    Json::Arr(
+                        u.communities
+                            .iter()
+                            .map(|c| Json::str(c.to_string()))
+                            .collect(),
+                    ),
+                ),
+            ]);
+            Json::obj(pairs)
+        }
         FramePayload::Gap { missed } => {
             Json::obj([("type", Json::str("gap")), ("missed", Json::U64(*missed))])
         }
@@ -357,7 +383,11 @@ fn encode_binary_payload(seq: u64, p: &FramePayload) -> Vec<u8> {
                 UpdateKind::Withdraw => 1,
             });
             let (bits, len, v6) = prefix_parts(&u.prefix);
-            body.push(v6 as u8);
+            let mut flags = v6 as u8;
+            if u.path_id.is_some() {
+                flags |= 2;
+            }
+            body.push(flags);
             body.push(len);
             body.extend_from_slice(&bits.to_be_bytes());
             let hops = u.path.hops();
@@ -368,6 +398,9 @@ fn encode_binary_payload(seq: u64, p: &FramePayload) -> Vec<u8> {
             body.extend_from_slice(&(u.communities.len() as u16).to_be_bytes());
             for c in &u.communities {
                 body.extend_from_slice(&c.0.to_be_bytes());
+            }
+            if let Some(id) = u.path_id {
+                body.extend_from_slice(&id.to_be_bytes());
             }
         }
         FramePayload::Gap { missed } => {
@@ -475,6 +508,39 @@ mod tests {
              \"prefix\":\"10.1.0.0/16\",\"kind\":\"announce\",\"path\":[65001,2,3],\
              \"communities\":[\"65001:100\"]}"
         );
+    }
+
+    #[test]
+    fn add_path_v6_frames_roundtrip_both_formats() {
+        let u = UpdateBuilder::announce(
+            VpId::from_asn(Asn(65001)),
+            "2001:db8:7::/48".parse().unwrap(),
+        )
+        .at(Timestamp::from_millis(99))
+        .path([65001, 8])
+        .path_id(42)
+        .build();
+        let f = Frame::update(3, &u);
+        // JSON carries path_id and parses back exactly
+        assert!(f.json().contains("\"path_id\":42"), "{}", f.json());
+        let (seq, payload) = Frame::from_json(f.json()).unwrap();
+        assert_eq!(seq, 3);
+        assert_eq!(payload, FramePayload::Update(u.clone()));
+        // binary framing roundtrips too
+        let (g, used) = Frame::decode_binary(&f.encode_binary()).unwrap().unwrap();
+        assert_eq!(used, f.encode_binary().len());
+        assert_eq!(g.payload, FramePayload::Update(u));
+    }
+
+    #[test]
+    fn classic_frames_omit_path_id() {
+        let f = Frame::update(7, &sample());
+        assert!(!f.json().contains("path_id"), "{}", f.json());
+        // binary flags byte stays the historic 0/1 value
+        let bytes = f.encode_binary();
+        // header: len(4) magic version kind seq(8) asn(4) router(2)
+        // time(8) upd_kind(1) → flags at offset 4+3+8+4+2+8+1
+        assert_eq!(bytes[4 + 3 + 8 + 4 + 2 + 8 + 1], 0);
     }
 
     #[test]

@@ -12,6 +12,7 @@ fn avalanche(seed: u64) -> Vec<bgp_types::BgpUpdate> {
         n_vps: 6,
         n_prefixes: 96,
         seed: seed ^ 0xde1,
+        dual_stack: false,
     };
     let cfg = CampaignConfig {
         kind: CampaignKind::WithdrawalAvalanche,

@@ -138,6 +138,18 @@ macro_rules! arb_uint {
 }
 arb_uint!(u8, u16, u32, u64, usize);
 
+impl Arbitrary for u128 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        // Same small-value bias as the other integers, with full-width
+        // values composed from two u64 draws.
+        if rng.gen::<bool>() {
+            rng.gen_range(0u64..=u8::MAX as u64) as u128
+        } else {
+            (u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64())
+        }
+    }
+}
+
 impl Arbitrary for bool {
     fn arbitrary(rng: &mut TestRng) -> Self {
         rng.gen::<bool>()
@@ -168,6 +180,76 @@ pub fn any<T: Arbitrary>() -> Any<T> {
     Any {
         _marker: std::marker::PhantomData,
     }
+}
+
+/// A strategy that always produces a clone of one value (proptest's
+/// `Just`).
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+impl<T> Strategy for Box<dyn Strategy<Value = T>> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (**self).generate(rng)
+    }
+}
+
+/// Boxes a strategy (used by the [`prop_oneof!`] expansion to unify arm
+/// types).
+pub fn boxed<S>(s: S) -> Box<dyn Strategy<Value = S::Value>>
+where
+    S: Strategy + 'static,
+{
+    Box::new(s)
+}
+
+/// A weighted union of strategies over one value type — what
+/// [`prop_oneof!`] builds.
+pub struct Union<T> {
+    arms: Vec<(u32, Box<dyn Strategy<Value = T>>)>,
+    total: u64,
+}
+
+/// Builds a weighted [`Union`]. Panics on empty input or all-zero
+/// weights.
+pub fn union<T>(arms: Vec<(u32, Box<dyn Strategy<Value = T>>)>) -> Union<T> {
+    let total: u64 = arms.iter().map(|(w, _)| u64::from(*w)).sum();
+    assert!(total > 0, "prop_oneof! needs at least one positive weight");
+    Union { arms, total }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let mut pick = rng.gen_range(0..self.total);
+        for (w, arm) in &self.arms {
+            let w = u64::from(*w);
+            if pick < w {
+                return arm.generate(rng);
+            }
+            pick -= w;
+        }
+        unreachable!("weights sum to total")
+    }
+}
+
+/// Weighted (or unweighted) choice between strategies producing the same
+/// value type: `prop_oneof![3 => a, 1 => b]` or `prop_oneof![a, b]`.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strategy:expr),+ $(,)?) => {
+        $crate::union(vec![$(($weight as u32, $crate::boxed($strategy))),+])
+    };
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::union(vec![$((1u32, $crate::boxed($strategy))),+])
+    };
 }
 
 macro_rules! range_strategy {
@@ -365,8 +447,8 @@ macro_rules! prop_assert_ne {
 pub mod prelude {
     pub use crate::collection;
     pub use crate::{
-        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Arbitrary, ProptestConfig,
-        Strategy, TestCaseError, TestRng,
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Arbitrary, Just,
+        ProptestConfig, Strategy, TestCaseError, TestRng,
     };
 }
 

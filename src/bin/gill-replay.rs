@@ -24,7 +24,7 @@
 //! — the lever CI uses to race a fast and a deliberately stalled client
 //! against the same deterministic publish sequence.
 
-use gill::cli::{read_updates_mrt, write_updates_mrt, Args};
+use gill::cli::{parse_families, read_updates_mrt_ctx, write_updates_mrt, Args};
 use gill::core::FilterSet;
 use gill::query::{RouteStore, ServerConfig, StoreConfig};
 use gill::stream::{serve_streaming, BrokerConfig, StreamBroker};
@@ -45,7 +45,14 @@ fn run() -> Result<(), String> {
         );
     }
 
-    let updates = read_updates_mrt(&updates_path).map_err(|e| e.to_string())?;
+    // --addpath v6 (or v4, or v4,v6): the archive was written from an
+    // ADD-PATH session, so its NLRI carry leading path identifiers for the
+    // named families and must decode under the matching context.
+    let ctx = match args.optional("addpath") {
+        Some(fams) => gill::wire::DecodeCtx::from_families(parse_families(&fams)?),
+        None => gill::wire::DecodeCtx::default(),
+    };
+    let updates = read_updates_mrt_ctx(&updates_path, &ctx).map_err(|e| e.to_string())?;
     let kept: Vec<_> = match &filters_path {
         Some(p) => {
             let text = std::fs::read_to_string(p).map_err(|e| e.to_string())?;
@@ -183,7 +190,8 @@ fn main() -> ExitCode {
         Err(e) => {
             eprintln!("error: {e}");
             eprintln!(
-                "usage: gill-replay --updates updates.mrt [--filters filters.txt] \
+                "usage: gill-replay --updates updates.mrt [--addpath v4,v6] \
+                 [--filters filters.txt] \
                  [--out kept.mrt] [--bmp-to host:port] [--serve host:port] [--data-dir dir] \
                  [--store-mem-cap bytes] [--stream-repeat n] \
                  [--stream-wait-subs n] [--stream-interval-ms ms] \

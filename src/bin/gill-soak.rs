@@ -26,6 +26,7 @@ fn run() -> Result<bool, String> {
     let store_mem_cap: u64 = args.num("store-mem-cap", 1 << 20)?;
     let ring: usize = args.num("ring", 512)?;
     let bmp_vps: u32 = args.num("bmp-vps", 0)?;
+    let dual_stack: u32 = args.num("dual-stack", 0)?;
     let runs: u32 = args.num("runs", 1)?;
     let report_path = args.optional("report").map(PathBuf::from);
 
@@ -69,6 +70,7 @@ fn run() -> Result<bool, String> {
         ring_capacity: ring,
         data_dir: data_dir.clone(),
         bmp_vps,
+        dual_stack: dual_stack != 0,
     };
 
     let mut ok = true;

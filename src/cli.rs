@@ -7,7 +7,7 @@
 use crate::types::{Asn, BgpUpdate, Rib, Timestamp, VpId};
 use crate::wire::{BgpMessage, MrtReader, MrtRecord, MrtWriter, UpdateMessage};
 use std::collections::HashMap;
-use std::net::Ipv4Addr;
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr};
 use std::path::Path;
 
 /// Minimal `--key value` argument parser.
@@ -59,19 +59,45 @@ impl Args {
     }
 }
 
+/// Parses a family-list flag value (`v4`, `v6`, or `v4,v6`) as used by
+/// `--addpath`-style options.
+pub fn parse_families(s: &str) -> Result<Vec<crate::wire::AddressFamily>, String> {
+    s.split(',')
+        .map(|f| match f.trim() {
+            "v4" | "ipv4" => Ok(crate::wire::AddressFamily::Ipv4Unicast),
+            "v6" | "ipv6" => Ok(crate::wire::AddressFamily::Ipv6Unicast),
+            other => Err(format!("unknown address family {other:?} (want v4/v6)")),
+        })
+        .collect()
+}
+
 /// Writes an update stream as MRT BGP4MP_MESSAGE_AS4 records.
 pub fn write_updates_mrt(path: &Path, updates: &[BgpUpdate]) -> std::io::Result<usize> {
     let file = std::fs::File::create(path)?;
     let mut w = MrtWriter::new(std::io::BufWriter::new(file));
     for u in updates {
         let msg = UpdateMessage::from_domain(u)
-            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?
+            .without_path_ids();
+        // record addresses follow the route's family so v6 days archive
+        // as AFI-2 BGP4MP records
+        let (peer_ip, local_ip) = if u.prefix.is_ipv6() {
+            (
+                IpAddr::V6(Ipv6Addr::new(0x2001, 0xdb8, 0xff, 0, 0, 0, 0, 1)),
+                IpAddr::V6(Ipv6Addr::new(0x2001, 0xdb8, 0xff, 0, 0, 0, 0, 0xfe)),
+            )
+        } else {
+            (
+                IpAddr::V4(Ipv4Addr::new(10, 255, 0, 1)),
+                IpAddr::V4(Ipv4Addr::new(10, 255, 0, 254)),
+            )
+        };
         w.write_record(&MrtRecord {
             time: u.time,
             peer_as: u.vp.asn,
             local_as: Asn(65535),
-            peer_ip: Ipv4Addr::new(10, 255, 0, 1),
-            local_ip: Ipv4Addr::new(10, 255, 0, 254),
+            peer_ip,
+            local_ip,
             message: BgpMessage::Update(msg),
         })?;
     }
@@ -80,10 +106,21 @@ pub fn write_updates_mrt(path: &Path, updates: &[BgpUpdate]) -> std::io::Result<
     Ok(n)
 }
 
-/// Reads an update stream back from an MRT file.
+/// Reads an update stream back from an MRT file (classic sessions — no
+/// ADD-PATH).
 pub fn read_updates_mrt(path: &Path) -> std::io::Result<Vec<BgpUpdate>> {
+    read_updates_mrt_ctx(path, &crate::wire::DecodeCtx::default())
+}
+
+/// Reads an update stream whose embedded BGP messages decode under `ctx` —
+/// required for archives written from ADD-PATH sessions, where NLRI carry a
+/// leading path identifier that a classic decode would misparse.
+pub fn read_updates_mrt_ctx(
+    path: &Path,
+    ctx: &crate::wire::DecodeCtx,
+) -> std::io::Result<Vec<BgpUpdate>> {
     let file = std::fs::File::open(path)?;
-    let mut r = MrtReader::new(std::io::BufReader::new(file));
+    let mut r = MrtReader::with_ctx(std::io::BufReader::new(file), *ctx);
     let mut out = Vec::new();
     loop {
         match r.next_record() {

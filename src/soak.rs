@@ -86,6 +86,10 @@ pub struct SoakConfig {
     /// `n_vps`, demuxed from per-peer headers on the collector side. 0
     /// keeps the classic all-BGP day (and its digests) unchanged.
     pub bmp_vps: u32,
+    /// Run a mixed-family day: odd world prefixes are IPv6 and flow
+    /// through MP_REACH/MP_UNREACH on the live sessions. `false` keeps
+    /// the classic v4-only day (and its digests) unchanged.
+    pub dual_stack: bool,
 }
 
 impl Default for SoakConfig {
@@ -105,6 +109,7 @@ impl Default for SoakConfig {
             ring_capacity: 512,
             data_dir: None,
             bmp_vps: 0,
+            dual_stack: false,
         }
     }
 }
@@ -117,6 +122,7 @@ impl SoakConfig {
             n_vps: self.n_vps,
             n_prefixes: self.n_prefixes,
             seed: self.seed ^ 0x5eed_0fda_0dd5,
+            dual_stack: self.dual_stack,
         };
         let background = BackgroundConfig::default();
         let duration_ms = background.duration_for(self.background_updates);
@@ -613,15 +619,27 @@ pub fn run_soak(cfg: &SoakConfig) -> SoakReport {
         .map(|i| {
             let (a, b) = sim_pair(&clock, FaultSchedule::none(), FaultSchedule::none());
             let vp = world.vp(i);
+            // dual-stack days need Multiprotocol negotiated on the live
+            // sessions; classic days keep the legacy capability-free OPEN
+            // so their session bytes (and digests) are unchanged
+            let families = if cfg.dual_stack {
+                crate::types::FamilySet::ALL
+            } else {
+                crate::types::FamilySet::EMPTY
+            };
             let client_cfg = SessionConfig {
                 local_asn: vp.asn.0,
                 hold_time: 240,
                 router_id: Ipv4Addr::new(10, 254, (i >> 8) as u8, (i & 0xff) as u8),
+                families,
+                add_paths: crate::types::FamilySet::EMPTY,
             };
             let server_cfg = SessionConfig {
                 local_asn: 64_512,
                 hold_time: 240,
                 router_id: Ipv4Addr::new(10, 255, 0, 254),
+                families,
+                add_paths: crate::types::FamilySet::EMPTY,
             };
             SessionPair {
                 vp,

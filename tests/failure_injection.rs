@@ -118,8 +118,8 @@ fn corrupted_mrt_archive_fails_loudly_not_silently() {
             time: u.time,
             peer_as: u.vp.asn,
             local_as: Asn(65535),
-            peer_ip: std::net::Ipv4Addr::new(10, 0, 0, 2),
-            local_ip: std::net::Ipv4Addr::new(10, 0, 0, 1),
+            peer_ip: std::net::IpAddr::V4(std::net::Ipv4Addr::new(10, 0, 0, 2)),
+            local_ip: std::net::IpAddr::V4(std::net::Ipv4Addr::new(10, 0, 0, 1)),
             message: BgpMessage::Update(UpdateMessage::from_domain(&u).unwrap()),
         })
         .unwrap();

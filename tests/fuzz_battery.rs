@@ -27,7 +27,16 @@ fn seed_frames() -> Vec<Vec<u8>> {
     );
     let withdraw = UpdateMessage::withdraw(Prefix::synthetic(3));
     let mut both = announce.clone();
-    both.withdrawn = vec![Prefix::synthetic(1), Prefix::synthetic(2)];
+    both.withdrawn = vec![Prefix::synthetic(1).into(), Prefix::synthetic(2).into()];
+    // RFC 4760 multiprotocol frames: v6 reachability rides in MP_REACH /
+    // MP_UNREACH attributes instead of the classic NLRI fields
+    let announce_v6 = UpdateMessage::announce_v6(
+        Prefix::synthetic_v6(7),
+        AsPath::from_u32s([65001, 2, 7, 11]),
+        std::net::Ipv6Addr::new(0x2001, 0xdb8, 0xffff, 0, 0, 0, 0, 9),
+        vec![Community::new(65001, 40)],
+    );
+    let withdraw_v6 = UpdateMessage::withdraw(Prefix::synthetic_v6(3));
     let mut notif = Notification::cease();
     notif.data = vec![0xde, 0xad, 0xbe, 0xef];
     [
@@ -47,6 +56,8 @@ fn seed_frames() -> Vec<Vec<u8>> {
         BgpMessage::Update(announce),
         BgpMessage::Update(withdraw),
         BgpMessage::Update(both),
+        BgpMessage::Update(announce_v6),
+        BgpMessage::Update(withdraw_v6),
     ]
     .iter()
     .map(|m| m.encode_to_vec().expect("seed frames encode"))
@@ -164,6 +175,55 @@ fn update_body_decoder_survives_mutations() {
 }
 
 #[test]
+fn addpath_update_decoder_survives_mutations() {
+    use gill::wire::{AddressFamily, DecodeCtx};
+    // ADD-PATH-tagged seed bodies for both families; mutations hammer the
+    // path-id prefixed NLRI reader under a fully negotiated context.
+    let mut v4 = UpdateMessage::announce(
+        Prefix::synthetic(9),
+        AsPath::from_u32s([65001, 2, 9]),
+        std::net::Ipv4Addr::new(10, 0, 0, 9),
+        vec![],
+    );
+    for n in &mut v4.announced {
+        n.path_id = Some(7);
+    }
+    let mut v6 = UpdateMessage::announce_v6(
+        Prefix::synthetic_v6(9),
+        AsPath::from_u32s([65001, 2, 9]),
+        std::net::Ipv6Addr::new(0x2001, 0xdb8, 0xffff, 0, 0, 0, 0, 9),
+        vec![],
+    );
+    for n in &mut v6.announced {
+        n.path_id = Some(1);
+    }
+    let mut wd6 = UpdateMessage::withdraw(Prefix::synthetic_v6(4));
+    for n in &mut wd6.withdrawn {
+        n.path_id = Some(3);
+    }
+    let bodies: Vec<Vec<u8>> = [v4, v6, wd6]
+        .iter()
+        .map(|m| {
+            let f = BgpMessage::Update(m.clone()).encode_to_vec().unwrap();
+            f[19..].to_vec()
+        })
+        .collect();
+    let ctx = DecodeCtx::from_families([AddressFamily::Ipv4Unicast, AddressFamily::Ipv6Unicast]);
+    let mut rng = SmallRng::seed_from_u64(0xadd9);
+    let (mut ok, mut err) = (0usize, 0usize);
+    for i in 0..FRAMES_PER_DECODER {
+        let mutated = mutate(&mut rng, &bodies[i % bodies.len()], None);
+        match UpdateMessage::decode_body_ctx(&Bytes::copy_from_slice(&mutated), &ctx) {
+            Ok(_) => ok += 1,
+            Err(_) => err += 1,
+        }
+    }
+    assert_eq!(ok + err, FRAMES_PER_DECODER);
+    assert!(err > 0, "mutations must produce structured errors");
+    assert!(ok > 0, "some mutations leave bodies intact");
+}
+
+#[test]
 fn notification_body_decoder_survives_mutations() {
     let body = {
         let mut n = Notification::cease();
@@ -257,8 +317,8 @@ fn seed_mrt_record() -> Vec<u8> {
         time: u.time,
         peer_as: u.vp.asn,
         local_as: Asn(65535),
-        peer_ip: std::net::Ipv4Addr::new(10, 0, 0, 2),
-        local_ip: std::net::Ipv4Addr::new(10, 0, 0, 1),
+        peer_ip: std::net::IpAddr::V4(std::net::Ipv4Addr::new(10, 0, 0, 2)),
+        local_ip: std::net::IpAddr::V4(std::net::Ipv4Addr::new(10, 0, 0, 1)),
         message: BgpMessage::Update(UpdateMessage::from_domain(&u).unwrap()),
     })
     .unwrap();

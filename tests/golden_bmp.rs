@@ -13,7 +13,7 @@ use gill::bmp::codec::{
 };
 use gill::prelude::*;
 use gill::wire::{Notification, OpenMessage, UpdateMessage};
-use std::net::Ipv4Addr;
+use std::net::{Ipv4Addr, Ipv6Addr};
 use std::path::PathBuf;
 
 fn fixture_path(name: &str) -> PathBuf {
@@ -70,8 +70,27 @@ fn golden_route_monitoring() -> Vec<BmpMessage> {
     );
     let withdraw = UpdateMessage::withdraw(Prefix::synthetic(3));
     let mut mixed = announce.clone();
-    mixed.withdrawn = vec![Prefix::synthetic(1), Prefix::synthetic(2)];
+    mixed.withdrawn = vec![Prefix::synthetic(1).into(), Prefix::synthetic(2).into()];
     [announce, withdraw, mixed]
+        .into_iter()
+        .map(|update| BmpMessage::RouteMonitoring {
+            peer: golden_peer(),
+            update,
+        })
+        .collect()
+}
+
+/// Route Monitoring carrying IPv6 unicast routes in MP_REACH_NLRI /
+/// MP_UNREACH_NLRI (RFC 4760): an announce and a pure withdraw.
+fn golden_route_monitoring_v6() -> Vec<BmpMessage> {
+    let announce = UpdateMessage::announce_v6(
+        Prefix::synthetic_v6(7),
+        AsPath::from_u32s([65010, 174, 3356]),
+        Ipv6Addr::new(0x2001, 0xdb8, 0xffff, 0, 0, 0, 0, 9),
+        vec![Community::new(65010, 100)],
+    );
+    let withdraw = UpdateMessage::withdraw(Prefix::synthetic_v6(3));
+    [announce, withdraw]
         .into_iter()
         .map(|update| BmpMessage::RouteMonitoring {
             peer: golden_peer(),
@@ -118,6 +137,7 @@ fn fixtures() -> Vec<(&'static str, Vec<BmpMessage>)> {
         ("initiation.bmp", golden_initiation()),
         ("peer_up.bmp", golden_peer_up()),
         ("route_monitoring.bmp", golden_route_monitoring()),
+        ("route_monitoring_v6.bmp", golden_route_monitoring_v6()),
         ("peer_down.bmp", golden_peer_down()),
         ("stats_report.bmp", golden_stats()),
     ]

@@ -10,7 +10,7 @@
 use gill::prelude::*;
 use gill::wire::{BgpMessage, MrtRecord, MrtWriter, TableDump, UpdateMessage};
 use std::collections::BTreeMap;
-use std::net::Ipv4Addr;
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr};
 use std::path::PathBuf;
 
 fn fixture_path(name: &str) -> PathBuf {
@@ -35,7 +35,7 @@ fn golden_updates() -> Vec<MrtRecord> {
     );
     let withdraw = UpdateMessage::withdraw(Prefix::synthetic(3));
     let mut mixed = announce.clone();
-    mixed.withdrawn = vec![Prefix::synthetic(1), Prefix::synthetic(2)];
+    mixed.withdrawn = vec![Prefix::synthetic(1).into(), Prefix::synthetic(2).into()];
     let wide = UpdateMessage::announce(
         Prefix::synthetic(42),
         AsPath::from_u32s([70_000, 65010, 2]),
@@ -46,8 +46,8 @@ fn golden_updates() -> Vec<MrtRecord> {
         time: Timestamp::from_secs(time),
         peer_as: Asn(peer_as),
         local_as: Asn(65535),
-        peer_ip: Ipv4Addr::new(10, 0, 0, 2),
-        local_ip: Ipv4Addr::new(10, 0, 0, 1),
+        peer_ip: IpAddr::V4(Ipv4Addr::new(10, 0, 0, 2)),
+        local_ip: IpAddr::V4(Ipv4Addr::new(10, 0, 0, 1)),
         message: BgpMessage::Update(message),
     };
     vec![
@@ -55,6 +55,48 @@ fn golden_updates() -> Vec<MrtRecord> {
         rec(1_700_000_001, 65001, withdraw),
         rec(1_700_000_002, 65001, mixed),
         rec(1_700_000_003, 70_000, wide), // 4-byte ASN peer
+    ]
+}
+
+/// The canonical IPv6 BGP4MP day: MP_REACH announces, an MP_UNREACH
+/// withdrawal, and an ADD-PATH-tagged route, over AFI-2 record headers.
+fn golden_updates_v6() -> Vec<MrtRecord> {
+    // ADD-PATH is negotiated per family for the whole session, so every
+    // v6 NLRI in this stream carries a path identifier
+    let mut announce = UpdateMessage::announce_v6(
+        Prefix::synthetic_v6(7),
+        AsPath::from_u32s([65001, 174, 3356]),
+        Ipv6Addr::new(0x2001, 0xdb8, 0xffff, 0, 0, 0, 0, 9),
+        vec![Community::new(65001, 100)],
+    );
+    for n in &mut announce.announced {
+        n.path_id = Some(1);
+    }
+    let mut withdraw = UpdateMessage::withdraw(Prefix::synthetic_v6(3));
+    for n in &mut withdraw.withdrawn {
+        n.path_id = Some(1);
+    }
+    let mut addpath = UpdateMessage::announce_v6(
+        Prefix::synthetic_v6(42),
+        AsPath::from_u32s([70_000, 65010, 2]),
+        Ipv6Addr::new(0x2001, 0xdb8, 0xffff, 0, 0, 0, 1, 9),
+        vec![],
+    );
+    for n in &mut addpath.announced {
+        n.path_id = Some(9);
+    }
+    let rec = |time, peer_as, message| MrtRecord {
+        time: Timestamp::from_secs(time),
+        peer_as: Asn(peer_as),
+        local_as: Asn(65535),
+        peer_ip: IpAddr::V6(Ipv6Addr::new(0x2001, 0xdb8, 0, 0, 0, 0, 0, 2)),
+        local_ip: IpAddr::V6(Ipv6Addr::new(0x2001, 0xdb8, 0, 0, 0, 0, 0, 1)),
+        message: BgpMessage::Update(message),
+    };
+    vec![
+        rec(1_700_000_000, 65001, announce),
+        rec(1_700_000_001, 65001, withdraw),
+        rec(1_700_000_002, 70_000, addpath),
     ]
 }
 
@@ -76,12 +118,43 @@ fn golden_table_dump() -> TableDump {
     TableDump::from_ribs(ribs.iter())
 }
 
+/// The canonical dual-stack TABLE_DUMP_V2 snapshot: one peer carrying a
+/// v4 and a v6 route (RIB_IPV4_UNICAST + RIB_IPV6_UNICAST sections).
+fn golden_table_dump_v6() -> TableDump {
+    let mut ribs: BTreeMap<VpId, Rib> = BTreeMap::new();
+    let vp = VpId::from_asn(Asn(65001));
+    for prefix in [Prefix::synthetic(1), Prefix::synthetic_v6(1)] {
+        let mut u = UpdateBuilder::announce(vp, prefix)
+            .at(Timestamp::from_secs(1_700_000_000))
+            .path([65001, 174, 3356])
+            .build();
+        ribs.entry(vp).or_default().apply(&mut u);
+    }
+    TableDump::from_ribs(ribs.iter())
+}
+
 fn encode_updates() -> Vec<u8> {
     let mut w = MrtWriter::new(Vec::new());
     for rec in golden_updates() {
         w.write_record(&rec).unwrap();
     }
     w.into_inner().unwrap()
+}
+
+fn encode_updates_v6() -> Vec<u8> {
+    let mut w = MrtWriter::new(Vec::new());
+    for rec in golden_updates_v6() {
+        w.write_record(&rec).unwrap();
+    }
+    w.into_inner().unwrap()
+}
+
+fn encode_table_dump_v6() -> Vec<u8> {
+    let mut bytes = Vec::new();
+    golden_table_dump_v6()
+        .write_mrt(&mut bytes, Timestamp::from_secs(1_700_000_100))
+        .unwrap();
+    bytes
 }
 
 fn encode_table_dump() -> Vec<u8> {
@@ -150,6 +223,50 @@ fn each_bgp4mp_record_reencodes_byte_exactly() {
 }
 
 #[test]
+fn bgp4mp_v6_updates_reencode_byte_exactly() {
+    use gill::wire::{AddressFamily, DecodeCtx};
+    let golden = read_fixture("updates_v6.mrt");
+    assert_bytes_eq(&encode_updates_v6(), &golden, "BGP4MP v6 update stream");
+
+    // the ADD-PATH record needs the negotiated context to decode; with it,
+    // every record roundtrips byte-exactly
+    let ctx = DecodeCtx::from_families([AddressFamily::Ipv6Unicast]);
+    let mut rest = &golden[..];
+    let mut decoded = Vec::new();
+    while let Some((rec, used)) = MrtRecord::decode_ctx(rest, &ctx).unwrap() {
+        let re = rec.encode().unwrap();
+        assert_bytes_eq(&re, &rest[..used], "decoded v6 record re-encode");
+        decoded.push(rec);
+        rest = &rest[used..];
+    }
+    let want = golden_updates_v6();
+    assert_eq!(decoded.len(), want.len());
+    for (d, w) in decoded.iter().zip(&want) {
+        assert!(d.peer_ip.is_ipv6(), "AFI-2 record header");
+        assert_eq!(d.message, w.message);
+    }
+}
+
+#[test]
+fn table_dump_v2_dual_stack_reencodes_byte_exactly() {
+    let golden = read_fixture("table_dump_v6.mrt");
+    assert_bytes_eq(
+        &encode_table_dump_v6(),
+        &golden,
+        "dual-stack TABLE_DUMP_V2 snapshot",
+    );
+    let dump = TableDump::read_mrt(&golden).unwrap();
+    let mut re = Vec::new();
+    dump.write_mrt(&mut re, Timestamp::from_secs(1_700_000_100))
+        .unwrap();
+    assert_bytes_eq(&re, &golden, "dual-stack TABLE_DUMP_V2 decode/re-encode");
+    let ribs = dump.to_ribs();
+    let rib = &ribs[&VpId::from_asn(Asn(65001))];
+    assert!(rib.iter().any(|(p, _)| p.is_ipv6()));
+    assert!(rib.iter().any(|(p, _)| !p.is_ipv6()));
+}
+
+#[test]
 fn table_dump_v2_reencodes_byte_exactly() {
     let golden = read_fixture("table_dump.mrt");
     assert_bytes_eq(&encode_table_dump(), &golden, "TABLE_DUMP_V2 snapshot");
@@ -174,4 +291,6 @@ fn regenerate() {
     std::fs::create_dir_all(fixture_path("")).unwrap();
     std::fs::write(fixture_path("updates.mrt"), encode_updates()).unwrap();
     std::fs::write(fixture_path("table_dump.mrt"), encode_table_dump()).unwrap();
+    std::fs::write(fixture_path("updates_v6.mrt"), encode_updates_v6()).unwrap();
+    std::fs::write(fixture_path("table_dump_v6.mrt"), encode_table_dump_v6()).unwrap();
 }

@@ -103,8 +103,8 @@ fn wire_roundtrip_of_simulated_stream() {
             time: u.time,
             peer_as: u.vp.asn,
             local_as: Asn(65535),
-            peer_ip: std::net::Ipv4Addr::new(10, 0, 0, 2),
-            local_ip: std::net::Ipv4Addr::new(10, 0, 0, 1),
+            peer_ip: std::net::IpAddr::V4(std::net::Ipv4Addr::new(10, 0, 0, 2)),
+            local_ip: std::net::IpAddr::V4(std::net::Ipv4Addr::new(10, 0, 0, 1)),
             message: BgpMessage::Update(msg),
         })
         .unwrap();

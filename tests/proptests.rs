@@ -83,11 +83,17 @@ proptest! {
 
     #[test]
     fn wire_update_roundtrip(u in arb_update()) {
-        use gill::wire::{BgpMessage, UpdateMessage};
+        use gill::wire::{AddressFamily, BgpMessage, DecodeCtx, UpdateMessage};
         let wire = UpdateMessage::from_domain(&u).unwrap();
         let bytes = BgpMessage::Update(wire).encode_to_vec().unwrap();
         let mut buf = bytes::BytesMut::from(&bytes[..]);
-        let BgpMessage::Update(back) = BgpMessage::decode(&mut buf).unwrap().unwrap() else {
+        // ADD-PATH updates need the negotiated session context to decode
+        let ctx = if u.path_id.is_some() {
+            DecodeCtx::from_families([AddressFamily::Ipv4Unicast, AddressFamily::Ipv6Unicast])
+        } else {
+            DecodeCtx::default()
+        };
+        let BgpMessage::Update(back) = BgpMessage::decode_ctx(&mut buf, &ctx).unwrap().unwrap() else {
             return Err(TestCaseError::fail("wrong message type"));
         };
         let domain = back.to_domain(u.vp, u.time);
@@ -112,17 +118,22 @@ proptest! {
 
     #[test]
     fn mrt_record_roundtrip(u in arb_update()) {
-        use gill::wire::{BgpMessage, MrtRecord, UpdateMessage};
+        use gill::wire::{AddressFamily, BgpMessage, DecodeCtx, MrtRecord, UpdateMessage};
         let rec = MrtRecord {
             time: u.time,
             peer_as: u.vp.asn,
             local_as: Asn(65535),
-            peer_ip: Ipv4Addr::new(10, 0, 0, 2),
-            local_ip: Ipv4Addr::new(10, 0, 0, 1),
+            peer_ip: std::net::IpAddr::V4(Ipv4Addr::new(10, 0, 0, 2)),
+            local_ip: std::net::IpAddr::V4(Ipv4Addr::new(10, 0, 0, 1)),
             message: BgpMessage::Update(UpdateMessage::from_domain(&u).unwrap()),
         };
         let bytes = rec.encode().unwrap();
-        let (back, used) = MrtRecord::decode(&bytes).unwrap().unwrap();
+        let ctx = if u.path_id.is_some() {
+            DecodeCtx::from_families([AddressFamily::Ipv4Unicast, AddressFamily::Ipv6Unicast])
+        } else {
+            DecodeCtx::default()
+        };
+        let (back, used) = MrtRecord::decode_ctx(&bytes, &ctx).unwrap().unwrap();
         prop_assert_eq!(used, bytes.len());
         prop_assert_eq!(back.peer_as, rec.peer_as);
         prop_assert_eq!(back.message, rec.message);
@@ -148,10 +159,11 @@ fn arb_wire_update() -> impl Strategy<Value = gill::wire::UpdateMessage> {
                     .collect::<Vec<_>>()
             };
             let announced = prefixes(ann);
+            let nlris = |v: Vec<Prefix>| v.into_iter().map(Into::into).collect::<Vec<_>>();
             if announced.is_empty() {
                 // withdraw-only: attribute section must be empty on the wire
                 UpdateMessage {
-                    withdrawn: prefixes(wd),
+                    withdrawn: nlris(prefixes(wd)),
                     ..UpdateMessage::default()
                 }
             } else {
@@ -161,8 +173,8 @@ fn arb_wire_update() -> impl Strategy<Value = gill::wire::UpdateMessage> {
                     Ipv4Addr::from(nh),
                     comms.into_iter().map(Community).collect(),
                 );
-                u.announced = announced;
-                u.withdrawn = prefixes(wd);
+                u.announced = nlris(announced);
+                u.withdrawn = nlris(prefixes(wd));
                 u
             }
         })
@@ -515,6 +527,92 @@ proptest! {
         prop_assert_eq!(got_subs, naive_subs);
     }
 
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // Mixed-family oracle: a trie holding both v4 and v6 entries must
+    // behave, for any probe, exactly like a naive scan restricted to the
+    // probe's family — `covers` and longest-match never cross families.
+    #[test]
+    fn trie_mixed_family_matches_never_cross_families(
+        entries in proptest::collection::vec((any::<bool>(), any::<u64>(), 0u8..=32), 1..40),
+        probe_v6 in any::<bool>(),
+        probe_bits in any::<u64>(),
+        probe_len in 0u8..=32,
+    ) {
+        check_mixed_family_trie(entries, probe_v6, probe_bits, probe_len)?;
+    }
+}
+
+/// Body of `trie_mixed_family_matches_never_cross_families`, hoisted out of
+/// the `proptest!` block to keep the macro expansion shallow.
+fn check_mixed_family_trie(
+    entries: Vec<(bool, u64, u8)>,
+    probe_v6: bool,
+    probe_bits: u64,
+    probe_len: u8,
+) -> Result<(), proptest::TestCaseError> {
+    use gill::types::PrefixTrie;
+    let mk = |v6: bool, bits: u64, len: u8| -> Prefix {
+        if v6 {
+            // spread the 64 entropy bits over the high half of the address
+            // so /0..=32 masks bite on varied bits
+            Prefix::v6(std::net::Ipv6Addr::from((bits as u128) << 64), len)
+        } else {
+            Prefix::v4(std::net::Ipv4Addr::from(bits as u32), len)
+        }
+    };
+    let probe = mk(probe_v6, probe_bits, probe_len);
+    let mut trie = PrefixTrie::new();
+    let mut model: Vec<(Prefix, usize)> = Vec::new();
+    for (i, (v6, bits, len)) in entries.iter().enumerate() {
+        let p = mk(*v6, *bits, *len);
+        trie.insert(p, i);
+        model.retain(|(q, _)| q != &p);
+        model.push((p, i));
+    }
+    prop_assert_eq!(trie.len(), model.len());
+
+    // the oracle only ever consults the probe's own family
+    let naive = model
+        .iter()
+        .filter(|(p, _)| p.is_ipv6() == probe.is_ipv6() && p.covers(&probe))
+        .max_by_key(|(p, _)| p.len())
+        .map(|(p, v)| (*p, *v));
+    let got = trie.longest_match(&probe).map(|(p, v)| (*p, *v));
+    prop_assert_eq!(got, naive);
+    if let Some((hit, _)) = got {
+        prop_assert_eq!(hit.is_ipv6(), probe.is_ipv6());
+    }
+
+    let mut naive_subs: Vec<usize> = model
+        .iter()
+        .filter(|(p, _)| p.is_ipv6() == probe.is_ipv6() && probe.covers(p))
+        .map(|(_, v)| *v)
+        .collect();
+    naive_subs.sort_unstable();
+    let subs = trie.more_specifics(&probe);
+    for (p, _) in &subs {
+        prop_assert_eq!(p.is_ipv6(), probe.is_ipv6());
+    }
+    let mut got_subs: Vec<usize> = subs.into_iter().map(|(_, &v)| v).collect();
+    got_subs.sort_unstable();
+    prop_assert_eq!(got_subs, naive_subs);
+
+    // covers itself refuses cross-family claims, including for /0
+    for (p, _) in &model {
+        if p.is_ipv6() != probe.is_ipv6() {
+            prop_assert!(!p.covers(&probe) && !probe.covers(p));
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
     #[test]
     fn filter_text_roundtrip_preserves_semantics(
         rules in proptest::collection::vec((1u32..100_000, any::<u32>(), 0u8..=32), 0..30),
@@ -622,7 +720,7 @@ proptest! {
         use gill::scenario::{
             generate_campaign, update_line, CampaignConfig, CampaignKind, Fnv64, World,
         };
-        let w = World { n_vps: 4, n_prefixes: 24, seed: 5 };
+        let w = World { n_vps: 4, n_prefixes: 24, seed: 5, dual_stack: false };
         let cfg = CampaignConfig {
             kind: CampaignKind::HijackWave,
             start_ms: s.start_ms,

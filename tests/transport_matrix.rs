@@ -63,7 +63,7 @@ fn deliver_over_backend(n: u32) -> Vec<Prefix> {
             assert!(out.completed, "{}", out.transcript.lines().join("\n"));
             out.delivered
                 .iter()
-                .flat_map(|u| u.announced.iter().copied())
+                .flat_map(|u| u.announced.iter().map(|n| n.prefix))
                 .collect()
         }
         Backend::Tcp => {
