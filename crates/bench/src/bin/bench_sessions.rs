@@ -1,0 +1,460 @@
+//! Evented-runtime session scale: thousands of concurrent loopback BGP
+//! sessions multiplexed by [`EventedPool`] on a small fixed worker set,
+//! sustaining ingest through the compiled filter path into the route
+//! store and the stream broker. Writes `BENCH_sessions.json`.
+//!
+//! The accounting contract is the same one `bench_bmp` enforces —
+//! `decoded == retained + filtered + shed`, the queue drains exactly to
+//! the store, the sink sees exactly the filter-accepted stream, and the
+//! subscriber's gaps are counted — plus the accept-cap shed path: with
+//! every session slot held, `REJECT_DIALS` extra dials each get a
+//! NOTIFICATION Cease and are counted, never threaded.
+//!
+//! Determinism over real sockets: arrival *order* across workers is
+//! scheduler-dependent, so the digest folds per-update FNV-1a line
+//! hashes with a commutative sum (after zeroing the arrival timestamp)
+//! — the retained *multiset* is deterministic even though the interleave
+//! is not. For the same reason the storage queue is sized above the run
+//! total: a shed would be real nondeterminism, so here `shed == 0` is
+//! part of the contract (bench_bmp covers the shed-under-line-rate
+//! path deterministically on a virtual clock).
+//!
+//! Usage: `bench_sessions [n_sessions]` (default 2048; ≥2,000 is the
+//! tentpole target, served by 4 event-loop workers).
+
+use gill::collector::daemon::{handshake_client, DaemonConfig, MessageStream};
+use gill::collector::{Storage, StoredUpdate};
+use gill::core::{FilterGranularity, FilterSet};
+use gill::query::RouteStore;
+use gill::runtime::{EventedPool, RuntimeConfig};
+use gill::scenario::{update_line, Fnv64};
+use gill::stream::{
+    BrokerConfig, Delivery, FramePayload, SlowPolicy, StreamBroker, StreamFilter, Subscription,
+};
+use gill::types::{Asn, BgpUpdate, Prefix, Timestamp, UpdateBuilder, VpId};
+use gill::wire::{BgpMessage, Notification, UpdateMessage};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Barrier;
+use std::time::{Duration, Instant};
+
+/// Event-loop workers multiplexing every session (the tentpole bound
+/// is ≤8; four is the deployment default).
+const WORKERS: usize = 4;
+
+/// Client-side driver threads (each owns a contiguous slice of
+/// sessions; not part of the worker budget under test).
+const CLIENT_THREADS: usize = 8;
+
+/// Updates each session announces.
+const UPDATES_PER_SESSION: usize = 64;
+
+/// Extra dials made while every session slot is held; each must be
+/// rejected with NOTIFICATION Cease and counted.
+const REJECT_DIALS: usize = 64;
+
+/// Every `FILTER_STRIDE`-th update trains a drop rule, so the compiled
+/// path does real work and `filtered` is exactly predictable.
+const FILTER_STRIDE: usize = 9;
+
+/// Bytes written per session per round-robin pass, so all of a driver
+/// thread's sessions stay concurrently in flight.
+const WRITE_CHUNK: usize = 1024;
+
+/// Drains retained updates into the route store while folding an
+/// order-independent digest: each update's canonical line is hashed
+/// alone and the 64-bit hashes are summed (wrapping), so two runs that
+/// retain the same multiset digest identically regardless of which
+/// worker delivered what first. The arrival timestamp is zeroed first —
+/// it is wall-clock, the only host-dependent field in the line.
+#[derive(Default)]
+struct DigestStore {
+    store: RouteStore,
+    fold: u64,
+    count: usize,
+}
+
+impl Storage for DigestStore {
+    fn store(&mut self, mut rec: StoredUpdate) {
+        rec.update.time = Timestamp::from_millis(0);
+        let mut h = Fnv64::new();
+        h.write_line(&update_line(&rec.update));
+        self.fold = self.fold.wrapping_add(h.finish());
+        self.count += 1;
+        self.store.ingest(rec.update);
+    }
+
+    fn stored(&self) -> usize {
+        self.count
+    }
+}
+
+struct RunResult {
+    concurrent: usize,
+    decoded: usize,
+    retained: usize,
+    filtered: usize,
+    shed: usize,
+    published: usize,
+    stream_shed: usize,
+    sub_frames: u64,
+    sub_missed: u64,
+    stored_routes: usize,
+    rejected: usize,
+    secs: f64,
+    digest: String,
+}
+
+fn drain_sub(sub: &mut Subscription, frames: &mut u64, missed: &mut u64) {
+    loop {
+        match sub.poll_next() {
+            Delivery::Frame(f) => match &f.payload {
+                FramePayload::Update(_) => *frames += 1,
+                FramePayload::Gap { missed: m } => *missed += m,
+                FramePayload::Eos { .. } => {}
+            },
+            Delivery::Gap(f) => {
+                if let FramePayload::Gap { missed: m } = &f.payload {
+                    *missed += m;
+                }
+            }
+            Delivery::Overrun { missed: m } => *missed += m,
+            Delivery::Pending | Delivery::Closed => return,
+        }
+    }
+}
+
+/// Polls `cond` every 5 ms for up to `secs` seconds.
+fn wait_for(secs: u64, mut cond: impl FnMut() -> bool) -> bool {
+    let deadline = Instant::now() + Duration::from_secs(secs);
+    while Instant::now() < deadline {
+        if cond() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    false
+}
+
+fn session_asn(i: usize) -> u32 {
+    60_000 + i as u32
+}
+
+/// One driver thread's life: handshake its slice, rendezvous, stream
+/// the pre-encoded scripts in interleaved chunks, close gracefully.
+fn run_clients(
+    addr: SocketAddr,
+    first: usize,
+    scripts: &[Vec<u8>],
+    cease: &[u8],
+    barrier: &Barrier,
+) {
+    let mut conns = Vec::with_capacity(scripts.len());
+    for (k, _) in scripts.iter().enumerate() {
+        let stream = TcpStream::connect(addr).expect("connect");
+        let mut ms = MessageStream::new(stream);
+        handshake_client(&mut ms, session_asn(first + k)).expect("handshake");
+        conns.push(ms);
+    }
+    barrier.wait(); // all sessions up everywhere
+    barrier.wait(); // main has verified concurrency + the reject path
+    let mut off = vec![0usize; conns.len()];
+    loop {
+        let mut progressed = false;
+        for (k, ms) in conns.iter_mut().enumerate() {
+            let script = &scripts[k];
+            if off[k] < script.len() {
+                let end = (off[k] + WRITE_CHUNK).min(script.len());
+                ms.transport_mut()
+                    .write_all(&script[off[k]..end])
+                    .expect("session write");
+                off[k] = end;
+                progressed = true;
+            }
+        }
+        if !progressed {
+            break;
+        }
+    }
+    for ms in &mut conns {
+        ms.transport_mut().write_all(cease).expect("cease write");
+    }
+    let mut buf = [0u8; 4096];
+    for ms in &mut conns {
+        let t = ms.transport_mut();
+        let _ = t.set_read_timeout(Some(Duration::from_secs(30)));
+        loop {
+            match t.read(&mut buf) {
+                Ok(0) | Err(_) => break, // server processed our Cease
+                Ok(_) => {}
+            }
+        }
+    }
+}
+
+/// One full run: boot the evented pool, establish every session, hold
+/// them all live while the cap sheds extra dials, then stream updates
+/// and account for every one of them.
+fn drive(n_sessions: usize, scripts: &[Vec<u8>], cease: &[u8], filters: &FilterSet) -> RunResult {
+    let total = n_sessions * UPDATES_PER_SESSION;
+    let broker = StreamBroker::new(BrokerConfig {
+        ring_capacity: 4_096,
+        max_subscribers: 8,
+    });
+    let sub = broker
+        .subscribe(StreamFilter::default(), SlowPolicy::SkipWithGapMarker)
+        .expect("subscribe");
+    let cfg = DaemonConfig {
+        local_asn: 65_535,
+        // larger than the whole run: a shed here would be scheduler
+        // nondeterminism, not a measured property (see module docs)
+        queue_capacity: total + 1_024,
+        max_sessions: n_sessions,
+        ..DaemonConfig::default()
+    };
+    let mut pool = EventedPool::start(
+        cfg,
+        RuntimeConfig {
+            workers: WORKERS,
+            bgp_addr: Some("127.0.0.1:0".into()),
+            bmp: None,
+        },
+        Some(std::sync::Arc::new(broker.publisher())),
+    )
+    .expect("evented pool");
+    pool.pool().install_filters(filters.clone());
+    let addr = pool.bgp_addr().expect("bgp listener");
+    let stats = pool.stats();
+
+    let barrier = Barrier::new(CLIENT_THREADS + 1);
+    let sub_stop = AtomicBool::new(false);
+    let per_thread = n_sessions.div_ceil(CLIENT_THREADS);
+
+    let (store, sub_counts, concurrent, secs) = std::thread::scope(|s| {
+        let drain = s.spawn(|| {
+            let mut st = DigestStore::default();
+            pool.pool().drain_into(&mut st);
+            st
+        });
+        let subscriber = s.spawn(|| {
+            let mut sub = sub;
+            let (mut frames, mut missed) = (0u64, 0u64);
+            loop {
+                drain_sub(&mut sub, &mut frames, &mut missed);
+                if sub_stop.load(Ordering::Relaxed) {
+                    drain_sub(&mut sub, &mut frames, &mut missed);
+                    return (frames, missed);
+                }
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        });
+        let mut clients = Vec::new();
+        for t in 0..CLIENT_THREADS {
+            let first = t * per_thread;
+            let last = ((t + 1) * per_thread).min(n_sessions);
+            let slice = &scripts[first..last];
+            let barrier = &barrier;
+            clients.push(s.spawn(move || run_clients(addr, first, slice, cease, barrier)));
+        }
+
+        barrier.wait(); // every handshake done
+        let concurrent = pool.active_sessions();
+        assert_eq!(concurrent, n_sessions, "all sessions live at once");
+        assert!(
+            wait_for(30, || {
+                stats.sessions_opened.load(Ordering::Relaxed) == n_sessions
+            }),
+            "sessions established: {} of {n_sessions}",
+            stats.sessions_opened.load(Ordering::Relaxed)
+        );
+        // with every slot held, each extra dial is told to go away
+        for d in 0..REJECT_DIALS {
+            let stream = TcpStream::connect(addr).expect("reject dial");
+            stream
+                .set_read_timeout(Some(Duration::from_secs(10)))
+                .expect("timeout");
+            let mut ms = MessageStream::new(stream);
+            match ms.read_message() {
+                Ok(Some(BgpMessage::Notification(n))) => {
+                    assert_eq!(n.code, 6, "dial {d}: NOTIFICATION must be Cease");
+                }
+                other => panic!("dial {d}: expected NOTIFICATION Cease, got {other:?}"),
+            }
+        }
+        assert!(
+            wait_for(10, || {
+                stats.accept_rejected.load(Ordering::Relaxed) == REJECT_DIALS
+            }),
+            "accept-cap sheds counted: {} of {REJECT_DIALS}",
+            stats.accept_rejected.load(Ordering::Relaxed)
+        );
+
+        let t0 = Instant::now();
+        barrier.wait(); // release the update phase
+        assert!(
+            wait_for(120, || {
+                stats.received.load(Ordering::Relaxed) == total
+                    && stats.sessions_closed.load(Ordering::Relaxed) == n_sessions
+            }),
+            "ingest complete: received {} of {total}, closed {} of {n_sessions}",
+            stats.received.load(Ordering::Relaxed),
+            stats.sessions_closed.load(Ordering::Relaxed),
+        );
+        let secs = t0.elapsed().as_secs_f64();
+
+        for c in clients {
+            c.join().expect("client thread");
+        }
+        pool.pool().request_stop(); // drain exits once the queue is dry
+        let store = drain.join().expect("storage thread");
+        sub_stop.store(true, Ordering::Relaxed);
+        let sub_counts = subscriber.join().expect("subscriber thread");
+        (store, sub_counts, concurrent, secs)
+    });
+    let load = |c: &std::sync::atomic::AtomicUsize| c.load(Ordering::Relaxed);
+    let decoded = load(&stats.received);
+    let retained = load(&stats.retained);
+    let filtered = load(&stats.filtered);
+    let shed = load(&stats.lost);
+    let published = load(&stats.stream_published);
+    let stream_shed = load(&stats.stream_shed);
+    let rejected = load(&stats.accept_rejected);
+    let (sub_frames, sub_missed) = sub_counts;
+    pool.stop();
+    let totals = pool.totals();
+
+    // the exactness contracts: nothing uncounted anywhere in the path
+    assert_eq!(decoded, total, "every sent update decoded");
+    assert_eq!(decoded, retained + filtered + shed, "ingest accounting");
+    assert_eq!(
+        shed, 0,
+        "queue sized above the run: shed means lost determinism"
+    );
+    assert_eq!(retained, store.count, "queue drained to the store");
+    assert_eq!(
+        published + stream_shed,
+        retained + shed,
+        "sink sees exactly the filter-accepted stream"
+    );
+    assert_eq!(
+        sub_frames + sub_missed,
+        published as u64,
+        "subscriber gaps counted exactly"
+    );
+    assert_eq!(rejected, REJECT_DIALS, "every over-cap dial counted");
+    assert_eq!(totals.accept_shed, REJECT_DIALS, "loop-side shed counter");
+    assert_eq!(
+        totals.accepted, n_sessions,
+        "every session admitted to a loop"
+    );
+    assert_eq!(totals.sessions, 0, "all sessions drained on stop");
+
+    let mut digest = Fnv64::new();
+    digest.write_line(&format!("fold={:016x} n={}", store.fold, store.count));
+    digest.write_line(&format!(
+        "decoded={decoded} retained={retained} filtered={filtered} shed={shed} \
+         rejected={rejected}"
+    ));
+    RunResult {
+        concurrent,
+        decoded,
+        retained,
+        filtered,
+        shed,
+        published,
+        stream_shed,
+        sub_frames,
+        sub_missed,
+        stored_routes: store.count,
+        rejected,
+        secs,
+        digest: format!("{:016x}", digest.finish()),
+    }
+}
+
+fn main() {
+    let n_sessions: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2_048);
+
+    // one VP per session; (vp, prefix) pairs are globally unique so the
+    // trained drop rules each match exactly one update
+    let updates: Vec<Vec<BgpUpdate>> = (0..n_sessions)
+        .map(|i| {
+            let asn = session_asn(i);
+            let vp = VpId::from_asn(Asn(asn));
+            (0..UPDATES_PER_SESSION)
+                .map(|u| {
+                    UpdateBuilder::announce(vp, Prefix::synthetic(u as u32))
+                        .path([asn, 2, 3])
+                        .build()
+                })
+                .collect()
+        })
+        .collect();
+    let filters = FilterSet::generate(
+        [],
+        updates.iter().flatten().step_by(FILTER_STRIDE),
+        FilterGranularity::VpPrefix,
+    );
+    let n_trained = (n_sessions * UPDATES_PER_SESSION).div_ceil(FILTER_STRIDE);
+
+    // pre-encode every session's wire script (generation cost excluded
+    // from the timed region)
+    let scripts: Vec<Vec<u8>> = updates
+        .iter()
+        .map(|us| {
+            let mut bytes = Vec::new();
+            for u in us {
+                let wire = UpdateMessage::from_domain(u).expect("domain update");
+                bytes.extend_from_slice(&BgpMessage::Update(wire).encode_to_vec().expect("wire"));
+            }
+            bytes
+        })
+        .collect();
+    let cease = BgpMessage::Notification(Notification::cease())
+        .encode_to_vec()
+        .expect("cease wire");
+
+    // two identical runs: the determinism contract, checked end to end
+    let a = drive(n_sessions, &scripts, &cease, &filters);
+    let b = drive(n_sessions, &scripts, &cease, &filters);
+    assert_eq!(
+        a.digest, b.digest,
+        "evented ingest must digest bit-identically across seeded runs"
+    );
+    assert_eq!(a.decoded, b.decoded);
+    assert_eq!(a.filtered, n_trained, "each drop rule matched exactly once");
+    assert!(a.filtered > 0, "compiled filters never dropped anything");
+
+    let per_sec = a.decoded as f64 / a.secs.max(1e-9);
+    let json = format!(
+        "{{\n  \"sessions\": {n_sessions}, \"workers\": {WORKERS}, \"concurrent\": {}, \
+         \"decoded\": {},\n  \"secs\": {:.2}, \"per_sec\": {per_sec:.0},\n  \
+         \"accounting\": {{ \"retained\": {}, \"filtered\": {}, \"shed\": {}, \
+         \"published\": {}, \"stream_shed\": {}, \"sub_frames\": {}, \"sub_missed\": {}, \
+         \"stored_routes\": {}, \"accept_rejected\": {} }},\n  \"digest\": \"{}\"\n}}\n",
+        a.concurrent,
+        a.decoded,
+        a.secs,
+        a.retained,
+        a.filtered,
+        a.shed,
+        a.published,
+        a.stream_shed,
+        a.sub_frames,
+        a.sub_missed,
+        a.stored_routes,
+        a.rejected,
+        a.digest,
+    );
+    std::fs::write("BENCH_sessions.json", &json).expect("write BENCH_sessions.json");
+    eprintln!(
+        "wrote BENCH_sessions.json ({n_sessions} sessions on {WORKERS} workers, \
+         {per_sec:.0} updates/s, digest {})",
+        a.digest
+    );
+    println!("{json}");
+}

@@ -6,6 +6,9 @@
 //! integers — parsed by hand so the offline build needs no TOML crate:
 //!
 //! ```text
+//! # optional top-level keys come before any section
+//! max-sessions = 4096             # concurrent-session cap, 0 = unlimited
+//!
 //! # one section per listener socket
 //! [[listener]]
 //! bind = "0.0.0.0:11019"
@@ -77,6 +80,10 @@ pub struct BmpConfig {
     pub listeners: Vec<ListenerConfig>,
     /// Peer policy shared by every session.
     pub policy: PeerPolicy,
+    /// Pool-wide cap on concurrent BMP sessions (0 = unlimited).
+    /// Connections beyond it are closed at accept and counted in
+    /// `BmpStats::accept_rejected`.
+    pub max_sessions: usize,
 }
 
 impl BmpConfig {
@@ -88,6 +95,7 @@ impl BmpConfig {
                 idle_timeout_ms: 0,
             }],
             policy: PeerPolicy::default(),
+            max_sessions: 0,
         }
     }
 
@@ -185,6 +193,7 @@ impl BmpConfig {
                     cfg.policy.overrides.get_mut(addr.as_str()).unwrap().router =
                         Some(as_u64()? as u16);
                 }
+                (Section::None, "max-sessions") => cfg.max_sessions = as_u64()? as usize,
                 (Section::None, _) => return Err(err("key outside any section")),
                 _ => return Err(err("unknown key for this section")),
             }

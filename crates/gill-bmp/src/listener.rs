@@ -51,6 +51,9 @@ pub struct BmpStats {
     pub protocol_errors: AtomicUsize,
     /// Sessions closed by a clean Termination message.
     pub terminations: AtomicUsize,
+    /// Connections closed at accept because the pool-wide session cap
+    /// (`BmpConfig::max_sessions`) was reached.
+    pub accept_rejected: AtomicUsize,
 }
 
 /// Upper bound on one blocking read so idle-timer ticks stay responsive.
@@ -70,7 +73,15 @@ pub fn run_bmp_session<T: Transport>(
     let mut fsm = BmpFsm::new(cfg, clock.now_ms());
     let mut chunk = vec![0u8; 16 * 1024];
     let mut started = false;
+    let mut closing = false;
     loop {
+        if !closing && ctx.shutdown.load(Ordering::Relaxed) {
+            // cooperative shutdown: BMP has no message we owe the peer,
+            // so close the transport and let the FSM wind down as EOF
+            closing = true;
+            transport.shutdown();
+            fsm.handle_eof(clock.now_ms());
+        }
         while let Some(event) = fsm.poll_event() {
             match event {
                 BmpEvent::SessionStarted { .. } => {
@@ -153,6 +164,7 @@ pub struct BmpPool {
     stats: Arc<BmpStats>,
     stop: Arc<AtomicBool>,
     accept_threads: Vec<std::thread::JoinHandle<()>>,
+    session_threads: Arc<parking_lot::Mutex<Vec<std::thread::JoinHandle<()>>>>,
     local_addrs: Vec<SocketAddr>,
 }
 
@@ -160,9 +172,15 @@ impl BmpPool {
     /// Binds every configured listener and starts accepting routers.
     /// Sessions publish through `ctx` — typically
     /// `DaemonPool::session_ctx()`, so BGP and BMP share one pipeline.
-    pub fn start(cfg: &BmpConfig, ctx: SessionCtx) -> io::Result<BmpPool> {
+    /// The pool replaces the ctx's shutdown signal with its own, so
+    /// [`BmpPool::stop`] winds down exactly this pool's sessions.
+    pub fn start(cfg: &BmpConfig, mut ctx: SessionCtx) -> io::Result<BmpPool> {
         let stats = Arc::new(BmpStats::default());
         let stop = Arc::new(AtomicBool::new(false));
+        ctx.shutdown = stop.clone();
+        let session_threads: Arc<parking_lot::Mutex<Vec<std::thread::JoinHandle<()>>>> =
+            Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let active = Arc::new(AtomicUsize::new(0));
         let mut accept_threads = Vec::new();
         let mut local_addrs = Vec::new();
         for lst in &cfg.listeners {
@@ -173,21 +191,37 @@ impl BmpPool {
                 idle_timeout_ms: lst.idle_timeout_ms,
                 policy: cfg.policy.clone(),
             };
+            let max_sessions = cfg.max_sessions;
             let stats = stats.clone();
             let stop = stop.clone();
             let ctx = ctx.clone();
+            let threads = session_threads.clone();
+            let active = active.clone();
             accept_threads.push(std::thread::spawn(move || {
                 while !stop.load(Ordering::Relaxed) {
                     match listener.accept() {
-                        Ok((stream, _)) => {
+                        Ok((mut stream, _)) => {
+                            if max_sessions > 0 && active.load(Ordering::Relaxed) >= max_sessions {
+                                // 503-style shed: BMP has no reject
+                                // message, so the close *is* the signal
+                                stats.accept_rejected.fetch_add(1, Ordering::Relaxed);
+                                Transport::shutdown(&mut stream);
+                                continue;
+                            }
+                            active.fetch_add(1, Ordering::Relaxed);
                             stream.set_nonblocking(false).ok();
                             let ctx = ctx.clone();
                             let stats = stats.clone();
                             let session_cfg = session_cfg.clone();
-                            std::thread::spawn(move || {
+                            let active = active.clone();
+                            let handle = std::thread::spawn(move || {
                                 let clock = SystemClock::new();
                                 let _ = run_bmp_session(stream, session_cfg, &ctx, &stats, &clock);
+                                active.fetch_sub(1, Ordering::Relaxed);
                             });
+                            let mut v = threads.lock();
+                            v.retain(|h| !h.is_finished());
+                            v.push(handle);
                         }
                         Err(ref e) if e.kind() == io::ErrorKind::WouldBlock => {
                             std::thread::sleep(Duration::from_millis(5));
@@ -195,12 +229,14 @@ impl BmpPool {
                         Err(_) => break,
                     }
                 }
+                // listener drops here: the socket closes with the loop
             }));
         }
         Ok(BmpPool {
             stats,
             stop,
             accept_threads,
+            session_threads,
             local_addrs,
         })
     }
@@ -221,12 +257,17 @@ impl BmpPool {
         self.stop.store(true, Ordering::Relaxed);
     }
 
-    /// Stops accepting; session threads exit as routers disconnect.
+    /// Stops the pool: closes listeners, signals every session (their
+    /// transports are shut down mid-read-slice), and joins session
+    /// threads with a bounded deadline.
     pub fn stop(&mut self) {
         self.stop.store(true, Ordering::Relaxed);
         for t in self.accept_threads.drain(..) {
             let _ = t.join();
         }
+        let handles: Vec<_> = self.session_threads.lock().drain(..).collect();
+        let _stragglers =
+            gill_collector::daemon::join_with_deadline(handles, Duration::from_secs(3));
     }
 }
 

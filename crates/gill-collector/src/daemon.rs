@@ -23,7 +23,7 @@ use crate::storage::{Storage, StoredUpdate};
 use crate::transport::{Clock, SystemClock, Transport};
 use crate::validator::{UpdateValidator, Verdict};
 use bgp_types::{BgpUpdate, Timestamp, VpId};
-use bgp_wire::{BgpMessage, WireError};
+use bgp_wire::{BgpMessage, Notification, WireError};
 use bytes::BytesMut;
 use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender, TrySendError};
 use gill_core::{FilterHandle, FilterSet, FilterView};
@@ -53,6 +53,12 @@ pub struct DaemonConfig {
     /// are dropped and counted; suspicious updates are stored but
     /// counted as quarantined).
     pub validate: bool,
+    /// Upper bound on concurrently established sessions (0 = unlimited).
+    /// Connections beyond the bound are rejected 503-style: a
+    /// NOTIFICATION Cease is sent immediately and the connection is
+    /// closed, counted in [`DaemonStats::accept_rejected`] — overload
+    /// sheds deterministically instead of exhausting threads or fds.
+    pub max_sessions: usize,
 }
 
 impl Default for DaemonConfig {
@@ -63,6 +69,7 @@ impl Default for DaemonConfig {
             queue_capacity: 1024,
             mirror_capacity: 8192,
             validate: false,
+            max_sessions: 4096,
         }
     }
 }
@@ -122,6 +129,9 @@ pub struct DaemonStats {
     pub sessions_closed: AtomicUsize,
     /// Connections that failed before establishing.
     pub handshake_failures: AtomicUsize,
+    /// Connections rejected at accept because the session cap
+    /// ([`DaemonConfig::max_sessions`]) was reached.
+    pub accept_rejected: AtomicUsize,
     /// KEEPALIVEs this side generated.
     pub keepalives_sent: AtomicUsize,
     /// KEEPALIVEs received from peers.
@@ -475,6 +485,11 @@ pub struct SessionCtx {
     /// Live-stream tee, fed *after* filter-accept (subscribers see exactly
     /// what the archive retains, minus queue overflow losses).
     pub sink: Option<Arc<dyn UpdateSink>>,
+    /// Cooperative shutdown signal. Drive loops poll it between read
+    /// slices and close their session gracefully (NOTIFICATION Cease /
+    /// transport shutdown) when set, so a pool can join its session
+    /// threads with a bounded deadline instead of leaking them.
+    pub shutdown: Arc<AtomicBool>,
 }
 
 impl SessionCtx {
@@ -494,6 +509,7 @@ impl SessionCtx {
             mirror: None,
             mirror_on: Arc::new(AtomicBool::new(false)),
             sink: None,
+            shutdown: Arc::new(AtomicBool::new(false)),
         }
     }
 
@@ -598,7 +614,12 @@ pub fn run_session_with<T: Transport>(
 ) -> io::Result<CloseReason> {
     let EstablishedSession { peer, mut fsm } = session;
     let clock = SystemClock::new();
+    let mut closing = false;
     loop {
+        if !closing && ctx.shutdown.load(Ordering::Relaxed) {
+            closing = true;
+            fsm.close_gracefully();
+        }
         while let Some(event) = fsm.poll_event() {
             match event {
                 SessionEvent::Update(u) => {
@@ -656,7 +677,41 @@ pub struct DaemonPool {
     stop: Arc<AtomicBool>,
     accept_thread: Option<std::thread::JoinHandle<()>>,
     refresh_thread: Option<std::thread::JoinHandle<()>>,
+    session_threads: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+    active_sessions: Arc<AtomicUsize>,
     local_addr: std::net::SocketAddr,
+}
+
+/// Joins `handles` with a bounded deadline, polling completion; threads
+/// still running when the deadline passes are detached (dropped), and
+/// their count is returned. Session drive loops poll their shutdown
+/// flag at least every read slice (≤500 ms), so a few seconds suffices
+/// for a clean exit.
+pub fn join_with_deadline(
+    mut handles: Vec<std::thread::JoinHandle<()>>,
+    deadline: Duration,
+) -> usize {
+    let t0 = std::time::Instant::now();
+    loop {
+        handles = handles
+            .into_iter()
+            .filter_map(|h| {
+                if h.is_finished() {
+                    let _ = h.join();
+                    None
+                } else {
+                    Some(h)
+                }
+            })
+            .collect();
+        if handles.is_empty() {
+            return 0;
+        }
+        if t0.elapsed() >= deadline {
+            return handles.len();
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
 }
 
 impl DaemonPool {
@@ -678,43 +733,34 @@ impl DaemonPool {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
-        let (queue_tx, queue_rx) = bounded(cfg.queue_capacity);
-        let (mirror_tx, mirror_rx) = bounded(cfg.mirror_capacity.max(1));
-        let mirror_on = Arc::new(AtomicBool::new(false));
-        let stats = Arc::new(DaemonStats::default());
-        let filters = FilterHandle::empty();
-        let validator = cfg
-            .validate
-            .then(|| Arc::new(RwLock::new(UpdateValidator::new())));
-        let forwarder = Arc::new(RwLock::new(Forwarder::new()));
-        let stop = Arc::new(AtomicBool::new(false));
+        let mut pool = DaemonPool::pipeline(cfg.clone(), sink);
+        pool.local_addr = local_addr;
         // identities that have completed a handshake before, for the
         // reconnect counter
         let known_peers: Arc<Mutex<std::collections::HashSet<VpId>>> =
             Arc::new(Mutex::new(std::collections::HashSet::new()));
-        let session_ctx = SessionCtx {
-            filters: filters.view(),
-            queue: queue_tx.clone(),
-            stats: stats.clone(),
-            validator: validator.clone(),
-            forwarder: Some(forwarder.clone()),
-            mirror: Some(mirror_tx.clone()),
-            mirror_on: mirror_on.clone(),
-            sink: sink.clone(),
-        };
         let accept_thread = {
-            let ctx = session_ctx.clone();
-            let stop = stop.clone();
-            let cfg = cfg.clone();
+            let ctx = pool.session_ctx();
+            let stop = pool.stop.clone();
+            let threads = pool.session_threads.clone();
+            let active = pool.active_sessions.clone();
             std::thread::spawn(move || {
                 while !stop.load(Ordering::Relaxed) {
                     match listener.accept() {
                         Ok((stream, _)) => {
+                            if cfg.max_sessions > 0
+                                && active.load(Ordering::Relaxed) >= cfg.max_sessions
+                            {
+                                reject_over_capacity(stream, &ctx.stats);
+                                continue;
+                            }
+                            active.fetch_add(1, Ordering::Relaxed);
                             stream.set_nonblocking(false).ok();
                             let ctx = ctx.clone();
                             let cfg = cfg.clone();
                             let known_peers = known_peers.clone();
-                            std::thread::spawn(move || {
+                            let active = active.clone();
+                            let handle = std::thread::spawn(move || {
                                 let mut ms = MessageStream::new(stream);
                                 match handshake_server(&mut ms, &cfg) {
                                     Ok(session) => {
@@ -731,7 +777,12 @@ impl DaemonPool {
                                             .fetch_add(1, Ordering::Relaxed);
                                     }
                                 }
+                                active.fetch_sub(1, Ordering::Relaxed);
                             });
+                            let mut v = threads.lock();
+                            // reap handles of sessions that already ended
+                            v.retain(|h| !h.is_finished());
+                            v.push(handle);
                         }
                         Err(ref e) if e.kind() == io::ErrorKind::WouldBlock => {
                             std::thread::sleep(Duration::from_millis(5));
@@ -739,9 +790,31 @@ impl DaemonPool {
                         Err(_) => break,
                     }
                 }
+                // listener drops here: the socket closes with the loop
             })
         };
-        Ok(DaemonPool {
+        pool.accept_thread = Some(accept_thread);
+        Ok(pool)
+    }
+
+    /// Builds the shared pipeline — filters, bounded queue, counters,
+    /// §14 services, mirror and sink tees — without binding a listener
+    /// or spawning an accept thread. The evented runtime
+    /// (`gill-runtime`) uses this: it accepts into its own reactor and
+    /// mints per-session views via [`DaemonPool::session_ctx`], so both
+    /// runtimes share every downstream accounting invariant.
+    pub fn pipeline(cfg: DaemonConfig, sink: Option<Arc<dyn UpdateSink>>) -> DaemonPool {
+        let (queue_tx, queue_rx) = bounded(cfg.queue_capacity);
+        let (mirror_tx, mirror_rx) = bounded(cfg.mirror_capacity.max(1));
+        let mirror_on = Arc::new(AtomicBool::new(false));
+        let stats = Arc::new(DaemonStats::default());
+        let filters = FilterHandle::empty();
+        let validator = cfg
+            .validate
+            .then(|| Arc::new(RwLock::new(UpdateValidator::new())));
+        let forwarder = Arc::new(RwLock::new(Forwarder::new()));
+        let stop = Arc::new(AtomicBool::new(false));
+        DaemonPool {
             stats,
             filters,
             validator,
@@ -753,10 +826,12 @@ impl DaemonPool {
             mirror_rx: Some(mirror_rx),
             mirror_on,
             stop,
-            accept_thread: Some(accept_thread),
+            accept_thread: None,
             refresh_thread: None,
-            local_addr,
-        })
+            session_threads: Arc::new(Mutex::new(Vec::new())),
+            active_sessions: Arc::new(AtomicUsize::new(0)),
+            local_addr: std::net::SocketAddr::from(([0, 0, 0, 0], 0)),
+        }
     }
 
     /// Registers an operator forwarding subscription (§14): matching
@@ -825,7 +900,13 @@ impl DaemonPool {
             mirror: Some(self.mirror_tx.clone()),
             mirror_on: self.mirror_on.clone(),
             sink: self.sink.clone(),
+            shutdown: self.stop.clone(),
         }
+    }
+
+    /// Sessions currently being served by this pool's accept loop.
+    pub fn active_sessions(&self) -> usize {
+        self.active_sessions.load(Ordering::Relaxed)
     }
 
     /// Wires `orch` into the live pool as the §8 background refresh
@@ -887,7 +968,10 @@ impl DaemonPool {
         self.stop.store(true, Ordering::Relaxed);
     }
 
-    /// Stops accepting; session threads exit as peers disconnect.
+    /// Stops the pool: closes the listener, signals every session (they
+    /// send a NOTIFICATION Cease and close), and joins session threads
+    /// with a bounded deadline. Returns once everything joined or the
+    /// deadline passed (stragglers are detached, not leaked handles).
     pub fn stop(&mut self) {
         self.stop.store(true, Ordering::Relaxed);
         if let Some(t) = self.accept_thread.take() {
@@ -896,7 +980,20 @@ impl DaemonPool {
         if let Some(t) = self.refresh_thread.take() {
             let _ = t.join();
         }
+        let handles: Vec<_> = self.session_threads.lock().drain(..).collect();
+        let _stragglers = join_with_deadline(handles, Duration::from_secs(3));
     }
+}
+
+/// 503-style accept rejection: the cap is reached, so tell the peer to
+/// go away (NOTIFICATION Cease — the standard administrative-shutdown
+/// signal) and close, without spawning anything. Shared with the
+/// evented runtime's acceptor so both runtimes shed identically.
+pub fn reject_over_capacity(stream: TcpStream, stats: &DaemonStats) {
+    stats.accept_rejected.fetch_add(1, Ordering::Relaxed);
+    let mut ms = MessageStream::new(stream);
+    let _ = ms.write_message(&BgpMessage::Notification(Notification::cease()));
+    Transport::shutdown(&mut ms.transport);
 }
 
 /// The orchestrator refresh loop: drain the mirror channel in batches,

@@ -132,6 +132,12 @@ impl Transcript {
         h
     }
 
+    /// Appends one entry (public for alternative drivers building
+    /// digest-comparable transcripts, e.g. the evented runtime tests).
+    pub fn record(&mut self, at_ms: u64, attempt: u32, side: Side, line: String) {
+        self.push(at_ms, attempt, side, line);
+    }
+
     fn push(&mut self, at_ms: u64, attempt: u32, side: Side, line: String) {
         self.entries.push(TranscriptEntry {
             at_ms,
@@ -140,6 +146,14 @@ impl Transcript {
             line,
         });
     }
+}
+
+/// Canonical textual rendering of a session event — the vocabulary of
+/// transcript lines. Public so alternative drivers of the same FSMs
+/// (e.g. the evented runtime's conformance tests) can produce
+/// digest-comparable transcripts.
+pub fn render_event(event: &SessionEvent) -> String {
+    render(event)
 }
 
 fn render(event: &SessionEvent) -> String {

@@ -112,6 +112,16 @@ pub trait Transport: Send {
     /// Writes all of `buf`.
     fn write_all(&mut self, buf: &[u8]) -> io::Result<()>;
 
+    /// Writes as much of `buf` as fits without blocking, returning the
+    /// number of bytes taken (`WouldBlock` when nothing fits). The
+    /// default suits transports whose `write_all` never blocks (e.g.
+    /// the simulated link's unbounded buffer); socket transports
+    /// override it so an evented loop can flush incrementally.
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.write_all(buf)?;
+        Ok(buf.len())
+    }
+
     /// Bounds how long [`Transport::read`] may block. `None` blocks
     /// indefinitely. Non-blocking transports may ignore this.
     fn set_read_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()>;
@@ -127,6 +137,10 @@ impl Transport for TcpStream {
 
     fn write_all(&mut self, buf: &[u8]) -> io::Result<()> {
         io::Write::write_all(self, buf)
+    }
+
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        io::Write::write(self, buf)
     }
 
     fn set_read_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()> {

@@ -1,0 +1,271 @@
+//! Direct `extern "C"` bindings to the handful of OS primitives the
+//! reactor needs: epoll + eventfd on Linux, poll(2) + a self-pipe
+//! everywhere else, plus `fcntl` (non-blocking mode) and `setrlimit`
+//! (fd-limit raise for the session bench).
+//!
+//! This is the **only** module in the workspace that contains `unsafe`
+//! I/O code, and the safety argument is kept deliberately small:
+//!
+//! * Every syscall here takes either plain integers or a pointer+length
+//!   pair derived from a live `&mut [T]` — no pointer outlives the call.
+//! * `EpollEvent` matches the kernel ABI: packed on x86_64 (where the
+//!   kernel declares `__attribute__((packed))`), natural layout on other
+//!   architectures. Field reads below copy out of the packed struct
+//!   before use, so no unaligned references are ever created.
+//! * File descriptors are owned by the safe wrappers ([`OwnedFd`]) and
+//!   closed exactly once on drop; raw fds handed to `epoll_ctl` are
+//!   borrowed from callers who keep them alive while registered (the
+//!   reactor deregisters before the connection drops).
+//! * `EINTR` is mapped to `io::ErrorKind::Interrupted` and retried by
+//!   callers; every other failure becomes `io::Error::last_os_error()`.
+
+use std::io;
+
+/// A raw file descriptor (we avoid `std::os::fd` re-exports so the
+/// module reads the same on every platform).
+pub type RawFd = i32;
+
+/// Close-on-drop fd ownership for reactor-internal descriptors
+/// (epoll instance, eventfd, self-pipe ends).
+#[derive(Debug)]
+pub struct OwnedFd(pub RawFd);
+
+impl Drop for OwnedFd {
+    fn drop(&mut self) {
+        if self.0 >= 0 {
+            unsafe {
+                close(self.0);
+            }
+        }
+    }
+}
+
+extern "C" {
+    fn close(fd: i32) -> i32;
+    fn fcntl(fd: i32, cmd: i32, arg: i32) -> i32;
+    fn pipe(fds: *mut i32) -> i32;
+    fn read(fd: i32, buf: *mut u8, count: usize) -> isize;
+    fn write(fd: i32, buf: *const u8, count: usize) -> isize;
+    fn poll(fds: *mut PollFd, nfds: u64, timeout: i32) -> i32;
+    fn getrlimit(resource: i32, rlim: *mut Rlimit) -> i32;
+    fn setrlimit(resource: i32, rlim: *const Rlimit) -> i32;
+}
+
+#[cfg(target_os = "linux")]
+extern "C" {
+    fn epoll_create1(flags: i32) -> i32;
+    fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+    fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
+    fn eventfd(initval: u32, flags: i32) -> i32;
+}
+
+const F_GETFL: i32 = 3;
+const F_SETFL: i32 = 4;
+const O_NONBLOCK: i32 = 0o4000;
+
+// epoll_ctl ops
+#[cfg(target_os = "linux")]
+pub const EPOLL_CTL_ADD: i32 = 1;
+#[cfg(target_os = "linux")]
+pub const EPOLL_CTL_DEL: i32 = 2;
+#[cfg(target_os = "linux")]
+pub const EPOLL_CTL_MOD: i32 = 3;
+
+// epoll event bits
+pub const EPOLLIN: u32 = 0x001;
+pub const EPOLLOUT: u32 = 0x004;
+pub const EPOLLERR: u32 = 0x008;
+pub const EPOLLHUP: u32 = 0x010;
+pub const EPOLLRDHUP: u32 = 0x2000;
+pub const EPOLLET: u32 = 0x8000_0000;
+
+// poll(2) event bits (same low bits as epoll on Linux; POSIX elsewhere)
+pub const POLLIN: i16 = 0x001;
+pub const POLLOUT: i16 = 0x004;
+pub const POLLERR: i16 = 0x008;
+pub const POLLHUP: i16 = 0x010;
+
+const RLIMIT_NOFILE: i32 = 7;
+
+/// The kernel's `struct epoll_event`. x86_64 declares it packed; other
+/// architectures use natural alignment — `cfg_attr` mirrors that split.
+#[cfg(target_os = "linux")]
+#[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+#[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+#[derive(Clone, Copy)]
+pub struct EpollEvent {
+    pub events: u32,
+    pub data: u64,
+}
+
+/// `struct pollfd`, identical layout on every POSIX platform.
+#[repr(C)]
+#[derive(Clone, Copy)]
+pub struct PollFd {
+    pub fd: i32,
+    pub events: i16,
+    pub revents: i16,
+}
+
+#[repr(C)]
+struct Rlimit {
+    cur: u64,
+    max: u64,
+}
+
+fn cvt(ret: i32) -> io::Result<i32> {
+    if ret < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(ret)
+    }
+}
+
+/// Puts `fd` into non-blocking mode.
+pub fn set_nonblocking(fd: RawFd) -> io::Result<()> {
+    let flags = cvt(unsafe { fcntl(fd, F_GETFL, 0) })?;
+    cvt(unsafe { fcntl(fd, F_SETFL, flags | O_NONBLOCK) })?;
+    Ok(())
+}
+
+/// Raises the soft fd limit toward the hard limit, returning the
+/// resulting soft limit. Best effort — a refused raise just returns the
+/// current value, so callers can report rather than fail.
+pub fn raise_nofile(want: u64) -> u64 {
+    let mut lim = Rlimit { cur: 0, max: 0 };
+    if unsafe { getrlimit(RLIMIT_NOFILE, &mut lim) } != 0 {
+        return 0;
+    }
+    if lim.cur >= want {
+        return lim.cur;
+    }
+    let target = want.min(lim.max);
+    let new = Rlimit {
+        cur: target,
+        max: lim.max,
+    };
+    if unsafe { setrlimit(RLIMIT_NOFILE, &new) } == 0 {
+        target
+    } else {
+        lim.cur
+    }
+}
+
+/// Creates an epoll instance (Linux only).
+#[cfg(target_os = "linux")]
+pub fn epoll_create() -> io::Result<OwnedFd> {
+    // EPOLL_CLOEXEC
+    let fd = cvt(unsafe { epoll_create1(0o2000000) })?;
+    Ok(OwnedFd(fd))
+}
+
+/// One `epoll_ctl` operation.
+#[cfg(target_os = "linux")]
+pub fn epoll_control(epfd: RawFd, op: i32, fd: RawFd, events: u32, data: u64) -> io::Result<()> {
+    let mut ev = EpollEvent { events, data };
+    cvt(unsafe { epoll_ctl(epfd, op, fd, &mut ev) })?;
+    Ok(())
+}
+
+/// Waits for readiness on `epfd`, filling `events`. Returns the number
+/// of entries filled; `timeout_ms < 0` blocks indefinitely.
+#[cfg(target_os = "linux")]
+pub fn epoll_wait_on(epfd: RawFd, events: &mut [EpollEvent], timeout_ms: i32) -> io::Result<usize> {
+    let n = cvt(unsafe { epoll_wait(epfd, events.as_mut_ptr(), events.len() as i32, timeout_ms) })?;
+    Ok(n as usize)
+}
+
+/// Creates a non-blocking eventfd for cross-thread wakes (Linux only).
+#[cfg(target_os = "linux")]
+pub fn eventfd_create() -> io::Result<OwnedFd> {
+    // EFD_CLOEXEC | EFD_NONBLOCK
+    let fd = cvt(unsafe { eventfd(0, 0o2000000 | 0o4000) })?;
+    Ok(OwnedFd(fd))
+}
+
+/// Creates a non-blocking pipe pair `(read_end, write_end)` — the
+/// portable waker for the poll(2) backend.
+pub fn pipe_pair() -> io::Result<(OwnedFd, OwnedFd)> {
+    let mut fds = [0i32; 2];
+    cvt(unsafe { pipe(fds.as_mut_ptr()) })?;
+    let (r, w) = (OwnedFd(fds[0]), OwnedFd(fds[1]));
+    set_nonblocking(r.0)?;
+    set_nonblocking(w.0)?;
+    Ok((r, w))
+}
+
+/// Writes `buf` to a raw fd (waker signal); short writes and
+/// `WouldBlock` are fine — any byte in flight wakes the loop.
+pub fn write_fd(fd: RawFd, buf: &[u8]) -> io::Result<usize> {
+    let n = unsafe { write(fd, buf.as_ptr(), buf.len()) };
+    if n < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(n as usize)
+    }
+}
+
+/// Drains a waker fd (eventfd counter or pipe bytes) until empty.
+pub fn drain_fd(fd: RawFd) {
+    let mut buf = [0u8; 64];
+    loop {
+        let n = unsafe { read(fd, buf.as_mut_ptr(), buf.len()) };
+        if n <= 0 {
+            return;
+        }
+    }
+}
+
+/// poll(2) over `fds`; `timeout_ms < 0` blocks indefinitely.
+pub fn poll_on(fds: &mut [PollFd], timeout_ms: i32) -> io::Result<usize> {
+    let n = cvt(unsafe { poll(fds.as_mut_ptr(), fds.len() as u64, timeout_ms) })?;
+    Ok(n as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pipe_wake_roundtrip() {
+        let (r, w) = pipe_pair().unwrap();
+        assert_eq!(write_fd(w.0, &[1]).unwrap(), 1);
+        let mut fds = [PollFd {
+            fd: r.0,
+            events: POLLIN,
+            revents: 0,
+        }];
+        let n = poll_on(&mut fds, 1000).unwrap();
+        assert_eq!(n, 1);
+        assert!(fds[0].revents & POLLIN != 0);
+        drain_fd(r.0);
+        // drained: poll with zero timeout reports nothing ready
+        fds[0].revents = 0;
+        assert_eq!(poll_on(&mut fds, 0).unwrap(), 0);
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn epoll_registers_and_reports_pipe_readiness() {
+        let ep = epoll_create().unwrap();
+        let (r, w) = pipe_pair().unwrap();
+        epoll_control(ep.0, EPOLL_CTL_ADD, r.0, EPOLLIN, 7).unwrap();
+        let mut events = [EpollEvent { events: 0, data: 0 }; 8];
+        // nothing ready yet
+        assert_eq!(epoll_wait_on(ep.0, &mut events, 0).unwrap(), 0);
+        write_fd(w.0, &[1]).unwrap();
+        let n = epoll_wait_on(ep.0, &mut events, 1000).unwrap();
+        assert_eq!(n, 1);
+        let (evs, data) = (events[0].events, events[0].data);
+        assert!(evs & EPOLLIN != 0);
+        assert_eq!(data, 7);
+        epoll_control(ep.0, EPOLL_CTL_DEL, r.0, 0, 0).unwrap();
+    }
+
+    #[test]
+    fn nofile_raise_reports_a_limit() {
+        // must not panic and must report a sane limit on any platform
+        let lim = raise_nofile(4096);
+        assert!(lim == 0 || lim >= 256);
+    }
+}

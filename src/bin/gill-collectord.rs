@@ -22,6 +22,14 @@
 //! routers: one TCP session per router, each carrying many monitored
 //! peers, demuxed into per-peer VPs and fed through the *same* filter /
 //! archive / stream pipeline as the BGP sessions.
+//!
+//! `--runtime evented` swaps the thread-per-session runtime for the
+//! readiness-driven one (`gill::runtime`): `--workers N` event-loop
+//! threads multiplex every BGP and BMP session over epoll, feeding the
+//! identical pipeline. `--runtime threaded` (the default) remains the
+//! reference implementation. `--max-sessions N` caps concurrent BGP
+//! sessions in both runtimes (over-capacity peers get NOTIFICATION
+//! Cease at accept).
 
 use gill::bmp::{BmpConfig, BmpPool, ListenerConfig};
 use gill::collector::{
@@ -29,6 +37,7 @@ use gill::collector::{
 };
 use gill::core::FilterSet;
 use gill::query::{QueryableStorage, RouteStore, ServerConfig};
+use gill::runtime::{EventedPool, RuntimeConfig};
 use gill::stream::{serve_streaming, BrokerConfig, StreamBroker};
 use std::collections::HashMap;
 use std::path::PathBuf;
@@ -73,6 +82,16 @@ fn run() -> Result<(), String> {
     let duration: u64 = args.num("duration", 60)?;
     let queue: usize = args.num("queue", 65536)?;
     let local_asn: u32 = args.num("local-asn", 65535)?;
+    let max_sessions: usize = args.num("max-sessions", 4096)?;
+    let runtime = args
+        .optional("runtime")
+        .unwrap_or_else(|| "threaded".into());
+    if runtime != "threaded" && runtime != "evented" {
+        return Err(format!(
+            "--runtime must be threaded or evented, not {runtime}"
+        ));
+    }
+    let workers: usize = args.num("workers", 4)?;
     let archive = PathBuf::from(
         args.optional("archive")
             .unwrap_or_else(|| "collected.mrt".into()),
@@ -85,6 +104,29 @@ fn run() -> Result<(), String> {
             f
         }
         None => FilterSet::default(),
+    };
+
+    // --bmp-addr / --bmp-config: accept BMP routers into the same pipeline.
+    // A bare --bmp-addr is sugar for a single allow-all listener; with
+    // --bmp-config the flag appends one more listener to the parsed set.
+    let bmp_cfg = match (args.optional("bmp-config"), args.optional("bmp-addr")) {
+        (None, None) => None,
+        (file, addr) => {
+            let mut cfg = match file {
+                Some(p) => {
+                    let text = std::fs::read_to_string(&p).map_err(|e| format!("{p}: {e}"))?;
+                    BmpConfig::parse(&text)?
+                }
+                None => BmpConfig::default(),
+            };
+            if let Some(bind) = addr {
+                cfg.listeners.push(ListenerConfig {
+                    bind,
+                    idle_timeout_ms: 0,
+                });
+            }
+            Some(cfg)
+        }
     };
 
     // --stream-addr HOST:PORT: tee filter-accepted updates into a broadcast
@@ -114,63 +156,71 @@ fn run() -> Result<(), String> {
         .as_ref()
         .map(|(b, _, _)| Arc::new(b.publisher()) as Arc<dyn gill::collector::UpdateSink>);
 
-    let mut pool = DaemonPool::start_with_sink(
-        &listen,
-        DaemonConfig {
-            local_asn,
-            queue_capacity: queue,
-            ..DaemonConfig::default()
-        },
-        sink,
-    )
-    .map_err(|e| e.to_string())?;
-    pool.install_filters(filters);
-    // --retrain-interval SECS: attach a live orchestrator that mirrors the
-    // unfiltered stream and publishes a fresh filter epoch periodically
-    // (0 = no retraining; --filters then stays in force unchanged)
-    let retrain: u64 = args.num("retrain-interval", 0)?;
-    if retrain > 0 {
-        let orch = Orchestrator::new(OrchestratorConfig::default(), Vec::new(), HashMap::new());
-        pool.attach_orchestrator(orch, Duration::from_secs(retrain))
-            .map_err(|e| e.to_string())?;
-        eprintln!("orchestrator attached, retraining every {retrain}s");
-    }
-    // --bmp-addr / --bmp-config: accept BMP routers into the same pipeline.
-    // A bare --bmp-addr is sugar for a single allow-all listener; with
-    // --bmp-config the flag appends one more listener to the parsed set.
-    let bmp_cfg = match (args.optional("bmp-config"), args.optional("bmp-addr")) {
-        (None, None) => None,
-        (file, addr) => {
-            let mut cfg = match file {
-                Some(p) => {
-                    let text = std::fs::read_to_string(&p).map_err(|e| format!("{p}: {e}"))?;
-                    BmpConfig::parse(&text)?
-                }
-                None => BmpConfig::default(),
-            };
-            if let Some(bind) = addr {
-                cfg.listeners.push(ListenerConfig {
-                    bind,
-                    idle_timeout_ms: 0,
-                });
-            }
-            Some(cfg)
-        }
+    let daemon_cfg = DaemonConfig {
+        local_asn,
+        queue_capacity: queue,
+        max_sessions,
+        ..DaemonConfig::default()
     };
-    let bmp = match &bmp_cfg {
-        Some(cfg) => {
+    let retrain: u64 = args.num("retrain-interval", 0)?;
+
+    // boot the chosen runtime; from here on both expose the same shared
+    // pipeline (`DaemonPool`), so the drain/report tail is common
+    let mut evented: Option<EventedPool> = None;
+    let mut threaded: Option<DaemonPool> = None;
+    let mut bmp: Option<BmpPool> = None;
+    if runtime == "evented" {
+        let ep = EventedPool::start(
+            daemon_cfg,
+            RuntimeConfig {
+                workers,
+                bgp_addr: Some(listen.clone()),
+                bmp: bmp_cfg.clone(),
+            },
+            sink,
+        )
+        .map_err(|e| e.to_string())?;
+        for a in ep.bmp_addrs() {
+            eprintln!("bmp listening on {a}");
+        }
+        eprintln!(
+            "collector AS{local_asn} (evented, {workers} workers) listening on {} for {duration}s",
+            ep.bgp_addr().expect("bgp listener")
+        );
+        evented = Some(ep);
+    } else {
+        let pool =
+            DaemonPool::start_with_sink(&listen, daemon_cfg, sink).map_err(|e| e.to_string())?;
+        if let Some(cfg) = &bmp_cfg {
             let bp = BmpPool::start(cfg, pool.session_ctx()).map_err(|e| e.to_string())?;
             for a in bp.local_addrs() {
                 eprintln!("bmp listening on {a}");
             }
-            Some(bp)
+            bmp = Some(bp);
         }
-        None => None,
-    };
-    eprintln!(
-        "collector AS{local_asn} listening on {} for {duration}s",
-        pool.local_addr()
-    );
+        eprintln!(
+            "collector AS{local_asn} listening on {} for {duration}s",
+            pool.local_addr()
+        );
+        threaded = Some(pool);
+    }
+    {
+        let pool = evented
+            .as_mut()
+            .map(|e| e.pool_mut())
+            .or(threaded.as_mut())
+            .expect("a runtime is up");
+        pool.install_filters(filters);
+        // --retrain-interval SECS: attach a live orchestrator that mirrors
+        // the unfiltered stream and publishes a fresh filter epoch
+        // periodically (0 = no retraining; --filters stays in force)
+        if retrain > 0 {
+            let orch = Orchestrator::new(OrchestratorConfig::default(), Vec::new(), HashMap::new());
+            pool.attach_orchestrator(orch, Duration::from_secs(retrain))
+                .map_err(|e| e.to_string())?;
+            eprintln!("orchestrator attached, retraining every {retrain}s");
+        }
+    }
 
     let file = std::fs::File::create(&archive).map_err(|e| e.to_string())?;
     let storage = TeeStorage {
@@ -181,7 +231,11 @@ fn run() -> Result<(), String> {
     };
     // drain concurrently for the configured duration
     let storage = std::thread::scope(|s| {
-        let pool_ref = &pool;
+        let pool_ref = evented
+            .as_ref()
+            .map(|e| e.pool())
+            .or(threaded.as_ref())
+            .expect("a runtime is up");
         let drain = s.spawn(move || {
             let mut st = storage;
             pool_ref.drain_into(&mut st);
@@ -194,44 +248,92 @@ fn run() -> Result<(), String> {
         pool_ref.request_stop();
         drain.join().expect("storage thread")
     });
-    pool.stop();
 
-    let stats = pool.stats();
     let load = |c: &std::sync::atomic::AtomicUsize| c.load(std::sync::atomic::Ordering::Relaxed);
-    println!(
-        "received {} | filtered {} | retained {} | lost {} | filter epoch {}",
-        load(&stats.received),
-        load(&stats.filtered),
-        load(&stats.retained),
-        load(&stats.lost),
-        stats
-            .filter_epoch
-            .load(std::sync::atomic::Ordering::Relaxed),
-    );
-    if let Some(mut bp) = bmp {
-        let b = bp.stats();
+    // wind the runtime down (sessions close gracefully, threads join
+    // with bounded deadlines) and report its counters
+    if let Some(mut ep) = evented.take() {
+        ep.stop();
+        let t = ep.totals();
         println!(
-            "bmp sessions {} opened / {} closed | peers {} up / {} down | \
-             updates {} | unknown-peer {} | denied {}",
-            load(&b.sessions_opened),
-            load(&b.sessions_closed),
-            load(&b.peers_up),
-            load(&b.peers_down),
-            load(&b.updates),
-            load(&b.unknown_peer),
-            load(&b.peers_denied),
+            "evented runtime: {workers} workers | accepted {} | shed-at-accept {} | \
+             ready-events {} | timer-fires {} | wakes {} | still-registered {}",
+            t.accepted, t.accept_shed, t.ready_events, t.timer_fires, t.wakes, t.registered,
         );
-        bp.stop();
-    }
-    if let Some((broker, mut server, _)) = stream {
-        broker.close();
+        let b = ep.bmp_stats();
+        if !ep.bmp_addrs().is_empty() {
+            println!(
+                "bmp sessions {} opened / {} closed | peers {} up / {} down | \
+                 updates {} | unknown-peer {} | denied {} | accept-rejected {}",
+                load(&b.sessions_opened),
+                load(&b.sessions_closed),
+                load(&b.peers_up),
+                load(&b.peers_down),
+                load(&b.updates),
+                load(&b.unknown_peer),
+                load(&b.peers_denied),
+                load(&b.accept_rejected),
+            );
+        }
+        let stats = ep.pool().stats();
         println!(
-            "streamed {} | shed {} | peak subscribers seen {}",
-            load(&stats.stream_published),
-            load(&stats.stream_shed),
-            load(&stats.stream_subscribers),
+            "received {} | filtered {} | retained {} | lost {} | filter epoch {}",
+            load(&stats.received),
+            load(&stats.filtered),
+            load(&stats.retained),
+            load(&stats.lost),
+            stats
+                .filter_epoch
+                .load(std::sync::atomic::Ordering::Relaxed),
         );
-        server.stop();
+        if let Some((broker, mut server, _)) = stream {
+            broker.close();
+            println!(
+                "streamed {} | shed {} | peak subscribers seen {}",
+                load(&stats.stream_published),
+                load(&stats.stream_shed),
+                load(&stats.stream_subscribers),
+            );
+            server.stop();
+        }
+    } else if let Some(mut pool) = threaded.take() {
+        pool.stop();
+        let stats = pool.stats();
+        println!(
+            "received {} | filtered {} | retained {} | lost {} | filter epoch {}",
+            load(&stats.received),
+            load(&stats.filtered),
+            load(&stats.retained),
+            load(&stats.lost),
+            stats
+                .filter_epoch
+                .load(std::sync::atomic::Ordering::Relaxed),
+        );
+        if let Some(mut bp) = bmp {
+            let b = bp.stats();
+            println!(
+                "bmp sessions {} opened / {} closed | peers {} up / {} down | \
+                 updates {} | unknown-peer {} | denied {}",
+                load(&b.sessions_opened),
+                load(&b.sessions_closed),
+                load(&b.peers_up),
+                load(&b.peers_down),
+                load(&b.updates),
+                load(&b.unknown_peer),
+                load(&b.peers_denied),
+            );
+            bp.stop();
+        }
+        if let Some((broker, mut server, _)) = stream {
+            broker.close();
+            println!(
+                "streamed {} | shed {} | peak subscribers seen {}",
+                load(&stats.stream_published),
+                load(&stats.stream_shed),
+                load(&stats.stream_subscribers),
+            );
+            server.stop();
+        }
     }
     let written = storage.stored();
     storage.archive.into_inner().map_err(|e| e.to_string())?;
@@ -246,6 +348,7 @@ fn main() -> ExitCode {
             eprintln!("error: {e}");
             eprintln!(
                 "usage: gill-collectord [--listen ADDR] [--filters filters.txt] \
+                 [--runtime threaded|evented] [--workers N] [--max-sessions N] \
                  [--retrain-interval SECS] [--archive out.mrt] [--duration SECS] \
                  [--queue N] [--local-asn N] [--stream-addr HOST:PORT] \
                  [--ring-capacity FRAMES] [--max-subscribers N] \

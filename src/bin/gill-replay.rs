@@ -39,10 +39,14 @@ fn run() -> Result<(), String> {
     let filters_path = args.optional("filters").map(PathBuf::from);
     let out = args.optional("out").map(PathBuf::from);
     let serve_addr = args.optional("serve");
-    if filters_path.is_none() && serve_addr.is_none() && args.optional("bmp-to").is_none() {
-        return Err(
-            "need --filters (replay), --bmp-to (BMP feed) and/or --serve (looking glass)".into(),
-        );
+    if filters_path.is_none()
+        && serve_addr.is_none()
+        && args.optional("bmp-to").is_none()
+        && args.optional("bgp-to").is_none()
+    {
+        return Err("need --filters (replay), --bgp-to / --bmp-to (live feed) \
+             and/or --serve (looking glass)"
+            .into());
     }
 
     // --addpath v6 (or v4, or v4,v6): the archive was written from an
@@ -75,6 +79,50 @@ fn run() -> Result<(), String> {
     if let Some(p) = out {
         let n = write_updates_mrt(&p, &kept).map_err(|e| e.to_string())?;
         println!("wrote {n} records to {}", p.display());
+    }
+    // --bgp-to HOST:PORT: replay the (filtered) stream as live BGP peers —
+    // one loopback session per distinct VP ASN, handshake, the VP's
+    // updates in archive order, then NOTIFICATION Cease and a wait for
+    // the collector's close so its counters have settled when we exit.
+    // This is how CI feeds a fixture day into a collector's BGP listener.
+    if let Some(addr) = args.optional("bgp-to") {
+        use gill::collector::daemon::{handshake_client, MessageStream};
+        use gill::wire::{BgpMessage, Notification, UpdateMessage};
+        use std::io::Read;
+        let asns: Vec<u32> = {
+            let mut seen = std::collections::BTreeSet::new();
+            kept.iter()
+                .map(|u| u.vp.asn.value())
+                .filter(|a| seen.insert(*a))
+                .collect()
+        };
+        let mut sent = 0usize;
+        for &asn in &asns {
+            let stream = std::net::TcpStream::connect(&addr).map_err(|e| format!("{addr}: {e}"))?;
+            let mut ms = MessageStream::new(stream);
+            handshake_client(&mut ms, asn).map_err(|e| format!("AS{asn} handshake: {e}"))?;
+            for u in kept.iter().filter(|u| u.vp.asn.value() == asn) {
+                let wire = UpdateMessage::from_domain(u).map_err(|e| format!("AS{asn}: {e:?}"))?;
+                ms.write_message(&BgpMessage::Update(wire))
+                    .map_err(|e| format!("AS{asn}: {e}"))?;
+                sent += 1;
+            }
+            ms.write_message(&BgpMessage::Notification(Notification::cease()))
+                .map_err(|e| format!("AS{asn}: {e}"))?;
+            let sock = ms.transport_mut();
+            let _ = sock.set_read_timeout(Some(Duration::from_secs(10)));
+            let mut buf = [0u8; 4096];
+            loop {
+                match sock.read(&mut buf) {
+                    Ok(0) | Err(_) => break, // collector processed our Cease
+                    Ok(_) => {}
+                }
+            }
+        }
+        println!(
+            "bgp: replayed {sent} updates over {} sessions to {addr}",
+            asns.len()
+        );
     }
     // --bmp-to HOST:PORT: replay the (filtered) stream as one BMP router
     // session — Initiation, a Peer Up per distinct VP, a Route Monitoring
@@ -192,7 +240,8 @@ fn main() -> ExitCode {
             eprintln!(
                 "usage: gill-replay --updates updates.mrt [--addpath v4,v6] \
                  [--filters filters.txt] \
-                 [--out kept.mrt] [--bmp-to host:port] [--serve host:port] [--data-dir dir] \
+                 [--out kept.mrt] [--bgp-to host:port] [--bmp-to host:port] \
+                 [--serve host:port] [--data-dir dir] \
                  [--store-mem-cap bytes] [--stream-repeat n] \
                  [--stream-wait-subs n] [--stream-interval-ms ms] \
                  [--ring-capacity frames] [--max-subscribers n]"

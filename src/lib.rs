@@ -22,6 +22,9 @@
 //!   view of many monitored BGP peers into the same pipeline.
 //! * [`query`] — the serving half: time-indexed route store and the
 //!   looking-glass HTTP query API (bgproutes.io's role in §9).
+//! * [`runtime`] — the readiness-driven session runtime: an epoll/poll
+//!   reactor, timer wheel, and evented pool multiplexing thousands of
+//!   BGP/BMP sessions over a small fixed worker set.
 //! * [`scenario`] — seeded adversarial-workload engine: bursty background
 //!   traffic plus campaign generators with ground truth, driving the
 //!   full-pipeline soak harness in [`soak`].
@@ -60,6 +63,7 @@ pub use gill_bmp as bmp;
 pub use gill_collector as collector;
 pub use gill_core as core;
 pub use gill_query as query;
+pub use gill_runtime as runtime;
 pub use gill_scenario as scenario;
 pub use gill_stream as stream;
 pub use sampling;
